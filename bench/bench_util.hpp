@@ -1,0 +1,66 @@
+// Shared helpers for the paper-reproduction bench binaries: fixed-width
+// table rendering in the style of the paper's tables, and time formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace upec::bench {
+
+inline std::string fmtSeconds(double s) {
+  char buf[32];
+  if (s < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.0f ms", s * 1e3);
+  } else if (s < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.1f s", s);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f min", s / 60.0);
+  }
+  return buf;
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void addRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto printRow = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string();
+        std::printf(" %-*s |", static_cast<int>(width[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    auto printSep = [&]() {
+      std::printf("+");
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        std::printf("%s+", std::string(width[i] + 2, '-').c_str());
+      }
+      std::printf("\n");
+    };
+    printSep();
+    printRow(header_);
+    printSep();
+    for (const auto& r : rows_) printRow(r);
+    printSep();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace upec::bench

@@ -1,0 +1,97 @@
+// Reproduces paper Fig. 1: the in-order pipeline vulnerability. Two
+// instructions — an illegal load of the secret followed by a dependent
+// load using the secret as an address — run on the "vulnerable design"
+// (cache-to-memory transaction not cancelled on the exception) and on the
+// "secure design" (transaction cancelled). Both are architecturally
+// identical; only the cache state after the exception differs.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "soc/attack.hpp"
+#include "soc/testbench.hpp"
+
+namespace {
+
+using namespace upec;
+using namespace upec::soc;
+
+constexpr std::uint32_t kSecretWord = 200;
+constexpr std::uint32_t kSecret = 0x1B4;  // maps to cache line 13
+
+struct Outcome {
+  bool trapped = false;
+  std::uint32_t x4 = 1, x5 = 1;
+  bool footprintValid = false;
+  std::uint32_t footprintTag = 0;
+};
+
+Outcome run(SocVariant variant) {
+  SocConfig c;
+  c.machine.xlen = 32;
+  c.machine.nregs = 16;
+  c.machine.imemWords = 64;
+  c.machine.dmemWords = 256;
+  c.machine.pmpEntries = 2;
+  c.cacheLines = 16;
+  c.pendingWriteCycles = 8;
+  c.refillCycles = 4;
+  c.variant = variant;
+
+  AttackLayout layout;
+  layout.protectedByteAddr = kSecretWord * 4;
+  layout.accessibleByteAddr = 64 * 4;
+
+  SocTestbench tb(c);
+  tb.loadProgram(meltdownTransientProgram(layout));
+  tb.loadProgram(spinHandler(), 60);
+  tb.setDmemWord(kSecretWord, kSecret);
+  tb.preloadCacheLine(kSecretWord, kSecret);
+  tb.protectFromWord(192, 256);
+  tb.setCsrMtvec(60 * 4);
+  tb.setMode(false);
+  tb.run(100);
+
+  Outcome o;
+  for (const CommitEvent& e : tb.commits()) o.trapped |= e.trap;
+  o.x4 = tb.reg(4);
+  o.x5 = tb.reg(5);
+  const unsigned secretLine = (kSecret >> 2) % 16;
+  o.footprintValid = tb.cacheLineValid(secretLine);
+  o.footprintTag = tb.cacheLineTag(secretLine);
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 1 — in-order pipeline vulnerability: is the transient cache\n");
+  std::printf("transaction of a killed instruction cancelled on the exception?\n\n");
+  std::printf("  Instr #1:  lw x4, (x1)   ; x1 -> protected secret, raises exception\n");
+  std::printf("  Instr #2:  lw x5, (x4)   ; transient, address = secret value\n\n");
+
+  const Outcome vulnerable = run(SocVariant::kMeltdownStyle);
+  const Outcome secure = run(SocVariant::kSecure);
+
+  upec::bench::Table t({"", "vulnerable design", "secure design"});
+  auto yesNo = [](bool b) { return std::string(b ? "yes" : "no"); };
+  t.addRow({"exception raised", yesNo(vulnerable.trapped), yesNo(secure.trapped)});
+  t.addRow({"x4 (secret) after run", std::to_string(vulnerable.x4), std::to_string(secure.x4)});
+  t.addRow({"x5 after run", std::to_string(vulnerable.x5), std::to_string(secure.x5)});
+  t.addRow({"secret-indexed cache line filled", yesNo(vulnerable.footprintValid),
+            yesNo(secure.footprintValid)});
+  t.print();
+
+  std::printf("\nShape checks:\n");
+  auto check = [](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
+    return ok;
+  };
+  bool all = true;
+  all &= check(vulnerable.trapped && secure.trapped, "both designs raise the exception");
+  all &= check(vulnerable.x4 == 0 && secure.x4 == 0,
+               "the secret never reaches x4 in either design");
+  all &= check(vulnerable.x5 == 0 && secure.x5 == 0, "instruction #2 is squashed in both");
+  all &= check(vulnerable.footprintValid, "vulnerable: cache line updated (covert channel!)");
+  all &= check(!secure.footprintValid, "secure: transaction cancelled, no side effect");
+  return all ? 0 : 1;
+}

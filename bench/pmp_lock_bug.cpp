@@ -1,0 +1,123 @@
+// Reproduces paper Sec. VII-C: the ISA-incompliance UPEC found in
+// RocketChip's physical memory protection — the base address of a locked
+// TOR range remained writable. Shown twice: (1) as a directed ISA test on
+// the cycle-accurate model, (2) as a UPEC L-alert through the "main
+// channel" (the solver synthesises privileged code that moves the locked
+// range and then reads the secret from user mode).
+#include <cstdio>
+
+#include "base/stopwatch.hpp"
+#include "bench_util.hpp"
+#include "riscv/assembler.hpp"
+#include "soc/attack.hpp"
+#include "soc/testbench.hpp"
+#include "upec/upec.hpp"
+
+namespace {
+
+using namespace upec;
+using namespace upec::soc;
+
+struct DirectedResult {
+  std::uint32_t pmpaddr0After = 0;
+  std::uint32_t secretRead = 0;  // value observed by the user process
+};
+
+DirectedResult directedTest(SocVariant variant) {
+  using namespace riscv;
+  SocConfig c;
+  c.machine.xlen = 32;
+  c.machine.nregs = 16;
+  c.machine.imemWords = 64;
+  c.machine.dmemWords = 256;
+  c.machine.pmpEntries = 2;
+  c.machine.pmpLockBug = (variant == SocVariant::kPmpLockBug);
+  c.cacheLines = 16;
+  c.variant = variant;
+
+  Assembler kernel;
+  kernel.li(1, 250);                 // new base above the secret word
+  kernel.csrrw(0, kCsrPmpaddr0, 1);  // locked by the TOR rule — or is it?
+  kernel.li(2, 10 * 4);
+  kernel.csrrw(0, kCsrMepc, 2);
+  kernel.mret();
+
+  Assembler user;
+  user.li(1, 200 * 4);
+  user.lw(3, 1, 0);  // read the (formerly?) protected secret
+  const riscv::Label park = user.newLabel();
+  user.bind(park);
+  user.j(park);
+
+  SocTestbench tb(c);
+  tb.loadProgram(kernel.finish());
+  tb.loadProgram(user.finish(), 10);
+  tb.loadProgram(spinHandler(), 60);
+  tb.setCsrMtvec(60 * 4);
+  tb.setDmemWord(200, 0x5EC8E7);
+  tb.protectFromWord(192, 256);
+  tb.run(150);
+
+  DirectedResult r;
+  r.pmpaddr0After = static_cast<std::uint32_t>(
+      tb.simulator()
+          .regValue(tb.instance().pc.design()->regIndexOf(tb.instance().pmpaddr[0].id()))
+          .uint());
+  r.secretRead = tb.reg(3);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Sec. VII-C — PMP lock bypass (RocketChip ISA-incompliance found by UPEC)\n\n");
+
+  const DirectedResult buggy = directedTest(SocVariant::kPmpLockBug);
+  const DirectedResult fixed = directedTest(SocVariant::kSecure);
+
+  upec::bench::Table t({"", "buggy PMP", "correct PMP"});
+  t.addRow({"pmpaddr0 after privileged rewrite", std::to_string(buggy.pmpaddr0After),
+            std::to_string(fixed.pmpaddr0After)});
+  auto hexOrBlocked = [](std::uint32_t v) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%X", v);
+    return std::string(v ? buf : "blocked");
+  };
+  t.addRow({"secret observed by user process", hexOrBlocked(buggy.secretRead),
+            hexOrBlocked(fixed.secretRead)});
+  t.print();
+
+  std::printf("\nUPEC analysis (the solver finds the attack on its own):\n");
+  upec::Stopwatch sw;
+  Miter buggyMiter(SocConfig::formalSmall(SocVariant::kPmpLockBug), /*secretWord=*/12);
+  UpecOptions options;  // scenario kAny: the main channel needs no cache copy
+  MethodologyDriver driver(buggyMiter, options);
+  const MethodologyReport report = driver.hunt(8);
+  std::printf("  buggy PMP:   %s", verdictName(report.finalVerdict));
+  if (report.firstLAlertWindow) {
+    std::printf(" (L-alert at window %u, registers:", *report.firstLAlertWindow);
+    for (const std::string& r : report.lAlertRegisters) std::printf(" %s", r.c_str());
+    std::printf(")");
+  }
+  std::printf("  [%s]\n", upec::bench::fmtSeconds(sw.elapsedSeconds()).c_str());
+
+  sw.reset();
+  Miter fixedMiter(SocConfig::formalSmall(SocVariant::kSecure), /*secretWord=*/12);
+  MethodologyDriver fixedDriver(fixedMiter, options);
+  const MethodologyReport fixedReport = fixedDriver.run(2, miniRvBlockingConditions());
+  std::printf("  correct PMP: %s  [%s]\n", verdictName(fixedReport.finalVerdict),
+              upec::bench::fmtSeconds(sw.elapsedSeconds()).c_str());
+
+  auto check = [](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
+    return ok;
+  };
+  bool all = true;
+  all &= check(buggy.pmpaddr0After == 250, "bug: locked TOR base was rewritten");
+  all &= check(fixed.pmpaddr0After == 192, "fix: locked TOR base immutable");
+  all &= check(buggy.secretRead == 0x5EC8E7, "bug: user process reads the secret");
+  all &= check(fixed.secretRead == 0, "fix: user access faults");
+  all &= check(report.finalVerdict == Verdict::kLAlert, "UPEC flags the buggy design (L-alert)");
+  all &= check(fixedReport.finalVerdict != Verdict::kLAlert, "UPEC passes the correct design");
+  return all ? 0 : 1;
+}

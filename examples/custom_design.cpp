@@ -1,0 +1,152 @@
+// Applying the UPEC idea to YOUR OWN hardware, without the MiniRV SoC:
+// build two instances of a design in one netlist, share everything except
+// the secret, and ask the BMC engine whether observable state can diverge.
+//
+// The design under test is a serial password checker that compares one
+// byte per cycle. The "early-exit" implementation stops at the first
+// mismatch (fewer cycles = closer guess — the classic timing side
+// channel); the "constant-time" implementation always scans the full
+// length. UPEC-style checking flags the first and proves the second.
+//
+// Build & run:  ./build/examples/custom_design
+#include <cstdio>
+
+#include "formal/bmc.hpp"
+#include "rtl/ir.hpp"
+
+using namespace upec;
+using rtl::Design;
+using rtl::Sig;
+using rtl::StateClass;
+
+namespace {
+
+constexpr unsigned kBytes = 4;  // password length (one word register each)
+
+struct Checker {
+  std::vector<Sig> secret;    // the stored password (may differ between instances)
+  std::vector<Sig> guessReg;  // the guess, latched when the check starts
+  Sig idx;                    // scan position
+  Sig busy, done, match;      // protocol state (architecturally visible)
+};
+
+// One checker instance. `earlyExit`: stop scanning at the first mismatch.
+Checker buildChecker(Design& d, const std::string& prefix, Sig start,
+                     const std::vector<Sig>& guess, bool earlyExit) {
+  Checker c;
+  for (unsigned i = 0; i < kBytes; ++i) {
+    c.secret.push_back(d.reg(8, prefix + "secret" + std::to_string(i), StateClass::kMemory));
+    d.connect(c.secret[i], c.secret[i]);  // constant during the check
+  }
+  c.idx = d.reg(3, prefix + "idx", StateClass::kMicro);
+  c.busy = d.reg(1, prefix + "busy", StateClass::kArch);
+  c.done = d.reg(1, prefix + "done", StateClass::kArch);
+  c.match = d.reg(1, prefix + "match", StateClass::kArch);
+  // Latch the guess when a check is accepted, like a real command register.
+  const Sig accept = start & ~c.busy;
+  for (unsigned i = 0; i < kBytes; ++i) {
+    c.guessReg.push_back(d.reg(8, prefix + "guess" + std::to_string(i), StateClass::kMicro));
+    d.connect(c.guessReg[i], d.mux(accept, guess[i], c.guessReg[i]));
+  }
+
+  // Current byte comparison (against the latched guess).
+  Sig cur = c.secret[0];
+  for (unsigned i = 1; i < kBytes; ++i) {
+    cur = d.mux(c.idx.eq(d.constant(3, i)), c.secret[i], cur);
+  }
+  Sig guessCur = c.guessReg[0];
+  for (unsigned i = 1; i < kBytes; ++i) {
+    guessCur = d.mux(c.idx.eq(d.constant(3, i)), c.guessReg[i], guessCur);
+  }
+  const Sig byteOk = cur.eq(guessCur);
+  const Sig lastByte = c.idx.eq(d.constant(3, kBytes - 1));
+  const Sig stop = earlyExit ? (lastByte | ~byteOk) : lastByte;
+
+  d.connect(c.idx, d.mux(c.busy, d.mux(stop, d.zero(3), c.idx + d.one(3)),
+                         d.mux(start, d.zero(3), c.idx)));
+  d.connect(c.busy, d.mux(c.busy, d.mux(stop, d.zero(1), d.one(1)), start));
+  d.connect(c.done, d.mux(c.busy & stop, d.one(1), d.mux(start, d.zero(1), c.done)));
+  d.connect(c.match,
+            d.mux(c.busy, c.match & byteOk, d.mux(start, d.one(1), c.match)));
+  return c;
+}
+
+bool uniqueExecution(bool earlyExit, unsigned window) {
+  Design d(earlyExit ? "early_exit" : "constant_time");
+  const Sig start = d.input(1, "start");
+  std::vector<Sig> guess;
+  for (unsigned i = 0; i < kBytes; ++i) {
+    guess.push_back(d.input(8, "guess" + std::to_string(i)));  // attacker-chosen
+  }
+  // The miter: two instances, shared start/guess inputs, secrets free.
+  const Checker a = buildChecker(d, "a.", start, guess, earlyExit);
+  const Checker b = buildChecker(d, "b.", start, guess, earlyExit);
+
+  formal::IntervalProperty p;
+  p.name = "unique_execution";
+  // Both idle and equal at t; the secrets are unconstrained (that is the
+  // difference the attacker wants to observe).
+  p.assumeAt(0, ~a.busy & ~b.busy & ~a.done & ~b.done, "both idle");
+  p.assumeAt(0, a.idx.eq(d.zero(3)) & b.idx.eq(d.zero(3)), "scanners reset");
+  p.assumeAt(0, a.match.eq(b.match), "equal flags");
+  p.assumeAt(0, a.guessReg[0].eq(b.guessReg[0]), "latched guesses equal (0)");
+  for (unsigned i = 1; i < kBytes; ++i) {
+    p.assumeAt(0, a.guessReg[i].eq(b.guessReg[i]),
+               "latched guesses equal (" + std::to_string(i) + ")");
+  }
+  // Exclude the one legitimate difference: whether the guess IS the
+  // password may differ — a checker must reveal full equality. So the
+  // attacker's vector never equals either secret, at any cycle.
+  Sig guessNeqA = d.zero(1).redOr();
+  Sig guessNeqB = d.zero(1).redOr();
+  for (unsigned i = 0; i < kBytes; ++i) {
+    guessNeqA = guessNeqA | a.secret[i].ne(guess[i]);
+    guessNeqB = guessNeqB | b.secret[i].ne(guess[i]);
+  }
+  p.assumeAlways(guessNeqA & guessNeqB, "guess input matches neither secret");
+  // ...including the vectors already latched at t.
+  Sig latchedNeqA = d.zero(1).redOr();
+  Sig latchedNeqB = d.zero(1).redOr();
+  for (unsigned i = 0; i < kBytes; ++i) {
+    latchedNeqA = latchedNeqA | a.secret[i].ne(a.guessReg[i]);
+    latchedNeqB = latchedNeqB | b.secret[i].ne(b.guessReg[i]);
+  }
+  p.assumeAt(0, latchedNeqA & latchedNeqB, "latched guess matches neither secret");
+
+  // Commitment: the architecturally visible protocol state must evolve
+  // identically — in particular `done` must rise at the same cycle. The
+  // `match` flag is only architecturally meaningful once `done` is set
+  // (before that it is scanner-internal state), so its equality is
+  // committed under that condition.
+  for (unsigned t = 1; t <= window; ++t) {
+    p.proveAt(t, a.busy.eq(b.busy), "busy equal");
+    p.proveAt(t, a.done.eq(b.done), "done equal");
+    p.proveAt(t, ~(a.done & b.done) | a.match.eq(b.match), "result equal when done");
+  }
+
+  formal::BmcEngine engine(d);
+  const formal::CheckResult res = engine.check(p);
+  return res.holds();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("UPEC beyond processors: a serial password checker\n\n");
+  const unsigned window = kBytes + 2;
+
+  const bool earlyExitUnique = uniqueExecution(/*earlyExit=*/true, window);
+  std::printf("early-exit comparator:    %s\n",
+              earlyExitUnique ? "unique execution (secure)"
+                              : "NOT unique - completion time depends on the secret "
+                                "(timing side channel)");
+
+  const bool constTimeUnique = uniqueExecution(/*earlyExit=*/false, window);
+  std::printf("constant-time comparator: %s\n",
+              constTimeUnique ? "unique execution PROVEN for all secrets and guesses"
+                              : "NOT unique?!");
+
+  std::printf("\nSame methodology, ~100 lines: two shared-input instances, secrets\n");
+  std::printf("free, observable state compared cycle by cycle.\n");
+  return (!earlyExitUnique && constTimeUnique) ? 0 : 1;
+}

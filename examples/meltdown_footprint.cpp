@@ -1,0 +1,121 @@
+// Meltdown-style attack by PRIME+PROBE on the cycle-accurate SoC model
+// (paper Fig. 1 / Sec. VII-B).
+//
+// The attacker first PRIMES the cache (fills every line with its own
+// array), then triggers the transient sequence — a faulting load of the
+// secret and a dependent load whose address *is* the secret. On the
+// vulnerable design the dependent load's refill is not cancelled by the
+// exception, so it evicts exactly one primed line (the one the secret
+// indexes). The attacker then PROBES each line with timed loads: the
+// evicted line misses and takes visibly longer.
+//
+// Build & run:  ./build/examples/meltdown_footprint
+#include <cstdio>
+
+#include "riscv/assembler.hpp"
+#include "soc/attack.hpp"
+#include "soc/testbench.hpp"
+
+using namespace upec;
+using namespace upec::soc;
+
+namespace {
+
+constexpr std::uint32_t kSecretWord = 200;
+constexpr unsigned kLines = 16;
+constexpr std::uint32_t kArrayWord = 64;  // attacker's array, line-aligned
+
+SocConfig attackConfig(SocVariant v) {
+  SocConfig c;
+  c.machine.xlen = 32;
+  c.machine.nregs = 16;
+  c.machine.imemWords = 128;
+  c.machine.dmemWords = 256;
+  c.machine.pmpEntries = 2;
+  c.cacheLines = kLines;
+  c.pendingWriteCycles = 8;
+  c.refillCycles = 6;
+  c.variant = v;
+  return c;
+}
+
+// Primes line `line`, runs the transient access, then probes the same line
+// and returns the probe latency in cycles.
+unsigned primeTransientProbe(SocVariant variant, std::uint32_t secret, unsigned line) {
+  using riscv::Assembler;
+  SocTestbench tb(attackConfig(variant));
+
+  Assembler a;
+  // PRIME: load our array entry for this line (fills the cache line).
+  a.li(1, static_cast<std::int32_t>((kArrayWord + line) * 4));
+  a.lw(2, 1, 0);
+  // TRANSIENT: faulting load of the secret + dependent load.
+  a.li(3, kSecretWord * 4);
+  a.lw(4, 3, 0);  // PMP exception; handler returns to `resume`
+  a.lw(5, 4, 0);  // transient refill indexed by the secret (if not cancelled)
+  const auto park = a.newLabel();
+  a.bind(park);
+  a.j(park);
+  tb.loadProgram(a.finish());
+
+  // Handler at 0x100: skip past the faulting instruction, return to user.
+  Assembler h;
+  h.csrrs(6, riscv::kCsrMepc, 0);
+  h.addi(6, 6, 8);  // skip lw x4 and the dependent lw
+  h.csrrw(0, riscv::kCsrMepc, 6);
+  h.mret();
+  tb.loadProgram(h.finish(), 0x100 / 4);
+  tb.setCsrMtvec(0x100);
+
+  tb.setDmemWord(kSecretWord, secret);
+  tb.preloadCacheLine(kSecretWord, secret);
+  tb.protectFromWord(192, 256);
+  tb.setMode(false);
+  tb.run(120);  // prime + transient + handler + return
+
+  // PROBE: timed reload of the primed entry (still cached = fast;
+  // evicted by the transient refill = refill latency).
+  const std::uint64_t before = tb.cycle();
+  riscv::Assembler p;
+  p.li(7, static_cast<std::int32_t>((kArrayWord + line) * 4));
+  p.lw(8, 7, 0);
+  const auto park2 = p.newLabel();
+  p.bind(park2);
+  p.j(park2);
+  // Re-point the pc at a fresh probe program placed at 0x80.
+  tb.loadProgram(p.finish(), 0x80 / 4);
+  tb.setPc(0x80);
+  tb.runUntilEvents(tb.commits().size() + 2, 100);
+  return static_cast<unsigned>(tb.cycle() - before);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Meltdown-style attack by prime+probe (paper Sec. VII-B) ===\n\n");
+  const std::uint32_t secret = 0x1B4;  // word 109 -> cache line 13
+  const unsigned secretLine = (secret >> 2) % kLines;
+  std::printf("secret value 0x%X indexes cache line %u\n\n", secret, secretLine);
+
+  for (const SocVariant variant : {SocVariant::kMeltdownStyle, SocVariant::kSecure}) {
+    std::printf("--- %s design ---\n", variantName(variant));
+    unsigned slowest = 0, slowestCycles = 0;
+    for (unsigned line = 0; line < kLines; ++line) {
+      if (line == kSecretWord % kLines) continue;  // the secret's own (public) line
+      const unsigned cycles = primeTransientProbe(variant, secret, line);
+      std::printf("  probe line %2u: %3u cycles%s\n", line, cycles,
+                  cycles > slowestCycles ? "  <-" : "");
+      if (cycles > slowestCycles) {
+        slowestCycles = cycles;
+        slowest = line;
+      }
+    }
+    if (variant == SocVariant::kMeltdownStyle) {
+      std::printf("slow probe = evicted line %u => secret cache line %s\n\n", slowest,
+                  slowest == secretLine ? "RECOVERED" : "(miss)");
+    } else {
+      std::printf("no line was evicted by the transient access: nothing leaks\n\n");
+    }
+  }
+  return 0;
+}

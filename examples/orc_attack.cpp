@@ -1,0 +1,119 @@
+// The Orc attack (paper Fig. 2 / Sec. III), end to end on the
+// cycle-accurate SoC model.
+//
+// A user process that cannot read the protected secret runs the six
+// instructions of Fig. 2 for every possible cache line. On the vulnerable
+// design, the one iteration whose store collides with the (transient)
+// secret-addressed load suffers a read-after-write hazard stall in the
+// core-to-cache interface, and the exception handler is reached a few
+// cycles later — a timing covert channel that reveals the secret's
+// cache-index bits. The architectural results are identical in every run.
+//
+// Build & run:  ./build/examples/orc_attack
+#include <cstdio>
+#include <string>
+
+#include "soc/attack.hpp"
+#include "soc/testbench.hpp"
+
+using namespace upec;
+using namespace upec::soc;
+
+namespace {
+
+constexpr std::uint32_t kSecretWord = 200;   // protected region [192, 256)
+constexpr unsigned kLines = 16;
+constexpr unsigned kProtectedLine = kSecretWord % kLines;
+
+SocConfig attackConfig(SocVariant v) {
+  SocConfig c;
+  c.machine.xlen = 32;
+  c.machine.nregs = 16;
+  c.machine.imemWords = 64;
+  c.machine.dmemWords = 256;
+  c.machine.pmpEntries = 2;
+  c.cacheLines = kLines;
+  c.pendingWriteCycles = 8;
+  c.refillCycles = 4;
+  c.variant = v;
+  return c;
+}
+
+// One Fig. 2 iteration; returns cycles until the PMP exception commits.
+unsigned probeOnce(SocVariant variant, std::uint32_t secret, unsigned testValue) {
+  AttackLayout layout;
+  layout.protectedByteAddr = kSecretWord * 4;
+  layout.accessibleByteAddr = 64 * 4;
+  SocTestbench tb(attackConfig(variant));
+  tb.loadProgram(orcAttackProgram(layout, testValue));
+  tb.loadProgram(spinHandler(), 60);
+  tb.setDmemWord(kSecretWord, secret);
+  tb.preloadCacheLine(kSecretWord, secret);  // the "D in cache" premise
+  tb.protectFromWord(192, 256);
+  tb.setCsrMtvec(60 * 4);
+  tb.setMode(false);
+  for (unsigned cycle = 0; cycle < 300; ++cycle) {
+    tb.step();
+    if (!tb.commits().empty() && tb.commits().back().trap) return cycle;
+  }
+  return 0;
+}
+
+unsigned attack(SocVariant variant, std::uint32_t secret, bool verbose) {
+  unsigned best = 0, bestCycles = 0;
+  for (unsigned guess = 0; guess < kLines; ++guess) {
+    if (guess == kProtectedLine) continue;  // publicly-known self-collision
+    const unsigned cycles = probeOnce(variant, secret, guess);
+    if (verbose) {
+      std::printf("  #test_value=%2u -> %3u cycles %s\n", guess, cycles,
+                  cycles > bestCycles && guess != 0 ? "" : "");
+    }
+    if (cycles > bestCycles) {
+      bestCycles = cycles;
+      best = guess;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== The Orc attack (paper Fig. 2) ===\n\n");
+  std::printf("victim secret lives at protected word %u; PMP denies all user access.\n",
+              kSecretWord);
+  std::printf("each iteration runs:\n");
+  std::printf("  li x1, #protected_addr ; li x2, #accessible_addr\n");
+  std::printf("  addi x2, x2, #test_value*4 ; sw x3, 0(x2)\n");
+  std::printf("  lw x4, 0(x1)   <- faults, but the cache answered first\n");
+  std::printf("  lw x5, 0(x4)   <- transient; may RAW-collide with the sw\n\n");
+
+  const std::uint32_t secret = 0x1B4;
+  const unsigned secretLine = (secret >> 2) % kLines;
+
+  std::printf("--- vulnerable design (cache response buffer bypassed) ---\n");
+  const unsigned recovered = attack(SocVariant::kOrc, secret, /*verbose=*/true);
+  std::printf("slowest iteration: #test_value=%u  => secret cache line = %u (actual %u) %s\n\n",
+              recovered, recovered, secretLine, recovered == secretLine ? "LEAKED" : "");
+
+  std::printf("--- secure design (original behaviour) ---\n");
+  unsigned base = 0;
+  bool uniform = true;
+  for (unsigned guess = 0; guess < kLines; ++guess) {
+    if (guess == kProtectedLine) continue;
+    const unsigned cycles = probeOnce(SocVariant::kSecure, secret, guess);
+    if (base == 0) base = cycles;
+    uniform &= (cycles == base);
+  }
+  std::printf("all iterations: %u cycles — %s\n\n", base,
+              uniform ? "uniform, nothing leaks" : "NOT uniform?!");
+
+  std::printf("--- sweep over several secrets (vulnerable design) ---\n");
+  for (const std::uint32_t s : {0x010u, 0x0FCu, 0x1B4u, 0x2A4u, 0x33Cu}) {
+    const unsigned got = attack(SocVariant::kOrc, s, /*verbose=*/false);
+    const unsigned want = (s >> 2) % kLines;
+    std::printf("  secret 0x%03X: recovered line %2u, actual %2u  %s\n", s, got, want,
+                got == want ? "ok" : "MISS");
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+// The designer's UPEC workflow (paper Fig. 5), narrated step by step.
+//
+// Usage:  ./build/examples/upec_methodology [secure|orc|meltdown|pmpbug]
+//
+// For the secure design and the Orc variant the full methodology loop is
+// narrated: check the UPEC property at growing windows, remove P-alert
+// registers from the proof obligation, stop on an L-alert (insecure) or
+// discharge the accumulated P-alerts with an inductive proof (secure).
+// For the deeper-window variants (meltdown, pmpbug) the example uses the
+// vulnerability-hunt strategy (first P-alert under the full commitment,
+// then an architectural-only search), as a designer would once the
+// compromise is obvious.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "upec/cex_report.hpp"
+#include "upec/upec.hpp"
+
+using namespace upec;
+
+namespace {
+
+int narratedMethodology(Miter& miter, const UpecOptions& options, unsigned maxWindow) {
+  UpecEngine engine(miter, options);
+  std::set<std::string> excluded;
+  std::size_t pAlertCount = 0;
+  for (unsigned k = 1; k <= maxWindow; ++k) {
+    std::printf("-- window k = %u --\n", k);
+    for (;;) {
+      const UpecResult res = engine.check(k, excluded);
+      if (res.verdict == Verdict::kProven) {
+        std::printf("   holds (no further counterexample at this window)\n");
+        break;
+      }
+      if (res.verdict == Verdict::kPAlert) {
+        ++pAlertCount;
+        std::printf("   P-alert: secret reached program-invisible state:");
+        for (const std::string& r : res.differingMicro) std::printf(" %s", r.c_str());
+        std::printf("\n   -> removing these from the commitment, re-checking\n");
+        for (const std::string& r : res.differingMicro) excluded.insert(r);
+        continue;
+      }
+      if (res.verdict == Verdict::kLAlert) {
+        std::printf("   L-ALERT: architectural state depends on the secret:");
+        for (const std::string& r : res.differingArch) std::printf(" %s", r.c_str());
+        std::printf("\n\nVERDICT: design is NOT secure (a covert channel exists).\n");
+        std::printf("(%zu P-alert(s) were the precursors of this leak.)\n\n", pAlertCount);
+        if (res.trace) {
+          const CexReport report = explainCounterexample(miter, *res.trace);
+          std::printf("%s", report.pretty().c_str());
+        }
+        return 1;
+      }
+      std::printf("   inconclusive (budget)\n");
+      break;
+    }
+  }
+
+  if (excluded.empty()) {
+    std::printf("\nVERDICT: design is secure — the secret never propagates at all.\n");
+    return 0;
+  }
+
+  std::printf("\nno L-alert within k <= %u; discharging %zu P-alert register(s) by\n",
+              maxWindow, excluded.size());
+  std::printf("induction with the designer-supplied blocking conditions...\n");
+  InductiveProver prover(miter, options);
+  const auto ind = prover.prove(excluded, miniRvBlockingConditions());
+  if (ind.holds) {
+    std::printf("induction holds: the propagation is confined forever.\n");
+    std::printf("\nVERDICT: design is secure w.r.t. covert channels.\n");
+    return 0;
+  }
+  std::printf("induction failed; the difference can escape to:");
+  for (const std::string& r : ind.escapedTo) std::printf(" %s", r.c_str());
+  std::printf("\nVERDICT: inconclusive — widen the window or refine the conditions.\n");
+  return 1;
+}
+
+int huntNarrative(Miter& miter, const UpecOptions& options, unsigned maxWindow) {
+  std::printf("using the vulnerability-hunt strategy (architectural-only search)...\n");
+  MethodologyDriver driver(miter, options);
+  const MethodologyReport report = driver.hunt(maxWindow);
+  if (report.firstPAlertWindow) {
+    std::printf("first P-alert at window %u:", *report.firstPAlertWindow);
+    for (const std::string& r : report.pAlertRegisters) std::printf(" %s", r.c_str());
+    std::printf("\n");
+  }
+  if (report.finalVerdict == Verdict::kLAlert) {
+    std::printf("L-ALERT at window %u:", *report.firstLAlertWindow);
+    for (const std::string& r : report.lAlertRegisters) std::printf(" %s", r.c_str());
+    std::printf("\n\nVERDICT: design is NOT secure (a covert channel exists).\n");
+    return 1;
+  }
+  std::printf("no L-alert within k <= %u (%s)\n", maxWindow, verdictName(report.finalVerdict));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  soc::SocVariant variant = soc::SocVariant::kOrc;
+  if (argc > 1) {
+    if (!std::strcmp(argv[1], "secure")) variant = soc::SocVariant::kSecure;
+    else if (!std::strcmp(argv[1], "orc")) variant = soc::SocVariant::kOrc;
+    else if (!std::strcmp(argv[1], "meltdown")) variant = soc::SocVariant::kMeltdownStyle;
+    else if (!std::strcmp(argv[1], "pmpbug")) variant = soc::SocVariant::kPmpLockBug;
+    else {
+      std::fprintf(stderr, "usage: %s [secure|orc|meltdown|pmpbug]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("=== UPEC methodology on the '%s' design ===\n\n", soc::variantName(variant));
+  Miter miter(soc::SocConfig::formalSmall(variant), /*secretWord=*/12);
+  std::printf("miter built: %zu paired registers, %zu dmem words, %zu cache lines\n\n",
+              miter.logicPairs().size(), miter.dmemPairs().size(),
+              miter.cacheDataPairs().size());
+
+  UpecOptions options;
+  options.scenario =
+      variant == soc::SocVariant::kPmpLockBug ? SecretScenario::kAny : SecretScenario::kInCache;
+
+  switch (variant) {
+    case soc::SocVariant::kSecure:
+      return narratedMethodology(miter, options, 2);
+    case soc::SocVariant::kOrc:
+      return narratedMethodology(miter, options, 3);
+    case soc::SocVariant::kMeltdownStyle:
+      return huntNarrative(miter, options, 10);
+    case soc::SocVariant::kPmpLockBug:
+      return huntNarrative(miter, options, 8);
+  }
+  return 2;
+}

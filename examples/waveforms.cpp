@@ -1,0 +1,76 @@
+// Dumps VCD waveforms of the Orc attack on both the vulnerable and the
+// secure design — open them side by side in GTKWave and watch the
+// RAW-hazard stall freeze one pipeline but not the other.
+//
+// Build & run:  ./build/examples/waveforms
+// Output:       orc_vulnerable.vcd, orc_secure.vcd
+#include <cstdio>
+#include <fstream>
+
+#include "sim/vcd.hpp"
+#include "soc/attack.hpp"
+#include "soc/testbench.hpp"
+
+using namespace upec;
+using namespace upec::soc;
+
+namespace {
+
+void dumpRun(SocVariant variant, const char* path) {
+  SocConfig c;
+  c.machine.xlen = 32;
+  c.machine.nregs = 16;
+  c.machine.imemWords = 64;
+  c.machine.dmemWords = 256;
+  c.machine.pmpEntries = 2;
+  c.cacheLines = 16;
+  c.pendingWriteCycles = 8;
+  c.refillCycles = 4;
+  c.variant = variant;
+
+  AttackLayout layout;
+  layout.protectedByteAddr = 200 * 4;
+  layout.accessibleByteAddr = 64 * 4;
+
+  SocTestbench tb(c);
+  tb.loadProgram(orcAttackProgram(layout, 13));  // the guess that collides
+  tb.loadProgram(spinHandler(), 60);
+  tb.setDmemWord(200, 0x1B4);
+  tb.preloadCacheLine(200, 0x1B4);
+  tb.protectFromWord(192, 256);
+  tb.setCsrMtvec(60 * 4);
+  tb.setMode(false);
+
+  sim::VcdWriter vcd(tb.simulator());
+  const SocInstance& inst = tb.instance();
+  vcd.addSignal(inst.pc, "pc");
+  vcd.addSignal(inst.stall, "stall");
+  vcd.addSignal(inst.flushWB, "flush_wb");
+  vcd.addSignal(inst.pmpFaultWire, "pmp_fault");
+  vcd.addSignal(inst.rawReqValid, "cache_req_valid");
+  vcd.addSignal(inst.rawReqWordAddr, "cache_req_addr");
+  vcd.addSignal(inst.pendingValid, "pending_store");
+  vcd.addSignal(inst.respBuf, "resp_buf");
+  vcd.addSignal(inst.mode, "machine_mode");
+  vcd.addSignal(inst.mcause, "mcause");
+
+  std::ofstream os(path);
+  vcd.writeHeader(os);
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    vcd.sample(os);
+    tb.step();
+  }
+  std::printf("wrote %s (%d cycles)\n", path, 40);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Dumping Orc-attack waveforms (guess == secret line)...\n");
+  dumpRun(SocVariant::kOrc, "orc_vulnerable.vcd");
+  dumpRun(SocVariant::kSecure, "orc_secure.vcd");
+  std::printf("\nCompare the 'stall' strobe around the pmp_fault in the two files:\n");
+  std::printf("the vulnerable design freezes for the pending-store countdown —\n");
+  std::printf("that difference IS the covert channel.\n");
+  return 0;
+}

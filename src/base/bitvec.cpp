@@ -1,0 +1,13 @@
+#include "base/bitvec.hpp"
+
+#include <cstdio>
+
+namespace upec {
+
+std::string BitVec::toString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%u'h%llx", width_, static_cast<unsigned long long>(value_));
+  return buf;
+}
+
+}  // namespace upec

@@ -1,0 +1,116 @@
+// Fixed-width two-valued bit-vector value type used across the RTL IR,
+// the cycle-accurate simulator and counterexample extraction.
+//
+// Widths from 1 to 64 bits are supported; every operation masks its result
+// to the declared width, giving the usual hardware modular semantics.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace upec {
+
+class BitVec {
+ public:
+  BitVec() : width_(1), value_(0) {}
+  BitVec(unsigned width, std::uint64_t value) : width_(width), value_(value & mask(width)) {
+    assert(width >= 1 && width <= 64);
+  }
+
+  static BitVec zeros(unsigned width) { return BitVec(width, 0); }
+  static BitVec ones(unsigned width) { return BitVec(width, ~0ull); }
+  static BitVec bit(bool b) { return BitVec(1, b ? 1 : 0); }
+
+  unsigned width() const { return width_; }
+  std::uint64_t uint() const { return value_; }
+  // Sign-extended interpretation of the stored value.
+  std::int64_t sint() const {
+    if (width_ == 64) return static_cast<std::int64_t>(value_);
+    const std::uint64_t sign = 1ull << (width_ - 1);
+    return static_cast<std::int64_t>((value_ ^ sign)) - static_cast<std::int64_t>(sign);
+  }
+  bool isZero() const { return value_ == 0; }
+  bool toBool() const { return value_ != 0; }
+  bool getBit(unsigned i) const {
+    assert(i < width_);
+    return (value_ >> i) & 1;
+  }
+
+  static std::uint64_t mask(unsigned width) {
+    return width >= 64 ? ~0ull : ((1ull << width) - 1);
+  }
+
+  // --- arithmetic / bitwise, all modular in `width()` -----------------
+  BitVec add(const BitVec& o) const { return sameW(o), BitVec(width_, value_ + o.value_); }
+  BitVec sub(const BitVec& o) const { return sameW(o), BitVec(width_, value_ - o.value_); }
+  BitVec mul(const BitVec& o) const { return sameW(o), BitVec(width_, value_ * o.value_); }
+  BitVec band(const BitVec& o) const { return sameW(o), BitVec(width_, value_ & o.value_); }
+  BitVec bor(const BitVec& o) const { return sameW(o), BitVec(width_, value_ | o.value_); }
+  BitVec bxor(const BitVec& o) const { return sameW(o), BitVec(width_, value_ ^ o.value_); }
+  BitVec bnot() const { return BitVec(width_, ~value_); }
+  BitVec neg() const { return BitVec(width_, ~value_ + 1); }
+
+  BitVec shl(const BitVec& o) const {
+    const std::uint64_t s = o.value_;
+    return BitVec(width_, s >= width_ ? 0 : value_ << s);
+  }
+  BitVec lshr(const BitVec& o) const {
+    const std::uint64_t s = o.value_;
+    return BitVec(width_, s >= width_ ? 0 : value_ >> s);
+  }
+  BitVec ashr(const BitVec& o) const {
+    const std::uint64_t s = o.value_;
+    const std::int64_t v = sint();
+    if (s >= width_) return BitVec(width_, v < 0 ? ~0ull : 0);
+    return BitVec(width_, static_cast<std::uint64_t>(v >> s));
+  }
+
+  // --- comparisons, 1-bit results -------------------------------------
+  BitVec eq(const BitVec& o) const { return sameW(o), bit(value_ == o.value_); }
+  BitVec ne(const BitVec& o) const { return sameW(o), bit(value_ != o.value_); }
+  BitVec ult(const BitVec& o) const { return sameW(o), bit(value_ < o.value_); }
+  BitVec ule(const BitVec& o) const { return sameW(o), bit(value_ <= o.value_); }
+  BitVec slt(const BitVec& o) const { return sameW(o), bit(sint() < o.sint()); }
+  BitVec sle(const BitVec& o) const { return sameW(o), bit(sint() <= o.sint()); }
+
+  // --- reductions ------------------------------------------------------
+  BitVec redOr() const { return bit(value_ != 0); }
+  BitVec redAnd() const { return bit(value_ == mask(width_)); }
+  BitVec redXor() const { return bit(__builtin_parityll(value_)); }
+
+  // --- structure -------------------------------------------------------
+  // Bits [hi:lo], inclusive, little-endian bit order.
+  BitVec extract(unsigned hi, unsigned lo) const {
+    assert(hi < width_ && lo <= hi);
+    return BitVec(hi - lo + 1, value_ >> lo);
+  }
+  // {hi, lo}: `this` occupies the upper bits of the result.
+  BitVec concat(const BitVec& lowPart) const {
+    assert(width_ + lowPart.width_ <= 64);
+    return BitVec(width_ + lowPart.width_, (value_ << lowPart.width_) | lowPart.value_);
+  }
+  BitVec zext(unsigned newWidth) const {
+    assert(newWidth >= width_);
+    return BitVec(newWidth, value_);
+  }
+  BitVec sext(unsigned newWidth) const {
+    assert(newWidth >= width_);
+    return BitVec(newWidth, static_cast<std::uint64_t>(sint()));
+  }
+
+  bool operator==(const BitVec& o) const { return width_ == o.width_ && value_ == o.value_; }
+  bool operator!=(const BitVec& o) const { return !(*this == o); }
+
+  std::string toString() const;  // e.g. "8'h3f"
+
+ private:
+  void sameW(const BitVec& o) const {
+    assert(width_ == o.width_);
+    (void)o;
+  }
+  unsigned width_;
+  std::uint64_t value_;
+};
+
+}  // namespace upec

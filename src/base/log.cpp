@@ -1,0 +1,19 @@
+#include "base/log.hpp"
+
+namespace upec {
+namespace {
+LogLevel g_level = LogLevel::kSilent;
+}
+
+LogLevel logLevel() { return g_level; }
+void setLogLevel(LogLevel level) { g_level = level; }
+
+void logInfo(const std::string& msg) {
+  if (g_level >= LogLevel::kInfo) std::fprintf(stderr, "[upec] %s\n", msg.c_str());
+}
+
+void logDebug(const std::string& msg) {
+  if (g_level >= LogLevel::kDebug) std::fprintf(stderr, "[upec:debug] %s\n", msg.c_str());
+}
+
+}  // namespace upec

@@ -1,0 +1,19 @@
+// Minimal leveled logger. Verbosity is a process-global knob so that the
+// methodology driver and benches can narrate progress without threading a
+// logger object through every API.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace upec {
+
+enum class LogLevel { kSilent = 0, kInfo = 1, kDebug = 2 };
+
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+void logInfo(const std::string& msg);
+void logDebug(const std::string& msg);
+
+}  // namespace upec

@@ -1,0 +1,22 @@
+// Wall-clock stopwatch used to report proof runtimes in the benches.
+#pragma once
+
+#include <chrono>
+
+namespace upec {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsedMs() const { return elapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace upec

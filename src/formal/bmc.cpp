@@ -1,0 +1,137 @@
+#include "formal/bmc.hpp"
+
+#include <cassert>
+
+#include "base/stopwatch.hpp"
+#include "formal/cnf_builder.hpp"
+#include "formal/unroller.hpp"
+#include "sat/solver.hpp"
+#include "sim/simulator.hpp"
+
+namespace upec::formal {
+
+using sat::LBool;
+using sat::Lit;
+
+CheckResult BmcEngine::check(const IntervalProperty& property) {
+  CheckResult result;
+  Stopwatch encodeTimer;
+
+  sat::Solver solver;
+  if (conflictBudget_ != 0) solver.setConflictBudget(conflictBudget_);
+  CnfBuilder cnf(solver);
+  Unroller unroller(design_, cnf);
+  for (const auto& [master, follower] : aliases_) {
+    unroller.aliasInitialState(master, follower);
+  }
+
+  const unsigned k = property.maxCycle();
+  unroller.unrollTo(k);
+
+  // Assumptions become hard constraints of this (single-shot) query.
+  for (const TimedSig& a : property.assumptions) {
+    assert(a.sig.width() == 1);
+    cnf.assertLit(unroller.lit(a.sig, a.cycle));
+  }
+  for (rtl::Sig inv : property.invariantAssumptions) {
+    assert(inv.width() == 1);
+    for (unsigned t = 0; t <= k; ++t) cnf.assertLit(unroller.lit(inv, t));
+  }
+
+  // Violation literal: OR over negated commitments.
+  LitVec violations;
+  violations.reserve(property.commitments.size());
+  for (const TimedSig& c : property.commitments) {
+    assert(c.sig.width() == 1);
+    violations.push_back(~unroller.lit(c.sig, c.cycle));
+  }
+  if (violations.empty()) {
+    result.status = CheckStatus::kProven;
+    return result;
+  }
+  cnf.assertLit(cnf.bigOr(violations));
+
+  result.stats.encodeMs = encodeTimer.elapsedMs();
+  result.stats.vars = static_cast<std::uint64_t>(solver.numVars());
+  result.stats.clauses = solver.numClauses();
+
+  Stopwatch solveTimer;
+  const LBool sat = solver.solve();
+  result.stats.solveMs = solveTimer.elapsedMs();
+  result.stats.conflicts = solver.stats().conflicts;
+
+  if (sat == LBool::kFalse) {
+    result.status = CheckStatus::kProven;
+    return result;
+  }
+  if (sat == LBool::kUndef) {
+    result.status = CheckStatus::kUnknown;
+    return result;
+  }
+
+  // SAT: extract the witness.
+  result.status = CheckStatus::kCounterexample;
+  Trace trace;
+  trace.cycles = k + 1;
+  trace.initialRegs.resize(design_.regs().size());
+  for (std::uint32_t r = 0; r < design_.regs().size(); ++r) {
+    const LitVec& lits = unroller.regLits(r, 0);
+    std::uint64_t v = 0;
+    for (std::size_t b = 0; b < lits.size(); ++b) {
+      if (solver.modelValue(lits[b])) v |= 1ull << b;
+    }
+    trace.initialRegs[r] = BitVec(static_cast<unsigned>(lits.size()), v);
+  }
+  trace.inputs.resize(k + 1);
+  for (unsigned t = 0; t <= k; ++t) {
+    trace.inputs[t].resize(design_.inputs().size());
+    for (std::size_t i = 0; i < design_.inputs().size(); ++i) {
+      const LitVec& lits = unroller.lits(design_.inputs()[i], t);
+      std::uint64_t v = 0;
+      for (std::size_t b = 0; b < lits.size(); ++b) {
+        if (solver.modelValue(lits[b])) v |= 1ull << b;
+      }
+      trace.inputs[t][i] = BitVec(static_cast<unsigned>(lits.size()), v);
+    }
+  }
+  for (std::size_t ci = 0; ci < property.commitments.size(); ++ci) {
+    if (solver.modelValue(violations[ci])) trace.failedCommitments.push_back(ci);
+  }
+  result.trace = std::move(trace);
+  return result;
+}
+
+TraceEval::TraceEval(const rtl::Design& design, const Trace& trace) : design_(design) {
+  sim::Simulator sim(design);
+  for (std::uint32_t r = 0; r < trace.initialRegs.size(); ++r) {
+    sim.setReg(r, trace.initialRegs[r]);
+  }
+  values_.resize(trace.cycles);
+  regStates_.resize(trace.cycles);
+  for (unsigned t = 0; t < trace.cycles; ++t) {
+    for (std::size_t i = 0; i < design.inputs().size(); ++i) {
+      sim.poke(rtl::Sig(const_cast<rtl::Design*>(&design), design.inputs()[i]),
+               trace.inputs[t][i]);
+    }
+    sim.evalComb();
+    regStates_[t].resize(design.regs().size());
+    for (std::uint32_t r = 0; r < design.regs().size(); ++r) {
+      regStates_[t][r] = sim.regValue(r);
+    }
+    values_[t].resize(design.numNodes());
+    for (rtl::NodeId n = 0; n < design.numNodes(); ++n) values_[t][n] = sim.peek(n);
+    sim.step();
+  }
+}
+
+BitVec TraceEval::value(rtl::NodeId node, unsigned cycle) const {
+  assert(cycle < values_.size());
+  return values_[cycle][node];
+}
+
+BitVec TraceEval::regValue(std::uint32_t regIdx, unsigned cycle) const {
+  assert(cycle < regStates_.size());
+  return regStates_[cycle][regIdx];
+}
+
+}  // namespace upec::formal

@@ -1,0 +1,85 @@
+// Bounded model checking / Interval Property Checking over the RTL IR.
+//
+// check() encodes the design over the property's time window starting from
+// a symbolic (any) initial state, asserts all assumptions, and asks the SAT
+// solver for a violation of any commitment. UNSAT is a proof (for this
+// window, from any state satisfying the assumptions); SAT yields a Trace
+// with the offending start state and input stimulus, which can be
+// re-simulated for diagnosis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/bitvec.hpp"
+#include "formal/property.hpp"
+#include "rtl/ir.hpp"
+
+namespace upec::formal {
+
+// A concrete counterexample: initial register state + per-cycle input
+// values. Every node value is recoverable by re-simulation (TraceEval).
+struct Trace {
+  std::vector<BitVec> initialRegs;              // per register index
+  std::vector<std::vector<BitVec>> inputs;      // inputs[cycle][inputIdx]
+  unsigned cycles = 0;                          // number of frames captured
+  std::vector<std::size_t> failedCommitments;   // indices into commitments
+};
+
+struct BmcStats {
+  std::uint64_t vars = 0;
+  std::uint64_t clauses = 0;
+  std::uint64_t conflicts = 0;
+  double solveMs = 0.0;
+  double encodeMs = 0.0;
+};
+
+enum class CheckStatus { kProven, kCounterexample, kUnknown };
+
+struct CheckResult {
+  CheckStatus status = CheckStatus::kUnknown;
+  std::optional<Trace> trace;  // present iff kCounterexample
+  BmcStats stats;
+  bool holds() const { return status == CheckStatus::kProven; }
+};
+
+class BmcEngine {
+ public:
+  // The design must have memories lowered and all registers connected.
+  explicit BmcEngine(const rtl::Design& design) : design_(design) {}
+
+  // Aborts with kUnknown after this many SAT conflicts (0 = unlimited).
+  void setConflictBudget(std::uint64_t budget) { conflictBudget_ = budget; }
+
+  // Registers whose frame-0 variables are shared (structural equality of
+  // the symbolic initial state); see Unroller::aliasInitialState.
+  void addInitialStateAlias(rtl::Sig masterRegQ, rtl::Sig followerRegQ) {
+    aliases_.emplace_back(masterRegQ.id(), followerRegQ.id());
+  }
+
+  CheckResult check(const IntervalProperty& property);
+
+ private:
+  const rtl::Design& design_;
+  std::uint64_t conflictBudget_ = 0;
+  std::vector<std::pair<rtl::NodeId, rtl::NodeId>> aliases_;
+};
+
+// Replays a Trace on the simulator, exposing every node value per cycle.
+class TraceEval {
+ public:
+  TraceEval(const rtl::Design& design, const Trace& trace);
+  BitVec value(rtl::Sig s, unsigned cycle) const { return value(s.id(), cycle); }
+  BitVec value(rtl::NodeId node, unsigned cycle) const;
+  BitVec regValue(std::uint32_t regIdx, unsigned cycle) const;
+
+ private:
+  const rtl::Design& design_;
+  // values_[cycle][node]
+  std::vector<std::vector<BitVec>> values_;
+  std::vector<std::vector<BitVec>> regStates_;  // regStates_[cycle][regIdx]
+};
+
+}  // namespace upec::formal

@@ -1,0 +1,299 @@
+#include "formal/cnf_builder.hpp"
+
+#include <cassert>
+
+namespace upec::formal {
+
+using sat::Lit;
+
+Lit CnfBuilder::freshLit() { return Lit(solver_.newVar(), false); }
+
+LitVec CnfBuilder::freshVec(unsigned width) {
+  LitVec v(width);
+  for (auto& l : v) l = freshLit();
+  return v;
+}
+
+Lit CnfBuilder::trueLit() {
+  if (!hasConst_) {
+    trueLit_ = freshLit();
+    solver_.addUnit(trueLit_);
+    hasConst_ = true;
+  }
+  return trueLit_;
+}
+
+LitVec CnfBuilder::constVec(unsigned width, std::uint64_t value) {
+  LitVec v(width);
+  for (unsigned i = 0; i < width; ++i) v[i] = constLit((value >> i) & 1);
+  return v;
+}
+
+bool CnfBuilder::lookupGate(const GateKey& key, Lit* out) const {
+  const auto it = gateCache_.find(key);
+  if (it == gateCache_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void CnfBuilder::storeGate(const GateKey& key, Lit out) { gateCache_.emplace(key, out); }
+
+Lit CnfBuilder::andLit(Lit a, Lit b) {
+  if (isFalse(a) || isFalse(b)) return falseLit();
+  if (isTrue(a)) return b;
+  if (isTrue(b)) return a;
+  if (a == b) return a;
+  if (a == ~b) return falseLit();
+  if (a.code() > b.code()) std::swap(a, b);
+  const GateKey key{GateKind::kAnd, a.code(), b.code(), -1};
+  Lit y;
+  if (lookupGate(key, &y)) return y;
+  y = freshLit();
+  solver_.addClause({~y, a});
+  solver_.addClause({~y, b});
+  solver_.addClause({y, ~a, ~b});
+  storeGate(key, y);
+  return y;
+}
+
+Lit CnfBuilder::orLit(Lit a, Lit b) { return ~andLit(~a, ~b); }
+
+Lit CnfBuilder::xorLit(Lit a, Lit b) {
+  if (isFalse(a)) return b;
+  if (isFalse(b)) return a;
+  if (isTrue(a)) return ~b;
+  if (isTrue(b)) return ~a;
+  if (a == b) return falseLit();
+  if (a == ~b) return trueLit();
+  // Canonicalise: smaller code first, both positive (xor absorbs signs).
+  const bool negate = a.sign() ^ b.sign();
+  a = a.sign() ? ~a : a;
+  b = b.sign() ? ~b : b;
+  if (a.code() > b.code()) std::swap(a, b);
+  const GateKey key{GateKind::kXor, a.code(), b.code(), -1};
+  Lit y;
+  if (lookupGate(key, &y)) return negate ? ~y : y;
+  y = freshLit();
+  solver_.addClause({~y, a, b});
+  solver_.addClause({~y, ~a, ~b});
+  solver_.addClause({y, ~a, b});
+  solver_.addClause({y, a, ~b});
+  storeGate(key, y);
+  return negate ? ~y : y;
+}
+
+Lit CnfBuilder::muxLit(Lit sel, Lit thenL, Lit elseL) {
+  if (isTrue(sel)) return thenL;
+  if (isFalse(sel)) return elseL;
+  if (thenL == elseL) return thenL;
+  if (isTrue(thenL) && isFalse(elseL)) return sel;
+  if (isFalse(thenL) && isTrue(elseL)) return ~sel;
+  if (thenL == ~elseL) return xorLit(sel, elseL);  // sel ? ~e : e  ==  sel ^ e
+  if (sel.sign()) {  // canonicalise on a positive select
+    std::swap(thenL, elseL);
+    sel = ~sel;
+  }
+  const GateKey key{GateKind::kMux, sel.code(), thenL.code(), elseL.code()};
+  Lit y;
+  if (lookupGate(key, &y)) return y;
+  y = freshLit();
+  solver_.addClause({~sel, ~thenL, y});
+  solver_.addClause({~sel, thenL, ~y});
+  solver_.addClause({sel, ~elseL, y});
+  solver_.addClause({sel, elseL, ~y});
+  // Redundant but propagation-strengthening clauses:
+  solver_.addClause({~thenL, ~elseL, y});
+  solver_.addClause({thenL, elseL, ~y});
+  storeGate(key, y);
+  return y;
+}
+
+Lit CnfBuilder::majLit(Lit a, Lit b, Lit c) {
+  if (isFalse(a)) return andLit(b, c);
+  if (isTrue(a)) return orLit(b, c);
+  if (isFalse(b)) return andLit(a, c);
+  if (isTrue(b)) return orLit(a, c);
+  if (isFalse(c)) return andLit(a, b);
+  if (isTrue(c)) return orLit(a, b);
+  if (a == b || a == c) return a;
+  if (b == c) return b;
+  if (a == ~b) return c;
+  if (a == ~c) return b;
+  if (b == ~c) return a;
+  // Canonicalise operand order (maj is fully symmetric).
+  if (a.code() > b.code()) std::swap(a, b);
+  if (b.code() > c.code()) std::swap(b, c);
+  if (a.code() > b.code()) std::swap(a, b);
+  const GateKey key{GateKind::kMaj, a.code(), b.code(), c.code()};
+  Lit y;
+  if (lookupGate(key, &y)) return y;
+  y = freshLit();
+  solver_.addClause({~a, ~b, y});
+  solver_.addClause({~a, ~c, y});
+  solver_.addClause({~b, ~c, y});
+  solver_.addClause({a, b, ~y});
+  solver_.addClause({a, c, ~y});
+  solver_.addClause({b, c, ~y});
+  storeGate(key, y);
+  return y;
+}
+
+Lit CnfBuilder::xor3Lit(Lit a, Lit b, Lit c) { return xorLit(xorLit(a, b), c); }
+
+Lit CnfBuilder::bigAnd(std::span<const Lit> lits) {
+  LitVec essential;
+  for (Lit l : lits) {
+    if (isFalse(l)) return falseLit();
+    if (!isTrue(l)) essential.push_back(l);
+  }
+  if (essential.empty()) return trueLit();
+  if (essential.size() == 1) return essential[0];
+  const Lit y = freshLit();
+  LitVec longClause;
+  longClause.push_back(y);
+  for (Lit l : essential) {
+    solver_.addClause({~y, l});
+    longClause.push_back(~l);
+  }
+  solver_.addClause(std::span<const Lit>(longClause));
+  return y;
+}
+
+Lit CnfBuilder::bigOr(std::span<const Lit> lits) {
+  LitVec inverted(lits.begin(), lits.end());
+  for (auto& l : inverted) l = ~l;
+  return ~bigAnd(inverted);
+}
+
+LitVec CnfBuilder::notVec(const LitVec& a) {
+  LitVec y(a);
+  for (auto& l : y) l = ~l;
+  return y;
+}
+
+LitVec CnfBuilder::andVec(const LitVec& a, const LitVec& b) {
+  assert(a.size() == b.size());
+  LitVec y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = andLit(a[i], b[i]);
+  return y;
+}
+
+LitVec CnfBuilder::orVec(const LitVec& a, const LitVec& b) {
+  assert(a.size() == b.size());
+  LitVec y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = orLit(a[i], b[i]);
+  return y;
+}
+
+LitVec CnfBuilder::xorVec(const LitVec& a, const LitVec& b) {
+  assert(a.size() == b.size());
+  LitVec y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = xorLit(a[i], b[i]);
+  return y;
+}
+
+LitVec CnfBuilder::muxVec(Lit sel, const LitVec& thenV, const LitVec& elseV) {
+  assert(thenV.size() == elseV.size());
+  LitVec y(thenV.size());
+  for (std::size_t i = 0; i < thenV.size(); ++i) y[i] = muxLit(sel, thenV[i], elseV[i]);
+  return y;
+}
+
+LitVec CnfBuilder::addVec(const LitVec& a, const LitVec& b, Lit carryIn, Lit* carryOut) {
+  assert(a.size() == b.size());
+  LitVec sum(a.size());
+  Lit carry = carryIn;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum[i] = xor3Lit(a[i], b[i], carry);
+    carry = majLit(a[i], b[i], carry);
+  }
+  if (carryOut) *carryOut = carry;
+  return sum;
+}
+
+LitVec CnfBuilder::subVec(const LitVec& a, const LitVec& b, Lit* borrowClearOut) {
+  // a - b = a + ~b + 1; the final carry is 1 iff no borrow, i.e. a >= b.
+  return addVec(a, notVec(b), trueLit(), borrowClearOut);
+}
+
+LitVec CnfBuilder::negVec(const LitVec& a) {
+  return addVec(notVec(a), constVec(static_cast<unsigned>(a.size()), 0), trueLit());
+}
+
+LitVec CnfBuilder::mulVec(const LitVec& a, const LitVec& b) {
+  assert(a.size() == b.size());
+  const unsigned w = static_cast<unsigned>(a.size());
+  LitVec acc = constVec(w, 0);
+  for (unsigned i = 0; i < w; ++i) {
+    // Partial product: (a << i) masked by b[i].
+    LitVec partial(w, falseLit());
+    for (unsigned j = i; j < w; ++j) partial[j] = andLit(a[j - i], b[i]);
+    acc = addVec(acc, partial, falseLit());
+  }
+  return acc;
+}
+
+LitVec CnfBuilder::shiftVec(const LitVec& a, const LitVec& amount, ShiftKind kind) {
+  const unsigned w = static_cast<unsigned>(a.size());
+  const Lit fill = (kind == ShiftKind::kAshr) ? a[w - 1] : falseLit();
+
+  // Barrel shifter over the low log2(w) amount bits...
+  unsigned stages = 0;
+  while ((1u << stages) < w) ++stages;
+  LitVec cur = a;
+  for (unsigned s = 0; s < stages && s < amount.size(); ++s) {
+    const unsigned dist = 1u << s;
+    LitVec shifted(w);
+    for (unsigned i = 0; i < w; ++i) {
+      if (kind == ShiftKind::kShl) {
+        shifted[i] = (i >= dist) ? cur[i - dist] : falseLit();
+      } else {
+        shifted[i] = (i + dist < w) ? cur[i + dist] : fill;
+      }
+    }
+    cur = muxVec(amount[s], shifted, cur);
+  }
+  // ...then saturate if any higher amount bit is set (shift >= width).
+  LitVec highBits;
+  for (std::size_t s = stages; s < amount.size(); ++s) highBits.push_back(amount[s]);
+  // Amounts in [w, 2^stages) with no high bit set also overshoot when w is
+  // not a power of two; the barrel stages above already produce the fill
+  // value for them, so only the high bits need the explicit saturate.
+  if (!highBits.empty()) {
+    const Lit overflow = bigOr(highBits);
+    LitVec fillVec(w, fill);
+    cur = muxVec(overflow, fillVec, cur);
+  }
+  return cur;
+}
+
+Lit CnfBuilder::eqVec(const LitVec& a, const LitVec& b) {
+  assert(a.size() == b.size());
+  LitVec bits(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) bits[i] = xnorLit(a[i], b[i]);
+  return bigAnd(bits);
+}
+
+Lit CnfBuilder::ultVec(const LitVec& a, const LitVec& b) {
+  Lit noBorrow;
+  subVec(a, b, &noBorrow);
+  return ~noBorrow;  // borrow happened <=> a < b
+}
+
+Lit CnfBuilder::uleVec(const LitVec& a, const LitVec& b) { return ~ultVec(b, a); }
+
+Lit CnfBuilder::sltVec(const LitVec& a, const LitVec& b) {
+  const unsigned w = static_cast<unsigned>(a.size());
+  const Lit signDiff = xorLit(a[w - 1], b[w - 1]);
+  return muxLit(signDiff, a[w - 1], ultVec(a, b));
+}
+
+Lit CnfBuilder::sleVec(const LitVec& a, const LitVec& b) { return ~sltVec(b, a); }
+
+Lit CnfBuilder::redXor(const LitVec& a) {
+  Lit acc = falseLit();
+  for (Lit l : a) acc = xorLit(acc, l);
+  return acc;
+}
+
+}  // namespace upec::formal

@@ -1,0 +1,103 @@
+// Tseitin encoding helpers: builds CNF for word-level operations on
+// literal vectors. Constant folding is performed against the dedicated
+// true/false literals so that e.g. masks and mux selects known at encode
+// time do not blow up the clause database.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace upec::formal {
+
+using LitVec = std::vector<sat::Lit>;
+
+// Tseitin encoder with gate-level structural hashing: re-encoding the same
+// operation over the same literals returns the existing output literal
+// instead of fresh clauses. Combined with shared frame-0 variables in
+// miter-shaped problems, the logic of the two design instances collapses
+// wherever it cannot diverge, and equality obligations outside the
+// difference cone fold to constant true.
+class CnfBuilder {
+ public:
+  explicit CnfBuilder(sat::Solver& solver) : solver_(solver) {}
+
+  sat::Solver& solver() { return solver_; }
+
+  sat::Lit freshLit();
+  LitVec freshVec(unsigned width);
+
+  // Constant literals (a single variable forced true, shared).
+  sat::Lit trueLit();
+  sat::Lit falseLit() { return ~trueLit(); }
+  sat::Lit constLit(bool b) { return b ? trueLit() : falseLit(); }
+  LitVec constVec(unsigned width, std::uint64_t value);
+
+  bool isTrue(sat::Lit l) { return hasConst_ && l == trueLit_; }
+  bool isFalse(sat::Lit l) { return hasConst_ && l == ~trueLit_; }
+
+  // --- single-bit gates -------------------------------------------------
+  sat::Lit andLit(sat::Lit a, sat::Lit b);
+  sat::Lit orLit(sat::Lit a, sat::Lit b);
+  sat::Lit xorLit(sat::Lit a, sat::Lit b);
+  sat::Lit xnorLit(sat::Lit a, sat::Lit b) { return ~xorLit(a, b); }
+  sat::Lit muxLit(sat::Lit sel, sat::Lit thenL, sat::Lit elseL);
+  sat::Lit majLit(sat::Lit a, sat::Lit b, sat::Lit c);   // carry of full adder
+  sat::Lit xor3Lit(sat::Lit a, sat::Lit b, sat::Lit c);  // sum of full adder
+  sat::Lit bigAnd(std::span<const sat::Lit> lits);
+  sat::Lit bigOr(std::span<const sat::Lit> lits);
+
+  // --- word-level operations --------------------------------------------
+  LitVec notVec(const LitVec& a);
+  LitVec andVec(const LitVec& a, const LitVec& b);
+  LitVec orVec(const LitVec& a, const LitVec& b);
+  LitVec xorVec(const LitVec& a, const LitVec& b);
+  LitVec muxVec(sat::Lit sel, const LitVec& thenV, const LitVec& elseV);
+  // Adder; if carryOut is non-null, receives the final carry.
+  LitVec addVec(const LitVec& a, const LitVec& b, sat::Lit carryIn, sat::Lit* carryOut = nullptr);
+  LitVec subVec(const LitVec& a, const LitVec& b, sat::Lit* borrowClearOut = nullptr);
+  LitVec negVec(const LitVec& a);
+  LitVec mulVec(const LitVec& a, const LitVec& b);
+  enum class ShiftKind { kShl, kLshr, kAshr };
+  LitVec shiftVec(const LitVec& a, const LitVec& amount, ShiftKind kind);
+  sat::Lit eqVec(const LitVec& a, const LitVec& b);
+  sat::Lit ultVec(const LitVec& a, const LitVec& b);
+  sat::Lit uleVec(const LitVec& a, const LitVec& b);
+  sat::Lit sltVec(const LitVec& a, const LitVec& b);
+  sat::Lit sleVec(const LitVec& a, const LitVec& b);
+  sat::Lit redOr(const LitVec& a) { return bigOr(a); }
+  sat::Lit redAnd(const LitVec& a) { return bigAnd(a); }
+  sat::Lit redXor(const LitVec& a);
+
+  void assertLit(sat::Lit l) { solver_.addUnit(l); }
+
+ private:
+  enum class GateKind : std::uint8_t { kAnd, kXor, kMux, kMaj };
+  struct GateKey {
+    GateKind kind;
+    int a, b, c;  // literal codes; -1 when unused
+    bool operator==(const GateKey& o) const {
+      return kind == o.kind && a == o.a && b == o.b && c == o.c;
+    }
+  };
+  struct GateKeyHash {
+    std::size_t operator()(const GateKey& k) const {
+      std::uint64_t h = static_cast<std::uint64_t>(k.kind);
+      h = h * 1099511628211ull + static_cast<std::uint64_t>(k.a + 2);
+      h = h * 1099511628211ull + static_cast<std::uint64_t>(k.b + 2);
+      h = h * 1099511628211ull + static_cast<std::uint64_t>(k.c + 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  bool lookupGate(const GateKey& key, sat::Lit* out) const;
+  void storeGate(const GateKey& key, sat::Lit out);
+
+  sat::Solver& solver_;
+  sat::Lit trueLit_;
+  bool hasConst_ = false;
+  std::unordered_map<GateKey, sat::Lit, GateKeyHash> gateCache_;
+};
+
+}  // namespace upec::formal

@@ -1,0 +1,56 @@
+#include "formal/kinduction.hpp"
+
+namespace upec::formal {
+
+KInductionResult KInduction::prove(rtl::Sig invariant, rtl::Sig init, unsigned maxK) {
+  KInductionResult result;
+
+  for (unsigned k = 1; k <= maxK; ++k) {
+    // Base: from the init region, the invariant holds for cycles 0..k-1.
+    {
+      IntervalProperty base;
+      base.name = "kind_base_" + std::to_string(k);
+      base.assumeAt(0, init, "init");
+      for (unsigned t = 0; t < k; ++t) base.proveAt(t, invariant, "invariant");
+      BmcEngine engine(design_);
+      if (conflictBudget_ != 0) engine.setConflictBudget(conflictBudget_);
+      const CheckResult res = engine.check(base);
+      result.lastStats = res.stats;
+      if (res.status == CheckStatus::kCounterexample) {
+        result.baseFailed = true;
+        result.cex = *res.trace;
+        return result;
+      }
+      if (res.status == CheckStatus::kUnknown) {
+        result.exhausted = true;
+        return result;
+      }
+    }
+    // Step: k consecutive cycles of the invariant (from ANY state) imply
+    // cycle k.
+    {
+      IntervalProperty step;
+      step.name = "kind_step_" + std::to_string(k);
+      for (unsigned t = 0; t < k; ++t) step.assumeAt(t, invariant, "invariant hypothesis");
+      step.proveAt(k, invariant, "invariant");
+      BmcEngine engine(design_);
+      if (conflictBudget_ != 0) engine.setConflictBudget(conflictBudget_);
+      const CheckResult res = engine.check(step);
+      result.lastStats = res.stats;
+      if (res.status == CheckStatus::kProven) {
+        result.proven = true;
+        result.provenAtK = k;
+        return result;
+      }
+      if (res.status == CheckStatus::kUnknown) {
+        result.exhausted = true;
+        return result;
+      }
+      // Step failed: deepen the hypothesis window.
+    }
+  }
+  result.exhausted = true;
+  return result;
+}
+
+}  // namespace upec::formal

@@ -1,0 +1,45 @@
+// k-induction over the RTL IR: proves single-cycle safety properties
+// P(state) that plain 1-induction cannot close, by strengthening the
+// induction hypothesis over k consecutive cycles:
+//
+//   step_k:  P@t ∧ P@t+1 ∧ ... ∧ P@t+k-1  ⊢  P@t+k   (from ANY state)
+//
+// Because the initial state is symbolic (IPC-style), an UNSAT step proof
+// at depth k plus a bounded check of the first k cycles from the
+// constrained initial region yields an unbounded proof. This generalises
+// the 1-step induction used by the UPEC methodology (Sec. VI) and is
+// exposed as a reusable engine for arbitrary designs.
+#pragma once
+
+#include <cstdint>
+
+#include "formal/bmc.hpp"
+
+namespace upec::formal {
+
+struct KInductionResult {
+  bool proven = false;
+  unsigned provenAtK = 0;      // depth at which the step succeeded
+  bool baseFailed = false;     // a real counterexample within the base window
+  bool exhausted = false;      // maxK reached without closing the induction
+  Trace cex;                   // valid when baseFailed
+  BmcStats lastStats;
+};
+
+class KInduction {
+ public:
+  explicit KInduction(const rtl::Design& design) : design_(design) {}
+
+  void setConflictBudget(std::uint64_t budget) { conflictBudget_ = budget; }
+
+  // `invariant`: 1-bit signal that must hold in every cycle.
+  // `init`: 1-bit signal characterising the initial-state region (may be
+  // an always-true constant for any-state proofs).
+  KInductionResult prove(rtl::Sig invariant, rtl::Sig init, unsigned maxK);
+
+ private:
+  const rtl::Design& design_;
+  std::uint64_t conflictBudget_ = 0;
+};
+
+}  // namespace upec::formal

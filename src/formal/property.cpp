@@ -1,0 +1,34 @@
+#include "formal/property.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace upec::formal {
+
+unsigned IntervalProperty::maxCycle() const {
+  unsigned m = 0;
+  for (const TimedSig& a : assumptions) m = std::max(m, a.cycle);
+  for (const TimedSig& c : commitments) m = std::max(m, c.cycle);
+  return m;
+}
+
+std::string IntervalProperty::pretty() const {
+  std::ostringstream os;
+  const unsigned k = maxCycle();
+  os << "property " << name << ":\n";
+  os << "assume:\n";
+  for (const TimedSig& a : assumptions) {
+    os << "  at t+" << a.cycle << ": " << (a.label.empty() ? "<expr>" : a.label) << ";\n";
+  }
+  for (std::size_t i = 0; i < invariantAssumptions.size(); ++i) {
+    os << "  during t..t+" << k << ": "
+       << (invariantLabels[i].empty() ? "<expr>" : invariantLabels[i]) << ";\n";
+  }
+  os << "prove:\n";
+  for (const TimedSig& c : commitments) {
+    os << "  at t+" << c.cycle << ": " << (c.label.empty() ? "<expr>" : c.label) << ";\n";
+  }
+  return os.str();
+}
+
+}  // namespace upec::formal

@@ -1,0 +1,47 @@
+// Interval properties (paper Fig. 4): a conjunction of 1-bit assumptions,
+// each anchored at a time offset (or over the whole window), and a set of
+// timed 1-bit commitments to prove. This mirrors the assume/prove structure
+// of the commercial IPC tools the paper builds on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/ir.hpp"
+
+namespace upec::formal {
+
+struct TimedSig {
+  rtl::Sig sig;    // must be 1 bit wide
+  unsigned cycle;  // absolute offset from the symbolic start state t
+  std::string label;
+};
+
+struct IntervalProperty {
+  std::string name;
+
+  // Assumptions anchored at single cycles.
+  std::vector<TimedSig> assumptions;
+  // Assumptions replicated over every cycle 0..k ("during t..t+k").
+  std::vector<rtl::Sig> invariantAssumptions;
+  std::vector<std::string> invariantLabels;
+
+  // Commitments: every listed signal must be provably true at its cycle.
+  std::vector<TimedSig> commitments;
+
+  void assumeAt(unsigned cycle, rtl::Sig s, std::string label = {}) {
+    assumptions.push_back({s, cycle, std::move(label)});
+  }
+  void assumeAlways(rtl::Sig s, std::string label = {}) {
+    invariantAssumptions.push_back(s);
+    invariantLabels.push_back(std::move(label));
+  }
+  void proveAt(unsigned cycle, rtl::Sig s, std::string label = {}) {
+    commitments.push_back({s, cycle, std::move(label)});
+  }
+
+  unsigned maxCycle() const;
+  std::string pretty() const;  // renders the Fig. 4 assume/prove block
+};
+
+}  // namespace upec::formal

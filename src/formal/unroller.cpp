@@ -1,0 +1,156 @@
+#include "formal/unroller.hpp"
+
+#include <cassert>
+
+namespace upec::formal {
+
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+using sat::Lit;
+
+Unroller::Unroller(const rtl::Design& design, CnfBuilder& cnf) : design_(design), cnf_(cnf) {
+  assert(design.memoriesLowered() && "lower memories before unrolling");
+  std::string why;
+  assert(design.isComplete(&why) && "design has unconnected registers");
+  topo_ = design.topoOrder();
+}
+
+void Unroller::aliasInitialState(NodeId masterRegQ, NodeId followerRegQ) {
+  assert(frames_.empty() && "aliases must be declared before unrolling");
+  assert(design_.node(masterRegQ).op == Op::kRegQ);
+  assert(design_.node(followerRegQ).op == Op::kRegQ);
+  assert(design_.node(masterRegQ).width == design_.node(followerRegQ).width);
+  frame0Alias_[followerRegQ] = masterRegQ;
+}
+
+const LitVec& Unroller::frame0RegLits(NodeId regQ) {
+  auto& slot = frames_[0][regQ];
+  if (!slot.empty()) return slot;
+  const auto it = frame0Alias_.find(regQ);
+  if (it != frame0Alias_.end()) {
+    slot = frame0RegLits(it->second);  // share the master's variables
+  } else {
+    slot = cnf_.freshVec(design_.node(regQ).width);
+  }
+  return slot;
+}
+
+void Unroller::unrollTo(unsigned cycle) {
+  while (frames_.size() <= cycle) buildFrame(static_cast<unsigned>(frames_.size()));
+}
+
+const LitVec& Unroller::lits(NodeId node, unsigned cycle) {
+  unrollTo(cycle);
+  return frames_[cycle][node];
+}
+
+const LitVec& Unroller::regLits(std::uint32_t regIdx, unsigned cycle) {
+  return lits(design_.regs()[regIdx].q, cycle);
+}
+
+void Unroller::buildFrame(unsigned t) {
+  frames_.emplace_back(design_.numNodes());
+  auto& frame = frames_[t];
+  for (NodeId id : topo_) {
+    const Node& n = design_.node(id);
+    if (n.op == Op::kRegQ) {
+      if (t == 0) {
+        frame0RegLits(id);  // symbolic initial state (possibly aliased)
+      } else {
+        const rtl::RegInfo& r = design_.regs()[design_.regIndexOf(id)];
+        frame[id] = frames_[t - 1][r.next];
+      }
+    } else if (n.op == Op::kInput) {
+      frame[id] = cnf_.freshVec(n.width);
+    } else {
+      frame[id] = encodeNode(n, t);
+    }
+  }
+}
+
+LitVec Unroller::encodeNode(const Node& n, unsigned t) {
+  auto& frame = frames_[t];
+  auto op0 = [&]() -> const LitVec& { return frame[n.ops[0]]; };
+  auto op1 = [&]() -> const LitVec& { return frame[n.ops[1]]; };
+  auto op2 = [&]() -> const LitVec& { return frame[n.ops[2]]; };
+
+  switch (n.op) {
+    case Op::kConst: {
+      const BitVec& v = design_.constValue(&n - &design_.node(0));
+      return cnf_.constVec(n.width, v.uint());
+    }
+    case Op::kBuf:
+      return op0();
+    case Op::kNot:
+      return cnf_.notVec(op0());
+    case Op::kNeg:
+      return cnf_.negVec(op0());
+    case Op::kRedOr:
+      return {cnf_.redOr(op0())};
+    case Op::kRedAnd:
+      return {cnf_.redAnd(op0())};
+    case Op::kRedXor:
+      return {cnf_.redXor(op0())};
+    case Op::kAdd:
+      return cnf_.addVec(op0(), op1(), cnf_.falseLit());
+    case Op::kSub:
+      return cnf_.subVec(op0(), op1());
+    case Op::kMul:
+      return cnf_.mulVec(op0(), op1());
+    case Op::kAnd:
+      return cnf_.andVec(op0(), op1());
+    case Op::kOr:
+      return cnf_.orVec(op0(), op1());
+    case Op::kXor:
+      return cnf_.xorVec(op0(), op1());
+    case Op::kShl:
+      return cnf_.shiftVec(op0(), op1(), CnfBuilder::ShiftKind::kShl);
+    case Op::kLshr:
+      return cnf_.shiftVec(op0(), op1(), CnfBuilder::ShiftKind::kLshr);
+    case Op::kAshr:
+      return cnf_.shiftVec(op0(), op1(), CnfBuilder::ShiftKind::kAshr);
+    case Op::kEq:
+      return {cnf_.eqVec(op0(), op1())};
+    case Op::kNe:
+      return {~cnf_.eqVec(op0(), op1())};
+    case Op::kUlt:
+      return {cnf_.ultVec(op0(), op1())};
+    case Op::kUle:
+      return {cnf_.uleVec(op0(), op1())};
+    case Op::kSlt:
+      return {cnf_.sltVec(op0(), op1())};
+    case Op::kSle:
+      return {cnf_.sleVec(op0(), op1())};
+    case Op::kMux:
+      return cnf_.muxVec(frame[n.ops[0]][0], op1(), op2());
+    case Op::kExtract: {
+      LitVec out(op0().begin() + n.aux1, op0().begin() + n.aux0 + 1);
+      return out;
+    }
+    case Op::kConcat: {
+      LitVec out = op1();  // low part occupies the low bits
+      out.insert(out.end(), op0().begin(), op0().end());
+      return out;
+    }
+    case Op::kZext: {
+      LitVec out = op0();
+      out.resize(n.width, cnf_.falseLit());
+      return out;
+    }
+    case Op::kSext: {
+      LitVec out = op0();
+      const sat::Lit sign = out.back();
+      out.resize(n.width, sign);
+      return out;
+    }
+    case Op::kInput:
+    case Op::kRegQ:
+    case Op::kMemRead:
+      break;  // handled in buildFrame / forbidden
+  }
+  assert(false && "unexpected op in encodeNode");
+  return {};
+}
+
+}  // namespace upec::formal

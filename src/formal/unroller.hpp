@@ -1,0 +1,69 @@
+// Time-frame expansion of an RTL design into CNF.
+//
+// Frame t holds the literals of every node evaluated at clock cycle t.
+// Register outputs at frame 0 are fresh variables — this is the *symbolic
+// initial state* that turns plain BMC into Interval Property Checking
+// (IPC, [Nguyen et al. 2008]): the proof holds from ANY starting state, so
+// an unsatisfiable query is a real proof even without reachability
+// information. Spurious counterexamples from unreachable starting states
+// are excluded by assumptions (the UPEC constraints of Sec. V-A).
+//
+// Register outputs at frame t+1 alias the literals of their next-state
+// function at frame t; inputs get fresh variables in every frame.
+#pragma once
+
+#include <vector>
+
+#include "formal/cnf_builder.hpp"
+#include "rtl/ir.hpp"
+
+namespace upec::formal {
+
+class Unroller {
+ public:
+  // The design must have all memories lowered (lowerMemories()).
+  Unroller(const rtl::Design& design, CnfBuilder& cnf);
+
+  // Declares that register `follower` starts (frame 0) with the same
+  // symbolic value as register `master` — i.e. the equality assumption
+  // "follower@t == master@t" is encoded structurally by sharing variables.
+  // Must be called before the first unrollTo(). This is the key reduction
+  // for miter-shaped proofs: the two design instances share their initial
+  // state except for deliberately-unconstrained (secret) locations, so the
+  // solver reasons only about the difference cone.
+  void aliasInitialState(rtl::NodeId masterRegQ, rtl::NodeId followerRegQ);
+
+  // Ensures frames 0..cycle exist.
+  void unrollTo(unsigned cycle);
+
+  // Literals of `node` as evaluated in clock cycle `cycle`.
+  const LitVec& lits(rtl::NodeId node, unsigned cycle);
+  sat::Lit lit(rtl::NodeId node, unsigned cycle) {
+    const LitVec& v = lits(node, cycle);
+    return v.at(0);
+  }
+  sat::Lit lit(rtl::Sig s, unsigned cycle) { return lit(s.id(), cycle); }
+
+  // Literals of register state at the *start* of `cycle` (frame-0 state
+  // variables are the symbolic initial state).
+  const LitVec& regLits(std::uint32_t regIdx, unsigned cycle);
+
+  unsigned numFrames() const { return static_cast<unsigned>(frames_.size()); }
+  const rtl::Design& design() const { return design_; }
+  CnfBuilder& cnf() { return cnf_; }
+
+ private:
+  void buildFrame(unsigned t);
+  LitVec encodeNode(const rtl::Node& n, unsigned t);
+  const LitVec& frame0RegLits(rtl::NodeId regQ);
+
+  const rtl::Design& design_;
+  CnfBuilder& cnf_;
+  std::vector<rtl::NodeId> topo_;
+  // frames_[t][nodeId] = literal vector of that node at cycle t.
+  std::vector<std::vector<LitVec>> frames_;
+  // follower kRegQ node -> master kRegQ node for shared frame-0 variables.
+  std::unordered_map<rtl::NodeId, rtl::NodeId> frame0Alias_;
+};
+
+}  // namespace upec::formal

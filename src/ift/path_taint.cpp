@@ -1,0 +1,93 @@
+#include "ift/path_taint.hpp"
+
+#include <cassert>
+
+namespace upec::ift {
+
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+PathTaint::PathTaint(const rtl::Design& design) : design_(design) {
+  topo_ = design.topoOrder();
+  nodeTaint_.assign(design.numNodes(), false);
+  regTaint_.assign(design.regs().size(), false);
+  memTaint_.assign(design.mems().size(), false);
+}
+
+void PathTaint::addSourceMem(std::uint32_t memId) {
+  assert(memId < memTaint_.size());
+  memTaint_[memId] = true;
+}
+
+void PathTaint::addSourceReg(std::uint32_t regIdx) {
+  assert(regIdx < regTaint_.size());
+  regTaint_[regIdx] = true;
+}
+
+bool PathTaint::evalOnce() {
+  bool changed = false;
+  for (NodeId id : topo_) {
+    const Node& n = design_.node(id);
+    bool t = nodeTaint_[id];
+    switch (n.op) {
+      case Op::kInput:
+      case Op::kConst:
+        break;
+      case Op::kRegQ:
+        t = t || regTaint_[design_.regIndexOf(id)];
+        break;
+      case Op::kMemRead:
+        t = t || memTaint_[n.aux0] || nodeTaint_[n.ops[0]];
+        break;
+      default:
+        for (int i = 0; i < n.numOps; ++i) t = t || nodeTaint_[n.ops[i]];
+        break;
+    }
+    if (t != nodeTaint_[id]) {
+      nodeTaint_[id] = t;
+      changed = true;
+    }
+  }
+  for (std::size_t i = 0; i < design_.regs().size(); ++i) {
+    if (!regTaint_[i] && nodeTaint_[design_.regs()[i].next]) {
+      regTaint_[i] = true;
+      changed = true;
+    }
+  }
+  for (std::size_t m = 0; m < design_.mems().size(); ++m) {
+    if (memTaint_[m]) continue;
+    for (const rtl::MemWritePort& p : design_.mems()[m].writePorts) {
+      if (nodeTaint_[p.data] || nodeTaint_[p.addr] || nodeTaint_[p.enable]) {
+        memTaint_[m] = true;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
+void PathTaint::propagate() {
+  while (evalOnce()) {
+  }
+}
+
+bool PathTaint::anyRegReachable(rtl::StateClass cls) const {
+  for (std::size_t i = 0; i < regTaint_.size(); ++i) {
+    if (regTaint_[i] && design_.regs()[i].stateClass == cls) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> PathTaint::reachableRegNames(rtl::StateClass cls) const {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < regTaint_.size(); ++i) {
+    if (regTaint_[i] && design_.regs()[i].stateClass == cls) {
+      names.push_back(design_.regs()[i].name);
+    }
+  }
+  return names;
+}
+
+}  // namespace upec::ift

@@ -1,0 +1,46 @@
+// Structural taint-path analysis: the "taint property along a selected
+// path" style of prior work (paper Sec. II, [24][25][26]). Given source
+// state elements (where the secret may reside) and sink state elements
+// (what the attacker observes), reports whether a structural propagation
+// path exists in the netlist graph.
+//
+// Purely structural reachability over-approximates real flows (a path may
+// be gated off in every reachable execution), and the sinks must be chosen
+// by the verification engineer — both limitations UPEC removes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/ir.hpp"
+
+namespace upec::ift {
+
+class PathTaint {
+ public:
+  explicit PathTaint(const rtl::Design& design);
+
+  // Seeds: memory arrays / registers that may hold the secret.
+  void addSourceMem(std::uint32_t memId);
+  void addSourceReg(std::uint32_t regIdx);
+
+  // Runs the fixpoint: propagates structural taint through combinational
+  // logic, register boundaries and memory ports until stable.
+  void propagate();
+
+  bool regReachable(std::uint32_t regIdx) const { return regTaint_[regIdx]; }
+  bool nodeReachable(rtl::Sig s) const { return nodeTaint_[s.id()]; }
+  bool anyRegReachable(rtl::StateClass cls) const;
+  std::vector<std::string> reachableRegNames(rtl::StateClass cls) const;
+
+ private:
+  bool evalOnce();  // one pass; returns true if anything changed
+
+  const rtl::Design& design_;
+  std::vector<rtl::NodeId> topo_;
+  std::vector<bool> nodeTaint_;
+  std::vector<bool> regTaint_;
+  std::vector<bool> memTaint_;  // per memory (whole-array granularity)
+};
+
+}  // namespace upec::ift

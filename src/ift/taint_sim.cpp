@@ -1,0 +1,133 @@
+#include "ift/taint_sim.hpp"
+
+#include <cassert>
+
+namespace upec::ift {
+
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+TaintSim::TaintSim(const rtl::Design& design) : design_(design), values_(design) {
+  topo_ = design.topoOrder();
+  nodeTaint_.assign(design.numNodes(), false);
+  regTaint_.assign(design.regs().size(), false);
+  inputTaint_.assign(design.numNodes(), false);
+  memTaint_.resize(design.mems().size());
+  for (std::size_t m = 0; m < design.mems().size(); ++m) {
+    memTaint_[m].assign(design.mems()[m].depth, false);
+  }
+}
+
+void TaintSim::reset() {
+  values_.reset();
+  std::fill(nodeTaint_.begin(), nodeTaint_.end(), false);
+  std::fill(regTaint_.begin(), regTaint_.end(), false);
+  std::fill(inputTaint_.begin(), inputTaint_.end(), false);
+  for (auto& m : memTaint_) std::fill(m.begin(), m.end(), false);
+}
+
+void TaintSim::poke(rtl::Sig input, const BitVec& value, bool tainted) {
+  values_.poke(input, value);
+  inputTaint_[input.id()] = tainted;
+}
+
+void TaintSim::taintMemWord(std::uint32_t memId, std::uint64_t addr) {
+  assert(memId < memTaint_.size() && addr < memTaint_[memId].size());
+  memTaint_[memId][addr] = true;
+}
+
+void TaintSim::taintReg(std::uint32_t regIdx) { regTaint_[regIdx] = true; }
+
+bool TaintSim::memWordTainted(std::uint32_t memId, std::uint64_t addr) const {
+  return memTaint_[memId][addr];
+}
+
+bool TaintSim::anyRegTainted(rtl::StateClass cls) const {
+  for (std::size_t i = 0; i < regTaint_.size(); ++i) {
+    if (regTaint_[i] && design_.regs()[i].stateClass == cls) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> TaintSim::taintedRegNames(rtl::StateClass cls) const {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < regTaint_.size(); ++i) {
+    if (regTaint_[i] && design_.regs()[i].stateClass == cls) {
+      names.push_back(design_.regs()[i].name);
+    }
+  }
+  return names;
+}
+
+void TaintSim::evalTaint() {
+  values_.evalComb();
+  for (NodeId id : topo_) {
+    const Node& n = design_.node(id);
+    bool t = false;
+    switch (n.op) {
+      case Op::kInput:
+        t = inputTaint_[id];
+        break;
+      case Op::kConst:
+        t = false;
+        break;
+      case Op::kRegQ:
+        t = regTaint_[design_.regIndexOf(id)];
+        break;
+      case Op::kMemRead: {
+        const bool addrTaint = nodeTaint_[n.ops[0]];
+        if (addrTaint) {
+          t = true;  // a tainted address selects data: the choice leaks
+        } else {
+          const std::uint64_t addr = values_.peek(n.ops[0]).uint();
+          const auto& mem = memTaint_[n.aux0];
+          t = addr < mem.size() ? mem[addr] : false;
+        }
+        break;
+      }
+      case Op::kMux: {
+        const bool selTaint = nodeTaint_[n.ops[0]];
+        if (selTaint) {
+          t = true;  // implicit flow through the select
+        } else {
+          const bool sel = values_.peek(n.ops[0]).toBool();
+          t = nodeTaint_[sel ? n.ops[1] : n.ops[2]];
+        }
+        break;
+      }
+      default:
+        for (int i = 0; i < n.numOps; ++i) t = t || nodeTaint_[n.ops[i]];
+        break;
+    }
+    nodeTaint_[id] = t;
+  }
+}
+
+void TaintSim::step() {
+  evalTaint();
+  // Latch register taint.
+  std::vector<bool> nextReg(regTaint_.size());
+  for (std::size_t i = 0; i < design_.regs().size(); ++i) {
+    nextReg[i] = nodeTaint_[design_.regs()[i].next];
+  }
+  // Memory write ports: a tainted address conservatively taints the whole
+  // array (the footprint position itself encodes information).
+  for (std::size_t m = 0; m < design_.mems().size(); ++m) {
+    const rtl::MemInfo& info = design_.mems()[m];
+    if (info.lowered) continue;
+    for (const rtl::MemWritePort& p : info.writePorts) {
+      if (!values_.peek(p.enable).toBool() && !nodeTaint_[p.enable]) continue;
+      if (nodeTaint_[p.addr] || nodeTaint_[p.enable]) {
+        std::fill(memTaint_[m].begin(), memTaint_[m].end(), true);
+      } else if (values_.peek(p.enable).toBool()) {
+        const std::uint64_t addr = values_.peek(p.addr).uint();
+        if (addr < memTaint_[m].size()) memTaint_[m][addr] = nodeTaint_[p.data];
+      }
+    }
+  }
+  regTaint_ = std::move(nextReg);
+  values_.step();
+}
+
+}  // namespace upec::ift

@@ -1,0 +1,71 @@
+// Dynamic information-flow tracking (IFT) over the RTL IR — the baseline
+// methodology UPEC is compared against (paper Sec. II: gate-level IFT,
+// RTLIFT, taint properties).
+//
+// TaintSim executes the design cycle-accurately (a value simulation and a
+// taint-label simulation in lockstep). Taint is word-level: one label per
+// node / register / memory word. Propagation is the standard dataflow
+// lattice: an operator's output is tainted iff any *selected* input is
+// tainted; a mux with an untainted select propagates only the chosen
+// branch's label, while a tainted select taints the output (information
+// flows through the choice itself — this is what carries timing channels).
+//
+// Two characteristic weaknesses of the approach, which the benches
+// demonstrate against UPEC:
+//  * it is trace-based: a covert channel is only found if the stimulus
+//    actually exercises it (UPEC searches all programs symbolically);
+//  * the verdict depends on choosing the right sink (UPEC's uniqueness
+//    property needs no sink specification).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/ir.hpp"
+#include "sim/simulator.hpp"
+
+namespace upec::ift {
+
+class TaintSim {
+ public:
+  explicit TaintSim(const rtl::Design& design);
+
+  sim::Simulator& values() { return values_; }
+
+  void reset();
+
+  void poke(rtl::Sig input, const BitVec& value, bool tainted = false);
+  void poke(rtl::Sig input, std::uint64_t value, bool tainted = false) {
+    poke(input, BitVec(input.width(), value), tainted);
+  }
+
+  // Marks state as the taint source (e.g. the secret memory word).
+  void taintMemWord(std::uint32_t memId, std::uint64_t addr);
+  void taintReg(std::uint32_t regIdx);
+
+  void step();
+  void run(unsigned cycles) {
+    for (unsigned i = 0; i < cycles; ++i) step();
+  }
+
+  // Taint queries (valid after the last step's combinational evaluation).
+  bool nodeTainted(rtl::Sig s) const { return nodeTaint_[s.id()]; }
+  bool regTainted(std::uint32_t regIdx) const { return regTaint_[regIdx]; }
+  bool memWordTainted(std::uint32_t memId, std::uint64_t addr) const;
+  // Any register of the given state class currently tainted?
+  bool anyRegTainted(rtl::StateClass cls) const;
+  std::vector<std::string> taintedRegNames(rtl::StateClass cls) const;
+
+ private:
+  void evalTaint();
+
+  const rtl::Design& design_;
+  sim::Simulator values_;
+  std::vector<rtl::NodeId> topo_;
+  std::vector<bool> nodeTaint_;
+  std::vector<bool> regTaint_;
+  std::vector<bool> inputTaint_;  // indexed by node id
+  std::vector<std::vector<bool>> memTaint_;
+};
+
+}  // namespace upec::ift

@@ -1,0 +1,60 @@
+#include "riscv/assembler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace upec::riscv {
+
+Label Assembler::newLabel() {
+  labelOffsets_.push_back(-1);
+  return labelOffsets_.size() - 1;
+}
+
+void Assembler::bind(Label label) {
+  assert(label < labelOffsets_.size());
+  assert(labelOffsets_[label] == -1 && "label bound twice");
+  labelOffsets_[label] = static_cast<std::int64_t>(words_.size()) * 4;
+}
+
+void Assembler::branch(std::uint32_t funct3, unsigned rs1, unsigned rs2, Label target) {
+  fixups_.push_back({words_.size(), target, /*isJal=*/false, funct3, rs1, rs2, 0});
+  emit(0);  // patched in finish()
+}
+
+void Assembler::jal(unsigned rd, Label target) {
+  fixups_.push_back({words_.size(), target, /*isJal=*/true, 0, 0, 0, rd});
+  emit(0);
+}
+
+void Assembler::li(unsigned rd, std::int32_t value) {
+  if (value >= -2048 && value <= 2047) {
+    addi(rd, 0, value);
+    return;
+  }
+  // lui loads bits [31:12]; addi sign-extends, so round up when bit 11 set.
+  std::int32_t hi = (value + 0x800) >> 12;
+  std::int32_t lo = value - (hi << 12);
+  lui(rd, hi);
+  if (lo != 0) addi(rd, rd, lo);
+}
+
+std::vector<std::uint32_t> Assembler::finish() {
+  assert(!finished_);
+  for (const Fixup& f : fixups_) {
+    const std::int64_t target = labelOffsets_.at(f.label);
+    if (target < 0) throw std::logic_error("unbound label in assembler");
+    const std::int64_t pc = static_cast<std::int64_t>(f.wordIndex) * 4;
+    const std::int32_t delta = static_cast<std::int32_t>(target - pc);
+    if (f.isJal) {
+      assert(delta >= -(1 << 20) && delta < (1 << 20));
+      words_[f.wordIndex] = encodeJ(delta, f.rd, kOpJal);
+    } else {
+      assert(delta >= -(1 << 12) && delta < (1 << 12));
+      words_[f.wordIndex] = encodeB(delta, f.rs2, f.rs1, f.funct3, kOpBranch);
+    }
+  }
+  finished_ = true;
+  return words_;
+}
+
+}  // namespace upec::riscv

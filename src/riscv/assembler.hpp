@@ -1,0 +1,140 @@
+// Tiny in-process assembler: a builder API over the RV32I encodings with
+// forward-reference label support. The attack programs of the paper
+// (Fig. 2) and all test programs are written against this interface.
+//
+//   Assembler a;
+//   a.li(2, 0x40);
+//   Label loop = a.newLabel();
+//   a.bind(loop);
+//   a.addi(3, 3, 1);
+//   a.bne(3, 2, loop);
+//   std::vector<uint32_t> words = a.finish();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "riscv/encoding.hpp"
+
+namespace upec::riscv {
+
+using Label = std::size_t;
+
+class Assembler {
+ public:
+  // --- labels ------------------------------------------------------------
+  Label newLabel();
+  void bind(Label label);  // binds to the next emitted instruction
+
+  std::uint32_t here() const { return static_cast<std::uint32_t>(words_.size()) * 4; }
+
+  // --- RV32I -------------------------------------------------------------
+  void lui(unsigned rd, std::int32_t imm20) { emit(encodeU(imm20, rd, kOpLui)); }
+  void auipc(unsigned rd, std::int32_t imm20) { emit(encodeU(imm20, rd, kOpAuipc)); }
+
+  void addi(unsigned rd, unsigned rs1, std::int32_t imm) {
+    emit(encodeI(imm, rs1, 0b000, rd, kOpImm));
+  }
+  void slti(unsigned rd, unsigned rs1, std::int32_t imm) {
+    emit(encodeI(imm, rs1, 0b010, rd, kOpImm));
+  }
+  void sltiu(unsigned rd, unsigned rs1, std::int32_t imm) {
+    emit(encodeI(imm, rs1, 0b011, rd, kOpImm));
+  }
+  void xori(unsigned rd, unsigned rs1, std::int32_t imm) {
+    emit(encodeI(imm, rs1, 0b100, rd, kOpImm));
+  }
+  void ori(unsigned rd, unsigned rs1, std::int32_t imm) {
+    emit(encodeI(imm, rs1, 0b110, rd, kOpImm));
+  }
+  void andi(unsigned rd, unsigned rs1, std::int32_t imm) {
+    emit(encodeI(imm, rs1, 0b111, rd, kOpImm));
+  }
+  void slli(unsigned rd, unsigned rs1, unsigned shamt) {
+    emit(encodeI(static_cast<std::int32_t>(shamt & 0x1f), rs1, 0b001, rd, kOpImm));
+  }
+  void srli(unsigned rd, unsigned rs1, unsigned shamt) {
+    emit(encodeI(static_cast<std::int32_t>(shamt & 0x1f), rs1, 0b101, rd, kOpImm));
+  }
+  void srai(unsigned rd, unsigned rs1, unsigned shamt) {
+    emit(encodeI(static_cast<std::int32_t>(0x400 | (shamt & 0x1f)), rs1, 0b101, rd, kOpImm));
+  }
+
+  void add(unsigned rd, unsigned rs1, unsigned rs2) { rtype(0, rs2, rs1, 0b000, rd); }
+  void sub(unsigned rd, unsigned rs1, unsigned rs2) { rtype(0x20, rs2, rs1, 0b000, rd); }
+  void sll(unsigned rd, unsigned rs1, unsigned rs2) { rtype(0, rs2, rs1, 0b001, rd); }
+  void slt(unsigned rd, unsigned rs1, unsigned rs2) { rtype(0, rs2, rs1, 0b010, rd); }
+  void sltu(unsigned rd, unsigned rs1, unsigned rs2) { rtype(0, rs2, rs1, 0b011, rd); }
+  void xor_(unsigned rd, unsigned rs1, unsigned rs2) { rtype(0, rs2, rs1, 0b100, rd); }
+  void srl(unsigned rd, unsigned rs1, unsigned rs2) { rtype(0, rs2, rs1, 0b101, rd); }
+  void sra(unsigned rd, unsigned rs1, unsigned rs2) { rtype(0x20, rs2, rs1, 0b101, rd); }
+  void or_(unsigned rd, unsigned rs1, unsigned rs2) { rtype(0, rs2, rs1, 0b110, rd); }
+  void and_(unsigned rd, unsigned rs1, unsigned rs2) { rtype(0, rs2, rs1, 0b111, rd); }
+
+  void lw(unsigned rd, unsigned rs1, std::int32_t offset) {
+    emit(encodeI(offset, rs1, 0b010, rd, kOpLoad));
+  }
+  void sw(unsigned rs2, unsigned rs1, std::int32_t offset) {
+    emit(encodeS(offset, rs2, rs1, 0b010, kOpStore));
+  }
+
+  void beq(unsigned rs1, unsigned rs2, Label target) { branch(0b000, rs1, rs2, target); }
+  void bne(unsigned rs1, unsigned rs2, Label target) { branch(0b001, rs1, rs2, target); }
+  void blt(unsigned rs1, unsigned rs2, Label target) { branch(0b100, rs1, rs2, target); }
+  void bge(unsigned rs1, unsigned rs2, Label target) { branch(0b101, rs1, rs2, target); }
+  void bltu(unsigned rs1, unsigned rs2, Label target) { branch(0b110, rs1, rs2, target); }
+  void bgeu(unsigned rs1, unsigned rs2, Label target) { branch(0b111, rs1, rs2, target); }
+
+  void jal(unsigned rd, Label target);
+  void j(Label target) { jal(0, target); }
+  void jalr(unsigned rd, unsigned rs1, std::int32_t offset) {
+    emit(encodeI(offset, rs1, 0b000, rd, kOpJalr));
+  }
+
+  void ecall() { emit(0x00000073); }
+  void mret() { emit(0x30200073); }
+  void nop() { addi(0, 0, 0); }
+
+  void csrrw(unsigned rd, std::uint32_t csr, unsigned rs1) {
+    emit(encodeI(static_cast<std::int32_t>(csr), rs1, 0b001, rd, kOpSystem));
+  }
+  void csrrs(unsigned rd, std::uint32_t csr, unsigned rs1) {
+    emit(encodeI(static_cast<std::int32_t>(csr), rs1, 0b010, rd, kOpSystem));
+  }
+  void rdcycle(unsigned rd) { csrrs(rd, kCsrCycle, 0); }
+
+  // --- pseudo-instructions -------------------------------------------------
+  // Loads a full 32-bit constant (lui+addi when needed, addi otherwise).
+  void li(unsigned rd, std::int32_t value);
+  void mv(unsigned rd, unsigned rs) { addi(rd, rs, 0); }
+
+  void word(std::uint32_t raw) { emit(raw); }
+
+  // Resolves all labels and returns the instruction words.
+  std::vector<std::uint32_t> finish();
+
+  std::size_t size() const { return words_.size(); }
+
+ private:
+  void emit(std::uint32_t w) { words_.push_back(w); }
+  void rtype(std::uint32_t funct7, unsigned rs2, unsigned rs1, std::uint32_t funct3, unsigned rd) {
+    emit(encodeR(funct7, rs2, rs1, funct3, rd, kOpReg));
+  }
+  void branch(std::uint32_t funct3, unsigned rs1, unsigned rs2, Label target);
+
+  struct Fixup {
+    std::size_t wordIndex;
+    Label label;
+    bool isJal;
+    std::uint32_t funct3;
+    unsigned rs1, rs2, rd;
+  };
+
+  std::vector<std::uint32_t> words_;
+  std::vector<std::int64_t> labelOffsets_;  // -1 = unbound
+  std::vector<Fixup> fixups_;
+  bool finished_ = false;
+};
+
+}  // namespace upec::riscv

@@ -1,0 +1,79 @@
+#include "riscv/encoding.hpp"
+
+#include <cstdio>
+
+namespace upec::riscv {
+
+Decoded decode(std::uint32_t raw) {
+  Decoded d;
+  d.raw = raw;
+  d.opcode = raw & 0x7f;
+  d.rd = (raw >> 7) & 0x1f;
+  d.funct3 = (raw >> 12) & 0x7;
+  d.rs1 = (raw >> 15) & 0x1f;
+  d.rs2 = (raw >> 20) & 0x1f;
+  d.funct7 = (raw >> 25) & 0x7f;
+
+  d.immI = static_cast<std::int32_t>(raw) >> 20;
+  d.immS = ((static_cast<std::int32_t>(raw) >> 25) << 5) | static_cast<std::int32_t>(d.rd);
+  d.immB = ((static_cast<std::int32_t>(raw) >> 31) << 12) | (((raw >> 7) & 1) << 11) |
+           (((raw >> 25) & 0x3f) << 5) | (((raw >> 8) & 0xf) << 1);
+  d.immU = raw & 0xfffff000u;
+  d.immJ = ((static_cast<std::int32_t>(raw) >> 31) << 20) | (((raw >> 12) & 0xff) << 12) |
+           (((raw >> 20) & 1) << 11) | (((raw >> 21) & 0x3ff) << 1);
+  d.csr = raw >> 20;
+  return d;
+}
+
+std::string disassemble(std::uint32_t raw) {
+  const Decoded d = decode(raw);
+  char buf[96];
+  auto fmt = [&](const char* f, auto... args) {
+    std::snprintf(buf, sizeof buf, f, args...);
+    return std::string(buf);
+  };
+  switch (d.opcode) {
+    case kOpLui:
+      return fmt("lui x%u, 0x%x", d.rd, d.immU >> 12);
+    case kOpAuipc:
+      return fmt("auipc x%u, 0x%x", d.rd, d.immU >> 12);
+    case kOpJal:
+      return fmt("jal x%u, %d", d.rd, d.immJ);
+    case kOpJalr:
+      return fmt("jalr x%u, %d(x%u)", d.rd, d.immI, d.rs1);
+    case kOpBranch: {
+      static const char* names[8] = {"beq", "bne", "?", "?", "blt", "bge", "bltu", "bgeu"};
+      return fmt("%s x%u, x%u, %d", names[d.funct3], d.rs1, d.rs2, d.immB);
+    }
+    case kOpLoad:
+      return fmt("lw x%u, %d(x%u)", d.rd, d.immI, d.rs1);
+    case kOpStore:
+      return fmt("sw x%u, %d(x%u)", d.rs2, d.immS, d.rs1);
+    case kOpImm: {
+      static const char* names[8] = {"addi", "slli", "slti", "sltiu", "xori", "sr_i", "ori", "andi"};
+      if (d.funct3 == 0b101) {
+        return fmt("%s x%u, x%u, %d", d.funct7 ? "srai" : "srli", d.rd, d.rs1, d.immI & 0x1f);
+      }
+      return fmt("%s x%u, x%u, %d", names[d.funct3], d.rd, d.rs1, d.immI);
+    }
+    case kOpReg: {
+      static const char* names[8] = {"add", "sll", "slt", "sltu", "xor", "srl", "or", "and"};
+      const char* name = names[d.funct3];
+      if (d.funct7 == 0x20) name = (d.funct3 == 0) ? "sub" : "sra";
+      return fmt("%s x%u, x%u, x%u", name, d.rd, d.rs1, d.rs2);
+    }
+    case kOpSystem:
+      if (d.funct3 == 0) {
+        if (d.raw == 0x00000073) return "ecall";
+        if (d.raw == 0x30200073) return "mret";
+        return fmt("system 0x%08x", d.raw);
+      }
+      return fmt("csr[%u] op f3=%u rd=x%u rs1=x%u", d.csr, d.funct3, d.rd, d.rs1);
+    case kOpMiscMem:
+      return "fence";
+    default:
+      return fmt(".word 0x%08x", raw);
+  }
+}
+
+}  // namespace upec::riscv

@@ -1,0 +1,104 @@
+// RV32I (+ minimal Zicsr / privileged) instruction encodings.
+//
+// The SoC model executes standard 32-bit RISC-V encodings regardless of its
+// configured data-path width (XLEN), exactly like the paper's attack code in
+// Fig. 2 runs unchanged on differently parameterised RocketChip instances.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace upec::riscv {
+
+// --- opcode map ----------------------------------------------------------
+inline constexpr std::uint32_t kOpLui = 0b0110111;
+inline constexpr std::uint32_t kOpAuipc = 0b0010111;
+inline constexpr std::uint32_t kOpJal = 0b1101111;
+inline constexpr std::uint32_t kOpJalr = 0b1100111;
+inline constexpr std::uint32_t kOpBranch = 0b1100011;
+inline constexpr std::uint32_t kOpLoad = 0b0000011;
+inline constexpr std::uint32_t kOpStore = 0b0100011;
+inline constexpr std::uint32_t kOpImm = 0b0010011;
+inline constexpr std::uint32_t kOpReg = 0b0110011;
+inline constexpr std::uint32_t kOpSystem = 0b1110011;
+inline constexpr std::uint32_t kOpMiscMem = 0b0001111;
+
+// --- CSR addresses -------------------------------------------------------
+inline constexpr std::uint32_t kCsrMstatus = 0x300;
+inline constexpr std::uint32_t kCsrMtvec = 0x305;
+inline constexpr std::uint32_t kCsrMepc = 0x341;
+inline constexpr std::uint32_t kCsrMcause = 0x342;
+inline constexpr std::uint32_t kCsrMcycle = 0xB00;
+inline constexpr std::uint32_t kCsrCycle = 0xC00;  // user-readable counter
+inline constexpr std::uint32_t kCsrPmpcfg0 = 0x3A0;
+inline constexpr std::uint32_t kCsrPmpaddr0 = 0x3B0;  // ..0x3B3 for entries 1-3
+
+// --- PMP configuration byte layout --------------------------------------
+inline constexpr std::uint8_t kPmpR = 0x01;
+inline constexpr std::uint8_t kPmpW = 0x02;
+inline constexpr std::uint8_t kPmpX = 0x04;
+inline constexpr std::uint8_t kPmpAOff = 0x00;
+inline constexpr std::uint8_t kPmpATor = 0x08;  // address-matching mode field
+inline constexpr std::uint8_t kPmpAMask = 0x18;
+inline constexpr std::uint8_t kPmpL = 0x80;
+
+// --- mcause values -------------------------------------------------------
+inline constexpr std::uint32_t kCauseIllegalInstr = 2;
+inline constexpr std::uint32_t kCauseLoadAccessFault = 5;
+inline constexpr std::uint32_t kCauseStoreAccessFault = 7;
+inline constexpr std::uint32_t kCauseEcallU = 8;
+inline constexpr std::uint32_t kCauseEcallM = 11;
+
+// --- field encoders ------------------------------------------------------
+constexpr std::uint32_t encodeR(std::uint32_t funct7, unsigned rs2, unsigned rs1,
+                                std::uint32_t funct3, unsigned rd, std::uint32_t opcode) {
+  return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode;
+}
+
+constexpr std::uint32_t encodeI(std::int32_t imm12, unsigned rs1, std::uint32_t funct3,
+                                unsigned rd, std::uint32_t opcode) {
+  return (static_cast<std::uint32_t>(imm12 & 0xfff) << 20) | (rs1 << 15) | (funct3 << 12) |
+         (rd << 7) | opcode;
+}
+
+constexpr std::uint32_t encodeS(std::int32_t imm12, unsigned rs2, unsigned rs1,
+                                std::uint32_t funct3, std::uint32_t opcode) {
+  const std::uint32_t imm = static_cast<std::uint32_t>(imm12 & 0xfff);
+  return ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1f) << 7) |
+         opcode;
+}
+
+constexpr std::uint32_t encodeB(std::int32_t imm13, unsigned rs2, unsigned rs1,
+                                std::uint32_t funct3, std::uint32_t opcode) {
+  const std::uint32_t imm = static_cast<std::uint32_t>(imm13);
+  return (((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3f) << 25) | (rs2 << 20) | (rs1 << 15) |
+         (funct3 << 12) | (((imm >> 1) & 0xf) << 8) | (((imm >> 11) & 1) << 7) | opcode;
+}
+
+constexpr std::uint32_t encodeU(std::int32_t imm20, unsigned rd, std::uint32_t opcode) {
+  return (static_cast<std::uint32_t>(imm20 & 0xfffff) << 12) | (rd << 7) | opcode;
+}
+
+constexpr std::uint32_t encodeJ(std::int32_t imm21, unsigned rd, std::uint32_t opcode) {
+  const std::uint32_t imm = static_cast<std::uint32_t>(imm21);
+  return (((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3ff) << 21) | (((imm >> 11) & 1) << 20) |
+         (((imm >> 12) & 0xff) << 12) | (rd << 7) | opcode;
+}
+
+// --- decoded instruction --------------------------------------------------
+struct Decoded {
+  std::uint32_t raw = 0;
+  std::uint32_t opcode = 0;
+  unsigned rd = 0, rs1 = 0, rs2 = 0;
+  std::uint32_t funct3 = 0, funct7 = 0;
+  std::int32_t immI = 0, immS = 0, immB = 0, immJ = 0;
+  std::uint32_t immU = 0;    // already shifted into the upper 20 bits
+  std::uint32_t csr = 0;     // = immI unsigned, for SYSTEM ops
+};
+
+Decoded decode(std::uint32_t raw);
+
+// Best-effort disassembly for diagnostics.
+std::string disassemble(std::uint32_t raw);
+
+}  // namespace upec::riscv

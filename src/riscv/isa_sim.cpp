@@ -1,0 +1,383 @@
+#include "riscv/isa_sim.hpp"
+
+#include <cassert>
+
+namespace upec::riscv {
+
+IsaSim::IsaSim(const MachineConfig& config) : config_(config) {
+  assert(config.xlen >= 8 && config.xlen <= 32);
+  assert(config.nregs >= 8 && (config.nregs & (config.nregs - 1)) == 0);
+  regs_.resize(config.nregs, 0);
+  imem_.resize(config.imemWords, 0);
+  dmem_.resize(config.dmemWords, 0);
+  pmpcfg_.resize(config.pmpEntries, 0);
+  pmpaddr_.resize(config.pmpEntries, 0);
+  reset();
+}
+
+void IsaSim::reset() {
+  std::fill(regs_.begin(), regs_.end(), 0);
+  pc_ = 0;
+  mode_ = Mode::kMachine;
+  mtvec_ = mepc_ = mcause_ = 0;
+  mcycle_ = 0;
+  instret_ = 0;
+  std::fill(pmpcfg_.begin(), pmpcfg_.end(), 0);
+  std::fill(pmpaddr_.begin(), pmpaddr_.end(), 0);
+}
+
+void IsaSim::loadProgram(const std::vector<std::uint32_t>& words, std::uint32_t baseWord) {
+  assert(baseWord + words.size() <= imem_.size());
+  for (std::size_t i = 0; i < words.size(); ++i) imem_[baseWord + i] = words[i];
+}
+
+void IsaSim::setDmemWord(std::uint32_t wordAddr, std::uint32_t value) {
+  assert(wordAddr < dmem_.size());
+  dmem_[wordAddr] = value & config_.xlenMask();
+}
+
+std::uint32_t IsaSim::dmemWord(std::uint32_t wordAddr) const {
+  assert(wordAddr < dmem_.size());
+  return dmem_[wordAddr];
+}
+
+void IsaSim::setReg(unsigned i, std::uint32_t v) {
+  assert(i < regs_.size());
+  if (i != 0) regs_[i] = v & config_.xlenMask();
+}
+
+bool IsaSim::pmpAllows(std::uint32_t byteAddr, bool isWrite, Mode mode) const {
+  const std::uint32_t wordAddr = (byteAddr & config_.physAddrMask()) >> 2;
+  // Lowest-numbered matching TOR entry decides (RISC-V priority order).
+  std::uint32_t rangeBase = 0;
+  for (unsigned i = 0; i < config_.pmpEntries; ++i) {
+    const bool active = (pmpcfg_[i] & kPmpAMask) == kPmpATor;
+    const std::uint32_t top = pmpaddr_[i];
+    if (active && wordAddr >= rangeBase && wordAddr < top) {
+      const bool locked = (pmpcfg_[i] & kPmpL) != 0;
+      if (mode == Mode::kMachine && !locked) return true;  // M bypasses unlocked
+      return isWrite ? (pmpcfg_[i] & kPmpW) != 0 : (pmpcfg_[i] & kPmpR) != 0;
+    }
+    // TOR ranges chain: entry i+1's range starts at pmpaddr[i] regardless
+    // of whether entry i is active.
+    rangeBase = top;
+  }
+  // No match: machine mode is allowed, user mode is denied.
+  return mode == Mode::kMachine;
+}
+
+bool IsaSim::pmpAddrWriteLocked(unsigned i) const {
+  if ((pmpcfg_[i] & kPmpL) != 0) return true;
+  // ISA rule: if entry i+1 is a locked TOR entry, pmpaddr[i] (its range
+  // base) is locked as well. The RocketChip bug omitted this check.
+  if (config_.pmpLockBug) return false;
+  if (i + 1 < config_.pmpEntries) {
+    const std::uint8_t up = pmpcfg_[i + 1];
+    if ((up & kPmpL) != 0 && (up & kPmpAMask) == kPmpATor) return true;
+  }
+  return false;
+}
+
+std::uint32_t IsaSim::csr(std::uint32_t addr) const {
+  switch (addr) {
+    case kCsrMtvec: return mtvec_;
+    case kCsrMepc: return mepc_;
+    case kCsrMcause: return mcause_;
+    case kCsrMcycle:
+    case kCsrCycle: return static_cast<std::uint32_t>(mcycle_) & config_.xlenMask();
+    case kCsrPmpcfg0: {
+      std::uint32_t v = 0;
+      for (unsigned i = 0; i < config_.pmpEntries && i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(pmpcfg_[i]) << (8 * i);
+      }
+      return v;
+    }
+    default:
+      if (addr >= kCsrPmpaddr0 && addr < kCsrPmpaddr0 + config_.pmpEntries) {
+        return pmpaddr_[addr - kCsrPmpaddr0];
+      }
+      return 0;
+  }
+}
+
+void IsaSim::setCsr(std::uint32_t addr, std::uint32_t value) {
+  switch (addr) {
+    case kCsrMtvec: mtvec_ = value & config_.pcMask() & ~3u; return;
+    case kCsrMepc: mepc_ = value & config_.pcMask() & ~3u; return;
+    case kCsrMcause: mcause_ = value & 0xf; return;  // 4-bit cause space
+    case kCsrMcycle: mcycle_ = value; return;
+    case kCsrPmpcfg0:
+      for (unsigned i = 0; i < config_.pmpEntries && i < 4; ++i) {
+        pmpcfg_[i] = static_cast<std::uint8_t>(value >> (8 * i));
+      }
+      return;
+    default:
+      if (addr >= kCsrPmpaddr0 && addr < kCsrPmpaddr0 + config_.pmpEntries) {
+        // One bit wider than a word address so that a TOR top of 2^W
+        // (exclusive end of memory) is representable.
+        const std::uint32_t mask = (config_.physAddrMask() >> 1) | 1u;
+        pmpaddr_[addr - kCsrPmpaddr0] = value & mask;
+      }
+      return;
+  }
+}
+
+std::uint32_t IsaSim::csrReadForInstr(std::uint32_t addr, bool* illegal) const {
+  // Only the implemented CSRs exist; anything else is an illegal access.
+  const bool known = addr == kCsrMtvec || addr == kCsrMepc || addr == kCsrMcause ||
+                     addr == kCsrMcycle || addr == kCsrCycle || addr == kCsrPmpcfg0 ||
+                     (addr >= kCsrPmpaddr0 && addr < kCsrPmpaddr0 + config_.pmpEntries);
+  if (!known) {
+    *illegal = true;
+    return 0;
+  }
+  // The unprivileged cycle counter is readable from user mode; machine
+  // CSRs require machine mode.
+  if (addr == kCsrCycle) return csr(addr);
+  if (mode_ != Mode::kMachine) {
+    *illegal = true;
+    return 0;
+  }
+  return csr(addr);
+}
+
+void IsaSim::csrWriteForInstr(std::uint32_t addr, std::uint32_t value, bool* illegal) {
+  if (mode_ != Mode::kMachine) {
+    *illegal = true;
+    return;
+  }
+  // Lock enforcement for PMP CSRs.
+  if (addr == kCsrPmpcfg0) {
+    std::uint32_t merged = 0;
+    for (unsigned i = 0; i < config_.pmpEntries && i < 4; ++i) {
+      const std::uint8_t neu = static_cast<std::uint8_t>(value >> (8 * i));
+      merged |= static_cast<std::uint32_t>((pmpcfg_[i] & kPmpL) ? pmpcfg_[i] : neu) << (8 * i);
+    }
+    setCsr(addr, merged);
+    return;
+  }
+  if (addr >= kCsrPmpaddr0 && addr < kCsrPmpaddr0 + config_.pmpEntries) {
+    if (pmpAddrWriteLocked(addr - kCsrPmpaddr0)) return;  // silently ignored
+    setCsr(addr, value);
+    return;
+  }
+  if (addr == kCsrCycle) {  // read-only shadow
+    *illegal = true;
+    return;
+  }
+  setCsr(addr, value);
+}
+
+void IsaSim::trap(std::uint32_t cause) {
+  mepc_ = pc_;
+  mcause_ = cause;
+  mode_ = Mode::kMachine;
+  pc_ = mtvec_;
+}
+
+StepInfo IsaSim::step() {
+  StepInfo info;
+  info.pc = pc_;
+  ++mcycle_;
+
+  const std::uint32_t raw = imem_[(pc_ & config_.pcMask()) >> 2];
+  const Decoded d = decode(raw);
+  const std::uint32_t xmask = config_.xlenMask();
+  const unsigned regMask = config_.nregs - 1;
+  const unsigned rd = d.rd & regMask, rs1 = d.rs1 & regMask, rs2 = d.rs2 & regMask;
+  const std::uint32_t a = regs_[rs1], b = regs_[rs2];
+  std::uint32_t nextPc = (pc_ + 4) & config_.pcMask();
+  std::uint32_t wb = 0;
+  bool wbValid = false;
+  bool illegal = false;
+
+  auto signedOf = [&](std::uint32_t v) {
+    const std::uint32_t sign = 1u << (config_.xlen - 1);
+    return static_cast<std::int32_t>((v ^ sign)) - static_cast<std::int32_t>(sign);
+  };
+
+  switch (d.opcode) {
+    case kOpLui:
+      wb = d.immU & xmask;
+      wbValid = true;
+      break;
+    case kOpAuipc:
+      wb = (pc_ + d.immU) & xmask;
+      wbValid = true;
+      break;
+    case kOpJal:
+      wb = nextPc;
+      wbValid = true;
+      nextPc = (pc_ + static_cast<std::uint32_t>(d.immJ)) & config_.pcMask() & ~3u;
+      break;
+    case kOpJalr:
+      wb = nextPc;
+      wbValid = true;
+      nextPc = (a + static_cast<std::uint32_t>(d.immI)) & config_.pcMask() & ~3u;
+      break;
+    case kOpBranch: {
+      bool take = false;
+      switch (d.funct3) {
+        case 0b000: take = a == b; break;
+        case 0b001: take = a != b; break;
+        case 0b100: take = signedOf(a) < signedOf(b); break;
+        case 0b101: take = signedOf(a) >= signedOf(b); break;
+        case 0b110: take = a < b; break;
+        case 0b111: take = a >= b; break;
+        default: illegal = true;
+      }
+      if (take) nextPc = (pc_ + static_cast<std::uint32_t>(d.immB)) & config_.pcMask() & ~3u;
+      break;
+    }
+    case kOpLoad: {
+      if (d.funct3 != 0b010) {  // only LW in the subset
+        illegal = true;
+        break;
+      }
+      const std::uint32_t addr = (a + static_cast<std::uint32_t>(d.immI)) & xmask;
+      if (!pmpAllows(addr, /*isWrite=*/false, mode_)) {
+        trap(kCauseLoadAccessFault);
+        info.trapped = true;
+        info.trapCause = kCauseLoadAccessFault;
+        return info;
+      }
+      const std::uint32_t wordAddr = ((addr & config_.physAddrMask()) >> 2) % dmem_.size();
+      wb = dmem_[wordAddr];
+      wbValid = true;
+      break;
+    }
+    case kOpStore: {
+      if (d.funct3 != 0b010) {
+        illegal = true;
+        break;
+      }
+      const std::uint32_t addr = (a + static_cast<std::uint32_t>(d.immS)) & xmask;
+      if (!pmpAllows(addr, /*isWrite=*/true, mode_)) {
+        trap(kCauseStoreAccessFault);
+        info.trapped = true;
+        info.trapCause = kCauseStoreAccessFault;
+        return info;
+      }
+      const std::uint32_t wordAddr = ((addr & config_.physAddrMask()) >> 2) % dmem_.size();
+      dmem_[wordAddr] = b & xmask;
+      break;
+    }
+    case kOpImm: {
+      const std::uint32_t imm = static_cast<std::uint32_t>(d.immI) & xmask;
+      const unsigned shamt = d.rs2;  // shamt field overlaps rs2
+      switch (d.funct3) {
+        case 0b000: wb = a + imm; break;
+        case 0b010: wb = signedOf(a) < signedOf(imm) ? 1 : 0; break;
+        case 0b011: wb = (a < imm) ? 1 : 0; break;
+        case 0b100: wb = a ^ imm; break;
+        case 0b110: wb = a | imm; break;
+        case 0b111: wb = a & imm; break;
+        case 0b001: wb = shamt >= config_.xlen ? 0 : (a << shamt); break;
+        case 0b101:
+          if (d.funct7 & 0x20) {
+            wb = shamt >= config_.xlen
+                     ? (signedOf(a) < 0 ? xmask : 0)
+                     : static_cast<std::uint32_t>(signedOf(a) >> shamt);
+          } else {
+            wb = shamt >= config_.xlen ? 0 : (a >> shamt);
+          }
+          break;
+        default: illegal = true;
+      }
+      wbValid = !illegal;
+      break;
+    }
+    case kOpReg: {
+      const bool alt = (d.funct7 & 0x20) != 0;
+      switch (d.funct3) {
+        case 0b000: wb = alt ? a - b : a + b; break;
+        case 0b001: wb = (b & 31) >= config_.xlen ? 0 : a << (b & 31); break;
+        case 0b010: wb = signedOf(a) < signedOf(b) ? 1 : 0; break;
+        case 0b011: wb = (a < b) ? 1 : 0; break;
+        case 0b100: wb = a ^ b; break;
+        case 0b101:
+          if (alt) {
+            wb = (b & 31) >= config_.xlen
+                     ? (signedOf(a) < 0 ? xmask : 0)
+                     : static_cast<std::uint32_t>(signedOf(a) >> (b & 31));
+          } else {
+            wb = (b & 31) >= config_.xlen ? 0 : a >> (b & 31);
+          }
+          break;
+        case 0b110: wb = a | b; break;
+        case 0b111: wb = a & b; break;
+        default: illegal = true;
+      }
+      wbValid = !illegal;
+      break;
+    }
+    case kOpSystem: {
+      if (d.funct3 == 0b000) {
+        if (raw == 0x00000073) {  // ecall
+          const std::uint32_t cause = (mode_ == Mode::kMachine) ? kCauseEcallM : kCauseEcallU;
+          trap(cause);
+          info.trapped = true;
+          info.trapCause = cause;
+          return info;
+        }
+        if (raw == 0x30200073) {  // mret
+          if (mode_ != Mode::kMachine) {
+            illegal = true;
+            break;
+          }
+          nextPc = mepc_;
+          mode_ = Mode::kUser;
+          break;
+        }
+        illegal = true;
+        break;
+      }
+      // CSR instructions: csrrw (001), csrrs (010), csrrc (011).
+      const std::uint32_t old = csrReadForInstr(d.csr, &illegal);
+      if (illegal) break;
+      std::uint32_t newVal = old;
+      bool doWrite = false;
+      switch (d.funct3) {
+        case 0b001: newVal = a; doWrite = true; break;
+        case 0b010: newVal = old | a; doWrite = (rs1 != 0); break;
+        case 0b011: newVal = old & ~a; doWrite = (rs1 != 0); break;
+        default: illegal = true;
+      }
+      if (illegal) break;
+      if (doWrite) {
+        csrWriteForInstr(d.csr, newVal, &illegal);
+        if (illegal) break;
+      }
+      wb = old & xmask;
+      wbValid = true;
+      break;
+    }
+    case kOpMiscMem:  // fence = nop
+      break;
+    default:
+      illegal = true;
+  }
+
+  if (illegal) {
+    trap(kCauseIllegalInstr);
+    info.trapped = true;
+    info.trapCause = kCauseIllegalInstr;
+    return info;
+  }
+
+  if (wbValid && rd != 0) regs_[rd] = wb & xmask;
+  pc_ = nextPc;
+  ++instret_;
+  info.retired = true;
+  return info;
+}
+
+unsigned IsaSim::run(unsigned maxSteps, bool stopOnTrap) {
+  for (unsigned i = 0; i < maxSteps; ++i) {
+    const StepInfo s = step();
+    if (stopOnTrap && s.trapped) return i + 1;
+  }
+  return maxSteps;
+}
+
+}  // namespace upec::riscv

@@ -1,0 +1,114 @@
+// Instruction-set-architecture level reference simulator.
+//
+// This is the golden model for the RTL core in src/soc: it executes the
+// same RV32I subset with M/U privilege modes and TOR-mode physical memory
+// protection (PMP), but with no microarchitecture at all (no pipeline, no
+// cache, no timing). The RTL core is differential-tested against it, and
+// examples use it to show that vulnerable and secure designs are
+// *architecturally* indistinguishable — the whole point of the paper is
+// that covert channels live below this abstraction level.
+//
+// The data-path width (XLEN) and the number of implemented registers are
+// configurable so the same machine definition serves the small formal
+// models and the larger simulation demos.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "riscv/encoding.hpp"
+
+namespace upec::riscv {
+
+struct MachineConfig {
+  unsigned xlen = 32;        // 8..32
+  unsigned nregs = 32;       // power of two, >= 8
+  unsigned imemWords = 256;  // instruction memory size (32-bit words)
+  unsigned dmemWords = 256;  // data memory size (XLEN-wide words)
+  unsigned pmpEntries = 2;   // TOR-mode entries implemented
+  bool pmpLockBug = false;   // reproduce the RocketChip lock-bypass bug
+
+  std::uint32_t xlenMask() const {
+    return xlen >= 32 ? 0xffffffffu : ((1u << xlen) - 1);
+  }
+  unsigned physAddrBits() const {  // byte-address width of data space
+    unsigned b = 2;
+    while ((1u << (b - 2)) < dmemWords) ++b;
+    return b;
+  }
+  std::uint32_t physAddrMask() const { return (1u << physAddrBits()) - 1; }
+  unsigned pcBits() const {
+    unsigned b = 2;
+    while ((1u << (b - 2)) < imemWords) ++b;
+    return b;
+  }
+  std::uint32_t pcMask() const { return (1u << pcBits()) - 1; }
+};
+
+enum class Mode : std::uint8_t { kUser = 0, kMachine = 3 };
+
+// Result of one instruction step.
+struct StepInfo {
+  bool trapped = false;
+  std::uint32_t trapCause = 0;
+  bool retired = false;  // instruction completed architecturally
+  std::uint32_t pc = 0;  // pc of the executed instruction
+};
+
+class IsaSim {
+ public:
+  explicit IsaSim(const MachineConfig& config);
+
+  void reset();
+
+  // Program / data loading.
+  void loadProgram(const std::vector<std::uint32_t>& words, std::uint32_t baseWord = 0);
+  void setDmemWord(std::uint32_t wordAddr, std::uint32_t value);
+  std::uint32_t dmemWord(std::uint32_t wordAddr) const;
+
+  StepInfo step();
+  // Runs up to maxSteps instructions; stops early (returning the count
+  // executed) if a trap occurs and stopOnTrap is set.
+  unsigned run(unsigned maxSteps, bool stopOnTrap = false);
+
+  // --- architectural state --------------------------------------------
+  std::uint32_t reg(unsigned i) const { return regs_[i]; }
+  void setReg(unsigned i, std::uint32_t v);
+  std::uint32_t pc() const { return pc_; }
+  void setPc(std::uint32_t pc) { pc_ = pc & config_.pcMask() & ~3u; }
+  Mode mode() const { return mode_; }
+  void setMode(Mode m) { mode_ = m; }
+  std::uint64_t instret() const { return instret_; }
+
+  std::uint32_t csr(std::uint32_t addr) const;
+  void setCsr(std::uint32_t addr, std::uint32_t value);  // backdoor, no locks
+
+  // PMP access check exposed for tests: true = access permitted.
+  bool pmpAllows(std::uint32_t byteAddr, bool isWrite, Mode mode) const;
+  // True iff a CSR write to pmpaddr[i] is currently blocked by a lock
+  // (directly or via a locked TOR entry above — unless the bug is enabled).
+  bool pmpAddrWriteLocked(unsigned i) const;
+
+  const MachineConfig& config() const { return config_; }
+
+ private:
+  void trap(std::uint32_t cause);
+  std::uint32_t csrReadForInstr(std::uint32_t addr, bool* illegal) const;
+  void csrWriteForInstr(std::uint32_t addr, std::uint32_t value, bool* illegal);
+
+  MachineConfig config_;
+  std::vector<std::uint32_t> regs_;
+  std::uint32_t pc_ = 0;
+  Mode mode_ = Mode::kMachine;
+  std::vector<std::uint32_t> imem_;
+  std::vector<std::uint32_t> dmem_;
+
+  // CSRs.
+  std::uint32_t mtvec_ = 0, mepc_ = 0, mcause_ = 0;
+  std::uint64_t mcycle_ = 0;
+  std::uint64_t instret_ = 0;
+  std::vector<std::uint8_t> pmpcfg_;
+  std::vector<std::uint32_t> pmpaddr_;  // word-granule addresses (addr >> 2)
+};
+
+}  // namespace upec::riscv

@@ -1,0 +1,500 @@
+#include "rtl/ir.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace upec::rtl {
+
+const char* opName(Op op) {
+  switch (op) {
+    case Op::kInput: return "input";
+    case Op::kConst: return "const";
+    case Op::kRegQ: return "reg";
+    case Op::kMemRead: return "memread";
+    case Op::kBuf: return "buf";
+    case Op::kNot: return "not";
+    case Op::kNeg: return "neg";
+    case Op::kRedOr: return "redor";
+    case Op::kRedAnd: return "redand";
+    case Op::kRedXor: return "redxor";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kLshr: return "lshr";
+    case Op::kAshr: return "ashr";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kUlt: return "ult";
+    case Op::kUle: return "ule";
+    case Op::kSlt: return "slt";
+    case Op::kSle: return "sle";
+    case Op::kMux: return "mux";
+    case Op::kExtract: return "extract";
+    case Op::kConcat: return "concat";
+    case Op::kZext: return "zext";
+    case Op::kSext: return "sext";
+  }
+  return "?";
+}
+
+bool isCommutative(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kMul:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kEq:
+    case Op::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ------------------------------------------------------------------ Sig ---
+
+unsigned Sig::width() const { return design_->width(id_); }
+
+Sig Sig::operator+(Sig o) const { return design_->binary(Op::kAdd, *this, o); }
+Sig Sig::operator-(Sig o) const { return design_->binary(Op::kSub, *this, o); }
+Sig Sig::operator*(Sig o) const { return design_->binary(Op::kMul, *this, o); }
+Sig Sig::operator&(Sig o) const { return design_->binary(Op::kAnd, *this, o); }
+Sig Sig::operator|(Sig o) const { return design_->binary(Op::kOr, *this, o); }
+Sig Sig::operator^(Sig o) const { return design_->binary(Op::kXor, *this, o); }
+Sig Sig::operator~() const { return design_->unary(Op::kNot, *this); }
+Sig Sig::operator<<(Sig o) const { return design_->binary(Op::kShl, *this, o); }
+Sig Sig::operator>>(Sig o) const { return design_->binary(Op::kLshr, *this, o); }
+Sig Sig::eq(Sig o) const { return design_->binary(Op::kEq, *this, o); }
+Sig Sig::ne(Sig o) const { return design_->binary(Op::kNe, *this, o); }
+Sig Sig::ult(Sig o) const { return design_->binary(Op::kUlt, *this, o); }
+Sig Sig::ule(Sig o) const { return design_->binary(Op::kUle, *this, o); }
+Sig Sig::slt(Sig o) const { return design_->binary(Op::kSlt, *this, o); }
+Sig Sig::sle(Sig o) const { return design_->binary(Op::kSle, *this, o); }
+Sig Sig::extract(unsigned hi, unsigned lo) const { return design_->extract(*this, hi, lo); }
+Sig Sig::zext(unsigned w) const { return design_->zext(*this, w); }
+Sig Sig::sext(unsigned w) const { return design_->sext(*this, w); }
+Sig Sig::concat(Sig lowPart) const { return design_->concat(*this, lowPart); }
+Sig Sig::redOr() const { return design_->unary(Op::kRedOr, *this); }
+Sig Sig::redAnd() const { return design_->unary(Op::kRedAnd, *this); }
+Sig Sig::isZero() const { return ~redOr(); }
+
+Sig mux(Sig sel, Sig thenV, Sig elseV) { return sel.design()->mux(sel, thenV, elseV); }
+
+// --------------------------------------------------------------- Design ---
+
+NodeId Design::addNode(Node n) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(n);
+  return id;
+}
+
+NodeId Design::hashCons(const Node& n) {
+  // Structural hashing for pure combinational nodes: identical op applied
+  // to identical operands yields the same node. Registers, inputs and
+  // memory reads are never shared.
+  std::uint64_t h = static_cast<std::uint64_t>(n.op) * 0x9e3779b97f4a7c15ull;
+  h ^= n.width + (h << 6);
+  for (int i = 0; i < n.numOps; ++i) h = h * 1099511628211ull + n.ops[i];
+  h = h * 1099511628211ull + n.aux0;
+  h = h * 1099511628211ull + n.aux1;
+
+  auto& bucket = structuralHash_[h];
+  for (NodeId cand : bucket) {
+    const Node& c = nodes_[cand];
+    if (c.op == n.op && c.width == n.width && c.numOps == n.numOps && c.aux0 == n.aux0 &&
+        c.aux1 == n.aux1 && c.ops[0] == n.ops[0] && c.ops[1] == n.ops[1] && c.ops[2] == n.ops[2]) {
+      return cand;
+    }
+  }
+  const NodeId id = addNode(n);
+  bucket.push_back(id);
+  return id;
+}
+
+Sig Design::input(unsigned width, const std::string& name) {
+  assert(width >= 1 && width <= 64);
+  Node n;
+  n.op = Op::kInput;
+  n.width = width;
+  const NodeId id = addNode(n);
+  inputs_.push_back(id);
+  names_[id] = name;
+  return Sig(this, id);
+}
+
+Sig Design::constant(const BitVec& value) {
+  Node n;
+  n.op = Op::kConst;
+  n.width = value.width();
+  // Dedup by value: reuse the table slot, then hash-cons the node.
+  std::uint32_t slot = static_cast<std::uint32_t>(constTable_.size());
+  for (std::uint32_t i = 0; i < constTable_.size(); ++i) {
+    if (constTable_[i] == value) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == constTable_.size()) constTable_.push_back(value);
+  n.aux0 = slot;
+  return Sig(this, hashCons(n));
+}
+
+Sig Design::reg(unsigned width, const std::string& name, BitVec resetValue,
+                StateClass stateClass) {
+  assert(width >= 1 && width <= 64 && resetValue.width() == width);
+  Node n;
+  n.op = Op::kRegQ;
+  n.width = width;
+  const NodeId id = addNode(n);
+  RegInfo info;
+  info.q = id;
+  info.resetValue = resetValue;
+  info.stateClass = stateClass;
+  info.name = name;
+  regIndex_[id] = static_cast<std::uint32_t>(regs_.size());
+  regs_.push_back(info);
+  names_[id] = name;
+  return Sig(this, id);
+}
+
+void Design::connect(Sig regQ, Sig next) {
+  assert(regQ.design() == this && next.design() == this);
+  assert(nodes_[regQ.id()].op == Op::kRegQ);
+  assert(width(regQ.id()) == width(next.id()));
+  RegInfo& info = regs_[regIndexOf(regQ.id())];
+  assert(info.next == kNoNode && "register connected twice");
+  info.next = next.id();
+}
+
+std::uint32_t Design::addMem(unsigned depth, unsigned width, const std::string& name,
+                             StateClass stateClass) {
+  assert(depth >= 2 && width >= 1 && width <= 64);
+  MemInfo m;
+  m.depth = depth;
+  m.width = width;
+  m.addrBits = 1;
+  while ((1u << m.addrBits) < depth) ++m.addrBits;
+  m.stateClass = stateClass;
+  m.name = name;
+  mems_.push_back(m);
+  return static_cast<std::uint32_t>(mems_.size() - 1);
+}
+
+Sig Design::memRead(std::uint32_t memId, Sig addr) {
+  assert(memId < mems_.size());
+  MemInfo& m = mems_[memId];
+  assert(!m.lowered);
+  assert(addr.width() == m.addrBits);
+  Node n;
+  n.op = Op::kMemRead;
+  n.width = m.width;
+  n.numOps = 1;
+  n.ops[0] = addr.id();
+  n.aux0 = memId;
+  const NodeId id = addNode(n);
+  m.readPorts.push_back(id);
+  return Sig(this, id);
+}
+
+void Design::memWrite(std::uint32_t memId, Sig enable, Sig addr, Sig data) {
+  assert(memId < mems_.size());
+  MemInfo& m = mems_[memId];
+  assert(!m.lowered);
+  assert(enable.width() == 1 && addr.width() == m.addrBits && data.width() == m.width);
+  m.writePorts.push_back({enable.id(), addr.id(), data.id()});
+}
+
+Sig Design::unary(Op op, Sig a) {
+  assert(a.design() == this);
+  Node n;
+  n.op = op;
+  n.numOps = 1;
+  n.ops[0] = a.id();
+  switch (op) {
+    case Op::kNot:
+    case Op::kNeg:
+      n.width = a.width();
+      break;
+    case Op::kRedOr:
+    case Op::kRedAnd:
+    case Op::kRedXor:
+      n.width = 1;
+      break;
+    default:
+      assert(false && "not a unary op");
+  }
+  return Sig(this, hashCons(n));
+}
+
+Sig Design::binary(Op op, Sig a, Sig b) {
+  assert(a.design() == this && b.design() == this);
+  assert(a.width() == b.width() && "binary operands must have equal width");
+  Node n;
+  n.op = op;
+  n.numOps = 2;
+  // Canonical operand order for commutative ops improves sharing.
+  if (isCommutative(op) && a.id() > b.id()) std::swap(a, b);
+  n.ops[0] = a.id();
+  n.ops[1] = b.id();
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kLshr:
+    case Op::kAshr:
+      n.width = a.width();
+      break;
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kUlt:
+    case Op::kUle:
+    case Op::kSlt:
+    case Op::kSle:
+      n.width = 1;
+      break;
+    default:
+      assert(false && "not a binary op");
+  }
+  return Sig(this, hashCons(n));
+}
+
+Sig Design::mux(Sig sel, Sig thenV, Sig elseV) {
+  assert(sel.design() == this && thenV.design() == this && elseV.design() == this);
+  assert(sel.width() == 1 && thenV.width() == elseV.width());
+  Node n;
+  n.op = Op::kMux;
+  n.numOps = 3;
+  n.ops[0] = sel.id();
+  n.ops[1] = thenV.id();
+  n.ops[2] = elseV.id();
+  n.width = thenV.width();
+  return Sig(this, hashCons(n));
+}
+
+Sig Design::extract(Sig a, unsigned hi, unsigned lo) {
+  assert(a.design() == this && hi < a.width() && lo <= hi);
+  if (lo == 0 && hi == a.width() - 1) return a;
+  Node n;
+  n.op = Op::kExtract;
+  n.numOps = 1;
+  n.ops[0] = a.id();
+  n.aux0 = hi;
+  n.aux1 = lo;
+  n.width = hi - lo + 1;
+  return Sig(this, hashCons(n));
+}
+
+Sig Design::concat(Sig high, Sig low) {
+  assert(high.design() == this && low.design() == this);
+  assert(high.width() + low.width() <= 64);
+  Node n;
+  n.op = Op::kConcat;
+  n.numOps = 2;
+  n.ops[0] = high.id();
+  n.ops[1] = low.id();
+  n.width = high.width() + low.width();
+  return Sig(this, hashCons(n));
+}
+
+Sig Design::zext(Sig a, unsigned width) {
+  assert(a.design() == this && width >= a.width() && width <= 64);
+  if (width == a.width()) return a;
+  Node n;
+  n.op = Op::kZext;
+  n.numOps = 1;
+  n.ops[0] = a.id();
+  n.width = width;
+  return Sig(this, hashCons(n));
+}
+
+Sig Design::sext(Sig a, unsigned width) {
+  assert(a.design() == this && width >= a.width() && width <= 64);
+  if (width == a.width()) return a;
+  Node n;
+  n.op = Op::kSext;
+  n.numOps = 1;
+  n.ops[0] = a.id();
+  n.width = width;
+  return Sig(this, hashCons(n));
+}
+
+void Design::setName(Sig s, const std::string& name) { names_[s.id()] = name; }
+
+std::string Design::nodeName(NodeId id) const {
+  auto it = names_.find(id);
+  if (it != names_.end()) return it->second;
+  return "n" + std::to_string(id);
+}
+
+const BitVec& Design::constValue(NodeId id) const {
+  assert(nodes_[id].op == Op::kConst);
+  return constTable_[nodes_[id].aux0];
+}
+
+std::uint32_t Design::regIndexOf(NodeId id) const {
+  auto it = regIndex_.find(id);
+  assert(it != regIndex_.end());
+  return it->second;
+}
+
+bool Design::isComplete(std::string* whyNot) const {
+  for (const RegInfo& r : regs_) {
+    if (r.next == kNoNode) {
+      if (whyNot) *whyNot = "register '" + r.name + "' has no next-state function";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<NodeId> Design::topoOrder() const {
+  // Iterative DFS over combinational dependencies. Register outputs,
+  // inputs, constants and (unlowered) memory reads-through-state are
+  // sources w.r.t. the clock boundary, but memory read *addresses* and
+  // register *next* functions are combinational sinks that must be
+  // scheduled.
+  enum class Mark : std::uint8_t { kWhite, kGrey, kBlack };
+  std::vector<Mark> mark(nodes_.size(), Mark::kWhite);
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  std::vector<std::pair<NodeId, int>> stack;
+
+  auto visit = [&](NodeId root) {
+    if (mark[root] != Mark::kWhite) return;
+    stack.emplace_back(root, 0);
+    mark[root] = Mark::kGrey;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const Node& n = nodes_[id];
+      // kRegQ has no combinational operands (its `next` belongs to the
+      // previous cycle); everything else depends on its listed operands.
+      const int numDeps = (n.op == Op::kRegQ) ? 0 : n.numOps;
+      if (next < numDeps) {
+        const NodeId dep = n.ops[next++];
+        if (mark[dep] == Mark::kWhite) {
+          mark[dep] = Mark::kGrey;
+          stack.emplace_back(dep, 0);
+        } else if (mark[dep] == Mark::kGrey) {
+          assert(false && "combinational cycle in design");
+        }
+      } else {
+        mark[id] = Mark::kBlack;
+        order.push_back(id);
+        stack.pop_back();
+      }
+    }
+  };
+
+  for (NodeId id = 0; id < nodes_.size(); ++id) visit(id);
+  return order;
+}
+
+void Design::lowerMemories() {
+  for (std::uint32_t memId = 0; memId < mems_.size(); ++memId) {
+    MemInfo& m = mems_[memId];
+    if (m.lowered) continue;
+
+    // One register per word.
+    std::vector<Sig> words;
+    words.reserve(m.depth);
+    for (unsigned i = 0; i < m.depth; ++i) {
+      Sig w = reg(m.width, m.name + "[" + std::to_string(i) + "]", BitVec(m.width, 0),
+                  m.stateClass);
+      m.wordRegs.push_back(regIndexOf(w.id()));
+      words.push_back(w);
+    }
+
+    // Next-state: chain of write ports, later ports take priority.
+    for (unsigned i = 0; i < m.depth; ++i) {
+      Sig next = words[i];
+      const Sig idx = constant(m.addrBits, i);
+      for (const MemWritePort& p : m.writePorts) {
+        const Sig hit = Sig(this, p.enable) & Sig(this, p.addr).eq(idx);
+        next = mux(hit, Sig(this, p.data), next);
+      }
+      connect(words[i], next);
+    }
+
+    // Rewrite each read port into a balanced mux tree over the words and
+    // alias the original node to it (kBuf keeps NodeIds stable).
+    for (NodeId rp : m.readPorts) {
+      const Sig addr(this, nodes_[rp].ops[0]);
+      std::vector<Sig> layer = words;
+      unsigned bit = 0;
+      while (layer.size() > 1) {
+        std::vector<Sig> nextLayer;
+        for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+          nextLayer.push_back(mux(addr.bit(bit), layer[i + 1], layer[i]));
+        }
+        if (layer.size() % 2 == 1) nextLayer.push_back(layer.back());
+        layer = std::move(nextLayer);
+        ++bit;
+      }
+      nodes_[rp].op = Op::kBuf;
+      nodes_[rp].numOps = 1;
+      nodes_[rp].ops[0] = layer[0].id();
+      nodes_[rp].aux0 = 0;
+    }
+    m.lowered = true;
+  }
+}
+
+bool Design::memoriesLowered() const {
+  for (const MemInfo& m : mems_) {
+    if (!m.lowered) return false;
+  }
+  return true;
+}
+
+Design::Stats Design::stats() const {
+  Stats s;
+  s.nodes = nodes_.size();
+  s.registers = regs_.size();
+  for (const RegInfo& r : regs_) s.stateBits += nodes_[r.q].width;
+  s.inputs = inputs_.size();
+  for (NodeId i : inputs_) s.inputBits += nodes_[i].width;
+  for (const MemInfo& m : mems_) {
+    if (!m.lowered) {
+      ++s.memories;
+      s.memoryBits += static_cast<std::size_t>(m.depth) * m.width;
+    }
+  }
+  return s;
+}
+
+std::string Design::dump() const {
+  std::ostringstream os;
+  os << "design " << name_ << " (" << nodes_.size() << " nodes, " << regs_.size()
+     << " regs, " << mems_.size() << " mems)\n";
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    os << "  n" << id << " [" << n.width << "] = " << opName(n.op);
+    if (n.op == Op::kConst) {
+      os << " " << constTable_[n.aux0].toString();
+    } else if (n.op == Op::kExtract) {
+      os << " n" << n.ops[0] << " [" << n.aux0 << ":" << n.aux1 << "]";
+    } else {
+      for (int i = 0; i < n.numOps; ++i) os << " n" << n.ops[i];
+    }
+    auto it = names_.find(id);
+    if (it != names_.end()) os << "  ; " << it->second;
+    if (n.op == Op::kRegQ) {
+      const RegInfo& r = regs_[regIndex_.at(id)];
+      os << "  next=" << (r.next == kNoNode ? std::string("?") : "n" + std::to_string(r.next));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace upec::rtl

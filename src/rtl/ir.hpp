@@ -1,0 +1,257 @@
+// Word-level RTL intermediate representation.
+//
+// A Design is a flat netlist of typed nodes (inputs, constants, operators,
+// register outputs, memory read ports). Sequential elements:
+//
+//  * Registers: created with reg(); their next-state function is attached
+//    later with connect(). Each register carries a StateClass tag, which is
+//    how the UPEC engine distinguishes architectural state (program-visible,
+//    differences are L-alerts) from microarchitectural state (differences
+//    are P-alerts) and memory state (excluded from the uniqueness
+//    commitment, per Sec. V-B of the paper).
+//  * Memories: word arrays with synchronous write ports and combinational
+//    read ports. The formal engine requires memories to be lowered to
+//    per-word registers + mux trees first (lowerMemories()); the simulator
+//    can execute either form.
+//
+// Construction is ergonomic through the Sig value type which overloads the
+// usual operators, so processor models read close to Verilog.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/bitvec.hpp"
+
+namespace upec::rtl {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
+enum class Op : std::uint8_t {
+  kInput,
+  kConst,
+  kRegQ,      // register output; next-state via Design::connect
+  kMemRead,   // combinational read port; aux0 = memory id
+  kBuf,       // identity (used when lowering rewrites nodes in place)
+  // unary
+  kNot,
+  kNeg,
+  kRedOr,
+  kRedAnd,
+  kRedXor,
+  // binary
+  kAdd,
+  kSub,
+  kMul,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kLshr,
+  kAshr,
+  kEq,
+  kNe,
+  kUlt,
+  kUle,
+  kSlt,
+  kSle,
+  // structure
+  kMux,       // ops: sel(1 bit), then-value, else-value
+  kExtract,   // aux0 = hi, aux1 = lo
+  kConcat,    // ops: high part, low part
+  kZext,
+  kSext,
+};
+
+const char* opName(Op op);
+bool isCommutative(Op op);
+
+// UPEC state classification (paper Definitions 1 and 2).
+enum class StateClass : std::uint8_t {
+  kArch,    // architectural: register file, PC, CSRs, privilege mode...
+  kMicro,   // microarchitectural but program-invisible: pipeline buffers...
+  kMemory,  // main-memory / cache-data contents (excluded from soc_state)
+};
+
+struct Node {
+  Op op = Op::kBuf;
+  std::uint8_t numOps = 0;
+  unsigned width = 0;
+  NodeId ops[3] = {kNoNode, kNoNode, kNoNode};
+  std::uint32_t aux0 = 0;  // extract hi / const table index / memory id
+  std::uint32_t aux1 = 0;  // extract lo
+};
+
+struct RegInfo {
+  NodeId q = kNoNode;         // the kRegQ node
+  NodeId next = kNoNode;      // next-state function (set by connect)
+  BitVec resetValue;          // used by the simulator only; formal runs
+                              // start from a symbolic (any) state
+  StateClass stateClass = StateClass::kMicro;
+  std::string name;
+};
+
+struct MemWritePort {
+  NodeId enable = kNoNode;  // 1 bit
+  NodeId addr = kNoNode;
+  NodeId data = kNoNode;
+};
+
+struct MemInfo {
+  unsigned depth = 0;      // number of words
+  unsigned width = 0;      // word width
+  unsigned addrBits = 0;
+  StateClass stateClass = StateClass::kMemory;
+  std::string name;
+  std::vector<MemWritePort> writePorts;  // applied in order, later wins
+  std::vector<NodeId> readPorts;         // the kMemRead nodes
+  bool lowered = false;
+  std::vector<std::uint32_t> wordRegs;   // register indices after lowering
+};
+
+class Design;
+
+// Lightweight signal handle with operator sugar. All operands of a binary
+// operator must come from the same Design.
+class Sig {
+ public:
+  Sig() : design_(nullptr), id_(kNoNode) {}
+  Sig(Design* d, NodeId id) : design_(d), id_(id) {}
+
+  bool valid() const { return design_ != nullptr && id_ != kNoNode; }
+  NodeId id() const { return id_; }
+  Design* design() const { return design_; }
+  unsigned width() const;
+
+  Sig operator+(Sig o) const;
+  Sig operator-(Sig o) const;
+  Sig operator*(Sig o) const;
+  Sig operator&(Sig o) const;
+  Sig operator|(Sig o) const;
+  Sig operator^(Sig o) const;
+  Sig operator~() const;
+  Sig operator<<(Sig o) const;  // logical shift left
+  Sig operator>>(Sig o) const;  // logical shift right
+
+  Sig eq(Sig o) const;
+  Sig ne(Sig o) const;
+  Sig ult(Sig o) const;
+  Sig ule(Sig o) const;
+  Sig slt(Sig o) const;
+  Sig sle(Sig o) const;
+
+  // Bits [hi:lo] inclusive.
+  Sig extract(unsigned hi, unsigned lo) const;
+  Sig bit(unsigned i) const { return extract(i, i); }
+  Sig zext(unsigned w) const;
+  Sig sext(unsigned w) const;
+  Sig concat(Sig lowPart) const;  // this = high bits
+
+  Sig redOr() const;
+  Sig redAnd() const;
+  Sig isZero() const;
+
+ private:
+  Design* design_;
+  NodeId id_;
+};
+
+class Design {
+ public:
+  explicit Design(std::string name = "design") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- construction ----------------------------------------------------
+  Sig input(unsigned width, const std::string& name);
+  Sig constant(const BitVec& value);
+  Sig constant(unsigned width, std::uint64_t value) { return constant(BitVec(width, value)); }
+  Sig zero(unsigned width) { return constant(width, 0); }
+  Sig one(unsigned width) { return constant(width, 1); }
+
+  Sig reg(unsigned width, const std::string& name, BitVec resetValue,
+          StateClass stateClass = StateClass::kMicro);
+  Sig reg(unsigned width, const std::string& name, StateClass stateClass = StateClass::kMicro) {
+    return reg(width, name, BitVec(width, 0), stateClass);
+  }
+  // Attaches the next-state function of a register created with reg().
+  void connect(Sig regQ, Sig next);
+
+  std::uint32_t addMem(unsigned depth, unsigned width, const std::string& name,
+                       StateClass stateClass = StateClass::kMemory);
+  Sig memRead(std::uint32_t memId, Sig addr);
+  void memWrite(std::uint32_t memId, Sig enable, Sig addr, Sig data);
+
+  Sig unary(Op op, Sig a);
+  Sig binary(Op op, Sig a, Sig b);
+  Sig mux(Sig sel, Sig thenV, Sig elseV);
+  Sig extract(Sig a, unsigned hi, unsigned lo);
+  Sig concat(Sig high, Sig low);
+  Sig zext(Sig a, unsigned width);
+  Sig sext(Sig a, unsigned width);
+
+  // Names an existing node (for diagnostics / trace readability).
+  void setName(Sig s, const std::string& name);
+  std::string nodeName(NodeId id) const;
+
+  // --- introspection ---------------------------------------------------
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  std::size_t numNodes() const { return nodes_.size(); }
+  unsigned width(NodeId id) const { return nodes_[id].width; }
+  const BitVec& constValue(NodeId id) const;
+
+  const std::vector<RegInfo>& regs() const { return regs_; }
+  const std::vector<MemInfo>& mems() const { return mems_; }
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  // Register index for a kRegQ node (asserts if not a register output).
+  std::uint32_t regIndexOf(NodeId id) const;
+
+  // All next-state functions attached, no dangling operands.
+  bool isComplete(std::string* whyNot = nullptr) const;
+
+  // Combinational topological order over all nodes (register outputs,
+  // inputs and constants are sources). Asserts on combinational cycles.
+  std::vector<NodeId> topoOrder() const;
+
+  // Replaces every memory with per-word registers and mux-tree read logic.
+  // Required before bit-blasting. Idempotent.
+  void lowerMemories();
+  bool memoriesLowered() const;
+
+  struct Stats {
+    std::size_t nodes = 0;
+    std::size_t registers = 0;
+    std::size_t stateBits = 0;
+    std::size_t inputs = 0;
+    std::size_t inputBits = 0;
+    std::size_t memories = 0;
+    std::size_t memoryBits = 0;
+  };
+  Stats stats() const;
+
+  std::string dump() const;  // human-readable netlist listing
+
+ private:
+  NodeId addNode(Node n);
+  NodeId hashCons(const Node& n);
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<BitVec> constTable_;
+  std::vector<RegInfo> regs_;
+  std::vector<MemInfo> mems_;
+  std::vector<NodeId> inputs_;
+  std::unordered_map<NodeId, std::uint32_t> regIndex_;
+  std::unordered_map<NodeId, std::string> names_;
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> structuralHash_;
+};
+
+// Free-function sugar.
+Sig mux(Sig sel, Sig thenV, Sig elseV);
+
+}  // namespace upec::rtl

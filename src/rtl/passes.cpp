@@ -1,0 +1,109 @@
+#include "rtl/passes.hpp"
+
+#include <deque>
+
+namespace upec::rtl {
+
+ConeOfInfluence coneOfInfluence(const Design& design, std::span<const Sig> roots) {
+  ConeOfInfluence coi;
+  coi.nodes.assign(design.numNodes(), false);
+  coi.registers.assign(design.regs().size(), false);
+  coi.memories.assign(design.mems().size(), false);
+
+  std::deque<NodeId> work;
+  auto mark = [&](NodeId id) {
+    if (!coi.nodes[id]) {
+      coi.nodes[id] = true;
+      work.push_back(id);
+    }
+  };
+  for (Sig root : roots) mark(root.id());
+
+  while (!work.empty()) {
+    const NodeId id = work.front();
+    work.pop_front();
+    const Node& n = design.node(id);
+    switch (n.op) {
+      case Op::kRegQ: {
+        const std::uint32_t idx = design.regIndexOf(id);
+        if (!coi.registers[idx]) {
+          coi.registers[idx] = true;
+          const NodeId next = design.regs()[idx].next;
+          if (next != kNoNode) mark(next);
+        }
+        break;
+      }
+      case Op::kMemRead: {
+        mark(n.ops[0]);  // the address
+        const std::uint32_t memId = n.aux0;
+        if (!coi.memories[memId]) {
+          coi.memories[memId] = true;
+          for (const MemWritePort& p : design.mems()[memId].writePorts) {
+            mark(p.enable);
+            mark(p.addr);
+            mark(p.data);
+          }
+        }
+        break;
+      }
+      default:
+        for (int i = 0; i < n.numOps; ++i) mark(n.ops[i]);
+        break;
+    }
+  }
+  for (bool b : coi.nodes) coi.numNodes += b;
+  for (bool b : coi.registers) coi.numRegisters += b;
+  for (bool b : coi.memories) coi.numMemories += b;
+  return coi;
+}
+
+std::vector<NodeId> deadNodes(const Design& design, std::span<const Sig> roots) {
+  std::vector<bool> live(design.numNodes(), false);
+  std::deque<NodeId> work;
+  auto mark = [&](NodeId id) {
+    if (id != kNoNode && !live[id]) {
+      live[id] = true;
+      work.push_back(id);
+    }
+  };
+  for (Sig root : roots) mark(root.id());
+  for (const RegInfo& r : design.regs()) mark(r.next);
+  for (const MemInfo& m : design.mems()) {
+    for (const MemWritePort& p : m.writePorts) {
+      mark(p.enable);
+      mark(p.addr);
+      mark(p.data);
+    }
+    for (NodeId rp : m.readPorts) mark(rp);
+  }
+  while (!work.empty()) {
+    const NodeId id = work.front();
+    work.pop_front();
+    const Node& n = design.node(id);
+    for (int i = 0; i < n.numOps; ++i) mark(n.ops[i]);
+  }
+  std::vector<NodeId> dead;
+  for (NodeId id = 0; id < design.numNodes(); ++id) {
+    if (!live[id]) dead.push_back(id);
+  }
+  return dead;
+}
+
+DepthInfo combinationalDepth(const Design& design) {
+  DepthInfo info;
+  info.depth.assign(design.numNodes(), 0);
+  for (NodeId id : design.topoOrder()) {
+    const Node& n = design.node(id);
+    if (n.op == Op::kRegQ || n.op == Op::kInput || n.op == Op::kConst) continue;
+    unsigned best = 0;
+    for (int i = 0; i < n.numOps; ++i) best = std::max(best, info.depth[n.ops[i]]);
+    info.depth[id] = best + 1;
+    if (info.depth[id] > info.maxDepth) {
+      info.maxDepth = info.depth[id];
+      info.deepest = id;
+    }
+  }
+  return info;
+}
+
+}  // namespace upec::rtl

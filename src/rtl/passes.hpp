@@ -1,0 +1,45 @@
+// Analysis passes over the RTL IR:
+//  * cone of influence — which registers/inputs/memories can affect a set
+//    of root signals (used to sanity-check that UPEC commitments outside
+//    the secret's cone are trivially stable, and for design statistics);
+//  * fanout/usage statistics and dead-node detection;
+//  * combinational depth (longest gate path per node / per design).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/ir.hpp"
+
+namespace upec::rtl {
+
+struct ConeOfInfluence {
+  std::vector<bool> nodes;      // indexed by NodeId
+  std::vector<bool> registers;  // indexed by register index
+  std::vector<bool> memories;   // indexed by memory id
+  std::size_t numNodes = 0;
+  std::size_t numRegisters = 0;
+  std::size_t numMemories = 0;
+};
+
+// Computes the transitive fan-in of `roots` across register and memory
+// boundaries (a register's next-state function and every port of a read
+// memory are followed).
+ConeOfInfluence coneOfInfluence(const Design& design, std::span<const Sig> roots);
+
+// Nodes unreachable from any register next-state function, memory port or
+// the given roots (candidates for sweeping; the builder's hash-consing
+// usually keeps this small).
+std::vector<NodeId> deadNodes(const Design& design, std::span<const Sig> roots);
+
+struct DepthInfo {
+  std::vector<unsigned> depth;  // per node: longest combinational path to it
+  unsigned maxDepth = 0;
+  NodeId deepest = kNoNode;
+};
+
+// Longest combinational path (in operator counts) — registers, inputs and
+// constants are depth 0.
+DepthInfo combinationalDepth(const Design& design);
+
+}  // namespace upec::rtl

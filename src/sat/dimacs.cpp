@@ -1,0 +1,90 @@
+#include "sat/dimacs.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace upec::sat {
+
+Var DimacsRecorder::newVar() {
+  ++numVars_;
+  return solver_->newVar();
+}
+
+bool DimacsRecorder::addClause(std::span<const Lit> lits) {
+  clauses_.emplace_back(lits.begin(), lits.end());
+  return solver_->addClause(lits);
+}
+
+void DimacsRecorder::write(std::ostream& os) const {
+  os << "p cnf " << numVars_ << " " << clauses_.size() << "\n";
+  for (const auto& clause : clauses_) {
+    for (Lit l : clause) {
+      os << (l.sign() ? -(l.var() + 1) : (l.var() + 1)) << " ";
+    }
+    os << "0\n";
+  }
+}
+
+std::string DimacsRecorder::toString() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+DimacsParseResult parseDimacs(std::istream& is, Solver& solver) {
+  DimacsParseResult result;
+  const int baseVars = solver.numVars();
+  int declaredVars = -1;
+  long declaredClauses = -1;
+  std::string token;
+  std::vector<Lit> clause;
+
+  auto varFor = [&](int dimacsVar) {
+    while (solver.numVars() - baseVars < dimacsVar) solver.newVar();
+    return static_cast<Var>(baseVars + dimacsVar - 1);
+  };
+
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    if (line[0] == 'p') {
+      std::string p, cnf;
+      ls >> p >> cnf >> declaredVars >> declaredClauses;
+      if (cnf != "cnf" || declaredVars < 0 || declaredClauses < 0) {
+        result.error = "malformed problem line: " + line;
+        return result;
+      }
+      continue;
+    }
+    long v;
+    while (ls >> v) {
+      if (v == 0) {
+        solver.addClause(std::span<const Lit>(clause));
+        ++result.numClauses;
+        clause.clear();
+      } else {
+        const int mag = static_cast<int>(v < 0 ? -v : v);
+        if (declaredVars >= 0 && mag > declaredVars) {
+          result.error = "literal exceeds declared variable count";
+          return result;
+        }
+        clause.push_back(Lit(varFor(mag), v < 0));
+      }
+    }
+  }
+  if (!clause.empty()) {
+    result.error = "trailing clause without terminating 0";
+    return result;
+  }
+  result.numVars = solver.numVars() - baseVars;
+  result.ok = true;
+  return result;
+}
+
+DimacsParseResult parseDimacsString(const std::string& text, Solver& solver) {
+  std::istringstream is(text);
+  return parseDimacs(is, solver);
+}
+
+}  // namespace upec::sat

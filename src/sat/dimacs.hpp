@@ -1,0 +1,52 @@
+// DIMACS CNF interchange: export problems built through a recording proxy,
+// and parse standard .cnf files into a Solver. Lets the engines in this
+// repository be cross-checked against external SAT solvers, and external
+// benchmarks be run against ours.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace upec::sat {
+
+// Records clauses while forwarding them to a Solver, for later export.
+class DimacsRecorder {
+ public:
+  explicit DimacsRecorder(Solver& solver) : solver_(&solver) {}
+
+  Var newVar();
+  bool addClause(std::span<const Lit> lits);
+  bool addClause(std::initializer_list<Lit> lits) {
+    return addClause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
+  // Writes "p cnf <vars> <clauses>" plus all recorded clauses.
+  void write(std::ostream& os) const;
+  std::string toString() const;
+
+  std::size_t numClauses() const { return clauses_.size(); }
+
+ private:
+  Solver* solver_;
+  int numVars_ = 0;
+  std::vector<std::vector<Lit>> clauses_;
+};
+
+struct DimacsParseResult {
+  bool ok = false;
+  std::string error;
+  int numVars = 0;
+  std::size_t numClauses = 0;
+};
+
+// Parses DIMACS text, creating variables and clauses in `solver`.
+// Variable i of the file maps to solver variable i-1 (+ baseVar offset for
+// variables that already exist).
+DimacsParseResult parseDimacs(std::istream& is, Solver& solver);
+DimacsParseResult parseDimacsString(const std::string& text, Solver& solver);
+
+}  // namespace upec::sat

@@ -1,0 +1,538 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace upec::sat {
+
+// Learnt and problem clauses share one representation; learnt clauses carry
+// an activity for the database-reduction heuristic.
+struct Solver::Clause {
+  float activity = 0.0f;
+  bool learnt = false;
+  bool deleted = false;
+  std::vector<Lit> lits;
+
+  int size() const { return static_cast<int>(lits.size()); }
+  Lit& operator[](int i) { return lits[i]; }
+  const Lit& operator[](int i) const { return lits[i]; }
+};
+
+Solver::Solver() = default;
+
+Solver::~Solver() {
+  for (Clause* c : clauses_) delete c;
+  for (Clause* c : learnts_) delete c;
+}
+
+Var Solver::newVar() {
+  const Var v = numVars();
+  assigns_.push_back(LBool::kUndef);
+  polarity_.push_back(true);
+  reason_.push_back(nullptr);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  seen_.push_back(false);
+  heapIndex_.push_back(-1);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heapInsert(v);
+  return v;
+}
+
+bool Solver::addClause(std::span<const Lit> lits) {
+  assert(decisionLevel() == 0);
+  if (!ok_) return false;
+
+  // Simplify against the top-level assignment; drop duplicates; detect
+  // tautologies.
+  std::vector<Lit> ps(lits.begin(), lits.end());
+  std::sort(ps.begin(), ps.end(), [](Lit a, Lit b) { return a.code() < b.code(); });
+  std::vector<Lit> out;
+  Lit prev = kLitUndef;
+  for (Lit l : ps) {
+    assert(l.var() >= 0 && l.var() < numVars());
+    if (value(l) == LBool::kTrue || l == ~prev) return true;  // satisfied / tautology
+    if (value(l) != LBool::kFalse && l != prev) {
+      out.push_back(l);
+      prev = l;
+    }
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], nullptr);
+    ok_ = (propagate() == nullptr);
+    return ok_;
+  }
+
+  auto* c = new Clause();
+  c->lits = std::move(out);
+  clauses_.push_back(c);
+  ++numProblemClauses_;
+  attachClause(c);
+  return true;
+}
+
+void Solver::attachClause(Clause* c) {
+  assert(c->size() >= 2);
+  watches_[(~(*c)[0]).code()].push_back({c, (*c)[1]});
+  watches_[(~(*c)[1]).code()].push_back({c, (*c)[0]});
+}
+
+void Solver::detachClause(Clause* c) {
+  for (int i = 0; i < 2; ++i) {
+    auto& ws = watches_[(~(*c)[i]).code()];
+    for (std::size_t j = 0; j < ws.size(); ++j) {
+      if (ws[j].clause == c) {
+        ws[j] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void Solver::removeClause(Clause* c) {
+  detachClause(c);
+  c->deleted = true;
+  // Reason pointers may still reference the clause; defer the delete by
+  // keeping it in a tombstone state until backtracking clears reasons.
+  // Simpler: never free until destructor for reason-referenced learnts is
+  // unsafe; instead we only call removeClause on learnts that are not
+  // currently a reason (checked by caller).
+  delete c;
+}
+
+void Solver::enqueue(Lit l, Clause* reason) {
+  assert(value(l) == LBool::kUndef);
+  assigns_[l.var()] = l.sign() ? LBool::kFalse : LBool::kTrue;
+  reason_[l.var()] = reason;
+  level_[l.var()] = decisionLevel();
+  trail_.push_back(l);
+}
+
+Solver::Clause* Solver::propagate() {
+  while (qhead_ < static_cast<int>(trail_.size())) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& ws = watches_[p.code()];
+    std::size_t i = 0, j = 0;
+    const std::size_t n = ws.size();
+    while (i < n) {
+      const Watcher w = ws[i];
+      if (value(w.blocker) == LBool::kTrue) {  // clause already satisfied
+        ws[j++] = ws[i++];
+        continue;
+      }
+      Clause& c = *w.clause;
+      // Normalise so the false literal (~p) is at position 1.
+      const Lit notP = ~p;
+      if (c[0] == notP) std::swap(c[0], c[1]);
+      assert(c[1] == notP);
+
+      const Lit first = c[0];
+      if (first != w.blocker && value(first) == LBool::kTrue) {
+        ws[j++] = {w.clause, first};
+        ++i;
+        continue;
+      }
+
+      // Look for a new literal to watch.
+      bool foundWatch = false;
+      for (int k = 2; k < c.size(); ++k) {
+        if (value(c[k]) != LBool::kFalse) {
+          std::swap(c[1], c[k]);
+          watches_[(~c[1]).code()].push_back({w.clause, first});
+          foundWatch = true;
+          break;
+        }
+      }
+      if (foundWatch) {
+        ++i;  // watcher moved to another list
+        continue;
+      }
+
+      // Clause is unit or conflicting.
+      ws[j++] = {w.clause, first};
+      ++i;
+      if (value(first) == LBool::kFalse) {
+        // Conflict: copy back remaining watchers and report.
+        while (i < n) ws[j++] = ws[i++];
+        ws.resize(j);
+        qhead_ = static_cast<int>(trail_.size());
+        return w.clause;
+      }
+      enqueue(first, w.clause);
+    }
+    ws.resize(j);
+  }
+  return nullptr;
+}
+
+void Solver::bumpVarActivity(Var v) {
+  activity_[v] += varInc_;
+  if (activity_[v] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    varInc_ *= 1e-100;
+  }
+  if (heapIndex_[v] >= 0) heapDecreaseKey(v);
+}
+
+void Solver::decayVarActivity() { varInc_ *= (1.0 / 0.95); }
+
+void Solver::bumpClauseActivity(Clause* c) {
+  c->activity += static_cast<float>(clauseInc_);
+  if (c->activity > 1e20f) {
+    for (Clause* l : learnts_) l->activity *= 1e-20f;
+    clauseInc_ *= 1e-20;
+  }
+}
+
+void Solver::decayClauseActivity() { clauseInc_ *= (1.0 / 0.999); }
+
+// First-UIP conflict analysis with (non-recursive approximation of)
+// clause minimisation via the reason graph.
+void Solver::analyze(Clause* conflict, std::vector<Lit>& outLearnt, int& outBtLevel) {
+  int pathCount = 0;
+  Lit p = kLitUndef;
+  outLearnt.clear();
+  outLearnt.push_back(kLitUndef);  // slot for the asserting literal
+  int index = static_cast<int>(trail_.size()) - 1;
+
+  Clause* reason = conflict;
+  do {
+    assert(reason != nullptr);
+    if (reason->learnt) bumpClauseActivity(reason);
+    for (int k = (p == kLitUndef) ? 0 : 1; k < reason->size(); ++k) {
+      const Lit q = (*reason)[k];
+      if (!seen_[q.var()] && level_[q.var()] > 0) {
+        seen_[q.var()] = true;
+        bumpVarActivity(q.var());
+        if (level_[q.var()] >= decisionLevel()) {
+          ++pathCount;
+        } else {
+          outLearnt.push_back(q);
+        }
+      }
+    }
+    // Select next literal on the trail to resolve on.
+    while (!seen_[trail_[index].var()]) --index;
+    p = trail_[index];
+    --index;
+    reason = reason_[p.var()];
+    seen_[p.var()] = false;
+    --pathCount;
+  } while (pathCount > 0);
+  outLearnt[0] = ~p;
+
+  // Minimisation: drop literals whose reasons are subsumed by the clause.
+  analyzeToClear_ = outLearnt;
+  std::uint32_t abstractLevels = 0;
+  for (std::size_t i = 1; i < outLearnt.size(); ++i)
+    abstractLevels |= 1u << (level_[outLearnt[i].var()] & 31);
+
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < outLearnt.size(); ++i) {
+    if (reason_[outLearnt[i].var()] == nullptr || !litRedundant(outLearnt[i], abstractLevels)) {
+      outLearnt[keep++] = outLearnt[i];
+    }
+  }
+  outLearnt.resize(keep);
+  stats_.learntLiterals += outLearnt.size();
+
+  // Find the backtrack level = max level among the non-asserting literals.
+  if (outLearnt.size() == 1) {
+    outBtLevel = 0;
+  } else {
+    std::size_t maxI = 1;
+    for (std::size_t i = 2; i < outLearnt.size(); ++i) {
+      if (level_[outLearnt[i].var()] > level_[outLearnt[maxI].var()]) maxI = i;
+    }
+    std::swap(outLearnt[1], outLearnt[maxI]);
+    outBtLevel = level_[outLearnt[1].var()];
+  }
+
+  for (Lit l : analyzeToClear_) seen_[l.var()] = false;
+  for (Lit l : outLearnt) seen_[l.var()] = true;  // restore for litRedundant callers
+  for (Lit l : outLearnt) seen_[l.var()] = false;
+}
+
+bool Solver::litRedundant(Lit l, std::uint32_t abstractLevels) {
+  analyzeStack_.clear();
+  analyzeStack_.push_back(l);
+  const std::size_t topClear = analyzeToClear_.size();
+  while (!analyzeStack_.empty()) {
+    const Lit cur = analyzeStack_.back();
+    analyzeStack_.pop_back();
+    Clause* r = reason_[cur.var()];
+    assert(r != nullptr);
+    for (int k = 1; k < r->size(); ++k) {
+      const Lit q = (*r)[k];
+      if (!seen_[q.var()] && level_[q.var()] > 0) {
+        const bool hasReason = reason_[q.var()] != nullptr;
+        const bool levelOk = (abstractLevels >> (level_[q.var()] & 31)) & 1;
+        if (hasReason && levelOk) {
+          seen_[q.var()] = true;
+          analyzeStack_.push_back(q);
+          analyzeToClear_.push_back(q);
+        } else {
+          // Not redundant: undo the marks added by this call.
+          for (std::size_t i = topClear; i < analyzeToClear_.size(); ++i)
+            seen_[analyzeToClear_[i].var()] = false;
+          analyzeToClear_.resize(topClear);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// Builds conflict_ = subset of assumptions responsible for falsifying p.
+void Solver::analyzeFinal(Lit p) {
+  conflict_.clear();
+  conflict_.push_back(p);
+  if (decisionLevel() == 0) return;
+  seen_[p.var()] = true;
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= trailLim_[0]; --i) {
+    const Var v = trail_[i].var();
+    if (!seen_[v]) continue;
+    if (reason_[v] == nullptr) {
+      assert(level_[v] > 0);
+      conflict_.push_back(~trail_[i]);
+    } else {
+      Clause& c = *reason_[v];
+      for (int k = 1; k < c.size(); ++k) {
+        if (level_[c[k].var()] > 0) seen_[c[k].var()] = true;
+      }
+    }
+    seen_[v] = false;
+  }
+  seen_[p.var()] = false;
+}
+
+void Solver::backtrack(int level) {
+  if (decisionLevel() <= level) return;
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= trailLim_[level]; --i) {
+    const Var v = trail_[i].var();
+    polarity_[v] = (assigns_[v] == LBool::kFalse);
+    assigns_[v] = LBool::kUndef;
+    reason_[v] = nullptr;
+    if (heapIndex_[v] < 0) heapInsert(v);
+  }
+  trail_.resize(trailLim_[level]);
+  trailLim_.resize(level);
+  qhead_ = static_cast<int>(trail_.size());
+}
+
+Lit Solver::pickBranchLit() {
+  while (!heapEmpty()) {
+    const Var v = heapRemoveMax();
+    if (value(v) == LBool::kUndef) {
+      ++stats_.decisions;
+      return Lit(v, polarity_[v]);
+    }
+  }
+  return kLitUndef;
+}
+
+void Solver::reduceDB() {
+  // Keep the more active half; never remove clauses currently used as a
+  // reason or binary clauses (cheap and valuable).
+  std::sort(learnts_.begin(), learnts_.end(),
+            [](const Clause* a, const Clause* b) { return a->activity > b->activity; });
+  std::vector<bool> isReason(learnts_.size(), false);
+  std::vector<Clause*> keep;
+  keep.reserve(learnts_.size());
+  const std::size_t limit = learnts_.size() / 2;
+  for (std::size_t i = 0; i < learnts_.size(); ++i) {
+    Clause* c = learnts_[i];
+    const bool locked = !trail_.empty() && [&] {
+      for (Lit l : c->lits)
+        if (reason_[l.var()] == c) return true;
+      return false;
+    }();
+    if (i < limit || c->size() <= 2 || locked) {
+      keep.push_back(c);
+    } else {
+      detachClause(c);
+      delete c;
+      ++stats_.removedClauses;
+    }
+  }
+  learnts_ = std::move(keep);
+}
+
+std::uint64_t Solver::lubySequence(std::uint64_t i) {
+  // Knuth's formulation: find the finite subsequence containing i.
+  std::uint64_t size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return 1ull << seq;
+}
+
+LBool Solver::solve(std::span<const Lit> assumptions) {
+  conflict_.clear();
+  if (!ok_) return LBool::kFalse;
+  assumptions_.assign(assumptions.begin(), assumptions.end());
+  model_.clear();
+
+  std::uint64_t restartNum = 0;
+  std::uint64_t conflictsUntilRestart = 100 * lubySequence(restartNum);
+  std::uint64_t conflictsThisRestart = 0;
+  std::uint64_t totalConflicts = 0;
+  maxLearnts_ = std::max<std::uint64_t>(8192, numProblemClauses_ / 2);
+
+  std::vector<Lit> learntClause;
+  for (;;) {
+    Clause* conflict = propagate();
+    if (conflict != nullptr) {
+      ++stats_.conflicts;
+      ++conflictsThisRestart;
+      ++totalConflicts;
+      if (decisionLevel() == 0) {
+        ok_ = false;
+        backtrack(0);
+        return LBool::kFalse;
+      }
+      int btLevel = 0;
+      analyze(conflict, learntClause, btLevel);
+      backtrack(btLevel);
+      if (learntClause.size() == 1) {
+        enqueue(learntClause[0], nullptr);
+      } else {
+        auto* c = new Clause();
+        c->learnt = true;
+        c->lits = learntClause;
+        learnts_.push_back(c);
+        attachClause(c);
+        bumpClauseActivity(c);
+        enqueue(learntClause[0], c);
+      }
+      decayVarActivity();
+      decayClauseActivity();
+      if (conflictBudget_ != 0 && totalConflicts >= conflictBudget_) {
+        backtrack(0);
+        return LBool::kUndef;
+      }
+      continue;
+    }
+
+    if (conflictsThisRestart >= conflictsUntilRestart) {
+      ++stats_.restarts;
+      ++restartNum;
+      conflictsThisRestart = 0;
+      conflictsUntilRestart = 100 * lubySequence(restartNum);
+      backtrack(0);
+      continue;
+    }
+    if (learnts_.size() >= maxLearnts_) {
+      reduceDB();
+      maxLearnts_ += maxLearnts_ / 10;
+    }
+
+    // Assume pending assumptions in order, then decide.
+    Lit next = kLitUndef;
+    while (decisionLevel() < static_cast<int>(assumptions_.size())) {
+      const Lit a = assumptions_[decisionLevel()];
+      if (value(a) == LBool::kTrue) {
+        newDecisionLevel();  // dummy level to keep indices aligned
+      } else if (value(a) == LBool::kFalse) {
+        analyzeFinal(~a);
+        backtrack(0);
+        return LBool::kFalse;
+      } else {
+        next = a;
+        break;
+      }
+    }
+    if (next == kLitUndef) {
+      next = pickBranchLit();
+      if (next == kLitUndef) {
+        // All variables assigned: SAT. Snapshot the model.
+        model_.assign(assigns_.begin(), assigns_.end());
+        backtrack(0);
+        return LBool::kTrue;
+      }
+    }
+    newDecisionLevel();
+    enqueue(next, nullptr);
+  }
+}
+
+bool Solver::modelValue(Var v) const {
+  assert(!model_.empty() && v < static_cast<int>(model_.size()));
+  return model_[v] == LBool::kTrue;
+}
+
+// ---------------------------------------------------------------- heap ---
+
+void Solver::heapInsert(Var v) {
+  heapIndex_[v] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heapPercolateUp(heapIndex_[v]);
+}
+
+void Solver::heapDecreaseKey(Var v) { heapPercolateUp(heapIndex_[v]); }
+
+void Solver::heapPercolateUp(int i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heapIndex_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  heapIndex_[v] = i;
+}
+
+void Solver::heapPercolateDown(int i) {
+  const Var v = heap_[i];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && activity_[heap_[child + 1]] > activity_[heap_[child]]) ++child;
+    if (activity_[heap_[child]] <= activity_[v]) break;
+    heap_[i] = heap_[child];
+    heapIndex_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = v;
+  heapIndex_[v] = i;
+}
+
+Var Solver::heapRemoveMax() {
+  const Var v = heap_[0];
+  heapIndex_[v] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heapIndex_[heap_[0]] = 0;
+    heapPercolateDown(0);
+  }
+  return v;
+}
+
+void Solver::rebuildOrderHeap() {
+  heap_.clear();
+  for (Var v = 0; v < numVars(); ++v) {
+    heapIndex_[v] = -1;
+    if (value(v) == LBool::kUndef) heapInsert(v);
+  }
+}
+
+}  // namespace upec::sat

@@ -1,0 +1,184 @@
+// CDCL SAT solver in the MiniSat lineage: two-watched-literal propagation,
+// first-UIP conflict analysis with clause minimisation, VSIDS decision
+// heuristic with phase saving, Luby restarts, learnt-clause database
+// reduction, and incremental solving under assumptions with unsat-core
+// extraction over the assumption set.
+//
+// This is the decision procedure underneath the bounded model checker
+// (src/formal). It is deliberately self-contained: the paper's flow uses a
+// commercial property checker, which we substitute with this engine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace upec::sat {
+
+// A propositional variable is a non-negative integer. A literal packs a
+// variable and a sign: lit = var * 2 + (negated ? 1 : 0).
+using Var = int;
+
+class Lit {
+ public:
+  Lit() : code_(-2) {}
+  Lit(Var v, bool negated) : code_(v * 2 + (negated ? 1 : 0)) {}
+
+  static Lit fromCode(int code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  Var var() const { return code_ >> 1; }
+  bool sign() const { return code_ & 1; }  // true = negated
+  Lit operator~() const { return fromCode(code_ ^ 1); }
+  int code() const { return code_; }
+  bool operator==(const Lit& o) const { return code_ == o.code_; }
+  bool operator!=(const Lit& o) const { return code_ != o.code_; }
+
+ private:
+  int code_;
+};
+
+inline const Lit kLitUndef = Lit::fromCode(-2);
+
+// Three-valued assignment.
+enum class LBool : std::uint8_t { kTrue, kFalse, kUndef };
+inline LBool negate(LBool b) {
+  if (b == LBool::kUndef) return b;
+  return b == LBool::kTrue ? LBool::kFalse : LBool::kTrue;
+}
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learntLiterals = 0;
+  std::uint64_t removedClauses = 0;
+};
+
+class Solver {
+ public:
+  Solver();
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  // Creates a fresh variable and returns it.
+  Var newVar();
+  int numVars() const { return static_cast<int>(assigns_.size()); }
+  std::uint64_t numClauses() const { return numProblemClauses_; }
+  std::uint64_t numLearnts() const { return learnts_.size(); }
+
+  // Adds a clause (disjunction of literals). Returns false if the clause
+  // makes the formula trivially unsatisfiable (e.g. empty after
+  // simplification against the top-level assignment).
+  bool addClause(std::span<const Lit> lits);
+  bool addClause(std::initializer_list<Lit> lits) {
+    return addClause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+  bool addUnit(Lit l) { return addClause({l}); }
+
+  // Solves under the given assumptions. Returns kTrue (sat: model available
+  // via modelValue), kFalse (unsat: conflictingAssumptions() holds a subset
+  // of the assumptions sufficient for unsatisfiability).
+  LBool solve(std::span<const Lit> assumptions = {});
+
+  // Valid after solve() returned kTrue.
+  bool modelValue(Var v) const;
+  bool modelValue(Lit l) const { return modelValue(l.var()) != l.sign(); }
+
+  // Valid after solve() returned kFalse: the subset of assumptions used.
+  const std::vector<Lit>& conflictingAssumptions() const { return conflict_; }
+
+  bool okay() const { return ok_; }
+  const SolverStats& stats() const { return stats_; }
+
+  // Optional resource limit: abort solve() after this many conflicts
+  // (0 = unlimited). When hit, solve() returns kUndef.
+  void setConflictBudget(std::uint64_t budget) { conflictBudget_ = budget; }
+
+ private:
+  struct Clause;
+  struct Watcher {
+    Clause* clause;
+    Lit blocker;
+  };
+
+  LBool value(Var v) const { return assigns_[v]; }
+  LBool value(Lit l) const { return l.sign() ? negate(assigns_[l.var()]) : assigns_[l.var()]; }
+
+  int decisionLevel() const { return static_cast<int>(trailLim_.size()); }
+  void newDecisionLevel() { trailLim_.push_back(static_cast<int>(trail_.size())); }
+
+  void enqueue(Lit l, Clause* reason);
+  Clause* propagate();
+  void analyze(Clause* conflict, std::vector<Lit>& outLearnt, int& outBtLevel);
+  void analyzeFinal(Lit p);
+  bool litRedundant(Lit l, std::uint32_t abstractLevels);
+  void backtrack(int level);
+  Lit pickBranchLit();
+  void reduceDB();
+  void removeClause(Clause* c);
+  void attachClause(Clause* c);
+  void detachClause(Clause* c);
+  void bumpVarActivity(Var v);
+  void decayVarActivity();
+  void bumpClauseActivity(Clause* c);
+  void decayClauseActivity();
+  void rebuildOrderHeap();
+
+  // order heap (max-heap on activity)
+  void heapInsert(Var v);
+  void heapDecreaseKey(Var v);  // activity increased -> sift up
+  void heapPercolateUp(int i);
+  void heapPercolateDown(int i);
+  Var heapRemoveMax();
+  bool heapEmpty() const { return heap_.empty(); }
+
+  static std::uint64_t lubySequence(std::uint64_t i);
+
+  // clause database
+  std::vector<Clause*> clauses_;
+  std::vector<Clause*> learnts_;
+  std::uint64_t numProblemClauses_ = 0;
+
+  // assignment state
+  std::vector<LBool> assigns_;
+  std::vector<bool> polarity_;  // saved phase, true = last assigned false
+  std::vector<Clause*> reason_;
+  std::vector<int> level_;
+  std::vector<Lit> trail_;
+  std::vector<int> trailLim_;
+  int qhead_ = 0;
+
+  // watches indexed by literal code
+  std::vector<std::vector<Watcher>> watches_;
+
+  // VSIDS
+  std::vector<double> activity_;
+  double varInc_ = 1.0;
+  std::vector<Var> heap_;
+  std::vector<int> heapIndex_;  // -1 if not in heap
+
+  double clauseInc_ = 1.0;
+
+  // analyze scratch
+  std::vector<bool> seen_;
+  std::vector<Lit> analyzeToClear_;
+  std::vector<Lit> analyzeStack_;
+
+  std::vector<Lit> assumptions_;
+  std::vector<Lit> conflict_;
+  std::vector<LBool> model_;
+
+  bool ok_ = true;
+  SolverStats stats_;
+  std::uint64_t conflictBudget_ = 0;
+  std::uint64_t maxLearnts_ = 8192;
+};
+
+}  // namespace upec::sat

@@ -1,0 +1,194 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace upec::sim {
+
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+Simulator::Simulator(const rtl::Design& design) : design_(design) {
+  std::string why;
+  assert(design.isComplete(&why) && "design has unconnected registers");
+  topo_ = design.topoOrder();
+  values_.assign(design.numNodes(), BitVec());
+  inputState_.assign(design.numNodes(), BitVec());
+  for (NodeId in : design.inputs()) inputState_[in] = BitVec(design.width(in), 0);
+  regState_.resize(design.regs().size());
+  memState_.resize(design.mems().size());
+  for (std::size_t m = 0; m < design.mems().size(); ++m) {
+    memState_[m].assign(design.mems()[m].depth, 0);
+  }
+  reset();
+}
+
+void Simulator::reset() {
+  for (std::size_t i = 0; i < design_.regs().size(); ++i) {
+    regState_[i] = design_.regs()[i].resetValue;
+  }
+  for (auto& m : memState_) {
+    std::fill(m.begin(), m.end(), 0);
+  }
+  cycle_ = 0;
+  combClean_ = false;
+}
+
+void Simulator::poke(rtl::Sig input, const BitVec& value) {
+  assert(design_.node(input.id()).op == Op::kInput);
+  assert(value.width() == input.width());
+  inputState_[input.id()] = value;
+  combClean_ = false;
+}
+
+void Simulator::setReg(std::uint32_t regIdx, const BitVec& v) {
+  assert(regIdx < regState_.size());
+  assert(v.width() == regState_[regIdx].width());
+  regState_[regIdx] = v;
+  combClean_ = false;
+}
+
+std::uint64_t Simulator::readMemWord(std::uint32_t memId, std::uint64_t addr) const {
+  assert(memId < memState_.size() && addr < memState_[memId].size());
+  return memState_[memId][addr];
+}
+
+void Simulator::writeMemWord(std::uint32_t memId, std::uint64_t addr, std::uint64_t value) {
+  assert(memId < memState_.size() && addr < memState_[memId].size());
+  memState_[memId][addr] = value & BitVec::mask(design_.mems()[memId].width);
+  combClean_ = false;
+}
+
+void Simulator::evalComb() {
+  if (combClean_) return;
+  for (NodeId id : topo_) {
+    const Node& n = design_.node(id);
+    BitVec& out = values_[id];
+    switch (n.op) {
+      case Op::kInput:
+        out = inputState_[id];
+        break;
+      case Op::kConst:
+        out = design_.constValue(id);
+        break;
+      case Op::kRegQ:
+        out = regState_[design_.regIndexOf(id)];
+        break;
+      case Op::kMemRead: {
+        const std::uint64_t addr = values_[n.ops[0]].uint();
+        const auto& mem = memState_[n.aux0];
+        // Out-of-range addresses (possible when depth is not a power of
+        // two) read as zero, matching the lowered mux tree's default.
+        out = BitVec(n.width, addr < mem.size() ? mem[addr] : 0);
+        break;
+      }
+      case Op::kBuf:
+        out = values_[n.ops[0]];
+        break;
+      case Op::kNot:
+        out = values_[n.ops[0]].bnot();
+        break;
+      case Op::kNeg:
+        out = values_[n.ops[0]].neg();
+        break;
+      case Op::kRedOr:
+        out = values_[n.ops[0]].redOr();
+        break;
+      case Op::kRedAnd:
+        out = values_[n.ops[0]].redAnd();
+        break;
+      case Op::kRedXor:
+        out = values_[n.ops[0]].redXor();
+        break;
+      case Op::kAdd:
+        out = values_[n.ops[0]].add(values_[n.ops[1]]);
+        break;
+      case Op::kSub:
+        out = values_[n.ops[0]].sub(values_[n.ops[1]]);
+        break;
+      case Op::kMul:
+        out = values_[n.ops[0]].mul(values_[n.ops[1]]);
+        break;
+      case Op::kAnd:
+        out = values_[n.ops[0]].band(values_[n.ops[1]]);
+        break;
+      case Op::kOr:
+        out = values_[n.ops[0]].bor(values_[n.ops[1]]);
+        break;
+      case Op::kXor:
+        out = values_[n.ops[0]].bxor(values_[n.ops[1]]);
+        break;
+      case Op::kShl:
+        out = values_[n.ops[0]].shl(values_[n.ops[1]]);
+        break;
+      case Op::kLshr:
+        out = values_[n.ops[0]].lshr(values_[n.ops[1]]);
+        break;
+      case Op::kAshr:
+        out = values_[n.ops[0]].ashr(values_[n.ops[1]]);
+        break;
+      case Op::kEq:
+        out = values_[n.ops[0]].eq(values_[n.ops[1]]);
+        break;
+      case Op::kNe:
+        out = values_[n.ops[0]].ne(values_[n.ops[1]]);
+        break;
+      case Op::kUlt:
+        out = values_[n.ops[0]].ult(values_[n.ops[1]]);
+        break;
+      case Op::kUle:
+        out = values_[n.ops[0]].ule(values_[n.ops[1]]);
+        break;
+      case Op::kSlt:
+        out = values_[n.ops[0]].slt(values_[n.ops[1]]);
+        break;
+      case Op::kSle:
+        out = values_[n.ops[0]].sle(values_[n.ops[1]]);
+        break;
+      case Op::kMux:
+        out = values_[n.ops[0]].toBool() ? values_[n.ops[1]] : values_[n.ops[2]];
+        break;
+      case Op::kExtract:
+        out = values_[n.ops[0]].extract(n.aux0, n.aux1);
+        break;
+      case Op::kConcat:
+        out = values_[n.ops[0]].concat(values_[n.ops[1]]);
+        break;
+      case Op::kZext:
+        out = values_[n.ops[0]].zext(n.width);
+        break;
+      case Op::kSext:
+        out = values_[n.ops[0]].sext(n.width);
+        break;
+    }
+  }
+  combClean_ = true;
+}
+
+void Simulator::step() {
+  evalComb();
+  // Latch register next-states.
+  std::vector<BitVec> nextState(regState_.size());
+  for (std::size_t i = 0; i < design_.regs().size(); ++i) {
+    nextState[i] = values_[design_.regs()[i].next];
+  }
+  regState_ = std::move(nextState);
+  // Apply memory write ports in declaration order (later wins, matching the
+  // lowered mux-chain priority).
+  for (std::size_t m = 0; m < design_.mems().size(); ++m) {
+    const rtl::MemInfo& info = design_.mems()[m];
+    if (info.lowered) continue;
+    for (const rtl::MemWritePort& p : info.writePorts) {
+      if (values_[p.enable].toBool()) {
+        const std::uint64_t addr = values_[p.addr].uint();
+        if (addr < memState_[m].size()) {
+          memState_[m][addr] = values_[p.data].uint();
+        }
+      }
+    }
+  }
+  ++cycle_;
+  combClean_ = false;
+}
+
+}  // namespace upec::sim

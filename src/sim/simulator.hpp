@@ -1,0 +1,73 @@
+// Cycle-accurate two-valued simulator over the RTL IR.
+//
+// Executes both unlowered designs (native memory arrays; used by the attack
+// demos where memories are large) and lowered designs (used to
+// differential-test the formal engine's unrolling against simulation).
+//
+// Usage:
+//   Simulator sim(design);
+//   sim.reset();                 // registers take their reset values
+//   sim.poke(someInput, value);  // inputs hold their value until re-poked
+//   sim.step();                  // evaluate combinational logic, clock edge
+//   sim.peek(someSignal);        // value after the last evaluation
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/bitvec.hpp"
+#include "rtl/ir.hpp"
+
+namespace upec::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(const rtl::Design& design);
+
+  // Loads reset values into all registers and zero-fills memories. Memory
+  // contents preloaded with writeMemWord survive only if written after
+  // reset().
+  void reset();
+
+  void poke(rtl::Sig input, const BitVec& value);
+  void poke(rtl::Sig input, std::uint64_t value) {
+    poke(input, BitVec(input.width(), value));
+  }
+
+  // Value of any node after the most recent evalComb()/step().
+  const BitVec& peek(rtl::Sig s) const { return values_[s.id()]; }
+  const BitVec& peek(rtl::NodeId id) const { return values_[id]; }
+
+  // Evaluates all combinational logic with the current register/memory/input
+  // state (idempotent; step() calls it internally).
+  void evalComb();
+
+  // One clock cycle: evaluate, then commit register next-states and memory
+  // write ports.
+  void step();
+  void run(unsigned cycles) {
+    for (unsigned i = 0; i < cycles; ++i) step();
+  }
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  // Direct state access (testbench backdoor).
+  const BitVec& regValue(std::uint32_t regIdx) const { return regState_[regIdx]; }
+  void setReg(std::uint32_t regIdx, const BitVec& v);
+  std::uint64_t readMemWord(std::uint32_t memId, std::uint64_t addr) const;
+  void writeMemWord(std::uint32_t memId, std::uint64_t addr, std::uint64_t value);
+
+  const rtl::Design& design() const { return design_; }
+
+ private:
+  const rtl::Design& design_;
+  std::vector<rtl::NodeId> topo_;
+  std::vector<BitVec> values_;       // per node, after evalComb
+  std::vector<BitVec> regState_;     // per register
+  std::vector<BitVec> inputState_;   // per node id (inputs only)
+  std::vector<std::vector<std::uint64_t>> memState_;  // per (unlowered) memory
+  std::uint64_t cycle_ = 0;
+  bool combClean_ = false;
+};
+
+}  // namespace upec::sim

@@ -1,0 +1,74 @@
+#include "sim/vcd.hpp"
+
+#include <cassert>
+#include <ostream>
+
+namespace upec::sim {
+
+std::string VcdWriter::makeId(std::size_t index) {
+  // Printable identifier alphabet per the VCD spec (chars '!'..'~').
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+void VcdWriter::addSignal(rtl::Sig sig, const std::string& name) {
+  assert(!headerDone_ && "signals must be added before writeHeader");
+  Tracked t;
+  t.node = sig.id();
+  t.name = name;
+  t.id = makeId(tracked_.size());
+  tracked_.push_back(std::move(t));
+}
+
+void VcdWriter::addAllRegisters() {
+  const rtl::Design& d = sim_.design();
+  for (const rtl::RegInfo& reg : d.regs()) {
+    addSignal(rtl::Sig(const_cast<rtl::Design*>(&d), reg.q),
+              reg.name.empty() ? ("reg" + std::to_string(reg.q)) : reg.name);
+  }
+}
+
+void VcdWriter::writeHeader(std::ostream& os) {
+  os << "$timescale 1ns $end\n$scope module " << sim_.design().name() << " $end\n";
+  for (const Tracked& t : tracked_) {
+    const unsigned width = sim_.design().width(t.node);
+    std::string safe = t.name;
+    for (char& c : safe) {
+      if (c == ' ') c = '_';
+    }
+    os << "$var wire " << width << " " << t.id << " " << safe << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+  headerDone_ = true;
+}
+
+void VcdWriter::sample(std::ostream& os) {
+  assert(headerDone_);
+  sim_.evalComb();
+  bool stamped = false;
+  for (Tracked& t : tracked_) {
+    const BitVec v = sim_.peek(t.node);
+    if (t.everSampled && v.uint() == t.lastValue) continue;
+    if (!stamped) {
+      os << "#" << time_ << "\n";
+      stamped = true;
+    }
+    const unsigned width = v.width();
+    if (width == 1) {
+      os << (v.uint() & 1) << t.id << "\n";
+    } else {
+      os << "b";
+      for (unsigned i = width; i-- > 0;) os << ((v.uint() >> i) & 1);
+      os << " " << t.id << "\n";
+    }
+    t.lastValue = v.uint();
+    t.everSampled = true;
+  }
+  ++time_;
+}
+
+}  // namespace upec::sim

@@ -1,0 +1,47 @@
+// Value-change-dump (VCD) waveform writer for the cycle-accurate
+// simulator. Records selected signals each cycle; the output opens in
+// GTKWave and friends, which is the workflow a hardware engineer expects
+// when diagnosing a UPEC counterexample trace.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rtl/ir.hpp"
+#include "sim/simulator.hpp"
+
+namespace upec::sim {
+
+class VcdWriter {
+ public:
+  explicit VcdWriter(Simulator& simulator) : sim_(simulator) {}
+
+  // Adds a signal to the dump (call before writeHeader).
+  void addSignal(rtl::Sig sig, const std::string& name);
+  // Adds every named register of the design.
+  void addAllRegisters();
+
+  void writeHeader(std::ostream& os);
+  // Samples all tracked signals at the current simulator state; emits only
+  // changes, per the VCD format.
+  void sample(std::ostream& os);
+
+ private:
+  struct Tracked {
+    rtl::NodeId node;
+    std::string name;
+    std::string id;  // VCD short identifier
+    std::uint64_t lastValue = ~0ull;
+    bool everSampled = false;
+  };
+  static std::string makeId(std::size_t index);
+
+  Simulator& sim_;
+  std::vector<Tracked> tracked_;
+  std::uint64_t time_ = 0;
+  bool headerDone_ = false;
+};
+
+}  // namespace upec::sim

@@ -1,0 +1,58 @@
+#include "soc/attack.hpp"
+
+namespace upec::soc {
+
+using riscv::Assembler;
+
+std::vector<std::uint32_t> orcAttackProgram(const AttackLayout& layout, unsigned testValue) {
+  Assembler a;
+  // Paper Fig. 2 (word-indexed cache: the offset steps by 4 bytes per line):
+  //   1: li x1, #protected_addr
+  //   2: li x2, #accessible_addr
+  //   3: addi x2, x2, #test_value
+  //   4: sw x3, 0(x2)
+  //   5: lw x4, 0(x1)      <- faults (PMP), but the cache answers first
+  //   6: lw x5, 0(x4)      <- transient: address is the secret value
+  a.li(1, static_cast<std::int32_t>(layout.protectedByteAddr));
+  a.li(2, static_cast<std::int32_t>(layout.accessibleByteAddr));
+  a.addi(2, 2, static_cast<std::int32_t>(testValue * 4));
+  a.sw(3, 2, 0);
+  a.lw(4, 1, 0);
+  a.lw(5, 4, 0);
+  // Never reached architecturally: the PMP exception transfers control.
+  const riscv::Label park = a.newLabel();
+  a.bind(park);
+  a.j(park);
+  return a.finish();
+}
+
+std::vector<std::uint32_t> meltdownTransientProgram(const AttackLayout& layout) {
+  Assembler a;
+  a.li(1, static_cast<std::int32_t>(layout.protectedByteAddr));
+  a.lw(4, 1, 0);  // faults; cache hit forwards the secret transiently
+  a.lw(5, 4, 0);  // transient miss: refill indexed by the secret value
+  const riscv::Label park = a.newLabel();
+  a.bind(park);
+  a.j(park);
+  return a.finish();
+}
+
+std::vector<std::uint32_t> probeProgram(std::uint32_t byteAddr) {
+  Assembler a;
+  a.li(1, static_cast<std::int32_t>(byteAddr));
+  a.lw(2, 1, 0);
+  const riscv::Label park = a.newLabel();
+  a.bind(park);
+  a.j(park);
+  return a.finish();
+}
+
+std::vector<std::uint32_t> spinHandler() {
+  Assembler a;
+  const riscv::Label park = a.newLabel();
+  a.bind(park);
+  a.j(park);
+  return a.finish();
+}
+
+}  // namespace upec::soc

@@ -1,0 +1,42 @@
+// Attack programs from the paper, expressed over the MiniRV SoC.
+//
+// orcAttackProgram() emits exactly the instruction sequence of paper Fig. 2
+// (one probe iteration of the Orc attack). Our cache indexes by word
+// address rather than by byte, so one iteration distinguishes the secret's
+// cache-index bits; the attacker sweeps testValue over all cache lines and
+// detects the RAW-hazard stall through the iteration's cycle count.
+//
+// meltdownAttackProgram() emits the transient-access part of a
+// Meltdown-style attack: the faulting load of the secret followed by a
+// dependent load whose (cancelled) refill leaves a secret-dependent cache
+// footprint, observable afterwards by prime-and-probe timing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "riscv/assembler.hpp"
+#include "soc/config.hpp"
+
+namespace upec::soc {
+
+struct AttackLayout {
+  std::uint32_t protectedByteAddr = 0;   // where the secret lives
+  std::uint32_t accessibleByteAddr = 0;  // user array, cache-index-aligned
+};
+
+// Paper Fig. 2, one iteration. The program ends parked in a tight loop at
+// the trap handler location `handlerByteAddr` (the OS would run there).
+std::vector<std::uint32_t> orcAttackProgram(const AttackLayout& layout, unsigned testValue);
+
+// Transient sequence for the Meltdown-style attack: faulting load of the
+// secret + dependent load using the secret as an address.
+std::vector<std::uint32_t> meltdownTransientProgram(const AttackLayout& layout);
+
+// A probe program: loads `wordAddr` and parks; the caller measures cycles.
+std::vector<std::uint32_t> probeProgram(std::uint32_t byteAddr);
+
+// A tiny parked trap handler (spin-in-place), to be loaded at mtvec.
+std::vector<std::uint32_t> spinHandler();
+
+}  // namespace upec::soc

@@ -1,0 +1,65 @@
+#include "soc/config.hpp"
+
+namespace upec::soc {
+
+const char* variantName(SocVariant v) {
+  switch (v) {
+    case SocVariant::kSecure: return "secure";
+    case SocVariant::kOrc: return "orc";
+    case SocVariant::kMeltdownStyle: return "meltdown-style";
+    case SocVariant::kPmpLockBug: return "pmp-lock-bug";
+  }
+  return "?";
+}
+
+VariantFlags VariantFlags::forVariant(SocVariant v) {
+  VariantFlags f;
+  switch (v) {
+    case SocVariant::kSecure:
+      break;
+    case SocVariant::kOrc:
+      f.fastLoadForward = true;
+      f.hazardUsesRawValid = true;
+      break;
+    case SocVariant::kMeltdownStyle:
+      f.fastLoadForward = true;
+      f.refillOnKilled = true;
+      break;
+    case SocVariant::kPmpLockBug:
+      f.pmpLockBug = true;
+      break;
+  }
+  return f;
+}
+
+SocConfig SocConfig::formalSmall(SocVariant v) {
+  SocConfig c;
+  c.machine.xlen = 8;
+  c.machine.nregs = 8;
+  c.machine.imemWords = 16;
+  c.machine.dmemWords = 16;
+  c.machine.pmpEntries = 2;
+  c.machine.pmpLockBug = (v == SocVariant::kPmpLockBug);
+  c.cacheLines = 4;
+  c.pendingWriteCycles = 3;
+  c.refillCycles = 2;
+  c.variant = v;
+  return c;
+}
+
+SocConfig SocConfig::simLarge(SocVariant v) {
+  SocConfig c;
+  c.machine.xlen = 32;
+  c.machine.nregs = 32;
+  c.machine.imemWords = 256;
+  c.machine.dmemWords = 1024;
+  c.machine.pmpEntries = 4;
+  c.machine.pmpLockBug = (v == SocVariant::kPmpLockBug);
+  c.cacheLines = 16;
+  c.pendingWriteCycles = 6;
+  c.refillCycles = 8;
+  c.variant = v;
+  return c;
+}
+
+}  // namespace upec::soc

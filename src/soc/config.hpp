@@ -1,0 +1,82 @@
+// Configuration of the MiniRV SoC generator.
+//
+// The same generator serves two deployments:
+//  * small formal configurations (narrow XLEN, few cache lines, small
+//    memories) that keep the UPEC miter tractable for the SAT engine, and
+//  * larger simulation configurations for the attack demonstrations.
+//
+// The security-relevant microarchitectural design decisions from the paper
+// are captured as variant flags (see SocVariant): the original RocketChip
+// design corresponds to kSecure; the paper's two deliberately-weakened
+// designs correspond to kOrc and kMeltdownStyle; kPmpLockBug reproduces the
+// real PMP lock-bypass bug UPEC found in RocketChip (Sec. VII-C).
+#pragma once
+
+#include <string>
+
+#include "riscv/isa_sim.hpp"
+
+namespace upec::soc {
+
+enum class SocVariant {
+  kSecure,         // baseline: all transactions of killed instructions cancelled
+  kOrc,            // cache response buffer bypassed: RAW-hazard stall leaks timing
+  kMeltdownStyle,  // cache line refill of killed/faulting accesses not cancelled
+  kPmpLockBug,     // pmpaddr of a locked TOR range writable (ISA incompliance)
+};
+
+const char* variantName(SocVariant v);
+
+// Elementary microarchitectural switches derived from a SocVariant.
+struct VariantFlags {
+  // Load data is forwarded combinationally from the cache response wire to
+  // the execute stage (removes the load-use stall). This is the "common and
+  // correct forwarding feature" of paper Fig. 1 and the enabler for both
+  // transient-transaction variants.
+  bool fastLoadForward = false;
+  // The cache RAW-hazard comparator observes the raw (pre-kill) request
+  // wires instead of the kill-gated ones: a request squashed by an
+  // exception flush in the same cycle still triggers the hazard stall.
+  // This is the Orc covert channel (paper Sec. III).
+  bool hazardUsesRawValid = false;
+  // A miss of a killed or faulting request still starts a cache line
+  // refill, and an exception flush does not cancel a refill in flight.
+  // This is the Meltdown-style covert channel (paper Sec. VII).
+  bool refillOnKilled = false;
+  // pmpaddr[i] remains writable although entry i+1 is a locked TOR entry,
+  // violating the RISC-V privileged ISA (paper Sec. VII-C).
+  bool pmpLockBug = false;
+
+  static VariantFlags forVariant(SocVariant v);
+};
+
+struct SocConfig {
+  riscv::MachineConfig machine;
+  unsigned cacheLines = 4;          // direct-mapped, one XLEN word per line
+  unsigned pendingWriteCycles = 3;  // cycles a store stays pending in the cache
+  unsigned refillCycles = 2;        // memory latency of a cache line refill
+  SocVariant variant = SocVariant::kSecure;
+
+  // Derived geometry.
+  unsigned xlen() const { return machine.xlen; }
+  unsigned pcBits() const { return machine.pcBits(); }
+  unsigned wordAddrBits() const { return machine.physAddrBits() - 2; }
+  unsigned indexBits() const {
+    unsigned b = 0;
+    while ((1u << b) < cacheLines) ++b;
+    return b;
+  }
+  unsigned tagBits() const { return wordAddrBits() - indexBits(); }
+  unsigned regIdxBits() const {
+    unsigned b = 0;
+    while ((1u << b) < machine.nregs) ++b;
+    return b;
+  }
+
+  // A small formal configuration (used by the UPEC benches and tests).
+  static SocConfig formalSmall(SocVariant v);
+  // A larger configuration for cycle-accurate attack demonstrations.
+  static SocConfig simLarge(SocVariant v);
+};
+
+}  // namespace upec::soc

@@ -1,0 +1,731 @@
+#include "soc/soc.hpp"
+
+#include <cassert>
+
+#include "riscv/encoding.hpp"
+
+namespace upec::soc {
+
+using rtl::Design;
+using rtl::Op;
+using rtl::Sig;
+using rtl::StateClass;
+
+namespace {
+
+// Selects vec[idx] via a balanced mux tree (little-endian index bits).
+Sig selectByIndex(Design& d, const std::vector<Sig>& vec, Sig idx) {
+  assert(!vec.empty());
+  std::vector<Sig> layer = vec;
+  unsigned bit = 0;
+  while (layer.size() > 1) {
+    std::vector<Sig> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(d.mux(idx.bit(bit), layer[i + 1], layer[i]));
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+    ++bit;
+  }
+  return layer[0];
+}
+
+unsigned ctrBits(unsigned maxValue) {
+  unsigned b = 1;
+  while ((1u << b) <= maxValue) ++b;
+  return b;
+}
+
+}  // namespace
+
+SocInstance SocBuilder::build(Design& d, const SocConfig& cfg, const std::string& prefix,
+                              std::int64_t sharedImem) {
+  const VariantFlags flags = VariantFlags::forVariant(cfg.variant);
+  const unsigned X = cfg.xlen();
+  const unsigned P = cfg.pcBits();
+  const unsigned W = cfg.wordAddrBits();
+  const unsigned I = cfg.indexBits();
+  const unsigned T = cfg.tagBits();
+  const unsigned R = cfg.regIdxBits();
+  const unsigned nPmp = cfg.machine.pmpEntries;
+  assert(cfg.cacheLines >= 2 && T >= 1);
+  assert(nPmp >= 2 && nPmp * 8 <= 32);
+
+  SocInstance s;
+  s.config = cfg;
+  s.prefix = prefix;
+  const std::size_t regsBefore = d.regs().size();
+
+  auto nm = [&](const char* n) { return prefix + n; };
+  auto C = [&](unsigned w, std::uint64_t v) { return d.constant(w, v); };
+  const Sig one1 = C(1, 1), zero1 = C(1, 0);
+
+  // ======================= state elements =================================
+  // Architectural. Note on the program counter: the *fetch* pc is
+  // microarchitectural — it runs ahead speculatively and is rolled back on
+  // flushes; the ISA-level pc is carried by the committing instruction
+  // (memwbPc) and manifests architecturally through the register file,
+  // CSRs and privilege mode. Classifying the fetch pc as kMicro mirrors
+  // how a pipelined design separates speculation from architectural state.
+  s.pc = d.reg(P, nm("pc"), StateClass::kMicro);
+  s.mode = d.reg(1, nm("mode"), BitVec(1, 1), StateClass::kArch);  // reset: machine
+  s.mtvec = d.reg(P, nm("mtvec"), StateClass::kArch);
+  s.mepc = d.reg(P, nm("mepc"), StateClass::kArch);
+  s.mcause = d.reg(4, nm("mcause"), StateClass::kArch);
+  s.mcycle = d.reg(X, nm("mcycle"), StateClass::kArch);
+  for (unsigned i = 0; i < nPmp; ++i) {
+    s.pmpcfg.push_back(d.reg(8, nm(("pmpcfg" + std::to_string(i)).c_str()), StateClass::kArch));
+    // One bit wider than a word address so a TOR top of 2^W (exclusive end
+    // of memory) is representable; mirrors riscv::IsaSim::setCsr.
+    s.pmpaddr.push_back(
+        d.reg(W + 1, nm(("pmpaddr" + std::to_string(i)).c_str()), StateClass::kArch));
+  }
+  s.regfileMemId = d.addMem(cfg.machine.nregs, X, nm("regfile"), StateClass::kArch);
+
+  // Pipeline registers (microarchitectural).
+  s.ifidValid = d.reg(1, nm("ifid_valid"), StateClass::kMicro);
+  s.ifidPc = d.reg(P, nm("ifid_pc"), StateClass::kMicro);
+  s.ifidInstr = d.reg(32, nm("ifid_instr"), StateClass::kMicro);
+
+  s.idexValid = d.reg(1, nm("idex_valid"), StateClass::kMicro);
+  s.idexPc = d.reg(P, nm("idex_pc"), StateClass::kMicro);
+  s.idexRd = d.reg(R, nm("idex_rd"), StateClass::kMicro);
+  s.idexRs1 = d.reg(R, nm("idex_rs1"), StateClass::kMicro);
+  s.idexRs2 = d.reg(R, nm("idex_rs2"), StateClass::kMicro);
+  s.idexRs1Val = d.reg(X, nm("idex_rs1val"), StateClass::kMicro);
+  s.idexRs2Val = d.reg(X, nm("idex_rs2val"), StateClass::kMicro);
+  s.idexImm = d.reg(X, nm("idex_imm"), StateClass::kMicro);
+  s.idexAluOp = d.reg(4, nm("idex_aluop"), StateClass::kMicro);
+  s.idexAluSrcImm = d.reg(1, nm("idex_alusrcimm"), StateClass::kMicro);
+  s.idexIsLoad = d.reg(1, nm("idex_isload"), StateClass::kMicro);
+  s.idexIsStore = d.reg(1, nm("idex_isstore"), StateClass::kMicro);
+  s.idexIsBranch = d.reg(1, nm("idex_isbranch"), StateClass::kMicro);
+  s.idexBrFunct3 = d.reg(3, nm("idex_brfunct3"), StateClass::kMicro);
+  s.idexIsJal = d.reg(1, nm("idex_isjal"), StateClass::kMicro);
+  s.idexIsJalr = d.reg(1, nm("idex_isjalr"), StateClass::kMicro);
+  s.idexIsLui = d.reg(1, nm("idex_islui"), StateClass::kMicro);
+  s.idexIsAuipc = d.reg(1, nm("idex_isauipc"), StateClass::kMicro);
+  s.idexWbEn = d.reg(1, nm("idex_wben"), StateClass::kMicro);
+  s.idexIsCsr = d.reg(1, nm("idex_iscsr"), StateClass::kMicro);
+  s.idexCsrAddr = d.reg(12, nm("idex_csraddr"), StateClass::kMicro);
+  s.idexCsrOp = d.reg(3, nm("idex_csrop"), StateClass::kMicro);  // funct3 + rs1!=0 encoded below
+  s.idexIsEcall = d.reg(1, nm("idex_isecall"), StateClass::kMicro);
+  s.idexIsMret = d.reg(1, nm("idex_ismret"), StateClass::kMicro);
+  s.idexIllegal = d.reg(1, nm("idex_illegal"), StateClass::kMicro);
+
+  s.exmemValid = d.reg(1, nm("exmem_valid"), StateClass::kMicro);
+  s.exmemPc = d.reg(P, nm("exmem_pc"), StateClass::kMicro);
+  s.exmemRd = d.reg(R, nm("exmem_rd"), StateClass::kMicro);
+  s.exmemWbEn = d.reg(1, nm("exmem_wben"), StateClass::kMicro);
+  s.exmemIsLoad = d.reg(1, nm("exmem_isload"), StateClass::kMicro);
+  s.exmemIsStore = d.reg(1, nm("exmem_isstore"), StateClass::kMicro);
+  s.exmemAluResult = d.reg(X, nm("exmem_aluresult"), StateClass::kMicro);
+  s.exmemStoreData = d.reg(X, nm("exmem_storedata"), StateClass::kMicro);
+  s.exmemIsCsr = d.reg(1, nm("exmem_iscsr"), StateClass::kMicro);
+  s.exmemCsrAddr = d.reg(12, nm("exmem_csraddr"), StateClass::kMicro);
+  s.exmemCsrOp = d.reg(3, nm("exmem_csrop"), StateClass::kMicro);
+  s.exmemCsrWval = d.reg(X, nm("exmem_csrwval"), StateClass::kMicro);
+  s.exmemIsEcall = d.reg(1, nm("exmem_isecall"), StateClass::kMicro);
+  s.exmemIsMret = d.reg(1, nm("exmem_ismret"), StateClass::kMicro);
+  s.exmemIllegal = d.reg(1, nm("exmem_illegal"), StateClass::kMicro);
+
+  s.memwbValid = d.reg(1, nm("memwb_valid"), StateClass::kMicro);
+  s.memwbPc = d.reg(P, nm("memwb_pc"), StateClass::kMicro);
+  s.memwbRd = d.reg(R, nm("memwb_rd"), StateClass::kMicro);
+  s.memwbWbEn = d.reg(1, nm("memwb_wben"), StateClass::kMicro);
+  s.memwbIsLoad = d.reg(1, nm("memwb_isload"), StateClass::kMicro);
+  s.memwbAluResult = d.reg(X, nm("memwb_aluresult"), StateClass::kMicro);
+  s.memwbPmpFault = d.reg(1, nm("memwb_pmpfault"), StateClass::kMicro);
+  s.memwbIsStoreFault = d.reg(1, nm("memwb_isstorefault"), StateClass::kMicro);
+  s.memwbIsCsr = d.reg(1, nm("memwb_iscsr"), StateClass::kMicro);
+  s.memwbCsrAddr = d.reg(12, nm("memwb_csraddr"), StateClass::kMicro);
+  s.memwbCsrOp = d.reg(3, nm("memwb_csrop"), StateClass::kMicro);
+  s.memwbCsrWval = d.reg(X, nm("memwb_csrwval"), StateClass::kMicro);
+  s.memwbIsEcall = d.reg(1, nm("memwb_isecall"), StateClass::kMicro);
+  s.memwbIsMret = d.reg(1, nm("memwb_ismret"), StateClass::kMicro);
+  s.memwbIllegal = d.reg(1, nm("memwb_illegal"), StateClass::kMicro);
+
+  s.respBuf = d.reg(X, nm("resp_buf"), StateClass::kMicro);
+
+  // Cache metadata (microarchitectural) and data (memory class).
+  for (unsigned i = 0; i < cfg.cacheLines; ++i) {
+    const std::string si = std::to_string(i);
+    s.cacheValid.push_back(d.reg(1, nm(("cache_valid" + si).c_str()), StateClass::kMicro));
+    s.cacheDirty.push_back(d.reg(1, nm(("cache_dirty" + si).c_str()), StateClass::kMicro));
+    s.cacheTag.push_back(d.reg(T, nm(("cache_tag" + si).c_str()), StateClass::kMicro));
+  }
+  s.cacheDataMemId = d.addMem(cfg.cacheLines, X, nm("cache_data"), StateClass::kMemory);
+  const unsigned pendCtrW = ctrBits(cfg.pendingWriteCycles);
+  const unsigned refCtrW = ctrBits(cfg.refillCycles);
+  s.pendingValid = d.reg(1, nm("pending_valid"), StateClass::kMicro);
+  s.pendingAddr = d.reg(W, nm("pending_addr"), StateClass::kMicro);
+  s.pendingData = d.reg(X, nm("pending_data"), StateClass::kMicro);
+  s.pendingCtr = d.reg(pendCtrW, nm("pending_ctr"), StateClass::kMicro);
+  s.refillState = d.reg(2, nm("refill_state"), StateClass::kMicro);
+  s.refillAddr = d.reg(W, nm("refill_addr"), StateClass::kMicro);
+  s.refillCtr = d.reg(refCtrW, nm("refill_ctr"), StateClass::kMicro);
+  s.refillIsKilled = d.reg(1, nm("refill_killed"), StateClass::kMicro);
+
+  // Memories.
+  s.dmemMemId = d.addMem(cfg.machine.dmemWords, X, nm("dmem"), StateClass::kMemory);
+  if (sharedImem >= 0) {
+    s.imemMemId = static_cast<std::uint32_t>(sharedImem);
+  } else {
+    s.imemMemId = d.addMem(cfg.machine.imemWords, 32, prefix + "imem", StateClass::kMemory);
+  }
+
+  // ======================= WB stage (oldest first) =========================
+  // CSR read value.
+  auto csrIs = [&](std::uint32_t a) { return s.memwbCsrAddr.eq(C(12, a)); };
+  Sig pmpcfgPacked = s.pmpcfg[0].zext(X);
+  for (unsigned i = 1; i < nPmp && 8 * i < X; ++i) {
+    pmpcfgPacked = pmpcfgPacked | (s.pmpcfg[i].zext(X) << C(X, 8 * i));
+  }
+  Sig csrReadVal = C(X, 0);
+  csrReadVal = d.mux(csrIs(riscv::kCsrMtvec), s.mtvec.zext(X), csrReadVal);
+  csrReadVal = d.mux(csrIs(riscv::kCsrMepc), s.mepc.zext(X), csrReadVal);
+  csrReadVal = d.mux(csrIs(riscv::kCsrMcause), s.mcause.zext(X), csrReadVal);
+  csrReadVal = d.mux(csrIs(riscv::kCsrMcycle), s.mcycle, csrReadVal);
+  csrReadVal = d.mux(csrIs(riscv::kCsrCycle), s.mcycle, csrReadVal);
+  csrReadVal = d.mux(csrIs(riscv::kCsrPmpcfg0), pmpcfgPacked, csrReadVal);
+  for (unsigned i = 0; i < nPmp; ++i) {
+    csrReadVal = d.mux(csrIs(riscv::kCsrPmpaddr0 + i), s.pmpaddr[i].zext(X), csrReadVal);
+  }
+
+  // CSR privilege / legality at WB. csrOp encoding: bit1:0 = funct3 low
+  // bits (01=rw, 10=rs, 11=rc), bit2 = "write intent" (rw, or rs/rc with
+  // rs1 != x0), computed at decode.
+  const Sig csrWriteIntent = s.memwbCsrOp.bit(2);
+  const Sig csrKnown = csrIs(riscv::kCsrMtvec) | csrIs(riscv::kCsrMepc) |
+                       csrIs(riscv::kCsrMcause) | csrIs(riscv::kCsrMcycle) |
+                       csrIs(riscv::kCsrCycle) | csrIs(riscv::kCsrPmpcfg0);
+  Sig csrKnownAll = csrKnown;
+  for (unsigned i = 0; i < nPmp; ++i) csrKnownAll = csrKnownAll | csrIs(riscv::kCsrPmpaddr0 + i);
+  const Sig csrPrivOk = d.mux(csrIs(riscv::kCsrCycle), ~csrWriteIntent, s.mode);
+  const Sig csrIllegal = s.memwbIsCsr & (~csrKnownAll | ~csrPrivOk);
+  const Sig mretIllegal = s.memwbIsMret & ~s.mode;
+
+  // Exception / redirect classification at WB (combinational from memwb).
+  const Sig wbFault = s.memwbValid & s.memwbPmpFault;
+  const Sig wbIllegal = s.memwbValid & (s.memwbIllegal | csrIllegal | mretIllegal) & ~wbFault;
+  const Sig wbEcall = s.memwbValid & s.memwbIsEcall & ~wbFault & ~wbIllegal;
+  const Sig wbTrap = wbFault | wbIllegal | wbEcall;
+  const Sig wbMret = s.memwbValid & s.memwbIsMret & ~mretIllegal & ~wbFault;
+  const Sig wbCsr = s.memwbValid & s.memwbIsCsr & ~csrIllegal & ~wbFault;
+  s.flushWB = wbTrap | wbMret | wbCsr;
+
+  Sig trapCause = d.mux(s.memwbIsStoreFault, C(4, riscv::kCauseStoreAccessFault),
+                        C(4, riscv::kCauseLoadAccessFault));
+  trapCause = d.mux(wbIllegal, C(4, riscv::kCauseIllegalInstr), trapCause);
+  trapCause = d.mux(wbEcall, d.mux(s.mode, C(4, riscv::kCauseEcallM), C(4, riscv::kCauseEcallU)),
+                    trapCause);
+
+  const Sig pcPlus4WB = (s.memwbPc + C(P, 4)) & C(P, BitVec::mask(P) & ~3ull);
+  Sig wbRedirectTarget = pcPlus4WB;                         // csr serialisation
+  wbRedirectTarget = d.mux(wbMret, s.mepc, wbRedirectTarget);
+  wbRedirectTarget = d.mux(wbTrap, s.mtvec, wbRedirectTarget);
+
+  // ======================= MEM stage / PMP check ===========================
+  const Sig memWordAddr = s.exmemAluResult.extract(W + 1, 2);  // phys word address
+  s.rawReqValid = s.exmemValid & (s.exmemIsLoad | s.exmemIsStore);
+  s.rawReqIsLoad = s.exmemIsLoad;
+  s.rawReqWordAddr = memWordAddr;
+
+  // PMP: lowest-numbered matching TOR entry decides; no match => machine
+  // only. Mirrors riscv::IsaSim::pmpAllows.
+  Sig pmpAllowed = s.mode;  // no-match default
+  {
+    // Build from the highest entry down so entry 0 ends up outermost.
+    const Sig memWordAddrExt = memWordAddr.zext(W + 1);
+    std::vector<Sig> match(nPmp), allow(nPmp);
+    Sig base = C(W + 1, 0);
+    for (unsigned i = 0; i < nPmp; ++i) {
+      const Sig active = s.pmpcfg[i].extract(4, 3).eq(C(2, 1));  // A == TOR
+      const Sig inRange = base.ule(memWordAddrExt) & memWordAddrExt.ult(s.pmpaddr[i]);
+      match[i] = active & inRange;
+      const Sig locked = s.pmpcfg[i].bit(7);
+      const Sig perm = d.mux(s.exmemIsStore, s.pmpcfg[i].bit(1), s.pmpcfg[i].bit(0));
+      allow[i] = (s.mode & ~locked) | perm;
+      base = s.pmpaddr[i];
+    }
+    for (int i = static_cast<int>(nPmp) - 1; i >= 0; --i) {
+      pmpAllowed = d.mux(match[i], allow[i], pmpAllowed);
+    }
+  }
+  s.pmpFaultWire = s.rawReqValid & ~pmpAllowed;
+  s.gatedReqValid = s.rawReqValid & ~s.flushWB & ~s.pmpFaultWire;
+
+  // ======================= D-cache ==========================================
+  const Sig reqIdx = memWordAddr.extract(I - 1, 0);
+  const Sig reqTag = memWordAddr.extract(W - 1, I);
+  const Sig lineValid = selectByIndex(d, s.cacheValid, reqIdx);
+  const Sig lineTag = selectByIndex(d, s.cacheTag, reqIdx);
+  const Sig hit = lineValid & lineTag.eq(reqTag);
+
+  const Sig pendingIdx = s.pendingAddr.extract(I - 1, 0);
+  const Sig pendingTag = s.pendingAddr.extract(W - 1, I);
+
+  // RAW hazard in the pipelined core-to-cache interface. The Orc variant's
+  // comparator observes the raw (pre-kill, pre-PMP) request — the paper's
+  // "17 LoC" change.
+  const Sig hazardReqLoad = flags.hazardUsesRawValid
+                                ? (s.rawReqValid & s.rawReqIsLoad)
+                                : (s.gatedReqValid & s.exmemIsLoad);
+  const Sig rawHazard = hazardReqLoad & s.pendingValid & reqIdx.eq(pendingIdx);
+
+  // Refill FSM.
+  const Sig stIdle = s.refillState.eq(C(2, 0));
+  const Sig stWriteback = s.refillState.eq(C(2, 1));
+  const Sig stFill = s.refillState.eq(C(2, 2));
+  const Sig refillActive = ~stIdle;
+  const Sig refIdx = s.refillAddr.extract(I - 1, 0);
+  const Sig refTag = s.refillAddr.extract(W - 1, I);
+  const Sig refVictimTag = selectByIndex(d, s.cacheTag, refIdx);
+  const Sig fillDone = stFill & s.refillCtr.eq(C(refCtrW, 0));
+  const Sig refillRespondsNow = fillDone & ~s.refillIsKilled & s.refillAddr.eq(memWordAddr) &
+                                s.rawReqValid & s.rawReqIsLoad;
+
+  // Cache response wire: refill completion data has priority over the
+  // (stale, missing) array content.
+  const Sig dataAtIdx = d.memRead(s.cacheDataMemId, reqIdx);
+  const Sig dmemAtRefill = d.memRead(s.dmemMemId, s.refillAddr);
+  s.respData = d.mux(refillRespondsNow & ~hit, dmemAtRefill, dataAtIdx);
+
+  const Sig loadReq = s.gatedReqValid & s.exmemIsLoad;
+  const Sig storeReq = s.gatedReqValid & s.exmemIsStore;
+
+  // Load servicing.
+  const Sig loadServiced = loadReq & (hit | refillRespondsNow) & ~rawHazard;
+  // Store acceptance into the pending-write slot.
+  const Sig storeAccept = storeReq & ~s.pendingValid & stIdle;
+
+  // Refill start condition. Secure designs only refill live, legal
+  // requests; the Meltdown-style variant also refills killed/faulting ones.
+  const Sig gatedRefillStart = loadReq & ~hit & ~rawHazard & stIdle;
+  const Sig rawRefillStart =
+      s.rawReqValid & s.rawReqIsLoad & ~hit & ~rawHazard & stIdle;
+  const Sig refillStart = flags.refillOnKilled ? rawRefillStart : gatedRefillStart;
+  const Sig refillStartKilled = refillStart & ~(s.gatedReqValid & s.exmemIsLoad);
+  // An exception flush cancels a refill in flight unless the variant keeps
+  // it running (paper Sec. VII: "cache line refill is not canceled").
+  const Sig refillCancel =
+      flags.refillOnKilled ? zero1 : (s.flushWB & refillActive & s.refillIsKilled);
+
+  const Sig victimAtRef = selectByIndex(d, s.cacheValid, refIdx);
+  const Sig victimDirtyAtRef = selectByIndex(d, s.cacheDirty, refIdx);
+  const Sig startVictimIdx = reqIdx;  // refill target line at start time
+  const Sig startVictimNeedsWb = selectByIndex(d, s.cacheValid, startVictimIdx) &
+                                 selectByIndex(d, s.cacheDirty, startVictimIdx);
+
+  // Refill state transitions.
+  Sig refillStateNext = s.refillState;
+  refillStateNext = d.mux(stWriteback, C(2, 2), refillStateNext);
+  refillStateNext = d.mux(fillDone, C(2, 0), refillStateNext);
+  refillStateNext =
+      d.mux(refillStart, d.mux(startVictimNeedsWb, C(2, 1), C(2, 2)), refillStateNext);
+  refillStateNext = d.mux(refillCancel, C(2, 0), refillStateNext);
+
+  Sig refillCtrNext = d.mux(stFill & ~s.refillCtr.eq(C(refCtrW, 0)),
+                            s.refillCtr - C(refCtrW, 1), s.refillCtr);
+  refillCtrNext = d.mux(refillStart, C(refCtrW, cfg.refillCycles - 1), refillCtrNext);
+
+  d.connect(s.refillState, refillStateNext);
+  d.connect(s.refillAddr, d.mux(refillStart, memWordAddr, s.refillAddr));
+  d.connect(s.refillCtr, refillCtrNext);
+  d.connect(s.refillIsKilled,
+            d.mux(refillStart, refillStartKilled, d.mux(fillDone, zero1, s.refillIsKilled)));
+
+  // Pending store slot: the counter free-runs so the write completes on
+  // schedule even while the core is stalled (this is what makes the Orc
+  // stall length depend on *when* the probing load arrives).
+  const Sig pendingDone = s.pendingValid & s.pendingCtr.eq(C(pendCtrW, 0));
+  Sig pendingValidNext = d.mux(pendingDone, zero1, s.pendingValid);
+  pendingValidNext = d.mux(storeAccept, one1, pendingValidNext);
+  Sig pendingCtrNext = d.mux(s.pendingValid & ~s.pendingCtr.eq(C(pendCtrW, 0)),
+                             s.pendingCtr - C(pendCtrW, 1), s.pendingCtr);
+  pendingCtrNext = d.mux(storeAccept, C(pendCtrW, cfg.pendingWriteCycles - 1), pendingCtrNext);
+  d.connect(s.pendingValid, pendingValidNext);
+  d.connect(s.pendingCtr, pendingCtrNext);
+  d.connect(s.pendingAddr, d.mux(storeAccept, memWordAddr, s.pendingAddr));
+  d.connect(s.pendingData, d.mux(storeAccept, s.exmemStoreData, s.pendingData));
+
+  // Pending-write completion: write-allocate when the line is free or
+  // matches; write around a dirty conflicting victim.
+  const Sig pVictimValid = selectByIndex(d, s.cacheValid, pendingIdx);
+  const Sig pVictimDirty = selectByIndex(d, s.cacheDirty, pendingIdx);
+  const Sig pVictimTag = selectByIndex(d, s.cacheTag, pendingIdx);
+  const Sig pConflict = pVictimValid & pVictimDirty & pVictimTag.ne(pendingTag);
+  const Sig storeAllocate = pendingDone & ~pConflict;
+  const Sig storeWriteAround = pendingDone & pConflict;
+
+  // Cache metadata updates.
+  const Sig refillCommit = fillDone & ~refillCancel;
+  for (unsigned i = 0; i < cfg.cacheLines; ++i) {
+    const Sig isRef = refIdx.eq(C(I, i)) & refillCommit;
+    const Sig isAlloc = pendingIdx.eq(C(I, i)) & storeAllocate;
+    Sig vNext = s.cacheValid[i];
+    vNext = d.mux(isRef | isAlloc, one1, vNext);
+    Sig dirtyNext = s.cacheDirty[i];
+    dirtyNext = d.mux(isRef, zero1, dirtyNext);
+    dirtyNext = d.mux(isAlloc, one1, dirtyNext);
+    Sig tagNext = s.cacheTag[i];
+    tagNext = d.mux(isRef, refTag, tagNext);
+    tagNext = d.mux(isAlloc, pendingTag, tagNext);
+    d.connect(s.cacheValid[i], vNext);
+    d.connect(s.cacheDirty[i], dirtyNext);
+    d.connect(s.cacheTag[i], tagNext);
+  }
+  // Cache data array writes: refill fill and store allocate.
+  d.memWrite(s.cacheDataMemId, refillCommit, refIdx, dmemAtRefill);
+  d.memWrite(s.cacheDataMemId, storeAllocate, pendingIdx, s.pendingData);
+
+  // Main memory writes: dirty-victim writeback during the WB state, and
+  // write-around stores.
+  const Sig victimWbAddr = refVictimTag.concat(refIdx);
+  const Sig victimData = d.memRead(s.cacheDataMemId, refIdx);
+  d.memWrite(s.dmemMemId, stWriteback & victimAtRef & victimDirtyAtRef, victimWbAddr, victimData);
+  d.memWrite(s.dmemMemId, storeWriteAround, s.pendingAddr, s.pendingData);
+
+  // Global stall: unserviced live request, plus the variant-dependent
+  // raw-request hazard stall (the Orc covert channel).
+  const Sig stallLive = (loadReq & ~loadServiced) | (storeReq & ~storeAccept);
+  const Sig stallOrc = flags.hazardUsesRawValid ? rawHazard : zero1;
+  s.stall = stallLive | stallOrc;
+
+  // Response buffer: latches the cache answer for any load request in the
+  // MEM stage — including PMP-faulting hits. This is the "internal buffer
+  // (inaccessible to software)" of paper Sec. III and the secure design's
+  // P-alert register.
+  const Sig respondRaw = s.rawReqValid & s.rawReqIsLoad & (hit | refillRespondsNow) & ~rawHazard;
+  d.connect(s.respBuf, d.mux(respondRaw, s.respData, s.respBuf));
+
+  // Cache monitor (Constraint 2): counters in range, FSM state legal,
+  // and a live fill targets the line its address selects.
+  s.cacheMonitorOk = ~s.refillState.eq(C(2, 3)) &
+                     (~s.pendingValid | s.pendingCtr.ule(C(pendCtrW, cfg.pendingWriteCycles))) &
+                     (stIdle | s.refillCtr.ule(C(refCtrW, cfg.refillCycles)));
+
+  // ======================= ID stage =========================================
+  const Sig instr = s.ifidInstr;
+  const Sig opcode = instr.extract(6, 0);
+  auto opIs = [&](std::uint32_t o) { return opcode.eq(C(7, o)); };
+  const Sig isLui = opIs(riscv::kOpLui);
+  const Sig isAuipc = opIs(riscv::kOpAuipc);
+  const Sig isJal = opIs(riscv::kOpJal);
+  const Sig isJalr = opIs(riscv::kOpJalr);
+  const Sig isBranch = opIs(riscv::kOpBranch);
+  const Sig isLoad = opIs(riscv::kOpLoad);
+  const Sig isStore = opIs(riscv::kOpStore);
+  const Sig isOpImm = opIs(riscv::kOpImm);
+  const Sig isOpReg = opIs(riscv::kOpReg);
+  const Sig isSystem = opIs(riscv::kOpSystem);
+  const Sig isFence = opIs(riscv::kOpMiscMem);
+
+  const Sig funct3 = instr.extract(14, 12);
+  const Sig funct7 = instr.extract(31, 25);
+  const Sig rdField = instr.extract(11, 7);
+  const Sig rs1Field = instr.extract(19, 15);
+  const Sig rs2Field = instr.extract(24, 20);
+  const Sig rd = rdField.extract(R - 1, 0);
+  const Sig rs1 = rs1Field.extract(R - 1, 0);
+  const Sig rs2 = rs2Field.extract(R - 1, 0);
+
+  const Sig isEcall = isSystem & instr.eq(d.constant(32, 0x00000073u));
+  const Sig isMret = isSystem & instr.eq(d.constant(32, 0x30200073u));
+  const Sig isCsr = isSystem & (funct3.eq(C(3, 1)) | funct3.eq(C(3, 2)) | funct3.eq(C(3, 3)));
+
+  // Immediates, built at 32 bits and truncated to XLEN.
+  const Sig immI32 = instr.extract(31, 20).sext(32);
+  const Sig immS32 = instr.extract(31, 25).concat(instr.extract(11, 7)).sext(32);
+  const Sig immB32 = instr.bit(31)
+                         .concat(instr.bit(7))
+                         .concat(instr.extract(30, 25))
+                         .concat(instr.extract(11, 8))
+                         .concat(C(1, 0))
+                         .sext(32);
+  const Sig immU32 = instr.extract(31, 12).concat(C(12, 0));
+  const Sig immJ32 = instr.bit(31)
+                         .concat(instr.extract(19, 12))
+                         .concat(instr.bit(20))
+                         .concat(instr.extract(30, 21))
+                         .concat(C(1, 0))
+                         .sext(32);
+  Sig imm32 = immI32;
+  imm32 = d.mux(isStore, immS32, imm32);
+  imm32 = d.mux(isBranch, immB32, imm32);
+  imm32 = d.mux(isLui | isAuipc, immU32, imm32);
+  imm32 = d.mux(isJal, immJ32, imm32);
+  const Sig imm = imm32.extract(X - 1, 0);
+
+  // ALU op encoding: 0 add, 1 sub, 2 and, 3 or, 4 xor, 5 sll, 6 srl,
+  // 7 sra, 8 slt, 9 sltu.
+  Sig aluOp = C(4, 0);
+  {
+    const Sig alt = funct7.bit(5);
+    Sig opArith = C(4, 0);
+    opArith = d.mux(funct3.eq(C(3, 0)), d.mux(alt & isOpReg, C(4, 1), C(4, 0)), opArith);
+    opArith = d.mux(funct3.eq(C(3, 1)), C(4, 5), opArith);
+    opArith = d.mux(funct3.eq(C(3, 2)), C(4, 8), opArith);
+    opArith = d.mux(funct3.eq(C(3, 3)), C(4, 9), opArith);
+    opArith = d.mux(funct3.eq(C(3, 4)), C(4, 4), opArith);
+    opArith = d.mux(funct3.eq(C(3, 5)), d.mux(alt, C(4, 7), C(4, 6)), opArith);
+    opArith = d.mux(funct3.eq(C(3, 6)), C(4, 3), opArith);
+    opArith = d.mux(funct3.eq(C(3, 7)), C(4, 2), opArith);
+    aluOp = d.mux(isOpImm | isOpReg, opArith, aluOp);  // others default to add
+  }
+  const Sig aluSrcImm = isOpImm | isLoad | isStore | isLui | isAuipc | isJalr;
+
+  const Sig wbEn = isLui | isAuipc | isJal | isJalr | isOpImm | isOpReg | isLoad | isCsr;
+
+  // Illegal-instruction detection for the implemented subset.
+  const Sig knownOpcode = isLui | isAuipc | isJal | isJalr | isBranch | isLoad | isStore |
+                          isOpImm | isOpReg | isSystem | isFence;
+  const Sig branchF3Bad = isBranch & (funct3.eq(C(3, 2)) | funct3.eq(C(3, 3)));
+  const Sig loadF3Bad = isLoad & funct3.ne(C(3, 2));
+  const Sig storeF3Bad = isStore & funct3.ne(C(3, 2));
+  const Sig systemBad = isSystem & ~isEcall & ~isMret & ~isCsr;
+  const Sig illegal = ~knownOpcode | branchF3Bad | loadF3Bad | storeF3Bad | systemBad;
+
+  const Sig usesRs1 = isJalr | isBranch | isLoad | isStore | isOpImm | isOpReg | isCsr;
+  const Sig usesRs2 = isBranch | isStore | isOpReg;
+
+  // Regfile read with x0 hardwired to zero and write-before-read bypass.
+  const Sig rfRead1 = d.memRead(s.regfileMemId, rs1);
+  const Sig rfRead2 = d.memRead(s.regfileMemId, rs2);
+
+  // (WB write port wiring appears below once the WB data is known.)
+
+  // ======================= EX stage =========================================
+  // Forwarding network. Priority: EX/MEM ALU result (youngest), then the
+  // raw cache response wire (fastLoadForward variants only), then MEM/WB.
+  const Sig memwbWbData = d.mux(s.memwbIsLoad, s.respBuf, s.memwbAluResult);
+  const Sig memwbFwdOk = s.memwbValid & s.memwbWbEn & ~s.memwbPmpFault & ~s.memwbIllegal &
+                         ~s.memwbIsCsr & s.memwbRd.ne(C(R, 0));
+  const Sig exmemFwdOk = s.exmemValid & s.exmemWbEn & ~s.exmemIsLoad & ~s.exmemIsCsr &
+                         s.exmemRd.ne(C(R, 0));
+  const Sig fastFwdOk = (flags.fastLoadForward ? one1 : zero1) & s.exmemValid & s.exmemIsLoad &
+                        s.exmemRd.ne(C(R, 0));
+
+  auto forward = [&](Sig idxReg, Sig baseVal) {
+    Sig v = baseVal;
+    v = d.mux(memwbFwdOk & s.memwbRd.eq(idxReg), memwbWbData, v);
+    v = d.mux(fastFwdOk & s.exmemRd.eq(idxReg), s.respData, v);
+    v = d.mux(exmemFwdOk & s.exmemRd.eq(idxReg), s.exmemAluResult, v);
+    return d.mux(idxReg.eq(C(R, 0)), C(X, 0), v);
+  };
+  const Sig exRs1 = forward(s.idexRs1, s.idexRs1Val);
+  const Sig exRs2 = forward(s.idexRs2, s.idexRs2Val);
+
+  const Sig aluB = d.mux(s.idexAluSrcImm, s.idexImm, exRs2);
+  const Sig shamt = aluB.extract(4 < X ? 4 : X - 1, 0).zext(X);
+  Sig alu = exRs1 + aluB;
+  auto aluIs = [&](unsigned op) { return s.idexAluOp.eq(C(4, op)); };
+  alu = d.mux(aluIs(1), exRs1 - aluB, alu);
+  alu = d.mux(aluIs(2), exRs1 & aluB, alu);
+  alu = d.mux(aluIs(3), exRs1 | aluB, alu);
+  alu = d.mux(aluIs(4), exRs1 ^ aluB, alu);
+  alu = d.mux(aluIs(5), exRs1 << shamt, alu);
+  alu = d.mux(aluIs(6), exRs1 >> shamt, alu);
+  alu = d.mux(aluIs(7), d.binary(Op::kAshr, exRs1, shamt), alu);
+  alu = d.mux(aluIs(8), exRs1.slt(aluB).zext(X), alu);
+  alu = d.mux(aluIs(9), exRs1.ult(aluB).zext(X), alu);
+
+  const Sig pcX = s.idexPc.zext(X);
+  const Sig pcPlus4X = ((s.idexPc + C(P, 4)) & C(P, BitVec::mask(P) & ~3ull)).zext(X);
+  Sig exResult = alu;
+  exResult = d.mux(s.idexIsLui, s.idexImm, exResult);
+  exResult = d.mux(s.idexIsAuipc, pcX + s.idexImm, exResult);
+  exResult = d.mux(s.idexIsJal | s.idexIsJalr, pcPlus4X, exResult);
+
+  // Branch resolution.
+  Sig brCond = exRs1.eq(exRs2);
+  auto f3Is = [&](unsigned v) { return s.idexBrFunct3.eq(C(3, v)); };
+  brCond = d.mux(f3Is(1), exRs1.ne(exRs2), brCond);
+  brCond = d.mux(f3Is(4), exRs1.slt(exRs2), brCond);
+  brCond = d.mux(f3Is(5), ~exRs1.slt(exRs2), brCond);
+  brCond = d.mux(f3Is(6), exRs1.ult(exRs2), brCond);
+  brCond = d.mux(f3Is(7), ~exRs1.ult(exRs2), brCond);
+
+  const Sig exRedirect =
+      s.idexValid & ((s.idexIsBranch & brCond) | s.idexIsJal | s.idexIsJalr);
+  const Sig pcMaskAligned = C(P, BitVec::mask(P) & ~3ull);
+  const Sig brTarget = (s.idexPc + s.idexImm.extract(P - 1, 0)) & pcMaskAligned;
+  const Sig jalrTarget = (exRs1 + s.idexImm).extract(P - 1, 0) & pcMaskAligned;
+  const Sig exRedirectTarget = d.mux(s.idexIsJalr, jalrTarget, brTarget);
+
+  // Load-use interlock (absent in fastLoadForward variants).
+  const Sig loadUseRaw = s.idexValid & s.idexIsLoad & s.idexRd.ne(C(R, 0)) &
+                         ((usesRs1 & s.idexRd.eq(rs1)) | (usesRs2 & s.idexRd.eq(rs2))) &
+                         s.ifidValid;
+  const Sig loadUse = flags.fastLoadForward ? zero1 : loadUseRaw;
+
+  // ======================= WB commit effects ================================
+  const Sig commit = ~s.stall;  // WB actions happen only in un-stalled cycles
+
+  // CSR write data (modify-by-op), then per-CSR application with locks.
+  const Sig csrOldVal = csrReadVal;
+  Sig csrNewVal = s.memwbCsrWval;
+  csrNewVal = d.mux(s.memwbCsrOp.extract(1, 0).eq(C(2, 2)), csrOldVal | s.memwbCsrWval, csrNewVal);
+  csrNewVal = d.mux(s.memwbCsrOp.extract(1, 0).eq(C(2, 3)), csrOldVal & ~s.memwbCsrWval, csrNewVal);
+  const Sig csrDoWrite = commit & wbCsr & csrWriteIntent;
+
+  auto csrWriteTo = [&](std::uint32_t addr) { return csrDoWrite & csrIs(addr); };
+
+  d.connect(s.mtvec, d.mux(csrWriteTo(riscv::kCsrMtvec),
+                           csrNewVal.extract(P - 1, 0) & pcMaskAligned, s.mtvec));
+  Sig mepcNext = d.mux(csrWriteTo(riscv::kCsrMepc), csrNewVal.extract(P - 1, 0) & pcMaskAligned,
+                       s.mepc);
+  mepcNext = d.mux(commit & wbTrap, s.memwbPc, mepcNext);
+  d.connect(s.mepc, mepcNext);
+  Sig mcauseNext = d.mux(csrWriteTo(riscv::kCsrMcause), csrNewVal.extract(3, 0), s.mcause);
+  mcauseNext = d.mux(commit & wbTrap, trapCause, mcauseNext);
+  d.connect(s.mcause, mcauseNext);
+  d.connect(s.mcycle,
+            d.mux(csrWriteTo(riscv::kCsrMcycle), csrNewVal, s.mcycle + C(X, 1)));
+
+  // PMP CSR writes with lock semantics (and the deliberate bug variant).
+  for (unsigned i = 0; i < nPmp; ++i) {
+    const Sig cfgLocked = s.pmpcfg[i].bit(7);
+    const Sig newByte = (csrNewVal >> C(X, 8 * i)).extract(7, 0);
+    d.connect(s.pmpcfg[i],
+              d.mux(csrWriteTo(riscv::kCsrPmpcfg0) & ~cfgLocked, newByte, s.pmpcfg[i]));
+
+    Sig addrLocked = cfgLocked;
+    if (!flags.pmpLockBug && i + 1 < nPmp) {
+      // ISA rule: a locked TOR entry locks the pmpaddr of the entry below.
+      const Sig upLocked = s.pmpcfg[i + 1].bit(7);
+      const Sig upTor = s.pmpcfg[i + 1].extract(4, 3).eq(C(2, 1));
+      addrLocked = addrLocked | (upLocked & upTor);
+    }
+    d.connect(s.pmpaddr[i], d.mux(csrWriteTo(riscv::kCsrPmpaddr0 + i) & ~addrLocked,
+                                  csrNewVal.extract(W, 0), s.pmpaddr[i]));
+  }
+
+  // Mode transitions.
+  Sig modeNext = s.mode;
+  modeNext = d.mux(commit & wbMret, zero1, modeNext);
+  modeNext = d.mux(commit & wbTrap, one1, modeNext);
+  d.connect(s.mode, modeNext);
+
+  // Regfile write port.
+  const Sig wbWriteEn = commit & s.memwbValid & s.memwbWbEn & ~wbFault & ~wbIllegal & ~wbEcall &
+                        s.memwbRd.ne(C(R, 0));
+  const Sig wbData = d.mux(wbCsr, csrOldVal, memwbWbData);
+  d.memWrite(s.regfileMemId, wbWriteEn, s.memwbRd, wbData);
+
+  s.retireValid = commit & s.memwbValid & ~wbFault & ~wbIllegal & ~wbEcall;
+  s.retirePc = s.memwbPc;
+  s.trapTaken = commit & wbTrap;
+
+  // Regfile read bypass in ID (write and read in the same cycle).
+  const Sig id1 = d.mux(wbWriteEn & s.memwbRd.eq(rs1), wbData,
+                        d.mux(rs1.eq(C(R, 0)), C(X, 0), rfRead1));
+  const Sig id2 = d.mux(wbWriteEn & s.memwbRd.eq(rs2), wbData,
+                        d.mux(rs2.eq(C(R, 0)), C(X, 0), rfRead2));
+
+  // ======================= IF stage / next PC ===============================
+  const Sig imemInstr = d.memRead(s.imemMemId, s.pc.extract(P - 1, 2));
+
+  Sig pcNext = (s.pc + C(P, 4)) & pcMaskAligned;
+  pcNext = d.mux(loadUse, s.pc, pcNext);
+  pcNext = d.mux(exRedirect, exRedirectTarget, pcNext);
+  pcNext = d.mux(s.flushWB, wbRedirectTarget, pcNext);
+  pcNext = d.mux(s.stall, s.pc, pcNext);
+  d.connect(s.pc, pcNext);
+
+  // IF/ID.
+  const Sig killIfid = s.flushWB | exRedirect;
+  Sig ifidValidNext = one1;
+  ifidValidNext = d.mux(loadUse, s.ifidValid, ifidValidNext);
+  ifidValidNext = d.mux(killIfid, zero1, ifidValidNext);
+  ifidValidNext = d.mux(s.stall, s.ifidValid, ifidValidNext);
+  d.connect(s.ifidValid, ifidValidNext);
+  const Sig holdIfid = s.stall | (loadUse & ~killIfid);
+  d.connect(s.ifidPc, d.mux(holdIfid, s.ifidPc, s.pc));
+  d.connect(s.ifidInstr, d.mux(holdIfid, s.ifidInstr, imemInstr));
+
+  // ID/EX.
+  Sig idexValidNext = s.ifidValid;
+  idexValidNext = d.mux(loadUse, zero1, idexValidNext);  // bubble
+  idexValidNext = d.mux(s.flushWB | exRedirect, zero1, idexValidNext);
+  idexValidNext = d.mux(s.stall, s.idexValid, idexValidNext);
+  d.connect(s.idexValid, idexValidNext);
+  auto latchIdex = [&](Sig reg, Sig value) { d.connect(reg, d.mux(s.stall, reg, value)); };
+  latchIdex(s.idexPc, s.ifidPc);
+  latchIdex(s.idexRd, rd);
+  latchIdex(s.idexRs1, rs1);
+  latchIdex(s.idexRs2, rs2);
+  latchIdex(s.idexRs1Val, id1);
+  latchIdex(s.idexRs2Val, id2);
+  latchIdex(s.idexImm, imm);
+  latchIdex(s.idexAluOp, aluOp);
+  latchIdex(s.idexAluSrcImm, aluSrcImm);
+  latchIdex(s.idexIsLoad, isLoad);
+  latchIdex(s.idexIsStore, isStore);
+  latchIdex(s.idexIsBranch, isBranch);
+  latchIdex(s.idexBrFunct3, funct3);
+  latchIdex(s.idexIsJal, isJal);
+  latchIdex(s.idexIsJalr, isJalr);
+  latchIdex(s.idexIsLui, isLui);
+  latchIdex(s.idexIsAuipc, isAuipc);
+  latchIdex(s.idexWbEn, wbEn);
+  latchIdex(s.idexIsCsr, isCsr);
+  latchIdex(s.idexCsrAddr, instr.extract(31, 20));
+  // csrOp: funct3 low bits + write intent (csrrw always; csrrs/rc if rs1!=0).
+  const Sig csrWriteIntentId =
+      funct3.extract(1, 0).eq(C(2, 1)) | rs1Field.ne(C(5, 0));
+  latchIdex(s.idexCsrOp, csrWriteIntentId.concat(funct3.extract(1, 0)));
+  latchIdex(s.idexIsEcall, isEcall);
+  latchIdex(s.idexIsMret, isMret);
+  latchIdex(s.idexIllegal, illegal);
+
+  // EX/MEM.
+  Sig exmemValidNext = s.idexValid;
+  exmemValidNext = d.mux(s.flushWB, zero1, exmemValidNext);
+  exmemValidNext = d.mux(s.stall, s.exmemValid, exmemValidNext);
+  d.connect(s.exmemValid, exmemValidNext);
+  auto latchExmem = [&](Sig reg, Sig value) { d.connect(reg, d.mux(s.stall, reg, value)); };
+  latchExmem(s.exmemPc, s.idexPc);
+  latchExmem(s.exmemRd, s.idexRd);
+  latchExmem(s.exmemWbEn, s.idexWbEn);
+  latchExmem(s.exmemIsLoad, s.idexIsLoad);
+  latchExmem(s.exmemIsStore, s.idexIsStore);
+  latchExmem(s.exmemAluResult, exResult);
+  latchExmem(s.exmemStoreData, exRs2);
+  latchExmem(s.exmemIsCsr, s.idexIsCsr);
+  latchExmem(s.exmemCsrAddr, s.idexCsrAddr);
+  latchExmem(s.exmemCsrOp, s.idexCsrOp);
+  latchExmem(s.exmemCsrWval, exRs1);
+  latchExmem(s.exmemIsEcall, s.idexIsEcall);
+  latchExmem(s.exmemIsMret, s.idexIsMret);
+  latchExmem(s.exmemIllegal, s.idexIllegal);
+
+  // MEM/WB.
+  Sig memwbValidNext = s.exmemValid;
+  memwbValidNext = d.mux(s.flushWB, zero1, memwbValidNext);
+  memwbValidNext = d.mux(s.stall, s.memwbValid, memwbValidNext);
+  d.connect(s.memwbValid, memwbValidNext);
+  auto latchMemwb = [&](Sig reg, Sig value) { d.connect(reg, d.mux(s.stall, reg, value)); };
+  latchMemwb(s.memwbPc, s.exmemPc);
+  latchMemwb(s.memwbRd, s.exmemRd);
+  latchMemwb(s.memwbWbEn, s.exmemWbEn);
+  latchMemwb(s.memwbIsLoad, s.exmemIsLoad);
+  latchMemwb(s.memwbAluResult, s.exmemAluResult);
+  latchMemwb(s.memwbPmpFault, s.pmpFaultWire);
+  latchMemwb(s.memwbIsStoreFault, s.pmpFaultWire & s.exmemIsStore);
+  latchMemwb(s.memwbIsCsr, s.exmemIsCsr);
+  latchMemwb(s.memwbCsrAddr, s.exmemCsrAddr);
+  latchMemwb(s.memwbCsrOp, s.exmemCsrOp);
+  latchMemwb(s.memwbCsrWval, s.exmemCsrWval);
+  latchMemwb(s.memwbIsEcall, s.exmemIsEcall);
+  latchMemwb(s.memwbIsMret, s.exmemIsMret);
+  latchMemwb(s.memwbIllegal, s.exmemIllegal);
+
+  // Record the logic registers created for this instance.
+  for (std::size_t i = regsBefore; i < d.regs().size(); ++i) {
+    s.logicRegs.push_back(static_cast<std::uint32_t>(i));
+  }
+  return s;
+}
+
+}  // namespace upec::soc

@@ -1,0 +1,106 @@
+// The MiniRV SoC generator: an in-order 5-stage pipelined RV32I-subset
+// processor with machine/user privilege modes, TOR-mode physical memory
+// protection, and a direct-mapped write-back/write-allocate L1 data cache
+// with a pipelined core-to-cache interface (pending stores + RAW-hazard
+// detection), built in the RTL IR of src/rtl.
+//
+// Pipeline: IF -> ID -> EX -> MEM -> WB.
+//  * branches/jumps resolve in EX (static not-taken, 2-cycle penalty)
+//  * full ALU forwarding EX/MEM -> EX and MEM/WB -> EX, plus regfile
+//    write-before-read bypass in ID
+//  * loads: cache hit responds combinationally in MEM; the response is
+//    registered (respBuf) and forwarded from MEM/WB, giving a one-cycle
+//    load-use stall — unless the variant enables fastLoadForward, which
+//    forwards the raw response wire into EX (the paper Fig. 1 feature)
+//  * exceptions (PMP faults, illegal instructions, ecall) and serialising
+//    instructions (CSR accesses, mret) take effect in WB and flush all
+//    younger stages
+//  * CSRs: mtvec, mepc, mcause, mcycle (free-running; user-readable as
+//    cycle), pmpcfg0, pmpaddrN
+//
+// The builder emits the SoC into a caller-provided rtl::Design so that the
+// UPEC engine can instantiate two copies in one netlist (the miter of paper
+// Fig. 3) with a shared instruction memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/ir.hpp"
+#include "soc/config.hpp"
+
+namespace upec::soc {
+
+// Handles to everything the UPEC engine, the constraints, and the
+// testbenches need to observe or constrain. All Sigs live in the Design the
+// SoC was built into.
+struct SocInstance {
+  SocConfig config;
+  std::string prefix;
+
+  // --- architectural state ------------------------------------------------
+  rtl::Sig pc;
+  rtl::Sig mode;  // 1 bit: 1 = machine, 0 = user
+  rtl::Sig mtvec, mepc, mcause, mcycle;
+  std::vector<rtl::Sig> pmpcfg;   // 8 bits each
+  std::vector<rtl::Sig> pmpaddr;  // word-granule, wordAddrBits wide
+  std::uint32_t regfileMemId = 0;
+
+  // --- pipeline registers (microarchitectural) -----------------------------
+  rtl::Sig ifidValid, ifidPc, ifidInstr;
+  rtl::Sig idexValid, idexPc, idexRd, idexRs1, idexRs2, idexRs1Val, idexRs2Val, idexImm;
+  rtl::Sig idexAluOp, idexAluSrcImm, idexIsLoad, idexIsStore, idexIsBranch, idexBrFunct3,
+      idexIsJal, idexIsJalr, idexIsLui, idexIsAuipc, idexWbEn, idexIsCsr, idexCsrAddr,
+      idexCsrOp, idexIsEcall, idexIsMret, idexIllegal;
+  rtl::Sig exmemValid, exmemPc, exmemRd, exmemWbEn, exmemIsLoad, exmemIsStore, exmemAluResult,
+      exmemStoreData, exmemIsCsr, exmemCsrAddr, exmemCsrOp, exmemCsrWval, exmemIsEcall,
+      exmemIsMret, exmemIllegal;
+  rtl::Sig memwbValid, memwbPc, memwbRd, memwbWbEn, memwbIsLoad, memwbAluResult, memwbPmpFault,
+      memwbIsStoreFault, memwbIsCsr, memwbCsrAddr, memwbCsrOp, memwbCsrWval, memwbIsEcall,
+      memwbIsMret, memwbIllegal;
+  rtl::Sig respBuf;  // registered cache load response (the paper's "internal buffer")
+
+  // --- cache state ----------------------------------------------------------
+  std::vector<rtl::Sig> cacheValid, cacheDirty;  // per line, 1 bit
+  std::vector<rtl::Sig> cacheTag;                // per line, tagBits
+  std::uint32_t cacheDataMemId = 0;
+  rtl::Sig pendingValid, pendingAddr, pendingData, pendingCtr;
+  rtl::Sig refillState;  // 2 bits: 0 idle, 1 writeback, 2 fill
+  rtl::Sig refillAddr, refillCtr;
+  rtl::Sig refillIsKilled;  // set if the refill belongs to a killed request
+
+  // --- memories --------------------------------------------------------------
+  std::uint32_t dmemMemId = 0;
+  std::uint32_t imemMemId = 0;  // possibly shared with another instance
+
+  // --- observation wires ------------------------------------------------------
+  rtl::Sig rawReqValid;   // MEM stage has a load/store this cycle (pre-kill)
+  rtl::Sig rawReqIsLoad;
+  rtl::Sig rawReqWordAddr;
+  rtl::Sig gatedReqValid;  // post-kill request (flush/kill gated)
+  rtl::Sig pmpFaultWire;   // PMP rejects the MEM-stage access
+  rtl::Sig stall;          // global pipeline stall from the cache
+  rtl::Sig flushWB;        // WB-stage redirect (exception / mret / csr)
+  rtl::Sig respData;       // combinational cache response wire
+  rtl::Sig cacheMonitorOk; // Constraint 2: cache state/protocol sane
+  rtl::Sig retireValid;    // an instruction architecturally retires this cycle
+  rtl::Sig retirePc;
+  rtl::Sig trapTaken;      // a trap (PMP fault / illegal / ecall) commits this cycle
+
+  // Register indices (into design.regs()) created for this instance,
+  // excluding memory word registers (attributed via the mem ids above).
+  std::vector<std::uint32_t> logicRegs;
+};
+
+class SocBuilder {
+ public:
+  // Builds one SoC instance into `design`, prefixing all names. If
+  // sharedImem is non-negative, that memory is used as instruction memory
+  // (so a miter's two instances execute the same symbolic program);
+  // otherwise a fresh imem is created.
+  static SocInstance build(rtl::Design& design, const SocConfig& config,
+                           const std::string& prefix, std::int64_t sharedImem = -1);
+};
+
+}  // namespace upec::soc

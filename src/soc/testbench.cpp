@@ -1,0 +1,111 @@
+#include "soc/testbench.hpp"
+
+#include <cassert>
+
+#include "riscv/encoding.hpp"
+
+namespace upec::soc {
+
+SocTestbench::SocTestbench(const SocConfig& config)
+    : config_(config), design_("soc_tb") {
+  inst_ = SocBuilder::build(design_, config, "");
+  sim_ = std::make_unique<sim::Simulator>(design_);
+}
+
+void SocTestbench::loadProgram(const std::vector<std::uint32_t>& words, std::uint32_t baseWord) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    sim_->writeMemWord(inst_.imemMemId, baseWord + i, words[i]);
+  }
+}
+
+void SocTestbench::setDmemWord(std::uint32_t wordAddr, std::uint32_t value) {
+  sim_->writeMemWord(inst_.dmemMemId, wordAddr, value);
+}
+
+std::uint32_t SocTestbench::dmemWord(std::uint32_t wordAddr) const {
+  return static_cast<std::uint32_t>(sim_->readMemWord(inst_.dmemMemId, wordAddr));
+}
+
+void SocTestbench::preloadCacheLine(std::uint32_t wordAddr, std::uint32_t data, bool dirty) {
+  const unsigned idx = wordAddr & (config_.cacheLines - 1);
+  const unsigned tag = wordAddr >> config_.indexBits();
+  setRegOf(inst_.cacheValid[idx], 1);
+  setRegOf(inst_.cacheDirty[idx], dirty ? 1 : 0);
+  setRegOf(inst_.cacheTag[idx], tag);
+  sim_->writeMemWord(inst_.cacheDataMemId, idx, data);
+}
+
+void SocTestbench::step() {
+  sim_->evalComb();
+  if (sim_->peek(inst_.retireValid).toBool()) {
+    commits_.push_back({static_cast<std::uint32_t>(sim_->peek(inst_.retirePc).uint()), false});
+  } else if (sim_->peek(inst_.trapTaken).toBool()) {
+    commits_.push_back({static_cast<std::uint32_t>(sim_->peek(inst_.memwbPc).uint()), true});
+  }
+  sim_->step();
+}
+
+void SocTestbench::run(unsigned cycles) {
+  for (unsigned i = 0; i < cycles; ++i) step();
+}
+
+unsigned SocTestbench::runUntilEvents(std::size_t events, unsigned maxCycles) {
+  unsigned used = 0;
+  while (commits_.size() < events && used < maxCycles) {
+    step();
+    ++used;
+  }
+  return used;
+}
+
+BitVec SocTestbench::regOf(rtl::Sig s) const {
+  return sim_->regValue(design_.regIndexOf(s.id()));
+}
+
+void SocTestbench::setRegOf(rtl::Sig s, std::uint64_t v) {
+  sim_->setReg(design_.regIndexOf(s.id()), BitVec(s.width(), v));
+}
+
+std::uint32_t SocTestbench::reg(unsigned i) const {
+  if (i == 0) return 0;
+  return static_cast<std::uint32_t>(sim_->readMemWord(inst_.regfileMemId, i));
+}
+
+std::uint32_t SocTestbench::pc() { return static_cast<std::uint32_t>(regOf(inst_.pc).uint()); }
+bool SocTestbench::machineMode() { return regOf(inst_.mode).toBool(); }
+std::uint32_t SocTestbench::csrMcause() {
+  return static_cast<std::uint32_t>(regOf(inst_.mcause).uint());
+}
+std::uint32_t SocTestbench::csrMepc() {
+  return static_cast<std::uint32_t>(regOf(inst_.mepc).uint());
+}
+std::uint32_t SocTestbench::csrMtvec() {
+  return static_cast<std::uint32_t>(regOf(inst_.mtvec).uint());
+}
+void SocTestbench::setCsrMtvec(std::uint32_t v) { setRegOf(inst_.mtvec, v); }
+
+void SocTestbench::protectFromWord(std::uint32_t boundaryWord, std::uint32_t topWord) {
+  using namespace riscv;
+  setRegOf(inst_.pmpcfg[0], kPmpATor | kPmpR | kPmpW);
+  setRegOf(inst_.pmpaddr[0], boundaryWord);
+  setRegOf(inst_.pmpcfg[1], kPmpATor | kPmpL);  // locked, no R/W: no access at all
+  setRegOf(inst_.pmpaddr[1], topWord);
+}
+
+void SocTestbench::setMode(bool machine) { setRegOf(inst_.mode, machine ? 1 : 0); }
+void SocTestbench::setPc(std::uint32_t pc) { setRegOf(inst_.pc, pc); }
+
+void SocTestbench::setReg(unsigned i, std::uint32_t value) {
+  assert(i != 0 && i < config_.machine.nregs);
+  sim_->writeMemWord(inst_.regfileMemId, i, value);
+}
+
+bool SocTestbench::cacheLineValid(unsigned line) { return regOf(inst_.cacheValid[line]).toBool(); }
+std::uint32_t SocTestbench::cacheLineTag(unsigned line) {
+  return static_cast<std::uint32_t>(regOf(inst_.cacheTag[line]).uint());
+}
+std::uint32_t SocTestbench::cacheLineData(unsigned line) const {
+  return static_cast<std::uint32_t>(sim_->readMemWord(inst_.cacheDataMemId, line));
+}
+
+}  // namespace upec::soc

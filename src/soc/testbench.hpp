@@ -1,0 +1,81 @@
+// Cycle-accurate testbench around a single MiniRV SoC instance: loads
+// programs, preloads memory/cache, runs the clock and exposes architectural
+// and microarchitectural state. Used by the differential tests against the
+// ISA simulator and by the attack-demonstration examples, where the
+// quantity of interest is the exact cycle count (the covert channel).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rtl/ir.hpp"
+#include "sim/simulator.hpp"
+#include "soc/soc.hpp"
+
+namespace upec::soc {
+
+// One architectural event observed at the write-back stage.
+struct CommitEvent {
+  std::uint32_t pc = 0;
+  bool trap = false;  // true: trap commit; false: normal retirement
+};
+
+class SocTestbench {
+ public:
+  explicit SocTestbench(const SocConfig& config);
+
+  const SocConfig& config() const { return config_; }
+  const SocInstance& instance() const { return inst_; }
+  sim::Simulator& simulator() { return *sim_; }
+
+  void loadProgram(const std::vector<std::uint32_t>& words, std::uint32_t baseWord = 0);
+  void setDmemWord(std::uint32_t wordAddr, std::uint32_t value);
+  std::uint32_t dmemWord(std::uint32_t wordAddr) const;
+
+  // Preloads a cache line as valid copy of dmem word `wordAddr` (used to
+  // set up the "secret data is in the cache" scenario).
+  void preloadCacheLine(std::uint32_t wordAddr, std::uint32_t data, bool dirty = false);
+
+  // Runs one clock cycle; records any commit event.
+  void step();
+  void run(unsigned cycles);
+  // Runs until `events` commit events were observed (or maxCycles elapsed);
+  // returns the number of cycles consumed.
+  unsigned runUntilEvents(std::size_t events, unsigned maxCycles);
+
+  std::uint64_t cycle() const { return sim_->cycle(); }
+  const std::vector<CommitEvent>& commits() const { return commits_; }
+
+  // --- architectural state ------------------------------------------------
+  std::uint32_t reg(unsigned i) const;
+  std::uint32_t pc();
+  bool machineMode();
+  std::uint32_t csrMcause();
+  std::uint32_t csrMepc();
+  std::uint32_t csrMtvec();
+  void setCsrMtvec(std::uint32_t v);
+  // Installs the canonical protection: entry0 = user RW over
+  // [0, boundaryWord), entry1 = locked no-access over [boundaryWord, top).
+  void protectFromWord(std::uint32_t boundaryWord, std::uint32_t topWord);
+  void setMode(bool machine);
+  void setPc(std::uint32_t pc);
+  void setReg(unsigned i, std::uint32_t value);
+
+  // --- microarchitectural state --------------------------------------------
+  bool cacheLineValid(unsigned line);
+  std::uint32_t cacheLineTag(unsigned line);
+  std::uint32_t cacheLineData(unsigned line) const;
+
+ private:
+  BitVec regOf(rtl::Sig s) const;
+  void setRegOf(rtl::Sig s, std::uint64_t v);
+
+  SocConfig config_;
+  rtl::Design design_;
+  SocInstance inst_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::vector<CommitEvent> commits_;
+};
+
+}  // namespace upec::soc

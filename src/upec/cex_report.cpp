@@ -1,0 +1,89 @@
+#include "upec/cex_report.hpp"
+
+#include <sstream>
+
+#include "riscv/encoding.hpp"
+
+namespace upec {
+
+CexReport explainCounterexample(const Miter& miter, const formal::Trace& trace) {
+  CexReport report;
+  const rtl::Design& d = miter.design();
+  const formal::TraceEval eval(d, trace);
+
+  // The shared instruction memory is never written, so its cycle-0 word
+  // registers ARE the program.
+  const auto& imem = d.mems()[miter.soc1().imemMemId];
+  for (std::size_t w = 0; w < imem.wordRegs.size(); ++w) {
+    const std::uint32_t raw =
+        static_cast<std::uint32_t>(trace.initialRegs[imem.wordRegs[w]].uint());
+    CexInstruction instr;
+    instr.wordIndex = static_cast<std::uint32_t>(w);
+    instr.raw = raw;
+    instr.disassembly = riscv::disassemble(raw);
+    report.program.push_back(instr);
+  }
+
+  // The two secret values.
+  const RegPair& secretPair = miter.dmemPairs()[miter.secretWord()];
+  report.secret1 = static_cast<std::uint32_t>(trace.initialRegs[secretPair.reg1].uint());
+  report.secret2 = static_cast<std::uint32_t>(trace.initialRegs[secretPair.reg2].uint());
+  report.secretInCache = eval.value(miter.scenarioCondition(SecretScenario::kInCache), 0).toBool();
+
+  // Timeline: pcs, modes, stalls, and which state pairs newly diverge.
+  std::vector<bool> wasDiffering(miter.logicPairs().size(), false);
+  for (unsigned t = 0; t < trace.cycles; ++t) {
+    CexCycle c;
+    c.cycle = t;
+    c.pc1 = static_cast<std::uint32_t>(eval.value(miter.soc1().pc, t).uint());
+    c.pc2 = static_cast<std::uint32_t>(eval.value(miter.soc2().pc, t).uint());
+    c.mode1 = eval.value(miter.soc1().mode, t).toBool();
+    c.mode2 = eval.value(miter.soc2().mode, t).toBool();
+    c.stall1 = eval.value(miter.soc1().stall, t).toBool();
+    c.stall2 = eval.value(miter.soc2().stall, t).toBool();
+    c.flush1 = eval.value(miter.soc1().flushWB, t).toBool();
+    c.flush2 = eval.value(miter.soc2().flushWB, t).toBool();
+    for (std::size_t i = 0; i < miter.logicPairs().size(); ++i) {
+      const RegPair& pair = miter.logicPairs()[i];
+      const bool differs = eval.regValue(pair.reg1, t) != eval.regValue(pair.reg2, t);
+      if (differs && !wasDiffering[i]) c.newlyDiffering.push_back(pair.name);
+      wasDiffering[i] = differs;
+    }
+    report.timeline.push_back(c);
+  }
+  return report;
+}
+
+std::string CexReport::pretty() const {
+  std::ostringstream os;
+  os << "Synthesised attacker program (solver-chosen instruction memory):\n";
+  for (const CexInstruction& instr : program) {
+    char addr[16];
+    std::snprintf(addr, sizeof addr, "  %04x: ", instr.wordIndex * 4);
+    os << addr << instr.disassembly << "\n";
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "Secrets: instance1 = 0x%X, instance2 = 0x%X (%s the cache)\n", secret1, secret2,
+                secretInCache ? "copy in" : "not in");
+  os << buf;
+  os << "Timeline:\n";
+  for (const CexCycle& c : timeline) {
+    std::snprintf(buf, sizeof buf,
+                  "  t+%u: pc=%x/%x mode=%c/%c%s%s", c.cycle, c.pc1, c.pc2,
+                  c.mode1 ? 'M' : 'U', c.mode2 ? 'M' : 'U',
+                  (c.stall1 || c.stall2)
+                      ? (c.stall1 && c.stall2 ? " [stall]" : " [STALL DIVERGES]")
+                      : "",
+                  (c.flush1 || c.flush2) ? " [flush]" : "");
+    os << buf;
+    if (!c.newlyDiffering.empty()) {
+      os << "  diverges:";
+      for (const std::string& n : c.newlyDiffering) os << " " << n;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace upec

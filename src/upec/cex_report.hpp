@@ -1,0 +1,43 @@
+// Counterexample explanation: UPEC "models software symbolically" (paper
+// Sec. II) — the instruction memory is part of the symbolic state, so an
+// alert's SAT model contains a concrete attacker program synthesised by
+// the solver. This module extracts it (as RISC-V disassembly), together
+// with a cycle-by-cycle narrative of how the two SoC instances diverge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "formal/bmc.hpp"
+#include "upec/miter.hpp"
+
+namespace upec {
+
+struct CexInstruction {
+  std::uint32_t wordIndex = 0;  // imem word
+  std::uint32_t raw = 0;
+  std::string disassembly;
+};
+
+struct CexCycle {
+  unsigned cycle = 0;
+  std::uint32_t pc1 = 0, pc2 = 0;
+  bool mode1 = false, mode2 = false;  // true = machine
+  bool stall1 = false, stall2 = false;
+  bool flush1 = false, flush2 = false;
+  std::vector<std::string> newlyDiffering;  // state pairs that diverge here
+};
+
+struct CexReport {
+  std::vector<CexInstruction> program;     // the synthesised attacker program
+  std::uint32_t secret1 = 0, secret2 = 0;  // the two secret values
+  bool secretInCache = false;
+  std::vector<CexCycle> timeline;
+  std::string pretty() const;
+};
+
+// Builds the report from an alert trace (window = trace cycles - 1).
+CexReport explainCounterexample(const Miter& miter, const formal::Trace& trace);
+
+}  // namespace upec

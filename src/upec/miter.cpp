@@ -1,0 +1,165 @@
+#include "upec/miter.hpp"
+
+#include <cassert>
+
+#include "riscv/encoding.hpp"
+
+namespace upec {
+
+using rtl::Design;
+using rtl::Sig;
+using rtl::StateClass;
+
+const char* scenarioName(SecretScenario s) {
+  switch (s) {
+    case SecretScenario::kInCache: return "D in cache";
+    case SecretScenario::kNotInCache: return "D not in cache";
+    case SecretScenario::kAny: return "any";
+  }
+  return "?";
+}
+
+Miter::Miter(const soc::SocConfig& config, std::uint32_t secretWord)
+    : config_(config), secretWord_(secretWord), design_("upec_miter") {
+  assert(secretWord < config.machine.dmemWords);
+
+  // Shared instruction memory: both instances execute the same symbolic
+  // program (UPEC "models software symbolically", Sec. II).
+  const std::uint32_t imem =
+      design_.addMem(config.machine.imemWords, 32, "imem", StateClass::kMemory);
+  soc1_ = soc::SocBuilder::build(design_, config, "s1.", imem);
+  soc2_ = soc::SocBuilder::build(design_, config, "s2.", imem);
+  design_.lowerMemories();
+
+  auto regSig = [&](std::uint32_t regIdx) {
+    return Sig(&design_, design_.regs()[regIdx].q);
+  };
+  auto makePair = [&](std::uint32_t r1, std::uint32_t r2) {
+    RegPair p;
+    p.reg1 = r1;
+    p.reg2 = r2;
+    p.cls = design_.regs()[r1].stateClass;
+    const std::string& n1 = design_.regs()[r1].name;
+    p.name = n1.substr(n1.find('.') + 1);
+    p.eq = regSig(r1).eq(regSig(r2));
+    return p;
+  };
+
+  // Logic state: the builders create registers in identical order.
+  assert(soc1_.logicRegs.size() == soc2_.logicRegs.size());
+  for (std::size_t i = 0; i < soc1_.logicRegs.size(); ++i) {
+    logicPairs_.push_back(makePair(soc1_.logicRegs[i], soc2_.logicRegs[i]));
+  }
+  // Lowered memory words. The register file is architectural state and its
+  // words belong to the logic pairs; dmem and cache data are memory-class.
+  auto memWordPairs = [&](std::uint32_t mem1, std::uint32_t mem2, std::vector<RegPair>* out) {
+    const auto& w1 = design_.mems()[mem1].wordRegs;
+    const auto& w2 = design_.mems()[mem2].wordRegs;
+    assert(w1.size() == w2.size());
+    for (std::size_t i = 0; i < w1.size(); ++i) out->push_back(makePair(w1[i], w2[i]));
+  };
+  memWordPairs(soc1_.regfileMemId, soc2_.regfileMemId, &logicPairs_);
+  memWordPairs(soc1_.dmemMemId, soc2_.dmemMemId, &dmemPairs_);
+  memWordPairs(soc1_.cacheDataMemId, soc2_.cacheDataMemId, &cacheDataPairs_);
+
+  // --- assumption conditions ----------------------------------------------
+  microEq_ = pairListEqual(logicPairs_);
+
+  Sig archEq = design_.one(1);
+  for (const RegPair& p : logicPairs_) {
+    if (p.cls == StateClass::kArch) archEq = archEq & p.eq;
+  }
+  archEq_ = archEq;
+
+  // Memory equality modulo the secret: every dmem word pair equal except
+  // the secret word; every cache data word equal except the line that may
+  // legitimately hold a copy of the secret (same index AND tag).
+  const unsigned I = config.indexBits();
+  const std::uint32_t secretIdx = secretWord & (config.cacheLines - 1);
+  const std::uint32_t secretTag = secretWord >> I;
+  Sig memEq = design_.one(1);
+  for (std::size_t w = 0; w < dmemPairs_.size(); ++w) {
+    if (w == secretWord) continue;
+    memEq = memEq & dmemPairs_[w].eq;
+  }
+  const Sig secTagMatch =
+      soc1_.cacheTag[secretIdx].eq(design_.constant(config.tagBits(), secretTag));
+  secretInCache_ = soc1_.cacheValid[secretIdx] & secTagMatch;
+  secretIdx_ = secretIdx;
+  for (std::size_t w = 0; w < cacheDataPairs_.size(); ++w) {
+    if (w == secretIdx) {
+      // The secret line's data may differ only while it actually maps to
+      // the secret's address (Constraint 4 otherwise requires equality).
+      secretLineCond_ = cacheDataPairs_[w].eq | secretInCache_;
+      memEq = memEq & secretLineCond_;
+    } else {
+      memEq = memEq & cacheDataPairs_[w].eq;
+    }
+  }
+  memEq_ = memEq;
+
+  // secret_data_protected(): PMP entry 1 is a locked TOR entry with no
+  // read/write permission whose range [pmpaddr0, pmpaddr1) covers the
+  // secret word. Evaluated on instance 1; initial-state equality carries it
+  // to instance 2.
+  {
+    using namespace riscv;
+    const Sig cfg1 = soc1_.pmpcfg[1];
+    const Sig lockedNoAccess = cfg1.bit(7) & ~cfg1.bit(0) & ~cfg1.bit(1) &
+                               cfg1.extract(4, 3).eq(design_.constant(2, 1));
+    const unsigned W1 = config.wordAddrBits() + 1;
+    const Sig secretW = design_.constant(W1, secretWord);
+    protectedCond_ =
+        lockedNoAccess & soc1_.pmpaddr[0].ule(secretW) & secretW.ult(soc1_.pmpaddr[1]);
+  }
+
+  // Constraint 1: address buffers of in-flight transactions do not point
+  // at the secret (both instances; their buffers are equal at t anyway,
+  // but the constraint is cheap and self-documenting).
+  {
+    const unsigned W = config.wordAddrBits();
+    const Sig secretW = design_.constant(W, secretWord);
+    auto clean = [&](const soc::SocInstance& s) {
+      const Sig idle = s.refillState.eq(design_.constant(2, 0));
+      return (~s.pendingValid | s.pendingAddr.ne(secretW)) &
+             (idle | s.refillAddr.ne(secretW));
+    };
+    noOngoing_ = clean(soc1_) & clean(soc2_);
+  }
+
+  monitorsOk_ = soc1_.cacheMonitorOk & soc2_.cacheMonitorOk;
+
+  // Constraint 3: while in machine mode, the (trusted) system software
+  // issues no load of the secret location.
+  {
+    const unsigned W = config.wordAddrBits();
+    const Sig secretW = design_.constant(W, secretWord);
+    auto secure = [&](const soc::SocInstance& s) {
+      return ~(s.mode & s.rawReqValid & s.rawReqIsLoad & s.rawReqWordAddr.eq(secretW));
+    };
+    secureSw_ = secure(soc1_) & secure(soc2_);
+  }
+
+  secretNotInCache_ = ~secretInCache_;
+  one_ = design_.one(1);
+}
+
+rtl::Sig Miter::scenarioCondition(SecretScenario scenario) const {
+  switch (scenario) {
+    case SecretScenario::kInCache:
+      return secretInCache_;
+    case SecretScenario::kNotInCache:
+      return secretNotInCache_;
+    case SecretScenario::kAny:
+      return one_;
+  }
+  return secretInCache_;
+}
+
+rtl::Sig Miter::pairListEqual(const std::vector<RegPair>& pairs) {
+  Sig all = design_.one(1);
+  for (const RegPair& p : pairs) all = all & p.eq;
+  return all;
+}
+
+}  // namespace upec

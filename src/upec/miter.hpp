@@ -1,0 +1,99 @@
+// The UPEC computational model (paper Fig. 3): two identical instances of
+// the SoC's logic in one netlist, executing the same (symbolic) program out
+// of a shared instruction memory, with identical memory contents except for
+// one protected (secret) location.
+//
+// After construction the miter exposes:
+//  * the paired state registers of the two instances, each tagged with its
+//    StateClass (architectural / microarchitectural / memory),
+//  * per-pair equality signals, and the conditions used as UPEC assumptions
+//    (initial-state equality, memory equality modulo the secret,
+//    secret_data_protected, Constraints 1-3, cache scenario selectors).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtl/ir.hpp"
+#include "soc/soc.hpp"
+
+namespace upec {
+
+// Which initial cache state the proof considers (paper Tab. I splits the
+// analysis into these two cases for efficiency).
+enum class SecretScenario {
+  kInCache,     // a valid copy of the secret is in the D-cache
+  kNotInCache,  // the cache holds no copy of the secret
+  kAny,         // no assumption (union of both cases)
+};
+
+const char* scenarioName(SecretScenario s);
+
+struct RegPair {
+  std::uint32_t reg1 = 0;  // register index in instance 1
+  std::uint32_t reg2 = 0;  // register index in instance 2
+  rtl::StateClass cls = rtl::StateClass::kMicro;
+  std::string name;        // instance-1 name without the prefix
+  rtl::Sig eq;             // 1-bit: values equal
+};
+
+class Miter {
+ public:
+  Miter(const soc::SocConfig& config, std::uint32_t secretWord);
+  Miter(const Miter&) = delete;
+
+  rtl::Design& design() { return design_; }
+  const rtl::Design& design() const { return design_; }
+  const soc::SocConfig& config() const { return config_; }
+  std::uint32_t secretWord() const { return secretWord_; }
+  const soc::SocInstance& soc1() const { return soc1_; }
+  const soc::SocInstance& soc2() const { return soc2_; }
+
+  // State pairs of the logic part (arch + micro); memory words excluded.
+  const std::vector<RegPair>& logicPairs() const { return logicPairs_; }
+  // Memory-class pairs: dmem words and cache data words.
+  const std::vector<RegPair>& dmemPairs() const { return dmemPairs_; }
+  const std::vector<RegPair>& cacheDataPairs() const { return cacheDataPairs_; }
+
+  // --- assumption building blocks -----------------------------------------
+  // All logic state equal (micro_soc_state1 == micro_soc_state2).
+  rtl::Sig microSocStateEqual() const { return microEq_; }
+  // Memory equality modulo the secret location (Fig. 3 memory constraint +
+  // Constraint 4 for the cache data array).
+  rtl::Sig memoryEqualExceptSecret() const { return memEq_; }
+  // secret_data_protected(): a locked TOR entry covers the secret word.
+  rtl::Sig secretDataProtected() const { return protectedCond_; }
+  // Constraint 1: no buffered transaction already targets the secret.
+  rtl::Sig noOngoingProtectedAccess() const { return noOngoing_; }
+  // Constraint 2: cache monitors of both instances report valid behaviour.
+  rtl::Sig cacheMonitorsOk() const { return monitorsOk_; }
+  // Constraint 3: system software never loads the secret while in M-mode.
+  rtl::Sig secureSystemSoftware() const { return secureSw_; }
+  // Scenario selector (evaluated on instance 1; instances start equal).
+  rtl::Sig scenarioCondition(SecretScenario scenario) const;
+
+  // Architectural observability: pc and the retire stream (used in alert
+  // classification narratives; the pairs already cover it).
+  rtl::Sig archStateEqual() const { return archEq_; }
+
+  // The one conditionally-equal memory word: the secret's cache line data
+  // may differ only while the line actually holds the secret's address.
+  rtl::Sig secretCacheLineCondition() const { return secretLineCond_; }
+  std::uint32_t secretCacheIndex() const { return secretIdx_; }
+
+ private:
+  rtl::Sig pairListEqual(const std::vector<RegPair>& pairs);
+
+  soc::SocConfig config_;
+  std::uint32_t secretWord_;
+  rtl::Design design_;
+  soc::SocInstance soc1_, soc2_;
+  std::vector<RegPair> logicPairs_, dmemPairs_, cacheDataPairs_;
+  rtl::Sig microEq_, memEq_, protectedCond_, noOngoing_, monitorsOk_, secureSw_, archEq_;
+  rtl::Sig secretInCache_, secretNotInCache_, one_, secretLineCond_;
+  std::uint32_t secretIdx_ = 0;
+};
+
+}  // namespace upec

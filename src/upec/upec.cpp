@@ -1,0 +1,374 @@
+#include "upec/upec.hpp"
+
+#include <cassert>
+
+#include "base/log.hpp"
+#include "base/stopwatch.hpp"
+
+namespace upec {
+
+using formal::CheckStatus;
+using rtl::Sig;
+using rtl::StateClass;
+
+const char* verdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kProven: return "proven";
+    case Verdict::kPAlert: return "P-alert";
+    case Verdict::kLAlert: return "L-alert";
+    case Verdict::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+UpecEngine::UpecEngine(Miter& miter, const UpecOptions& options)
+    : miter_(miter), options_(options) {}
+
+formal::IntervalProperty UpecEngine::buildProperty(
+    unsigned k, const std::set<std::string>& excluded) const {
+  formal::IntervalProperty p;
+  p.name = "upec_k" + std::to_string(k);
+
+  if (options_.assumeSecretProtected) {
+    p.assumeAt(0, miter_.secretDataProtected(), "secret_data_protected()");
+  }
+  if (options_.structuralInitEquality) {
+    // Equality of the initial state is encoded by variable sharing in the
+    // unroller (see check()); only the conditional equality of the
+    // secret's cache line remains an explicit assumption.
+    p.assumeAt(0, miter_.secretCacheLineCondition(),
+               "cache data equal unless the line holds the secret");
+  } else {
+    p.assumeAt(0, miter_.microSocStateEqual(), "micro_soc_state1 = micro_soc_state2");
+    p.assumeAt(0, miter_.memoryEqualExceptSecret(), "memory equal except secret location");
+  }
+  if (options_.constraint1NoOngoing) {
+    p.assumeAt(0, miter_.noOngoingProtectedAccess(), "no_ongoing_protected_access()");
+  }
+  if (options_.scenario != SecretScenario::kAny) {
+    p.assumeAt(0, miter_.scenarioCondition(options_.scenario),
+               std::string("scenario: ") + scenarioName(options_.scenario));
+  }
+  if (options_.constraint2CacheMonitor) {
+    p.assumeAlways(miter_.cacheMonitorsOk(), "cache_monitor_valid_IO()");
+  }
+  if (options_.constraint3SecureSw) {
+    p.assumeAlways(miter_.secureSystemSoftware(), "secure_system_software()");
+  }
+  // secret_data_protected must hold over the window as well: the locked
+  // PMP entry makes this an invariant in the correct design, but the
+  // property assumes it only at t (as in Fig. 4) — protection at later
+  // cycles is the design's own responsibility, which is exactly how UPEC
+  // catches the PMP lock bug through an L-alert.
+
+  for (const RegPair& pair : miter_.logicPairs()) {
+    if (excluded.count(pair.name)) continue;
+    p.proveAt(k, pair.eq, "soc_state equal: " + pair.name);
+  }
+  return p;
+}
+
+UpecResult UpecEngine::check(unsigned k, const std::set<std::string>& excluded) {
+  UpecResult result;
+  result.window = k;
+
+  const formal::IntervalProperty property = buildProperty(k, excluded);
+  formal::BmcEngine engine(miter_.design());
+  if (options_.conflictBudget != 0) engine.setConflictBudget(options_.conflictBudget);
+  if (options_.structuralInitEquality) {
+    rtl::Design& d = miter_.design();
+    auto aliasPair = [&](const RegPair& pair) {
+      engine.addInitialStateAlias(rtl::Sig(&d, d.regs()[pair.reg1].q),
+                                  rtl::Sig(&d, d.regs()[pair.reg2].q));
+    };
+    for (const RegPair& pair : miter_.logicPairs()) aliasPair(pair);
+    for (std::size_t w = 0; w < miter_.dmemPairs().size(); ++w) {
+      if (w != miter_.secretWord()) aliasPair(miter_.dmemPairs()[w]);
+    }
+    for (std::size_t w = 0; w < miter_.cacheDataPairs().size(); ++w) {
+      if (w != miter_.secretCacheIndex()) aliasPair(miter_.cacheDataPairs()[w]);
+    }
+  }
+  const formal::CheckResult bmc = engine.check(property);
+  result.stats = bmc.stats;
+
+  if (bmc.status == CheckStatus::kProven) {
+    result.verdict = Verdict::kProven;
+    return result;
+  }
+  if (bmc.status == CheckStatus::kUnknown) {
+    result.verdict = Verdict::kUnknown;
+    return result;
+  }
+
+  // Classify the counterexample: which state pairs differ at t+k?
+  const formal::TraceEval eval(miter_.design(), *bmc.trace);
+  for (const RegPair& pair : miter_.logicPairs()) {
+    if (excluded.count(pair.name)) continue;
+    const BitVec v1 = eval.regValue(pair.reg1, k);
+    const BitVec v2 = eval.regValue(pair.reg2, k);
+    if (v1 != v2) {
+      if (pair.cls == StateClass::kArch) {
+        result.differingArch.push_back(pair.name);
+      } else {
+        result.differingMicro.push_back(pair.name);
+      }
+    }
+  }
+  result.verdict = result.differingArch.empty() ? Verdict::kPAlert : Verdict::kLAlert;
+  result.trace = bmc.trace;
+  logDebug("UPEC k=" + std::to_string(k) + ": " + verdictName(result.verdict));
+  return result;
+}
+
+std::set<std::string> UpecEngine::allMicroNames() const {
+  std::set<std::string> names;
+  for (const RegPair& pair : miter_.logicPairs()) {
+    if (pair.cls != StateClass::kArch) names.insert(pair.name);
+  }
+  return names;
+}
+
+std::string UpecEngine::renderProperty(unsigned k) const {
+  formal::IntervalProperty p = buildProperty(k, {});
+  // Collapse the per-register commitments into the paper's single line.
+  p.commitments.clear();
+  p.proveAt(k, miter_.archStateEqual(), "soc_state1 = soc_state2");
+  return p.pretty();
+}
+
+// ---------------------------------------------------------------------------
+
+InductiveProver::InductiveProver(Miter& miter, const UpecOptions& options)
+    : miter_(miter), options_(options) {}
+
+InductiveProver::Result InductiveProver::prove(
+    const std::set<std::string>& allowedDiff, const std::vector<BlockingCondition>& blocking) {
+  Result result;
+  rtl::Design& d = miter_.design();
+
+  formal::IntervalProperty p;
+  p.name = "upec_induction";
+
+  // Invariant at t: equality of all logic pairs outside the allowed set.
+  // With the structural encoding the equalities are variable aliases (set
+  // up on the engine below); otherwise they are plain assumptions.
+  if (!options_.structuralInitEquality) {
+    Sig eqExcept = d.one(1);
+    for (const RegPair& pair : miter_.logicPairs()) {
+      if (allowedDiff.count(pair.name)) continue;
+      eqExcept = eqExcept & pair.eq;
+    }
+    p.assumeAt(0, eqExcept, "logic state equal outside P-alert registers");
+    p.assumeAt(0, miter_.memoryEqualExceptSecret(), "memory equal except secret");
+  } else {
+    p.assumeAt(0, miter_.secretCacheLineCondition(),
+               "cache data equal unless the line holds the secret");
+  }
+  if (options_.assumeSecretProtected) {
+    p.assumeAt(0, miter_.secretDataProtected(), "secret_data_protected()");
+  }
+  if (options_.constraint1NoOngoing) {
+    p.assumeAt(0, miter_.noOngoingProtectedAccess(), "no_ongoing_protected_access()");
+  }
+  for (std::size_t i = 0; i < blocking.size(); ++i) {
+    p.assumeAt(0, blocking[i](miter_), "blocking condition " + std::to_string(i));
+  }
+  if (options_.constraint2CacheMonitor) {
+    p.assumeAlways(miter_.cacheMonitorsOk(), "cache_monitor_valid_IO()");
+  }
+  if (options_.constraint3SecureSw) {
+    p.assumeAlways(miter_.secureSystemSoftware(), "secure_system_software()");
+  }
+
+  // ...is preserved at t+1 (registers in the allowed set stay unconstrained
+  // in the obligation; everything else, including the full architectural
+  // state and the memory confinement, must stay intact).
+  for (const RegPair& pair : miter_.logicPairs()) {
+    if (allowedDiff.count(pair.name)) continue;
+    p.proveAt(1, pair.eq, "still equal: " + pair.name);
+  }
+  p.proveAt(1, miter_.memoryEqualExceptSecret(), "memory still equal except secret");
+  if (options_.assumeSecretProtected) {
+    p.proveAt(1, miter_.secretDataProtected(), "secret still protected");
+  }
+  if (options_.constraint1NoOngoing) {
+    p.proveAt(1, miter_.noOngoingProtectedAccess(), "still no ongoing protected access");
+  }
+  for (std::size_t i = 0; i < blocking.size(); ++i) {
+    p.proveAt(1, blocking[i](miter_), "blocking condition " + std::to_string(i) + " preserved");
+  }
+
+  formal::BmcEngine engine(d);
+  if (options_.conflictBudget != 0) engine.setConflictBudget(options_.conflictBudget);
+  if (options_.structuralInitEquality) {
+    auto aliasPair = [&](const RegPair& pair) {
+      engine.addInitialStateAlias(rtl::Sig(&d, d.regs()[pair.reg1].q),
+                                  rtl::Sig(&d, d.regs()[pair.reg2].q));
+    };
+    for (const RegPair& pair : miter_.logicPairs()) {
+      if (!allowedDiff.count(pair.name)) aliasPair(pair);
+    }
+    for (std::size_t w = 0; w < miter_.dmemPairs().size(); ++w) {
+      if (w != miter_.secretWord()) aliasPair(miter_.dmemPairs()[w]);
+    }
+    for (std::size_t w = 0; w < miter_.cacheDataPairs().size(); ++w) {
+      if (w != miter_.secretCacheIndex()) aliasPair(miter_.cacheDataPairs()[w]);
+    }
+  }
+  const formal::CheckResult bmc = engine.check(p);
+  result.stats = bmc.stats;
+  if (bmc.status == CheckStatus::kProven) {
+    result.holds = true;
+    return result;
+  }
+  if (bmc.status == CheckStatus::kUnknown) {
+    result.unknown = true;
+    return result;
+  }
+  const formal::TraceEval eval(d, *bmc.trace);
+  for (const RegPair& pair : miter_.logicPairs()) {
+    if (allowedDiff.count(pair.name)) continue;
+    if (eval.regValue(pair.reg1, 1) != eval.regValue(pair.reg2, 1)) {
+      result.escapedTo.push_back(pair.name);
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+
+MethodologyDriver::MethodologyDriver(Miter& miter, const UpecOptions& options)
+    : miter_(miter), options_(options) {}
+
+MethodologyReport MethodologyDriver::run(unsigned maxWindow,
+                                         const std::vector<BlockingCondition>& blocking) {
+  MethodologyReport report;
+  report.maxWindow = maxWindow;
+  Stopwatch total;
+  UpecEngine engine(miter_, options_);
+  std::set<std::string> excluded;
+
+  for (unsigned k = 1; k <= maxWindow; ++k) {
+    for (;;) {
+      UpecResult res = engine.check(k, excluded);
+      report.peakClauses = std::max(report.peakClauses, res.stats.clauses);
+      report.peakVars = std::max(report.peakVars, res.stats.vars);
+      if (res.verdict == Verdict::kProven) break;  // next window
+      if (res.verdict == Verdict::kUnknown) {
+        report.finalVerdict = Verdict::kUnknown;
+        report.totalRuntimeSec = total.elapsedSeconds();
+        return report;
+      }
+      if (res.verdict == Verdict::kLAlert) {
+        report.finalVerdict = Verdict::kLAlert;
+        report.firstLAlertWindow = report.firstLAlertWindow.value_or(k);
+        report.lAlertRegisters = res.differingArch;
+        report.totalRuntimeSec = total.elapsedSeconds();
+        return report;
+      }
+      // P-alert: record it and remove the registers from the obligation
+      // (paper Fig. 5: "remove corresponding state bits from commitment").
+      report.firstPAlertWindow = report.firstPAlertWindow.value_or(k);
+      report.pAlerts.push_back({k, res.differingMicro});
+      for (const std::string& r : res.differingMicro) {
+        excluded.insert(r);
+        report.pAlertRegisters.insert(r);
+      }
+      logInfo("P-alert at k=" + std::to_string(k) + " (" +
+              std::to_string(res.differingMicro.size()) + " registers)");
+    }
+  }
+
+  // No L-alert within the window bound. If nothing propagated at all, the
+  // design is proven outright; otherwise discharge the P-alerts by
+  // induction (paper Sec. VI).
+  if (report.pAlertRegisters.empty()) {
+    report.finalVerdict = Verdict::kProven;
+    report.totalRuntimeSec = total.elapsedSeconds();
+    return report;
+  }
+  report.inductionUsed = true;
+  Stopwatch inductionTimer;
+  InductiveProver prover(miter_, options_);
+  const InductiveProver::Result ind = prover.prove(report.pAlertRegisters, blocking);
+  report.inductionRuntimeSec = inductionTimer.elapsedSeconds();
+  report.inductionHolds = ind.holds;
+  report.finalVerdict = ind.holds ? Verdict::kProven : Verdict::kPAlert;
+  report.totalRuntimeSec = total.elapsedSeconds();
+  return report;
+}
+
+MethodologyReport MethodologyDriver::hunt(unsigned maxWindow) {
+  MethodologyReport report;
+  report.maxWindow = maxWindow;
+  Stopwatch total;
+  UpecEngine engine(miter_, options_);
+
+  // Phase 1: first P-alert with the complete commitment.
+  for (unsigned k = 1; k <= maxWindow && !report.firstPAlertWindow; ++k) {
+    const UpecResult res = engine.check(k);
+    report.peakClauses = std::max(report.peakClauses, res.stats.clauses);
+    report.peakVars = std::max(report.peakVars, res.stats.vars);
+    if (res.verdict == Verdict::kPAlert) {
+      report.firstPAlertWindow = k;
+      report.pAlerts.push_back({k, res.differingMicro});
+      for (const std::string& r : res.differingMicro) report.pAlertRegisters.insert(r);
+    } else if (res.verdict == Verdict::kLAlert) {
+      report.firstPAlertWindow = k;  // degenerate: leak with no precursor
+      report.firstLAlertWindow = k;
+      report.lAlertRegisters = res.differingArch;
+      report.finalVerdict = Verdict::kLAlert;
+      report.totalRuntimeSec = total.elapsedSeconds();
+      return report;
+    }
+  }
+
+  // Phase 2: hunt the L-alert with an architectural-only commitment,
+  // walking the window upward. Intermediate windows where no leak is
+  // reachable are UNSAT-shaped and can be arbitrarily hard, so each check
+  // runs under a conflict budget and an inconclusive answer simply advances
+  // the window — sound for alert *finding* (any L-alert returned is real;
+  // a budget-skipped window can at worst make the reported window length an
+  // upper bound on the minimal one).
+  UpecOptions budgeted = options_;
+  if (budgeted.conflictBudget == 0) budgeted.conflictBudget = 300'000;
+  UpecEngine huntEngine(miter_, budgeted);
+  const std::set<std::string> microOnly = huntEngine.allMicroNames();
+  for (unsigned k = report.firstPAlertWindow.value_or(1); k <= maxWindow; ++k) {
+    const UpecResult res = huntEngine.check(k, microOnly);
+    report.peakClauses = std::max(report.peakClauses, res.stats.clauses);
+    report.peakVars = std::max(report.peakVars, res.stats.vars);
+    if (res.verdict == Verdict::kLAlert) {
+      report.firstLAlertWindow = k;
+      report.lAlertRegisters = res.differingArch;
+      report.finalVerdict = Verdict::kLAlert;
+      report.totalRuntimeSec = total.elapsedSeconds();
+      return report;
+    }
+  }
+  report.finalVerdict =
+      report.pAlertRegisters.empty() ? Verdict::kProven : Verdict::kPAlert;
+  report.totalRuntimeSec = total.elapsedSeconds();
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<BlockingCondition> miniRvBlockingConditions() {
+  return {
+      // The response buffer may differ only while the write-back stage does
+      // not hold a valid, fault-free load (then nothing consumes it): a
+      // faulting load wrote it, and the subsequent flush strips consumers.
+      [](Miter& m) {
+        const soc::SocInstance& s1 = m.soc1();
+        const soc::SocInstance& s2 = m.soc2();
+        const Sig respEq = s1.respBuf.eq(s2.respBuf);
+        const Sig consumerBlocked1 = ~s1.memwbValid | s1.memwbPmpFault | ~s1.memwbIsLoad;
+        const Sig consumerBlocked2 = ~s2.memwbValid | s2.memwbPmpFault | ~s2.memwbIsLoad;
+        return respEq | (consumerBlocked1 & consumerBlocked2);
+      },
+  };
+}
+
+}  // namespace upec

@@ -1,0 +1,171 @@
+// Unique Program Execution Checking — the paper's core contribution.
+//
+// UpecEngine wraps a Miter and formulates the UPEC interval property of
+// paper Fig. 4 on a bounded model (IPC, Sec. V):
+//
+//   assume @t:      secret_data_protected()
+//   assume @t:      micro_soc_state1 == micro_soc_state2 (+ memory modulo secret)
+//   assume @t:      no_ongoing_protected_access()        (Constraint 1)
+//   assume t..t+k:  cache_monitor_valid_IO()             (Constraints 2/4)
+//   assume t..t+k:  secure_system_software()             (Constraint 3)
+//   prove  @t+k:    soc_state1 == soc_state2
+//
+// Counterexamples are classified per paper Definitions 6/7:
+//   L-alert — an architectural state pair differs: real leakage, the design
+//             is insecure;
+//   P-alert — only program-invisible microarchitectural state differs: a
+//             propagation indicator, to be diagnosed or discharged.
+//
+// MethodologyDriver implements the iterative flow of paper Fig. 5, and
+// InductiveProver the induction that turns "no L-alert within the window"
+// into an unbounded security proof (paper Sec. VI).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "formal/bmc.hpp"
+#include "upec/miter.hpp"
+
+namespace upec {
+
+struct UpecOptions {
+  SecretScenario scenario = SecretScenario::kAny;
+  // Constraint toggles (for the ablation studies of Sec. V-A).
+  bool constraint1NoOngoing = true;
+  bool constraint2CacheMonitor = true;
+  bool constraint3SecureSw = true;
+  bool assumeSecretProtected = true;
+  // Encode the initial-state equality structurally by sharing frame-0
+  // variables between the instances (strongly recommended; the ablation
+  // bench shows the cost of plain equality assumptions).
+  bool structuralInitEquality = true;
+  std::uint64_t conflictBudget = 0;  // 0 = unlimited
+};
+
+enum class Verdict { kProven, kPAlert, kLAlert, kUnknown };
+const char* verdictName(Verdict v);
+
+struct UpecResult {
+  Verdict verdict = Verdict::kUnknown;
+  unsigned window = 0;
+  // Names of the state registers that differ at t+k (classification basis).
+  std::vector<std::string> differingArch;
+  std::vector<std::string> differingMicro;
+  formal::BmcStats stats;
+  std::optional<formal::Trace> trace;
+};
+
+class UpecEngine {
+ public:
+  UpecEngine(Miter& miter, const UpecOptions& options);
+
+  // Checks the UPEC property at window k. Register names in
+  // `excludedFromCommitment` are dropped from the proof obligation (but
+  // never from the initial-state-equality assumption), per the methodology.
+  UpecResult check(unsigned k, const std::set<std::string>& excludedFromCommitment = {});
+
+  // Names of all microarchitectural pairs — pass as the exclusion set to
+  // hunt directly for L-alerts (architectural-only commitment, Def. 6).
+  std::set<std::string> allMicroNames() const;
+
+  // Renders the Fig. 4 property (for documentation / quickstart output).
+  std::string renderProperty(unsigned k) const;
+
+  Miter& miter() { return miter_; }
+  const UpecOptions& options() const { return options_; }
+
+ private:
+  formal::IntervalProperty buildProperty(unsigned k,
+                                         const std::set<std::string>& excluded) const;
+
+  Miter& miter_;
+  UpecOptions options_;
+};
+
+// One P-alert found during the methodology run.
+struct PAlert {
+  unsigned window = 0;
+  std::vector<std::string> registers;
+};
+
+struct MethodologyReport {
+  Verdict finalVerdict = Verdict::kUnknown;
+  std::vector<PAlert> pAlerts;
+  std::set<std::string> pAlertRegisters;  // union over all P-alerts
+  std::optional<unsigned> firstPAlertWindow;
+  std::optional<unsigned> firstLAlertWindow;
+  std::vector<std::string> lAlertRegisters;
+  unsigned maxWindow = 0;           // largest window actually checked
+  double totalRuntimeSec = 0;
+  std::uint64_t peakClauses = 0;    // proof memory proxy
+  std::uint64_t peakVars = 0;
+  bool inductionUsed = false;
+  bool inductionHolds = false;
+  double inductionRuntimeSec = 0;
+};
+
+// A designer-supplied blocking condition: an invariant over the miter that
+// explains why a P-alert cannot propagate (paper Sec. VI: "the designer
+// must identify these blocking conditions for each P-alert").
+using BlockingCondition = std::function<rtl::Sig(Miter&)>;
+
+class InductiveProver {
+ public:
+  InductiveProver(Miter& miter, const UpecOptions& options);
+
+  // Proves: from any state where all logic pairs except `allowedDiff` are
+  // equal, memory is equal modulo the secret, the secret is protected, and
+  // every blocking condition holds, one clock cycle preserves all of the
+  // above (and architectural equality). UNSAT = the P-alerts are confined
+  // forever and the design is secure.
+  struct Result {
+    bool holds = false;
+    bool unknown = false;
+    std::vector<std::string> escapedTo;  // registers newly differing at t+1
+    formal::BmcStats stats;
+  };
+  Result prove(const std::set<std::string>& allowedDiff,
+               const std::vector<BlockingCondition>& blocking);
+
+ private:
+  Miter& miter_;
+  UpecOptions options_;
+};
+
+// The iterative UPEC methodology (paper Fig. 5), fully automated: walk the
+// window upward, accumulate P-alerts by removing their registers from the
+// commitment, stop on an L-alert, and attempt the inductive proof when no
+// L-alert exists within the window bound.
+class MethodologyDriver {
+ public:
+  MethodologyDriver(Miter& miter, const UpecOptions& options);
+
+  // The full Fig. 5 flow: enumerate P-alerts per window, refine the
+  // commitment, stop on an L-alert, close with induction. Best on designs
+  // expected to be secure (small P-alert sets).
+  MethodologyReport run(unsigned maxWindow,
+                        const std::vector<BlockingCondition>& blocking = {});
+
+  // Vulnerability hunt: find the first P-alert with the full commitment,
+  // then search for an L-alert with an architectural-only commitment
+  // (Def. 6), skipping the exhaustive P-alert enumeration. This mirrors the
+  // paper's observation that the designer "may abort the iterative
+  // process" once P-alerts make the compromise obvious.
+  MethodologyReport hunt(unsigned maxWindow);
+
+ private:
+  Miter& miter_;
+  UpecOptions options_;
+};
+
+// The blocking conditions that discharge the secure MiniRV design's
+// P-alerts (the cache response buffer may hold the secret only while the
+// instruction in write-back is an invalid or faulting load).
+std::vector<BlockingCondition> miniRvBlockingConditions();
+
+}  // namespace upec

@@ -1,0 +1,141 @@
+// Property tests for the BitVec value type (the semantics every other
+// layer builds on) and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include "base/bitvec.hpp"
+#include "base/rng.hpp"
+
+namespace upec {
+namespace {
+
+class BitVecWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVecWidthTest, ModularArithmeticLaws) {
+  const unsigned w = GetParam();
+  Rng rng(w * 1234567 + 1);
+  for (int i = 0; i < 200; ++i) {
+    const BitVec a(w, rng.next());
+    const BitVec b(w, rng.next());
+    const BitVec c(w, rng.next());
+    // Commutativity / associativity of add.
+    EXPECT_EQ(a.add(b), b.add(a));
+    EXPECT_EQ(a.add(b).add(c), a.add(b.add(c)));
+    // Subtraction inverts addition.
+    EXPECT_EQ(a.add(b).sub(b), a);
+    // Negation: a + (-a) == 0.
+    EXPECT_TRUE(a.add(a.neg()).isZero());
+    // De Morgan.
+    EXPECT_EQ(a.band(b).bnot(), a.bnot().bor(b.bnot()));
+    // Xor self-inverse.
+    EXPECT_TRUE(a.bxor(a).isZero());
+    EXPECT_EQ(a.bxor(b).bxor(b), a);
+    // Comparison duality.
+    EXPECT_EQ(a.ult(b).toBool(), !b.ule(a).toBool());
+    EXPECT_EQ(a.slt(b).toBool(), !b.sle(a).toBool());
+    // eq is an equivalence on the masked value.
+    EXPECT_TRUE(a.eq(a).toBool());
+    EXPECT_EQ(a.eq(b).toBool(), a.uint() == b.uint());
+  }
+}
+
+TEST_P(BitVecWidthTest, ShiftSemantics) {
+  const unsigned w = GetParam();
+  Rng rng(w * 31 + 7);
+  for (int i = 0; i < 100; ++i) {
+    const BitVec a(w, rng.next());
+    for (unsigned s = 0; s <= w + 2 && s < 64; ++s) {
+      const BitVec sh(w >= 7 ? w : 7, s);
+      const BitVec shW(w, s);
+      if (sh.width() == w) {
+        EXPECT_EQ(a.shl(shW).uint(), s >= w ? 0u : (a.uint() << s) & BitVec::mask(w));
+        EXPECT_EQ(a.lshr(shW).uint(), s >= w ? 0u : a.uint() >> s);
+        // Arithmetic shift preserves sign.
+        const bool neg = a.getBit(w - 1);
+        if (s >= w) {
+          EXPECT_EQ(a.ashr(shW).uint(), neg ? BitVec::mask(w) : 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(BitVecWidthTest, ExtensionAndExtractionRoundTrip) {
+  const unsigned w = GetParam();
+  if (w > 32) return;
+  Rng rng(w);
+  for (int i = 0; i < 100; ++i) {
+    const BitVec a(w, rng.next());
+    EXPECT_EQ(a.zext(w + 8).extract(w - 1, 0), a);
+    EXPECT_EQ(a.sext(w + 8).extract(w - 1, 0), a);
+    EXPECT_EQ(a.zext(w + 8).uint(), a.uint());
+    // Sign extension preserves the signed value.
+    EXPECT_EQ(a.sext(w + 8).sint(), a.sint());
+    // Concat then split.
+    const BitVec b(8, rng.next());
+    const BitVec cat = a.concat(b);
+    EXPECT_EQ(cat.width(), w + 8);
+    EXPECT_EQ(cat.extract(7, 0), b);
+    EXPECT_EQ(cat.extract(w + 7, 8), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVecWidthTest,
+                         ::testing::Values(1u, 2u, 5u, 8u, 13u, 16u, 31u, 32u, 47u, 64u));
+
+TEST(BitVec, SignedInterpretation) {
+  EXPECT_EQ(BitVec(4, 0x7).sint(), 7);
+  EXPECT_EQ(BitVec(4, 0x8).sint(), -8);
+  EXPECT_EQ(BitVec(4, 0xF).sint(), -1);
+  EXPECT_EQ(BitVec(64, ~0ull).sint(), -1);
+  EXPECT_EQ(BitVec(1, 1).sint(), -1);
+  EXPECT_EQ(BitVec(1, 0).sint(), 0);
+}
+
+TEST(BitVec, ReductionOperators) {
+  EXPECT_TRUE(BitVec(8, 0x01).redOr().toBool());
+  EXPECT_FALSE(BitVec(8, 0).redOr().toBool());
+  EXPECT_TRUE(BitVec(8, 0xFF).redAnd().toBool());
+  EXPECT_FALSE(BitVec(8, 0xFE).redAnd().toBool());
+  EXPECT_TRUE(BitVec(8, 0x01).redXor().toBool());
+  EXPECT_FALSE(BitVec(8, 0x03).redXor().toBool());
+}
+
+TEST(BitVec, ToStringFormat) {
+  EXPECT_EQ(BitVec(8, 0x3F).toString(), "8'h3f");
+  EXPECT_EQ(BitVec(1, 1).toString(), "1'h1");
+  EXPECT_EQ(BitVec(16, 0).toString(), "16'h0");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Rng c(124);
+  bool anyDiff = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) anyDiff |= (a2.next() != c.next());
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+    const auto r = rng.range(3, 9);
+    EXPECT_GE(r, 3u);
+    EXPECT_LE(r, 9u);
+  }
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng rng(99);
+  int buckets[8] = {0};
+  constexpr int kSamples = 8000;
+  for (int i = 0; i < kSamples; ++i) ++buckets[rng.below(8)];
+  for (int b : buckets) {
+    EXPECT_GT(b, kSamples / 8 - 300);
+    EXPECT_LT(b, kSamples / 8 + 300);
+  }
+}
+
+}  // namespace
+}  // namespace upec

@@ -1,0 +1,85 @@
+// Tests for counterexample explanation: the attacker program synthesised
+// by the solver must be extractable, disassemble cleanly, and the timeline
+// must show the divergence the alert reported.
+#include <gtest/gtest.h>
+
+#include "upec/cex_report.hpp"
+#include "upec/upec.hpp"
+
+namespace upec {
+namespace {
+
+TEST(CexReport, OrcLAlertYieldsProgramAndDivergence) {
+  Miter miter(soc::SocConfig::formalSmall(soc::SocVariant::kOrc), /*secretWord=*/12);
+  UpecOptions options;
+  options.scenario = SecretScenario::kInCache;
+  UpecEngine engine(miter, options);
+
+  // Hunt the L-alert with an architectural-only commitment.
+  UpecResult res;
+  for (unsigned k = 1; k <= 4; ++k) {
+    res = engine.check(k, engine.allMicroNames());
+    if (res.verdict == Verdict::kLAlert) break;
+  }
+  ASSERT_EQ(res.verdict, Verdict::kLAlert);
+  ASSERT_TRUE(res.trace.has_value());
+
+  const CexReport report = explainCounterexample(miter, *res.trace);
+
+  // The synthesised program covers the whole instruction memory.
+  EXPECT_EQ(report.program.size(), miter.config().machine.imemWords);
+  for (const CexInstruction& instr : report.program) {
+    EXPECT_FALSE(instr.disassembly.empty());
+  }
+  // The two instances saw different secrets (otherwise nothing could leak).
+  EXPECT_NE(report.secret1, report.secret2);
+  // The scenario assumption put the secret in the cache.
+  EXPECT_TRUE(report.secretInCache);
+  // The timeline ends in divergence: some cycle records newly-differing
+  // architectural or microarchitectural state.
+  bool anyDivergence = false;
+  for (const CexCycle& c : report.timeline) anyDivergence |= !c.newlyDiffering.empty();
+  EXPECT_TRUE(anyDivergence);
+  // The pretty form mentions the program and the secrets.
+  const std::string text = report.pretty();
+  EXPECT_NE(text.find("Synthesised attacker program"), std::string::npos);
+  EXPECT_NE(text.find("Secrets:"), std::string::npos);
+  EXPECT_NE(text.find("Timeline:"), std::string::npos);
+}
+
+TEST(CexReport, PAlertShowsRespBufDivergenceCycle) {
+  Miter miter(soc::SocConfig::formalSmall(soc::SocVariant::kSecure), /*secretWord=*/12);
+  UpecOptions options;
+  options.scenario = SecretScenario::kInCache;
+  UpecEngine engine(miter, options);
+  const UpecResult res = engine.check(1);
+  ASSERT_EQ(res.verdict, Verdict::kPAlert);
+  ASSERT_TRUE(res.trace.has_value());
+
+  const CexReport report = explainCounterexample(miter, *res.trace);
+  bool respBufDiverges = false;
+  for (const CexCycle& c : report.timeline) {
+    for (const std::string& name : c.newlyDiffering) {
+      respBufDiverges |= (name == "resp_buf");
+    }
+  }
+  EXPECT_TRUE(respBufDiverges);
+}
+
+TEST(CexReport, SecretsAreAtTheConfiguredLocation) {
+  // The extracted secrets must equal the trace's initial dmem values at
+  // the secret word in each instance.
+  Miter miter(soc::SocConfig::formalSmall(soc::SocVariant::kOrc), /*secretWord=*/12);
+  UpecOptions options;
+  options.scenario = SecretScenario::kInCache;
+  UpecEngine engine(miter, options);
+  const UpecResult res = engine.check(1);
+  ASSERT_TRUE(res.trace.has_value());
+  const CexReport report = explainCounterexample(miter, *res.trace);
+  const RegPair& pair = miter.dmemPairs()[12];
+  EXPECT_EQ(report.secret1, res.trace->initialRegs[pair.reg1].uint());
+  EXPECT_EQ(report.secret2, res.trace->initialRegs[pair.reg2].uint());
+}
+
+}  // namespace
+}  // namespace upec

@@ -1,0 +1,90 @@
+// Tests for DIMACS CNF export/import round-trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/rng.hpp"
+#include "sat/dimacs.hpp"
+
+namespace upec::sat {
+namespace {
+
+TEST(Dimacs, ExportsHeaderAndClauses) {
+  Solver s;
+  DimacsRecorder rec(s);
+  const Var a = rec.newVar(), b = rec.newVar();
+  rec.addClause({Lit(a, false), Lit(b, true)});
+  rec.addClause({Lit(b, false)});
+  const std::string text = rec.toString();
+  EXPECT_NE(text.find("p cnf 2 2"), std::string::npos);
+  EXPECT_NE(text.find("1 -2 0"), std::string::npos);
+  EXPECT_NE(text.find("2 0"), std::string::npos);
+}
+
+TEST(Dimacs, ParsesSimpleFormula) {
+  Solver s;
+  const auto res = parseDimacsString("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n", s);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.numVars, 3);
+  EXPECT_EQ(res.numClauses, 2u);
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+TEST(Dimacs, ParsesUnsatFormula) {
+  Solver s;
+  const auto res = parseDimacsString("p cnf 1 2\n1 0\n-1 0\n", s);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(Dimacs, RejectsTrailingClause) {
+  Solver s;
+  const auto res = parseDimacsString("p cnf 2 1\n1 2\n", s);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(Dimacs, RejectsOverflowingLiteral) {
+  Solver s;
+  const auto res = parseDimacsString("p cnf 2 1\n3 0\n", s);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(Dimacs, MultiClausePerLineAndSplitClauses) {
+  Solver s;
+  const auto res = parseDimacsString("p cnf 2 2\n1 0 -1 2 0\n", s);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.numClauses, 2u);
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_TRUE(s.modelValue(Var(0)));
+  EXPECT_TRUE(s.modelValue(Var(1)));
+}
+
+TEST(Dimacs, RoundTripPreservesSatisfiability) {
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng(seed * 7 + 1);
+    const int numVars = static_cast<int>(rng.range(3, 10));
+    const int numClauses = static_cast<int>(rng.range(3, 30));
+
+    Solver original;
+    DimacsRecorder rec(original);
+    for (int i = 0; i < numVars; ++i) rec.newVar();
+    bool ok = true;
+    for (int c = 0; c < numClauses && ok; ++c) {
+      std::vector<Lit> clause;
+      for (int i = 0; i < 3; ++i) {
+        clause.push_back(Lit(static_cast<Var>(rng.below(numVars)), rng.flip()));
+      }
+      ok = rec.addClause(std::span<const Lit>(clause));
+    }
+    if (!ok) continue;
+    const LBool expect = original.solve();
+
+    Solver reparsed;
+    const auto res = parseDimacsString(rec.toString(), reparsed);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(reparsed.solve(), expect) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace upec::sat

@@ -1,0 +1,346 @@
+// Tests for the bit-blaster, unroller and BMC/IPC engine.
+//
+// The central property test: for random circuits and random stimuli, the
+// CNF encoding of the unrolled design must agree with the cycle-accurate
+// simulator (the two implementations are independent, so agreement is
+// strong evidence of correctness).
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "formal/bmc.hpp"
+#include "formal/cnf_builder.hpp"
+#include "formal/unroller.hpp"
+#include "rtl/ir.hpp"
+#include "sim/simulator.hpp"
+
+namespace upec::formal {
+namespace {
+
+using rtl::Design;
+using rtl::Op;
+using rtl::Sig;
+using rtl::StateClass;
+
+// Forces literals of `lits` to equal `value` via unit clauses.
+void constrainEqual(CnfBuilder& cnf, const LitVec& lits, std::uint64_t value) {
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    cnf.assertLit(((value >> i) & 1) ? lits[i] : ~lits[i]);
+  }
+}
+
+std::uint64_t modelOf(sat::Solver& s, const LitVec& lits) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (s.modelValue(lits[i])) v |= 1ull << i;
+  }
+  return v;
+}
+
+TEST(CnfBuilder, ConstantsFold) {
+  sat::Solver s;
+  CnfBuilder cnf(s);
+  EXPECT_TRUE(cnf.isTrue(cnf.trueLit()));
+  EXPECT_TRUE(cnf.isFalse(cnf.falseLit()));
+  EXPECT_TRUE(cnf.isFalse(cnf.andLit(cnf.falseLit(), cnf.freshLit())));
+  const sat::Lit a = cnf.freshLit();
+  EXPECT_EQ(cnf.andLit(cnf.trueLit(), a), a);
+  EXPECT_EQ(cnf.xorLit(cnf.falseLit(), a), a);
+  EXPECT_EQ(cnf.xorLit(cnf.trueLit(), a), ~a);
+  EXPECT_TRUE(cnf.isFalse(cnf.xorLit(a, a)));
+  EXPECT_TRUE(cnf.isTrue(cnf.xorLit(a, ~a)));
+}
+
+// Exhaustive check of word ops on small widths against BitVec semantics.
+class CnfOpsExhaustiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CnfOpsExhaustiveTest, AllOpsWidth3) {
+  const unsigned w = 3;
+  const int op = GetParam();
+  for (std::uint64_t av = 0; av < (1u << w); ++av) {
+    for (std::uint64_t bv = 0; bv < (1u << w); ++bv) {
+      sat::Solver s;
+      CnfBuilder cnf(s);
+      const LitVec a = cnf.freshVec(w);
+      const LitVec b = cnf.freshVec(w);
+      constrainEqual(cnf, a, av);
+      constrainEqual(cnf, b, bv);
+      const BitVec ab(w, av), bb(w, bv);
+
+      LitVec res;
+      BitVec expect;
+      switch (op) {
+        case 0: res = cnf.addVec(a, b, cnf.falseLit()); expect = ab.add(bb); break;
+        case 1: res = cnf.subVec(a, b); expect = ab.sub(bb); break;
+        case 2: res = cnf.mulVec(a, b); expect = ab.mul(bb); break;
+        case 3: res = cnf.andVec(a, b); expect = ab.band(bb); break;
+        case 4: res = cnf.orVec(a, b); expect = ab.bor(bb); break;
+        case 5: res = cnf.xorVec(a, b); expect = ab.bxor(bb); break;
+        case 6: res = {cnf.eqVec(a, b)}; expect = ab.eq(bb); break;
+        case 7: res = {cnf.ultVec(a, b)}; expect = ab.ult(bb); break;
+        case 8: res = {cnf.sltVec(a, b)}; expect = ab.slt(bb); break;
+        case 9: res = {cnf.uleVec(a, b)}; expect = ab.ule(bb); break;
+        case 10: res = {cnf.sleVec(a, b)}; expect = ab.sle(bb); break;
+        case 11: res = cnf.shiftVec(a, b, CnfBuilder::ShiftKind::kShl); expect = ab.shl(bb); break;
+        case 12: res = cnf.shiftVec(a, b, CnfBuilder::ShiftKind::kLshr); expect = ab.lshr(bb); break;
+        case 13: res = cnf.shiftVec(a, b, CnfBuilder::ShiftKind::kAshr); expect = ab.ashr(bb); break;
+        case 14: res = cnf.negVec(a); expect = ab.neg(); break;
+        case 15: res = {cnf.redXor(a)}; expect = ab.redXor(); break;
+        default: FAIL();
+      }
+      ASSERT_EQ(s.solve(), sat::LBool::kTrue);
+      EXPECT_EQ(modelOf(s, res), expect.uint())
+          << "op=" << op << " a=" << av << " b=" << bv;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, CnfOpsExhaustiveTest, ::testing::Range(0, 16));
+
+// A small random sequential circuit generator used for the differential
+// test between the unroller and the simulator.
+struct RandomCircuit {
+  std::vector<Sig> inputs;
+  std::vector<Sig> regs;
+  std::vector<Sig> probes;  // interesting internal signals
+};
+
+RandomCircuit buildRandomCircuit(Design& d, Rng& rng) {
+  RandomCircuit c;
+  const int numInputs = static_cast<int>(rng.range(1, 3));
+  const int numRegs = static_cast<int>(rng.range(1, 4));
+  const unsigned width = static_cast<unsigned>(rng.range(2, 9));
+
+  for (int i = 0; i < numInputs; ++i) {
+    c.inputs.push_back(d.input(width, "in" + std::to_string(i)));
+  }
+  for (int i = 0; i < numRegs; ++i) {
+    c.regs.push_back(d.reg(width, "r" + std::to_string(i)));
+  }
+  std::vector<Sig> pool = c.inputs;
+  pool.insert(pool.end(), c.regs.begin(), c.regs.end());
+  pool.push_back(d.constant(width, rng.next()));
+
+  auto pick = [&]() { return pool[rng.below(pool.size())]; };
+  const int numOps = static_cast<int>(rng.range(4, 18));
+  for (int i = 0; i < numOps; ++i) {
+    const Sig a = pick(), b = pick();
+    Sig r;
+    switch (rng.below(12)) {
+      case 0: r = a + b; break;
+      case 1: r = a - b; break;
+      case 2: r = a & b; break;
+      case 3: r = a | b; break;
+      case 4: r = a ^ b; break;
+      case 5: r = ~a; break;
+      case 6: r = mux(a.eq(b), a, b); break;
+      case 7: r = a.ult(b).zext(a.width()); break;
+      case 8: r = a << b; break;
+      case 9: r = a >> b; break;
+      case 10: r = d.binary(Op::kAshr, a, b); break;
+      default: r = a.slt(b).sext(a.width()); break;
+    }
+    pool.push_back(r);
+    c.probes.push_back(r);
+  }
+  for (Sig reg : c.regs) d.connect(reg, pool[rng.below(pool.size())]);
+  return c;
+}
+
+class UnrollerDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnrollerDifferentialTest, CnfAgreesWithSimulator) {
+  Rng rng(GetParam() * 31337 + 17);
+  Design d;
+  RandomCircuit circuit = buildRandomCircuit(d, rng);
+
+  constexpr unsigned kCycles = 4;
+  sat::Solver solver;
+  CnfBuilder cnf(solver);
+  Unroller unroller(d, cnf);
+  unroller.unrollTo(kCycles);
+
+  // Choose random initial state + stimuli, constrain the CNF to them.
+  sim::Simulator simulator(d);
+  for (std::uint32_t r = 0; r < d.regs().size(); ++r) {
+    const unsigned w = d.node(d.regs()[r].q).width;
+    const BitVec init(w, rng.next());
+    simulator.setReg(r, init);
+    constrainEqual(cnf, unroller.regLits(r, 0), init.uint());
+  }
+  std::vector<std::vector<BitVec>> stimuli(kCycles + 1);
+  for (unsigned t = 0; t <= kCycles; ++t) {
+    for (Sig in : circuit.inputs) {
+      const BitVec v(in.width(), rng.next());
+      stimuli[t].push_back(v);
+      constrainEqual(cnf, unroller.lits(in.id(), t), v.uint());
+    }
+  }
+
+  ASSERT_EQ(solver.solve(), sat::LBool::kTrue);
+
+  for (unsigned t = 0; t <= kCycles; ++t) {
+    for (std::size_t i = 0; i < circuit.inputs.size(); ++i) {
+      simulator.poke(circuit.inputs[i], stimuli[t][i]);
+    }
+    simulator.evalComb();
+    for (Sig probe : circuit.probes) {
+      EXPECT_EQ(modelOf(solver, unroller.lits(probe.id(), t)), simulator.peek(probe).uint())
+          << "probe mismatch at cycle " << t;
+    }
+    for (std::uint32_t r = 0; r < d.regs().size(); ++r) {
+      EXPECT_EQ(modelOf(solver, unroller.regLits(r, t)), simulator.regValue(r).uint())
+          << "register state mismatch at cycle " << t;
+    }
+    simulator.step();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnrollerDifferentialTest, ::testing::Range(0, 30));
+
+// --- BMC engine on known-safe / known-unsafe toy FSMs ---------------------
+
+TEST(Bmc, ProvesInvariantOfConstrainedCounter) {
+  // Counter that saturates at 10; prove: if ctr <= 10 now, ctr <= 10 in
+  // 3 cycles (holds from ANY state satisfying the assumption).
+  Design d;
+  const Sig ctr = d.reg(8, "ctr", StateClass::kArch);
+  const Sig ten = d.constant(8, 10);
+  d.connect(ctr, mux(ctr.ult(ten), ctr + d.one(8), ctr));
+
+  IntervalProperty p;
+  p.name = "saturating_counter";
+  p.assumeAt(0, ctr.ule(ten), "ctr <= 10");
+  for (unsigned t = 1; t <= 3; ++t) p.proveAt(t, ctr.ule(ten), "ctr <= 10");
+
+  BmcEngine engine(d);
+  const CheckResult res = engine.check(p);
+  EXPECT_EQ(res.status, CheckStatus::kProven);
+  EXPECT_GT(res.stats.clauses, 0u);
+}
+
+TEST(Bmc, FindsCounterexampleWhenInvariantTooStrong) {
+  // Same counter, but claim ctr <= 9 stays invariant: fails from ctr == 9.
+  Design d;
+  const Sig ctr = d.reg(8, "ctr", StateClass::kArch);
+  const Sig ten = d.constant(8, 10);
+  const Sig nine = d.constant(8, 9);
+  d.connect(ctr, mux(ctr.ult(ten), ctr + d.one(8), ctr));
+
+  IntervalProperty p;
+  p.name = "too_strong";
+  p.assumeAt(0, ctr.ule(nine));
+  p.proveAt(1, ctr.ule(nine));
+
+  BmcEngine engine(d);
+  const CheckResult res = engine.check(p);
+  ASSERT_EQ(res.status, CheckStatus::kCounterexample);
+  ASSERT_TRUE(res.trace.has_value());
+  // The counterexample must start at exactly ctr == 9.
+  EXPECT_EQ(res.trace->initialRegs[0].uint(), 9u);
+}
+
+TEST(Bmc, SymbolicInitialStateCatchesDeepStates) {
+  // A 4-bit LFSR-ish register; property "reg != 0xF" is violated from the
+  // symbolic initial state immediately, no matter how deep 0xF is from
+  // reset: this is the IPC any-state advantage.
+  Design d;
+  const Sig r = d.reg(4, "r");
+  d.connect(r, r + d.one(4));
+
+  IntervalProperty p;
+  p.name = "never_f";
+  p.proveAt(0, r.ne(d.constant(4, 0xF)));
+
+  BmcEngine engine(d);
+  const CheckResult res = engine.check(p);
+  ASSERT_EQ(res.status, CheckStatus::kCounterexample);
+  EXPECT_EQ(res.trace->initialRegs[0].uint(), 0xFu);
+}
+
+TEST(Bmc, InvariantAssumptionsRestrictInputs) {
+  // Adder pipeline: output register equals input delayed; assume input is
+  // always < 8, prove output < 8 two cycles later.
+  Design d;
+  const Sig in = d.input(8, "in");
+  const Sig s1 = d.reg(8, "s1");
+  const Sig s2 = d.reg(8, "s2");
+  d.connect(s1, in);
+  d.connect(s2, s1);
+
+  IntervalProperty p;
+  p.name = "bounded_pipeline";
+  const Sig bound = d.constant(8, 8);
+  p.assumeAlways(in.ult(bound), "in < 8");
+  p.assumeAt(0, s1.ult(bound));
+  p.assumeAt(0, s2.ult(bound));
+  for (unsigned t = 0; t <= 2; ++t) p.proveAt(t, s2.ult(bound));
+
+  BmcEngine engine(d);
+  EXPECT_EQ(engine.check(p).status, CheckStatus::kProven);
+}
+
+TEST(Bmc, TraceReplaysDeterministically) {
+  Design d;
+  const Sig in = d.input(4, "in");
+  const Sig acc = d.reg(4, "acc");
+  d.connect(acc, acc + in);
+
+  IntervalProperty p;
+  p.name = "acc_reaches_5";
+  p.assumeAt(0, acc.eq(d.zero(4)));
+  p.proveAt(2, acc.ne(d.constant(4, 5)));  // falsifiable: 2+3 = 5
+
+  BmcEngine engine(d);
+  const CheckResult res = engine.check(p);
+  ASSERT_EQ(res.status, CheckStatus::kCounterexample);
+  const TraceEval eval(d, *res.trace);
+  EXPECT_EQ(eval.value(acc, 0).uint(), 0u);
+  EXPECT_EQ(eval.value(acc, 2).uint(), 5u);
+}
+
+TEST(Bmc, MemoryDesignsWorkAfterLowering) {
+  // Write a value, read it back two cycles later through the lowered mux
+  // tree, prove the read value matches what was written.
+  Design d;
+  const Sig waddr = d.input(2, "waddr");
+  const Sig wdata = d.input(8, "wdata");
+  const Sig raddr = d.input(2, "raddr");
+  const auto mem = d.addMem(4, 8, "m");
+  const Sig rdata = d.memRead(mem, raddr);
+  d.memWrite(mem, d.one(1), waddr, wdata);
+  // Shadow registers capture the cycle-0 write for the cycle-1 check.
+  const Sig seenW = d.reg(8, "seenW");
+  d.connect(seenW, wdata);
+  const Sig lastWaddr = d.reg(2, "lastWaddr");
+  d.connect(lastWaddr, waddr);
+  d.lowerMemories();
+
+  IntervalProperty p;
+  p.name = "mem_rw";
+  // Read at cycle 1 from the address written at cycle 0, with no
+  // overwrite of that address at cycle 1 (the single write port writes
+  // every cycle, so require a different target address).
+  p.assumeAt(1, raddr.eq(lastWaddr), "read what was just written");
+  p.assumeAt(1, waddr.ne(lastWaddr), "no overwrite this cycle");
+  p.proveAt(1, rdata.eq(seenW), "read returns written data");
+
+  BmcEngine engine(d);
+  EXPECT_EQ(engine.check(p).status, CheckStatus::kProven);
+}
+
+TEST(IntervalProperty, PrettyRendersFig4Shape) {
+  Design d;
+  const Sig a = d.input(1, "a");
+  IntervalProperty p;
+  p.name = "upec";
+  p.assumeAt(0, a, "secret_data_protected()");
+  p.assumeAlways(a, "cache_monitor_valid_IO()");
+  p.proveAt(5, a, "soc_state_1 = soc_state_2");
+  const std::string text = p.pretty();
+  EXPECT_NE(text.find("at t+0: secret_data_protected()"), std::string::npos);
+  EXPECT_NE(text.find("during t..t+5: cache_monitor_valid_IO()"), std::string::npos);
+  EXPECT_NE(text.find("at t+5: soc_state_1 = soc_state_2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace upec::formal

@@ -1,0 +1,156 @@
+// Fuzz-style robustness tests: the decoder and disassembler must accept
+// arbitrary 32-bit words without crashing, the ISA simulator must make
+// progress (retire or trap) on any instruction stream, and encode/decode
+// must round-trip for every instruction class the assembler can produce.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "riscv/assembler.hpp"
+#include "riscv/isa_sim.hpp"
+
+namespace upec::riscv {
+namespace {
+
+TEST(DecoderFuzz, ArbitraryWordsDecodeAndDisassemble) {
+  Rng rng(314159);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint32_t raw = static_cast<std::uint32_t>(rng.next());
+    const Decoded d = decode(raw);
+    EXPECT_EQ(d.raw, raw);
+    EXPECT_LT(d.rd, 32u);
+    EXPECT_LT(d.rs1, 32u);
+    EXPECT_LT(d.rs2, 32u);
+    EXPECT_LE(d.funct3, 7u);
+    // Immediates stay in their architectural ranges.
+    EXPECT_GE(d.immI, -2048);
+    EXPECT_LE(d.immI, 2047);
+    EXPECT_GE(d.immB, -4096);
+    EXPECT_LE(d.immB, 4095);
+    EXPECT_EQ(d.immB & 1, 0);
+    EXPECT_EQ(d.immJ & 1, 0);
+    const std::string text = disassemble(raw);
+    EXPECT_FALSE(text.empty());
+  }
+}
+
+TEST(IsaSimFuzz, RandomInstructionStreamsAlwaysMakeProgress) {
+  MachineConfig cfg;
+  cfg.xlen = 32;
+  cfg.nregs = 16;
+  cfg.imemWords = 64;
+  cfg.dmemWords = 64;
+  for (int seed = 0; seed < 30; ++seed) {
+    Rng rng(seed * 37 + 5);
+    IsaSim sim(cfg);
+    std::vector<std::uint32_t> program;
+    for (unsigned w = 0; w < cfg.imemWords; ++w) {
+      program.push_back(static_cast<std::uint32_t>(rng.next()));
+    }
+    sim.loadProgram(program);
+    for (int step = 0; step < 200; ++step) {
+      const StepInfo info = sim.step();
+      EXPECT_TRUE(info.retired || info.trapped) << "every step retires or traps";
+      EXPECT_LT(sim.pc(), cfg.imemWords * 4u) << "pc stays in bounds";
+      EXPECT_EQ(sim.pc() % 4, 0u) << "pc stays aligned";
+    }
+    EXPECT_EQ(sim.reg(0), 0u) << "x0 survives arbitrary instruction bytes";
+  }
+}
+
+TEST(IsaSimFuzz, MemoryStaysInBounds) {
+  // Loads/stores with arbitrary register contents must wrap, not escape.
+  MachineConfig cfg;
+  cfg.xlen = 32;
+  cfg.nregs = 16;
+  cfg.imemWords = 32;
+  cfg.dmemWords = 16;
+  Rng rng(99);
+  IsaSim sim(cfg);
+  Assembler a;
+  for (int i = 0; i < 8; ++i) {
+    const unsigned r = 1 + static_cast<unsigned>(rng.below(7));
+    a.li(r, static_cast<std::int32_t>(rng.next()));  // arbitrary address material
+    a.lw(2, r, static_cast<std::int32_t>(rng.next() & 0x7FC) - 1024);
+    a.sw(2, r, static_cast<std::int32_t>(rng.next() & 0x7FC) - 1024);
+  }
+  sim.loadProgram(a.finish());
+  sim.run(64);
+  SUCCEED() << "no assertion fired while addressing wildly";
+}
+
+TEST(AssemblerRoundTrip, EveryEmitterDecodesToItsClass) {
+  Assembler a;
+  const Label lbl = a.newLabel();
+  a.bind(lbl);
+  a.lui(1, 0x12345);
+  a.auipc(2, 0x00FFF);
+  a.jal(3, lbl);
+  a.jalr(4, 5, -12);
+  a.beq(1, 2, lbl);
+  a.bne(1, 2, lbl);
+  a.blt(1, 2, lbl);
+  a.bge(1, 2, lbl);
+  a.bltu(1, 2, lbl);
+  a.bgeu(1, 2, lbl);
+  a.lw(6, 7, 16);
+  a.sw(8, 9, -16);
+  a.addi(10, 11, 7);
+  a.slti(1, 2, -3);
+  a.sltiu(1, 2, 3);
+  a.xori(1, 2, 0xFF);
+  a.ori(1, 2, 0x0F);
+  a.andi(1, 2, 0x3C);
+  a.slli(1, 2, 5);
+  a.srli(1, 2, 6);
+  a.srai(1, 2, 7);
+  a.add(1, 2, 3);
+  a.sub(1, 2, 3);
+  a.sll(1, 2, 3);
+  a.slt(1, 2, 3);
+  a.sltu(1, 2, 3);
+  a.xor_(1, 2, 3);
+  a.srl(1, 2, 3);
+  a.sra(1, 2, 3);
+  a.or_(1, 2, 3);
+  a.and_(1, 2, 3);
+  a.ecall();
+  a.mret();
+  a.csrrw(1, kCsrMtvec, 2);
+  a.csrrs(1, kCsrMcause, 0);
+  const auto words = a.finish();
+
+  const std::uint32_t expectedOpcodes[] = {
+      kOpLui, kOpAuipc, kOpJal, kOpJalr, kOpBranch, kOpBranch, kOpBranch, kOpBranch,
+      kOpBranch, kOpBranch, kOpLoad, kOpStore, kOpImm, kOpImm, kOpImm, kOpImm,
+      kOpImm, kOpImm, kOpImm, kOpImm, kOpImm, kOpReg, kOpReg, kOpReg, kOpReg,
+      kOpReg, kOpReg, kOpReg, kOpReg, kOpReg, kOpReg, kOpSystem, kOpSystem,
+      kOpSystem, kOpSystem,
+  };
+  ASSERT_EQ(words.size(), std::size(expectedOpcodes));
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(decode(words[i]).opcode, expectedOpcodes[i]) << "instr " << i;
+  }
+  // Spot-check operand fields.
+  EXPECT_EQ(decode(words[0]).immU, 0x12345000u);
+  EXPECT_EQ(decode(words[3]).immI, -12);
+  EXPECT_EQ(decode(words[10]).immI, 16);
+  EXPECT_EQ(decode(words[11]).immS, -16);
+  EXPECT_EQ(decode(words[20]).rs2, 7u);  // srai shamt field
+  EXPECT_EQ(decode(words[20]).funct7 & 0x20, 0x20u);
+}
+
+TEST(AssemblerRoundTrip, BranchRangeLimitsAssert) {
+  // In-range forward branch assembles; the labels infrastructure keeps
+  // offsets consistent for distant targets via jal.
+  Assembler a;
+  const Label far = a.newLabel();
+  a.jal(0, far);
+  for (int i = 0; i < 100; ++i) a.nop();
+  a.bind(far);
+  a.nop();
+  const auto words = a.finish();
+  EXPECT_EQ(decode(words[0]).immJ, 101 * 4);
+}
+
+}  // namespace
+}  // namespace upec::riscv

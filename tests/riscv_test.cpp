@@ -1,0 +1,335 @@
+// Tests for the RV32I encoder/decoder, the assembler, and the ISA-level
+// reference simulator (including privilege modes and PMP semantics).
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "riscv/assembler.hpp"
+#include "riscv/encoding.hpp"
+#include "riscv/isa_sim.hpp"
+
+namespace upec::riscv {
+namespace {
+
+TEST(Encoding, ITypeRoundTrip) {
+  for (std::int32_t imm : {-2048, -1, 0, 1, 7, 2047}) {
+    const std::uint32_t raw = encodeI(imm, 3, 0b000, 5, kOpImm);
+    const Decoded d = decode(raw);
+    EXPECT_EQ(d.opcode, kOpImm);
+    EXPECT_EQ(d.rd, 5u);
+    EXPECT_EQ(d.rs1, 3u);
+    EXPECT_EQ(d.immI, imm);
+  }
+}
+
+TEST(Encoding, STypeRoundTrip) {
+  for (std::int32_t imm : {-2048, -4, 0, 4, 2047}) {
+    const Decoded d = decode(encodeS(imm, 7, 2, 0b010, kOpStore));
+    EXPECT_EQ(d.immS, imm);
+    EXPECT_EQ(d.rs1, 2u);
+    EXPECT_EQ(d.rs2, 7u);
+  }
+}
+
+TEST(Encoding, BTypeRoundTrip) {
+  for (std::int32_t imm : {-4096, -4, 0, 4, 16, 4094}) {
+    const std::int32_t aligned = imm & ~1;
+    const Decoded d = decode(encodeB(aligned, 1, 2, 0b001, kOpBranch));
+    EXPECT_EQ(d.immB, aligned);
+  }
+}
+
+TEST(Encoding, JTypeRoundTrip) {
+  for (std::int32_t imm : {-1048576, -8, 0, 4, 1048574}) {
+    const std::int32_t aligned = imm & ~1;
+    const Decoded d = decode(encodeJ(aligned, 1, kOpJal));
+    EXPECT_EQ(d.immJ, aligned);
+  }
+}
+
+TEST(Encoding, UTypeRoundTrip) {
+  const Decoded d = decode(encodeU(0xABCDE, 4, kOpLui));
+  EXPECT_EQ(d.immU, 0xABCDE000u);
+  EXPECT_EQ(d.rd, 4u);
+}
+
+TEST(Encoding, DisassembleKnownInstructions) {
+  EXPECT_EQ(disassemble(encodeI(42, 1, 0b000, 2, kOpImm)), "addi x2, x1, 42");
+  EXPECT_EQ(disassemble(0x00000073), "ecall");
+  EXPECT_EQ(disassemble(0x30200073), "mret");
+}
+
+TEST(Assembler, ForwardAndBackwardLabels) {
+  Assembler a;
+  const Label top = a.newLabel();
+  const Label end = a.newLabel();
+  a.bind(top);
+  a.addi(1, 1, 1);
+  a.beq(1, 2, end);   // forward
+  a.j(top);           // backward
+  a.bind(end);
+  a.nop();
+  const auto words = a.finish();
+  ASSERT_EQ(words.size(), 4u);
+  const Decoded beq = decode(words[1]);
+  EXPECT_EQ(beq.immB, 8);  // two instructions ahead
+  const Decoded jal = decode(words[2]);
+  EXPECT_EQ(jal.immJ, -8);
+}
+
+TEST(Assembler, LiSplitsLargeConstants) {
+  Assembler a;
+  a.li(1, 0x12345678);
+  a.li(2, 100);
+  a.li(3, -5);
+  a.li(4, 0x7FFFF800);  // lo part becomes negative, hi must round up
+  const auto words = a.finish();
+  MachineConfig cfg;
+  IsaSim sim(cfg);
+  sim.loadProgram(words);
+  sim.run(static_cast<unsigned>(words.size()));
+  EXPECT_EQ(sim.reg(1), 0x12345678u);
+  EXPECT_EQ(sim.reg(2), 100u);
+  EXPECT_EQ(sim.reg(3), 0xFFFFFFFBu);
+  EXPECT_EQ(sim.reg(4), 0x7FFFF800u);
+}
+
+MachineConfig smallCfg() {
+  MachineConfig cfg;
+  cfg.xlen = 32;
+  cfg.nregs = 32;
+  cfg.imemWords = 64;
+  cfg.dmemWords = 64;
+  cfg.pmpEntries = 2;
+  return cfg;
+}
+
+TEST(IsaSim, ArithmeticAndLogic) {
+  Assembler a;
+  a.li(1, 100);
+  a.li(2, 7);
+  a.add(3, 1, 2);
+  a.sub(4, 1, 2);
+  a.and_(5, 1, 2);
+  a.or_(6, 1, 2);
+  a.xor_(7, 1, 2);
+  a.sll(8, 2, 2);
+  a.srl(9, 1, 2);
+  a.slt(10, 2, 1);
+  a.sltu(11, 1, 2);
+  IsaSim sim(smallCfg());
+  const auto words = a.finish();
+  sim.loadProgram(words);
+  sim.run(static_cast<unsigned>(words.size()));
+  EXPECT_EQ(sim.reg(3), 107u);
+  EXPECT_EQ(sim.reg(4), 93u);
+  EXPECT_EQ(sim.reg(5), 100u & 7u);
+  EXPECT_EQ(sim.reg(6), 100u | 7u);
+  EXPECT_EQ(sim.reg(7), 100u ^ 7u);
+  EXPECT_EQ(sim.reg(8), 7u << 7);
+  EXPECT_EQ(sim.reg(9), 100u >> 7);
+  EXPECT_EQ(sim.reg(10), 1u);
+  EXPECT_EQ(sim.reg(11), 0u);
+}
+
+TEST(IsaSim, X0IsHardwiredZero) {
+  Assembler a;
+  a.li(0, 55);
+  a.add(1, 0, 0);
+  IsaSim sim(smallCfg());
+  sim.loadProgram(a.finish());
+  sim.run(3);
+  EXPECT_EQ(sim.reg(0), 0u);
+  EXPECT_EQ(sim.reg(1), 0u);
+}
+
+TEST(IsaSim, LoadStoreRoundTrip) {
+  Assembler a;
+  a.li(1, 0x20);      // byte address of dmem word 8
+  a.li(2, 0xBEEF);
+  a.sw(2, 1, 0);
+  a.lw(3, 1, 0);
+  IsaSim sim(smallCfg());
+  sim.loadProgram(a.finish());
+  sim.run(6);
+  EXPECT_EQ(sim.dmemWord(8), 0xBEEFu);
+  EXPECT_EQ(sim.reg(3), 0xBEEFu);
+}
+
+TEST(IsaSim, BranchesAndJumps) {
+  Assembler a;
+  const Label skip = a.newLabel();
+  const Label end = a.newLabel();
+  a.li(1, 5);
+  a.li(2, 5);
+  a.beq(1, 2, skip);
+  a.li(3, 111);  // skipped
+  a.bind(skip);
+  a.li(4, 222);
+  a.jal(5, end);
+  a.li(6, 333);  // skipped
+  a.bind(end);
+  a.nop();
+  IsaSim sim(smallCfg());
+  sim.loadProgram(a.finish());
+  sim.run(8);
+  EXPECT_EQ(sim.reg(3), 0u);
+  EXPECT_EQ(sim.reg(4), 222u);
+  EXPECT_EQ(sim.reg(6), 0u);
+  EXPECT_NE(sim.reg(5), 0u);  // link register written
+}
+
+TEST(IsaSim, EcallTrapsToMtvecAndMretReturns) {
+  Assembler a;
+  // Machine code at 0: set mtvec to handler, drop to user code at 0x20.
+  a.li(1, 0x40);
+  a.csrrw(0, kCsrMtvec, 1);
+  a.li(2, 0x20);
+  a.csrrw(0, kCsrMepc, 2);
+  a.mret();
+  IsaSim sim(smallCfg());
+  auto words = a.finish();
+  sim.loadProgram(words);
+  // User code at word 8 (byte 0x20): ecall.
+  sim.loadProgram({encodeI(0, 0, 0, 0, kOpSystem)}, 8);
+  sim.run(5);
+  EXPECT_EQ(sim.mode(), Mode::kUser);
+  EXPECT_EQ(sim.pc(), 0x20u);
+  const StepInfo info = sim.step();
+  EXPECT_TRUE(info.trapped);
+  EXPECT_EQ(info.trapCause, kCauseEcallU);
+  EXPECT_EQ(sim.mode(), Mode::kMachine);
+  EXPECT_EQ(sim.pc(), 0x40u);
+  EXPECT_EQ(sim.csr(kCsrMepc), 0x20u);
+  EXPECT_EQ(sim.csr(kCsrMcause), kCauseEcallU);
+}
+
+TEST(IsaSim, PmpBlocksUserAccessToProtectedRegion) {
+  IsaSim sim(smallCfg());
+  // Entry 0: user RW over [0, 32); entry 1: locked no-access over [32, 64).
+  sim.setCsr(kCsrPmpcfg0, (kPmpATor | kPmpR | kPmpW) | ((kPmpATor | kPmpL) << 8));
+  sim.setCsr(kCsrPmpaddr0, 32);
+  sim.setCsr(kCsrPmpaddr0 + 1, 64);
+  EXPECT_TRUE(sim.pmpAllows(0x10, false, Mode::kUser));
+  EXPECT_TRUE(sim.pmpAllows(0x10, true, Mode::kUser));
+  EXPECT_FALSE(sim.pmpAllows(32 * 4, false, Mode::kUser));
+  EXPECT_FALSE(sim.pmpAllows(32 * 4, true, Mode::kUser));
+  // The locked entry applies to machine mode as well.
+  EXPECT_FALSE(sim.pmpAllows(32 * 4, false, Mode::kMachine));
+  // Machine mode passes the unlocked entry and unmatched regions.
+  EXPECT_TRUE(sim.pmpAllows(0x10, true, Mode::kMachine));
+}
+
+TEST(IsaSim, UserLoadFromProtectedAddressTraps) {
+  IsaSim sim(smallCfg());
+  sim.setCsr(kCsrPmpcfg0, (kPmpATor | kPmpR | kPmpW) | ((kPmpATor | kPmpL) << 8));
+  sim.setCsr(kCsrPmpaddr0, 32);
+  sim.setCsr(kCsrPmpaddr0 + 1, 64);
+  sim.setCsr(kCsrMtvec, 0x30);
+  sim.setDmemWord(40, 0x5EC8E7);  // the secret
+  Assembler a;
+  a.li(1, 40 * 4);
+  a.lw(2, 1, 0);
+  sim.loadProgram(a.finish());
+  sim.setMode(Mode::kUser);
+  sim.run(1);
+  const StepInfo info = sim.step();
+  EXPECT_TRUE(info.trapped);
+  EXPECT_EQ(info.trapCause, kCauseLoadAccessFault);
+  EXPECT_EQ(sim.reg(2), 0u) << "secret must not reach the register file";
+  EXPECT_EQ(sim.mode(), Mode::kMachine);
+}
+
+TEST(IsaSim, PmpLockPropagatesToTorBaseAddress) {
+  IsaSim sim(smallCfg());
+  sim.setCsr(kCsrPmpcfg0, (kPmpATor | kPmpR | kPmpW) | ((kPmpATor | kPmpL) << 8));
+  sim.setCsr(kCsrPmpaddr0, 32);
+  sim.setCsr(kCsrPmpaddr0 + 1, 64);
+  EXPECT_TRUE(sim.pmpAddrWriteLocked(0)) << "base of a locked TOR range must be locked";
+  EXPECT_TRUE(sim.pmpAddrWriteLocked(1));
+  // An instruction-level write must be ignored.
+  Assembler a;
+  a.li(1, 50);
+  a.csrrw(0, kCsrPmpaddr0, 1);
+  sim.loadProgram(a.finish());
+  sim.run(3);
+  EXPECT_EQ(sim.csr(kCsrPmpaddr0), 32u);
+}
+
+TEST(IsaSim, PmpLockBugAllowsRewritingTorBase) {
+  MachineConfig cfg = smallCfg();
+  cfg.pmpLockBug = true;
+  IsaSim sim(cfg);
+  sim.setCsr(kCsrPmpcfg0, (kPmpATor | kPmpR | kPmpW) | ((kPmpATor | kPmpL) << 8));
+  sim.setCsr(kCsrPmpaddr0, 32);
+  sim.setCsr(kCsrPmpaddr0 + 1, 64);
+  EXPECT_FALSE(sim.pmpAddrWriteLocked(0)) << "the bug: base is writable";
+  Assembler a;
+  a.li(1, 50);
+  a.csrrw(0, kCsrPmpaddr0, 1);
+  sim.loadProgram(a.finish());
+  sim.run(3);
+  EXPECT_EQ(sim.csr(kCsrPmpaddr0), 50u);
+  // Consequence: words 32..49 are now user-accessible through entry 0.
+  EXPECT_TRUE(sim.pmpAllows(40 * 4, false, Mode::kUser));
+}
+
+TEST(IsaSim, CsrCyclePrivileges) {
+  IsaSim sim(smallCfg());
+  Assembler a;
+  a.rdcycle(1);  // legal in user mode
+  sim.loadProgram(a.finish());
+  sim.setMode(Mode::kUser);
+  const StepInfo info = sim.step();
+  EXPECT_TRUE(info.retired);
+
+  // Machine CSR access from user mode must trap.
+  IsaSim sim2(smallCfg());
+  Assembler b;
+  b.csrrs(1, kCsrMepc, 0);
+  sim2.loadProgram(b.finish());
+  sim2.setMode(Mode::kUser);
+  const StepInfo info2 = sim2.step();
+  EXPECT_TRUE(info2.trapped);
+  EXPECT_EQ(info2.trapCause, kCauseIllegalInstr);
+}
+
+TEST(IsaSim, UnknownCsrIsIllegal) {
+  IsaSim sim(smallCfg());
+  Assembler a;
+  a.csrrs(1, 0x123, 0);
+  sim.loadProgram(a.finish());
+  const StepInfo info = sim.step();
+  EXPECT_TRUE(info.trapped);
+  EXPECT_EQ(info.trapCause, kCauseIllegalInstr);
+}
+
+TEST(IsaSim, NarrowXlenMasksValues) {
+  MachineConfig cfg;
+  cfg.xlen = 16;
+  cfg.nregs = 8;
+  cfg.imemWords = 16;
+  cfg.dmemWords = 16;
+  IsaSim sim(cfg);
+  Assembler a;
+  a.li(1, 0x7FF);
+  a.slli(2, 1, 8);  // 0x7FF00 truncated to 16 bits = 0xFF00
+  sim.loadProgram(a.finish());
+  sim.run(2);
+  EXPECT_EQ(sim.reg(2), 0xFF00u);
+}
+
+TEST(IsaSim, McycleCountsAllSteps) {
+  // The ISA simulator has no microarchitectural timing: its mcycle ticks
+  // once per instruction step (the RTL core's mcycle counts real cycles).
+  IsaSim sim(smallCfg());
+  Assembler a;
+  a.nop();
+  a.nop();
+  a.rdcycle(1);
+  sim.loadProgram(a.finish());
+  sim.run(3);
+  EXPECT_EQ(sim.reg(1), 3u);  // incremented at the start of the reading step
+}
+
+}  // namespace
+}  // namespace upec::riscv

@@ -1,0 +1,262 @@
+// Unit tests for the RTL IR: node construction, structural hashing,
+// topological ordering, memory lowering, and the simulator's execution of
+// small hand-built circuits.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "rtl/ir.hpp"
+#include "sim/simulator.hpp"
+
+namespace upec {
+namespace {
+
+using rtl::Design;
+using rtl::Op;
+using rtl::Sig;
+using rtl::StateClass;
+
+TEST(RtlIr, ConstantsAreDeduplicated) {
+  Design d;
+  const Sig a = d.constant(8, 42);
+  const Sig b = d.constant(8, 42);
+  EXPECT_EQ(a.id(), b.id());
+  const Sig c = d.constant(8, 43);
+  EXPECT_NE(a.id(), c.id());
+  const Sig e = d.constant(9, 42);  // same value, different width
+  EXPECT_NE(a.id(), e.id());
+}
+
+TEST(RtlIr, StructuralHashingSharesPureOps) {
+  Design d;
+  const Sig x = d.input(8, "x");
+  const Sig y = d.input(8, "y");
+  const Sig s1 = x + y;
+  const Sig s2 = x + y;
+  EXPECT_EQ(s1.id(), s2.id());
+  const Sig s3 = y + x;  // commutative canonicalisation
+  EXPECT_EQ(s1.id(), s3.id());
+  const Sig s4 = x - y;
+  const Sig s5 = y - x;  // non-commutative: distinct
+  EXPECT_NE(s4.id(), s5.id());
+}
+
+TEST(RtlIr, RegistersAreNeverShared) {
+  Design d;
+  const Sig r1 = d.reg(4, "r1");
+  const Sig r2 = d.reg(4, "r2");
+  EXPECT_NE(r1.id(), r2.id());
+}
+
+TEST(RtlIr, WidthRules) {
+  Design d;
+  const Sig x = d.input(8, "x");
+  const Sig y = d.input(8, "y");
+  EXPECT_EQ((x + y).width(), 8u);
+  EXPECT_EQ(x.eq(y).width(), 1u);
+  EXPECT_EQ(x.extract(5, 2).width(), 4u);
+  EXPECT_EQ(x.concat(y).width(), 16u);
+  EXPECT_EQ(x.zext(12).width(), 12u);
+  EXPECT_EQ(x.redOr().width(), 1u);
+}
+
+TEST(RtlIr, IsCompleteDetectsUnconnectedRegister) {
+  Design d;
+  const Sig r = d.reg(4, "r");
+  std::string why;
+  EXPECT_FALSE(d.isComplete(&why));
+  EXPECT_NE(why.find("r"), std::string::npos);
+  d.connect(r, d.constant(4, 0));
+  EXPECT_TRUE(d.isComplete());
+}
+
+TEST(RtlIr, TopoOrderRespectsDependencies) {
+  Design d;
+  const Sig x = d.input(4, "x");
+  const Sig r = d.reg(4, "r");
+  const Sig sum = x + r;
+  d.connect(r, sum);
+  const auto order = d.topoOrder();
+  // Every node's operands appear before the node itself.
+  std::vector<int> pos(d.numNodes(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = static_cast<int>(i);
+  for (rtl::NodeId id = 0; id < d.numNodes(); ++id) {
+    const rtl::Node& n = d.node(id);
+    if (n.op == Op::kRegQ) continue;
+    for (int i = 0; i < n.numOps; ++i) {
+      EXPECT_LT(pos[n.ops[i]], pos[id]) << "operand after consumer";
+    }
+  }
+  EXPECT_EQ(order.size(), d.numNodes());
+}
+
+TEST(RtlSim, CounterCountsAndWraps) {
+  Design d;
+  const Sig en = d.input(1, "en");
+  const Sig ctr = d.reg(3, "ctr", StateClass::kArch);
+  d.connect(ctr, mux(en, ctr + d.one(3), ctr));
+  sim::Simulator s(d);
+  s.poke(en, 1);
+  for (int i = 1; i <= 10; ++i) {
+    s.step();
+    s.evalComb();
+    EXPECT_EQ(s.peek(ctr).uint(), static_cast<std::uint64_t>(i % 8));
+  }
+  s.poke(en, 0);
+  s.step();
+  s.evalComb();
+  EXPECT_EQ(s.peek(ctr).uint(), 2u);  // 10 % 8, held while disabled
+}
+
+TEST(RtlSim, ResetValuesApply) {
+  Design d;
+  const Sig r = d.reg(8, "r", BitVec(8, 0xAB), StateClass::kMicro);
+  d.connect(r, r);
+  sim::Simulator s(d);
+  s.evalComb();
+  EXPECT_EQ(s.peek(r).uint(), 0xABu);
+}
+
+TEST(RtlSim, AluOpsMatchBitVecSemantics) {
+  Design d;
+  const Sig a = d.input(8, "a");
+  const Sig b = d.input(8, "b");
+  struct Case {
+    Sig sig;
+    BitVec (*eval)(const BitVec&, const BitVec&);
+  };
+  const std::vector<Case> cases = {
+      {a + b, [](const BitVec& x, const BitVec& y) { return x.add(y); }},
+      {a - b, [](const BitVec& x, const BitVec& y) { return x.sub(y); }},
+      {a * b, [](const BitVec& x, const BitVec& y) { return x.mul(y); }},
+      {a & b, [](const BitVec& x, const BitVec& y) { return x.band(y); }},
+      {a | b, [](const BitVec& x, const BitVec& y) { return x.bor(y); }},
+      {a ^ b, [](const BitVec& x, const BitVec& y) { return x.bxor(y); }},
+      {a << b, [](const BitVec& x, const BitVec& y) { return x.shl(y); }},
+      {a >> b, [](const BitVec& x, const BitVec& y) { return x.lshr(y); }},
+      {d.binary(Op::kAshr, a, b), [](const BitVec& x, const BitVec& y) { return x.ashr(y); }},
+      {a.eq(b), [](const BitVec& x, const BitVec& y) { return x.eq(y); }},
+      {a.ult(b), [](const BitVec& x, const BitVec& y) { return x.ult(y); }},
+      {a.slt(b), [](const BitVec& x, const BitVec& y) { return x.slt(y); }},
+      {a.ule(b), [](const BitVec& x, const BitVec& y) { return x.ule(y); }},
+      {a.sle(b), [](const BitVec& x, const BitVec& y) { return x.sle(y); }},
+  };
+  sim::Simulator s(d);
+  Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    const BitVec av(8, rng.next());
+    const BitVec bv(8, rng.next());
+    s.poke(a, av);
+    s.poke(b, bv);
+    s.evalComb();
+    for (const auto& c : cases) {
+      EXPECT_EQ(s.peek(c.sig), c.eval(av, bv));
+    }
+  }
+}
+
+TEST(RtlMem, NativeMemoryReadWrite) {
+  Design d;
+  const Sig wen = d.input(1, "wen");
+  const Sig waddr = d.input(3, "waddr");
+  const Sig wdata = d.input(16, "wdata");
+  const Sig raddr = d.input(3, "raddr");
+  const auto mem = d.addMem(8, 16, "m");
+  const Sig rdata = d.memRead(mem, raddr);
+  d.memWrite(mem, wen, waddr, wdata);
+
+  sim::Simulator s(d);
+  s.poke(wen, 1);
+  s.poke(waddr, 5);
+  s.poke(wdata, 0xBEEF);
+  s.step();  // write commits on the clock edge
+  s.poke(wen, 0);
+  s.poke(raddr, 5);
+  s.evalComb();
+  EXPECT_EQ(s.peek(rdata).uint(), 0xBEEFu);
+  s.poke(raddr, 4);
+  s.evalComb();
+  EXPECT_EQ(s.peek(rdata).uint(), 0u);
+}
+
+TEST(RtlMem, LoweredMemoryMatchesNative) {
+  // Build the same circuit twice; lower one; run identical random stimuli.
+  auto build = [](Design& d) {
+    const Sig wen = d.input(1, "wen");
+    const Sig waddr = d.input(3, "waddr");
+    const Sig wdata = d.input(8, "wdata");
+    const Sig raddr = d.input(3, "raddr");
+    const auto mem = d.addMem(8, 8, "m");
+    const Sig rdata = d.memRead(mem, raddr);
+    d.memWrite(mem, wen, waddr, wdata);
+    return std::tuple{wen, waddr, wdata, raddr, rdata};
+  };
+  Design dn("native"), dl("lowered");
+  auto [nwen, nwaddr, nwdata, nraddr, nrdata] = build(dn);
+  auto [lwen, lwaddr, lwdata, lraddr, lrdata] = build(dl);
+  dl.lowerMemories();
+  ASSERT_TRUE(dl.memoriesLowered());
+
+  sim::Simulator sn(dn), sl(dl);
+  Rng rng(99);
+  for (int cycle = 0; cycle < 300; ++cycle) {
+    const std::uint64_t wen = rng.flip(), waddr = rng.below(8), wdata = rng.next() & 0xff,
+                        raddr = rng.below(8);
+    sn.poke(nwen, wen);
+    sn.poke(nwaddr, waddr);
+    sn.poke(nwdata, wdata);
+    sn.poke(nraddr, raddr);
+    sl.poke(lwen, wen);
+    sl.poke(lwaddr, waddr);
+    sl.poke(lwdata, wdata);
+    sl.poke(lraddr, raddr);
+    sn.evalComb();
+    sl.evalComb();
+    ASSERT_EQ(sn.peek(nrdata), sl.peek(lrdata)) << "cycle " << cycle;
+    sn.step();
+    sl.step();
+  }
+}
+
+TEST(RtlMem, WritePortPriorityLaterWins) {
+  Design d;
+  const Sig addr = d.input(2, "addr");
+  const Sig d0 = d.input(8, "d0");
+  const Sig d1 = d.input(8, "d1");
+  const auto mem = d.addMem(4, 8, "m");
+  const Sig r = d.memRead(mem, addr);
+  d.memWrite(mem, d.one(1), addr, d0);
+  d.memWrite(mem, d.one(1), addr, d1);  // later port wins
+  sim::Simulator s(d);
+  s.poke(addr, 2);
+  s.poke(d0, 0x11);
+  s.poke(d1, 0x22);
+  s.step();
+  s.evalComb();
+  EXPECT_EQ(s.peek(r).uint(), 0x22u);
+}
+
+TEST(RtlIr, StatsCountStateBits) {
+  Design d;
+  d.reg(8, "a");
+  d.reg(4, "b");
+  d.input(3, "i");
+  d.addMem(8, 16, "m");
+  const auto st = d.stats();
+  EXPECT_EQ(st.registers, 2u);
+  EXPECT_EQ(st.stateBits, 12u);
+  EXPECT_EQ(st.inputBits, 3u);
+  EXPECT_EQ(st.memoryBits, 128u);
+}
+
+TEST(RtlIr, DumpMentionsNames) {
+  Design d;
+  const Sig x = d.input(4, "myinput");
+  const Sig r = d.reg(4, "myreg");
+  d.connect(r, x);
+  const std::string text = d.dump();
+  EXPECT_NE(text.find("myinput"), std::string::npos);
+  EXPECT_NE(text.find("myreg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace upec

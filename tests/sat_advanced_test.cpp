@@ -1,0 +1,182 @@
+// Additional SAT solver coverage: assumption cores, incremental workflows,
+// solver behaviour on structured instances (equivalence chains, adders),
+// and regression patterns for watched-literal bookkeeping.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "formal/cnf_builder.hpp"
+#include "sat/solver.hpp"
+
+namespace upec::sat {
+namespace {
+
+Lit pos(Var v) { return Lit(v, false); }
+Lit neg(Var v) { return Lit(v, true); }
+
+TEST(SatAssumptions, CoreIsSubsetOfAssumptions) {
+  // x0 -> x1 -> x2; assume x0 and !x2 and an irrelevant x3: the core must
+  // not contain x3.
+  Solver s;
+  const Var x0 = s.newVar(), x1 = s.newVar(), x2 = s.newVar(), x3 = s.newVar();
+  s.addClause({neg(x0), pos(x1)});
+  s.addClause({neg(x1), pos(x2)});
+  std::vector<Lit> assumptions = {pos(x0), neg(x2), pos(x3)};
+  ASSERT_EQ(s.solve(assumptions), LBool::kFalse);
+  for (Lit l : s.conflictingAssumptions()) {
+    EXPECT_NE(l.var(), x3) << "irrelevant assumption must not be in the core";
+  }
+  EXPECT_GE(s.conflictingAssumptions().size(), 1u);
+}
+
+TEST(SatAssumptions, SolverRecoversAfterAssumptionConflict) {
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar();
+  s.addClause({pos(a), pos(b)});
+  s.addClause({neg(a), pos(b)});
+  std::vector<Lit> bad = {neg(b)};
+  EXPECT_EQ(s.solve(bad), LBool::kFalse);
+  // Repeated use with and without assumptions.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(s.solve(), LBool::kTrue);
+    EXPECT_TRUE(s.modelValue(b));
+    EXPECT_EQ(s.solve(bad), LBool::kFalse);
+  }
+}
+
+TEST(SatAssumptions, FlippingAssumptionsExploresBothBranches) {
+  Solver s;
+  const Var sel = s.newVar(), out = s.newVar();
+  // out == sel.
+  s.addClause({neg(sel), pos(out)});
+  s.addClause({pos(sel), neg(out)});
+  std::vector<Lit> a1 = {pos(sel)};
+  ASSERT_EQ(s.solve(a1), LBool::kTrue);
+  EXPECT_TRUE(s.modelValue(out));
+  std::vector<Lit> a2 = {neg(sel)};
+  ASSERT_EQ(s.solve(a2), LBool::kTrue);
+  EXPECT_FALSE(s.modelValue(out));
+}
+
+TEST(SatStructured, XorEquivalenceChainUnsat) {
+  // x0 ^ x1, x1 ^ x2, ..., plus x0 == xN: odd chains are unsat.
+  constexpr int kLen = 15;  // odd
+  Solver s;
+  formal::CnfBuilder cnf(s);
+  std::vector<Lit> xs;
+  for (int i = 0; i <= kLen; ++i) xs.push_back(cnf.freshLit());
+  // Constrain x_{i+1} = ~x_i (xor = 1).
+  for (int i = 0; i < kLen; ++i) cnf.assertLit(cnf.xorLit(xs[i], xs[i + 1]));
+  // And x0 == xN: for odd N the chain forces x0 != xN.
+  cnf.assertLit(cnf.xnorLit(xs[0], xs[kLen]));
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(SatStructured, AdderCommutativityUnsat) {
+  // a + b != b + a is unsatisfiable.
+  Solver s;
+  formal::CnfBuilder cnf(s);
+  const auto a = cnf.freshVec(12);
+  const auto b = cnf.freshVec(12);
+  const auto s1 = cnf.addVec(a, b, cnf.falseLit());
+  const auto s2 = cnf.addVec(b, a, cnf.falseLit());
+  cnf.assertLit(~cnf.eqVec(s1, s2));
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(SatStructured, AdderAssociativityUnsat) {
+  Solver s;
+  formal::CnfBuilder cnf(s);
+  const auto a = cnf.freshVec(8);
+  const auto b = cnf.freshVec(8);
+  const auto c = cnf.freshVec(8);
+  const auto left = cnf.addVec(cnf.addVec(a, b, cnf.falseLit()), c, cnf.falseLit());
+  const auto right = cnf.addVec(a, cnf.addVec(b, c, cnf.falseLit()), cnf.falseLit());
+  cnf.assertLit(~cnf.eqVec(left, right));
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(SatStructured, MulDistributesOverAddSmall) {
+  // a*(b+c) == a*b + a*c mod 2^6 — unsat when negated.
+  Solver s;
+  formal::CnfBuilder cnf(s);
+  const auto a = cnf.freshVec(6);
+  const auto b = cnf.freshVec(6);
+  const auto c = cnf.freshVec(6);
+  const auto left = cnf.mulVec(a, cnf.addVec(b, c, cnf.falseLit()));
+  const auto right =
+      cnf.addVec(cnf.mulVec(a, b), cnf.mulVec(a, c), cnf.falseLit());
+  cnf.assertLit(~cnf.eqVec(left, right));
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(SatStructured, ShifterComposition) {
+  // (a << 1) << 2 == a << 3.
+  Solver s;
+  formal::CnfBuilder cnf(s);
+  const auto a = cnf.freshVec(16);
+  const auto one = cnf.constVec(16, 1);
+  const auto two = cnf.constVec(16, 2);
+  const auto three = cnf.constVec(16, 3);
+  using SK = formal::CnfBuilder::ShiftKind;
+  const auto left = cnf.shiftVec(cnf.shiftVec(a, one, SK::kShl), two, SK::kShl);
+  const auto right = cnf.shiftVec(a, three, SK::kShl);
+  cnf.assertLit(~cnf.eqVec(left, right));
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(SatRegression, ManyUnitClausesPropagate) {
+  Solver s;
+  std::vector<Var> vars;
+  for (int i = 0; i < 200; ++i) vars.push_back(s.newVar());
+  for (int i = 0; i < 200; ++i) s.addUnit(Lit(vars[i], i % 2 == 0));
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(s.modelValue(vars[i]), i % 2 != 0);
+  }
+}
+
+TEST(SatRegression, LongClausesWithSharedPrefix) {
+  // Exercises watcher relocation across long clauses.
+  Solver s;
+  std::vector<Var> vars;
+  for (int i = 0; i < 30; ++i) vars.push_back(s.newVar());
+  Rng rng(11);
+  for (int c = 0; c < 60; ++c) {
+    std::vector<Lit> clause;
+    for (int i = 0; i < 10; ++i) clause.push_back(Lit(vars[rng.below(30)], rng.flip()));
+    s.addClause(std::span<const Lit>(clause));
+  }
+  // Force a cascade: fix the first 20 variables.
+  for (int i = 0; i < 20; ++i) s.addUnit(Lit(vars[i], false));
+  const LBool res = s.solve();
+  EXPECT_NE(res, LBool::kUndef);
+}
+
+TEST(SatRegression, RestartAndReduceSurvival) {
+  // A moderately hard random instance to push past restarts and clause
+  // database reductions; verify the model when satisfiable.
+  Rng rng(2024);
+  Solver s;
+  constexpr int kVars = 120;
+  std::vector<Var> vars;
+  for (int i = 0; i < kVars; ++i) vars.push_back(s.newVar());
+  std::vector<std::vector<Lit>> clauses;
+  bool ok = true;
+  for (int c = 0; c < kVars * 4 && ok; ++c) {
+    std::vector<Lit> clause;
+    for (int i = 0; i < 3; ++i) clause.push_back(Lit(vars[rng.below(kVars)], rng.flip()));
+    clauses.push_back(clause);
+    ok = s.addClause(std::span<const Lit>(clause));
+  }
+  if (!ok) return;
+  if (s.solve() == LBool::kTrue) {
+    for (const auto& clause : clauses) {
+      bool sat = false;
+      for (Lit l : clause) sat |= s.modelValue(l);
+      EXPECT_TRUE(sat);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace upec::sat

@@ -1,0 +1,250 @@
+// Unit and property tests for the CDCL SAT solver, including a
+// cross-check against a naive DPLL oracle on random small formulas.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "sat/solver.hpp"
+
+namespace upec::sat {
+namespace {
+
+Lit pos(Var v) { return Lit(v, false); }
+Lit neg(Var v) { return Lit(v, true); }
+
+TEST(SatSolver, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+TEST(SatSolver, SingleUnit) {
+  Solver s;
+  const Var a = s.newVar();
+  ASSERT_TRUE(s.addUnit(pos(a)));
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_TRUE(s.modelValue(a));
+}
+
+TEST(SatSolver, ContradictoryUnits) {
+  Solver s;
+  const Var a = s.newVar();
+  ASSERT_TRUE(s.addUnit(pos(a)));
+  EXPECT_FALSE(s.addUnit(neg(a)));
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(SatSolver, SimpleConflictChain) {
+  // (a) (-a v b) (-b v c) (-c) is unsat.
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar(), c = s.newVar();
+  s.addClause({pos(a)});
+  s.addClause({neg(a), pos(b)});
+  s.addClause({neg(b), pos(c)});
+  const bool ok = s.addClause({neg(c)});
+  EXPECT_TRUE(!ok || s.solve() == LBool::kFalse);
+}
+
+TEST(SatSolver, TautologyClauseIgnored) {
+  Solver s;
+  const Var a = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a), neg(a)}));
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+TEST(SatSolver, DuplicateLiteralsCollapse) {
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a), pos(a), pos(b)}));
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+TEST(SatSolver, PigeonHole3Into2IsUnsat) {
+  // p(i,j): pigeon i in hole j; 3 pigeons, 2 holes.
+  Solver s;
+  Var p[3][2];
+  for (auto& row : p)
+    for (auto& v : row) v = s.newVar();
+  for (int i = 0; i < 3; ++i) s.addClause({pos(p[i][0]), pos(p[i][1])});
+  for (int j = 0; j < 2; ++j) {
+    for (int i1 = 0; i1 < 3; ++i1)
+      for (int i2 = i1 + 1; i2 < 3; ++i2) s.addClause({neg(p[i1][j]), neg(p[i2][j])});
+  }
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(SatSolver, AssumptionsSatAndUnsat) {
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar();
+  s.addClause({neg(a), pos(b)});  // a -> b
+  std::vector<Lit> assume1 = {pos(a)};
+  ASSERT_EQ(s.solve(assume1), LBool::kTrue);
+  EXPECT_TRUE(s.modelValue(b));
+
+  s.addClause({neg(b)});  // now b must be false, so a must be false
+  std::vector<Lit> assume2 = {pos(a)};
+  ASSERT_EQ(s.solve(assume2), LBool::kFalse);
+  // The conflicting-assumption set must mention a.
+  bool mentionsA = false;
+  for (Lit l : s.conflictingAssumptions()) mentionsA |= (l.var() == a);
+  EXPECT_TRUE(mentionsA);
+
+  // Solver stays usable without the assumption.
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_FALSE(s.modelValue(a));
+}
+
+TEST(SatSolver, IncrementalReuse) {
+  Solver s;
+  std::vector<Var> vars;
+  for (int i = 0; i < 20; ++i) vars.push_back(s.newVar());
+  for (int i = 0; i + 1 < 20; ++i) s.addClause({neg(vars[i]), pos(vars[i + 1])});
+  std::vector<Lit> assume = {pos(vars[0])};
+  ASSERT_EQ(s.solve(assume), LBool::kTrue);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(s.modelValue(vars[i]));
+  std::vector<Lit> assume2 = {pos(vars[0]), neg(vars[19])};
+  EXPECT_EQ(s.solve(assume2), LBool::kFalse);
+}
+
+// ------------------------------------------------------------------------
+// Random CNF cross-check against a transparent DPLL oracle.
+
+class DpllOracle {
+ public:
+  explicit DpllOracle(int numVars) : numVars_(numVars) {}
+  void addClause(std::vector<Lit> c) { clauses_.push_back(std::move(c)); }
+
+  bool sat() {
+    std::vector<int> assign(numVars_, -1);
+    return search(assign, 0);
+  }
+
+ private:
+  bool clauseSatisfiable(const std::vector<Lit>& c, const std::vector<int>& assign) const {
+    for (Lit l : c) {
+      const int a = assign[l.var()];
+      if (a == -1 || a == (l.sign() ? 0 : 1)) return true;
+    }
+    return false;
+  }
+
+  bool search(std::vector<int>& assign, int v) {
+    for (const auto& c : clauses_) {
+      if (!clauseSatisfiable(c, assign)) return false;
+    }
+    if (v == numVars_) return true;
+    for (int val : {0, 1}) {
+      assign[v] = val;
+      if (search(assign, v + 1)) return true;
+    }
+    assign[v] = -1;
+    return false;
+  }
+
+  int numVars_;
+  std::vector<std::vector<Lit>> clauses_;
+};
+
+class RandomCnfTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCnfTest, AgreesWithDpllOracle) {
+  Rng rng(GetParam() * 7919 + 13);
+  const int numVars = static_cast<int>(rng.range(3, 12));
+  const int numClauses = static_cast<int>(rng.range(2, 45));
+
+  Solver solver;
+  DpllOracle oracle(numVars);
+  for (int i = 0; i < numVars; ++i) solver.newVar();
+
+  bool trivialUnsat = false;
+  for (int c = 0; c < numClauses; ++c) {
+    const int len = static_cast<int>(rng.range(1, 4));
+    std::vector<Lit> clause;
+    for (int i = 0; i < len; ++i) {
+      clause.push_back(Lit(static_cast<Var>(rng.below(numVars)), rng.flip()));
+    }
+    oracle.addClause(clause);
+    if (!solver.addClause(std::span<const Lit>(clause))) trivialUnsat = true;
+  }
+
+  const bool oracleSat = oracle.sat();
+  if (trivialUnsat) {
+    EXPECT_FALSE(oracleSat);
+    return;
+  }
+  const LBool got = solver.solve();
+  ASSERT_NE(got, LBool::kUndef);
+  EXPECT_EQ(got == LBool::kTrue, oracleSat) << "solver and oracle disagree";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCnfTest, ::testing::Range(0, 60));
+
+// Model soundness: on satisfiable random instances, the returned model
+// satisfies all clauses (checked explicitly here).
+class RandomModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomModelTest, ModelSatisfiesAllClauses) {
+  Rng rng(GetParam() * 104729 + 5);
+  const int numVars = static_cast<int>(rng.range(5, 25));
+  const int numClauses = static_cast<int>(rng.range(5, 60));
+
+  Solver solver;
+  for (int i = 0; i < numVars; ++i) solver.newVar();
+  std::vector<std::vector<Lit>> clauses;
+  bool ok = true;
+  for (int c = 0; c < numClauses && ok; ++c) {
+    const int len = static_cast<int>(rng.range(2, 5));
+    std::vector<Lit> clause;
+    for (int i = 0; i < len; ++i) {
+      clause.push_back(Lit(static_cast<Var>(rng.below(numVars)), rng.flip()));
+    }
+    clauses.push_back(clause);
+    ok = solver.addClause(std::span<const Lit>(clause));
+  }
+  if (!ok) return;  // trivially unsat during construction
+  if (solver.solve() != LBool::kTrue) return;
+  for (const auto& clause : clauses) {
+    bool sat = false;
+    for (Lit l : clause) sat |= solver.modelValue(l);
+    EXPECT_TRUE(sat);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelTest, ::testing::Range(0, 40));
+
+TEST(SatSolver, ConflictBudgetReturnsUndef) {
+  // A hard pigeonhole instance with a tiny budget must return kUndef.
+  Solver s;
+  constexpr int kPigeons = 9, kHoles = 8;
+  std::vector<std::vector<Var>> p(kPigeons, std::vector<Var>(kHoles));
+  for (auto& row : p)
+    for (auto& v : row) v = s.newVar();
+  for (int i = 0; i < kPigeons; ++i) {
+    std::vector<Lit> c;
+    for (int j = 0; j < kHoles; ++j) c.push_back(pos(p[i][j]));
+    s.addClause(std::span<const Lit>(c));
+  }
+  for (int j = 0; j < kHoles; ++j)
+    for (int i1 = 0; i1 < kPigeons; ++i1)
+      for (int i2 = i1 + 1; i2 < kPigeons; ++i2) s.addClause({neg(p[i1][j]), neg(p[i2][j])});
+  s.setConflictBudget(10);
+  EXPECT_EQ(s.solve(), LBool::kUndef);
+}
+
+TEST(SatSolver, StatsArePopulated) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 30; ++i) v.push_back(s.newVar());
+  Rng rng(42);
+  for (int c = 0; c < 120; ++c) {
+    std::vector<Lit> clause;
+    for (int i = 0; i < 3; ++i) clause.push_back(Lit(v[rng.below(30)], rng.flip()));
+    s.addClause(std::span<const Lit>(clause));
+  }
+  s.solve();
+  EXPECT_GT(s.stats().propagations, 0u);
+}
+
+}  // namespace
+}  // namespace upec::sat

@@ -1,0 +1,280 @@
+// Focused microarchitecture tests for MiniRV corner cases: privilege
+// round-trips, CSR packing, cache write-around vs write-back paths, the
+// cache monitor, interlocks and alignment masking.
+#include <gtest/gtest.h>
+
+#include "riscv/assembler.hpp"
+#include "soc/attack.hpp"
+#include "soc/testbench.hpp"
+
+namespace upec::soc {
+namespace {
+
+using riscv::Assembler;
+
+SocConfig cfg(SocVariant v = SocVariant::kSecure) {
+  SocConfig c;
+  c.machine.xlen = 32;
+  c.machine.nregs = 16;
+  c.machine.imemWords = 64;
+  c.machine.dmemWords = 64;
+  c.machine.pmpEntries = 2;
+  c.machine.pmpLockBug = (v == SocVariant::kPmpLockBug);
+  c.cacheLines = 4;
+  c.pendingWriteCycles = 3;
+  c.refillCycles = 2;
+  c.variant = v;
+  return c;
+}
+
+TEST(SocPrivilege, MretDropsToUserAndEcallComesBack) {
+  Assembler a;
+  // Machine: set mtvec/mepc, drop to user at 0x20.
+  a.li(1, 0x30);
+  a.csrrw(0, riscv::kCsrMtvec, 1);
+  a.li(2, 0x20);
+  a.csrrw(0, riscv::kCsrMepc, 2);
+  a.mret();
+  SocTestbench tb(cfg());
+  tb.loadProgram(a.finish());
+  // User code at 0x20: ecall.
+  Assembler u;
+  u.ecall();
+  tb.loadProgram(u.finish(), 0x20 / 4);
+  tb.loadProgram(spinHandler(), 0x30 / 4);
+  tb.run(60);
+  EXPECT_TRUE(tb.machineMode());
+  EXPECT_EQ(tb.csrMcause(), riscv::kCauseEcallU);
+  EXPECT_EQ(tb.csrMepc(), 0x20u);
+}
+
+TEST(SocPrivilege, UserCannotTouchMachineCsrs) {
+  Assembler u;
+  u.csrrw(1, riscv::kCsrMtvec, 2);  // illegal from user mode
+  SocTestbench tb(cfg());
+  tb.loadProgram(u.finish());
+  tb.loadProgram(spinHandler(), 0x30 / 4);
+  tb.setCsrMtvec(0x30);
+  tb.setMode(false);
+  tb.run(40);
+  EXPECT_TRUE(tb.machineMode());
+  EXPECT_EQ(tb.csrMcause(), riscv::kCauseIllegalInstr);
+}
+
+TEST(SocPrivilege, UserMretIsIllegal) {
+  Assembler u;
+  u.mret();
+  SocTestbench tb(cfg());
+  tb.loadProgram(u.finish());
+  tb.loadProgram(spinHandler(), 0x30 / 4);
+  tb.setCsrMtvec(0x30);
+  tb.setMode(false);
+  tb.run(40);
+  EXPECT_EQ(tb.csrMcause(), riscv::kCauseIllegalInstr);
+}
+
+TEST(SocCsr, PmpcfgPackedReadMatchesEntries) {
+  Assembler a;
+  a.csrrs(3, riscv::kCsrPmpcfg0, 0);
+  SocTestbench tb(cfg());
+  tb.loadProgram(a.finish());
+  tb.protectFromWord(32, 64);
+  tb.run(30);
+  using namespace riscv;
+  const std::uint32_t expect =
+      (kPmpATor | kPmpR | kPmpW) | (static_cast<std::uint32_t>(kPmpATor | kPmpL) << 8);
+  EXPECT_EQ(tb.reg(3), expect);
+}
+
+TEST(SocCsr, CycleCsrIsUserReadableAndAdvances) {
+  Assembler u;
+  u.rdcycle(1);
+  u.nop();
+  u.nop();
+  u.rdcycle(2);
+  const riscv::Label park = u.newLabel();
+  u.bind(park);
+  u.j(park);
+  SocTestbench tb(cfg());
+  tb.loadProgram(u.finish());
+  tb.setMode(false);
+  tb.run(60);
+  EXPECT_GT(tb.reg(2), tb.reg(1)) << "cycle counter must advance between reads";
+}
+
+TEST(SocCsr, CsrWriteToCycleIsIllegal) {
+  Assembler a;
+  a.li(1, 5);
+  a.csrrw(0, riscv::kCsrCycle, 1);
+  SocTestbench tb(cfg());
+  tb.loadProgram(a.finish());
+  tb.loadProgram(spinHandler(), 0x30 / 4);
+  tb.setCsrMtvec(0x30);
+  tb.run(40);
+  EXPECT_EQ(tb.csrMcause(), riscv::kCauseIllegalInstr);
+}
+
+TEST(SocCache, WriteAroundPreservesDirtyConflictingVictim) {
+  // Make line 2 dirty with word 10 (store), then store to word 14 (same
+  // line, different tag): the second store must go around the cache, the
+  // dirty victim must stay.
+  Assembler a;
+  a.li(1, 10 * 4);
+  a.li(2, 111);
+  a.sw(2, 1, 0);     // allocates line 2 dirty (tag of word 10)
+  a.li(3, 14 * 4);
+  a.li(4, 222);
+  a.sw(4, 3, 0);     // conflicting dirty victim -> write-around to dmem
+  a.lw(5, 3, 0);     // reading it back must still see the stored value
+  const riscv::Label park = a.newLabel();
+  a.bind(park);
+  a.j(park);
+  SocTestbench tb(cfg());
+  tb.loadProgram(a.finish());
+  tb.run(120);
+  EXPECT_EQ(tb.dmemWord(14), 222u) << "second store written around";
+  EXPECT_EQ(tb.reg(5), 222u) << "coherent read-back of the written-around word";
+  EXPECT_EQ(tb.dmemWord(10), 111u) << "dirty victim eventually written back by the lw refill";
+}
+
+TEST(SocCache, BackToBackStoresStallOnPendingSlot) {
+  // Two stores in a row to DISTINCT lines: the second must wait for the
+  // pending slot, but both must allocate.
+  Assembler a;
+  a.li(1, 9 * 4);   // line 1
+  a.li(2, 5);
+  a.li(3, 14 * 4);  // line 2
+  a.li(4, 7);
+  a.sw(2, 1, 0);
+  a.sw(4, 3, 0);
+  const riscv::Label park = a.newLabel();
+  a.bind(park);
+  a.j(park);
+  SocTestbench tb(cfg());
+  tb.loadProgram(a.finish());
+  tb.run(80);
+  EXPECT_EQ(tb.cacheLineData(1), 5u);
+  EXPECT_EQ(tb.cacheLineData(2), 7u);
+}
+
+TEST(SocCache, MonitorFlagsCorruptedRefillState) {
+  SocTestbench tb(cfg());
+  auto& sim = tb.simulator();
+  const SocInstance& inst = tb.instance();
+  sim.evalComb();
+  EXPECT_TRUE(sim.peek(inst.cacheMonitorOk).toBool());
+  // Backdoor-corrupt the FSM into the illegal state encoding 3.
+  sim.setReg(inst.pc.design()->regIndexOf(inst.refillState.id()), BitVec(2, 3));
+  sim.evalComb();
+  EXPECT_FALSE(sim.peek(inst.cacheMonitorOk).toBool())
+      << "Constraint 2 monitor must reject the illegal FSM state";
+}
+
+TEST(SocCache, MonitorFlagsOverflowedPendingCounter) {
+  SocConfig c = cfg();
+  SocTestbench tb(c);
+  auto& sim = tb.simulator();
+  const SocInstance& inst = tb.instance();
+  sim.setReg(inst.pc.design()->regIndexOf(inst.pendingValid.id()), BitVec(1, 1));
+  sim.setReg(inst.pc.design()->regIndexOf(inst.pendingCtr.id()),
+             BitVec(inst.pendingCtr.width(), 3));  // == pendingWriteCycles: legal
+  sim.evalComb();
+  EXPECT_TRUE(sim.peek(inst.cacheMonitorOk).toBool());
+}
+
+TEST(SocPipeline, LoadUseInterlockInsertsExactlyOneBubble) {
+  // Measure: dependent-on-load sequences take one cycle longer than
+  // independent ones on the secure design.
+  auto cyclesFor = [&](bool dependent) {
+    Assembler a;
+    a.li(1, 8 * 4);
+    a.lw(2, 1, 0);
+    if (dependent) {
+      a.addi(3, 2, 1);  // consumes the load
+    } else {
+      a.addi(3, 1, 1);  // independent
+    }
+    const riscv::Label park = a.newLabel();
+    a.bind(park);
+    a.j(park);
+    SocTestbench tb(cfg());
+    tb.preloadCacheLine(8, 42);  // hit, to isolate the interlock
+    tb.loadProgram(a.finish());
+    return tb.runUntilEvents(3, 100);
+  };
+  EXPECT_EQ(cyclesFor(true), cyclesFor(false) + 1);
+}
+
+TEST(SocPipeline, FastForwardVariantRemovesTheBubble) {
+  auto cyclesFor = [&](SocVariant v) {
+    Assembler a;
+    a.li(1, 8 * 4);
+    a.lw(2, 1, 0);
+    a.addi(3, 2, 1);
+    const riscv::Label park = a.newLabel();
+    a.bind(park);
+    a.j(park);
+    SocTestbench tb(cfg(v));
+    tb.preloadCacheLine(8, 42);
+    tb.loadProgram(a.finish());
+    return tb.runUntilEvents(3, 100);
+  };
+  EXPECT_EQ(cyclesFor(SocVariant::kOrc), cyclesFor(SocVariant::kSecure) - 1)
+      << "the bypassed buffer removes the load-use stall (the paper's "
+         "performance 'optimisation')";
+}
+
+TEST(SocPipeline, JalrMasksTargetAlignment) {
+  Assembler a;
+  a.li(1, 0x22);   // unaligned target
+  a.jalr(2, 1, 1); // 0x23 & ~3 = 0x20
+  SocTestbench tb(cfg());
+  tb.loadProgram(a.finish());
+  Assembler at20;
+  at20.li(5, 99);
+  tb.loadProgram(at20.finish(), 0x20 / 4);
+  tb.run(40);
+  EXPECT_EQ(tb.reg(5), 99u);
+}
+
+TEST(SocPipeline, TrapSquashesWholeYoungerPipeline) {
+  // Several instructions behind a faulting load must all be squashed.
+  Assembler a;
+  a.li(1, 40 * 4);
+  a.lw(2, 1, 0);   // faults (protected)
+  a.li(3, 1);
+  a.li(4, 2);
+  a.li(5, 3);
+  SocTestbench tb(cfg());
+  tb.loadProgram(a.finish());
+  tb.loadProgram(spinHandler(), 0x30 / 4);
+  tb.setCsrMtvec(0x30);
+  tb.protectFromWord(32, 64);
+  tb.setMode(false);
+  tb.run(60);
+  EXPECT_EQ(tb.reg(3), 0u);
+  EXPECT_EQ(tb.reg(4), 0u);
+  EXPECT_EQ(tb.reg(5), 0u);
+}
+
+TEST(SocMemory, SecretNeverEntersCacheOnFaultingMiss) {
+  // "D not cached" invariant: a faulting load must not trigger a refill.
+  Assembler a;
+  a.li(1, 40 * 4);
+  a.lw(2, 1, 0);  // protected, NOT in cache -> fault, no refill
+  SocTestbench tb(cfg());
+  tb.loadProgram(a.finish());
+  tb.loadProgram(spinHandler(), 0x30 / 4);
+  tb.setCsrMtvec(0x30);
+  tb.setDmemWord(40, 0x5EC);
+  tb.protectFromWord(32, 64);
+  tb.setMode(false);
+  tb.run(60);
+  const unsigned idx = 40 % 4;
+  const bool secretCached =
+      tb.cacheLineValid(idx) && tb.cacheLineTag(idx) == (40u >> 2);
+  EXPECT_FALSE(secretCached) << "paper Tab. I: the secret cannot be pulled into the cache";
+}
+
+}  // namespace
+}  // namespace upec::soc

@@ -1,0 +1,373 @@
+// Tests for the MiniRV SoC RTL model:
+//  * targeted pipeline behaviour (forwarding, hazards, branches, traps)
+//  * cache behaviour (hit/miss, write-back, RAW pending-store hazard)
+//  * differential testing against the ISA-level reference simulator on
+//    randomised programs (commit-event sequences + final state)
+//  * the microarchitectural timing/footprint differences between the
+//    secure and the vulnerable design variants
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "riscv/assembler.hpp"
+#include "riscv/isa_sim.hpp"
+#include "soc/testbench.hpp"
+
+namespace upec::soc {
+namespace {
+
+using riscv::Assembler;
+using riscv::MachineConfig;
+
+SocConfig testCfg(SocVariant v = SocVariant::kSecure) {
+  SocConfig c;
+  c.machine.xlen = 32;
+  c.machine.nregs = 16;
+  c.machine.imemWords = 64;
+  c.machine.dmemWords = 64;
+  c.machine.pmpEntries = 2;
+  c.machine.pmpLockBug = (v == SocVariant::kPmpLockBug);
+  c.cacheLines = 4;
+  c.pendingWriteCycles = 3;
+  c.refillCycles = 2;
+  c.variant = v;
+  return c;
+}
+
+TEST(SocPipeline, StraightLineArithmetic) {
+  Assembler a;
+  a.li(1, 10);
+  a.li(2, 32);
+  a.add(3, 1, 2);
+  a.sub(4, 2, 1);
+  a.xor_(5, 1, 2);
+  SocTestbench tb(testCfg());
+  tb.loadProgram(a.finish());
+  tb.run(20);
+  EXPECT_EQ(tb.reg(3), 42u);
+  EXPECT_EQ(tb.reg(4), 22u);
+  EXPECT_EQ(tb.reg(5), 10u ^ 32u);
+}
+
+TEST(SocPipeline, BackToBackForwarding) {
+  Assembler a;
+  a.li(1, 1);
+  a.add(2, 1, 1);  // needs x1 from EX/MEM
+  a.add(3, 2, 1);  // needs x2 from EX/MEM, x1 from MEM/WB
+  a.add(4, 3, 2);
+  SocTestbench tb(testCfg());
+  tb.loadProgram(a.finish());
+  tb.run(20);
+  EXPECT_EQ(tb.reg(2), 2u);
+  EXPECT_EQ(tb.reg(3), 3u);
+  EXPECT_EQ(tb.reg(4), 5u);
+}
+
+TEST(SocPipeline, BranchTakenSquashesWrongPath) {
+  Assembler a;
+  const riscv::Label target = a.newLabel();
+  a.li(1, 5);
+  a.li(2, 5);
+  a.beq(1, 2, target);
+  a.li(3, 111);  // wrong path
+  a.li(4, 222);  // wrong path
+  a.bind(target);
+  a.li(5, 7);
+  SocTestbench tb(testCfg());
+  tb.loadProgram(a.finish());
+  tb.run(25);
+  EXPECT_EQ(tb.reg(3), 0u);
+  EXPECT_EQ(tb.reg(4), 0u);
+  EXPECT_EQ(tb.reg(5), 7u);
+}
+
+TEST(SocPipeline, JalLinksAndJalrReturns) {
+  Assembler a;
+  const riscv::Label func = a.newLabel();
+  const riscv::Label park = a.newLabel();
+  a.li(1, 1);
+  a.jal(5, func);       // call
+  a.li(2, 20);          // executed after return
+  a.bind(park);
+  a.j(park);            // park
+  a.bind(func);
+  a.li(3, 30);
+  a.jalr(0, 5, 0);      // return
+  const auto words = a.finish();
+  SocTestbench tb(testCfg());
+  tb.loadProgram(words);
+  tb.run(30);
+  EXPECT_EQ(tb.reg(3), 30u);
+  EXPECT_EQ(tb.reg(2), 20u);
+}
+
+TEST(SocCache, LoadMissRefillsAndHitsAfterwards) {
+  Assembler a;
+  a.li(1, 0x28);  // dmem word 10
+  a.lw(2, 1, 0);  // miss -> refill
+  a.lw(3, 1, 0);  // hit
+  SocTestbench tb(testCfg());
+  tb.setDmemWord(10, 1234);
+  tb.loadProgram(a.finish());
+  tb.run(40);
+  EXPECT_EQ(tb.reg(2), 1234u);
+  EXPECT_EQ(tb.reg(3), 1234u);
+  const unsigned idx = 10 % 4;
+  EXPECT_TRUE(tb.cacheLineValid(idx));
+  EXPECT_EQ(tb.cacheLineTag(idx), 10u >> 2);
+  EXPECT_EQ(tb.cacheLineData(idx), 1234u);
+}
+
+TEST(SocCache, StoreAllocatesAndWritesBackOnEviction) {
+  Assembler a;
+  a.li(1, 0x28);   // word 10 -> line 2
+  a.li(2, 77);
+  a.sw(2, 1, 0);   // pending write, allocates line 2 dirty
+  a.li(3, 0x38);   // word 14 -> also line 2 (10 % 4 == 14 % 4)
+  a.lw(4, 3, 0);   // miss on line 2: dirty victim written back, refill
+  SocTestbench tb(testCfg());
+  tb.setDmemWord(14, 5555);
+  tb.loadProgram(a.finish());
+  tb.run(60);
+  EXPECT_EQ(tb.reg(4), 5555u);
+  EXPECT_EQ(tb.dmemWord(10), 77u) << "dirty line must be written back";
+  EXPECT_EQ(tb.cacheLineData(2), 5555u);
+}
+
+TEST(SocCache, RawHazardStallsButReturnsFreshData) {
+  // A load immediately following a store to the same address must return
+  // the stored value (the pending-write RAW hazard is stalled, not
+  // bypassed).
+  Assembler a;
+  a.li(1, 0x28);
+  a.li(2, 909);
+  a.sw(2, 1, 0);
+  a.lw(3, 1, 0);
+  SocTestbench tb(testCfg());
+  tb.loadProgram(a.finish());
+  tb.run(60);
+  EXPECT_EQ(tb.reg(3), 909u);
+}
+
+TEST(SocTrap, UserLoadFromProtectedRegionTraps) {
+  Assembler a;
+  a.li(1, 40 * 4);
+  a.lw(2, 1, 0);
+  a.li(3, 1);  // squashed by the trap
+  SocTestbench tb(testCfg());
+  tb.loadProgram(a.finish());
+  // Trap handler at 0x3C: spin in place so mcause/mepc stay observable.
+  tb.loadProgram({riscv::encodeJ(0, 0, riscv::kOpJal)}, 0x3C / 4);
+  tb.setDmemWord(40, 0xDEAD);
+  tb.protectFromWord(32, 64);
+  tb.setCsrMtvec(0x3C);
+  tb.setMode(false);  // user
+  tb.run(40);
+  EXPECT_EQ(tb.reg(2), 0u) << "secret must not reach the register file";
+  EXPECT_EQ(tb.reg(3), 0u) << "instruction after the fault must be squashed";
+  EXPECT_TRUE(tb.machineMode());
+  EXPECT_EQ(tb.csrMcause(), riscv::kCauseLoadAccessFault);
+  EXPECT_EQ(tb.csrMepc(), 4u);  // pc of the lw (li of a small constant is one addi)
+}
+
+TEST(SocTrap, EcallFromUserEntersMachineMode) {
+  Assembler a;
+  a.ecall();
+  SocTestbench tb(testCfg());
+  tb.loadProgram(a.finish());
+  tb.loadProgram({riscv::encodeJ(0, 0, riscv::kOpJal)}, 0x30 / 4);  // handler: spin
+  tb.setCsrMtvec(0x30);
+  tb.setMode(false);
+  tb.run(15);
+  EXPECT_TRUE(tb.machineMode());
+  EXPECT_EQ(tb.csrMcause(), riscv::kCauseEcallU);
+  EXPECT_EQ(tb.csrMepc(), 0u);
+}
+
+TEST(SocCsr, CsrReadWriteAndSerialization) {
+  Assembler a;
+  a.li(1, 0x30);
+  a.csrrw(0, riscv::kCsrMtvec, 1);
+  a.csrrs(2, riscv::kCsrMtvec, 0);
+  a.li(3, 5);
+  SocTestbench tb(testCfg());
+  tb.loadProgram(a.finish());
+  tb.run(40);
+  EXPECT_EQ(tb.csrMtvec(), 0x30u);
+  EXPECT_EQ(tb.reg(2), 0x30u);
+  EXPECT_EQ(tb.reg(3), 5u);
+}
+
+TEST(SocCsr, PmpAddrLockRespectedUnlessBugged) {
+  for (const bool bugged : {false, true}) {
+    Assembler a;
+    a.li(1, 50);
+    a.csrrw(0, riscv::kCsrPmpaddr0, 1);
+    SocTestbench tb(testCfg(bugged ? SocVariant::kPmpLockBug : SocVariant::kSecure));
+    tb.loadProgram(a.finish());
+    tb.protectFromWord(32, 64);
+    tb.run(30);
+    const std::uint32_t got = static_cast<std::uint32_t>(
+        tb.simulator().regValue(
+            tb.instance().pc.design()->regIndexOf(tb.instance().pmpaddr[0].id())).uint());
+    if (bugged) {
+      EXPECT_EQ(got, 50u) << "bug variant: locked TOR base was rewritten";
+    } else {
+      EXPECT_EQ(got, 32u) << "secure variant: locked TOR base must be immutable";
+    }
+  }
+}
+
+TEST(SocTiming, McycleAdvancesEveryCycle) {
+  Assembler a;
+  a.nop();
+  SocTestbench tb(testCfg());
+  tb.loadProgram(a.finish());
+  const auto& inst = tb.instance();
+  auto mcycleOf = [&]() {
+    return tb.simulator().regValue(inst.pc.design()->regIndexOf(inst.mcycle.id())).uint();
+  };
+  const auto before = mcycleOf();
+  tb.run(7);
+  EXPECT_EQ(mcycleOf(), before + 7);
+}
+
+// ---------------------------------------------------------------------------
+// Differential test: RTL pipeline vs ISA reference on random programs.
+
+std::vector<std::uint32_t> randomProgram(Rng& rng, unsigned len, unsigned nregs,
+                                         unsigned dmemWords) {
+  using namespace riscv;
+  Assembler a;
+  auto reg = [&]() { return 1 + static_cast<unsigned>(rng.below(nregs - 1)); };
+  for (unsigned i = 0; i < len; ++i) {
+    switch (rng.below(10)) {
+      case 0:
+        a.li(reg(), static_cast<std::int32_t>(rng.next() & 0xFFFF) - 0x8000);
+        break;
+      case 1:
+        a.add(reg(), reg(), reg());
+        break;
+      case 2:
+        a.sub(reg(), reg(), reg());
+        break;
+      case 3:
+        a.and_(reg(), reg(), reg());
+        break;
+      case 4:
+        a.xor_(reg(), reg(), reg());
+        break;
+      case 5:
+        a.slli(reg(), reg(), static_cast<unsigned>(rng.below(31)));
+        break;
+      case 6:
+        a.sltu(reg(), reg(), reg());
+        break;
+      case 7: {  // aligned store into dmem
+        const unsigned base = reg();
+        a.li(base, static_cast<std::int32_t>(rng.below(dmemWords)) * 4);
+        a.sw(reg(), base, 0);
+        break;
+      }
+      case 8: {  // aligned load from dmem
+        const unsigned base = reg();
+        a.li(base, static_cast<std::int32_t>(rng.below(dmemWords)) * 4);
+        a.lw(reg(), base, 0);
+        break;
+      }
+      case 9: {  // short forward branch
+        const Label skip = a.newLabel();
+        switch (rng.below(3)) {
+          case 0: a.beq(reg(), reg(), skip); break;
+          case 1: a.bne(reg(), reg(), skip); break;
+          default: a.bltu(reg(), reg(), skip); break;
+        }
+        a.add(reg(), reg(), reg());
+        a.bind(skip);
+        break;
+      }
+    }
+  }
+  // Park in a tight loop so the program never runs off into zero words.
+  const Label park = a.newLabel();
+  a.bind(park);
+  a.j(park);
+  return a.finish();
+}
+
+class SocDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SocDifferentialTest, CommitStreamMatchesIsaSim) {
+  Rng rng(GetParam() * 40961 + 3);
+  SocConfig cfg = testCfg();
+  const auto program = randomProgram(rng, 24, 8, cfg.machine.dmemWords);
+  ASSERT_LE(program.size(), cfg.machine.imemWords);
+
+  SocTestbench tb(cfg);
+  tb.loadProgram(program);
+  riscv::IsaSim isa(cfg.machine);
+  isa.loadProgram(program);
+  for (unsigned w = 0; w < cfg.machine.dmemWords; ++w) {
+    const std::uint32_t v = static_cast<std::uint32_t>(rng.next());
+    tb.setDmemWord(w, v);
+    isa.setDmemWord(w, v);
+  }
+
+  tb.run(600);
+  const auto& commits = tb.commits();
+  ASSERT_GT(commits.size(), 10u) << "pipeline made no progress";
+
+  for (std::size_t i = 0; i < commits.size(); ++i) {
+    const riscv::StepInfo info = isa.step();
+    EXPECT_EQ(commits[i].pc, info.pc) << "commit " << i << " pc mismatch";
+    EXPECT_EQ(commits[i].trap, info.trapped) << "commit " << i << " trap mismatch";
+  }
+  for (unsigned r = 1; r < cfg.machine.nregs; ++r) {
+    EXPECT_EQ(tb.reg(r), isa.reg(r)) << "x" << r << " differs";
+  }
+  // Data memory: flush the cache view by checking through the ISA values
+  // for addresses not currently dirty in the cache. Simpler: compare the
+  // ISA memory against the RTL's *coherent* view (cache overrides memory).
+  for (unsigned w = 0; w < cfg.machine.dmemWords; ++w) {
+    const unsigned idx = w % cfg.cacheLines;
+    std::uint32_t rtlView = tb.dmemWord(w);
+    if (tb.cacheLineValid(idx) && tb.cacheLineTag(idx) == (w >> cfg.indexBits())) {
+      rtlView = tb.cacheLineData(idx);
+    }
+    EXPECT_EQ(rtlView, isa.dmemWord(w)) << "dmem word " << w << " differs";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SocDifferentialTest, ::testing::Range(0, 25));
+
+// ---------------------------------------------------------------------------
+// Variant behaviour: the architectural results must be identical across all
+// variants (the vulnerabilities do not break functional correctness).
+
+TEST(SocVariants, AllVariantsAreArchitecturallyEquivalent) {
+  Rng rng(777);
+  const auto program = randomProgram(rng, 20, 8, 64);
+  std::vector<std::vector<CommitEvent>> allCommits;
+  std::vector<std::vector<std::uint32_t>> allRegs;
+  constexpr std::size_t kEvents = 150;
+  for (SocVariant v : {SocVariant::kSecure, SocVariant::kOrc, SocVariant::kMeltdownStyle}) {
+    SocTestbench tb(testCfg(v));
+    tb.loadProgram(program);
+    tb.runUntilEvents(kEvents, 2000);
+    ASSERT_EQ(tb.commits().size(), kEvents) << variantName(v) << " made no progress";
+    allCommits.push_back(tb.commits());
+    std::vector<std::uint32_t> regs;
+    for (unsigned r = 0; r < 16; ++r) regs.push_back(tb.reg(r));
+    allRegs.push_back(regs);
+  }
+  for (std::size_t v = 1; v < allCommits.size(); ++v) {
+    ASSERT_EQ(allCommits[v].size(), allCommits[0].size());
+    for (std::size_t i = 0; i < allCommits[0].size(); ++i) {
+      EXPECT_EQ(allCommits[v][i].pc, allCommits[0][i].pc);
+      EXPECT_EQ(allCommits[v][i].trap, allCommits[0][i].trap);
+    }
+    EXPECT_EQ(allRegs[v], allRegs[0]);
+  }
+}
+
+}  // namespace
+}  // namespace upec::soc
