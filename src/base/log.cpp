@@ -1,19 +1,23 @@
 #include "base/log.hpp"
 
+#include <atomic>
+
 namespace upec {
 namespace {
-LogLevel g_level = LogLevel::kSilent;
+// Atomic so campaign workers can narrate concurrently; each message is a
+// single fprintf, which the C library already serialises per stream.
+std::atomic<LogLevel> g_level{LogLevel::kSilent};
 }
 
-LogLevel logLevel() { return g_level; }
-void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+void setLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 void logInfo(const std::string& msg) {
-  if (g_level >= LogLevel::kInfo) std::fprintf(stderr, "[upec] %s\n", msg.c_str());
+  if (logLevel() >= LogLevel::kInfo) std::fprintf(stderr, "[upec] %s\n", msg.c_str());
 }
 
 void logDebug(const std::string& msg) {
-  if (g_level >= LogLevel::kDebug) std::fprintf(stderr, "[upec:debug] %s\n", msg.c_str());
+  if (logLevel() >= LogLevel::kDebug) std::fprintf(stderr, "[upec:debug] %s\n", msg.c_str());
 }
 
 }  // namespace upec

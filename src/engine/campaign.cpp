@@ -1,0 +1,54 @@
+#include "engine/campaign.hpp"
+
+#include "base/log.hpp"
+#include "base/stopwatch.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace upec::engine {
+
+std::vector<JobSpec> enumerateJobs(const SweepMatrix& matrix) {
+  std::vector<JobSpec> jobs;
+  jobs.reserve(matrix.scenarios.size() * matrix.variants.size());
+  std::uint32_t id = 0;
+  for (const SecretScenario scenario : matrix.scenarios) {
+    for (const SweepMatrix::OptionVariant& variant : matrix.variants) {
+      JobSpec spec;
+      spec.id = id++;
+      spec.label = std::string(scenarioName(scenario)) + "/" + variant.label;
+      spec.config = matrix.config;
+      spec.secretWord = matrix.secretWord;
+      spec.options = variant.options;
+      spec.options.scenario = scenario;
+      spec.kind = matrix.kind;
+      spec.mode = matrix.mode;
+      spec.kMin = matrix.kMin;
+      spec.kMax = matrix.kMax;
+      jobs.push_back(std::move(spec));
+    }
+  }
+  return jobs;
+}
+
+CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptions& options) {
+  CampaignReport report;
+  report.jobs.resize(jobs.size());
+
+  Stopwatch campaignTimer;
+  {
+    WorkStealingPool pool(options.threads);
+    report.threads = pool.numThreads();
+    logInfo("campaign: " + std::to_string(jobs.size()) + " jobs on " +
+            std::to_string(pool.numThreads()) + " threads");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      // Each task writes only its own slot; no synchronisation needed
+      // beyond the pool's completion barrier.
+      pool.submit([&report, &jobs, i] { report.jobs[i] = runJob(jobs[i]); });
+    }
+    pool.wait();
+  }
+  report.wallMs = campaignTimer.elapsedMs();
+  report.finalize();
+  return report;
+}
+
+}  // namespace upec::engine

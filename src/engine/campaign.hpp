@@ -1,0 +1,58 @@
+// The campaign runner: a batch of UPEC jobs over the work-stealing pool.
+//
+// A campaign is specified either as an explicit job list or as a
+// SweepMatrix — the cross product of secret scenarios and option variants,
+// each walked over a window ladder — mirroring how the paper's Tables I/II
+// and the Sec. V-A ablations are actually produced. Every job owns a
+// private Miter, UpecEngine and sat::Solver, so jobs run lock-free and the
+// campaign scales with the hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "engine/report.hpp"
+
+namespace upec::engine {
+
+struct CampaignOptions {
+  unsigned threads = 0;  // 0 = hardware_concurrency
+};
+
+// The scenario × constraint-toggle × window-depth matrix.
+struct SweepMatrix {
+  soc::SocConfig config;
+  std::uint32_t secretWord = 0;
+
+  std::vector<SecretScenario> scenarios;
+
+  // Constraint-toggle variants. The scenario field of `options` is
+  // overwritten per matrix cell; everything else (constraint toggles,
+  // budget, structural equality) is taken as-is.
+  struct OptionVariant {
+    std::string label;
+    UpecOptions options;
+  };
+  std::vector<OptionVariant> variants;
+
+  JobKind kind = JobKind::kIntervalLadder;
+  DeepeningMode mode = DeepeningMode::kIncremental;
+  unsigned kMin = 1;
+  unsigned kMax = 4;
+};
+
+// Expands the matrix into |scenarios| × |variants| labelled jobs.
+std::vector<JobSpec> enumerateJobs(const SweepMatrix& matrix);
+
+// Schedules the jobs across the pool and blocks until all have finished.
+CampaignReport runCampaign(const std::vector<JobSpec>& jobs,
+                           const CampaignOptions& options = {});
+
+inline CampaignReport runCampaign(const SweepMatrix& matrix,
+                                  const CampaignOptions& options = {}) {
+  return runCampaign(enumerateJobs(matrix), options);
+}
+
+}  // namespace upec::engine

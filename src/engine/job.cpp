@@ -1,0 +1,120 @@
+#include "engine/job.hpp"
+
+#include <algorithm>
+
+#include "base/stopwatch.hpp"
+#include "engine/thread_pool.hpp"
+#include "upec/miter.hpp"
+
+namespace upec::engine {
+
+const char* deepeningModeName(DeepeningMode m) {
+  switch (m) {
+    case DeepeningMode::kMonolithic: return "monolithic";
+    case DeepeningMode::kIncremental: return "incremental";
+  }
+  return "?";
+}
+
+const char* jobKindName(JobKind k) {
+  switch (k) {
+    case JobKind::kIntervalLadder: return "interval_ladder";
+    case JobKind::kMethodology: return "methodology";
+    case JobKind::kHunt: return "hunt";
+  }
+  return "?";
+}
+
+Verdict mergeVerdicts(Verdict a, Verdict b) {
+  auto severity = [](Verdict v) {
+    switch (v) {
+      case Verdict::kProven: return 0;
+      case Verdict::kPAlert: return 1;
+      case Verdict::kUnknown: return 2;  // may hide an L-alert
+      case Verdict::kLAlert: return 3;
+    }
+    return 0;
+  };
+  return severity(a) >= severity(b) ? a : b;
+}
+
+namespace {
+
+void accumulate(JobResult& res, const formal::BmcStats& stats) {
+  res.peakVars = std::max(res.peakVars, stats.vars);
+  res.peakClauses = std::max(res.peakClauses, stats.clauses);
+  res.totalConflicts += stats.conflicts;
+  res.totalPropagations += stats.propagations;
+  res.sumVars += stats.vars;
+}
+
+void insertUnique(std::vector<std::string>& into, const std::vector<std::string>& names) {
+  for (const std::string& n : names) {
+    if (std::find(into.begin(), into.end(), n) == into.end()) into.push_back(n);
+  }
+}
+
+void runLadder(const JobSpec& spec, const UpecOptions& options, Miter& miter,
+               JobResult& res) {
+  UpecEngine engine(miter, options);
+  std::set<std::string> excluded = spec.excludedFromCommitment;
+  if (spec.architecturalOnly) {
+    const std::set<std::string> micro = engine.allMicroNames();
+    excluded.insert(micro.begin(), micro.end());
+  }
+
+  res.verdict = Verdict::kProven;
+  for (unsigned k = spec.kMin; k <= spec.kMax; ++k) {
+    Stopwatch windowTimer;
+    const UpecResult r = engine.check(k, excluded);
+    res.windows.push_back({k, r.verdict, r.stats, windowTimer.elapsedMs()});
+    res.verdict = mergeVerdicts(res.verdict, r.verdict);
+    accumulate(res, r.stats);
+    insertUnique(res.pAlertRegisters, r.differingMicro);
+    if (r.verdict == Verdict::kLAlert) {
+      res.lAlertRegisters = r.differingArch;
+      break;  // a real leak is the ladder's answer; deeper windows add nothing
+    }
+  }
+}
+
+void runDriver(const JobSpec& spec, const UpecOptions& options, Miter& miter,
+               JobResult& res) {
+  MethodologyDriver driver(miter, options);
+  const MethodologyReport report = spec.kind == JobKind::kMethodology
+                                       ? driver.run(spec.kMax)
+                                       : driver.hunt(spec.kMax);
+  res.verdict = report.finalVerdict;
+  res.lAlertRegisters = report.lAlertRegisters;
+  res.pAlertRegisters.assign(report.pAlertRegisters.begin(), report.pAlertRegisters.end());
+  res.peakVars = report.peakVars;
+  res.peakClauses = report.peakClauses;
+  res.totalConflicts = report.totalConflicts;
+  res.totalPropagations = report.totalPropagations;
+  res.methodology = report;
+}
+
+}  // namespace
+
+JobResult runJob(const JobSpec& spec) {
+  JobResult res;
+  res.id = spec.id;
+  res.label = spec.label;
+  const unsigned worker = WorkStealingPool::currentWorker();
+  res.worker = worker == WorkStealingPool::kNotAWorker ? 0 : worker;
+
+  Stopwatch jobTimer;
+  Miter miter(spec.config, spec.secretWord);
+  UpecOptions options = spec.options;
+  options.incrementalDeepening = spec.mode == DeepeningMode::kIncremental;
+
+  if (spec.kind == JobKind::kIntervalLadder) {
+    runLadder(spec, options, miter, res);
+  } else {
+    runDriver(spec, options, miter, res);
+  }
+  res.wallMs = jobTimer.elapsedMs();
+  return res;
+}
+
+}  // namespace upec::engine

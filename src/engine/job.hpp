@@ -1,0 +1,106 @@
+// Verification campaign jobs: one cell of the paper's sweep matrix
+// (secret scenario × constraint toggles × window ladder), plus its result.
+//
+// The paper's methodology (Fig. 5) and its evaluation tables are really a
+// *batch* of UPEC interval checks. A JobSpec is the self-contained
+// description of one such check sequence: it names the SoC configuration,
+// the UPEC options, how deep to walk the window and whether the ladder is
+// solved monolithically (fresh solver per window, the seed behaviour) or
+// incrementally (one solver reused across depths; see
+// formal::BmcEngine::checkIncremental). Jobs are independent by
+// construction — each owns a private Miter and sat::Solver when it runs —
+// which is what makes the campaign embarrassingly parallel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "soc/config.hpp"
+#include "upec/upec.hpp"
+
+namespace upec::engine {
+
+// How a ladder job advances through window depths.
+enum class DeepeningMode {
+  kMonolithic,   // fresh solver per window (re-encode from scratch)
+  kIncremental,  // one solver; frames extended, learnt clauses kept
+};
+const char* deepeningModeName(DeepeningMode m);
+
+// What a job runs.
+enum class JobKind {
+  kIntervalLadder,  // UPEC checks at k = kMin..kMax, fixed exclusion set
+  kMethodology,     // full Fig. 5 methodology driver up to kMax
+  kHunt,            // abort-early vulnerability hunt (Def. 6) up to kMax
+};
+const char* jobKindName(JobKind k);
+
+struct JobSpec {
+  std::uint32_t id = 0;
+  std::string label;
+
+  soc::SocConfig config;
+  std::uint32_t secretWord = 0;
+
+  UpecOptions options;  // scenario, constraint toggles, conflict budget
+  JobKind kind = JobKind::kIntervalLadder;
+  DeepeningMode mode = DeepeningMode::kIncremental;
+  unsigned kMin = 1;
+  unsigned kMax = 4;
+
+  // Ladder jobs only: register names dropped from the proof obligation
+  // (e.g. UpecEngine::allMicroNames() for an L-alert hunt).
+  std::set<std::string> excludedFromCommitment;
+  // Ladder jobs: additionally drop every microarchitectural pair from the
+  // commitment (the architectural-only obligation of Def. 6); the name set
+  // is resolved against the job's own miter at run time.
+  bool architecturalOnly = false;
+};
+
+// One rung of a ladder job.
+struct WindowResult {
+  unsigned window = 0;
+  Verdict verdict = Verdict::kUnknown;
+  formal::BmcStats stats;  // per-solve effort; vars/clauses see BmcStats doc
+  double wallMs = 0.0;
+};
+
+struct JobResult {
+  std::uint32_t id = 0;
+  std::string label;
+  Verdict verdict = Verdict::kUnknown;  // most severe over the job's life
+
+  std::vector<WindowResult> windows;             // ladder jobs
+  std::optional<MethodologyReport> methodology;  // methodology / hunt jobs
+  std::vector<std::string> lAlertRegisters;
+  std::vector<std::string> pAlertRegisters;
+
+  double wallMs = 0.0;
+  unsigned worker = 0;  // pool worker index that ran the job
+
+  // Aggregated solver effort across the job's checks.
+  std::uint64_t peakVars = 0;
+  std::uint64_t peakClauses = 0;
+  std::uint64_t totalConflicts = 0;
+  std::uint64_t totalPropagations = 0;
+  // Sum of the per-check variable counts. For a monolithic ladder this is
+  // the total number of CNF variables ever created (each check pays for its
+  // whole window again); for an incremental ladder the total ever created
+  // is peakVars (one session, frames shared). Comparing incremental
+  // peakVars against monolithic sumVars is the encode-side saving of
+  // deepening — see bench/campaign.cpp.
+  std::uint64_t sumVars = 0;
+};
+
+// Severity order for merging verdicts: L-alert > unknown > P-alert > proven.
+// (An unknown outranks a P-alert: it may hide an L-alert.)
+Verdict mergeVerdicts(Verdict a, Verdict b);
+
+// Runs one job to completion on the calling thread. Exposed for tests and
+// for running campaigns without a pool.
+JobResult runJob(const JobSpec& spec);
+
+}  // namespace upec::engine

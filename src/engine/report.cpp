@@ -1,0 +1,142 @@
+#include "engine/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace upec::engine {
+
+void CampaignReport::finalize() {
+  overallVerdict = Verdict::kProven;
+  numProven = numPAlerts = numLAlerts = numUnknown = 0;
+  sumJobWallMs = 0.0;
+  totalConflicts = totalPropagations = 0;
+  peakVars = peakClauses = 0;
+  for (const JobResult& job : jobs) {
+    overallVerdict = mergeVerdicts(overallVerdict, job.verdict);
+    switch (job.verdict) {
+      case Verdict::kProven: ++numProven; break;
+      case Verdict::kPAlert: ++numPAlerts; break;
+      case Verdict::kLAlert: ++numLAlerts; break;
+      case Verdict::kUnknown: ++numUnknown; break;
+    }
+    sumJobWallMs += job.wallMs;
+    totalConflicts += job.totalConflicts;
+    totalPropagations += job.totalPropagations;
+    peakVars = std::max(peakVars, job.peakVars);
+    peakClauses = std::max(peakClauses, job.peakClauses);
+  }
+}
+
+namespace {
+
+// Minimal JSON writer: the report's strings are register/scenario names,
+// but escape defensively so arbitrary job labels cannot corrupt the output.
+void jsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void jsonStringArray(std::ostream& os, const std::vector<std::string>& names) {
+  os << '[';
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i) os << ',';
+    jsonString(os, names[i]);
+  }
+  os << ']';
+}
+
+std::string fmtMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
+void jsonWindow(std::ostream& os, const WindowResult& w) {
+  os << "{\"k\":" << w.window << ",\"verdict\":\"" << verdictName(w.verdict) << '"'
+     << ",\"vars\":" << w.stats.vars << ",\"clauses\":" << w.stats.clauses
+     << ",\"conflicts\":" << w.stats.conflicts
+     << ",\"propagations\":" << w.stats.propagations
+     << ",\"decisions\":" << w.stats.decisions
+     << ",\"encode_ms\":" << fmtMs(w.stats.encodeMs)
+     << ",\"solve_ms\":" << fmtMs(w.stats.solveMs)
+     << ",\"wall_ms\":" << fmtMs(w.wallMs) << '}';
+}
+
+void jsonMethodology(std::ostream& os, const MethodologyReport& m) {
+  os << "{\"final_verdict\":\"" << verdictName(m.finalVerdict) << '"'
+     << ",\"max_window\":" << m.maxWindow;
+  if (m.firstPAlertWindow) os << ",\"first_p_alert_window\":" << *m.firstPAlertWindow;
+  if (m.firstLAlertWindow) os << ",\"first_l_alert_window\":" << *m.firstLAlertWindow;
+  os << ",\"p_alert_count\":" << m.pAlerts.size()
+     << ",\"induction_used\":" << (m.inductionUsed ? "true" : "false")
+     << ",\"induction_holds\":" << (m.inductionHolds ? "true" : "false")
+     << ",\"runtime_sec\":" << fmtMs(m.totalRuntimeSec) << '}';
+}
+
+void jsonJob(std::ostream& os, const JobResult& job) {
+  os << "{\"id\":" << job.id << ",\"label\":";
+  jsonString(os, job.label);
+  os << ",\"verdict\":\"" << verdictName(job.verdict) << '"'
+     << ",\"worker\":" << job.worker << ",\"wall_ms\":" << fmtMs(job.wallMs)
+     << ",\"peak_vars\":" << job.peakVars << ",\"peak_clauses\":" << job.peakClauses
+     << ",\"sum_vars\":" << job.sumVars << ",\"conflicts\":" << job.totalConflicts
+     << ",\"propagations\":" << job.totalPropagations;
+  os << ",\"l_alert_registers\":";
+  jsonStringArray(os, job.lAlertRegisters);
+  os << ",\"p_alert_registers\":";
+  jsonStringArray(os, job.pAlertRegisters);
+  if (!job.windows.empty()) {
+    os << ",\"windows\":[";
+    for (std::size_t i = 0; i < job.windows.size(); ++i) {
+      if (i) os << ',';
+      jsonWindow(os, job.windows[i]);
+    }
+    os << ']';
+  }
+  if (job.methodology) {
+    os << ",\"methodology\":";
+    jsonMethodology(os, *job.methodology);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string CampaignReport::toJson() const {
+  std::ostringstream os;
+  os << "{\"overall_verdict\":\"" << verdictName(overallVerdict) << '"'
+     << ",\"threads\":" << threads << ",\"wall_ms\":" << fmtMs(wallMs)
+     << ",\"sum_job_wall_ms\":" << fmtMs(sumJobWallMs)
+     << ",\"num_proven\":" << numProven << ",\"num_p_alerts\":" << numPAlerts
+     << ",\"num_l_alerts\":" << numLAlerts << ",\"num_unknown\":" << numUnknown
+     << ",\"total_conflicts\":" << totalConflicts
+     << ",\"total_propagations\":" << totalPropagations
+     << ",\"peak_vars\":" << peakVars << ",\"peak_clauses\":" << peakClauses
+     << ",\"jobs\":[";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i) os << ',';
+    jsonJob(os, jobs[i]);
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace upec::engine

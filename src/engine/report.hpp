@@ -1,0 +1,41 @@
+// Structured results of a verification campaign, with JSON export.
+//
+// The report keeps one JobResult per job (in submission order, regardless
+// of which worker finished first) plus campaign-level aggregates: verdict
+// counts, the merged overall verdict, solver-effort totals and the
+// wall-clock vs summed-job-time ratio that quantifies the parallel speedup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/job.hpp"
+
+namespace upec::engine {
+
+struct CampaignReport {
+  std::vector<JobResult> jobs;  // submission order
+  unsigned threads = 0;
+  double wallMs = 0.0;
+
+  // Aggregates, filled by finalize().
+  Verdict overallVerdict = Verdict::kProven;
+  std::size_t numProven = 0;
+  std::size_t numPAlerts = 0;
+  std::size_t numLAlerts = 0;
+  std::size_t numUnknown = 0;
+  double sumJobWallMs = 0.0;  // total work; sumJobWallMs / wallMs ≈ speedup
+  std::uint64_t totalConflicts = 0;
+  std::uint64_t totalPropagations = 0;
+  std::uint64_t peakVars = 0;
+  std::uint64_t peakClauses = 0;
+
+  // Recomputes the aggregate fields from `jobs`.
+  void finalize();
+
+  // Serialises the whole report (jobs, windows, aggregates) as JSON.
+  std::string toJson() const;
+};
+
+}  // namespace upec::engine

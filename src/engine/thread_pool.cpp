@@ -1,0 +1,120 @@
+#include "engine/thread_pool.hpp"
+
+#include <cassert>
+
+namespace upec::engine {
+
+namespace {
+// Identifies the pool and worker index of the current thread. A raw pointer
+// comparison suffices: worker threads outlive every task they run.
+thread_local const WorkStealingPool* tlPool = nullptr;
+thread_local unsigned tlWorker = WorkStealingPool::kNotAWorker;
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) workers_.push_back(std::make_unique<Worker>());
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_[i]->thread = std::thread([this, i] { workerLoop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> lock(sleepMutex_);
+    stopping_ = true;
+  }
+  sleepCv_.notify_all();
+  for (auto& w : workers_) w->thread.join();
+}
+
+unsigned WorkStealingPool::currentWorker() { return tlWorker; }
+
+void WorkStealingPool::submit(std::function<void()> task) {
+  unsigned target;
+  {
+    // Account the task before it becomes visible in any deque: a worker
+    // may pop it the instant it lands, and its decrements must not
+    // underflow the counters or let wait() return early.
+    std::lock_guard<std::mutex> lock(sleepMutex_);
+    ++queued_;
+    ++unfinished_;
+    if (tlPool == this) {
+      target = tlWorker;  // subtask: keep it local, let idle workers steal it
+    } else {
+      target = nextVictim_;
+      nextVictim_ = (nextVictim_ + 1) % numThreads();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->deque.push_back(std::move(task));
+  }
+  sleepCv_.notify_one();
+}
+
+bool WorkStealingPool::tryRun(unsigned self) {
+  std::function<void()> task;
+
+  // Own deque, bottom (most recently pushed).
+  {
+    Worker& w = *workers_[self];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (!w.deque.empty()) {
+      task = std::move(w.deque.back());
+      w.deque.pop_back();
+    }
+  }
+  // Steal from the top of the others, starting after ourselves so load
+  // spreads instead of everyone mobbing worker 0.
+  if (!task) {
+    const unsigned n = numThreads();
+    for (unsigned d = 1; d < n && !task; ++d) {
+      Worker& v = *workers_[(self + d) % n];
+      std::lock_guard<std::mutex> lock(v.mutex);
+      if (!v.deque.empty()) {
+        task = std::move(v.deque.front());
+        v.deque.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+
+  {
+    std::lock_guard<std::mutex> lock(sleepMutex_);
+    --queued_;
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(sleepMutex_);
+    --unfinished_;
+    if (unfinished_ == 0) doneCv_.notify_all();
+  }
+  return true;
+}
+
+void WorkStealingPool::workerLoop(unsigned self) {
+  tlPool = this;
+  tlWorker = self;
+  for (;;) {
+    if (tryRun(self)) continue;
+    std::unique_lock<std::mutex> lock(sleepMutex_);
+    sleepCv_.wait(lock, [this] { return queued_ > 0 || stopping_; });
+    if (stopping_ && queued_ == 0) return;
+  }
+}
+
+void WorkStealingPool::wait() {
+  // The task calling wait() would itself count as unfinished, so a worker
+  // can never satisfy the predicate for its own pool.
+  assert(tlPool != this && "wait() must not be called from inside a pool task");
+  std::unique_lock<std::mutex> lock(sleepMutex_);
+  doneCv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+}  // namespace upec::engine

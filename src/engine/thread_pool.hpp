@@ -1,0 +1,70 @@
+// Work-stealing thread pool for the campaign engine.
+//
+// Each worker owns a deque: it pushes and pops work at the *bottom* (LIFO,
+// cache-friendly for tasks that spawn subtasks) and victims are robbed at
+// the *top* (FIFO, so thieves take the oldest — typically largest — work).
+// Submissions from outside the pool are distributed round-robin. Verification
+// jobs are coarse (seconds of SAT solving per task), so a mutex per deque is
+// entirely adequate; the solver-internal state needs no locking at all
+// because every job owns a private sat::Solver.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace upec::engine {
+
+class WorkStealingPool {
+ public:
+  static constexpr unsigned kNotAWorker = ~0u;
+
+  // threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit WorkStealingPool(unsigned threads = 0);
+  ~WorkStealingPool();  // waits for all submitted tasks, then joins
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  // Enqueues a task. Thread-safe; may be called from inside a task (the
+  // subtask lands on the calling worker's own deque and is preferentially
+  // executed by it, stolen only when another worker runs dry).
+  void submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished executing. Must
+  // be called from outside the pool (a task waiting on its own pool could
+  // never finish itself).
+  void wait();
+
+  unsigned numThreads() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Index of the pool worker executing the caller, or kNotAWorker when
+  // called from outside the pool (results use it to record placement).
+  static unsigned currentWorker();
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> deque;
+    std::thread thread;
+  };
+
+  void workerLoop(unsigned self);
+  bool tryRun(unsigned self);  // own work first, then steal; false = dry
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex sleepMutex_;
+  std::condition_variable sleepCv_;  // workers idle here
+  std::condition_variable doneCv_;   // wait() blocks here
+  std::uint64_t queued_ = 0;         // tasks enqueued, not yet started
+  std::uint64_t unfinished_ = 0;     // tasks enqueued, not yet finished
+  bool stopping_ = false;
+  unsigned nextVictim_ = 0;  // round-robin for external submits
+};
+
+}  // namespace upec::engine

@@ -1,6 +1,9 @@
 #include "formal/bmc.hpp"
 
 #include <cassert>
+#include <map>
+#include <set>
+#include <utility>
 
 #include "base/stopwatch.hpp"
 #include "formal/cnf_builder.hpp"
@@ -12,6 +15,75 @@ namespace upec::formal {
 
 using sat::LBool;
 using sat::Lit;
+
+namespace {
+
+// Reads the witness out of a satisfied solver: frame-0 register state,
+// per-cycle inputs, and which commitments the model violates.
+Trace extractTrace(const rtl::Design& design, const sat::Solver& solver, Unroller& unroller,
+                   const IntervalProperty& property, unsigned k, const LitVec& violations) {
+  Trace trace;
+  trace.cycles = k + 1;
+  trace.initialRegs.resize(design.regs().size());
+  for (std::uint32_t r = 0; r < design.regs().size(); ++r) {
+    const LitVec& lits = unroller.regLits(r, 0);
+    std::uint64_t v = 0;
+    for (std::size_t b = 0; b < lits.size(); ++b) {
+      if (solver.modelValue(lits[b])) v |= 1ull << b;
+    }
+    trace.initialRegs[r] = BitVec(static_cast<unsigned>(lits.size()), v);
+  }
+  trace.inputs.resize(k + 1);
+  for (unsigned t = 0; t <= k; ++t) {
+    trace.inputs[t].resize(design.inputs().size());
+    for (std::size_t i = 0; i < design.inputs().size(); ++i) {
+      const LitVec& lits = unroller.lits(design.inputs()[i], t);
+      std::uint64_t v = 0;
+      for (std::size_t b = 0; b < lits.size(); ++b) {
+        if (solver.modelValue(lits[b])) v |= 1ull << b;
+      }
+      trace.inputs[t][i] = BitVec(static_cast<unsigned>(lits.size()), v);
+    }
+  }
+  for (std::size_t ci = 0; ci < property.commitments.size(); ++ci) {
+    if (solver.modelValue(violations[ci])) trace.failedCommitments.push_back(ci);
+  }
+  return trace;
+}
+
+void fillSolveStats(BmcStats& stats, const sat::Solver& solver) {
+  const sat::SolverStats delta = solver.lastSolveStats();
+  stats.conflicts = delta.conflicts;
+  stats.propagations = delta.propagations;
+  stats.decisions = delta.decisions;
+}
+
+}  // namespace
+
+// Persistent state of an incremental deepening session: one solver, one
+// unroller over it, plus bookkeeping of which assumptions have already been
+// asserted as hard units so repeated statements of the same property prefix
+// are not re-encoded.
+struct BmcEngine::Session {
+  sat::Solver solver;
+  CnfBuilder cnf;
+  Unroller unroller;
+  // Cycle-anchored assumptions already asserted, keyed by (node, cycle).
+  std::set<std::pair<rtl::NodeId, unsigned>> assertedAt;
+  // Invariant assumptions: per signal, asserted over cycles 0..upTo.
+  std::map<rtl::NodeId, unsigned> invariantUpTo;
+
+  explicit Session(const rtl::Design& design) : cnf(solver), unroller(design, cnf) {}
+};
+
+BmcEngine::BmcEngine(const rtl::Design& design) : design_(design) {}
+BmcEngine::~BmcEngine() = default;
+
+void BmcEngine::resetIncremental() { session_.reset(); }
+
+unsigned BmcEngine::incrementalFrames() const {
+  return session_ ? session_->unroller.numFrames() : 0;
+}
 
 CheckResult BmcEngine::check(const IntervalProperty& property) {
   CheckResult result;
@@ -58,7 +130,7 @@ CheckResult BmcEngine::check(const IntervalProperty& property) {
   Stopwatch solveTimer;
   const LBool sat = solver.solve();
   result.stats.solveMs = solveTimer.elapsedMs();
-  result.stats.conflicts = solver.stats().conflicts;
+  fillSolveStats(result.stats, solver);
 
   if (sat == LBool::kFalse) {
     result.status = CheckStatus::kProven;
@@ -69,35 +141,93 @@ CheckResult BmcEngine::check(const IntervalProperty& property) {
     return result;
   }
 
-  // SAT: extract the witness.
   result.status = CheckStatus::kCounterexample;
-  Trace trace;
-  trace.cycles = k + 1;
-  trace.initialRegs.resize(design_.regs().size());
-  for (std::uint32_t r = 0; r < design_.regs().size(); ++r) {
-    const LitVec& lits = unroller.regLits(r, 0);
-    std::uint64_t v = 0;
-    for (std::size_t b = 0; b < lits.size(); ++b) {
-      if (solver.modelValue(lits[b])) v |= 1ull << b;
-    }
-    trace.initialRegs[r] = BitVec(static_cast<unsigned>(lits.size()), v);
-  }
-  trace.inputs.resize(k + 1);
-  for (unsigned t = 0; t <= k; ++t) {
-    trace.inputs[t].resize(design_.inputs().size());
-    for (std::size_t i = 0; i < design_.inputs().size(); ++i) {
-      const LitVec& lits = unroller.lits(design_.inputs()[i], t);
-      std::uint64_t v = 0;
-      for (std::size_t b = 0; b < lits.size(); ++b) {
-        if (solver.modelValue(lits[b])) v |= 1ull << b;
-      }
-      trace.inputs[t][i] = BitVec(static_cast<unsigned>(lits.size()), v);
+  result.trace = extractTrace(design_, solver, unroller, property, k, violations);
+  return result;
+}
+
+CheckResult BmcEngine::checkIncremental(const IntervalProperty& property) {
+  CheckResult result;
+  Stopwatch encodeTimer;
+
+  if (!session_) {
+    session_ = std::make_unique<Session>(design_);
+    for (const auto& [master, follower] : aliases_) {
+      session_->unroller.aliasInitialState(master, follower);
     }
   }
-  for (std::size_t ci = 0; ci < property.commitments.size(); ++ci) {
-    if (solver.modelValue(violations[ci])) trace.failedCommitments.push_back(ci);
+  Session& s = *session_;
+  sat::Solver& solver = s.solver;
+  solver.setConflictBudget(conflictBudget_);
+
+  const unsigned k = property.maxCycle();
+  assert(s.unroller.numFrames() == 0 || k + 1 >= s.unroller.numFrames());
+  s.unroller.unrollTo(k);
+
+  // Assumptions are monotone across the session, so each becomes a hard
+  // unit the first time it is seen; re-stated prefixes are skipped.
+  for (const TimedSig& a : property.assumptions) {
+    assert(a.sig.width() == 1);
+    if (s.assertedAt.emplace(a.sig.id(), a.cycle).second) {
+      s.cnf.assertLit(s.unroller.lit(a.sig, a.cycle));
+    }
   }
-  result.trace = std::move(trace);
+  for (rtl::Sig inv : property.invariantAssumptions) {
+    assert(inv.width() == 1);
+    const auto it = s.invariantUpTo.find(inv.id());
+    unsigned from = 0;
+    if (it != s.invariantUpTo.end()) {
+      if (it->second >= k) continue;
+      from = it->second + 1;
+    }
+    for (unsigned t = from; t <= k; ++t) s.cnf.assertLit(s.unroller.lit(inv, t));
+    s.invariantUpTo[inv.id()] = k;
+  }
+
+  // The proof obligation of THIS window is only activated through an
+  // assumption literal: commitments of a shallower call must not constrain
+  // a deeper one, and the learnt clauses derived under the assumption
+  // remain valid once it is dropped.
+  LitVec violations;
+  violations.reserve(property.commitments.size());
+  for (const TimedSig& c : property.commitments) {
+    assert(c.sig.width() == 1);
+    violations.push_back(~s.unroller.lit(c.sig, c.cycle));
+  }
+  if (violations.empty()) {
+    result.status = CheckStatus::kProven;
+    return result;
+  }
+  const Lit activation = s.cnf.bigOr(violations);
+
+  result.stats.encodeMs = encodeTimer.elapsedMs();
+  result.stats.vars = static_cast<std::uint64_t>(solver.numVars());
+  result.stats.clauses = solver.numClauses();
+
+  Stopwatch solveTimer;
+  const Lit assumption[] = {activation};
+  const LBool sat = solver.solve(assumption);
+  result.stats.solveMs = solveTimer.elapsedMs();
+  fillSolveStats(result.stats, solver);
+
+  if (sat == LBool::kFalse) {
+    // UNSAT under {activation} makes ~activation a logical consequence;
+    // asserting it retires this window's obligation clauses permanently
+    // (they become top-level satisfied) instead of leaving a dead big-or
+    // to be dragged through every later solve. Only sound for the proven
+    // case — after a counterexample the obligation must stay open, e.g.
+    // for a re-check at the same window with a refined commitment set.
+    solver.addUnit(~activation);
+    result.status = CheckStatus::kProven;
+    return result;
+  }
+  if (sat == LBool::kUndef) {
+    result.status = CheckStatus::kUnknown;
+    return result;
+  }
+
+  result.status = CheckStatus::kCounterexample;
+  result.trace = extractTrace(design_, solver, s.unroller, property, k, violations);
   return result;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,9 +30,17 @@ struct Trace {
 };
 
 struct BmcStats {
+  // Encode-side size. For an incremental session these are the session
+  // totals so far (the solver keeps all frames); the point of incremental
+  // deepening is that this grows by one frame per call instead of being
+  // re-paid from scratch.
   std::uint64_t vars = 0;
   std::uint64_t clauses = 0;
+  // Solver effort of THIS check alone (per-solve deltas, not the solver's
+  // cumulative lifetime counters).
   std::uint64_t conflicts = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t decisions = 0;
   double solveMs = 0.0;
   double encodeMs = 0.0;
 };
@@ -48,23 +57,59 @@ struct CheckResult {
 class BmcEngine {
  public:
   // The design must have memories lowered and all registers connected.
-  explicit BmcEngine(const rtl::Design& design) : design_(design) {}
+  explicit BmcEngine(const rtl::Design& design);
+  ~BmcEngine();
+  BmcEngine(const BmcEngine&) = delete;
+  BmcEngine& operator=(const BmcEngine&) = delete;
 
   // Aborts with kUnknown after this many SAT conflicts (0 = unlimited).
+  // Applies per check: an incremental session gets a fresh budget each call.
   void setConflictBudget(std::uint64_t budget) { conflictBudget_ = budget; }
 
   // Registers whose frame-0 variables are shared (structural equality of
-  // the symbolic initial state); see Unroller::aliasInitialState.
+  // the symbolic initial state); see Unroller::aliasInitialState. For
+  // incremental sessions, all aliases must be added before the first
+  // checkIncremental() call.
   void addInitialStateAlias(rtl::Sig masterRegQ, rtl::Sig followerRegQ) {
     aliases_.emplace_back(masterRegQ.id(), followerRegQ.id());
   }
 
+  // Single-shot check: fresh solver, encode, solve, discard.
   CheckResult check(const IntervalProperty& property);
 
+  // Incremental deepening: reuses one solver (and its learnt clauses)
+  // across a sequence of calls with non-decreasing window length. Frames
+  // already encoded are never re-encoded; only the new tail of the window
+  // is. Single-cycle and invariant assumptions are asserted as hard units
+  // the first time their cycle appears (sound because the caller's
+  // assumption set may only *grow* monotonically with the window), while
+  // the per-window proof obligation is activated through an assumption
+  // literal, so a deeper call is not contaminated by the shallower
+  // obligations. Requirements on the call sequence:
+  //   * property.maxCycle() is non-decreasing across calls,
+  //   * cycle-anchored and invariant assumptions of earlier calls remain
+  //     valid for later ones (same property family, possibly restated),
+  //   * commitments may change freely between calls,
+  //   * every rtl node the properties reference must already exist at the
+  //     first call (the session snapshots the design's topological order;
+  //     build property expressions up front, not per call).
+  // Violating the first two yields over-constrained (unsound "proven")
+  // results — call resetIncremental() to start a fresh session instead.
+  CheckResult checkIncremental(const IntervalProperty& property);
+
+  // Drops the incremental session (solver, learnt clauses, frames).
+  void resetIncremental();
+
+  // Frames currently encoded in the incremental session (0 = no session).
+  unsigned incrementalFrames() const;
+
  private:
+  struct Session;
+
   const rtl::Design& design_;
   std::uint64_t conflictBudget_ = 0;
   std::vector<std::pair<rtl::NodeId, rtl::NodeId>> aliases_;
+  std::unique_ptr<Session> session_;
 };
 
 // Replays a Trace on the simulator, exposing every node value per cycle.

@@ -1,6 +1,8 @@
 #include "formal/unroller.hpp"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace upec::formal {
 
@@ -42,6 +44,18 @@ void Unroller::unrollTo(unsigned cycle) {
 
 const LitVec& Unroller::lits(NodeId node, unsigned cycle) {
   unrollTo(cycle);
+  // A node beyond the frame was created after this unroller snapshotted the
+  // design (e.g. a property expression built mid-session): it has no
+  // encoding, and silently reading past the frame could return garbage
+  // literals and prove the wrong property. Always-on check: an unsound
+  // "proven" is strictly worse than an abort, also in Release builds.
+  if (node >= frames_[cycle].size()) {
+    std::fprintf(stderr,
+                 "Unroller: node %u created after unrolling started (frame has %zu nodes); "
+                 "incremental callers must build property expressions up front\n",
+                 node, frames_[cycle].size());
+    std::abort();
+  }
   return frames_[cycle][node];
 }
 

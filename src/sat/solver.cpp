@@ -384,6 +384,8 @@ std::uint64_t Solver::lubySequence(std::uint64_t i) {
 
 LBool Solver::solve(std::span<const Lit> assumptions) {
   conflict_.clear();
+  statsAtSolveStart_ = stats_;
+  ++stats_.solves;
   if (!ok_) return LBool::kFalse;
   assumptions_.assign(assumptions.begin(), assumptions.end());
   model_.clear();

@@ -58,6 +58,15 @@ struct SolverStats {
   std::uint64_t restarts = 0;
   std::uint64_t learntLiterals = 0;
   std::uint64_t removedClauses = 0;
+  std::uint64_t solves = 0;
+
+  // Field-wise difference, for per-solve deltas in incremental use.
+  SolverStats operator-(const SolverStats& o) const {
+    return {decisions - o.decisions,   propagations - o.propagations,
+            conflicts - o.conflicts,   restarts - o.restarts,
+            learntLiterals - o.learntLiterals,
+            removedClauses - o.removedClauses, solves - o.solves};
+  }
 };
 
 class Solver {
@@ -97,8 +106,16 @@ class Solver {
   bool okay() const { return ok_; }
   const SolverStats& stats() const { return stats_; }
 
+  // Stats of the most recent solve() call alone — the deltas since that
+  // call began. stats() keeps the cumulative totals across the solver's
+  // lifetime; incremental users (BMC deepening, campaign jobs) report
+  // per-solve effort from here.
+  SolverStats lastSolveStats() const { return stats_ - statsAtSolveStart_; }
+
   // Optional resource limit: abort solve() after this many conflicts
-  // (0 = unlimited). When hit, solve() returns kUndef.
+  // (0 = unlimited). When hit, solve() returns kUndef. The budget applies
+  // to each solve() call separately: an incremental session gets a fresh
+  // allowance per call, regardless of conflicts spent in earlier calls.
   void setConflictBudget(std::uint64_t budget) { conflictBudget_ = budget; }
 
  private:
@@ -177,6 +194,7 @@ class Solver {
 
   bool ok_ = true;
   SolverStats stats_;
+  SolverStats statsAtSolveStart_;
   std::uint64_t conflictBudget_ = 0;
   std::uint64_t maxLearnts_ = 8192;
 };

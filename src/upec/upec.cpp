@@ -1,5 +1,6 @@
 #include "upec/upec.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "base/log.hpp"
@@ -11,6 +12,17 @@ using formal::CheckStatus;
 using rtl::Sig;
 using rtl::StateClass;
 
+namespace {
+
+void accumulateStats(MethodologyReport& report, const formal::BmcStats& stats) {
+  report.peakClauses = std::max(report.peakClauses, stats.clauses);
+  report.peakVars = std::max(report.peakVars, stats.vars);
+  report.totalConflicts += stats.conflicts;
+  report.totalPropagations += stats.propagations;
+}
+
+}  // namespace
+
 const char* verdictName(Verdict v) {
   switch (v) {
     case Verdict::kProven: return "proven";
@@ -21,8 +33,30 @@ const char* verdictName(Verdict v) {
   return "?";
 }
 
+void applyStructuralEquality(Miter& miter, formal::BmcEngine& engine,
+                             const std::set<std::string>& skipLogic) {
+  rtl::Design& d = miter.design();
+  auto aliasPair = [&](const RegPair& pair) {
+    engine.addInitialStateAlias(rtl::Sig(&d, d.regs()[pair.reg1].q),
+                                rtl::Sig(&d, d.regs()[pair.reg2].q));
+  };
+  for (const RegPair& pair : miter.logicPairs()) {
+    if (!skipLogic.count(pair.name)) aliasPair(pair);
+  }
+  for (std::size_t w = 0; w < miter.dmemPairs().size(); ++w) {
+    if (w != miter.secretWord()) aliasPair(miter.dmemPairs()[w]);
+  }
+  for (std::size_t w = 0; w < miter.cacheDataPairs().size(); ++w) {
+    if (w != miter.secretCacheIndex()) aliasPair(miter.cacheDataPairs()[w]);
+  }
+}
+
 UpecEngine::UpecEngine(Miter& miter, const UpecOptions& options)
     : miter_(miter), options_(options) {}
+
+UpecEngine::~UpecEngine() = default;
+
+void UpecEngine::resetIncremental() { incremental_.reset(); }
 
 formal::IntervalProperty UpecEngine::buildProperty(
     unsigned k, const std::set<std::string>& excluded) const {
@@ -69,27 +103,29 @@ formal::IntervalProperty UpecEngine::buildProperty(
 }
 
 UpecResult UpecEngine::check(unsigned k, const std::set<std::string>& excluded) {
-  UpecResult result;
-  result.window = k;
+  if (options_.incrementalDeepening) return checkIncremental(k, excluded);
 
   const formal::IntervalProperty property = buildProperty(k, excluded);
   formal::BmcEngine engine(miter_.design());
   if (options_.conflictBudget != 0) engine.setConflictBudget(options_.conflictBudget);
-  if (options_.structuralInitEquality) {
-    rtl::Design& d = miter_.design();
-    auto aliasPair = [&](const RegPair& pair) {
-      engine.addInitialStateAlias(rtl::Sig(&d, d.regs()[pair.reg1].q),
-                                  rtl::Sig(&d, d.regs()[pair.reg2].q));
-    };
-    for (const RegPair& pair : miter_.logicPairs()) aliasPair(pair);
-    for (std::size_t w = 0; w < miter_.dmemPairs().size(); ++w) {
-      if (w != miter_.secretWord()) aliasPair(miter_.dmemPairs()[w]);
-    }
-    for (std::size_t w = 0; w < miter_.cacheDataPairs().size(); ++w) {
-      if (w != miter_.secretCacheIndex()) aliasPair(miter_.cacheDataPairs()[w]);
-    }
+  if (options_.structuralInitEquality) applyStructuralEquality(miter_, engine);
+  return classify(engine.check(property), k, excluded);
+}
+
+UpecResult UpecEngine::checkIncremental(unsigned k, const std::set<std::string>& excluded) {
+  if (!incremental_) {
+    incremental_ = std::make_unique<formal::BmcEngine>(miter_.design());
+    if (options_.structuralInitEquality) applyStructuralEquality(miter_, *incremental_);
   }
-  const formal::CheckResult bmc = engine.check(property);
+  incremental_->setConflictBudget(options_.conflictBudget);
+  const formal::IntervalProperty property = buildProperty(k, excluded);
+  return classify(incremental_->checkIncremental(property), k, excluded);
+}
+
+UpecResult UpecEngine::classify(const formal::CheckResult& bmc, unsigned k,
+                                const std::set<std::string>& excluded) {
+  UpecResult result;
+  result.window = k;
   result.stats = bmc.stats;
 
   if (bmc.status == CheckStatus::kProven) {
@@ -201,21 +237,7 @@ InductiveProver::Result InductiveProver::prove(
 
   formal::BmcEngine engine(d);
   if (options_.conflictBudget != 0) engine.setConflictBudget(options_.conflictBudget);
-  if (options_.structuralInitEquality) {
-    auto aliasPair = [&](const RegPair& pair) {
-      engine.addInitialStateAlias(rtl::Sig(&d, d.regs()[pair.reg1].q),
-                                  rtl::Sig(&d, d.regs()[pair.reg2].q));
-    };
-    for (const RegPair& pair : miter_.logicPairs()) {
-      if (!allowedDiff.count(pair.name)) aliasPair(pair);
-    }
-    for (std::size_t w = 0; w < miter_.dmemPairs().size(); ++w) {
-      if (w != miter_.secretWord()) aliasPair(miter_.dmemPairs()[w]);
-    }
-    for (std::size_t w = 0; w < miter_.cacheDataPairs().size(); ++w) {
-      if (w != miter_.secretCacheIndex()) aliasPair(miter_.cacheDataPairs()[w]);
-    }
-  }
+  if (options_.structuralInitEquality) applyStructuralEquality(miter_, engine, allowedDiff);
   const formal::CheckResult bmc = engine.check(p);
   result.stats = bmc.stats;
   if (bmc.status == CheckStatus::kProven) {
@@ -252,8 +274,7 @@ MethodologyReport MethodologyDriver::run(unsigned maxWindow,
   for (unsigned k = 1; k <= maxWindow; ++k) {
     for (;;) {
       UpecResult res = engine.check(k, excluded);
-      report.peakClauses = std::max(report.peakClauses, res.stats.clauses);
-      report.peakVars = std::max(report.peakVars, res.stats.vars);
+      accumulateStats(report, res.stats);
       if (res.verdict == Verdict::kProven) break;  // next window
       if (res.verdict == Verdict::kUnknown) {
         report.finalVerdict = Verdict::kUnknown;
@@ -293,6 +314,7 @@ MethodologyReport MethodologyDriver::run(unsigned maxWindow,
   InductiveProver prover(miter_, options_);
   const InductiveProver::Result ind = prover.prove(report.pAlertRegisters, blocking);
   report.inductionRuntimeSec = inductionTimer.elapsedSeconds();
+  accumulateStats(report, ind.stats);
   report.inductionHolds = ind.holds;
   report.finalVerdict = ind.holds ? Verdict::kProven : Verdict::kPAlert;
   report.totalRuntimeSec = total.elapsedSeconds();
@@ -308,8 +330,7 @@ MethodologyReport MethodologyDriver::hunt(unsigned maxWindow) {
   // Phase 1: first P-alert with the complete commitment.
   for (unsigned k = 1; k <= maxWindow && !report.firstPAlertWindow; ++k) {
     const UpecResult res = engine.check(k);
-    report.peakClauses = std::max(report.peakClauses, res.stats.clauses);
-    report.peakVars = std::max(report.peakVars, res.stats.vars);
+    accumulateStats(report, res.stats);
     if (res.verdict == Verdict::kPAlert) {
       report.firstPAlertWindow = k;
       report.pAlerts.push_back({k, res.differingMicro});
@@ -337,8 +358,7 @@ MethodologyReport MethodologyDriver::hunt(unsigned maxWindow) {
   const std::set<std::string> microOnly = huntEngine.allMicroNames();
   for (unsigned k = report.firstPAlertWindow.value_or(1); k <= maxWindow; ++k) {
     const UpecResult res = huntEngine.check(k, microOnly);
-    report.peakClauses = std::max(report.peakClauses, res.stats.clauses);
-    report.peakVars = std::max(report.peakVars, res.stats.vars);
+    accumulateStats(report, res.stats);
     if (res.verdict == Verdict::kLAlert) {
       report.firstLAlertWindow = k;
       report.lAlertRegisters = res.differingArch;

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -44,7 +45,13 @@ struct UpecOptions {
   // variables between the instances (strongly recommended; the ablation
   // bench shows the cost of plain equality assumptions).
   bool structuralInitEquality = true;
-  std::uint64_t conflictBudget = 0;  // 0 = unlimited
+  // Reuse one SAT solver (and its learnt clauses) across the window walk
+  // instead of re-encoding every check from scratch; see
+  // formal::BmcEngine::checkIncremental. Semantically equivalent to
+  // single-shot checks for the UPEC property family (assumptions are
+  // monotone in the window; only commitments vary).
+  bool incrementalDeepening = false;
+  std::uint64_t conflictBudget = 0;  // 0 = unlimited; applies per check
 };
 
 enum class Verdict { kProven, kPAlert, kLAlert, kUnknown };
@@ -63,11 +70,27 @@ struct UpecResult {
 class UpecEngine {
  public:
   UpecEngine(Miter& miter, const UpecOptions& options);
+  ~UpecEngine();
 
   // Checks the UPEC property at window k. Register names in
   // `excludedFromCommitment` are dropped from the proof obligation (but
   // never from the initial-state-equality assumption), per the methodology.
+  // Honours options().incrementalDeepening: when set, checks are routed
+  // through a persistent incremental BMC session (window lengths must then
+  // be non-decreasing across calls; use resetIncremental() to start over).
   UpecResult check(unsigned k, const std::set<std::string>& excludedFromCommitment = {});
+
+  // Always uses the persistent incremental session, regardless of options.
+  UpecResult checkIncremental(unsigned k,
+                              const std::set<std::string>& excludedFromCommitment = {});
+
+  // Drops the incremental session (solver, learnt clauses, frames).
+  void resetIncremental();
+
+  // The Fig. 4 interval property at window k (campaigns and external
+  // drivers can encode it with an engine of their own choosing).
+  formal::IntervalProperty buildProperty(unsigned k,
+                                         const std::set<std::string>& excluded = {}) const;
 
   // Names of all microarchitectural pairs — pass as the exclusion set to
   // hunt directly for L-alerts (architectural-only commitment, Def. 6).
@@ -80,12 +103,22 @@ class UpecEngine {
   const UpecOptions& options() const { return options_; }
 
  private:
-  formal::IntervalProperty buildProperty(unsigned k,
-                                         const std::set<std::string>& excluded) const;
+  UpecResult classify(const formal::CheckResult& bmc, unsigned k,
+                      const std::set<std::string>& excluded);
 
   Miter& miter_;
   UpecOptions options_;
+  // Lazily created persistent BMC session for incremental deepening.
+  std::unique_ptr<formal::BmcEngine> incremental_;
 };
+
+// Registers the miter's structural initial-state equalities on a BMC
+// engine: every logic pair except those in `skipLogic`, plus all memory
+// and cache-data words other than the secret's (paper Fig. 3 computational
+// model; see Unroller::aliasInitialState for why sharing variables beats
+// equality assumptions).
+void applyStructuralEquality(Miter& miter, formal::BmcEngine& engine,
+                             const std::set<std::string>& skipLogic = {});
 
 // One P-alert found during the methodology run.
 struct PAlert {
@@ -104,6 +137,9 @@ struct MethodologyReport {
   double totalRuntimeSec = 0;
   std::uint64_t peakClauses = 0;    // proof memory proxy
   std::uint64_t peakVars = 0;
+  // Solver effort summed over every check of the run (incl. induction).
+  std::uint64_t totalConflicts = 0;
+  std::uint64_t totalPropagations = 0;
   bool inductionUsed = false;
   bool inductionHolds = false;
   double inductionRuntimeSec = 0;

@@ -1,0 +1,249 @@
+// Campaign engine: work-stealing pool semantics, job execution, matrix
+// enumeration, report aggregation and JSON export, and agreement between
+// monolithic and incremental deepening at the UPEC level.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+
+#include "engine/campaign.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace upec::engine {
+namespace {
+
+// --- pool ------------------------------------------------------------------
+
+TEST(WorkStealingPool, RunsEveryTaskExactlyOnce) {
+  WorkStealingPool pool(4);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&runs] { runs.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(runs.load(), 1000);
+}
+
+TEST(WorkStealingPool, SubtasksSubmittedFromWorkersComplete) {
+  // Each task fans out children from inside the pool: the children land on
+  // the submitting worker's own deque and must be drained (locally or by
+  // stealing) before wait() returns.
+  WorkStealingPool pool(3);
+  std::atomic<int> leaves{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &leaves] {
+      for (int c = 0; c < 5; ++c) {
+        pool.submit([&leaves] { leaves.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(leaves.load(), 40);
+}
+
+TEST(WorkStealingPool, CurrentWorkerIsScopedToPoolThreads) {
+  EXPECT_EQ(WorkStealingPool::currentWorker(), WorkStealingPool::kNotAWorker);
+  WorkStealingPool pool(2);
+  std::atomic<bool> sawValidIndex{true};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&pool, &sawValidIndex] {
+      const unsigned w = WorkStealingPool::currentWorker();
+      if (w >= pool.numThreads()) sawValidIndex = false;
+    });
+  }
+  pool.wait();
+  EXPECT_TRUE(sawValidIndex.load());
+}
+
+TEST(WorkStealingPool, WaitIsReusable) {
+  WorkStealingPool pool(2);
+  std::atomic<int> runs{0};
+  pool.submit([&runs] { ++runs; });
+  pool.wait();
+  EXPECT_EQ(runs.load(), 1);
+  pool.submit([&runs] { ++runs; });
+  pool.submit([&runs] { ++runs; });
+  pool.wait();
+  EXPECT_EQ(runs.load(), 3);
+}
+
+TEST(WorkStealingPool, DefaultsToHardwareConcurrency) {
+  WorkStealingPool pool;
+  EXPECT_GE(pool.numThreads(), 1u);
+}
+
+// --- verdict merging and matrix enumeration --------------------------------
+
+TEST(CampaignEngine, MergeVerdictsBySeverity) {
+  EXPECT_EQ(mergeVerdicts(Verdict::kProven, Verdict::kPAlert), Verdict::kPAlert);
+  EXPECT_EQ(mergeVerdicts(Verdict::kPAlert, Verdict::kUnknown), Verdict::kUnknown);
+  EXPECT_EQ(mergeVerdicts(Verdict::kUnknown, Verdict::kLAlert), Verdict::kLAlert);
+  EXPECT_EQ(mergeVerdicts(Verdict::kLAlert, Verdict::kProven), Verdict::kLAlert);
+  EXPECT_EQ(mergeVerdicts(Verdict::kProven, Verdict::kProven), Verdict::kProven);
+}
+
+TEST(CampaignEngine, EnumerateJobsBuildsTheCrossProduct) {
+  SweepMatrix matrix;
+  matrix.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+  matrix.secretWord = 12;
+  matrix.scenarios = {SecretScenario::kInCache, SecretScenario::kNotInCache};
+  UpecOptions noC1;
+  noC1.constraint1NoOngoing = false;
+  matrix.variants = {{"full", UpecOptions{}}, {"no_c1", noC1}};
+  matrix.kMin = 1;
+  matrix.kMax = 3;
+
+  const std::vector<JobSpec> jobs = enumerateJobs(matrix);
+  ASSERT_EQ(jobs.size(), 4u);
+  std::set<std::string> labels;
+  for (const JobSpec& j : jobs) {
+    labels.insert(j.label);
+    EXPECT_EQ(j.kMin, 1u);
+    EXPECT_EQ(j.kMax, 3u);
+  }
+  EXPECT_EQ(labels.size(), 4u) << "labels must be unique across the matrix";
+  EXPECT_TRUE(labels.count("D in cache/full"));
+  EXPECT_TRUE(labels.count("D not in cache/no_c1"));
+  // Scenario comes from the matrix axis, not the variant's options.
+  EXPECT_EQ(jobs[0].options.scenario, SecretScenario::kInCache);
+  EXPECT_EQ(jobs[3].options.scenario, SecretScenario::kNotInCache);
+}
+
+// --- jobs on the real miter -------------------------------------------------
+
+JobSpec secureLadderJob(SecretScenario scenario, DeepeningMode mode, unsigned kMax) {
+  JobSpec spec;
+  spec.label = std::string("secure/") + scenarioName(scenario) + "/" + deepeningModeName(mode);
+  spec.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+  spec.secretWord = 12;
+  spec.options.scenario = scenario;
+  spec.mode = mode;
+  spec.kMin = 1;
+  spec.kMax = kMax;
+  return spec;
+}
+
+TEST(CampaignEngine, IncrementalAndMonolithicLaddersAgree) {
+  // Paper Tab. I "D not cached": proven at every window, under both
+  // deepening modes; the incremental session must not pay the encoding
+  // more than once.
+  const JobResult mono =
+      runJob(secureLadderJob(SecretScenario::kNotInCache, DeepeningMode::kMonolithic, 2));
+  const JobResult inc =
+      runJob(secureLadderJob(SecretScenario::kNotInCache, DeepeningMode::kIncremental, 2));
+
+  ASSERT_EQ(mono.windows.size(), 2u);
+  ASSERT_EQ(inc.windows.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(mono.windows[i].verdict, inc.windows[i].verdict) << "window " << i + 1;
+    EXPECT_EQ(mono.windows[i].verdict, Verdict::kProven);
+  }
+  EXPECT_EQ(mono.verdict, Verdict::kProven);
+  EXPECT_EQ(inc.verdict, Verdict::kProven);
+  EXPECT_LT(inc.peakVars, mono.sumVars)
+      << "one shared encoding must beat re-encoding every window";
+}
+
+TEST(CampaignEngine, PAlertLadderReportsTheRegisters) {
+  // Tab. I "D in cache": the first window already propagates the secret
+  // into the response buffer.
+  JobSpec spec = secureLadderJob(SecretScenario::kInCache, DeepeningMode::kIncremental, 1);
+  const JobResult res = runJob(spec);
+  EXPECT_EQ(res.verdict, Verdict::kPAlert);
+  EXPECT_FALSE(res.pAlertRegisters.empty());
+}
+
+TEST(CampaignEngine, CampaignRunsJobsInParallelAndAggregates) {
+  std::vector<JobSpec> jobs;
+  jobs.push_back(secureLadderJob(SecretScenario::kNotInCache, DeepeningMode::kIncremental, 2));
+  jobs.push_back(secureLadderJob(SecretScenario::kNotInCache, DeepeningMode::kMonolithic, 2));
+  jobs.push_back(secureLadderJob(SecretScenario::kInCache, DeepeningMode::kIncremental, 1));
+  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].id = static_cast<std::uint32_t>(i);
+
+  CampaignOptions options;
+  options.threads = 2;
+  const CampaignReport report = runCampaign(jobs, options);
+
+  ASSERT_EQ(report.jobs.size(), 3u);
+  EXPECT_EQ(report.threads, 2u);
+  // Results stay in submission order regardless of completion order.
+  EXPECT_EQ(report.jobs[0].id, 0u);
+  EXPECT_EQ(report.jobs[2].id, 2u);
+  EXPECT_EQ(report.jobs[0].verdict, Verdict::kProven);
+  EXPECT_EQ(report.jobs[1].verdict, Verdict::kProven);
+  EXPECT_EQ(report.jobs[2].verdict, Verdict::kPAlert);
+  EXPECT_EQ(report.numProven, 2u);
+  EXPECT_EQ(report.numPAlerts, 1u);
+  EXPECT_EQ(report.numLAlerts, 0u);
+  EXPECT_EQ(report.overallVerdict, Verdict::kPAlert);
+  EXPECT_GT(report.totalConflicts + report.totalPropagations, 0u);
+  EXPECT_GT(report.wallMs, 0.0);
+  EXPECT_GE(report.sumJobWallMs, report.wallMs * 0.5)
+      << "sum of job times cannot be wildly below the wall clock";
+}
+
+TEST(CampaignEngine, HuntJobFindsTheOrcLeak) {
+  // Paper Tab. II via the campaign path: a hunt job on the Orc variant
+  // must find the L-alert, with the methodology driver running on top of
+  // the incremental deepening sessions.
+  JobSpec spec;
+  spec.label = "orc/hunt";
+  spec.config = soc::SocConfig::formalSmall(soc::SocVariant::kOrc);
+  spec.secretWord = 12;
+  spec.options.scenario = SecretScenario::kInCache;
+  spec.kind = JobKind::kHunt;
+  spec.mode = DeepeningMode::kIncremental;
+  spec.kMax = 4;
+
+  const JobResult res = runJob(spec);
+  EXPECT_EQ(res.verdict, Verdict::kLAlert);
+  EXPECT_FALSE(res.lAlertRegisters.empty());
+  ASSERT_TRUE(res.methodology.has_value());
+  EXPECT_TRUE(res.methodology->firstLAlertWindow.has_value());
+}
+
+TEST(CampaignEngine, ArchitecturalOnlyLadderSkipsPAlerts) {
+  // The Def. 6 obligation: with every micro register excluded, the Orc
+  // ladder reports no P-alerts on the way to its L-alert. A conflict
+  // budget keeps hard UNSAT-shaped intermediate windows from stalling the
+  // job — a kUndef window is recorded and the walk continues.
+  JobSpec spec;
+  spec.label = "orc/arch_only";
+  spec.config = soc::SocConfig::formalSmall(soc::SocVariant::kOrc);
+  spec.secretWord = 12;
+  spec.options.scenario = SecretScenario::kInCache;
+  spec.options.conflictBudget = 400'000;
+  spec.kind = JobKind::kIntervalLadder;
+  spec.mode = DeepeningMode::kIncremental;
+  spec.architecturalOnly = true;
+  spec.kMin = 1;
+  spec.kMax = 4;
+
+  const JobResult res = runJob(spec);
+  EXPECT_EQ(res.verdict, Verdict::kLAlert);
+  EXPECT_TRUE(res.pAlertRegisters.empty());
+  EXPECT_FALSE(res.lAlertRegisters.empty());
+}
+
+TEST(CampaignEngine, ReportSerialisesToJson) {
+  std::vector<JobSpec> jobs;
+  jobs.push_back(secureLadderJob(SecretScenario::kNotInCache, DeepeningMode::kIncremental, 1));
+  jobs[0].label = "quote\"and\\slash";  // exercise escaping
+  CampaignOptions options;
+  options.threads = 1;
+  const CampaignReport report = runCampaign(jobs, options);
+
+  const std::string json = report.toJson();
+  EXPECT_NE(json.find("\"overall_verdict\":\"proven\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"threads\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"quote\\\"and\\\\slash\""), std::string::npos);
+  EXPECT_NE(json.find("\"windows\":[{\"k\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"num_proven\":1"), std::string::npos);
+  // Crude balance check — the writer emits no trailing garbage.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace upec::engine

@@ -1,0 +1,194 @@
+// Coverage for the solver features the campaign engine's scheduling and
+// timeout handling depend on: unsat-core extraction over assumptions, the
+// conflict-budget kUndef path (with its per-solve reset), and the per-solve
+// stat deltas that feed BmcStats in incremental sessions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace upec::sat {
+namespace {
+
+Lit pos(Var v) { return Lit(v, false); }
+Lit neg(Var v) { return Lit(v, true); }
+
+// Pigeonhole principle PHP(pigeons, holes): unsat when pigeons > holes and
+// exponentially hard for resolution — a reliable way to exhaust a small
+// conflict budget.
+void encodePigeonhole(Solver& s, int pigeons, int holes, std::vector<std::vector<Var>>& at) {
+  at.assign(pigeons, std::vector<Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) at[p][h] = s.newVar();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> some;
+    for (int h = 0; h < holes; ++h) some.push_back(pos(at[p][h]));
+    s.addClause(some);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.addClause({neg(at[p1][h]), neg(at[p2][h])});
+      }
+    }
+  }
+}
+
+// --- unsat cores over assumptions -----------------------------------------
+
+TEST(SatCore, CoreIsSufficientForUnsat) {
+  // (¬a ∨ ¬b) with assumptions {a, b, c, d}: the core must name a and b
+  // (in some phase) and must not name c or d.
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar(), c = s.newVar(), d = s.newVar();
+  ASSERT_TRUE(s.addClause({neg(a), neg(b)}));
+  const std::vector<Lit> assumptions = {pos(a), pos(b), pos(c), pos(d)};
+  ASSERT_EQ(s.solve(assumptions), LBool::kFalse);
+
+  const std::vector<Lit>& core = s.conflictingAssumptions();
+  ASSERT_FALSE(core.empty());
+  for (const Lit l : core) {
+    EXPECT_TRUE(l.var() == a || l.var() == b) << "core var " << l.var();
+  }
+
+  // Sufficiency: assert the core's assumptions as units in a fresh solver
+  // with the same clause — it must become unsat outright.
+  Solver fresh;
+  const Var fa = fresh.newVar(), fb = fresh.newVar();
+  fresh.newVar();
+  fresh.newVar();
+  ASSERT_TRUE(fresh.addClause({neg(fa), neg(fb)}));
+  bool ok = true;
+  for (const Lit l : core) ok = ok && fresh.addUnit(~l);  // core lits are negated assumptions
+  EXPECT_TRUE(!ok || fresh.solve() == LBool::kFalse);
+}
+
+TEST(SatCore, ChainedCoreTracksDependencies) {
+  // a → b → c, plus (¬c): assuming {a, x} must yield a core that involves
+  // a, not the irrelevant x.
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar(), c = s.newVar(), x = s.newVar();
+  ASSERT_TRUE(s.addClause({neg(a), pos(b)}));
+  ASSERT_TRUE(s.addClause({neg(b), pos(c)}));
+  ASSERT_TRUE(s.addClause({neg(c)}));
+  const std::vector<Lit> assumptions = {pos(x), pos(a)};
+  ASSERT_EQ(s.solve(assumptions), LBool::kFalse);
+  bool sawA = false;
+  for (const Lit l : s.conflictingAssumptions()) {
+    EXPECT_NE(l.var(), x);
+    sawA |= l.var() == a;
+  }
+  EXPECT_TRUE(sawA);
+  // The solver must remain usable: without the poisonous assumption the
+  // formula is satisfiable.
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_FALSE(s.modelValue(a));
+}
+
+TEST(SatCore, AssumptionConflictingAtLevelZero) {
+  // A unit clause ¬a makes the assumption a false before any decision; the
+  // core path must still report it rather than crash or report unsat
+  // without assumptions.
+  Solver s;
+  const Var a = s.newVar();
+  ASSERT_TRUE(s.addUnit(neg(a)));
+  const std::vector<Lit> assumptions = {pos(a)};
+  ASSERT_EQ(s.solve(assumptions), LBool::kFalse);
+  EXPECT_EQ(s.solve(), LBool::kTrue) << "solver must survive the failed assumption";
+}
+
+// --- conflict budget (the campaign's timeout mechanism) --------------------
+
+TEST(SatBudget, TinyBudgetYieldsUndef) {
+  Solver s;
+  std::vector<std::vector<Var>> at;
+  encodePigeonhole(s, 7, 6, at);
+  s.setConflictBudget(5);
+  EXPECT_EQ(s.solve(), LBool::kUndef);
+  EXPECT_GE(s.lastSolveStats().conflicts, 5u);
+}
+
+TEST(SatBudget, BudgetResetsPerSolveCall) {
+  // An incremental session gives every solve() a fresh allowance: the
+  // second call must again spend (at least) the budget, not abort at zero.
+  Solver s;
+  std::vector<std::vector<Var>> at;
+  encodePigeonhole(s, 7, 6, at);
+  s.setConflictBudget(20);
+  ASSERT_EQ(s.solve(), LBool::kUndef);
+  const std::uint64_t first = s.lastSolveStats().conflicts;
+  ASSERT_EQ(s.solve(), LBool::kUndef);
+  const std::uint64_t second = s.lastSolveStats().conflicts;
+  EXPECT_GE(first, 20u);
+  EXPECT_GE(second, 20u) << "budget must not be consumed across calls";
+  EXPECT_EQ(s.stats().conflicts, first + second);
+}
+
+TEST(SatBudget, UndefThenUnlimitedFinishes) {
+  // The kUndef abort must leave the solver consistent: lifting the budget
+  // and re-solving the same instance gives the real verdict.
+  Solver s;
+  std::vector<std::vector<Var>> at;
+  encodePigeonhole(s, 6, 5, at);
+  s.setConflictBudget(3);
+  ASSERT_EQ(s.solve(), LBool::kUndef);
+  s.setConflictBudget(0);
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(SatBudget, SatInstanceUnaffectedByGenerousBudget) {
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a), pos(b)}));
+  s.setConflictBudget(1'000'000);
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+// --- per-solve stat deltas -------------------------------------------------
+
+TEST(SatStats, LastSolveStatsAreDeltas) {
+  Solver s;
+  std::vector<std::vector<Var>> at;
+  encodePigeonhole(s, 5, 4, at);
+  ASSERT_EQ(s.solve(), LBool::kFalse);
+  const SolverStats first = s.lastSolveStats();
+  EXPECT_EQ(first.solves, 1u);
+  EXPECT_GT(first.propagations, 0u);
+  EXPECT_EQ(first.conflicts, s.stats().conflicts);
+
+  // A second (now trivially unsat) call must report only its own effort.
+  ASSERT_EQ(s.solve(), LBool::kFalse);
+  const SolverStats second = s.lastSolveStats();
+  EXPECT_EQ(second.solves, 1u);
+  EXPECT_EQ(second.conflicts, 0u);
+  EXPECT_EQ(s.stats().solves, 2u);
+  EXPECT_LT(second.propagations, first.propagations)
+      << "the ok_=false fast path must not re-pay the first call's work";
+}
+
+TEST(SatStats, DeltasSumToCumulativeAcrossAssumptionCalls) {
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar(), c = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a), pos(b), pos(c)}));
+  ASSERT_TRUE(s.addClause({neg(a), pos(b)}));
+
+  SolverStats sum;
+  for (const Lit assumption : {pos(a), neg(b), pos(c)}) {
+    const std::vector<Lit> as = {assumption};
+    ASSERT_NE(s.solve(as), LBool::kUndef);
+    const SolverStats d = s.lastSolveStats();
+    sum.decisions += d.decisions;
+    sum.propagations += d.propagations;
+    sum.conflicts += d.conflicts;
+    sum.solves += d.solves;
+  }
+  EXPECT_EQ(sum.decisions, s.stats().decisions);
+  EXPECT_EQ(sum.propagations, s.stats().propagations);
+  EXPECT_EQ(sum.conflicts, s.stats().conflicts);
+  EXPECT_EQ(sum.solves, s.stats().solves);
+}
+
+}  // namespace
+}  // namespace upec::sat
