@@ -1,12 +1,66 @@
 // Shared helpers for the paper-reproduction bench binaries: fixed-width
-// table rendering in the style of the paper's tables, and time formatting.
+// table rendering in the style of the paper's tables, time formatting, and
+// a dependency-free micro-benchmark harness (so perf benches build
+// everywhere instead of being gated on an external benchmark library).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "base/stopwatch.hpp"
+
 namespace upec::bench {
+
+// Keeps a value alive in the eyes of the optimiser (the usual empty-asm
+// trick; the memory clobber forces preceding stores to happen).
+template <typename T>
+inline void doNotOptimize(T const& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  volatile T sink = value;
+  (void)sink;
+#endif
+}
+
+struct MicroBenchResult {
+  double nsPerOp = 0.0;
+  std::uint64_t iterations = 0;
+
+  std::string pretty() const {
+    char buf[48];
+    if (nsPerOp >= 1e6) {
+      std::snprintf(buf, sizeof buf, "%.2f ms", nsPerOp / 1e6);
+    } else if (nsPerOp >= 1e3) {
+      std::snprintf(buf, sizeof buf, "%.2f us", nsPerOp / 1e3);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.0f ns", nsPerOp);
+    }
+    return buf;
+  }
+};
+
+// Runs fn repeatedly until minTimeSec of wall clock has accumulated (after
+// one untimed warm-up call) and reports the mean time per call. Batches
+// grow geometrically so cheap operations are not dominated by timer reads.
+template <typename F>
+MicroBenchResult microBench(F&& fn, double minTimeSec = 0.2) {
+  fn();  // warm-up: page in code and data
+  MicroBenchResult result;
+  double elapsed = 0.0;
+  std::uint64_t batch = 1;
+  while (elapsed < minTimeSec) {
+    Stopwatch timer;
+    for (std::uint64_t i = 0; i < batch; ++i) fn();
+    elapsed += timer.elapsedSeconds();
+    result.iterations += batch;
+    if (batch < (1ull << 20)) batch *= 2;
+  }
+  result.nsPerOp = elapsed * 1e9 / static_cast<double>(result.iterations);
+  return result;
+}
 
 inline std::string fmtSeconds(double s) {
   char buf[32];

@@ -8,6 +8,9 @@
 //     solver session vs four from-scratch encodings: same verdicts, and
 //     the session's total encode-side CNF variables stay below the sum of
 //     the four monolithic runs.
+//  3. Portfolio solving — the same k=1..4 ladder decided by the single
+//     CDCL backend vs a diversified portfolio race (first answer wins):
+//     identical verdicts, with per-config win attribution.
 #include <algorithm>
 #include <cstdio>
 #include <thread>
@@ -107,6 +110,39 @@ int main() {
               100.0 * (1.0 - static_cast<double>(inc.peakVars) /
                                  static_cast<double>(mono.sumVars)));
 
+  // ---- 3: portfolio vs single backend on the k=1..4 ladder ---------------
+  // The single-backend baseline is section [2]'s incremental run (same
+  // JobSpec, portfolio=0) — no need to pay the ladder twice.
+  std::printf("[3] window ladder k=1..4, single backend vs diversified portfolio\n");
+  const JobResult& single = inc;
+  const double singleSec = incSec;
+
+  ladder.mode = DeepeningMode::kIncremental;
+  ladder.portfolio = 3;
+  Stopwatch raceTimer;
+  const JobResult raced = runJob(ladder);
+  const double raceSec = raceTimer.elapsedSeconds();
+
+  upec::bench::Table t3({"backend", "wall clock", "summed conflicts", "verdict", "wins"});
+  auto winsCell = [](const JobResult& r) {
+    std::string cell;
+    for (const auto& [name, wins] : r.solverWins) {
+      if (!cell.empty()) cell += ", ";
+      cell += name + ":" + std::to_string(wins);
+    }
+    return cell.empty() ? std::string("-") : cell;
+  };
+  t3.addRow({"single", upec::bench::fmtSeconds(singleSec),
+             std::to_string(single.totalConflicts), verdictName(single.verdict),
+             winsCell(single)});
+  t3.addRow({"portfolio(3)", upec::bench::fmtSeconds(raceSec),
+             std::to_string(raced.totalConflicts), verdictName(raced.verdict),
+             winsCell(raced)});
+  t3.print();
+  std::printf("portfolio wall clock: %.2fx of single (race overhead pays off on hard,\n"
+              "heuristic-sensitive windows; summed conflicts show the extra work bought)\n\n",
+              raceSec / singleSec);
+
   // ---- acceptance --------------------------------------------------------
   auto check = [](bool ok, const char* what) {
     std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
@@ -125,6 +161,12 @@ int main() {
                "incremental ladder reproduces the monolithic verdicts");
   all &= check(inc.peakVars < mono.sumVars,
                "incremental ladder encodes fewer total CNF variables than 4 from-scratch runs");
+  all &= check(std::equal(single.windows.begin(), single.windows.end(), raced.windows.begin(),
+                          raced.windows.end(),
+                          [](const WindowResult& a, const WindowResult& b) {
+                            return a.window == b.window && a.verdict == b.verdict;
+                          }),
+               "portfolio ladder reproduces the single-backend verdicts");
   if (hw >= 4) {
     all &= check(speedup >= 2.0, "4-thread wall clock at least 2x better than 1-thread");
   } else {

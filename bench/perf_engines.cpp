@@ -1,13 +1,19 @@
-// google-benchmark microbenchmarks for the verification substrate: SAT
-// solver throughput, bit-blasting, simulator speed and miter construction.
-// These quantify the engines behind the paper-reproduction tables.
-#include <benchmark/benchmark.h>
+// Microbenchmarks for the verification substrate: SAT solver throughput,
+// bit-blasting, simulator speed and miter construction. These quantify the
+// engines behind the paper-reproduction tables. Runs on the in-tree
+// micro-bench harness (bench_util.hpp) so it builds everywhere — no
+// external benchmark library required.
+#include <cstdio>
+#include <span>
+#include <vector>
 
 #include "base/rng.hpp"
-#include "riscv/assembler.hpp"
+#include "bench_util.hpp"
 #include "formal/bmc.hpp"
 #include "formal/cnf_builder.hpp"
 #include "formal/unroller.hpp"
+#include "riscv/assembler.hpp"
+#include "sat/solver.hpp"
 #include "sim/simulator.hpp"
 #include "soc/testbench.hpp"
 #include "upec/upec.hpp"
@@ -16,97 +22,95 @@ namespace {
 
 using namespace upec;
 
-void BM_SatRandom3Sat(benchmark::State& state) {
-  const int numVars = static_cast<int>(state.range(0));
+void satRandom3Sat(int numVars) {
   const int numClauses = numVars * 4;  // near the satisfiable side
-  for (auto _ : state) {
-    Rng rng(42);
-    sat::Solver solver;
-    for (int i = 0; i < numVars; ++i) solver.newVar();
-    for (int c = 0; c < numClauses; ++c) {
-      std::vector<sat::Lit> clause;
-      for (int i = 0; i < 3; ++i) {
-        clause.push_back(sat::Lit(static_cast<sat::Var>(rng.below(numVars)), rng.flip()));
-      }
-      solver.addClause(std::span<const sat::Lit>(clause));
+  Rng rng(42);
+  sat::Solver solver;
+  for (int i = 0; i < numVars; ++i) solver.newVar();
+  for (int c = 0; c < numClauses; ++c) {
+    std::vector<sat::Lit> clause;
+    for (int i = 0; i < 3; ++i) {
+      clause.push_back(sat::Lit(static_cast<sat::Var>(rng.below(numVars)), rng.flip()));
     }
-    benchmark::DoNotOptimize(solver.solve());
+    solver.addClause(std::span<const sat::Lit>(clause));
   }
+  bench::doNotOptimize(solver.solve());
 }
-BENCHMARK(BM_SatRandom3Sat)->Arg(100)->Arg(300);
 
-void BM_SatPigeonholeUnsat(benchmark::State& state) {
-  const int holes = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sat::Solver s;
-    std::vector<std::vector<sat::Var>> p(holes + 1, std::vector<sat::Var>(holes));
-    for (auto& row : p)
-      for (auto& v : row) v = s.newVar();
-    for (int i = 0; i <= holes; ++i) {
-      std::vector<sat::Lit> c;
-      for (int j = 0; j < holes; ++j) c.push_back(sat::Lit(p[i][j], false));
-      s.addClause(std::span<const sat::Lit>(c));
-    }
-    for (int j = 0; j < holes; ++j)
-      for (int i1 = 0; i1 <= holes; ++i1)
-        for (int i2 = i1 + 1; i2 <= holes; ++i2)
-          s.addClause({sat::Lit(p[i1][j], true), sat::Lit(p[i2][j], true)});
-    benchmark::DoNotOptimize(s.solve());
+void satPigeonholeUnsat(int holes) {
+  sat::Solver s;
+  std::vector<std::vector<sat::Var>> p(holes + 1, std::vector<sat::Var>(holes));
+  for (auto& row : p)
+    for (auto& v : row) v = s.newVar();
+  for (int i = 0; i <= holes; ++i) {
+    std::vector<sat::Lit> c;
+    for (int j = 0; j < holes; ++j) c.push_back(sat::Lit(p[i][j], false));
+    s.addClause(std::span<const sat::Lit>(c));
   }
+  for (int j = 0; j < holes; ++j)
+    for (int i1 = 0; i1 <= holes; ++i1)
+      for (int i2 = i1 + 1; i2 <= holes; ++i2)
+        s.addClause({sat::Lit(p[i1][j], true), sat::Lit(p[i2][j], true)});
+  bench::doNotOptimize(s.solve());
 }
-BENCHMARK(BM_SatPigeonholeUnsat)->Arg(5)->Arg(6);
 
-void BM_SocSimulation(benchmark::State& state) {
-  soc::SocConfig cfg = soc::SocConfig::simLarge(soc::SocVariant::kSecure);
-  soc::SocTestbench tb(cfg);
-  riscv::Assembler a;
-  const riscv::Label loop = a.newLabel();
-  a.bind(loop);
-  a.addi(1, 1, 1);
-  a.li(2, 0x100);
-  a.sw(1, 2, 0);
-  a.lw(3, 2, 0);
-  a.j(loop);
-  tb.loadProgram(a.finish());
-  for (auto _ : state) {
-    tb.run(100);
-  }
-  state.SetItemsProcessed(state.iterations() * 100);  // cycles
+void miterUnrollEncode(Miter& miter, unsigned k) {
+  sat::Solver solver;
+  formal::CnfBuilder cnf(solver);
+  formal::Unroller unroller(miter.design(), cnf);
+  unroller.unrollTo(k);
+  bench::doNotOptimize(solver.numClauses());
 }
-BENCHMARK(BM_SocSimulation);
-
-void BM_MiterConstruction(benchmark::State& state) {
-  for (auto _ : state) {
-    Miter miter(soc::SocConfig::formalSmall(soc::SocVariant::kSecure), 12);
-    benchmark::DoNotOptimize(miter.logicPairs().size());
-  }
-}
-BENCHMARK(BM_MiterConstruction);
-
-void BM_MiterUnrollEncode(benchmark::State& state) {
-  const unsigned k = static_cast<unsigned>(state.range(0));
-  Miter miter(soc::SocConfig::formalSmall(soc::SocVariant::kSecure), 12);
-  for (auto _ : state) {
-    sat::Solver solver;
-    formal::CnfBuilder cnf(solver);
-    formal::Unroller unroller(miter.design(), cnf);
-    unroller.unrollTo(k);
-    benchmark::DoNotOptimize(solver.numClauses());
-  }
-}
-BENCHMARK(BM_MiterUnrollEncode)->Arg(2)->Arg(4);
-
-void BM_UpecCheckOrcK1(benchmark::State& state) {
-  Miter miter(soc::SocConfig::formalSmall(soc::SocVariant::kOrc), 12);
-  UpecOptions options;
-  options.scenario = SecretScenario::kInCache;
-  UpecEngine engine(miter, options);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.check(1).verdict);
-  }
-}
-BENCHMARK(BM_UpecCheckOrcK1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  std::printf("Engine microbenchmarks (in-tree harness; mean wall time per op)\n\n");
+  bench::Table table({"benchmark", "time/op", "iterations"});
+  auto row = [&table](const char* name, const bench::MicroBenchResult& r) {
+    table.addRow({name, r.pretty(), std::to_string(r.iterations)});
+  };
+
+  row("sat_random_3sat/100", bench::microBench([] { satRandom3Sat(100); }));
+  row("sat_random_3sat/300", bench::microBench([] { satRandom3Sat(300); }));
+  row("sat_pigeonhole_unsat/5", bench::microBench([] { satPigeonholeUnsat(5); }));
+  row("sat_pigeonhole_unsat/6", bench::microBench([] { satPigeonholeUnsat(6); }));
+
+  {
+    soc::SocConfig cfg = soc::SocConfig::simLarge(soc::SocVariant::kSecure);
+    soc::SocTestbench tb(cfg);
+    riscv::Assembler a;
+    const riscv::Label loop = a.newLabel();
+    a.bind(loop);
+    a.addi(1, 1, 1);
+    a.li(2, 0x100);
+    a.sw(1, 2, 0);
+    a.lw(3, 2, 0);
+    a.j(loop);
+    tb.loadProgram(a.finish());
+    row("soc_simulation/100_cycles", bench::microBench([&tb] { tb.run(100); }));
+  }
+
+  row("miter_construction", bench::microBench([] {
+        Miter miter(soc::SocConfig::formalSmall(soc::SocVariant::kSecure), 12);
+        bench::doNotOptimize(miter.logicPairs().size());
+      }));
+
+  {
+    Miter miter(soc::SocConfig::formalSmall(soc::SocVariant::kSecure), 12);
+    row("miter_unroll_encode/k2", bench::microBench([&miter] { miterUnrollEncode(miter, 2); }));
+    row("miter_unroll_encode/k4", bench::microBench([&miter] { miterUnrollEncode(miter, 4); }));
+  }
+
+  {
+    Miter miter(soc::SocConfig::formalSmall(soc::SocVariant::kOrc), 12);
+    UpecOptions options;
+    options.scenario = SecretScenario::kInCache;
+    UpecEngine engine(miter, options);
+    row("upec_check_orc_k1",
+        bench::microBench([&engine] { bench::doNotOptimize(engine.check(1).verdict); }));
+  }
+
+  table.print();
+  return 0;
+}

@@ -23,6 +23,7 @@ std::vector<JobSpec> enumerateJobs(const SweepMatrix& matrix) {
       spec.mode = matrix.mode;
       spec.kMin = matrix.kMin;
       spec.kMax = matrix.kMax;
+      spec.portfolio = matrix.portfolio;
       jobs.push_back(std::move(spec));
     }
   }

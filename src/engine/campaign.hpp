@@ -41,6 +41,9 @@ struct SweepMatrix {
   DeepeningMode mode = DeepeningMode::kIncremental;
   unsigned kMin = 1;
   unsigned kMax = 4;
+  // Diversified solver configurations raced per check (0/1 = single
+  // backend); applied to every job of the matrix. See JobSpec::portfolio.
+  unsigned portfolio = 0;
 };
 
 // Expands the matrix into |scenarios| × |variants| labelled jobs.

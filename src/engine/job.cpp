@@ -54,6 +54,17 @@ void insertUnique(std::vector<std::string>& into, const std::vector<std::string>
   }
 }
 
+void recordWin(JobResult& res, const std::string& solvedBy) {
+  if (solvedBy.empty()) return;
+  for (auto& [name, wins] : res.solverWins) {
+    if (name == solvedBy) {
+      ++wins;
+      return;
+    }
+  }
+  res.solverWins.emplace_back(solvedBy, 1u);
+}
+
 void runLadder(const JobSpec& spec, const UpecOptions& options, Miter& miter,
                JobResult& res) {
   UpecEngine engine(miter, options);
@@ -68,6 +79,8 @@ void runLadder(const JobSpec& spec, const UpecOptions& options, Miter& miter,
     Stopwatch windowTimer;
     const UpecResult r = engine.check(k, excluded);
     res.windows.push_back({k, r.verdict, r.stats, windowTimer.elapsedMs()});
+    // Budget-exhausted checks were not answered by anyone — no win to record.
+    if (r.verdict != Verdict::kUnknown) recordWin(res, r.stats.solvedBy);
     res.verdict = mergeVerdicts(res.verdict, r.verdict);
     accumulate(res, r.stats);
     insertUnique(res.pAlertRegisters, r.differingMicro);
@@ -107,6 +120,7 @@ JobResult runJob(const JobSpec& spec) {
   Miter miter(spec.config, spec.secretWord);
   UpecOptions options = spec.options;
   options.incrementalDeepening = spec.mode == DeepeningMode::kIncremental;
+  if (spec.portfolio != 0) options.portfolio = spec.portfolio;
 
   if (spec.kind == JobKind::kIntervalLadder) {
     runLadder(spec, options, miter, res);

@@ -51,6 +51,11 @@ struct JobSpec {
   unsigned kMin = 1;
   unsigned kMax = 4;
 
+  // Portfolio solving: race this many diversified solver configurations per
+  // check, first answer wins (see sat::PortfolioSolver). 0/1 = the single
+  // default backend. Overrides options.portfolio when non-zero.
+  unsigned portfolio = 0;
+
   // Ladder jobs only: register names dropped from the proof obligation
   // (e.g. UpecEngine::allMicroNames() for an L-alert hunt).
   std::set<std::string> excludedFromCommitment;
@@ -86,6 +91,11 @@ struct JobResult {
   std::uint64_t peakClauses = 0;
   std::uint64_t totalConflicts = 0;
   std::uint64_t totalPropagations = 0;
+  // Portfolio attribution (ladder jobs): how many checks each solver
+  // configuration answered first, keyed by the config's description. A
+  // single-backend job reports all its checks under the default config.
+  std::vector<std::pair<std::string, unsigned>> solverWins;
+
   // Sum of the per-check variable counts. For a monolithic ladder this is
   // the total number of CNF variables ever created (each check pays for its
   // whole window again); for an incremental ladder the total ever created

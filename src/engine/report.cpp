@@ -77,7 +77,12 @@ void jsonWindow(std::ostream& os, const WindowResult& w) {
      << ",\"decisions\":" << w.stats.decisions
      << ",\"encode_ms\":" << fmtMs(w.stats.encodeMs)
      << ",\"solve_ms\":" << fmtMs(w.stats.solveMs)
-     << ",\"wall_ms\":" << fmtMs(w.wallMs) << '}';
+     << ",\"wall_ms\":" << fmtMs(w.wallMs);
+  if (!w.stats.solvedBy.empty()) {
+    os << ",\"solved_by\":";
+    jsonString(os, w.stats.solvedBy);
+  }
+  os << '}';
 }
 
 void jsonMethodology(std::ostream& os, const MethodologyReport& m) {
@@ -103,6 +108,15 @@ void jsonJob(std::ostream& os, const JobResult& job) {
   jsonStringArray(os, job.lAlertRegisters);
   os << ",\"p_alert_registers\":";
   jsonStringArray(os, job.pAlertRegisters);
+  if (!job.solverWins.empty()) {
+    os << ",\"solver_wins\":{";
+    for (std::size_t i = 0; i < job.solverWins.size(); ++i) {
+      if (i) os << ',';
+      jsonString(os, job.solverWins[i].first);
+      os << ':' << job.solverWins[i].second;
+    }
+    os << '}';
+  }
   if (!job.windows.empty()) {
     os << ",\"windows\":[";
     for (std::size_t i = 0; i < job.windows.size(); ++i) {

@@ -8,7 +8,7 @@
 #include "base/stopwatch.hpp"
 #include "formal/cnf_builder.hpp"
 #include "formal/unroller.hpp"
-#include "sat/solver.hpp"
+#include "sat/solver_backend.hpp"
 #include "sim/simulator.hpp"
 
 namespace upec::formal {
@@ -20,7 +20,8 @@ namespace {
 
 // Reads the witness out of a satisfied solver: frame-0 register state,
 // per-cycle inputs, and which commitments the model violates.
-Trace extractTrace(const rtl::Design& design, const sat::Solver& solver, Unroller& unroller,
+Trace extractTrace(const rtl::Design& design, const sat::SolverBackend& solver,
+                   Unroller& unroller,
                    const IntervalProperty& property, unsigned k, const LitVec& violations) {
   Trace trace;
   trace.cycles = k + 1;
@@ -51,11 +52,12 @@ Trace extractTrace(const rtl::Design& design, const sat::Solver& solver, Unrolle
   return trace;
 }
 
-void fillSolveStats(BmcStats& stats, const sat::Solver& solver) {
+void fillSolveStats(BmcStats& stats, const sat::SolverBackend& solver) {
   const sat::SolverStats delta = solver.lastSolveStats();
   stats.conflicts = delta.conflicts;
   stats.propagations = delta.propagations;
   stats.decisions = delta.decisions;
+  stats.solvedBy = solver.lastSolveAttribution();
 }
 
 }  // namespace
@@ -65,7 +67,7 @@ void fillSolveStats(BmcStats& stats, const sat::Solver& solver) {
 // asserted as hard units so repeated statements of the same property prefix
 // are not re-encoded.
 struct BmcEngine::Session {
-  sat::Solver solver;
+  std::unique_ptr<sat::SolverBackend> solver;
   CnfBuilder cnf;
   Unroller unroller;
   // Cycle-anchored assumptions already asserted, keyed by (node, cycle).
@@ -73,7 +75,8 @@ struct BmcEngine::Session {
   // Invariant assumptions: per signal, asserted over cycles 0..upTo.
   std::map<rtl::NodeId, unsigned> invariantUpTo;
 
-  explicit Session(const rtl::Design& design) : cnf(solver), unroller(design, cnf) {}
+  Session(const rtl::Design& design, const std::vector<sat::SolverConfig>& configs)
+      : solver(sat::makeSolverBackend(configs)), cnf(*solver), unroller(design, cnf) {}
 };
 
 BmcEngine::BmcEngine(const rtl::Design& design) : design_(design) {}
@@ -89,7 +92,8 @@ CheckResult BmcEngine::check(const IntervalProperty& property) {
   CheckResult result;
   Stopwatch encodeTimer;
 
-  sat::Solver solver;
+  const std::unique_ptr<sat::SolverBackend> solverPtr = sat::makeSolverBackend(solverConfigs_);
+  sat::SolverBackend& solver = *solverPtr;
   if (conflictBudget_ != 0) solver.setConflictBudget(conflictBudget_);
   CnfBuilder cnf(solver);
   Unroller unroller(design_, cnf);
@@ -151,13 +155,13 @@ CheckResult BmcEngine::checkIncremental(const IntervalProperty& property) {
   Stopwatch encodeTimer;
 
   if (!session_) {
-    session_ = std::make_unique<Session>(design_);
+    session_ = std::make_unique<Session>(design_, solverConfigs_);
     for (const auto& [master, follower] : aliases_) {
       session_->unroller.aliasInitialState(master, follower);
     }
   }
   Session& s = *session_;
-  sat::Solver& solver = s.solver;
+  sat::SolverBackend& solver = *s.solver;
   solver.setConflictBudget(conflictBudget_);
 
   const unsigned k = property.maxCycle();

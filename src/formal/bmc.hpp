@@ -17,6 +17,7 @@
 #include "base/bitvec.hpp"
 #include "formal/property.hpp"
 #include "rtl/ir.hpp"
+#include "sat/solver_backend.hpp"
 
 namespace upec::formal {
 
@@ -43,6 +44,9 @@ struct BmcStats {
   std::uint64_t decisions = 0;
   double solveMs = 0.0;
   double encodeMs = 0.0;
+  // Which solver configuration answered (portfolio attribution; a single
+  // backend names its own configuration).
+  std::string solvedBy;
 };
 
 enum class CheckStatus { kProven, kCounterexample, kUnknown };
@@ -65,6 +69,16 @@ class BmcEngine {
   // Aborts with kUnknown after this many SAT conflicts (0 = unlimited).
   // Applies per check: an incremental session gets a fresh budget each call.
   void setConflictBudget(std::uint64_t budget) { conflictBudget_ = budget; }
+
+  // Selects the decision procedure: an empty list (default) or a single
+  // config runs one CDCL solver; two or more configs race a diversified
+  // portfolio (sat::PortfolioSolver), first answer wins. Must be set before
+  // the first checkIncremental() of a session (the session owns its
+  // backend); check() picks the backend up per call.
+  void setSolverConfigs(std::vector<sat::SolverConfig> configs) {
+    solverConfigs_ = std::move(configs);
+  }
+  const std::vector<sat::SolverConfig>& solverConfigs() const { return solverConfigs_; }
 
   // Registers whose frame-0 variables are shared (structural equality of
   // the symbolic initial state); see Unroller::aliasInitialState. For
@@ -108,6 +122,7 @@ class BmcEngine {
 
   const rtl::Design& design_;
   std::uint64_t conflictBudget_ = 0;
+  std::vector<sat::SolverConfig> solverConfigs_;
   std::vector<std::pair<rtl::NodeId, rtl::NodeId>> aliases_;
   std::unique_ptr<Session> session_;
 };

@@ -8,7 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "sat/solver.hpp"
+#include "sat/solver_backend.hpp"
 
 namespace upec::formal {
 
@@ -22,9 +22,9 @@ using LitVec = std::vector<sat::Lit>;
 // difference cone fold to constant true.
 class CnfBuilder {
  public:
-  explicit CnfBuilder(sat::Solver& solver) : solver_(solver) {}
+  explicit CnfBuilder(sat::SolverBackend& solver) : solver_(solver) {}
 
-  sat::Solver& solver() { return solver_; }
+  sat::SolverBackend& solver() { return solver_; }
 
   sat::Lit freshLit();
   LitVec freshVec(unsigned width);
@@ -94,7 +94,7 @@ class CnfBuilder {
   bool lookupGate(const GateKey& key, sat::Lit* out) const;
   void storeGate(const GateKey& key, sat::Lit out);
 
-  sat::Solver& solver_;
+  sat::SolverBackend& solver_;
   sat::Lit trueLit_;
   bool hasConst_ = false;
   std::unordered_map<GateKey, sat::Lit, GateKeyHash> gateCache_;

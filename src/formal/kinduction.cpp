@@ -14,6 +14,7 @@ KInductionResult KInduction::prove(rtl::Sig invariant, rtl::Sig init, unsigned m
       for (unsigned t = 0; t < k; ++t) base.proveAt(t, invariant, "invariant");
       BmcEngine engine(design_);
       if (conflictBudget_ != 0) engine.setConflictBudget(conflictBudget_);
+      engine.setSolverConfigs(solverConfigs_);
       const CheckResult res = engine.check(base);
       result.lastStats = res.stats;
       if (res.status == CheckStatus::kCounterexample) {
@@ -35,6 +36,7 @@ KInductionResult KInduction::prove(rtl::Sig invariant, rtl::Sig init, unsigned m
       step.proveAt(k, invariant, "invariant");
       BmcEngine engine(design_);
       if (conflictBudget_ != 0) engine.setConflictBudget(conflictBudget_);
+      engine.setSolverConfigs(solverConfigs_);
       const CheckResult res = engine.check(step);
       result.lastStats = res.stats;
       if (res.status == CheckStatus::kProven) {

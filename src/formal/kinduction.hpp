@@ -32,6 +32,12 @@ class KInduction {
 
   void setConflictBudget(std::uint64_t budget) { conflictBudget_ = budget; }
 
+  // Decision procedure selection (see BmcEngine::setSolverConfigs): 2+
+  // configs race a diversified portfolio per base/step query.
+  void setSolverConfigs(std::vector<sat::SolverConfig> configs) {
+    solverConfigs_ = std::move(configs);
+  }
+
   // `invariant`: 1-bit signal that must hold in every cycle.
   // `init`: 1-bit signal characterising the initial-state region (may be
   // an always-true constant for any-state proofs).
@@ -40,6 +46,7 @@ class KInduction {
  private:
   const rtl::Design& design_;
   std::uint64_t conflictBudget_ = 0;
+  std::vector<sat::SolverConfig> solverConfigs_;
 };
 
 }  // namespace upec::formal

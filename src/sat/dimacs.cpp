@@ -31,7 +31,7 @@ std::string DimacsRecorder::toString() const {
   return os.str();
 }
 
-DimacsParseResult parseDimacs(std::istream& is, Solver& solver) {
+DimacsParseResult parseDimacs(std::istream& is, SolverBackend& solver) {
   DimacsParseResult result;
   const int baseVars = solver.numVars();
   int declaredVars = -1;
@@ -82,7 +82,7 @@ DimacsParseResult parseDimacs(std::istream& is, Solver& solver) {
   return result;
 }
 
-DimacsParseResult parseDimacsString(const std::string& text, Solver& solver) {
+DimacsParseResult parseDimacsString(const std::string& text, SolverBackend& solver) {
   std::istringstream is(text);
   return parseDimacs(is, solver);
 }

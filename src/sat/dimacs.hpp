@@ -9,14 +9,14 @@
 #include <string>
 #include <vector>
 
-#include "sat/solver.hpp"
+#include "sat/solver_backend.hpp"
 
 namespace upec::sat {
 
 // Records clauses while forwarding them to a Solver, for later export.
 class DimacsRecorder {
  public:
-  explicit DimacsRecorder(Solver& solver) : solver_(&solver) {}
+  explicit DimacsRecorder(SolverBackend& solver) : solver_(&solver) {}
 
   Var newVar();
   bool addClause(std::span<const Lit> lits);
@@ -31,7 +31,7 @@ class DimacsRecorder {
   std::size_t numClauses() const { return clauses_.size(); }
 
  private:
-  Solver* solver_;
+  SolverBackend* solver_;
   int numVars_ = 0;
   std::vector<std::vector<Lit>> clauses_;
 };
@@ -46,7 +46,7 @@ struct DimacsParseResult {
 // Parses DIMACS text, creating variables and clauses in `solver`.
 // Variable i of the file maps to solver variable i-1 (+ baseVar offset for
 // variables that already exist).
-DimacsParseResult parseDimacs(std::istream& is, Solver& solver);
-DimacsParseResult parseDimacsString(const std::string& text, Solver& solver);
+DimacsParseResult parseDimacs(std::istream& is, SolverBackend& solver);
+DimacsParseResult parseDimacsString(const std::string& text, SolverBackend& solver);
 
 }  // namespace upec::sat

@@ -1,0 +1,145 @@
+#include "sat/portfolio.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+#include "sat/solver.hpp"
+
+namespace upec::sat {
+
+PortfolioSolver::PortfolioSolver(std::span<const SolverConfig> configs) {
+  assert(!configs.empty());
+  members_.reserve(configs.size());
+  for (const SolverConfig& c : configs) members_.push_back(std::make_unique<Solver>(c));
+  lastVerdicts_.assign(members_.size(), LBool::kUndef);
+}
+
+PortfolioSolver::PortfolioSolver(std::vector<std::unique_ptr<SolverBackend>> members)
+    : members_(std::move(members)) {
+  assert(!members_.empty());
+  lastVerdicts_.assign(members_.size(), LBool::kUndef);
+}
+
+PortfolioSolver::~PortfolioSolver() = default;
+
+Var PortfolioSolver::newVar() {
+  const Var v = members_.front()->newVar();
+  for (std::size_t i = 1; i < members_.size(); ++i) {
+    [[maybe_unused]] const Var w = members_[i]->newVar();
+    assert(w == v && "portfolio members must agree on variable numbering");
+  }
+  return v;
+}
+
+bool PortfolioSolver::addClause(std::span<const Lit> lits) {
+  // A member may simplify the clause against top-level units it learnt in
+  // an earlier race, so return values can differ; the formula is known
+  // unsatisfiable as soon as ANY member proves it.
+  bool ok = true;
+  for (auto& m : members_) ok = m->addClause(lits) && ok;
+  return ok;
+}
+
+bool PortfolioSolver::okay() const {
+  for (const auto& m : members_) {
+    if (!m->okay()) return false;
+  }
+  return true;
+}
+
+LBool PortfolioSolver::solveLimited(std::span<const Lit> assumptions) {
+  lastWinner_ = -1;
+  lastVerdicts_.assign(members_.size(), LBool::kUndef);
+  if (externalStop_.load(std::memory_order_relaxed)) {
+    return LBool::kUndef;  // sticky, like Solver
+  }
+
+  // Erase loser-stops from the previous race before anyone starts. Done
+  // single-threaded here so a slow-starting member cannot miss a stop
+  // request issued by this race's winner.
+  for (auto& m : members_) m->clearStop();
+  // An external requestStop() that landed between the entry check and the
+  // clearStop loop had its member flags wiped above — re-check so the
+  // cancellation is honoured instead of silently dropped for this call.
+  if (externalStop_.load(std::memory_order_relaxed)) return LBool::kUndef;
+
+  std::atomic<int> winner{-1};
+  auto race = [&](std::size_t i) {
+    const LBool verdict = members_[i]->solveLimited(assumptions);
+    lastVerdicts_[i] = verdict;  // distinct element per thread: no race
+    if (verdict != LBool::kUndef) {
+      int expected = -1;
+      if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
+        for (std::size_t j = 0; j < members_.size(); ++j) {
+          if (j != i) members_[j]->requestStop();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(members_.size() - 1);
+  for (std::size_t i = 1; i < members_.size(); ++i) threads.emplace_back(race, i);
+  race(0);
+  for (std::thread& t : threads) t.join();
+
+  lastWinner_ = winner.load();
+  return lastWinner_ >= 0 ? lastVerdicts_[static_cast<std::size_t>(lastWinner_)]
+                          : LBool::kUndef;
+}
+
+bool PortfolioSolver::modelValue(Var v) const {
+  assert(lastWinner_ >= 0 && "modelValue requires a winning member");
+  return members_[static_cast<std::size_t>(lastWinner_)]->modelValue(v);
+}
+
+const std::vector<Lit>& PortfolioSolver::unsatCore() const {
+  assert(lastWinner_ >= 0 && "unsatCore requires a winning member");
+  return members_[static_cast<std::size_t>(lastWinner_)]->unsatCore();
+}
+
+SolverStats PortfolioSolver::stats() const {
+  SolverStats sum;
+  for (const auto& m : members_) sum += m->stats();
+  return sum;
+}
+
+SolverStats PortfolioSolver::lastSolveStats() const {
+  SolverStats sum;
+  for (const auto& m : members_) sum += m->lastSolveStats();
+  return sum;
+}
+
+void PortfolioSolver::setConflictBudget(std::uint64_t budget) {
+  for (auto& m : members_) m->setConflictBudget(budget);
+}
+
+void PortfolioSolver::requestStop() {
+  externalStop_.store(true, std::memory_order_relaxed);
+  // Forwarding covers a stop that lands after solveLimited()'s entry check:
+  // the racing members see their own flags mid-search.
+  for (auto& m : members_) m->requestStop();
+}
+
+void PortfolioSolver::clearStop() {
+  externalStop_.store(false, std::memory_order_relaxed);
+  for (auto& m : members_) m->clearStop();
+}
+
+std::string PortfolioSolver::describe() const {
+  std::string out = "portfolio[";
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i) out += "; ";
+    out += members_[i]->describe();
+  }
+  out += "]";
+  return out;
+}
+
+std::string PortfolioSolver::lastSolveAttribution() const {
+  if (lastWinner_ < 0) return "no-answer";
+  return members_[static_cast<std::size_t>(lastWinner_)]->describe();
+}
+
+}  // namespace upec::sat

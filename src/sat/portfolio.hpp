@@ -1,0 +1,81 @@
+// Portfolio solving: N diversified SolverBackend instances racing the same
+// formula on threads, first definitive answer wins.
+//
+// Competitive SAT portfolios win because differently-configured CDCL
+// heuristics have wildly different runtimes on the same instance; racing a
+// few diversified configurations approximates the virtual best solver. The
+// portfolio replicates every newVar()/addClause() into each member, so any
+// member's answer is an answer for the shared formula, and incremental
+// sessions (BMC deepening) work unchanged — each member keeps its own
+// learnt clauses across calls.
+//
+// Cancellation is cooperative: the first member to return kTrue/kFalse
+// publishes itself as the winner and calls requestStop() on the others,
+// which exit through the same early-return path as the conflict budget.
+// solveLimited() joins all race threads before returning, so after it
+// returns no thread touches the members and reads need no locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sat/solver_backend.hpp"
+
+namespace upec::sat {
+
+class PortfolioSolver : public SolverBackend {
+ public:
+  // One CDCL member per configuration (at least one required).
+  explicit PortfolioSolver(std::span<const SolverConfig> configs);
+  explicit PortfolioSolver(const std::vector<SolverConfig>& configs)
+      : PortfolioSolver(std::span<const SolverConfig>(configs.data(), configs.size())) {}
+  // Arbitrary pre-built members — used by tests to inject hostile backends
+  // (e.g. one that blocks until cancelled).
+  explicit PortfolioSolver(std::vector<std::unique_ptr<SolverBackend>> members);
+  ~PortfolioSolver() override;
+
+  // --- SolverBackend -------------------------------------------------------
+  Var newVar() override;
+  int numVars() const override { return members_.front()->numVars(); }
+  std::uint64_t numClauses() const override { return members_.front()->numClauses(); }
+  bool addClause(std::span<const Lit> lits) override;
+  using SolverBackend::addClause;
+  LBool solveLimited(std::span<const Lit> assumptions) override;
+  using SolverBackend::solve;
+  bool modelValue(Var v) const override;
+  using SolverBackend::modelValue;
+  const std::vector<Lit>& unsatCore() const override;
+  bool okay() const override;
+  SolverStats stats() const override;          // summed over all members
+  SolverStats lastSolveStats() const override; // summed over the last race
+  void setConflictBudget(std::uint64_t budget) override;  // per member
+  void requestStop() override;
+  void clearStop() override;
+  std::string describe() const override;
+  std::string lastSolveAttribution() const override;
+
+  // --- portfolio introspection --------------------------------------------
+  std::size_t numMembers() const { return members_.size(); }
+  SolverBackend& member(std::size_t i) { return *members_[i]; }
+  const SolverBackend& member(std::size_t i) const { return *members_[i]; }
+
+  // Index of the member whose answer the last solveLimited() returned, or
+  // -1 when no member answered (all budget-limited or stopped).
+  int lastWinner() const { return lastWinner_; }
+  // What each member returned in the last race (kUndef for stopped losers).
+  LBool lastVerdict(std::size_t i) const { return lastVerdicts_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<SolverBackend>> members_;
+  std::vector<LBool> lastVerdicts_;
+  int lastWinner_ = -1;
+  // requestStop() arrived from outside a race; may be set from another
+  // thread while solveLimited() runs (same contract as Solver::stop_).
+  std::atomic<bool> externalStop_{false};
+};
+
+}  // namespace upec::sat

@@ -18,7 +18,7 @@ struct Solver::Clause {
   const Lit& operator[](int i) const { return lits[i]; }
 };
 
-Solver::Solver() = default;
+Solver::Solver(const SolverConfig& config) : config_(config), rng_(config.seed) {}
 
 Solver::~Solver() {
   for (Clause* c : clauses_) delete c;
@@ -28,7 +28,7 @@ Solver::~Solver() {
 Var Solver::newVar() {
   const Var v = numVars();
   assigns_.push_back(LBool::kUndef);
-  polarity_.push_back(true);
+  polarity_.push_back(defaultPolarity());
   reason_.push_back(nullptr);
   level_.push_back(0);
   activity_.push_back(0.0);
@@ -182,7 +182,7 @@ void Solver::bumpVarActivity(Var v) {
   if (heapIndex_[v] >= 0) heapDecreaseKey(v);
 }
 
-void Solver::decayVarActivity() { varInc_ *= (1.0 / 0.95); }
+void Solver::decayVarActivity() { varInc_ *= (1.0 / config_.varDecay); }
 
 void Solver::bumpClauseActivity(Clause* c) {
   c->activity += static_cast<float>(clauseInc_);
@@ -330,6 +330,17 @@ void Solver::backtrack(int level) {
 }
 
 Lit Solver::pickBranchLit() {
+  // Diversification: occasionally decide on a random heap variable instead
+  // of the activity maximum (MiniSat's random_var_freq). The variable stays
+  // in the heap; assigned entries are skipped lazily by the main loop.
+  if (config_.randomDecisionFreq > 0.0 && !heapEmpty() &&
+      static_cast<double>(rng_.next() >> 11) * 0x1.0p-53 < config_.randomDecisionFreq) {
+    const Var v = heap_[rng_.below(heap_.size())];
+    if (value(v) == LBool::kUndef) {
+      ++stats_.decisions;
+      return Lit(v, polarity_[v]);
+    }
+  }
   while (!heapEmpty()) {
     const Var v = heapRemoveMax();
     if (value(v) == LBool::kUndef) {
@@ -382,7 +393,18 @@ std::uint64_t Solver::lubySequence(std::uint64_t i) {
   return 1ull << seq;
 }
 
-LBool Solver::solve(std::span<const Lit> assumptions) {
+std::uint64_t Solver::restartInterval(std::uint64_t restartNum) const {
+  if (config_.restartPolicy == RestartPolicy::kGeometric) {
+    double interval = static_cast<double>(config_.restartBase);
+    for (std::uint64_t i = 0; i < restartNum && interval < 1e18; ++i) {
+      interval *= config_.restartGrowth;
+    }
+    return static_cast<std::uint64_t>(interval);
+  }
+  return config_.restartBase * lubySequence(restartNum);
+}
+
+LBool Solver::solveLimited(std::span<const Lit> assumptions) {
   conflict_.clear();
   statsAtSolveStart_ = stats_;
   ++stats_.solves;
@@ -391,13 +413,17 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
   model_.clear();
 
   std::uint64_t restartNum = 0;
-  std::uint64_t conflictsUntilRestart = 100 * lubySequence(restartNum);
+  std::uint64_t conflictsUntilRestart = restartInterval(restartNum);
   std::uint64_t conflictsThisRestart = 0;
   std::uint64_t totalConflicts = 0;
   maxLearnts_ = std::max<std::uint64_t>(8192, numProblemClauses_ / 2);
 
   std::vector<Lit> learntClause;
   for (;;) {
+    if (stop_.load(std::memory_order_relaxed)) {
+      backtrack(0);
+      return LBool::kUndef;
+    }
     Clause* conflict = propagate();
     if (conflict != nullptr) {
       ++stats_.conflicts;
@@ -435,8 +461,11 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
       ++stats_.restarts;
       ++restartNum;
       conflictsThisRestart = 0;
-      conflictsUntilRestart = 100 * lubySequence(restartNum);
+      conflictsUntilRestart = restartInterval(restartNum);
       backtrack(0);
+      if (config_.phasePolicy == PhasePolicy::kReset) {
+        polarity_.assign(polarity_.size(), defaultPolarity());
+      }
       continue;
     }
     if (learnts_.size() >= maxLearnts_) {

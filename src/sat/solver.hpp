@@ -1,122 +1,90 @@
 // CDCL SAT solver in the MiniSat lineage: two-watched-literal propagation,
 // first-UIP conflict analysis with clause minimisation, VSIDS decision
-// heuristic with phase saving, Luby restarts, learnt-clause database
-// reduction, and incremental solving under assumptions with unsat-core
-// extraction over the assumption set.
+// heuristic with phase saving, Luby or geometric restarts, learnt-clause
+// database reduction, and incremental solving under assumptions with
+// unsat-core extraction over the assumption set.
 //
 // This is the decision procedure underneath the bounded model checker
 // (src/formal). It is deliberately self-contained: the paper's flow uses a
-// commercial property checker, which we substitute with this engine.
+// commercial property checker, which we substitute with this engine. It is
+// one implementation of the sat::SolverBackend seam; its heuristics are
+// parameterised by SolverConfig so a PortfolioSolver can race diversified
+// instances of it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "base/rng.hpp"
+#include "sat/solver_backend.hpp"
+#include "sat/types.hpp"
+
 namespace upec::sat {
 
-// A propositional variable is a non-negative integer. A literal packs a
-// variable and a sign: lit = var * 2 + (negated ? 1 : 0).
-using Var = int;
-
-class Lit {
+class Solver : public SolverBackend {
  public:
-  Lit() : code_(-2) {}
-  Lit(Var v, bool negated) : code_(v * 2 + (negated ? 1 : 0)) {}
-
-  static Lit fromCode(int code) {
-    Lit l;
-    l.code_ = code;
-    return l;
-  }
-
-  Var var() const { return code_ >> 1; }
-  bool sign() const { return code_ & 1; }  // true = negated
-  Lit operator~() const { return fromCode(code_ ^ 1); }
-  int code() const { return code_; }
-  bool operator==(const Lit& o) const { return code_ == o.code_; }
-  bool operator!=(const Lit& o) const { return code_ != o.code_; }
-
- private:
-  int code_;
-};
-
-inline const Lit kLitUndef = Lit::fromCode(-2);
-
-// Three-valued assignment.
-enum class LBool : std::uint8_t { kTrue, kFalse, kUndef };
-inline LBool negate(LBool b) {
-  if (b == LBool::kUndef) return b;
-  return b == LBool::kTrue ? LBool::kFalse : LBool::kTrue;
-}
-
-struct SolverStats {
-  std::uint64_t decisions = 0;
-  std::uint64_t propagations = 0;
-  std::uint64_t conflicts = 0;
-  std::uint64_t restarts = 0;
-  std::uint64_t learntLiterals = 0;
-  std::uint64_t removedClauses = 0;
-  std::uint64_t solves = 0;
-
-  // Field-wise difference, for per-solve deltas in incremental use.
-  SolverStats operator-(const SolverStats& o) const {
-    return {decisions - o.decisions,   propagations - o.propagations,
-            conflicts - o.conflicts,   restarts - o.restarts,
-            learntLiterals - o.learntLiterals,
-            removedClauses - o.removedClauses, solves - o.solves};
-  }
-};
-
-class Solver {
- public:
-  Solver();
-  ~Solver();
+  Solver() : Solver(SolverConfig{}) {}
+  explicit Solver(const SolverConfig& config);
+  ~Solver() override;
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;
 
+  const SolverConfig& config() const { return config_; }
+
   // Creates a fresh variable and returns it.
-  Var newVar();
-  int numVars() const { return static_cast<int>(assigns_.size()); }
-  std::uint64_t numClauses() const { return numProblemClauses_; }
+  Var newVar() override;
+  int numVars() const override { return static_cast<int>(assigns_.size()); }
+  std::uint64_t numClauses() const override { return numProblemClauses_; }
   std::uint64_t numLearnts() const { return learnts_.size(); }
 
   // Adds a clause (disjunction of literals). Returns false if the clause
   // makes the formula trivially unsatisfiable (e.g. empty after
   // simplification against the top-level assignment).
-  bool addClause(std::span<const Lit> lits);
-  bool addClause(std::initializer_list<Lit> lits) {
-    return addClause(std::span<const Lit>(lits.begin(), lits.size()));
-  }
-  bool addUnit(Lit l) { return addClause({l}); }
+  bool addClause(std::span<const Lit> lits) override;
+  using SolverBackend::addClause;  // initializer_list convenience
 
   // Solves under the given assumptions. Returns kTrue (sat: model available
-  // via modelValue), kFalse (unsat: conflictingAssumptions() holds a subset
-  // of the assumptions sufficient for unsatisfiability).
-  LBool solve(std::span<const Lit> assumptions = {});
+  // via modelValue), kFalse (unsat: unsatCore() holds a subset of the
+  // assumptions sufficient for unsatisfiability), or kUndef (conflict
+  // budget exhausted, or requestStop() arrived mid-search).
+  LBool solveLimited(std::span<const Lit> assumptions) override;
+  using SolverBackend::solve;
 
   // Valid after solve() returned kTrue.
-  bool modelValue(Var v) const;
-  bool modelValue(Lit l) const { return modelValue(l.var()) != l.sign(); }
+  bool modelValue(Var v) const override;
+  using SolverBackend::modelValue;
 
   // Valid after solve() returned kFalse: the subset of assumptions used.
-  const std::vector<Lit>& conflictingAssumptions() const { return conflict_; }
+  const std::vector<Lit>& unsatCore() const override { return conflict_; }
 
-  bool okay() const { return ok_; }
-  const SolverStats& stats() const { return stats_; }
+  bool okay() const override { return ok_; }
+  SolverStats stats() const override { return stats_; }
 
   // Stats of the most recent solve() call alone — the deltas since that
   // call began. stats() keeps the cumulative totals across the solver's
   // lifetime; incremental users (BMC deepening, campaign jobs) report
   // per-solve effort from here.
-  SolverStats lastSolveStats() const { return stats_ - statsAtSolveStart_; }
+  SolverStats lastSolveStats() const override { return stats_ - statsAtSolveStart_; }
 
   // Optional resource limit: abort solve() after this many conflicts
   // (0 = unlimited). When hit, solve() returns kUndef. The budget applies
   // to each solve() call separately: an incremental session gets a fresh
   // allowance per call, regardless of conflicts spent in earlier calls.
-  void setConflictBudget(std::uint64_t budget) { conflictBudget_ = budget; }
+  void setConflictBudget(std::uint64_t budget) override { conflictBudget_ = budget; }
+
+  // Cooperative cancellation (the portfolio's loser-stopping hook): sets a
+  // sticky flag checked once per search-loop iteration; an affected solve()
+  // backtracks to level 0 and returns kUndef. Safe to call from another
+  // thread while solve() runs. The flag stays set until clearStop() so a
+  // stop aimed at a solver between solve() calls is not lost.
+  void requestStop() override { stop_.store(true, std::memory_order_relaxed); }
+  void clearStop() override { stop_.store(false, std::memory_order_relaxed); }
+  bool stopRequested() const { return stop_.load(std::memory_order_relaxed); }
+
+  std::string describe() const override { return config_.describe(); }
 
  private:
   struct Clause;
@@ -147,6 +115,8 @@ class Solver {
   void bumpClauseActivity(Clause* c);
   void decayClauseActivity();
   void rebuildOrderHeap();
+  std::uint64_t restartInterval(std::uint64_t restartNum) const;
+  bool defaultPolarity() const { return config_.phasePolicy != PhasePolicy::kInverted; }
 
   // order heap (max-heap on activity)
   void heapInsert(Var v);
@@ -157,6 +127,9 @@ class Solver {
   bool heapEmpty() const { return heap_.empty(); }
 
   static std::uint64_t lubySequence(std::uint64_t i);
+
+  SolverConfig config_;
+  Rng rng_;
 
   // clause database
   std::vector<Clause*> clauses_;
@@ -197,6 +170,7 @@ class Solver {
   SolverStats statsAtSolveStart_;
   std::uint64_t conflictBudget_ = 0;
   std::uint64_t maxLearnts_ = 8192;
+  std::atomic<bool> stop_{false};
 };
 
 }  // namespace upec::sat

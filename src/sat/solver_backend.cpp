@@ -1,0 +1,86 @@
+#include "sat/solver_backend.hpp"
+
+#include <cstdio>
+
+#include "sat/portfolio.hpp"
+#include "sat/solver.hpp"
+
+namespace upec::sat {
+
+const char* phasePolicyName(PhasePolicy p) {
+  switch (p) {
+    case PhasePolicy::kSave: return "save";
+    case PhasePolicy::kReset: return "reset";
+    case PhasePolicy::kInverted: return "inverted";
+  }
+  return "?";
+}
+
+const char* restartPolicyName(RestartPolicy p) {
+  switch (p) {
+    case RestartPolicy::kLuby: return "luby";
+    case RestartPolicy::kGeometric: return "geometric";
+  }
+  return "?";
+}
+
+std::string SolverConfig::describe() const {
+  if (!name.empty()) return name;
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "seed=%llu,phase=%s,restart=%s,decay=%.2f,rand=%.2f",
+                static_cast<unsigned long long>(seed), phasePolicyName(phasePolicy),
+                restartPolicyName(restartPolicy), varDecay, randomDecisionFreq);
+  return buf;
+}
+
+std::vector<SolverConfig> SolverConfig::diversified(unsigned n, std::uint64_t baseSeed) {
+  std::vector<SolverConfig> configs;
+  configs.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    SolverConfig c;
+    c.name = "cfg" + std::to_string(i);
+    if (i == 0) {
+      // Member 0 is the seed solver verbatim: the portfolio's floor.
+      c.name = "baseline";
+      configs.push_back(std::move(c));
+      continue;
+    }
+    c.seed = baseSeed + i;
+    // Cycle through qualitatively different heuristic mixes so members
+    // disagree on search order, not just on PRNG stream.
+    switch (i % 4) {
+      case 1:
+        c.phasePolicy = PhasePolicy::kInverted;
+        c.randomDecisionFreq = 0.02;
+        break;
+      case 2:
+        c.restartPolicy = RestartPolicy::kGeometric;
+        c.restartGrowth = 1.5;
+        c.varDecay = 0.85;  // fast decay: aggressive focus on recent conflicts
+        break;
+      case 3:
+        c.phasePolicy = PhasePolicy::kReset;
+        c.restartBase = 50;  // rapid restarts
+        c.randomDecisionFreq = 0.05;
+        break;
+      case 0:  // i >= 4 wrap-around: slow-decay Luby with mild randomness
+        c.varDecay = 0.99;
+        c.randomDecisionFreq = 0.01;
+        break;
+    }
+    configs.push_back(std::move(c));
+  }
+  return configs;
+}
+
+std::unique_ptr<SolverBackend> makeSolverBackend(std::span<const SolverConfig> configs) {
+  if (configs.empty()) {
+    SolverConfig def;
+    def.name = "default";
+    return std::make_unique<Solver>(def);
+  }
+  if (configs.size() == 1) return std::make_unique<Solver>(configs[0]);
+  return std::make_unique<PortfolioSolver>(configs);
+}
+
+}  // namespace upec::sat

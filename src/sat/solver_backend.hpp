@@ -1,0 +1,141 @@
+// The solver seam of the verification stack.
+//
+// Every engine above the SAT layer (CnfBuilder, BmcEngine, KInduction,
+// UpecEngine, the campaign jobs) talks to an abstract SolverBackend instead
+// of the concrete CDCL implementation, mirroring how the paper's UPEC flow
+// treats the property checker as an interchangeable decision procedure. Two
+// implementations exist: the CDCL sat::Solver, and sat::PortfolioSolver,
+// which races several diversified CDCL instances and returns the first
+// definitive answer.
+//
+// SolverConfig exposes the per-instance diversification knobs that make a
+// portfolio worth racing: random seed, phase-saving policy, restart
+// strategy, VSIDS decay and random-decision frequency. Identical formulas
+// under different knobs explore very different parts of the search space,
+// which is the cheapest remaining speedup for hard UPEC windows.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace upec::sat {
+
+// What happens to the saved phase (the polarity a variable is first tried
+// with) across the solver's lifetime.
+enum class PhasePolicy : std::uint8_t {
+  kSave,      // classic phase saving: keep the last assigned polarity
+  kReset,     // forget saved phases at every restart
+  kInverted,  // phase saving, but variables start at the opposite default
+};
+const char* phasePolicyName(PhasePolicy p);
+
+enum class RestartPolicy : std::uint8_t {
+  kLuby,       // restartBase * luby(i) conflicts between restarts
+  kGeometric,  // restartBase * restartGrowth^i conflicts between restarts
+};
+const char* restartPolicyName(RestartPolicy p);
+
+// Per-instance heuristic knobs. The default configuration reproduces the
+// seed solver's behaviour bit-for-bit (no randomness, Luby restarts, phase
+// saving, 0.95 decay), so a single-config backend is exactly the old engine.
+struct SolverConfig {
+  std::string name;  // label for attribution in reports ("" = describe())
+
+  std::uint64_t seed = 0;  // PRNG seed for random decisions / tie-breaks
+  PhasePolicy phasePolicy = PhasePolicy::kSave;
+  RestartPolicy restartPolicy = RestartPolicy::kLuby;
+  std::uint64_t restartBase = 100;  // conflicts before the first restart
+  double restartGrowth = 1.5;      // geometric restarts only
+  double varDecay = 0.95;          // VSIDS activity decay factor (0,1)
+  double randomDecisionFreq = 0.0; // probability a decision picks a random var
+
+  // Human-readable one-liner: the name if set, otherwise the knobs.
+  std::string describe() const;
+
+  // A deterministic family of n mutually-diverse configurations; member 0
+  // is always the default (seed-solver) configuration so a portfolio never
+  // does worse than the engine it replaces on instances the default wins.
+  static std::vector<SolverConfig> diversified(unsigned n, std::uint64_t baseSeed = 1);
+};
+
+// Abstract incremental SAT interface. The contract follows MiniSat:
+//  * variables are dense ints handed out by newVar();
+//  * addClause() may simplify against the top-level assignment and returns
+//    false once the formula is known unsatisfiable;
+//  * solveLimited() solves under assumptions and may return kUndef when a
+//    resource budget is exhausted or a cooperative stop was requested;
+//  * after kTrue, modelValue() is valid; after kFalse under assumptions,
+//    unsatCore() holds a subset of the assumptions sufficient for UNSAT.
+//
+// Thread-safety: distinct backends are fully independent; one backend may
+// only be driven from one thread at a time, except requestStop(), which is
+// safe to call from any thread while solveLimited() runs (that is the
+// portfolio's cancellation hook, sharing the conflict-budget early-exit
+// path inside the search loop).
+class SolverBackend {
+ public:
+  virtual ~SolverBackend() = default;
+
+  virtual Var newVar() = 0;
+  virtual int numVars() const = 0;
+  virtual std::uint64_t numClauses() const = 0;
+
+  virtual bool addClause(std::span<const Lit> lits) = 0;
+  bool addClause(std::initializer_list<Lit> lits) {
+    return addClause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+  bool addUnit(Lit l) { return addClause({l}); }
+
+  // Solves under the given assumptions, honouring the conflict budget and
+  // pending stop requests (both yield kUndef).
+  virtual LBool solveLimited(std::span<const Lit> assumptions) = 0;
+  LBool solve(std::span<const Lit> assumptions = {}) { return solveLimited(assumptions); }
+
+  // Valid after solveLimited() returned kTrue.
+  virtual bool modelValue(Var v) const = 0;
+  bool modelValue(Lit l) const { return modelValue(l.var()) != l.sign(); }
+
+  // Valid after solveLimited() returned kFalse: the subset of the
+  // assumptions used to derive unsatisfiability.
+  virtual const std::vector<Lit>& unsatCore() const = 0;
+  const std::vector<Lit>& conflictingAssumptions() const { return unsatCore(); }
+
+  // False once the formula is unsatisfiable independent of assumptions.
+  virtual bool okay() const = 0;
+
+  // Cumulative effort (for a portfolio: summed over all members), and the
+  // effort of the most recent solveLimited() call alone.
+  virtual SolverStats stats() const = 0;
+  virtual SolverStats lastSolveStats() const = 0;
+
+  // Abort solveLimited() after this many conflicts per call (0 = unlimited;
+  // for a portfolio the budget applies to each member separately).
+  virtual void setConflictBudget(std::uint64_t budget) = 0;
+
+  // Cooperative cancellation: ask a running (or upcoming) solveLimited() to
+  // return kUndef as soon as possible. Sticky until clearStop().
+  virtual void requestStop() = 0;
+  virtual void clearStop() = 0;
+
+  // Configuration summary, e.g. for report rows.
+  virtual std::string describe() const = 0;
+  // Which configuration answered the most recent solveLimited() — for a
+  // single backend that is itself; a portfolio names the race winner.
+  virtual std::string lastSolveAttribution() const { return describe(); }
+};
+
+// Builds a backend from a configuration list: zero or one config yields the
+// plain CDCL solver, two or more a PortfolioSolver racing one CDCL instance
+// per config.
+std::unique_ptr<SolverBackend> makeSolverBackend(std::span<const SolverConfig> configs);
+inline std::unique_ptr<SolverBackend> makeSolverBackend(
+    const std::vector<SolverConfig>& configs) {
+  return makeSolverBackend(std::span<const SolverConfig>(configs.data(), configs.size()));
+}
+
+}  // namespace upec::sat

@@ -1,0 +1,74 @@
+// Shared propositional vocabulary of the SAT layer: variables, literals,
+// the three-valued assignment and solver-effort statistics. Split out of
+// solver.hpp so that the abstract SolverBackend interface, the concrete
+// CDCL solver and the portfolio racer can all speak the same types without
+// depending on each other's implementation.
+#pragma once
+
+#include <cstdint>
+
+namespace upec::sat {
+
+// A propositional variable is a non-negative integer. A literal packs a
+// variable and a sign: lit = var * 2 + (negated ? 1 : 0).
+using Var = int;
+
+class Lit {
+ public:
+  Lit() : code_(-2) {}
+  Lit(Var v, bool negated) : code_(v * 2 + (negated ? 1 : 0)) {}
+
+  static Lit fromCode(int code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  Var var() const { return code_ >> 1; }
+  bool sign() const { return code_ & 1; }  // true = negated
+  Lit operator~() const { return fromCode(code_ ^ 1); }
+  int code() const { return code_; }
+  bool operator==(const Lit& o) const { return code_ == o.code_; }
+  bool operator!=(const Lit& o) const { return code_ != o.code_; }
+
+ private:
+  int code_;
+};
+
+inline const Lit kLitUndef = Lit::fromCode(-2);
+
+// Three-valued assignment.
+enum class LBool : std::uint8_t { kTrue, kFalse, kUndef };
+inline LBool negate(LBool b) {
+  if (b == LBool::kUndef) return b;
+  return b == LBool::kTrue ? LBool::kFalse : LBool::kTrue;
+}
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learntLiterals = 0;
+  std::uint64_t removedClauses = 0;
+  std::uint64_t solves = 0;
+
+  // Field-wise difference, for per-solve deltas in incremental use.
+  SolverStats operator-(const SolverStats& o) const {
+    return {decisions - o.decisions,   propagations - o.propagations,
+            conflicts - o.conflicts,   restarts - o.restarts,
+            learntLiterals - o.learntLiterals,
+            removedClauses - o.removedClauses, solves - o.solves};
+  }
+
+  // Field-wise sum, for merging the effort of portfolio members.
+  SolverStats operator+(const SolverStats& o) const {
+    return {decisions + o.decisions,   propagations + o.propagations,
+            conflicts + o.conflicts,   restarts + o.restarts,
+            learntLiterals + o.learntLiterals,
+            removedClauses + o.removedClauses, solves + o.solves};
+  }
+  SolverStats& operator+=(const SolverStats& o) { return *this = *this + o; }
+};
+
+}  // namespace upec::sat

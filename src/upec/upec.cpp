@@ -23,6 +23,12 @@ void accumulateStats(MethodologyReport& report, const formal::BmcStats& stats) {
 
 }  // namespace
 
+std::vector<sat::SolverConfig> UpecOptions::resolvedSolverConfigs() const {
+  if (!solverConfigs.empty()) return solverConfigs;
+  if (portfolio >= 2) return sat::SolverConfig::diversified(portfolio, portfolioSeed);
+  return {};
+}
+
 const char* verdictName(Verdict v) {
   switch (v) {
     case Verdict::kProven: return "proven";
@@ -103,11 +109,12 @@ formal::IntervalProperty UpecEngine::buildProperty(
 }
 
 UpecResult UpecEngine::check(unsigned k, const std::set<std::string>& excluded) {
-  if (options_.incrementalDeepening) return checkIncremental(k, excluded);
+  if (options_.incrementalDeepening.value_or(false)) return checkIncremental(k, excluded);
 
   const formal::IntervalProperty property = buildProperty(k, excluded);
   formal::BmcEngine engine(miter_.design());
   if (options_.conflictBudget != 0) engine.setConflictBudget(options_.conflictBudget);
+  engine.setSolverConfigs(options_.resolvedSolverConfigs());
   if (options_.structuralInitEquality) applyStructuralEquality(miter_, engine);
   return classify(engine.check(property), k, excluded);
 }
@@ -115,6 +122,7 @@ UpecResult UpecEngine::check(unsigned k, const std::set<std::string>& excluded) 
 UpecResult UpecEngine::checkIncremental(unsigned k, const std::set<std::string>& excluded) {
   if (!incremental_) {
     incremental_ = std::make_unique<formal::BmcEngine>(miter_.design());
+    incremental_->setSolverConfigs(options_.resolvedSolverConfigs());
     if (options_.structuralInitEquality) applyStructuralEquality(miter_, *incremental_);
   }
   incremental_->setConflictBudget(options_.conflictBudget);
@@ -237,6 +245,7 @@ InductiveProver::Result InductiveProver::prove(
 
   formal::BmcEngine engine(d);
   if (options_.conflictBudget != 0) engine.setConflictBudget(options_.conflictBudget);
+  engine.setSolverConfigs(options_.resolvedSolverConfigs());
   if (options_.structuralInitEquality) applyStructuralEquality(miter_, engine, allowedDiff);
   const formal::CheckResult bmc = engine.check(p);
   result.stats = bmc.stats;
@@ -261,7 +270,12 @@ InductiveProver::Result InductiveProver::prove(
 // ---------------------------------------------------------------------------
 
 MethodologyDriver::MethodologyDriver(Miter& miter, const UpecOptions& options)
-    : miter_(miter), options_(options) {}
+    : miter_(miter), options_(options) {
+  // The driver's window walk is monotone by construction, so incremental
+  // deepening is sound here and is the default; pass an explicit false to
+  // opt out (e.g. to bound memory on very deep walks).
+  if (!options_.incrementalDeepening.has_value()) options_.incrementalDeepening = true;
+}
 
 MethodologyReport MethodologyDriver::run(unsigned maxWindow,
                                          const std::vector<BlockingCondition>& blocking) {

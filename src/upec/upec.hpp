@@ -50,8 +50,25 @@ struct UpecOptions {
   // formal::BmcEngine::checkIncremental. Semantically equivalent to
   // single-shot checks for the UPEC property family (assumptions are
   // monotone in the window; only commitments vary).
-  bool incrementalDeepening = false;
+  //
+  // Tri-state: unset means "context default" — a bare UpecEngine::check
+  // stays single-shot (safe for non-monotone window sequences), while
+  // MethodologyDriver, whose window walk is monotone by construction,
+  // defaults to incremental. Set false to opt out explicitly.
+  std::optional<bool> incrementalDeepening;
   std::uint64_t conflictBudget = 0;  // 0 = unlimited; applies per check
+
+  // Decision-procedure selection. portfolio >= 2 races that many
+  // diversified CDCL instances per check (sat::SolverConfig::diversified,
+  // first answer wins); 0/1 keeps the single default solver. An explicit
+  // solverConfigs list overrides the count.
+  unsigned portfolio = 0;
+  std::uint64_t portfolioSeed = 1;  // base seed for the diversified family
+  std::vector<sat::SolverConfig> solverConfigs;
+
+  // The configuration list the options resolve to (explicit list, else
+  // diversified(portfolio), else empty = single default backend).
+  std::vector<sat::SolverConfig> resolvedSolverConfigs() const;
 };
 
 enum class Verdict { kProven, kPAlert, kLAlert, kUnknown };

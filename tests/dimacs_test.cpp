@@ -5,6 +5,7 @@
 
 #include "base/rng.hpp"
 #include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
 
 namespace upec::sat {
 namespace {

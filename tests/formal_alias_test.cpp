@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "base/rng.hpp"
+#include "sat/solver.hpp"
 #include "formal/bmc.hpp"
 #include "formal/cnf_builder.hpp"
 #include "formal/unroller.hpp"

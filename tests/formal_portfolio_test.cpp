@@ -1,0 +1,181 @@
+// Portfolio solving across the verification stack: BmcEngine, the UPEC
+// ladder and campaign jobs must produce identical verdicts whether a check
+// is decided by the single CDCL backend or by a diversified portfolio race,
+// in both monolithic and incremental deepening modes.
+#include <gtest/gtest.h>
+
+#include "engine/job.hpp"
+#include "formal/bmc.hpp"
+#include "formal/kinduction.hpp"
+#include "rtl/ir.hpp"
+#include "upec/miter.hpp"
+#include "upec/upec.hpp"
+
+namespace upec {
+namespace {
+
+using formal::BmcEngine;
+using formal::CheckResult;
+using formal::CheckStatus;
+using formal::IntervalProperty;
+
+// Same saturating counter as formal_incremental_test: proven and falsified
+// obligations at known depths.
+struct CounterDesign {
+  rtl::Design design{"sat_counter"};
+  rtl::Sig enable, count, limit;
+  rtl::Sig bounded;  // count <= 42
+  rtl::Sig isZero;   // count == 0
+  rtl::Sig lt3;      // count < 3
+
+  CounterDesign() {
+    enable = design.input(1, "enable");
+    count = design.reg(8, "count", rtl::StateClass::kArch);
+    limit = design.constant(8, 42);
+    design.connect(count, mux(enable & count.ult(limit), count + design.one(8), count));
+    bounded = count.ule(limit);
+    isZero = count.eq(design.constant(8, 0));
+    lt3 = count.ult(design.constant(8, 3));
+  }
+};
+
+TEST(PortfolioBmc, SingleShotVerdictsMatchTheSingleBackend) {
+  CounterDesign d;
+  for (unsigned k = 1; k <= 4; ++k) {
+    IntervalProperty p;
+    p.assumeAt(0, d.isZero, "count == 0");
+    p.proveAt(k, d.lt3, "count < 3");
+
+    BmcEngine single(d.design);
+    const CheckResult expected = single.check(p);
+
+    BmcEngine raced(d.design);
+    raced.setSolverConfigs(sat::SolverConfig::diversified(3));
+    const CheckResult got = raced.check(p);
+
+    EXPECT_EQ(got.status, expected.status) << "k=" << k;
+    EXPECT_FALSE(got.stats.solvedBy.empty());
+    if (got.status == CheckStatus::kCounterexample) {
+      // The racing backends may find different witnesses; both must replay.
+      const formal::TraceEval eval(d.design, *got.trace);
+      EXPECT_GE(eval.value(d.count, k).uint(), 3u);
+    }
+  }
+}
+
+TEST(PortfolioBmc, IncrementalPortfolioLadderMatchesIncrementalSingle) {
+  CounterDesign d;
+  BmcEngine single(d.design);
+  BmcEngine raced(d.design);
+  raced.setSolverConfigs(sat::SolverConfig::diversified(2));
+
+  for (unsigned k = 1; k <= 4; ++k) {
+    IntervalProperty p;
+    p.name = "bounded_k" + std::to_string(k);
+    p.assumeAt(0, d.bounded, "count <= 42");
+    for (unsigned t = 1; t <= k; ++t) p.proveAt(t, d.bounded, "count <= 42");
+
+    const CheckResult expected = single.checkIncremental(p);
+    const CheckResult got = raced.checkIncremental(p);
+    EXPECT_EQ(got.status, expected.status) << "k=" << k;
+    EXPECT_EQ(got.status, CheckStatus::kProven) << "k=" << k;
+    EXPECT_EQ(raced.incrementalFrames(), k + 1);
+  }
+}
+
+TEST(PortfolioKInduction, ProvesTheSameInvariant) {
+  CounterDesign d;
+  formal::KInduction single(d.design);
+  const formal::KInductionResult expected = single.prove(d.bounded, d.isZero, 3);
+
+  formal::KInduction raced(d.design);
+  raced.setSolverConfigs(sat::SolverConfig::diversified(2));
+  const formal::KInductionResult got = raced.prove(d.bounded, d.isZero, 3);
+
+  EXPECT_EQ(got.proven, expected.proven);
+  EXPECT_EQ(got.provenAtK, expected.provenAtK);
+}
+
+// --- the UPEC ladder --------------------------------------------------------
+
+TEST(PortfolioUpec, LadderVerdictsMatchAcrossBackendAndDeepeningModes) {
+  // Paper Tab. I "D not cached" (proven at every window) on the secure SoC:
+  // 2-config portfolio vs single backend, incremental vs monolithic — four
+  // ways to decide the same property, one truth.
+  const soc::SocConfig config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+
+  auto ladder = [&config](unsigned portfolio, bool incremental) {
+    Miter miter(config, 12);
+    UpecOptions options;
+    options.scenario = SecretScenario::kNotInCache;
+    options.incrementalDeepening = incremental;
+    options.portfolio = portfolio;
+    UpecEngine engine(miter, options);
+    std::vector<Verdict> verdicts;
+    for (unsigned k = 1; k <= 2; ++k) verdicts.push_back(engine.check(k).verdict);
+    return verdicts;
+  };
+
+  const std::vector<Verdict> baseline = ladder(0, false);
+  EXPECT_EQ(ladder(2, false), baseline) << "portfolio monolithic diverged";
+  EXPECT_EQ(ladder(0, true), baseline) << "incremental single diverged";
+  EXPECT_EQ(ladder(2, true), baseline) << "portfolio incremental diverged";
+  for (const Verdict v : baseline) EXPECT_EQ(v, Verdict::kProven);
+}
+
+TEST(PortfolioUpec, PortfolioFindsTheSamePAlert) {
+  // Tab. I "D in cache": the k=1 P-alert must appear under a portfolio too,
+  // naming the same registers (classification is trace-based, so only the
+  // register *set* is compared, not the witness).
+  const soc::SocConfig config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+
+  auto checkK1 = [&config](unsigned portfolio) {
+    Miter miter(config, 12);
+    UpecOptions options;
+    options.scenario = SecretScenario::kInCache;
+    options.portfolio = portfolio;
+    UpecEngine engine(miter, options);
+    return engine.check(1);
+  };
+
+  const UpecResult single = checkK1(0);
+  const UpecResult raced = checkK1(2);
+  EXPECT_EQ(single.verdict, Verdict::kPAlert);
+  EXPECT_EQ(raced.verdict, Verdict::kPAlert);
+}
+
+// --- campaign jobs ----------------------------------------------------------
+
+TEST(PortfolioJobs, PortfolioLadderJobMatchesSingleAndAttributesWins) {
+  engine::JobSpec spec;
+  spec.label = "secure/portfolio";
+  spec.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+  spec.secretWord = 12;
+  spec.options.scenario = SecretScenario::kNotInCache;
+  spec.mode = engine::DeepeningMode::kIncremental;
+  spec.kMin = 1;
+  spec.kMax = 2;
+
+  const engine::JobResult single = engine::runJob(spec);
+
+  spec.portfolio = 2;
+  const engine::JobResult raced = engine::runJob(spec);
+
+  ASSERT_EQ(single.windows.size(), raced.windows.size());
+  for (std::size_t i = 0; i < single.windows.size(); ++i) {
+    EXPECT_EQ(single.windows[i].verdict, raced.windows[i].verdict) << "window " << i + 1;
+  }
+  EXPECT_EQ(raced.verdict, single.verdict);
+
+  // Attribution: every window was answered by some configuration, and the
+  // per-config win counts add up to the number of windows.
+  unsigned wins = 0;
+  for (const auto& [name, count] : raced.solverWins) {
+    EXPECT_FALSE(name.empty());
+    wins += count;
+  }
+  EXPECT_EQ(wins, raced.windows.size());
+}
+
+}  // namespace
+}  // namespace upec

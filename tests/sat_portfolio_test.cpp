@@ -1,0 +1,322 @@
+// The SolverBackend seam and the portfolio racer.
+//
+// Soundness first: every diversified configuration is still a complete
+// CDCL solver, so all members must agree with the default engine on random
+// phase-transition CNFs, and the portfolio's answer must match the single
+// backend's on SAT and UNSAT instances alike. Then the mechanics that make
+// the race safe: stats merge round-trips, cooperative cancellation through
+// requestStop(), and losers being stopped rather than run to completion.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "sat/portfolio.hpp"
+#include "sat/solver.hpp"
+#include "sat/solver_backend.hpp"
+
+namespace upec::sat {
+namespace {
+
+using Cnf = std::vector<std::vector<Lit>>;
+
+// Same generator family as sat_dpll_diff_test: 3-SAT around the phase
+// transition so both verdicts occur.
+Cnf randomCnf(Rng& rng, int numVars, int numClauses) {
+  Cnf cnf;
+  cnf.reserve(numClauses);
+  for (int c = 0; c < numClauses; ++c) {
+    std::vector<Lit> clause;
+    for (int i = 0; i < 3; ++i) {
+      clause.push_back(Lit(static_cast<Var>(rng.below(numVars)), rng.below(2) == 0));
+    }
+    cnf.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+LBool solveWith(SolverBackend& s, int numVars, const Cnf& cnf) {
+  for (int v = 0; v < numVars; ++v) s.newVar();
+  bool ok = true;
+  for (const auto& clause : cnf) ok = s.addClause(std::span<const Lit>(clause)) && ok;
+  if (!ok) return LBool::kFalse;
+  const LBool verdict = s.solve();
+  if (verdict == LBool::kTrue) {
+    for (const auto& clause : cnf) {
+      bool satisfied = false;
+      for (const Lit l : clause) satisfied |= s.modelValue(l);
+      EXPECT_TRUE(satisfied) << "model violates a clause";
+    }
+  }
+  return verdict;
+}
+
+void encodePigeonhole(SolverBackend& s, int holes) {
+  std::vector<std::vector<Var>> p(holes + 1, std::vector<Var>(holes));
+  for (auto& row : p)
+    for (auto& v : row) v = s.newVar();
+  for (int i = 0; i <= holes; ++i) {
+    std::vector<Lit> c;
+    for (int j = 0; j < holes; ++j) c.push_back(Lit(p[i][j], false));
+    s.addClause(std::span<const Lit>(c));
+  }
+  for (int j = 0; j < holes; ++j)
+    for (int i1 = 0; i1 <= holes; ++i1)
+      for (int i2 = i1 + 1; i2 <= holes; ++i2)
+        s.addClause({Lit(p[i1][j], true), Lit(p[i2][j], true)});
+}
+
+// --- SolverStats delta/merge ------------------------------------------------
+
+TEST(SolverStats, DeltaAndMergeRoundTrip) {
+  SolverStats a{10, 200, 30, 4, 50, 6, 7};
+  SolverStats b{3, 100, 10, 1, 20, 2, 3};
+
+  // (a - b) + b == a, field for field.
+  const SolverStats roundTrip = (a - b) + b;
+  EXPECT_EQ(roundTrip.decisions, a.decisions);
+  EXPECT_EQ(roundTrip.propagations, a.propagations);
+  EXPECT_EQ(roundTrip.conflicts, a.conflicts);
+  EXPECT_EQ(roundTrip.restarts, a.restarts);
+  EXPECT_EQ(roundTrip.learntLiterals, a.learntLiterals);
+  EXPECT_EQ(roundTrip.removedClauses, a.removedClauses);
+  EXPECT_EQ(roundTrip.solves, a.solves);
+
+  // Merging is commutative and += agrees with +.
+  const SolverStats ab = a + b;
+  const SolverStats ba = b + a;
+  EXPECT_EQ(ab.conflicts, ba.conflicts);
+  EXPECT_EQ(ab.decisions, ba.decisions);
+  SolverStats acc = a;
+  acc += b;
+  EXPECT_EQ(acc.propagations, ab.propagations);
+  EXPECT_EQ(acc.solves, ab.solves);
+}
+
+TEST(SolverStats, PortfolioStatsAreTheMemberSum) {
+  PortfolioSolver portfolio(SolverConfig::diversified(2));
+  Rng rng(7);
+  const Cnf cnf = randomCnf(rng, 10, 43);
+  solveWith(portfolio, 10, cnf);
+  const SolverStats merged = portfolio.stats();
+  const SolverStats manual = portfolio.member(0).stats() + portfolio.member(1).stats();
+  EXPECT_EQ(merged.conflicts, manual.conflicts);
+  EXPECT_EQ(merged.decisions, manual.decisions);
+  EXPECT_EQ(merged.propagations, manual.propagations);
+  EXPECT_EQ(merged.solves, manual.solves);
+  EXPECT_GE(merged.solves, 2u) << "every member entered the race";
+}
+
+// --- diversified configs stay sound ----------------------------------------
+
+TEST(Diversification, AllConfigsAgreeWithTheDefaultOnRandomCnfs) {
+  const std::vector<SolverConfig> configs = SolverConfig::diversified(5);
+  ASSERT_EQ(configs.size(), 5u);
+  Rng rng(0xc0ffee);
+  int satCount = 0, unsatCount = 0;
+  for (int round = 0; round < 25; ++round) {
+    const int numVars = static_cast<int>(rng.range(5, 14));
+    const int numClauses = numVars * 43 / 10;
+    const Cnf cnf = randomCnf(rng, numVars, numClauses);
+
+    Solver reference;
+    const LBool expected = solveWith(reference, numVars, cnf);
+    ASSERT_NE(expected, LBool::kUndef);
+    (expected == LBool::kTrue ? satCount : unsatCount) += 1;
+
+    for (const SolverConfig& config : configs) {
+      Solver diversified(config);
+      EXPECT_EQ(solveWith(diversified, numVars, cnf), expected)
+          << "round " << round << ": config '" << config.describe()
+          << "' disagrees with the default engine";
+    }
+  }
+  EXPECT_GT(satCount, 2);
+  EXPECT_GT(unsatCount, 2);
+}
+
+TEST(Diversification, ConfigDescriptionsAreDistinct) {
+  const std::vector<SolverConfig> configs = SolverConfig::diversified(5);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    for (std::size_t j = i + 1; j < configs.size(); ++j) {
+      EXPECT_NE(configs[i].describe(), configs[j].describe());
+    }
+  }
+}
+
+// --- portfolio verdicts -----------------------------------------------------
+
+TEST(Portfolio, MatchesSingleBackendOnRandomCnfs) {
+  Rng rng(0xabcdef);
+  int satCount = 0, unsatCount = 0;
+  for (int round = 0; round < 20; ++round) {
+    const int numVars = static_cast<int>(rng.range(6, 12));
+    const int numClauses = numVars * 43 / 10;
+    const Cnf cnf = randomCnf(rng, numVars, numClauses);
+
+    Solver single;
+    const LBool expected = solveWith(single, numVars, cnf);
+
+    PortfolioSolver portfolio(SolverConfig::diversified(3));
+    const LBool raced = solveWith(portfolio, numVars, cnf);
+    EXPECT_EQ(raced, expected) << "round " << round;
+    EXPECT_GE(portfolio.lastWinner(), 0);
+    EXPECT_FALSE(portfolio.lastSolveAttribution().empty());
+    (expected == LBool::kTrue ? satCount : unsatCount) += 1;
+  }
+  EXPECT_GT(satCount, 2);
+  EXPECT_GT(unsatCount, 2);
+}
+
+TEST(Portfolio, UnsatCoreComesFromTheWinner) {
+  // x & ~x under assumptions: the core must name the contradicting pair.
+  PortfolioSolver portfolio(SolverConfig::diversified(2));
+  const Var x = portfolio.newVar();
+  const Var y = portfolio.newVar();
+  portfolio.addClause({Lit(x, false), Lit(y, false)});
+  const Lit assume[] = {Lit(x, true), Lit(y, true)};
+  EXPECT_EQ(portfolio.solve(assume), LBool::kFalse);
+  EXPECT_FALSE(portfolio.unsatCore().empty());
+  for (const Lit l : portfolio.unsatCore()) {
+    EXPECT_TRUE(l.var() == x || l.var() == y);
+  }
+}
+
+TEST(Portfolio, BudgetExhaustionOnAllMembersReturnsUndef) {
+  PortfolioSolver portfolio(SolverConfig::diversified(2));
+  encodePigeonhole(portfolio, 7);
+  portfolio.setConflictBudget(10);  // far below what pigeonhole(7) needs
+  EXPECT_EQ(portfolio.solve(), LBool::kUndef);
+  EXPECT_EQ(portfolio.lastWinner(), -1);
+  EXPECT_EQ(portfolio.lastSolveAttribution(), "no-answer");
+}
+
+TEST(Portfolio, IncrementalSessionSurvivesRaces) {
+  // Incremental use across races: add clauses between solves and keep
+  // verdicts consistent; members keep their own learnt state.
+  PortfolioSolver portfolio(SolverConfig::diversified(3));
+  const Var a = portfolio.newVar();
+  const Var b = portfolio.newVar();
+  portfolio.addClause({Lit(a, false), Lit(b, false)});
+  EXPECT_EQ(portfolio.solve(), LBool::kTrue);
+  portfolio.addClause({Lit(a, true)});
+  EXPECT_EQ(portfolio.solve(), LBool::kTrue);
+  EXPECT_TRUE(portfolio.modelValue(Lit(b, false)));
+  portfolio.addClause({Lit(b, true)});
+  EXPECT_EQ(portfolio.solve(), LBool::kFalse);
+  EXPECT_FALSE(portfolio.okay());
+}
+
+// --- cooperative cancellation ----------------------------------------------
+
+TEST(Cancellation, RequestStopAbortsARunningSolve) {
+  // Pigeonhole(9) takes far longer than this test is willing to wait; a
+  // stop request from another thread must abort it with kUndef.
+  Solver s;
+  encodePigeonhole(s, 9);
+  std::thread stopper([&s] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    s.requestStop();
+  });
+  EXPECT_EQ(s.solve(), LBool::kUndef);
+  stopper.join();
+  // The flag is sticky: a new solve without clearStop() aborts immediately.
+  EXPECT_EQ(s.solve(), LBool::kUndef);
+  s.clearStop();
+}
+
+TEST(Cancellation, StickyStopAbortsTheNextSolveUntilCleared) {
+  Solver s;
+  const Var v = s.newVar();
+  s.addClause({Lit(v, false)});
+  s.requestStop();
+  EXPECT_EQ(s.solve(), LBool::kUndef);
+  s.clearStop();
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+// A hostile member that blocks inside solveLimited() until it is stopped.
+// If the portfolio failed to cancel losers, racing it would hang the test.
+class BlockingBackend : public SolverBackend {
+ public:
+  Var newVar() override { return numVars_++; }
+  int numVars() const override { return numVars_; }
+  std::uint64_t numClauses() const override { return 0; }
+  bool addClause(std::span<const Lit>) override { return true; }
+
+  LBool solveLimited(std::span<const Lit>) override {
+    entered.store(true);
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return stopped_; });
+    return LBool::kUndef;
+  }
+
+  bool modelValue(Var) const override { return false; }
+  const std::vector<Lit>& unsatCore() const override { return empty_; }
+  bool okay() const override { return true; }
+  SolverStats stats() const override { return {}; }
+  SolverStats lastSolveStats() const override { return {}; }
+  void setConflictBudget(std::uint64_t) override {}
+  void requestStop() override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopped_ = true;
+    }
+    cv_.notify_all();
+  }
+  void clearStop() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = false;
+  }
+  std::string describe() const override { return "blocking-mock"; }
+
+  std::atomic<bool> entered{false};
+
+ private:
+  int numVars_ = 0;
+  std::vector<Lit> empty_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+};
+
+TEST(Cancellation, PortfolioStopsLosersOnceAWinnerAnswers) {
+  std::vector<std::unique_ptr<SolverBackend>> members;
+  auto blockerPtr = std::make_unique<BlockingBackend>();
+  BlockingBackend* blocker = blockerPtr.get();
+  members.push_back(std::move(blockerPtr));
+  members.push_back(std::make_unique<Solver>());
+  PortfolioSolver portfolio(std::move(members));
+
+  const Var v = portfolio.newVar();
+  portfolio.addClause({Lit(v, false)});
+
+  // The real solver answers instantly; the blocking member returns only
+  // when cancelled. solve() joining at all proves the loser was stopped.
+  EXPECT_EQ(portfolio.solve(), LBool::kTrue);
+  EXPECT_EQ(portfolio.lastWinner(), 1);
+  EXPECT_EQ(portfolio.lastVerdict(0), LBool::kUndef);
+  EXPECT_EQ(portfolio.lastVerdict(1), LBool::kTrue);
+  EXPECT_TRUE(blocker->entered.load());
+  EXPECT_EQ(portfolio.lastSolveAttribution(), Solver().describe());
+}
+
+TEST(Factory, MakeSolverBackendSelectsTheImplementation) {
+  EXPECT_NE(dynamic_cast<Solver*>(makeSolverBackend(std::vector<SolverConfig>{}).get()),
+            nullptr);
+  const std::vector<SolverConfig> one = SolverConfig::diversified(1);
+  EXPECT_NE(dynamic_cast<Solver*>(makeSolverBackend(one).get()), nullptr);
+  const std::vector<SolverConfig> four = SolverConfig::diversified(4);
+  auto backend = makeSolverBackend(four);
+  auto* portfolio = dynamic_cast<PortfolioSolver*>(backend.get());
+  ASSERT_NE(portfolio, nullptr);
+  EXPECT_EQ(portfolio->numMembers(), 4u);
+}
+
+}  // namespace
+}  // namespace upec::sat
