@@ -11,6 +11,9 @@
 //  3. Portfolio solving — the same k=1..4 ladder decided by the single
 //     CDCL backend vs a diversified portfolio race (first answer wins):
 //     identical verdicts, with per-config win attribution.
+//  4. Clause sharing — the same portfolio race with the learnt-clause
+//     exchange on: identical verdicts again (imported clauses are logical
+//     consequences), with the exported/imported flow made visible.
 #include <algorithm>
 #include <cstdio>
 #include <thread>
@@ -143,6 +146,33 @@ int main() {
               "heuristic-sensitive windows; summed conflicts show the extra work bought)\n\n",
               raceSec / singleSec);
 
+  // ---- 4: sharing-on vs sharing-off portfolio on the same ladder ---------
+  // Section [3]'s portfolio run is the sharing-off baseline.
+  std::printf("[4] window ladder k=1..4, portfolio(3) isolated vs cooperative (clause sharing)\n");
+  const JobResult& isolated = raced;
+  const double isolatedSec = raceSec;
+
+  ladder.sharing = true;
+  Stopwatch shareTimer;
+  const JobResult shared = runJob(ladder);
+  const double sharedSec = shareTimer.elapsedSeconds();
+  ladder.sharing = false;
+
+  upec::bench::Table t4(
+      {"portfolio(3)", "wall clock", "summed conflicts", "exported", "imported", "verdict"});
+  t4.addRow({"isolated", upec::bench::fmtSeconds(isolatedSec),
+             std::to_string(isolated.totalConflicts),
+             std::to_string(isolated.totalClausesExported),
+             std::to_string(isolated.totalClausesImported), verdictName(isolated.verdict)});
+  t4.addRow({"sharing", upec::bench::fmtSeconds(sharedSec),
+             std::to_string(shared.totalConflicts),
+             std::to_string(shared.totalClausesExported),
+             std::to_string(shared.totalClausesImported), verdictName(shared.verdict)});
+  t4.print();
+  std::printf("sharing wall clock: %.2fx of isolated (one member's deduction prunes\n"
+              "every member's search; the exported/imported columns show the flow)\n\n",
+              sharedSec / isolatedSec);
+
   // ---- acceptance --------------------------------------------------------
   auto check = [](bool ok, const char* what) {
     std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
@@ -167,6 +197,12 @@ int main() {
                             return a.window == b.window && a.verdict == b.verdict;
                           }),
                "portfolio ladder reproduces the single-backend verdicts");
+  all &= check(std::equal(isolated.windows.begin(), isolated.windows.end(),
+                          shared.windows.begin(), shared.windows.end(),
+                          [](const WindowResult& a, const WindowResult& b) {
+                            return a.window == b.window && a.verdict == b.verdict;
+                          }),
+               "sharing portfolio reproduces the isolated-portfolio verdicts");
   if (hw >= 4) {
     all &= check(speedup >= 2.0, "4-thread wall clock at least 2x better than 1-thread");
   } else {

@@ -2,8 +2,10 @@
 //
 // Builds the scenario × constraint-toggle matrix over the secure MiniRV
 // design, runs it on the work-stealing pool with incremental window
-// deepening, and prints the per-job verdicts plus the machine-readable
-// JSON report that downstream tooling (dashboards, CI gates) consumes.
+// deepening — each check decided by a cooperative 2-member portfolio with
+// learnt-clause sharing, under a campaign-wide solver-thread cap — and
+// prints the per-job verdicts plus the machine-readable JSON report that
+// downstream tooling (dashboards, CI gates) consumes.
 //
 // Build & run:  ./build/examples/campaign_sweep
 #include <cstdio>
@@ -28,12 +30,19 @@ int main() {
   matrix.mode = DeepeningMode::kIncremental;  // one solver per job, frames reused
   matrix.kMin = 1;
   matrix.kMax = 2;
+  matrix.portfolio = 2;   // race two diversified CDCL configs per check...
+  matrix.sharing = true;  // ...and let them exchange learnt clauses
 
   const std::vector<JobSpec> jobs = enumerateJobs(matrix);
-  std::printf("campaign: %zu jobs (2 scenarios x 2 constraint variants, k=%u..%u)\n\n",
-              jobs.size(), matrix.kMin, matrix.kMax);
+  std::printf("campaign: %zu jobs (2 scenarios x 2 constraint variants, k=%u..%u,\n"
+              "          sharing portfolio of %u per check)\n\n",
+              jobs.size(), matrix.kMin, matrix.kMax, matrix.portfolio);
 
-  const CampaignReport report = runCampaign(jobs);  // threads = all cores
+  CampaignOptions options;  // threads = all cores
+  // Cap racing member threads campaign-wide so workers x members cannot
+  // oversubscribe the machine; portfolios degrade member count instead.
+  options.solverThreadCap = 4;
+  const CampaignReport report = runCampaign(jobs, options);
 
   for (const JobResult& job : report.jobs) {
     std::printf("  job %u  %-34s -> %-8s  (%.1f s, worker %u, peak %llu vars)\n",
@@ -46,8 +55,14 @@ int main() {
   std::printf("\noverall: %s — %zu proven, %zu P-alerts, %zu L-alerts, %zu unknown\n",
               verdictName(report.overallVerdict), report.numProven, report.numPAlerts,
               report.numLAlerts, report.numUnknown);
-  std::printf("wall clock %.1f s on %u threads (sum of job times %.1f s)\n\n",
+  std::printf("wall clock %.1f s on %u threads (sum of job times %.1f s)\n",
               report.wallMs / 1e3, report.threads, report.sumJobWallMs / 1e3);
+  std::printf("solver-thread cap %u (peak in use %u); clause exchange: %llu exported, "
+              "%llu imported, %llu dropped\n\n",
+              report.solverThreadCap, report.peakSolverThreads,
+              static_cast<unsigned long long>(report.totalClausesExported),
+              static_cast<unsigned long long>(report.totalClausesImported),
+              static_cast<unsigned long long>(report.totalClausesDropped));
 
   std::printf("JSON report:\n%s\n", report.toJson().c_str());
   return report.overallVerdict == Verdict::kLAlert ? 1 : 0;

@@ -2,6 +2,7 @@
 
 #include "base/log.hpp"
 #include "base/stopwatch.hpp"
+#include "engine/governor.hpp"
 #include "engine/thread_pool.hpp"
 
 namespace upec::engine {
@@ -24,6 +25,7 @@ std::vector<JobSpec> enumerateJobs(const SweepMatrix& matrix) {
       spec.kMin = matrix.kMin;
       spec.kMax = matrix.kMax;
       spec.portfolio = matrix.portfolio;
+      spec.sharing = matrix.sharing;
       jobs.push_back(std::move(spec));
     }
   }
@@ -35,6 +37,8 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
   report.jobs.resize(jobs.size());
 
   Stopwatch campaignTimer;
+  ThreadGovernor governor(options.solverThreadCap);
+  sat::MemberGovernor* memberSlots = options.solverThreadCap != 0 ? &governor : nullptr;
   {
     WorkStealingPool pool(options.threads);
     report.threads = pool.numThreads();
@@ -43,11 +47,15 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       // Each task writes only its own slot; no synchronisation needed
       // beyond the pool's completion barrier.
-      pool.submit([&report, &jobs, i] { report.jobs[i] = runJob(jobs[i]); });
+      pool.submit([&report, &jobs, memberSlots, i] {
+        report.jobs[i] = runJob(jobs[i], memberSlots);
+      });
     }
     pool.wait();
   }
   report.wallMs = campaignTimer.elapsedMs();
+  report.solverThreadCap = options.solverThreadCap;
+  report.peakSolverThreads = governor.peakInUse();
   report.finalize();
   return report;
 }

@@ -19,6 +19,15 @@ namespace upec::engine {
 
 struct CampaignOptions {
   unsigned threads = 0;  // 0 = hardware_concurrency
+
+  // Campaign-wide cap on racing portfolio member threads (0 = ungoverned).
+  // With W pool workers racing M-member portfolios the campaign would run
+  // W×M solver threads; a cap makes portfolios degrade member count under
+  // pressure instead (see engine::ThreadGovernor). The cap is a hard
+  // ceiling: with every slot taken, a worker's next race briefly waits for
+  // another race's solve to finish. Choose cap >= threads to keep such
+  // waits rare, cap >= threads + portfolio - 1 to rule them out.
+  unsigned solverThreadCap = 0;
 };
 
 // The scenario × constraint-toggle × window-depth matrix.
@@ -44,6 +53,8 @@ struct SweepMatrix {
   // Diversified solver configurations raced per check (0/1 = single
   // backend); applied to every job of the matrix. See JobSpec::portfolio.
   unsigned portfolio = 0;
+  // Learnt-clause sharing between the racing members (JobSpec::sharing).
+  bool sharing = false;
 };
 
 // Expands the matrix into |scenarios| × |variants| labelled jobs.

@@ -1,0 +1,50 @@
+#include "engine/governor.hpp"
+
+#include <algorithm>
+
+namespace upec::engine {
+
+unsigned ThreadGovernor::acquire(unsigned want) {
+  if (want == 0) return 0;
+  if (cap_ == 0) return want;  // ungoverned: grant everything, track nothing
+  std::unique_lock<std::mutex> lock(mutex_);
+  freed_.wait(lock, [this] { return inUse_ < cap_; });
+  const unsigned granted = std::min(want, cap_ - inUse_);
+  inUse_ += granted;
+  peak_ = std::max(peak_, inUse_);
+  ++acquisitions_;
+  if (granted < want) ++degradations_;
+  return granted;
+}
+
+void ThreadGovernor::release(unsigned n) {
+  if (cap_ == 0 || n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inUse_ = n > inUse_ ? 0 : inUse_ - n;
+  }
+  // More than one waiter can proceed when several slots free at once.
+  freed_.notify_all();
+}
+
+unsigned ThreadGovernor::inUse() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inUse_;
+}
+
+unsigned ThreadGovernor::peakInUse() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_;
+}
+
+std::uint64_t ThreadGovernor::acquisitions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return acquisitions_;
+}
+
+std::uint64_t ThreadGovernor::degradations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return degradations_;
+}
+
+}  // namespace upec::engine

@@ -1,0 +1,60 @@
+// Campaign-wide solver-thread governor.
+//
+// Portfolio mode multiplies threads: a campaign of W pool workers, each
+// racing an M-member portfolio, would run W×M solver threads and thrash a
+// machine with fewer cores. The governor closes that hole with a single
+// process-wide budget of *member slots*: every portfolio race acquires one
+// slot per member before spawning (the racing member on the calling thread
+// included) and releases them when the race joins. While some slots are
+// free the race degrades gracefully — it runs with however many members it
+// was granted, down to just the baseline configuration — rather than
+// oversubscribing cores.
+//
+// acquire() blocks only while *zero* slots are free: the cap is a hard
+// ceiling, so when one race holds every slot the next race waits for a
+// release (i.e. for some running race's current solve call to join)
+// before racing even its baseline member. The wait is bounded and
+// deadlock-free: a caller never holds slots while waiting (acquire is the
+// only blocking call and it happens before any are held), and every
+// holder releases after a finite solve. Choose cap >= workers so such
+// full-stall waits stay rare, cap >= workers + members - 1 to rule them
+// out entirely. The invariant the tests pin down: the sum of outstanding
+// grants — peakInUse() — never exceeds the cap.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "sat/solver_backend.hpp"
+
+namespace upec::engine {
+
+class ThreadGovernor : public sat::MemberGovernor {
+ public:
+  // cap = maximum racing member threads across the process; 0 = ungoverned
+  // (acquire grants every request untracked).
+  explicit ThreadGovernor(unsigned cap = 0) : cap_(cap) {}
+
+  unsigned acquire(unsigned want) override;
+  void release(unsigned n) override;
+
+  unsigned cap() const { return cap_; }
+
+  // Observability / test hooks.
+  unsigned inUse() const;
+  unsigned peakInUse() const;
+  std::uint64_t acquisitions() const;   // acquire() calls granted
+  std::uint64_t degradations() const;   // grants smaller than the request
+
+ private:
+  const unsigned cap_;
+  mutable std::mutex mutex_;
+  std::condition_variable freed_;
+  unsigned inUse_ = 0;
+  unsigned peak_ = 0;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t degradations_ = 0;
+};
+
+}  // namespace upec::engine

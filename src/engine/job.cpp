@@ -45,6 +45,9 @@ void accumulate(JobResult& res, const formal::BmcStats& stats) {
   res.peakClauses = std::max(res.peakClauses, stats.clauses);
   res.totalConflicts += stats.conflicts;
   res.totalPropagations += stats.propagations;
+  res.totalClausesExported += stats.clausesExported;
+  res.totalClausesImported += stats.clausesImported;
+  res.totalClausesDropped += stats.clausesDropped;
   res.sumVars += stats.vars;
 }
 
@@ -104,12 +107,15 @@ void runDriver(const JobSpec& spec, const UpecOptions& options, Miter& miter,
   res.peakClauses = report.peakClauses;
   res.totalConflicts = report.totalConflicts;
   res.totalPropagations = report.totalPropagations;
+  res.totalClausesExported = report.totalClausesExported;
+  res.totalClausesImported = report.totalClausesImported;
+  res.totalClausesDropped = report.totalClausesDropped;
   res.methodology = report;
 }
 
 }  // namespace
 
-JobResult runJob(const JobSpec& spec) {
+JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor) {
   JobResult res;
   res.id = spec.id;
   res.label = spec.label;
@@ -121,6 +127,8 @@ JobResult runJob(const JobSpec& spec) {
   UpecOptions options = spec.options;
   options.incrementalDeepening = spec.mode == DeepeningMode::kIncremental;
   if (spec.portfolio != 0) options.portfolio = spec.portfolio;
+  if (spec.sharing) options.portfolioSharing = true;
+  if (governor != nullptr) options.governor = governor;
 
   if (spec.kind == JobKind::kIntervalLadder) {
     runLadder(spec, options, miter, res);

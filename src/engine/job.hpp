@@ -55,6 +55,10 @@ struct JobSpec {
   // check, first answer wins (see sat::PortfolioSolver). 0/1 = the single
   // default backend. Overrides options.portfolio when non-zero.
   unsigned portfolio = 0;
+  // Cooperative portfolio: members share learnt clauses through a
+  // sat::ClauseExchange (verdict-preserving; see src/sat/README.md). Only
+  // meaningful when a portfolio races.
+  bool sharing = false;
 
   // Ladder jobs only: register names dropped from the proof obligation
   // (e.g. UpecEngine::allMicroNames() for an L-alert hunt).
@@ -91,6 +95,10 @@ struct JobResult {
   std::uint64_t peakClauses = 0;
   std::uint64_t totalConflicts = 0;
   std::uint64_t totalPropagations = 0;
+  // Learnt-clause exchange flow across the job's checks (sharing jobs).
+  std::uint64_t totalClausesExported = 0;
+  std::uint64_t totalClausesImported = 0;
+  std::uint64_t totalClausesDropped = 0;
   // Portfolio attribution (ladder jobs): how many checks each solver
   // configuration answered first, keyed by the config's description. A
   // single-backend job reports all its checks under the default config.
@@ -110,7 +118,9 @@ struct JobResult {
 Verdict mergeVerdicts(Verdict a, Verdict b);
 
 // Runs one job to completion on the calling thread. Exposed for tests and
-// for running campaigns without a pool.
-JobResult runJob(const JobSpec& spec);
+// for running campaigns without a pool. A non-null governor caps the job's
+// portfolio member threads campaign-wide (see engine::ThreadGovernor);
+// runCampaign passes its own when CampaignOptions::solverThreadCap is set.
+JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor = nullptr);
 
 }  // namespace upec::engine

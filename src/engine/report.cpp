@@ -12,6 +12,7 @@ void CampaignReport::finalize() {
   sumJobWallMs = 0.0;
   totalConflicts = totalPropagations = 0;
   peakVars = peakClauses = 0;
+  totalClausesExported = totalClausesImported = totalClausesDropped = 0;
   for (const JobResult& job : jobs) {
     overallVerdict = mergeVerdicts(overallVerdict, job.verdict);
     switch (job.verdict) {
@@ -23,6 +24,9 @@ void CampaignReport::finalize() {
     sumJobWallMs += job.wallMs;
     totalConflicts += job.totalConflicts;
     totalPropagations += job.totalPropagations;
+    totalClausesExported += job.totalClausesExported;
+    totalClausesImported += job.totalClausesImported;
+    totalClausesDropped += job.totalClausesDropped;
     peakVars = std::max(peakVars, job.peakVars);
     peakClauses = std::max(peakClauses, job.peakClauses);
   }
@@ -78,6 +82,11 @@ void jsonWindow(std::ostream& os, const WindowResult& w) {
      << ",\"encode_ms\":" << fmtMs(w.stats.encodeMs)
      << ",\"solve_ms\":" << fmtMs(w.stats.solveMs)
      << ",\"wall_ms\":" << fmtMs(w.wallMs);
+  if (w.stats.clausesExported | w.stats.clausesImported | w.stats.clausesDropped) {
+    os << ",\"clauses_exported\":" << w.stats.clausesExported
+       << ",\"clauses_imported\":" << w.stats.clausesImported
+       << ",\"clauses_dropped\":" << w.stats.clausesDropped;
+  }
   if (!w.stats.solvedBy.empty()) {
     os << ",\"solved_by\":";
     jsonString(os, w.stats.solvedBy);
@@ -103,7 +112,10 @@ void jsonJob(std::ostream& os, const JobResult& job) {
      << ",\"worker\":" << job.worker << ",\"wall_ms\":" << fmtMs(job.wallMs)
      << ",\"peak_vars\":" << job.peakVars << ",\"peak_clauses\":" << job.peakClauses
      << ",\"sum_vars\":" << job.sumVars << ",\"conflicts\":" << job.totalConflicts
-     << ",\"propagations\":" << job.totalPropagations;
+     << ",\"propagations\":" << job.totalPropagations
+     << ",\"clauses_exported\":" << job.totalClausesExported
+     << ",\"clauses_imported\":" << job.totalClausesImported
+     << ",\"clauses_dropped\":" << job.totalClausesDropped;
   os << ",\"l_alert_registers\":";
   jsonStringArray(os, job.lAlertRegisters);
   os << ",\"p_alert_registers\":";
@@ -139,10 +151,15 @@ std::string CampaignReport::toJson() const {
   os << "{\"overall_verdict\":\"" << verdictName(overallVerdict) << '"'
      << ",\"threads\":" << threads << ",\"wall_ms\":" << fmtMs(wallMs)
      << ",\"sum_job_wall_ms\":" << fmtMs(sumJobWallMs)
+     << ",\"solver_thread_cap\":" << solverThreadCap
+     << ",\"peak_solver_threads\":" << peakSolverThreads
      << ",\"num_proven\":" << numProven << ",\"num_p_alerts\":" << numPAlerts
      << ",\"num_l_alerts\":" << numLAlerts << ",\"num_unknown\":" << numUnknown
      << ",\"total_conflicts\":" << totalConflicts
      << ",\"total_propagations\":" << totalPropagations
+     << ",\"clauses_exported\":" << totalClausesExported
+     << ",\"clauses_imported\":" << totalClausesImported
+     << ",\"clauses_dropped\":" << totalClausesDropped
      << ",\"peak_vars\":" << peakVars << ",\"peak_clauses\":" << peakClauses
      << ",\"jobs\":[";
   for (std::size_t i = 0; i < jobs.size(); ++i) {

@@ -18,6 +18,11 @@ struct CampaignReport {
   std::vector<JobResult> jobs;  // submission order
   unsigned threads = 0;
   double wallMs = 0.0;
+  // Thread governance (CampaignOptions::solverThreadCap): the configured
+  // cap and the highest number of member slots ever held at once. Zero cap
+  // means ungoverned (peak untracked).
+  unsigned solverThreadCap = 0;
+  unsigned peakSolverThreads = 0;
 
   // Aggregates, filled by finalize().
   Verdict overallVerdict = Verdict::kProven;
@@ -30,6 +35,10 @@ struct CampaignReport {
   std::uint64_t totalPropagations = 0;
   std::uint64_t peakVars = 0;
   std::uint64_t peakClauses = 0;
+  // Learnt-clause exchange flow summed over all jobs (sharing campaigns).
+  std::uint64_t totalClausesExported = 0;
+  std::uint64_t totalClausesImported = 0;
+  std::uint64_t totalClausesDropped = 0;
 
   // Recomputes the aggregate fields from `jobs`.
   void finalize();

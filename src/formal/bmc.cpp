@@ -57,6 +57,9 @@ void fillSolveStats(BmcStats& stats, const sat::SolverBackend& solver) {
   stats.conflicts = delta.conflicts;
   stats.propagations = delta.propagations;
   stats.decisions = delta.decisions;
+  stats.clausesExported = delta.clausesExported;
+  stats.clausesImported = delta.clausesImported;
+  stats.clausesDropped = delta.clausesDropped;
   stats.solvedBy = solver.lastSolveAttribution();
 }
 
@@ -75,8 +78,11 @@ struct BmcEngine::Session {
   // Invariant assumptions: per signal, asserted over cycles 0..upTo.
   std::map<rtl::NodeId, unsigned> invariantUpTo;
 
-  Session(const rtl::Design& design, const std::vector<sat::SolverConfig>& configs)
-      : solver(sat::makeSolverBackend(configs)), cnf(*solver), unroller(design, cnf) {}
+  Session(const rtl::Design& design, const std::vector<sat::SolverConfig>& configs,
+          const sat::PortfolioOptions& portfolio)
+      : solver(sat::makeSolverBackend(configs, portfolio)),
+        cnf(*solver),
+        unroller(design, cnf) {}
 };
 
 BmcEngine::BmcEngine(const rtl::Design& design) : design_(design) {}
@@ -92,7 +98,8 @@ CheckResult BmcEngine::check(const IntervalProperty& property) {
   CheckResult result;
   Stopwatch encodeTimer;
 
-  const std::unique_ptr<sat::SolverBackend> solverPtr = sat::makeSolverBackend(solverConfigs_);
+  const std::unique_ptr<sat::SolverBackend> solverPtr =
+      sat::makeSolverBackend(solverConfigs_, portfolioOptions_);
   sat::SolverBackend& solver = *solverPtr;
   if (conflictBudget_ != 0) solver.setConflictBudget(conflictBudget_);
   CnfBuilder cnf(solver);
@@ -155,7 +162,7 @@ CheckResult BmcEngine::checkIncremental(const IntervalProperty& property) {
   Stopwatch encodeTimer;
 
   if (!session_) {
-    session_ = std::make_unique<Session>(design_, solverConfigs_);
+    session_ = std::make_unique<Session>(design_, solverConfigs_, portfolioOptions_);
     for (const auto& [master, follower] : aliases_) {
       session_->unroller.aliasInitialState(master, follower);
     }

@@ -42,6 +42,11 @@ struct BmcStats {
   std::uint64_t conflicts = 0;
   std::uint64_t propagations = 0;
   std::uint64_t decisions = 0;
+  // Learnt-clause exchange flow of this check (zero without a sharing
+  // portfolio): clauses published / attached / lost across all members.
+  std::uint64_t clausesExported = 0;
+  std::uint64_t clausesImported = 0;
+  std::uint64_t clausesDropped = 0;
   double solveMs = 0.0;
   double encodeMs = 0.0;
   // Which solver configuration answered (portfolio attribution; a single
@@ -79,6 +84,14 @@ class BmcEngine {
     solverConfigs_ = std::move(configs);
   }
   const std::vector<sat::SolverConfig>& solverConfigs() const { return solverConfigs_; }
+
+  // Portfolio-wide behaviour (learnt-clause sharing, member-slot governor);
+  // only meaningful with 2+ solver configs. Same session caveat as
+  // setSolverConfigs: set before the first checkIncremental().
+  void setPortfolioOptions(const sat::PortfolioOptions& options) {
+    portfolioOptions_ = options;
+  }
+  const sat::PortfolioOptions& portfolioOptions() const { return portfolioOptions_; }
 
   // Registers whose frame-0 variables are shared (structural equality of
   // the symbolic initial state); see Unroller::aliasInitialState. For
@@ -123,6 +136,7 @@ class BmcEngine {
   const rtl::Design& design_;
   std::uint64_t conflictBudget_ = 0;
   std::vector<sat::SolverConfig> solverConfigs_;
+  sat::PortfolioOptions portfolioOptions_;
   std::vector<std::pair<rtl::NodeId, rtl::NodeId>> aliases_;
   std::unique_ptr<Session> session_;
 };

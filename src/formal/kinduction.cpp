@@ -15,6 +15,7 @@ KInductionResult KInduction::prove(rtl::Sig invariant, rtl::Sig init, unsigned m
       BmcEngine engine(design_);
       if (conflictBudget_ != 0) engine.setConflictBudget(conflictBudget_);
       engine.setSolverConfigs(solverConfigs_);
+      engine.setPortfolioOptions(portfolioOptions_);
       const CheckResult res = engine.check(base);
       result.lastStats = res.stats;
       if (res.status == CheckStatus::kCounterexample) {
@@ -37,6 +38,7 @@ KInductionResult KInduction::prove(rtl::Sig invariant, rtl::Sig init, unsigned m
       BmcEngine engine(design_);
       if (conflictBudget_ != 0) engine.setConflictBudget(conflictBudget_);
       engine.setSolverConfigs(solverConfigs_);
+      engine.setPortfolioOptions(portfolioOptions_);
       const CheckResult res = engine.check(step);
       result.lastStats = res.stats;
       if (res.status == CheckStatus::kProven) {

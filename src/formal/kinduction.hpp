@@ -38,6 +38,12 @@ class KInduction {
     solverConfigs_ = std::move(configs);
   }
 
+  // Portfolio-wide behaviour (learnt-clause sharing, member-slot governor)
+  // for the raced base/step queries.
+  void setPortfolioOptions(const sat::PortfolioOptions& options) {
+    portfolioOptions_ = options;
+  }
+
   // `invariant`: 1-bit signal that must hold in every cycle.
   // `init`: 1-bit signal characterising the initial-state region (may be
   // an always-true constant for any-state proofs).
@@ -47,6 +53,7 @@ class KInduction {
   const rtl::Design& design_;
   std::uint64_t conflictBudget_ = 0;
   std::vector<sat::SolverConfig> solverConfigs_;
+  sat::PortfolioOptions portfolioOptions_;
 };
 
 }  // namespace upec::formal

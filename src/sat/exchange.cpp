@@ -1,0 +1,140 @@
+#include "sat/exchange.hpp"
+
+#include <cassert>
+
+namespace upec::sat {
+
+// ----------------------------------------------------------- ClauseFilter ---
+
+ClauseFilter::ClauseFilter(std::size_t slots) {
+  std::size_t n = 16;
+  while (n < slots) n <<= 1;
+  table_.assign(n, 0);
+  mask_ = n - 1;
+}
+
+std::uint64_t ClauseFilter::signature(std::span<const Lit> lits) {
+  // Commutative combination (sum and xor of per-literal mixes) so literal
+  // order does not matter; the size in the top byte separates clauses whose
+  // literal multisets would otherwise collide trivially.
+  std::uint64_t sum = 0, mix = 0;
+  for (const Lit l : lits) {
+    std::uint64_t h =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(l.code())) + 0x9e3779b97f4a7c15ull;
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    sum += h;
+    mix ^= h;
+  }
+  std::uint64_t sig =
+      sum ^ (mix * 0x2545f4914f6cdd1dull) ^ (static_cast<std::uint64_t>(lits.size()) << 56);
+  return sig == 0 ? 1 : sig;  // 0 is the empty-slot marker
+}
+
+bool ClauseFilter::insert(std::span<const Lit> lits) {
+  const std::uint64_t sig = signature(lits);
+  const std::size_t base = static_cast<std::size_t>(sig) & mask_;
+  constexpr std::size_t kProbes = 8;
+  for (std::size_t p = 0; p < kProbes; ++p) {
+    std::uint64_t& slot = table_[(base + p) & mask_];
+    if (slot == sig) return false;
+    if (slot == 0) {
+      slot = sig;
+      return true;
+    }
+  }
+  table_[base] = sig;  // probe window full: evict the oldest-looking entry
+  return true;
+}
+
+void ClauseFilter::remove(std::span<const Lit> lits) {
+  const std::uint64_t sig = signature(lits);
+  const std::size_t base = static_cast<std::size_t>(sig) & mask_;
+  constexpr std::size_t kProbes = 8;
+  for (std::size_t p = 0; p < kProbes; ++p) {
+    std::uint64_t& slot = table_[(base + p) & mask_];
+    if (slot == sig) {
+      slot = 0;
+      return;
+    }
+    if (slot == 0) return;
+  }
+}
+
+// --------------------------------------------------------- ClauseExchange ---
+
+ClauseExchange::ClauseExchange(unsigned members, std::size_t capacity)
+    : slots_(capacity == 0 ? 1 : capacity), cursors_(members) {
+  assert(members > 0);
+}
+
+bool ClauseExchange::publish(unsigned member, std::span<const Lit> lits) {
+  // An attempt fails only when this producer was descheduled for a whole
+  // ring lap between claiming the index and taking the slot lock (a newer
+  // clause owns the slot, and overwriting it backwards would stall
+  // readers). A fresh index on retry is then almost certain to succeed;
+  // giving up leaves a never-published hole that readers skip once the
+  // slot is reused.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[idx % slots_.size()];
+    {
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      if (static_cast<std::int64_t>(idx) <= slot.version.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      slot.lits.assign(lits.begin(), lits.end());
+      slot.source = member;
+      slot.version.store(static_cast<std::int64_t>(idx), std::memory_order_release);
+    }
+    published_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+ClauseExchange::DrainStats ClauseExchange::drain(
+    unsigned member, const std::function<void(std::span<const Lit>)>& sink) {
+  assert(member < cursors_.size());
+  DrainStats out;
+  std::uint64_t next = cursors_[member].next;
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::size_t cap = slots_.size();
+
+  if (head > next + cap) {  // fell at least a lap behind: the gap is gone
+    out.overrun += static_cast<std::size_t>(head - cap - next);
+    next = head - cap;
+  }
+
+  std::vector<Lit> scratch;
+  for (; next < head; ++next) {
+    Slot& slot = slots_[next % cap];
+    bool ready = false;
+    unsigned source = 0;
+    {
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      const std::int64_t v = slot.version.load(std::memory_order_relaxed);
+      if (v == static_cast<std::int64_t>(next)) {
+        source = slot.source;
+        scratch.assign(slot.lits.begin(), slot.lits.end());
+        ready = true;
+      } else if (v < static_cast<std::int64_t>(next)) {
+        break;  // claimed but not yet published; pick it up on the next drain
+      } else {
+        ++out.overrun;  // overwritten before this member got here
+        continue;
+      }
+    }
+    if (ready && source != member) {
+      sink(std::span<const Lit>(scratch.data(), scratch.size()));
+      ++out.delivered;
+    }
+  }
+  cursors_[member].next = next;
+  return out;
+}
+
+}  // namespace upec::sat

@@ -1,0 +1,128 @@
+// Learnt-clause exchange for cooperative portfolio solving.
+//
+// Diversified CDCL members racing the same miter encoding re-derive the
+// same conflict clauses over and over; a ClauseExchange lets each member
+// publish its short, low-LBD learnts and import everyone else's, so one
+// member's deduction prunes every member's search. Soundness is free:
+// a learnt clause is produced by resolution over the clause database
+// alone (assumptions enter the search as decisions, not clauses), so it
+// is a logical consequence of the shared formula and may be attached by
+// any member that owns the same problem clauses.
+//
+// Shape: a bounded multi-producer/multi-consumer *broadcast* ring.
+// Producers claim a slot with one fetch_add on the global head and write
+// the clause under that slot's own mutex; consumers do not pop — each
+// member keeps a private cursor and reads every slot published since its
+// last drain, skipping its own clauses. A consumer that falls a full lap
+// behind loses the overwritten clauses (counted as drops, never blocking
+// a producer), which is the eviction policy: the exchange favours fresh
+// clauses over complete delivery. Per-slot mutexes are held only for the
+// length of one clause copy, so contention is negligible next to CDCL
+// propagation, and every payload access is lock-protected — the design
+// is exactly as fast as a seqlock here (clauses are a handful of words)
+// while staying data-race-free under ThreadSanitizer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace upec::sat {
+
+// Fixed-size set of 64-bit clause signatures: the importer's (and
+// exporter's) cheap duplicate filter. insert() returns false when the
+// signature is already present. The signature is order-independent, so a
+// clause re-derived by another member with a different literal order is
+// still recognised. False positives (distinct clauses colliding on one
+// signature) merely suppress an import and can never affect soundness;
+// when a probe window fills up, old signatures are overwritten, so false
+// negatives (a duplicate slipping through) are possible too — a duplicate
+// learnt is redundant but equally harmless.
+class ClauseFilter {
+ public:
+  explicit ClauseFilter(std::size_t slots = 1 << 13);
+
+  // True if the clause was new (and is now remembered).
+  bool insert(std::span<const Lit> lits);
+
+  // Forgets the clause if present (an exporter un-remembers a clause whose
+  // publish failed, so re-deriving it can share it after all). Zeroing a
+  // probe-chain slot may turn other entries into false "new"s — harmless,
+  // like any other false negative of this filter.
+  void remove(std::span<const Lit> lits);
+
+  static std::uint64_t signature(std::span<const Lit> lits);
+
+ private:
+  std::vector<std::uint64_t> table_;  // 0 = empty slot
+  std::size_t mask_ = 0;
+};
+
+class ClauseExchange {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 2048;
+
+  // `members` consumers (ids 0..members-1) share `capacity` ring slots.
+  // All members must be known up front: attach happens at portfolio
+  // construction, before any thread races.
+  explicit ClauseExchange(unsigned members, std::size_t capacity = kDefaultCapacity);
+  ClauseExchange(const ClauseExchange&) = delete;
+  ClauseExchange& operator=(const ClauseExchange&) = delete;
+
+  unsigned members() const { return static_cast<unsigned>(cursors_.size()); }
+  std::size_t capacity() const { return slots_.size(); }
+
+  // Publishes a clause on behalf of `member`. The clause must be free of
+  // duplicate and complementary literals (conflict-analysis output always
+  // is). Never blocks on consumers: a slot not yet drained by a slow
+  // member is simply overwritten. Returns false in one rare corner — the
+  // producer was descheduled for a whole ring lap and a newer clause
+  // already owns its slot — meaning the clause was dropped, not stored
+  // (and does not count toward published()).
+  bool publish(unsigned member, std::span<const Lit> lits);
+
+  struct DrainStats {
+    std::size_t delivered = 0;  // foreign clauses handed to the sink
+    // Publish indices this member never got to read (ring wrap-around).
+    // An *upper bound* on lost foreign clauses: a lap-behind gap is
+    // counted wholesale, so it may include the member's own publishes and
+    // the rare abandoned index (see publish()).
+    std::size_t overrun = 0;
+  };
+
+  // Invokes `sink` for every clause published since `member`'s previous
+  // drain, except the member's own. Must only be called by the thread
+  // currently driving that member (the cursor is unsynchronised by
+  // design). The span passed to the sink is valid only for the call.
+  DrainStats drain(unsigned member, const std::function<void(std::span<const Lit>)>& sink);
+
+  // Clauses ever accepted into the ring (all producers).
+  std::uint64_t published() const { return published_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Slot {
+    std::mutex mutex;
+    // Publish index of the clause held, -1 before first use. Today every
+    // access (version and payload alike) happens under the slot mutex;
+    // the atomic keeps a future unlocked is-it-worth-locking peek
+    // well-defined without a protocol change.
+    std::atomic<std::int64_t> version{-1};
+    unsigned source = 0;
+    std::vector<Lit> lits;
+  };
+  struct alignas(64) Cursor {  // one cache line per member: no false sharing
+    std::uint64_t next = 0;
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<Cursor> cursors_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> published_{0};
+};
+
+}  // namespace upec::sat

@@ -8,17 +8,31 @@
 
 namespace upec::sat {
 
-PortfolioSolver::PortfolioSolver(std::span<const SolverConfig> configs) {
+PortfolioSolver::PortfolioSolver(std::span<const SolverConfig> configs,
+                                 const PortfolioOptions& options)
+    : options_(options) {
   assert(!configs.empty());
   members_.reserve(configs.size());
   for (const SolverConfig& c : configs) members_.push_back(std::make_unique<Solver>(c));
-  lastVerdicts_.assign(members_.size(), LBool::kUndef);
+  initMembers();
 }
 
-PortfolioSolver::PortfolioSolver(std::vector<std::unique_ptr<SolverBackend>> members)
-    : members_(std::move(members)) {
+PortfolioSolver::PortfolioSolver(std::vector<std::unique_ptr<SolverBackend>> members,
+                                 const PortfolioOptions& options)
+    : options_(options), members_(std::move(members)) {
   assert(!members_.empty());
+  initMembers();
+}
+
+void PortfolioSolver::initMembers() {
   lastVerdicts_.assign(members_.size(), LBool::kUndef);
+  if (options_.sharing && members_.size() > 1) {
+    exchange_ = std::make_unique<ClauseExchange>(static_cast<unsigned>(members_.size()),
+                                                 options_.exchangeCapacity);
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      members_[i]->attachExchange(exchange_.get(), static_cast<unsigned>(i));
+    }
+  }
 }
 
 PortfolioSolver::~PortfolioSolver() = default;
@@ -51,9 +65,23 @@ bool PortfolioSolver::okay() const {
 LBool PortfolioSolver::solveLimited(std::span<const Lit> assumptions) {
   lastWinner_ = -1;
   lastVerdicts_.assign(members_.size(), LBool::kUndef);
+  lastRaceSize_ = 0;  // nobody raced yet: an early exit reports empty deltas
   if (externalStop_.load(std::memory_order_relaxed)) {
     return LBool::kUndef;  // sticky, like Solver
   }
+
+  // Under a governor each racing member (including the one on the calling
+  // thread) holds a slot for the duration of the race. A short grant sheds
+  // members from the tail, so member 0 — the baseline configuration — is
+  // always among the racers and a fully-degraded race equals the single
+  // default backend.
+  unsigned held = 0;
+  lastRaceSize_ = members_.size();
+  if (options_.governor != nullptr && members_.size() > 1) {
+    held = options_.governor->acquire(static_cast<unsigned>(members_.size()));
+    lastRaceSize_ = std::max<std::size_t>(1, held);
+  }
+  const std::size_t racing = lastRaceSize_;
 
   // Erase loser-stops from the previous race before anyone starts. Done
   // single-threaded here so a slow-starting member cannot miss a stop
@@ -62,7 +90,11 @@ LBool PortfolioSolver::solveLimited(std::span<const Lit> assumptions) {
   // An external requestStop() that landed between the entry check and the
   // clearStop loop had its member flags wiped above — re-check so the
   // cancellation is honoured instead of silently dropped for this call.
-  if (externalStop_.load(std::memory_order_relaxed)) return LBool::kUndef;
+  if (externalStop_.load(std::memory_order_relaxed)) {
+    if (held != 0) options_.governor->release(held);
+    lastRaceSize_ = 0;
+    return LBool::kUndef;
+  }
 
   std::atomic<int> winner{-1};
   auto race = [&](std::size_t i) {
@@ -71,7 +103,7 @@ LBool PortfolioSolver::solveLimited(std::span<const Lit> assumptions) {
     if (verdict != LBool::kUndef) {
       int expected = -1;
       if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
-        for (std::size_t j = 0; j < members_.size(); ++j) {
+        for (std::size_t j = 0; j < racing; ++j) {
           if (j != i) members_[j]->requestStop();
         }
       }
@@ -79,10 +111,11 @@ LBool PortfolioSolver::solveLimited(std::span<const Lit> assumptions) {
   };
 
   std::vector<std::thread> threads;
-  threads.reserve(members_.size() - 1);
-  for (std::size_t i = 1; i < members_.size(); ++i) threads.emplace_back(race, i);
+  threads.reserve(racing - 1);
+  for (std::size_t i = 1; i < racing; ++i) threads.emplace_back(race, i);
   race(0);
   for (std::thread& t : threads) t.join();
+  if (held != 0) options_.governor->release(held);
 
   lastWinner_ = winner.load();
   return lastWinner_ >= 0 ? lastVerdicts_[static_cast<std::size_t>(lastWinner_)]
@@ -106,8 +139,11 @@ SolverStats PortfolioSolver::stats() const {
 }
 
 SolverStats PortfolioSolver::lastSolveStats() const {
+  // Sum only the members that actually raced last time: a governor-shed
+  // member never entered solveLimited(), so its "last solve" delta is the
+  // stale one from an earlier race and must not be re-counted.
   SolverStats sum;
-  for (const auto& m : members_) sum += m->lastSolveStats();
+  for (std::size_t i = 0; i < lastRaceSize_; ++i) sum += members_[i]->lastSolveStats();
   return sum;
 }
 
@@ -134,6 +170,7 @@ std::string PortfolioSolver::describe() const {
     out += members_[i]->describe();
   }
   out += "]";
+  if (exchange_ != nullptr) out += "+sharing";
   return out;
 }
 

@@ -14,6 +14,15 @@
 // which exit through the same early-return path as the conflict budget.
 // solveLimited() joins all race threads before returning, so after it
 // returns no thread touches the members and reads need no locks.
+//
+// Two portfolio-wide options (PortfolioOptions) make the race cooperative
+// rather than merely competitive:
+//  * sharing — the portfolio owns a ClauseExchange and attaches every
+//    member to it, so learnt clauses flow between the racers;
+//  * governor — a global member-slot cap (engine::ThreadGovernor): each
+//    race first acquires one slot per member and degrades gracefully to
+//    however many it was granted, always keeping member 0 (the baseline
+//    configuration), so campaigns cannot oversubscribe the machine.
 #pragma once
 
 #include <atomic>
@@ -23,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "sat/exchange.hpp"
 #include "sat/solver_backend.hpp"
 
 namespace upec::sat {
@@ -30,12 +40,16 @@ namespace upec::sat {
 class PortfolioSolver : public SolverBackend {
  public:
   // One CDCL member per configuration (at least one required).
-  explicit PortfolioSolver(std::span<const SolverConfig> configs);
-  explicit PortfolioSolver(const std::vector<SolverConfig>& configs)
-      : PortfolioSolver(std::span<const SolverConfig>(configs.data(), configs.size())) {}
+  explicit PortfolioSolver(std::span<const SolverConfig> configs,
+                           const PortfolioOptions& options = {});
+  explicit PortfolioSolver(const std::vector<SolverConfig>& configs,
+                           const PortfolioOptions& options = {})
+      : PortfolioSolver(std::span<const SolverConfig>(configs.data(), configs.size()),
+                        options) {}
   // Arbitrary pre-built members — used by tests to inject hostile backends
   // (e.g. one that blocks until cancelled).
-  explicit PortfolioSolver(std::vector<std::unique_ptr<SolverBackend>> members);
+  explicit PortfolioSolver(std::vector<std::unique_ptr<SolverBackend>> members,
+                           const PortfolioOptions& options = {});
   ~PortfolioSolver() override;
 
   // --- SolverBackend -------------------------------------------------------
@@ -51,7 +65,7 @@ class PortfolioSolver : public SolverBackend {
   const std::vector<Lit>& unsatCore() const override;
   bool okay() const override;
   SolverStats stats() const override;          // summed over all members
-  SolverStats lastSolveStats() const override; // summed over the last race
+  SolverStats lastSolveStats() const override; // summed over last race's racers only
   void setConflictBudget(std::uint64_t budget) override;  // per member
   void requestStop() override;
   void clearStop() override;
@@ -66,12 +80,26 @@ class PortfolioSolver : public SolverBackend {
   // Index of the member whose answer the last solveLimited() returned, or
   // -1 when no member answered (all budget-limited or stopped).
   int lastWinner() const { return lastWinner_; }
-  // What each member returned in the last race (kUndef for stopped losers).
+  // What each member returned in the last race (kUndef for stopped losers
+  // and for members shed by the governor).
   LBool lastVerdict(std::size_t i) const { return lastVerdicts_[i]; }
 
+  const PortfolioOptions& options() const { return options_; }
+  // The learnt-clause pool, or null when sharing is off.
+  const ClauseExchange* exchange() const { return exchange_.get(); }
+  // How many members actually raced in the last solveLimited() (fewer than
+  // numMembers() when the governor degraded the race).
+  std::size_t lastRaceSize() const { return lastRaceSize_; }
+
  private:
+  void initMembers();  // verdict slots + exchange creation/attachment
+
+  PortfolioOptions options_;
+  // Declared before the members so it outlives them on destruction.
+  std::unique_ptr<ClauseExchange> exchange_;
   std::vector<std::unique_ptr<SolverBackend>> members_;
   std::vector<LBool> lastVerdicts_;
+  std::size_t lastRaceSize_ = 0;
   int lastWinner_ = -1;
   // requestStop() arrived from outside a race; may be set from another
   // thread while solveLimited() runs (same contract as Solver::stop_).

@@ -412,6 +412,9 @@ LBool Solver::solveLimited(std::span<const Lit> assumptions) {
   assumptions_.assign(assumptions.begin(), assumptions.end());
   model_.clear();
 
+  // Pick up clauses other members derived since our last race/restart.
+  if (exchange_ != nullptr && !importForeignClauses()) return LBool::kFalse;
+
   std::uint64_t restartNum = 0;
   std::uint64_t conflictsUntilRestart = restartInterval(restartNum);
   std::uint64_t conflictsThisRestart = 0;
@@ -436,6 +439,7 @@ LBool Solver::solveLimited(std::span<const Lit> assumptions) {
       }
       int btLevel = 0;
       analyze(conflict, learntClause, btLevel);
+      if (exchange_ != nullptr) exportLearnt(learntClause);  // pre-backtrack: LBD needs levels
       backtrack(btLevel);
       if (learntClause.size() == 1) {
         enqueue(learntClause[0], nullptr);
@@ -466,6 +470,9 @@ LBool Solver::solveLimited(std::span<const Lit> assumptions) {
       if (config_.phasePolicy == PhasePolicy::kReset) {
         polarity_.assign(polarity_.size(), defaultPolarity());
       }
+      // Restart boundary = the cheap moment to adopt foreign clauses: the
+      // trail is back at level 0, so imports attach without repair work.
+      if (exchange_ != nullptr && !importForeignClauses()) return LBool::kFalse;
       continue;
     }
     if (learnts_.size() >= maxLearnts_) {
@@ -505,6 +512,88 @@ LBool Solver::solveLimited(std::span<const Lit> assumptions) {
 bool Solver::modelValue(Var v) const {
   assert(!model_.empty() && v < static_cast<int>(model_.size()));
   return model_[v] == LBool::kTrue;
+}
+
+// ------------------------------------------------------ clause exchange ---
+
+void Solver::attachExchange(ClauseExchange* exchange, unsigned member) {
+  exchange_ = exchange;
+  exchangeMember_ = member;
+  shareFilter_ = exchange ? std::make_unique<ClauseFilter>() : nullptr;
+}
+
+unsigned Solver::computeLbd(const std::vector<Lit>& lits) {
+  if (++lbdStamp_ == 0) {  // stamp wrapped: invalidate the whole table
+    lbdSeen_.assign(lbdSeen_.size(), 0);
+    lbdStamp_ = 1;
+  }
+  unsigned lbd = 0;
+  for (const Lit l : lits) {
+    const auto lev = static_cast<unsigned>(level_[l.var()]);
+    if (lev >= lbdSeen_.size()) lbdSeen_.resize(lev + 1, 0);
+    if (lbdSeen_[lev] != lbdStamp_) {
+      lbdSeen_[lev] = lbdStamp_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+void Solver::exportLearnt(const std::vector<Lit>& learnt) {
+  if (learnt.size() > config_.shareMaxLits) return;
+  if (learnt.size() > 1 && computeLbd(learnt) > config_.shareMaxLbd) return;
+  const std::span<const Lit> lits(learnt.data(), learnt.size());
+  // Remembering our own exports also stops a later re-import of the same
+  // clause when another member derives it independently.
+  if (!shareFilter_->insert(lits)) return;
+  if (exchange_->publish(exchangeMember_, lits)) {
+    ++stats_.clausesExported;  // keeps published() == sum of exports exact
+  } else {
+    // Evicted before it was ever stored (full-lap producer stall). Forget
+    // it so a later re-derivation gets another chance to share it.
+    shareFilter_->remove(lits);
+    ++stats_.clausesDropped;
+  }
+}
+
+bool Solver::importForeignClauses() {
+  assert(decisionLevel() == 0);
+  const auto sink = [this](std::span<const Lit> lits) {
+    if (!ok_) return;  // already unsat at top level; drain just advances the cursor
+    if (!shareFilter_->insert(lits)) {
+      ++stats_.clausesDropped;  // duplicate of something we saw or exported
+      return;
+    }
+    // Simplify against the top-level assignment. A foreign learnt is a
+    // consequence of the shared problem clauses (resolution never touches
+    // assumptions), so anything left after simplification may be attached
+    // as if we had derived it ourselves.
+    importScratch_.clear();
+    for (const Lit l : lits) {
+      const LBool v = value(l);
+      if (v == LBool::kTrue) return;  // already satisfied at level 0
+      if (v == LBool::kUndef) importScratch_.push_back(l);
+    }
+    ++stats_.clausesImported;
+    if (importScratch_.empty()) {
+      ok_ = false;  // every literal false at level 0: formula is unsat
+      return;
+    }
+    if (importScratch_.size() == 1) {
+      enqueue(importScratch_[0], nullptr);
+      ok_ = (propagate() == nullptr);
+      return;
+    }
+    auto* c = new Clause();
+    c->learnt = true;
+    c->lits = importScratch_;
+    learnts_.push_back(c);
+    attachClause(c);
+    bumpClauseActivity(c);  // give imports a fighting chance against reduceDB
+  };
+  const ClauseExchange::DrainStats drained = exchange_->drain(exchangeMember_, sink);
+  stats_.clausesDropped += drained.overrun;
+  return ok_;
 }
 
 // ---------------------------------------------------------------- heap ---

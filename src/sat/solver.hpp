@@ -18,7 +18,10 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "base/rng.hpp"
+#include "sat/exchange.hpp"
 #include "sat/solver_backend.hpp"
 #include "sat/types.hpp"
 
@@ -86,6 +89,13 @@ class Solver : public SolverBackend {
 
   std::string describe() const override { return config_.describe(); }
 
+  // Learnt-clause sharing: once attached, conflict analysis publishes
+  // learnts within the config's share thresholds and every restart (plus
+  // every solve entry) drains the other members' clauses into the learnt
+  // database. With no exchange attached the search is bit-for-bit the seed
+  // solver — none of the sharing machinery is consulted.
+  void attachExchange(ClauseExchange* exchange, unsigned member) override;
+
  private:
   struct Clause;
   struct Watcher {
@@ -117,6 +127,14 @@ class Solver : public SolverBackend {
   void rebuildOrderHeap();
   std::uint64_t restartInterval(std::uint64_t restartNum) const;
   bool defaultPolarity() const { return config_.phasePolicy != PhasePolicy::kInverted; }
+
+  // Exchange plumbing. exportLearnt() must run before the post-conflict
+  // backtrack (LBD needs the literals' levels); importForeignClauses() must
+  // run at decision level 0 and returns ok_ — false means an imported unit
+  // made the formula unsatisfiable at top level.
+  void exportLearnt(const std::vector<Lit>& learnt);
+  bool importForeignClauses();
+  unsigned computeLbd(const std::vector<Lit>& lits);
 
   // order heap (max-heap on activity)
   void heapInsert(Var v);
@@ -164,6 +182,14 @@ class Solver : public SolverBackend {
   std::vector<Lit> assumptions_;
   std::vector<Lit> conflict_;
   std::vector<LBool> model_;
+
+  // learnt-clause sharing (null/empty unless attachExchange() was called)
+  ClauseExchange* exchange_ = nullptr;
+  unsigned exchangeMember_ = 0;
+  std::unique_ptr<ClauseFilter> shareFilter_;
+  std::vector<Lit> importScratch_;
+  std::vector<std::uint32_t> lbdSeen_;  // level -> stamp, for computeLbd
+  std::uint32_t lbdStamp_ = 0;
 
   bool ok_ = true;
   SolverStats stats_;

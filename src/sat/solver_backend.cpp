@@ -73,14 +73,15 @@ std::vector<SolverConfig> SolverConfig::diversified(unsigned n, std::uint64_t ba
   return configs;
 }
 
-std::unique_ptr<SolverBackend> makeSolverBackend(std::span<const SolverConfig> configs) {
+std::unique_ptr<SolverBackend> makeSolverBackend(std::span<const SolverConfig> configs,
+                                                 const PortfolioOptions& portfolio) {
   if (configs.empty()) {
     SolverConfig def;
     def.name = "default";
     return std::make_unique<Solver>(def);
   }
   if (configs.size() == 1) return std::make_unique<Solver>(configs[0]);
-  return std::make_unique<PortfolioSolver>(configs);
+  return std::make_unique<PortfolioSolver>(configs, portfolio);
 }
 
 }  // namespace upec::sat

@@ -54,6 +54,14 @@ struct SolverConfig {
   double varDecay = 0.95;          // VSIDS activity decay factor (0,1)
   double randomDecisionFreq = 0.0; // probability a decision picks a random var
 
+  // Learnt-clause export thresholds, consulted only when the solver is
+  // attached to a ClauseExchange: a learnt is published when it has at most
+  // shareMaxLits literals AND its LBD (number of distinct decision levels
+  // among them — "glue") is at most shareMaxLbd. Short, low-glue clauses
+  // are the ones most likely to prune another member's search.
+  unsigned shareMaxLits = 8;
+  unsigned shareMaxLbd = 4;
+
   // Human-readable one-liner: the name if set, otherwise the knobs.
   std::string describe() const;
 
@@ -61,6 +69,41 @@ struct SolverConfig {
   // is always the default (seed-solver) configuration so a portfolio never
   // does worse than the engine it replaces on instances the default wins.
   static std::vector<SolverConfig> diversified(unsigned n, std::uint64_t baseSeed = 1);
+};
+
+class ClauseExchange;  // sat/exchange.hpp — learnt-clause sharing pool
+
+// Caps the number of solver threads racing concurrently across a whole
+// process (the campaign engine's pool × portfolio-members oversubscription
+// hole). A portfolio asks for one slot per member before spawning its race
+// and releases them when the race joins. acquire() blocks until at least
+// one slot is free, then claims between 1 and `want` slots — so a caller
+// always makes progress (degraded to fewer members, at worst one), and the
+// sum of outstanding grants never exceeds the implementation's cap.
+// Implementations live above the sat layer (see engine::ThreadGovernor);
+// this interface keeps the dependency pointing upward.
+class MemberGovernor {
+ public:
+  virtual ~MemberGovernor() = default;
+  // Blocks until a slot frees, then claims min(want, free) >= 1 slots and
+  // returns the claimed count. want == 0 returns 0 immediately.
+  virtual unsigned acquire(unsigned want) = 0;
+  virtual void release(unsigned n) = 0;
+};
+
+// Portfolio-wide behaviour knobs, distinct from the per-member SolverConfig.
+struct PortfolioOptions {
+  // Learnt-clause sharing: members publish short/low-LBD learnts to a
+  // ClauseExchange owned by the portfolio and import each other's at
+  // restart boundaries (thresholds per member on SolverConfig).
+  bool sharing = false;
+  std::size_t exchangeCapacity = 2048;  // ring slots when sharing
+
+  // Global member-slot cap; not owned, may be null (ungoverned). When set,
+  // every solveLimited() race acquires one slot per member first and
+  // degrades gracefully: with g granted slots only members 0..g-1 race
+  // (member 0 — the baseline config — is never shed).
+  MemberGovernor* governor = nullptr;
 };
 
 // Abstract incremental SAT interface. The contract follows MiniSat:
@@ -122,6 +165,12 @@ class SolverBackend {
   virtual void requestStop() = 0;
   virtual void clearStop() = 0;
 
+  // Learnt-clause sharing: attach this backend to an exchange as consumer
+  // `member`. Must happen before the first solveLimited() and from the
+  // setup thread (a portfolio attaches its members at construction).
+  // Backends that cannot share simply ignore the call.
+  virtual void attachExchange(ClauseExchange* /*exchange*/, unsigned /*member*/) {}
+
   // Configuration summary, e.g. for report rows.
   virtual std::string describe() const = 0;
   // Which configuration answered the most recent solveLimited() — for a
@@ -131,11 +180,14 @@ class SolverBackend {
 
 // Builds a backend from a configuration list: zero or one config yields the
 // plain CDCL solver, two or more a PortfolioSolver racing one CDCL instance
-// per config.
-std::unique_ptr<SolverBackend> makeSolverBackend(std::span<const SolverConfig> configs);
+// per config. The PortfolioOptions (sharing, governor) only apply to the
+// portfolio case — a single backend has nobody to share with or race.
+std::unique_ptr<SolverBackend> makeSolverBackend(std::span<const SolverConfig> configs,
+                                                 const PortfolioOptions& portfolio = {});
 inline std::unique_ptr<SolverBackend> makeSolverBackend(
-    const std::vector<SolverConfig>& configs) {
-  return makeSolverBackend(std::span<const SolverConfig>(configs.data(), configs.size()));
+    const std::vector<SolverConfig>& configs, const PortfolioOptions& portfolio = {}) {
+  return makeSolverBackend(std::span<const SolverConfig>(configs.data(), configs.size()),
+                           portfolio);
 }
 
 }  // namespace upec::sat

@@ -52,13 +52,24 @@ struct SolverStats {
   std::uint64_t learntLiterals = 0;
   std::uint64_t removedClauses = 0;
   std::uint64_t solves = 0;
+  // Learnt-clause exchange flow (zero unless the solver is attached to a
+  // sat::ClauseExchange): clauses published, foreign clauses attached, and
+  // clauses lost — to ring overrun or the duplicate filter. Dropped is an
+  // upper bound: a lap-behind ring gap is counted wholesale and may
+  // include the solver's own publishes (ClauseExchange::DrainStats).
+  std::uint64_t clausesExported = 0;
+  std::uint64_t clausesImported = 0;
+  std::uint64_t clausesDropped = 0;
 
   // Field-wise difference, for per-solve deltas in incremental use.
   SolverStats operator-(const SolverStats& o) const {
     return {decisions - o.decisions,   propagations - o.propagations,
             conflicts - o.conflicts,   restarts - o.restarts,
             learntLiterals - o.learntLiterals,
-            removedClauses - o.removedClauses, solves - o.solves};
+            removedClauses - o.removedClauses, solves - o.solves,
+            clausesExported - o.clausesExported,
+            clausesImported - o.clausesImported,
+            clausesDropped - o.clausesDropped};
   }
 
   // Field-wise sum, for merging the effort of portfolio members.
@@ -66,7 +77,10 @@ struct SolverStats {
     return {decisions + o.decisions,   propagations + o.propagations,
             conflicts + o.conflicts,   restarts + o.restarts,
             learntLiterals + o.learntLiterals,
-            removedClauses + o.removedClauses, solves + o.solves};
+            removedClauses + o.removedClauses, solves + o.solves,
+            clausesExported + o.clausesExported,
+            clausesImported + o.clausesImported,
+            clausesDropped + o.clausesDropped};
   }
   SolverStats& operator+=(const SolverStats& o) { return *this = *this + o; }
 };

@@ -19,6 +19,9 @@ void accumulateStats(MethodologyReport& report, const formal::BmcStats& stats) {
   report.peakVars = std::max(report.peakVars, stats.vars);
   report.totalConflicts += stats.conflicts;
   report.totalPropagations += stats.propagations;
+  report.totalClausesExported += stats.clausesExported;
+  report.totalClausesImported += stats.clausesImported;
+  report.totalClausesDropped += stats.clausesDropped;
 }
 
 }  // namespace
@@ -27,6 +30,13 @@ std::vector<sat::SolverConfig> UpecOptions::resolvedSolverConfigs() const {
   if (!solverConfigs.empty()) return solverConfigs;
   if (portfolio >= 2) return sat::SolverConfig::diversified(portfolio, portfolioSeed);
   return {};
+}
+
+sat::PortfolioOptions UpecOptions::resolvedPortfolioOptions() const {
+  sat::PortfolioOptions p;
+  p.sharing = portfolioSharing;
+  p.governor = governor;
+  return p;
 }
 
 const char* verdictName(Verdict v) {
@@ -115,6 +125,7 @@ UpecResult UpecEngine::check(unsigned k, const std::set<std::string>& excluded) 
   formal::BmcEngine engine(miter_.design());
   if (options_.conflictBudget != 0) engine.setConflictBudget(options_.conflictBudget);
   engine.setSolverConfigs(options_.resolvedSolverConfigs());
+  engine.setPortfolioOptions(options_.resolvedPortfolioOptions());
   if (options_.structuralInitEquality) applyStructuralEquality(miter_, engine);
   return classify(engine.check(property), k, excluded);
 }
@@ -123,6 +134,7 @@ UpecResult UpecEngine::checkIncremental(unsigned k, const std::set<std::string>&
   if (!incremental_) {
     incremental_ = std::make_unique<formal::BmcEngine>(miter_.design());
     incremental_->setSolverConfigs(options_.resolvedSolverConfigs());
+    incremental_->setPortfolioOptions(options_.resolvedPortfolioOptions());
     if (options_.structuralInitEquality) applyStructuralEquality(miter_, *incremental_);
   }
   incremental_->setConflictBudget(options_.conflictBudget);
@@ -246,6 +258,7 @@ InductiveProver::Result InductiveProver::prove(
   formal::BmcEngine engine(d);
   if (options_.conflictBudget != 0) engine.setConflictBudget(options_.conflictBudget);
   engine.setSolverConfigs(options_.resolvedSolverConfigs());
+  engine.setPortfolioOptions(options_.resolvedPortfolioOptions());
   if (options_.structuralInitEquality) applyStructuralEquality(miter_, engine, allowedDiff);
   const formal::CheckResult bmc = engine.check(p);
   result.stats = bmc.stats;

@@ -66,9 +66,20 @@ struct UpecOptions {
   std::uint64_t portfolioSeed = 1;  // base seed for the diversified family
   std::vector<sat::SolverConfig> solverConfigs;
 
+  // Cooperative portfolio solving: members publish short learnt clauses to
+  // a sat::ClauseExchange and import each other's at restart boundaries.
+  // Off by default; no effect unless 2+ configs race. Verdict-preserving —
+  // learnt clauses are logical consequences of the shared formula.
+  bool portfolioSharing = false;
+  // Campaign-wide member-slot cap (engine::ThreadGovernor); not owned, may
+  // be null. Portfolios degrade member count when slots run short.
+  sat::MemberGovernor* governor = nullptr;
+
   // The configuration list the options resolve to (explicit list, else
   // diversified(portfolio), else empty = single default backend).
   std::vector<sat::SolverConfig> resolvedSolverConfigs() const;
+  // The portfolio-wide options the fields above resolve to.
+  sat::PortfolioOptions resolvedPortfolioOptions() const;
 };
 
 enum class Verdict { kProven, kPAlert, kLAlert, kUnknown };
@@ -157,6 +168,10 @@ struct MethodologyReport {
   // Solver effort summed over every check of the run (incl. induction).
   std::uint64_t totalConflicts = 0;
   std::uint64_t totalPropagations = 0;
+  // Learnt-clause exchange flow summed over every check (sharing runs).
+  std::uint64_t totalClausesExported = 0;
+  std::uint64_t totalClausesImported = 0;
+  std::uint64_t totalClausesDropped = 0;
   bool inductionUsed = false;
   bool inductionHolds = false;
   double inductionRuntimeSec = 0;

@@ -1,13 +1,17 @@
 // Campaign engine: work-stealing pool semantics, job execution, matrix
-// enumeration, report aggregation and JSON export, and agreement between
-// monolithic and incremental deepening at the UPEC level.
+// enumeration, report aggregation and JSON export, agreement between
+// monolithic and incremental deepening at the UPEC level, and the thread
+// governor that keeps pool workers x portfolio members under a global cap.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "engine/campaign.hpp"
+#include "engine/governor.hpp"
 #include "engine/thread_pool.hpp"
 
 namespace upec::engine {
@@ -71,6 +75,56 @@ TEST(WorkStealingPool, WaitIsReusable) {
 TEST(WorkStealingPool, DefaultsToHardwareConcurrency) {
   WorkStealingPool pool;
   EXPECT_GE(pool.numThreads(), 1u);
+}
+
+// --- thread governor --------------------------------------------------------
+
+TEST(ThreadGovernor, GrantsWithinCapAndTracksPeak) {
+  ThreadGovernor governor(4);
+  EXPECT_EQ(governor.acquire(3), 3u);
+  EXPECT_EQ(governor.acquire(3), 1u) << "only one slot left under the cap";
+  EXPECT_EQ(governor.inUse(), 4u);
+  EXPECT_EQ(governor.peakInUse(), 4u);
+  EXPECT_EQ(governor.degradations(), 1u);
+
+  governor.release(3);
+  EXPECT_EQ(governor.inUse(), 1u);
+  EXPECT_EQ(governor.acquire(2), 2u);
+  governor.release(2);
+  governor.release(1);
+  EXPECT_EQ(governor.inUse(), 0u);
+  EXPECT_EQ(governor.peakInUse(), 4u) << "peak is sticky";
+  EXPECT_EQ(governor.acquisitions(), 3u);
+}
+
+TEST(ThreadGovernor, CapZeroIsUngoverned) {
+  ThreadGovernor governor(0);
+  EXPECT_EQ(governor.acquire(7), 7u);
+  EXPECT_EQ(governor.inUse(), 0u) << "ungoverned grants are not tracked";
+  governor.release(7);  // no-op, must not underflow
+  EXPECT_EQ(governor.acquire(3), 3u);
+}
+
+TEST(ThreadGovernor, BlocksWhileExhaustedAndNeverExceedsTheCap) {
+  // N threads hammer acquire/release; the counting hook must never see
+  // more than `cap` outstanding slots. No timing assertions — on one core
+  // this still exercises the blocked-waiter path via preemption.
+  ThreadGovernor governor(2);
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&governor, &violated] {
+      for (int i = 0; i < 50; ++i) {
+        const unsigned held = governor.acquire(2);
+        if (held == 0 || held > 2 || governor.peakInUse() > 2) violated = true;
+        governor.release(held);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(governor.inUse(), 0u);
+  EXPECT_LE(governor.peakInUse(), 2u);
 }
 
 // --- verdict merging and matrix enumeration --------------------------------
@@ -224,6 +278,42 @@ TEST(CampaignEngine, ArchitecturalOnlyLadderSkipsPAlerts) {
   EXPECT_EQ(res.verdict, Verdict::kLAlert);
   EXPECT_TRUE(res.pAlertRegisters.empty());
   EXPECT_FALSE(res.lAlertRegisters.empty());
+}
+
+TEST(CampaignEngine, GovernedSharingCampaignKeepsVerdictsAndHonoursTheCap) {
+  // 2 workers x 3-member sharing portfolios would run 6 solver threads
+  // ungoverned; with solverThreadCap = 3 the counting hook must show the
+  // campaign never held more than 3 member slots — and the verdicts must
+  // be exactly the ones the single-backend jobs produce (kProven twice,
+  // kPAlert once; pinned by CampaignRunsJobsInParallelAndAggregates).
+  std::vector<JobSpec> jobs;
+  jobs.push_back(secureLadderJob(SecretScenario::kNotInCache, DeepeningMode::kIncremental, 2));
+  jobs.push_back(secureLadderJob(SecretScenario::kNotInCache, DeepeningMode::kMonolithic, 2));
+  jobs.push_back(secureLadderJob(SecretScenario::kInCache, DeepeningMode::kIncremental, 1));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<std::uint32_t>(i);
+    jobs[i].portfolio = 3;
+    jobs[i].sharing = true;
+  }
+
+  CampaignOptions options;
+  options.threads = 2;
+  options.solverThreadCap = 3;
+  const CampaignReport report = runCampaign(jobs, options);
+
+  EXPECT_EQ(report.jobs[0].verdict, Verdict::kProven);
+  EXPECT_EQ(report.jobs[1].verdict, Verdict::kProven);
+  EXPECT_EQ(report.jobs[2].verdict, Verdict::kPAlert);
+  EXPECT_EQ(report.solverThreadCap, 3u);
+  EXPECT_GE(report.peakSolverThreads, 1u) << "some race must have acquired slots";
+  EXPECT_LE(report.peakSolverThreads, 3u) << "the cap is a hard ceiling";
+  // Sharing portfolios derive conflicts; whether any clause crosses members
+  // within these small windows is timing-dependent, but the counters must
+  // at least surface in the JSON for observability.
+  const std::string json = report.toJson();
+  EXPECT_NE(json.find("\"solver_thread_cap\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_solver_threads\":"), std::string::npos);
+  EXPECT_NE(json.find("\"clauses_exported\":"), std::string::npos);
 }
 
 TEST(CampaignEngine, ReportSerialisesToJson) {

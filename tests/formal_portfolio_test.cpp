@@ -96,6 +96,62 @@ TEST(PortfolioKInduction, ProvesTheSameInvariant) {
   EXPECT_EQ(got.provenAtK, expected.provenAtK);
 }
 
+// --- learnt-clause sharing across the formal engines ------------------------
+
+TEST(SharingBmc, SingleShotAndIncrementalVerdictsMatchTheSingleBackend) {
+  // Same obligations as the non-sharing differentials above, decided by a
+  // sharing portfolio: imported clauses are consequences of the shared
+  // formula, so every verdict must be preserved.
+  CounterDesign d;
+  sat::PortfolioOptions sharing;
+  sharing.sharing = true;
+
+  for (unsigned k = 1; k <= 4; ++k) {
+    IntervalProperty p;
+    p.assumeAt(0, d.isZero, "count == 0");
+    p.proveAt(k, d.lt3, "count < 3");
+
+    BmcEngine single(d.design);
+    const CheckResult expected = single.check(p);
+
+    BmcEngine shared(d.design);
+    shared.setSolverConfigs(sat::SolverConfig::diversified(3));
+    shared.setPortfolioOptions(sharing);
+    const CheckResult got = shared.check(p);
+    EXPECT_EQ(got.status, expected.status) << "k=" << k;
+  }
+
+  BmcEngine single(d.design);
+  BmcEngine shared(d.design);
+  shared.setSolverConfigs(sat::SolverConfig::diversified(2));
+  shared.setPortfolioOptions(sharing);
+  for (unsigned k = 1; k <= 4; ++k) {
+    IntervalProperty p;
+    p.name = "bounded_k" + std::to_string(k);
+    p.assumeAt(0, d.bounded, "count <= 42");
+    for (unsigned t = 1; t <= k; ++t) p.proveAt(t, d.bounded, "count <= 42");
+    const CheckResult expected = single.checkIncremental(p);
+    const CheckResult got = shared.checkIncremental(p);
+    EXPECT_EQ(got.status, expected.status) << "incremental k=" << k;
+  }
+}
+
+TEST(SharingKInduction, ProvesTheSameInvariant) {
+  CounterDesign d;
+  formal::KInduction single(d.design);
+  const formal::KInductionResult expected = single.prove(d.bounded, d.isZero, 3);
+
+  formal::KInduction shared(d.design);
+  shared.setSolverConfigs(sat::SolverConfig::diversified(3));
+  sat::PortfolioOptions sharing;
+  sharing.sharing = true;
+  shared.setPortfolioOptions(sharing);
+  const formal::KInductionResult got = shared.prove(d.bounded, d.isZero, 3);
+
+  EXPECT_EQ(got.proven, expected.proven);
+  EXPECT_EQ(got.provenAtK, expected.provenAtK);
+}
+
 // --- the UPEC ladder --------------------------------------------------------
 
 TEST(PortfolioUpec, LadderVerdictsMatchAcrossBackendAndDeepeningModes) {
@@ -120,6 +176,31 @@ TEST(PortfolioUpec, LadderVerdictsMatchAcrossBackendAndDeepeningModes) {
   EXPECT_EQ(ladder(2, false), baseline) << "portfolio monolithic diverged";
   EXPECT_EQ(ladder(0, true), baseline) << "incremental single diverged";
   EXPECT_EQ(ladder(2, true), baseline) << "portfolio incremental diverged";
+  for (const Verdict v : baseline) EXPECT_EQ(v, Verdict::kProven);
+}
+
+TEST(SharingUpec, LadderVerdictsMatchWithClauseSharingOn) {
+  // The UPEC soundness differential for the exchange: the k=1..2 ladder on
+  // the secure SoC under a sharing portfolio (monolithic and incremental)
+  // must reproduce the single-backend verdicts.
+  const soc::SocConfig config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+
+  auto ladder = [&config](unsigned portfolio, bool sharing, bool incremental) {
+    Miter miter(config, 12);
+    UpecOptions options;
+    options.scenario = SecretScenario::kNotInCache;
+    options.incrementalDeepening = incremental;
+    options.portfolio = portfolio;
+    options.portfolioSharing = sharing;
+    UpecEngine engine(miter, options);
+    std::vector<Verdict> verdicts;
+    for (unsigned k = 1; k <= 2; ++k) verdicts.push_back(engine.check(k).verdict);
+    return verdicts;
+  };
+
+  const std::vector<Verdict> baseline = ladder(0, false, false);
+  EXPECT_EQ(ladder(3, true, false), baseline) << "sharing monolithic diverged";
+  EXPECT_EQ(ladder(3, true, true), baseline) << "sharing incremental diverged";
   for (const Verdict v : baseline) EXPECT_EQ(v, Verdict::kProven);
 }
 
@@ -175,6 +256,17 @@ TEST(PortfolioJobs, PortfolioLadderJobMatchesSingleAndAttributesWins) {
     wins += count;
   }
   EXPECT_EQ(wins, raced.windows.size());
+
+  // And with clause sharing on top: same verdicts again, and the exchange
+  // counters surface through the job result.
+  spec.sharing = true;
+  const engine::JobResult sharing = engine::runJob(spec);
+  ASSERT_EQ(sharing.windows.size(), single.windows.size());
+  for (std::size_t i = 0; i < single.windows.size(); ++i) {
+    EXPECT_EQ(sharing.windows[i].verdict, single.windows[i].verdict)
+        << "sharing window " << i + 1;
+  }
+  EXPECT_EQ(sharing.verdict, single.verdict);
 }
 
 }  // namespace

@@ -11,11 +11,10 @@
 #include "base/rng.hpp"
 #include "sat/dimacs.hpp"
 #include "sat/solver.hpp"
+#include "sat_testlib.hpp"
 
 namespace upec::sat {
 namespace {
-
-using Cnf = std::vector<std::vector<Lit>>;
 
 // Reference solver: plain DPLL with unit propagation and no learning —
 // small enough to audit by eye, which is the point of an oracle.
@@ -99,20 +98,6 @@ class Dpll {
   std::vector<int> assign_;
   std::vector<int> trail_;
 };
-
-Cnf randomCnf(Rng& rng, int numVars, int numClauses) {
-  Cnf cnf;
-  cnf.reserve(numClauses);
-  for (int c = 0; c < numClauses; ++c) {
-    std::vector<Lit> clause;
-    for (int i = 0; i < 3; ++i) {
-      const Var v = static_cast<Var>(rng.below(numVars));
-      clause.push_back(Lit(v, rng.below(2) == 0));
-    }
-    cnf.push_back(std::move(clause));
-  }
-  return cnf;
-}
 
 // Solves with the CDCL engine; the model, if any, is checked against the
 // clause list so a buggy "sat" cannot slip through.

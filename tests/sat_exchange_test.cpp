@@ -1,0 +1,308 @@
+// The learnt-clause exchange: ring semantics (overflow, eviction, cursor
+// isolation), the duplicate filter, the export/import hooks in the CDCL
+// solver, and — the property everything hangs on — that sharing is
+// verdict-preserving: a sharing portfolio must agree with the single
+// default solver on every instance.
+//
+// All exchange-mechanics tests are single-threaded and deterministic: the
+// ring is exercised directly, and clause flow between solvers is driven by
+// running two attached solvers *sequentially* on the calling thread, so
+// the test does not depend on scheduler luck (this host has one core).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "sat/exchange.hpp"
+#include "sat/portfolio.hpp"
+#include "sat/solver.hpp"
+#include "sat/solver_backend.hpp"
+#include "sat_testlib.hpp"
+
+namespace upec::sat {
+namespace {
+
+std::vector<Lit> clauseOf(std::initializer_list<int> codes) {
+  std::vector<Lit> lits;
+  for (const int c : codes) lits.push_back(Lit::fromCode(c));
+  return lits;
+}
+
+// Collects drained clauses for inspection.
+struct Collector {
+  std::vector<std::vector<Lit>> clauses;
+  ClauseExchange::DrainStats drain(ClauseExchange& ex, unsigned member) {
+    return ex.drain(member, [this](std::span<const Lit> lits) {
+      clauses.emplace_back(lits.begin(), lits.end());
+    });
+  }
+};
+
+// --- ring semantics ---------------------------------------------------------
+
+TEST(ClauseExchange, BroadcastsToEveryOtherMember) {
+  ClauseExchange ex(3, 16);
+  ex.publish(0, clauseOf({2, 5}));
+  ex.publish(0, clauseOf({4}));
+  ex.publish(1, clauseOf({6, 8, 10}));
+
+  Collector c1;
+  const auto d1 = c1.drain(ex, 1);
+  EXPECT_EQ(d1.delivered, 2u) << "member 1 sees member 0's clauses, not its own";
+  EXPECT_EQ(d1.overrun, 0u);
+
+  Collector c2;
+  const auto d2 = c2.drain(ex, 2);
+  EXPECT_EQ(d2.delivered, 3u) << "member 2 published nothing and sees everything";
+  ASSERT_EQ(c2.clauses.size(), 3u);
+  EXPECT_EQ(c2.clauses[0], clauseOf({2, 5}));
+  EXPECT_EQ(c2.clauses[2], clauseOf({6, 8, 10}));
+}
+
+TEST(ClauseExchange, PerMemberCursorsAreIsolated) {
+  ClauseExchange ex(3, 16);
+  ex.publish(0, clauseOf({2}));
+
+  Collector c1;
+  EXPECT_EQ(c1.drain(ex, 1).delivered, 1u);
+  EXPECT_EQ(c1.drain(ex, 1).delivered, 0u) << "second drain finds nothing new";
+
+  // Member 1 draining must not consume anything on member 2's behalf.
+  Collector c2;
+  EXPECT_EQ(c2.drain(ex, 2).delivered, 1u);
+
+  ex.publish(0, clauseOf({4}));
+  EXPECT_EQ(c1.drain(ex, 1).delivered, 1u) << "cursor resumes after the last drain";
+  EXPECT_EQ(c2.drain(ex, 2).delivered, 1u);
+}
+
+TEST(ClauseExchange, OverflowEvictsTheOldestClauses) {
+  ClauseExchange ex(2, 4);
+  for (int i = 0; i < 10; ++i) ex.publish(0, clauseOf({2 * i}));
+  EXPECT_EQ(ex.published(), 10u);
+
+  // Member 1 slept through 10 publishes into 4 slots: only the newest 4
+  // survive; the 6 evicted ones are reported as overrun, not silently lost.
+  Collector c1;
+  const auto d1 = c1.drain(ex, 1);
+  EXPECT_EQ(d1.delivered, 4u);
+  EXPECT_EQ(d1.overrun, 6u);
+  ASSERT_EQ(c1.clauses.size(), 4u);
+  EXPECT_EQ(c1.clauses.front(), clauseOf({12})) << "oldest surviving clause is #6";
+  EXPECT_EQ(c1.clauses.back(), clauseOf({18}));
+
+  // Fresh publishes after the overrun flow normally again.
+  ex.publish(0, clauseOf({40}));
+  const auto d2 = c1.drain(ex, 1);
+  EXPECT_EQ(d2.delivered, 1u);
+  EXPECT_EQ(d2.overrun, 0u);
+}
+
+// --- duplicate filter -------------------------------------------------------
+
+TEST(ClauseFilter, RejectsResubmissionInAnyLiteralOrder) {
+  ClauseFilter filter;
+  const std::vector<Lit> abc = clauseOf({2, 5, 9});
+  EXPECT_TRUE(filter.insert(abc));
+  EXPECT_FALSE(filter.insert(abc)) << "exact duplicate";
+  EXPECT_FALSE(filter.insert(clauseOf({9, 2, 5}))) << "permuted duplicate";
+  EXPECT_TRUE(filter.insert(clauseOf({2, 5}))) << "sub-clause is a different clause";
+  EXPECT_TRUE(filter.insert(clauseOf({2, 5, 8}))) << "one literal flipped";
+}
+
+TEST(ClauseFilter, SignatureIsOrderIndependent) {
+  const std::vector<Lit> a = clauseOf({3, 7, 12});
+  const std::vector<Lit> b = clauseOf({12, 3, 7});
+  EXPECT_EQ(ClauseFilter::signature(a), ClauseFilter::signature(b));
+  EXPECT_NE(ClauseFilter::signature(a), ClauseFilter::signature(clauseOf({3, 7})));
+}
+
+// --- solver export/import hooks ---------------------------------------------
+
+// Sequential two-solver flow: A solves (exporting its learnts), then B —
+// attached to the same exchange and owning the same formula — drains them
+// at solve entry. Deterministic proof that clauses actually flow.
+TEST(SolverSharing, ClausesFlowFromExporterToImporter) {
+  ClauseExchange ex(2, 4096);
+
+  SolverConfig wide;  // export essentially every learnt
+  wide.shareMaxLits = 64;
+  wide.shareMaxLbd = 32;
+
+  Solver a(wide);
+  a.attachExchange(&ex, 0);
+  encodePigeonhole(a, 4);
+  EXPECT_EQ(a.solve(), LBool::kFalse);
+  const SolverStats exported = a.stats();
+  EXPECT_GT(exported.conflicts, 0u);
+  EXPECT_GT(exported.clausesExported, 0u) << "an UNSAT proof must learn something";
+  EXPECT_EQ(ex.published(), exported.clausesExported);
+
+  Solver b(wide);
+  b.attachExchange(&ex, 1);
+  encodePigeonhole(b, 4);
+  EXPECT_EQ(b.solve(), LBool::kFalse);
+  EXPECT_GT(b.stats().clausesImported, 0u) << "solve entry drains the foreign clauses";
+}
+
+TEST(SolverSharing, SelfExportsAreNeverReimported) {
+  ClauseExchange ex(2, 4096);
+  SolverConfig wide;
+  wide.shareMaxLits = 64;
+  wide.shareMaxLbd = 32;
+
+  Solver a(wide);
+  a.attachExchange(&ex, 0);
+  encodePigeonhole(a, 4);
+  EXPECT_EQ(a.solve(), LBool::kFalse);
+  EXPECT_GT(a.stats().clausesExported, 0u);
+  // Everything in the ring came from member 0 itself: a re-solve (fresh
+  // budget path through solve entry) must import nothing.
+  EXPECT_EQ(a.stats().clausesImported, 0u);
+}
+
+TEST(SolverSharing, ImportedUnitsPropagateAndPreserveVerdicts) {
+  // Hand-publish units that make the formula unsat: the importer must
+  // adopt them at solve entry and answer kFalse without any search.
+  ClauseExchange ex(2, 16);
+  Solver s;
+  s.attachExchange(&ex, 0);
+  const Var x = s.newVar();
+  const Var y = s.newVar();
+  s.addClause({Lit(x, false), Lit(y, false)});
+
+  ex.publish(1, clauseOf({Lit(x, true).code()}));   // ~x
+  ex.publish(1, clauseOf({Lit(y, true).code()}));   // ~y
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+  EXPECT_EQ(s.stats().clausesImported, 2u);
+  EXPECT_FALSE(s.okay());
+}
+
+// --- verdict preservation ---------------------------------------------------
+
+TEST(SharingPortfolio, MatchesTheSingleBackendOnRandomCnfs) {
+  PortfolioOptions sharing;
+  sharing.sharing = true;
+
+  Rng rng(0xfeedbeef);
+  int satCount = 0, unsatCount = 0;
+  for (int round = 0; round < 20; ++round) {
+    const int numVars = static_cast<int>(rng.range(6, 12));
+    const int numClauses = numVars * 43 / 10;
+    const Cnf cnf = randomCnf(rng, numVars, numClauses);
+
+    Solver single;
+    const LBool expected = solveWith(single, numVars, cnf);
+
+    PortfolioSolver portfolio(SolverConfig::diversified(3), sharing);
+    ASSERT_NE(portfolio.exchange(), nullptr);
+    const LBool raced = solveWith(portfolio, numVars, cnf);
+    EXPECT_EQ(raced, expected) << "round " << round;
+    (expected == LBool::kTrue ? satCount : unsatCount) += 1;
+  }
+  EXPECT_GT(satCount, 2);
+  EXPECT_GT(unsatCount, 2);
+}
+
+TEST(SharingPortfolio, MergedStatsShowTheFlowOnAHardInstance) {
+  PortfolioOptions opts;
+  opts.sharing = true;
+  std::vector<SolverConfig> configs = SolverConfig::diversified(3);
+  for (SolverConfig& c : configs) {  // export aggressively for the test
+    c.shareMaxLits = 64;
+    c.shareMaxLbd = 32;
+  }
+  PortfolioSolver portfolio(configs, opts);
+  encodePigeonhole(portfolio, 6);
+  EXPECT_EQ(portfolio.solve(), LBool::kFalse);
+  const SolverStats merged = portfolio.stats();
+  EXPECT_GT(merged.clausesExported, 0u);
+  EXPECT_EQ(portfolio.exchange()->published(), merged.clausesExported);
+  // Import requires a loser to reach a restart after a winner exported;
+  // pigeonhole(6) generates hundreds of conflicts per member, so every
+  // member restarts several times while the others keep publishing.
+  EXPECT_GT(merged.clausesImported, 0u);
+  EXPECT_NE(portfolio.describe().find("+sharing"), std::string::npos);
+}
+
+TEST(SharingPortfolio, IncrementalSessionKeepsSharingAcrossSolves) {
+  PortfolioOptions opts;
+  opts.sharing = true;
+  PortfolioSolver portfolio(SolverConfig::diversified(2), opts);
+  const Var a = portfolio.newVar();
+  const Var b = portfolio.newVar();
+  portfolio.addClause({Lit(a, false), Lit(b, false)});
+  EXPECT_EQ(portfolio.solve(), LBool::kTrue);
+  portfolio.addClause({Lit(a, true)});
+  EXPECT_EQ(portfolio.solve(), LBool::kTrue);
+  portfolio.addClause({Lit(b, true)});
+  EXPECT_EQ(portfolio.solve(), LBool::kFalse);
+}
+
+// --- governor degradation ---------------------------------------------------
+
+// Counting governor stub (the real engine::ThreadGovernor lives above the
+// sat layer; the portfolio only sees this interface).
+class CountingGovernor : public MemberGovernor {
+ public:
+  explicit CountingGovernor(unsigned grantCap) : grantCap_(grantCap) {}
+  unsigned acquire(unsigned want) override {
+    ++acquires;
+    lastWant = want;
+    const unsigned granted = std::min(want, grantCap_);
+    outstanding += granted;
+    return granted;
+  }
+  void release(unsigned n) override {
+    ++releases;
+    outstanding -= n;
+  }
+  unsigned lastWant = 0;
+  unsigned acquires = 0;
+  unsigned releases = 0;
+  unsigned outstanding = 0;
+
+ private:
+  const unsigned grantCap_;
+};
+
+TEST(GovernedPortfolio, DegradesToTheGrantedMemberCountAndStillAnswers) {
+  CountingGovernor governor(2);  // never grant more than 2 of the 3 members
+  PortfolioOptions opts;
+  opts.governor = &governor;
+
+  PortfolioSolver portfolio(SolverConfig::diversified(3), opts);
+  Rng rng(99);
+  const Cnf cnf = randomCnf(rng, 10, 43);
+
+  Solver single;
+  const LBool expected = solveWith(single, 10, cnf);
+  const LBool got = solveWith(portfolio, 10, cnf);
+  EXPECT_EQ(got, expected);
+
+  EXPECT_EQ(governor.lastWant, 3u);
+  EXPECT_EQ(portfolio.lastRaceSize(), 2u);
+  EXPECT_EQ(governor.acquires, governor.releases) << "every race released its grant";
+  EXPECT_EQ(governor.outstanding, 0u);
+  // The shed member never entered the race.
+  EXPECT_EQ(portfolio.lastVerdict(2), LBool::kUndef);
+  EXPECT_LT(portfolio.lastWinner(), 2);
+}
+
+TEST(GovernedPortfolio, FullyDegradedRaceIsTheBaselineMemberAlone) {
+  CountingGovernor governor(1);
+  PortfolioOptions opts;
+  opts.governor = &governor;
+
+  PortfolioSolver portfolio(SolverConfig::diversified(3), opts);
+  const Var v = portfolio.newVar();
+  portfolio.addClause({Lit(v, false)});
+  EXPECT_EQ(portfolio.solve(), LBool::kTrue);
+  EXPECT_EQ(portfolio.lastRaceSize(), 1u);
+  EXPECT_EQ(portfolio.lastWinner(), 0) << "member 0 (baseline) is never shed";
+}
+
+}  // namespace
+}  // namespace upec::sat

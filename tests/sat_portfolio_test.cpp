@@ -19,57 +19,10 @@
 #include "sat/portfolio.hpp"
 #include "sat/solver.hpp"
 #include "sat/solver_backend.hpp"
+#include "sat_testlib.hpp"
 
 namespace upec::sat {
 namespace {
-
-using Cnf = std::vector<std::vector<Lit>>;
-
-// Same generator family as sat_dpll_diff_test: 3-SAT around the phase
-// transition so both verdicts occur.
-Cnf randomCnf(Rng& rng, int numVars, int numClauses) {
-  Cnf cnf;
-  cnf.reserve(numClauses);
-  for (int c = 0; c < numClauses; ++c) {
-    std::vector<Lit> clause;
-    for (int i = 0; i < 3; ++i) {
-      clause.push_back(Lit(static_cast<Var>(rng.below(numVars)), rng.below(2) == 0));
-    }
-    cnf.push_back(std::move(clause));
-  }
-  return cnf;
-}
-
-LBool solveWith(SolverBackend& s, int numVars, const Cnf& cnf) {
-  for (int v = 0; v < numVars; ++v) s.newVar();
-  bool ok = true;
-  for (const auto& clause : cnf) ok = s.addClause(std::span<const Lit>(clause)) && ok;
-  if (!ok) return LBool::kFalse;
-  const LBool verdict = s.solve();
-  if (verdict == LBool::kTrue) {
-    for (const auto& clause : cnf) {
-      bool satisfied = false;
-      for (const Lit l : clause) satisfied |= s.modelValue(l);
-      EXPECT_TRUE(satisfied) << "model violates a clause";
-    }
-  }
-  return verdict;
-}
-
-void encodePigeonhole(SolverBackend& s, int holes) {
-  std::vector<std::vector<Var>> p(holes + 1, std::vector<Var>(holes));
-  for (auto& row : p)
-    for (auto& v : row) v = s.newVar();
-  for (int i = 0; i <= holes; ++i) {
-    std::vector<Lit> c;
-    for (int j = 0; j < holes; ++j) c.push_back(Lit(p[i][j], false));
-    s.addClause(std::span<const Lit>(c));
-  }
-  for (int j = 0; j < holes; ++j)
-    for (int i1 = 0; i1 <= holes; ++i1)
-      for (int i2 = i1 + 1; i2 <= holes; ++i2)
-        s.addClause({Lit(p[i1][j], true), Lit(p[i2][j], true)});
-}
 
 // --- SolverStats delta/merge ------------------------------------------------
 

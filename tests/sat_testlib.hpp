@@ -1,0 +1,72 @@
+// Shared helpers for the SAT-layer test suites: the random 3-CNF generator
+// the differential tests agree on, a solve-and-check driver, and the
+// pigeonhole encoder used wherever a test needs a guaranteed-hard UNSAT
+// instance. One definition keeps the generators of the differential suites
+// (sat_dpll_diff, sat_portfolio, sat_exchange) from silently diverging.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "sat/solver_backend.hpp"
+#include "sat/types.hpp"
+
+namespace upec::sat {
+
+using Cnf = std::vector<std::vector<Lit>>;
+
+// 3-SAT around the phase transition (callers pick numClauses ≈ 4.3x vars)
+// so both verdicts occur across seeds.
+inline Cnf randomCnf(Rng& rng, int numVars, int numClauses) {
+  Cnf cnf;
+  cnf.reserve(numClauses);
+  for (int c = 0; c < numClauses; ++c) {
+    std::vector<Lit> clause;
+    for (int i = 0; i < 3; ++i) {
+      clause.push_back(Lit(static_cast<Var>(rng.below(numVars)), rng.below(2) == 0));
+    }
+    cnf.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+// Loads the CNF, solves, and on kTrue checks the model actually satisfies
+// every clause.
+inline LBool solveWith(SolverBackend& s, int numVars, const Cnf& cnf) {
+  for (int v = 0; v < numVars; ++v) s.newVar();
+  bool ok = true;
+  for (const auto& clause : cnf) ok = s.addClause(std::span<const Lit>(clause)) && ok;
+  if (!ok) return LBool::kFalse;
+  const LBool verdict = s.solve();
+  if (verdict == LBool::kTrue) {
+    for (const auto& clause : cnf) {
+      bool satisfied = false;
+      for (const Lit l : clause) satisfied |= s.modelValue(l);
+      EXPECT_TRUE(satisfied) << "model violates a clause";
+    }
+  }
+  return verdict;
+}
+
+// holes+1 pigeons into `holes` holes: UNSAT, with solve effort that grows
+// steeply in `holes` — the standard knob for "hard enough to conflict /
+// restart / need cancellation".
+inline void encodePigeonhole(SolverBackend& s, int holes) {
+  std::vector<std::vector<Var>> p(holes + 1, std::vector<Var>(holes));
+  for (auto& row : p)
+    for (auto& v : row) v = s.newVar();
+  for (int i = 0; i <= holes; ++i) {
+    std::vector<Lit> c;
+    for (int j = 0; j < holes; ++j) c.push_back(Lit(p[i][j], false));
+    s.addClause(std::span<const Lit>(c));
+  }
+  for (int j = 0; j < holes; ++j)
+    for (int i1 = 0; i1 <= holes; ++i1)
+      for (int i2 = i1 + 1; i2 <= holes; ++i2)
+        s.addClause({Lit(p[i1][j], true), Lit(p[i2][j], true)});
+}
+
+}  // namespace upec::sat
