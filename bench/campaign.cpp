@@ -14,8 +14,19 @@
 //  4. Clause sharing — the same portfolio race with the learnt-clause
 //     exchange on: identical verdicts again (imported clauses are logical
 //     consequences), with the exported/imported flow made visible.
+//  5. Budget-aware rescheduling — the same ladder walked with a deliberately
+//     tiny first-pass conflict budget plus the escalation scheduler, against
+//     the monolithic large-budget baseline: every window that the starved
+//     run alone leaves kUnknown is decided by a rescheduled retry, with the
+//     verdicts equal to the baseline's.
+//
+// Usage: bench/campaign [reschedule]
+//   no argument  — all sections;
+//   "reschedule" — section [5] only (self-contained; CI's smoke leg runs it
+//                  as the reschedule self-check without paying for 1-4).
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "base/stopwatch.hpp"
@@ -50,9 +61,77 @@ std::vector<JobSpec> eightJobMatrix(DeepeningMode mode, unsigned kMin, unsigned 
   return enumerateJobs(matrix);
 }
 
+// ---- 5: budget-aware rescheduling vs the large-budget baseline -----------
+// Self-contained (also run standalone as the CI smoke leg's self-check):
+// the same k=1..4 ladder decided three ways — unlimited budget, a starved
+// 64-conflict budget (windows come back kUnknown), and the starved budget
+// plus the escalation scheduler, which must recover exactly the baseline's
+// verdicts.
+bool rescheduleSection() {
+  std::printf("[5] window ladder k=1..4, tiny budget + rescheduling vs unlimited baseline\n");
+  JobSpec ladder;
+  ladder.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+  ladder.secretWord = 12;
+  ladder.options.scenario = SecretScenario::kNotInCache;
+  ladder.mode = DeepeningMode::kIncremental;
+  ladder.kMin = 1;
+  ladder.kMax = 4;
+
+  Stopwatch baseTimer;
+  const JobResult baseline = runJob(ladder);
+  const double baseSec = baseTimer.elapsedSeconds();
+
+  JobSpec starvedSpec = ladder;
+  starvedSpec.options.conflictBudget = 64;
+  Stopwatch starvedTimer;
+  const JobResult starved = runJob(starvedSpec);
+  const double starvedSec = starvedTimer.elapsedSeconds();
+
+  JobSpec reschedSpec = starvedSpec;
+  reschedSpec.reschedule.enabled = true;
+  reschedSpec.reschedule.budgetGrowth = 8.0;
+  reschedSpec.reschedule.maxReschedules = 12;
+  Stopwatch reschedTimer;
+  const JobResult resched = runJob(reschedSpec);
+  const double reschedSec = reschedTimer.elapsedSeconds();
+
+  upec::bench::Table t({"mode", "wall clock", "conflicts", "verdict", "undecided", "retries"});
+  auto row = [&t](const char* mode, double sec, const JobResult& r) {
+    t.addRow({mode, upec::bench::fmtSeconds(sec), std::to_string(r.totalConflicts),
+              verdictName(r.verdict), std::to_string(r.undecidedWindows.size()),
+              std::to_string(r.rescheduleAttempts)});
+  };
+  row("unlimited budget", baseSec, baseline);
+  row("budget 64", starvedSec, starved);
+  row("budget 64 + reschedule", reschedSec, resched);
+  t.print();
+  std::printf("escalation decides what the starved pass alone abandons; the retry\n"
+              "re-enters the incremental session, so only solver time is re-paid\n\n");
+
+  auto check = [](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
+    return ok;
+  };
+  bool all = true;
+  all &= check(!starved.undecidedWindows.empty(),
+               "the starved run alone leaves windows undecided");
+  all &= check(std::equal(baseline.windows.begin(), baseline.windows.end(),
+                          resched.windows.begin(), resched.windows.end(),
+                          [](const WindowResult& a, const WindowResult& b) {
+                            return a.window == b.window && a.verdict == b.verdict;
+                          }),
+               "rescheduled ladder reproduces the unlimited-budget verdicts");
+  all &= check(resched.undecidedWindows.empty() && resched.windowsDecidedByRetry >= 1,
+               "every rescheduled window ends decided by an escalated retry");
+  return all;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "reschedule") == 0) {
+    return rescheduleSection() ? 0 : 1;
+  }
   std::printf("Verification campaign bench — parallel scaling and incremental deepening\n\n");
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("hardware_concurrency: %u\n\n", hw);
@@ -173,12 +252,15 @@ int main() {
               "every member's search; the exported/imported columns show the flow)\n\n",
               sharedSec / isolatedSec);
 
+  // ---- 5: budget-aware rescheduling --------------------------------------
+  bool all = rescheduleSection();
+  std::printf("\n");
+
   // ---- acceptance --------------------------------------------------------
   auto check = [](bool ok, const char* what) {
     std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
     return ok;
   };
-  bool all = true;
   all &= check(serial.overallVerdict == parallel.overallVerdict &&
                    serial.numPAlerts == parallel.numPAlerts &&
                    serial.numLAlerts == parallel.numLAlerts,

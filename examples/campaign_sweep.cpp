@@ -3,11 +3,14 @@
 // Builds the scenario × constraint-toggle matrix over the secure MiniRV
 // design, runs it on the work-stealing pool with incremental window
 // deepening — each check decided by a cooperative 2-member portfolio with
-// learnt-clause sharing, under a campaign-wide solver-thread cap — and
-// prints the per-job verdicts plus the machine-readable JSON report that
-// downstream tooling (dashboards, CI gates) consumes.
+// learnt-clause sharing, under a campaign-wide solver-thread cap, with
+// budget-aware rescheduling of undecided windows — and prints the per-job
+// verdicts plus the machine-readable JSON report that downstream tooling
+// (dashboards, CI gates) consumes.
 //
-// Build & run:  ./build/examples/campaign_sweep
+// Build & run:  ./build/examples/campaign_sweep [report.json]
+// An optional argument names a file the JSON report is also written to
+// (CI's smoke leg uploads it as a workflow artifact).
 #include <cstdio>
 
 #include "engine/campaign.hpp"
@@ -15,7 +18,7 @@
 using namespace upec;
 using namespace upec::engine;
 
-int main() {
+int main(int argc, char** argv) {
   SweepMatrix matrix;
   matrix.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
   matrix.secretWord = 12;
@@ -42,6 +45,14 @@ int main() {
   // Cap racing member threads campaign-wide so workers x members cannot
   // oversubscribe the machine; portfolios degrade member count instead.
   options.solverThreadCap = 4;
+  // Budget-aware rescheduling: start every window under a small conflict
+  // budget and let the scheduler escalate only the windows that come back
+  // undecided, onto idle workers. The verdicts are the same as an
+  // unlimited-budget campaign's — only the work distribution changes.
+  options.reschedule.enabled = true;
+  options.reschedule.initialBudget = 2000;
+  options.reschedule.budgetGrowth = 8.0;
+  options.reschedule.maxReschedules = 10;
   const CampaignReport report = runCampaign(jobs, options);
 
   for (const JobResult& job : report.jobs) {
@@ -58,12 +69,32 @@ int main() {
   std::printf("wall clock %.1f s on %u threads (sum of job times %.1f s)\n",
               report.wallMs / 1e3, report.threads, report.sumJobWallMs / 1e3);
   std::printf("solver-thread cap %u (peak in use %u); clause exchange: %llu exported, "
-              "%llu imported, %llu dropped\n\n",
+              "%llu imported, %llu dropped\n",
               report.solverThreadCap, report.peakSolverThreads,
               static_cast<unsigned long long>(report.totalClausesExported),
               static_cast<unsigned long long>(report.totalClausesImported),
               static_cast<unsigned long long>(report.totalClausesDropped));
+  std::printf("rescheduling: %u windows rescheduled (%u decided by retry, %u attempts, "
+              "%u abandoned), %llu retry conflicts\n\n",
+              report.windowsRescheduled, report.windowsDecidedByRetry,
+              report.rescheduleAttempts, report.reschedulesAbandoned,
+              static_cast<unsigned long long>(report.rescheduleConflicts));
 
-  std::printf("JSON report:\n%s\n", report.toJson().c_str());
+  const std::string json = report.toJson();
+  std::printf("JSON report:\n%s\n", json.c_str());
+  if (argc > 1) {
+    if (std::FILE* f = std::fopen(argv[1], "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("JSON report written to %s\n", argv[1]);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 2;
+    }
+  }
+  // The sweep must decide every window: an unknown here means the
+  // escalation ladder gave up, which the smoke leg treats as a failure.
+  if (report.numUnknown != 0) return 1;
   return report.overallVerdict == Verdict::kLAlert ? 1 : 0;
 }

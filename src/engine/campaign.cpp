@@ -1,8 +1,11 @@
 #include "engine/campaign.hpp"
 
+#include <memory>
+
 #include "base/log.hpp"
 #include "base/stopwatch.hpp"
 #include "engine/governor.hpp"
+#include "engine/scheduler.hpp"
 #include "engine/thread_pool.hpp"
 
 namespace upec::engine {
@@ -32,9 +35,50 @@ std::vector<JobSpec> enumerateJobs(const SweepMatrix& matrix) {
   return jobs;
 }
 
+namespace {
+
+// Runs one segment of a rescheduled ladder and either finishes the job or
+// requeues the escalated retry. submitPriority puts the retry at the steal
+// end of the worker's deque: the next idle worker takes the expensive
+// escalation while this worker keeps draining the first-pass jobs it
+// already holds — cheap windows and hard retries overlap instead of
+// serialising. Consecutive segments are chained (the next is submitted only
+// after the previous returns), so the scheduler is never entered from two
+// threads at once.
+void runLadderChain(WorkStealingPool& pool, std::shared_ptr<LadderScheduler> ladder,
+                    JobResult& slot) {
+  ladder->runSegment();
+  if (ladder->done()) {
+    slot = ladder->takeResult();
+    return;
+  }
+  pool.submitPriority([&pool, ladder = std::move(ladder), &slot]() mutable {
+    runLadderChain(pool, std::move(ladder), slot);
+  });
+}
+
+}  // namespace
+
 CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptions& options) {
   CampaignReport report;
   report.jobs.resize(jobs.size());
+
+  // Fold the campaign-level reschedule policy into ladder jobs that do not
+  // bring their own. Copied only when there is something to inject (the
+  // copies must then outlive the pool tasks below).
+  std::vector<JobSpec> injected;
+  if (options.reschedule.enabled) {
+    injected = jobs;
+    for (JobSpec& spec : injected) {
+      if (spec.kind == JobKind::kIntervalLadder && !spec.reschedule.enabled) {
+        spec.reschedule = options.reschedule;
+      }
+    }
+  }
+  const std::vector<JobSpec>& specs = options.reschedule.enabled ? injected : jobs;
+  // One ledger for the whole campaign: the conflictCeiling bounds retry
+  // conflicts across all rescheduled jobs, not per job.
+  ConflictLedger ledger(options.reschedule.conflictCeiling);
 
   Stopwatch campaignTimer;
   ThreadGovernor governor(options.solverThreadCap);
@@ -42,20 +86,29 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
   {
     WorkStealingPool pool(options.threads);
     report.threads = pool.numThreads();
-    logInfo("campaign: " + std::to_string(jobs.size()) + " jobs on " +
+    logInfo("campaign: " + std::to_string(specs.size()) + " jobs on " +
             std::to_string(pool.numThreads()) + " threads");
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
       // Each task writes only its own slot; no synchronisation needed
       // beyond the pool's completion barrier.
-      pool.submit([&report, &jobs, memberSlots, i] {
-        report.jobs[i] = runJob(jobs[i], memberSlots);
-      });
+      const JobSpec& spec = specs[i];
+      JobResult& slot = report.jobs[i];
+      if (spec.kind == JobKind::kIntervalLadder && spec.reschedule.enabled) {
+        pool.submit([&pool, &spec, &slot, memberSlots, &ledger] {
+          // Built inside the task so miter construction parallelises.
+          auto ladder = std::make_shared<LadderScheduler>(spec, memberSlots, &ledger);
+          runLadderChain(pool, std::move(ladder), slot);
+        });
+      } else {
+        pool.submit([&spec, &slot, memberSlots] { slot = runJob(spec, memberSlots); });
+      }
     }
     pool.wait();
   }
   report.wallMs = campaignTimer.elapsedMs();
   report.solverThreadCap = options.solverThreadCap;
   report.peakSolverThreads = governor.peakInUse();
+  report.rescheduleConflictCeiling = ledger.ceiling();
   report.finalize();
   return report;
 }

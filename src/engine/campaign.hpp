@@ -28,6 +28,15 @@ struct CampaignOptions {
   // another race's solve to finish. Choose cap >= threads to keep such
   // waits rare, cap >= threads + portfolio - 1 to rule them out.
   unsigned solverThreadCap = 0;
+
+  // Budget-escalation retries for undecided windows, applied to every
+  // ladder job that does not carry its own enabled policy. A retry is
+  // requeued as its own work item at the pool's steal end, so idle workers
+  // pick up the expensive escalations while cheap first-pass windows keep
+  // flowing. The policy's conflictCeiling is enforced campaign-wide (one
+  // shared ConflictLedger across all rescheduled jobs). Off by default —
+  // the solver trajectory is then bit-identical to an unscheduled campaign.
+  ReschedulePolicy reschedule;
 };
 
 // The scenario × constraint-toggle × window-depth matrix.

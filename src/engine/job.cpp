@@ -1,8 +1,7 @@
 #include "engine/job.hpp"
 
-#include <algorithm>
-
 #include "base/stopwatch.hpp"
+#include "engine/scheduler.hpp"
 #include "engine/thread_pool.hpp"
 #include "upec/miter.hpp"
 
@@ -38,61 +37,16 @@ Verdict mergeVerdicts(Verdict a, Verdict b) {
   return severity(a) >= severity(b) ? a : b;
 }
 
+UpecOptions resolveJobOptions(const JobSpec& spec, sat::MemberGovernor* governor) {
+  UpecOptions options = spec.options;
+  options.incrementalDeepening = spec.mode == DeepeningMode::kIncremental;
+  if (spec.portfolio != 0) options.portfolio = spec.portfolio;
+  if (spec.sharing) options.portfolioSharing = true;
+  if (governor != nullptr) options.governor = governor;
+  return options;
+}
+
 namespace {
-
-void accumulate(JobResult& res, const formal::BmcStats& stats) {
-  res.peakVars = std::max(res.peakVars, stats.vars);
-  res.peakClauses = std::max(res.peakClauses, stats.clauses);
-  res.totalConflicts += stats.conflicts;
-  res.totalPropagations += stats.propagations;
-  res.totalClausesExported += stats.clausesExported;
-  res.totalClausesImported += stats.clausesImported;
-  res.totalClausesDropped += stats.clausesDropped;
-  res.sumVars += stats.vars;
-}
-
-void insertUnique(std::vector<std::string>& into, const std::vector<std::string>& names) {
-  for (const std::string& n : names) {
-    if (std::find(into.begin(), into.end(), n) == into.end()) into.push_back(n);
-  }
-}
-
-void recordWin(JobResult& res, const std::string& solvedBy) {
-  if (solvedBy.empty()) return;
-  for (auto& [name, wins] : res.solverWins) {
-    if (name == solvedBy) {
-      ++wins;
-      return;
-    }
-  }
-  res.solverWins.emplace_back(solvedBy, 1u);
-}
-
-void runLadder(const JobSpec& spec, const UpecOptions& options, Miter& miter,
-               JobResult& res) {
-  UpecEngine engine(miter, options);
-  std::set<std::string> excluded = spec.excludedFromCommitment;
-  if (spec.architecturalOnly) {
-    const std::set<std::string> micro = engine.allMicroNames();
-    excluded.insert(micro.begin(), micro.end());
-  }
-
-  res.verdict = Verdict::kProven;
-  for (unsigned k = spec.kMin; k <= spec.kMax; ++k) {
-    Stopwatch windowTimer;
-    const UpecResult r = engine.check(k, excluded);
-    res.windows.push_back({k, r.verdict, r.stats, windowTimer.elapsedMs()});
-    // Budget-exhausted checks were not answered by anyone — no win to record.
-    if (r.verdict != Verdict::kUnknown) recordWin(res, r.stats.solvedBy);
-    res.verdict = mergeVerdicts(res.verdict, r.verdict);
-    accumulate(res, r.stats);
-    insertUnique(res.pAlertRegisters, r.differingMicro);
-    if (r.verdict == Verdict::kLAlert) {
-      res.lAlertRegisters = r.differingArch;
-      break;  // a real leak is the ladder's answer; deeper windows add nothing
-    }
-  }
-}
 
 void runDriver(const JobSpec& spec, const UpecOptions& options, Miter& miter,
                JobResult& res) {
@@ -115,7 +69,16 @@ void runDriver(const JobSpec& spec, const UpecOptions& options, Miter& miter,
 
 }  // namespace
 
-JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor) {
+JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor, ConflictLedger* ledger) {
+  if (spec.kind == JobKind::kIntervalLadder) {
+    // The scheduler replays the classic walk when no ReschedulePolicy is
+    // enabled; with one, retries run inline on this thread (a campaign
+    // requeues them onto the pool instead — see runCampaign).
+    LadderScheduler ladder(spec, governor, ledger);
+    while (!ladder.done()) ladder.runSegment();
+    return ladder.takeResult();
+  }
+
   JobResult res;
   res.id = spec.id;
   res.label = spec.label;
@@ -124,17 +87,7 @@ JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor) {
 
   Stopwatch jobTimer;
   Miter miter(spec.config, spec.secretWord);
-  UpecOptions options = spec.options;
-  options.incrementalDeepening = spec.mode == DeepeningMode::kIncremental;
-  if (spec.portfolio != 0) options.portfolio = spec.portfolio;
-  if (spec.sharing) options.portfolioSharing = true;
-  if (governor != nullptr) options.governor = governor;
-
-  if (spec.kind == JobKind::kIntervalLadder) {
-    runLadder(spec, options, miter, res);
-  } else {
-    runDriver(spec, options, miter, res);
-  }
+  runDriver(spec, resolveJobOptions(spec, governor), miter, res);
   res.wallMs = jobTimer.elapsedMs();
   return res;
 }

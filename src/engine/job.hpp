@@ -38,6 +38,29 @@ enum class JobKind {
 };
 const char* jobKindName(JobKind k);
 
+// Escalation ladder for budget-exhausted windows (ladder jobs only). When
+// enabled, a window whose check returns kUnknown on conflict-budget
+// exhaustion is not a terminal verdict: the window is re-entered with a
+// `budgetGrowth`-times larger budget, up to `maxReschedules` retries per
+// window. Inside a campaign the retries are requeued as their own work
+// items so idle workers pick them up while cheap first-pass windows keep
+// flowing (see runCampaign); a standalone runJob retries inline. Off by
+// default — the default path stays bit-identical to the unscheduled walk.
+struct ReschedulePolicy {
+  bool enabled = false;
+  // First-attempt conflict budget; 0 = the job's UpecOptions::conflictBudget.
+  std::uint64_t initialBudget = 0;
+  double budgetGrowth = 4.0;   // budget multiplier per retry (> 1)
+  unsigned maxReschedules = 3; // retries per window beyond the first attempt
+  std::uint64_t maxBudget = 0; // per-attempt budget clamp (0 = unclamped)
+  // Total conflicts spendable on retry attempts before pending retries are
+  // abandoned (0 = unlimited; see ConflictLedger). On
+  // CampaignOptions::reschedule this is accounted campaign-wide across all
+  // rescheduled jobs; on a job's own policy it bounds that job's retries —
+  // inside a campaign both gates apply.
+  std::uint64_t conflictCeiling = 0;
+};
+
 struct JobSpec {
   std::uint32_t id = 0;
   std::string label;
@@ -60,6 +83,12 @@ struct JobSpec {
   // meaningful when a portfolio races.
   bool sharing = false;
 
+  // Budget-escalation retries for undecided windows (ladder jobs only;
+  // methodology/hunt jobs treat kUnknown per their own driver logic).
+  // runCampaign injects CampaignOptions::reschedule here for ladder jobs
+  // that do not carry their own enabled policy.
+  ReschedulePolicy reschedule;
+
   // Ladder jobs only: register names dropped from the proof obligation
   // (e.g. UpecEngine::allMicroNames() for an L-alert hunt).
   std::set<std::string> excludedFromCommitment;
@@ -69,12 +98,27 @@ struct JobSpec {
   bool architecturalOnly = false;
 };
 
+// One solve attempt at one window of a rescheduled ladder.
+struct WindowAttempt {
+  std::uint64_t conflictBudget = 0;  // budget of this attempt (0 = unlimited)
+  Verdict verdict = Verdict::kUnknown;
+  std::uint64_t conflicts = 0;
+  double solveMs = 0.0;
+};
+
 // One rung of a ladder job.
 struct WindowResult {
   unsigned window = 0;
   Verdict verdict = Verdict::kUnknown;
-  formal::BmcStats stats;  // per-solve effort; vars/clauses see BmcStats doc
-  double wallMs = 0.0;
+  formal::BmcStats stats;  // per-solve effort of the FINAL attempt
+  double wallMs = 0.0;     // summed over all attempts at this window
+  // Escalation trail, first attempt included, in budget order. Only
+  // populated for reschedule-enabled jobs (empty otherwise, keeping the
+  // default report unchanged).
+  std::vector<WindowAttempt> attempts;
+  // Final attempt returned kUnknown on budget exhaustion (the window was
+  // abandoned undecided after the policy's retries ran out).
+  bool budgetExhausted = false;
 };
 
 struct JobResult {
@@ -111,16 +155,39 @@ struct JobResult {
   // peakVars against monolithic sumVars is the encode-side saving of
   // deepening — see bench/campaign.cpp.
   std::uint64_t sumVars = 0;
+
+  // Reschedule accounting (ladder jobs running under a ReschedulePolicy;
+  // all zero otherwise). Windows still kUnknown after the policy gave up
+  // are listed in undecidedWindows — for an unscheduled ladder job this
+  // lists its budget-exhausted windows, which is how a campaign driver can
+  // tell what a rescheduling rerun would have to decide.
+  bool rescheduleEnabled = false;
+  unsigned windowsRescheduled = 0;    // windows that needed >= 1 retry
+  unsigned rescheduleAttempts = 0;    // total retry attempts across windows
+  unsigned windowsDecidedByRetry = 0; // retried windows that reached a verdict
+  unsigned reschedulesAbandoned = 0;  // windows given up (cap / ceiling hit)
+  std::uint64_t rescheduleConflicts = 0;  // conflicts spent in retry attempts
+  std::vector<unsigned> undecidedWindows; // window depths still kUnknown
 };
 
 // Severity order for merging verdicts: L-alert > unknown > P-alert > proven.
 // (An unknown outranks a P-alert: it may hide an L-alert.)
 Verdict mergeVerdicts(Verdict a, Verdict b);
 
-// Runs one job to completion on the calling thread. Exposed for tests and
+class ConflictLedger;  // engine/scheduler.hpp — campaign-wide retry budget
+
+// The UpecOptions a job actually runs with: the spec's options with the
+// deepening mode, portfolio, sharing and governor folded in. Shared between
+// runJob and the reschedule scheduler so both paths stay byte-identical.
+UpecOptions resolveJobOptions(const JobSpec& spec, sat::MemberGovernor* governor);
+
+// Runs one job to completion on the calling thread (a reschedule-enabled
+// ladder job performs its escalation retries inline). Exposed for tests and
 // for running campaigns without a pool. A non-null governor caps the job's
-// portfolio member threads campaign-wide (see engine::ThreadGovernor);
-// runCampaign passes its own when CampaignOptions::solverThreadCap is set.
-JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor = nullptr);
+// portfolio member threads campaign-wide (see engine::ThreadGovernor); a
+// non-null ledger charges retry attempts against a shared conflict ceiling
+// (runCampaign passes its campaign-wide one).
+JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor = nullptr,
+                 ConflictLedger* ledger = nullptr);
 
 }  // namespace upec::engine

@@ -13,6 +13,11 @@ void CampaignReport::finalize() {
   totalConflicts = totalPropagations = 0;
   peakVars = peakClauses = 0;
   totalClausesExported = totalClausesImported = totalClausesDropped = 0;
+  rescheduleEnabled = false;
+  windowsRescheduled = rescheduleAttempts = 0;
+  windowsDecidedByRetry = reschedulesAbandoned = 0;
+  rescheduleConflicts = 0;
+  decidedByAttempt.clear();
   for (const JobResult& job : jobs) {
     overallVerdict = mergeVerdicts(overallVerdict, job.verdict);
     switch (job.verdict) {
@@ -29,6 +34,20 @@ void CampaignReport::finalize() {
     totalClausesDropped += job.totalClausesDropped;
     peakVars = std::max(peakVars, job.peakVars);
     peakClauses = std::max(peakClauses, job.peakClauses);
+    if (job.rescheduleEnabled) {
+      rescheduleEnabled = true;
+      windowsRescheduled += job.windowsRescheduled;
+      rescheduleAttempts += job.rescheduleAttempts;
+      windowsDecidedByRetry += job.windowsDecidedByRetry;
+      reschedulesAbandoned += job.reschedulesAbandoned;
+      rescheduleConflicts += job.rescheduleConflicts;
+      for (const WindowResult& w : job.windows) {
+        if (w.attempts.empty() || w.verdict == Verdict::kUnknown) continue;
+        const std::size_t attempt = w.attempts.size() - 1;
+        if (decidedByAttempt.size() <= attempt) decidedByAttempt.resize(attempt + 1, 0u);
+        ++decidedByAttempt[attempt];
+      }
+    }
   }
 }
 
@@ -91,6 +110,18 @@ void jsonWindow(std::ostream& os, const WindowResult& w) {
     os << ",\"solved_by\":";
     jsonString(os, w.stats.solvedBy);
   }
+  if (w.budgetExhausted) os << ",\"budget_exhausted\":true";
+  if (!w.attempts.empty()) {
+    os << ",\"attempts\":[";
+    for (std::size_t i = 0; i < w.attempts.size(); ++i) {
+      const WindowAttempt& a = w.attempts[i];
+      if (i) os << ',';
+      os << "{\"budget\":" << a.conflictBudget << ",\"verdict\":\""
+         << verdictName(a.verdict) << "\",\"conflicts\":" << a.conflicts
+         << ",\"solve_ms\":" << fmtMs(a.solveMs) << '}';
+    }
+    os << ']';
+  }
   os << '}';
 }
 
@@ -116,6 +147,21 @@ void jsonJob(std::ostream& os, const JobResult& job) {
      << ",\"clauses_exported\":" << job.totalClausesExported
      << ",\"clauses_imported\":" << job.totalClausesImported
      << ",\"clauses_dropped\":" << job.totalClausesDropped;
+  if (job.rescheduleEnabled) {
+    os << ",\"windows_rescheduled\":" << job.windowsRescheduled
+       << ",\"reschedule_attempts\":" << job.rescheduleAttempts
+       << ",\"windows_decided_by_retry\":" << job.windowsDecidedByRetry
+       << ",\"reschedules_abandoned\":" << job.reschedulesAbandoned
+       << ",\"reschedule_conflicts\":" << job.rescheduleConflicts;
+  }
+  if (!job.undecidedWindows.empty()) {
+    os << ",\"undecided_windows\":[";
+    for (std::size_t i = 0; i < job.undecidedWindows.size(); ++i) {
+      if (i) os << ',';
+      os << job.undecidedWindows[i];
+    }
+    os << ']';
+  }
   os << ",\"l_alert_registers\":";
   jsonStringArray(os, job.lAlertRegisters);
   os << ",\"p_alert_registers\":";
@@ -160,8 +206,22 @@ std::string CampaignReport::toJson() const {
      << ",\"clauses_exported\":" << totalClausesExported
      << ",\"clauses_imported\":" << totalClausesImported
      << ",\"clauses_dropped\":" << totalClausesDropped
-     << ",\"peak_vars\":" << peakVars << ",\"peak_clauses\":" << peakClauses
-     << ",\"jobs\":[";
+     << ",\"peak_vars\":" << peakVars << ",\"peak_clauses\":" << peakClauses;
+  if (rescheduleEnabled) {
+    os << ",\"reschedule\":{\"conflict_ceiling\":" << rescheduleConflictCeiling
+       << ",\"windows_rescheduled\":" << windowsRescheduled
+       << ",\"reschedule_attempts\":" << rescheduleAttempts
+       << ",\"windows_decided_by_retry\":" << windowsDecidedByRetry
+       << ",\"reschedules_abandoned\":" << reschedulesAbandoned
+       << ",\"reschedule_conflicts\":" << rescheduleConflicts
+       << ",\"decided_by_attempt\":[";
+    for (std::size_t i = 0; i < decidedByAttempt.size(); ++i) {
+      if (i) os << ',';
+      os << decidedByAttempt[i];
+    }
+    os << "]}";
+  }
+  os << ",\"jobs\":[";
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (i) os << ',';
     jsonJob(os, jobs[i]);

@@ -40,6 +40,21 @@ struct CampaignReport {
   std::uint64_t totalClausesImported = 0;
   std::uint64_t totalClausesDropped = 0;
 
+  // Reschedule accounting (see ReschedulePolicy; all zero and absent from
+  // the JSON for campaigns without rescheduling). The ceiling is the
+  // configured campaign-wide retry-conflict budget; the rest are sums over
+  // the jobs, filled by finalize().
+  std::uint64_t rescheduleConflictCeiling = 0;
+  bool rescheduleEnabled = false;  // any job ran under a policy
+  unsigned windowsRescheduled = 0;
+  unsigned rescheduleAttempts = 0;
+  unsigned windowsDecidedByRetry = 0;
+  unsigned reschedulesAbandoned = 0;
+  std::uint64_t rescheduleConflicts = 0;
+  // Escalation-ladder histogram: decidedByAttempt[i] = windows decided at
+  // attempt i (0 = first pass) across reschedule-enabled jobs.
+  std::vector<unsigned> decidedByAttempt;
+
   // Recomputes the aggregate fields from `jobs`.
   void finalize();
 

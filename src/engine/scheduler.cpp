@@ -1,0 +1,218 @@
+#include "engine/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "base/stopwatch.hpp"
+#include "engine/thread_pool.hpp"
+#include "upec/miter.hpp"
+
+namespace upec::engine {
+
+namespace {
+
+// Per-attempt accumulation: conflicts/propagations/exchange flow are
+// per-solve deltas and sum across attempts; vars/clauses are session
+// cumulative counts, so only the peaks are tracked here — sumVars is added
+// once per *window* (closeWindow), or retries would re-count the whole
+// session encoding and inflate the encode-saving metric.
+void accumulate(JobResult& res, const formal::BmcStats& stats) {
+  res.peakVars = std::max(res.peakVars, stats.vars);
+  res.peakClauses = std::max(res.peakClauses, stats.clauses);
+  res.totalConflicts += stats.conflicts;
+  res.totalPropagations += stats.propagations;
+  res.totalClausesExported += stats.clausesExported;
+  res.totalClausesImported += stats.clausesImported;
+  res.totalClausesDropped += stats.clausesDropped;
+}
+
+void insertUnique(std::vector<std::string>& into, const std::vector<std::string>& names) {
+  for (const std::string& n : names) {
+    if (std::find(into.begin(), into.end(), n) == into.end()) into.push_back(n);
+  }
+}
+
+void recordWin(JobResult& res, const std::string& solvedBy) {
+  if (solvedBy.empty()) return;
+  for (auto& [name, wins] : res.solverWins) {
+    if (name == solvedBy) {
+      ++wins;
+      return;
+    }
+  }
+  res.solverWins.emplace_back(solvedBy, 1u);
+}
+
+}  // namespace
+
+LadderScheduler::LadderScheduler(const JobSpec& spec, sat::MemberGovernor* governor,
+                                 ConflictLedger* ledger)
+    : spec_(spec), policy_(spec.reschedule), ledger_(ledger) {
+  assert(spec.kind == JobKind::kIntervalLadder &&
+         "the reschedule scheduler drives ladder jobs only");
+  res_.id = spec_.id;
+  res_.label = spec_.label;
+  res_.rescheduleEnabled = policy_.enabled;
+  res_.verdict = Verdict::kProven;
+
+  Stopwatch buildTimer;
+  miter_ = std::make_unique<Miter>(spec_.config, spec_.secretWord);
+  engine_ = std::make_unique<UpecEngine>(*miter_, resolveJobOptions(spec_, governor));
+  excluded_ = spec_.excludedFromCommitment;
+  if (spec_.architecturalOnly) {
+    const std::set<std::string> micro = engine_->allMicroNames();
+    excluded_.insert(micro.begin(), micro.end());
+  }
+  res_.wallMs += buildTimer.elapsedMs();
+
+  baseBudget_ = policy_.enabled && policy_.initialBudget != 0
+                    ? policy_.initialBudget
+                    : spec_.options.conflictBudget;
+  // maxBudget clamps every attempt, the first one included — otherwise an
+  // initialBudget above the clamp would make retries *descend*.
+  if (policy_.enabled && policy_.maxBudget != 0) {
+    baseBudget_ = std::min(baseBudget_, policy_.maxBudget);
+  }
+  budget_ = baseBudget_;
+  // A job-level conflictCeiling holds even inside a campaign: the private
+  // ledger gates this job's retries alongside the shared campaign one.
+  // Skip it when the shared ledger already carries the same ceiling (the
+  // campaign-injected-policy case) — one gate is enough there.
+  if (policy_.enabled && policy_.conflictCeiling != 0 &&
+      (ledger_ == nullptr || ledger_->ceiling() != policy_.conflictCeiling)) {
+    ownLedger_ = std::make_unique<ConflictLedger>(policy_.conflictCeiling);
+  }
+  k_ = spec_.kMin;
+  done_ = spec_.kMin > spec_.kMax;
+}
+
+LadderScheduler::~LadderScheduler() = default;
+
+std::uint64_t LadderScheduler::escalate(std::uint64_t budget) const {
+  constexpr std::uint64_t kCap = std::numeric_limits<std::uint64_t>::max();
+  const double grown = static_cast<double>(budget) * policy_.budgetGrowth;
+  // Saturate before converting: a double >= 2^64 (or negative/NaN, from a
+  // nonsensical budgetGrowth) makes the cast undefined, and a wrapped
+  // budget of 0 would mean "unlimited". 2^63 is exactly representable and
+  // already beyond any reachable conflict count.
+  std::uint64_t next = 0;
+  if (grown >= 9223372036854775808.0) {
+    next = kCap;
+  } else if (grown > 0.0) {
+    next = static_cast<std::uint64_t>(grown);
+  }
+  if (next <= budget) next = budget == kCap ? kCap : budget + 1;  // keep making progress
+  if (policy_.maxBudget != 0) next = std::min(next, policy_.maxBudget);
+  return next;
+}
+
+void LadderScheduler::runSegment() {
+  retryPending_ = false;
+  while (!done_ && !retryPending_) attemptWindow();
+}
+
+bool LadderScheduler::admitRetry() const {
+  return (ledger_ == nullptr || ledger_->admit()) &&
+         (ownLedger_ == nullptr || ownLedger_->admit());
+}
+
+void LadderScheduler::chargeRetry(std::uint64_t conflicts) {
+  if (ledger_ != nullptr) ledger_->charge(conflicts);
+  if (ownLedger_ != nullptr) ownLedger_->charge(conflicts);
+}
+
+void LadderScheduler::attemptWindow() {
+  if (attempt_ > 0 && !admitRetry()) {
+    // The ceiling was spent while this retry sat in the queue (another
+    // job's admitted retry charged it first): abandon the window with the
+    // verdict its last attempt produced instead of overshooting further.
+    ++res_.reschedulesAbandoned;
+    closeWindow(lastResult_);
+    return;
+  }
+
+  Stopwatch attemptTimer;
+  engine_->setConflictBudget(budget_);
+  const UpecResult r = engine_->check(k_, excluded_);
+  const double elapsed = attemptTimer.elapsedMs();
+  windowWallMs_ += elapsed;
+  res_.wallMs += elapsed;
+
+  accumulate(res_, r.stats);
+  if (attempt_ > 0) {
+    ++res_.rescheduleAttempts;  // retry attempts that actually solved
+    res_.rescheduleConflicts += r.stats.conflicts;
+    chargeRetry(r.stats.conflicts);
+  }
+  if (policy_.enabled) {
+    attempts_.push_back({budget_, r.verdict, r.stats.conflicts, r.stats.solveMs});
+  }
+
+  if (policy_.enabled && r.verdict == Verdict::kUnknown && r.budgetExhausted) {
+    // A same-budget re-entry (maxBudget clamp) only makes progress in an
+    // incremental session, where learnt clauses persist between attempts
+    // and resume a further-along search. A monolithic attempt re-encodes
+    // from scratch, so repeating the deterministic search at the same
+    // budget provably changes nothing — abandon instead.
+    const std::uint64_t next = escalate(budget_);
+    const bool progress = next > budget_ || spec_.mode == DeepeningMode::kIncremental;
+    if (attempt_ < policy_.maxReschedules && progress && admitRetry()) {
+      // Defer the window: escalate the budget and hand the retry back to
+      // the caller as a schedulable work item. Admission is re-checked
+      // when the retry runs — concurrent jobs may drain the ledger in
+      // between.
+      lastResult_ = r;
+      ++attempt_;
+      budget_ = next;
+      retryPending_ = true;
+      return;
+    }
+    ++res_.reschedulesAbandoned;  // retries exhausted, no progress possible,
+                                  // or ceiling spent
+  }
+  closeWindow(r);
+}
+
+void LadderScheduler::closeWindow(const UpecResult& r) {
+  WindowResult w;
+  w.window = k_;
+  w.verdict = r.verdict;
+  w.stats = r.stats;
+  w.wallMs = windowWallMs_;
+  w.attempts = std::move(attempts_);
+  w.budgetExhausted = r.verdict == Verdict::kUnknown && r.budgetExhausted;
+  res_.windows.push_back(std::move(w));
+  res_.sumVars += r.stats.vars;  // once per window, not per attempt
+
+  // Budget-exhausted checks were not answered by anyone — no win to record.
+  if (r.verdict != Verdict::kUnknown) recordWin(res_, r.stats.solvedBy);
+  res_.verdict = mergeVerdicts(res_.verdict, r.verdict);
+  insertUnique(res_.pAlertRegisters, r.differingMicro);
+  if (attempt_ > 0) {
+    ++res_.windowsRescheduled;
+    if (r.verdict != Verdict::kUnknown) ++res_.windowsDecidedByRetry;
+  }
+  if (r.verdict == Verdict::kUnknown) res_.undecidedWindows.push_back(k_);
+
+  if (r.verdict == Verdict::kLAlert) {
+    res_.lAlertRegisters = r.differingArch;
+    done_ = true;  // a real leak is the ladder's answer; deeper windows add nothing
+    return;
+  }
+  attempts_.clear();
+  windowWallMs_ = 0.0;
+  attempt_ = 0;
+  budget_ = baseBudget_;
+  ++k_;
+  if (k_ > spec_.kMax) done_ = true;
+}
+
+JobResult LadderScheduler::takeResult() {
+  assert(done_ && "takeResult() requires a finished ladder");
+  const unsigned worker = WorkStealingPool::currentWorker();
+  res_.worker = worker == WorkStealingPool::kNotAWorker ? 0 : worker;
+  return std::move(res_);
+}
+
+}  // namespace upec::engine

@@ -1,0 +1,122 @@
+// Adaptive rescheduling of budget-exhausted windows.
+//
+// A campaign decides UPEC obligations window by window under a conflict
+// budget, and a budget-exhausted check used to be a terminal per-window
+// kUnknown. The scheduler turns it into a *deferred* verdict instead: the
+// window becomes a new work item with an escalated budget (a configurable
+// ladder, ReschedulePolicy), so a campaign can start every window cheap and
+// spend real solver time only where the first pass came back undecided —
+// with the retries interleaved across the pool instead of serialising the
+// campaign behind its hardest window.
+//
+// LadderScheduler is the resumable execution of one ladder job: it runs
+// solve attempts until either the job is finished or a budget-escalated
+// retry is pending, at which point a campaign requeues the continuation
+// (WorkStealingPool::submitPriority) and the worker moves on. Re-entry of
+// an undecided window goes through the job's persistent incremental BMC
+// session: the frames are already unrolled and the obligation's activation
+// literal comes out of the Tseitin gate cache, so a retry pays only solver
+// time — no re-encoding. Everything here is opt-in: with the policy
+// disabled the scheduler replays the classic ladder walk bit-for-bit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "engine/job.hpp"
+
+namespace upec::engine {
+
+// Thread-safe accounting of the conflicts spent on retry attempts against a
+// ceiling (0 = unlimited). runCampaign shares one ledger across all of its
+// rescheduled jobs — the issue-level knob "stop pouring conflicts into
+// retries campaign-wide". The ceiling is an admission gate, not a hard
+// abort: a retry admitted below the ceiling may overshoot it by at most its
+// own attempt budget.
+class ConflictLedger {
+ public:
+  explicit ConflictLedger(std::uint64_t ceiling = 0) : ceiling_(ceiling) {}
+
+  // False once the ceiling is spent: pending retries must be abandoned.
+  bool admit() const {
+    return ceiling_ == 0 || spent_.load(std::memory_order_relaxed) < ceiling_;
+  }
+  void charge(std::uint64_t conflicts) {
+    spent_.fetch_add(conflicts, std::memory_order_relaxed);
+  }
+  std::uint64_t spent() const { return spent_.load(std::memory_order_relaxed); }
+  std::uint64_t ceiling() const { return ceiling_; }
+
+ private:
+  const std::uint64_t ceiling_;
+  std::atomic<std::uint64_t> spent_{0};
+};
+
+// Resumable execution of one interval-ladder job, one solve attempt at a
+// time. The walk pauses at a budget-exhausted window: runSegment() returns
+// before the job is done() and the caller decides where the escalated
+// attempt runs — runJob simply loops (inline retries), runCampaign requeues
+// the continuation onto the pool so idle workers pick it up. Because the
+// walk never advances past an open window, the incremental session's
+// window lengths stay non-decreasing and re-entry is sound by the same
+// argument as ordinary deepening.
+//
+// Thread-safety: not internally synchronised. One segment at a time; the
+// pool's queue mutexes give the necessary happens-before when consecutive
+// segments run on different workers.
+class LadderScheduler {
+ public:
+  // Builds the job's private Miter and UpecEngine (the expensive part —
+  // construct on the thread that runs the first segment). `governor` and
+  // `ledger` may be null. A ReschedulePolicy::conflictCeiling is enforced
+  // by a private job-local ledger that composes with the shared one — a
+  // retry must pass both gates.
+  explicit LadderScheduler(const JobSpec& spec, sat::MemberGovernor* governor = nullptr,
+                           ConflictLedger* ledger = nullptr);
+  ~LadderScheduler();
+  LadderScheduler(const LadderScheduler&) = delete;
+  LadderScheduler& operator=(const LadderScheduler&) = delete;
+
+  // Runs solve attempts (a pending retry first, then further windows) until
+  // the job completes or the next attempt is a budget-escalated retry —
+  // !done() after a segment means exactly that a retry is pending and the
+  // caller decides where the next segment runs.
+  void runSegment();
+
+  bool done() const { return done_; }
+
+  // Valid once done(): the job result with reschedule stats folded in.
+  // Stamps the calling worker as JobResult::worker.
+  JobResult takeResult();
+
+ private:
+  void attemptWindow();  // one solve attempt at (k_, budget_)
+  void closeWindow(const UpecResult& r);
+  std::uint64_t escalate(std::uint64_t budget) const;
+  bool admitRetry() const;  // both the shared and the job-local gate
+  void chargeRetry(std::uint64_t conflicts);
+
+  JobSpec spec_;
+  ReschedulePolicy policy_;
+  ConflictLedger* ledger_;                     // shared (campaign) ledger, may be null
+  std::unique_ptr<ConflictLedger> ownLedger_;  // job-local policy ceiling, may be null
+  std::unique_ptr<Miter> miter_;
+  std::unique_ptr<UpecEngine> engine_;
+  std::set<std::string> excluded_;
+
+  JobResult res_;
+  UpecResult lastResult_;          // most recent attempt at the open window
+  unsigned k_ = 0;                 // window being walked
+  unsigned attempt_ = 0;           // 0 = first pass, 1.. = retries
+  std::uint64_t baseBudget_ = 0;   // first-attempt budget per window
+  std::uint64_t budget_ = 0;       // budget of the next attempt
+  std::vector<WindowAttempt> attempts_;  // trail of the open window
+  double windowWallMs_ = 0.0;            // wall time of the open window
+  bool done_ = false;
+  bool retryPending_ = false;
+};
+
+}  // namespace upec::engine

@@ -35,7 +35,13 @@ WorkStealingPool::~WorkStealingPool() {
 
 unsigned WorkStealingPool::currentWorker() { return tlWorker; }
 
-void WorkStealingPool::submit(std::function<void()> task) {
+void WorkStealingPool::submit(std::function<void()> task) { enqueue(std::move(task), false); }
+
+void WorkStealingPool::submitPriority(std::function<void()> task) {
+  enqueue(std::move(task), true);
+}
+
+void WorkStealingPool::enqueue(std::function<void()> task, bool stealFirst) {
   unsigned target;
   {
     // Account the task before it becomes visible in any deque: a worker
@@ -53,7 +59,14 @@ void WorkStealingPool::submit(std::function<void()> task) {
   }
   {
     std::lock_guard<std::mutex> lock(workers_[target]->mutex);
-    workers_[target]->deque.push_back(std::move(task));
+    // The top of the deque is where thieves take from; the bottom is the
+    // owner's LIFO end. A steal-first task goes on top so it is the first
+    // thing an idle worker grabs.
+    if (stealFirst) {
+      workers_[target]->deque.push_front(std::move(task));
+    } else {
+      workers_[target]->deque.push_back(std::move(task));
+    }
   }
   sleepCv_.notify_one();
 }

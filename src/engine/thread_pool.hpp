@@ -35,6 +35,13 @@ class WorkStealingPool {
   // executed by it, stolen only when another worker runs dry).
   void submit(std::function<void()> task);
 
+  // Enqueues a task at the *steal end* (top) of the target deque: it is the
+  // next task any dry worker steals, while the deque's owner keeps draining
+  // its bottom. The campaign uses this for budget-escalated retry windows —
+  // an idle worker picks the expensive retry up while the worker that
+  // discovered it continues with the cheap first-pass jobs it already has.
+  void submitPriority(std::function<void()> task);
+
   // Blocks until every task submitted so far has finished executing. Must
   // be called from outside the pool (a task waiting on its own pool could
   // never finish itself).
@@ -55,6 +62,7 @@ class WorkStealingPool {
 
   void workerLoop(unsigned self);
   bool tryRun(unsigned self);  // own work first, then steal; false = dry
+  void enqueue(std::function<void()> task, bool stealFirst);
 
   std::vector<std::unique_ptr<Worker>> workers_;
 

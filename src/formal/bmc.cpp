@@ -77,6 +77,11 @@ struct BmcEngine::Session {
   std::set<std::pair<rtl::NodeId, unsigned>> assertedAt;
   // Invariant assumptions: per signal, asserted over cycles 0..upTo.
   std::map<rtl::NodeId, unsigned> invariantUpTo;
+  // Obligation big-or already encoded, keyed by the violation literal set.
+  // Re-entering a window with unchanged commitments (a budget-escalated
+  // retry) reuses the activation literal instead of paying a fresh
+  // variable and clause set per attempt.
+  std::map<std::vector<int>, sat::Lit> obligationCache;
 
   Session(const rtl::Design& design, const std::vector<sat::SolverConfig>& configs,
           const sat::PortfolioOptions& portfolio)
@@ -149,6 +154,7 @@ CheckResult BmcEngine::check(const IntervalProperty& property) {
   }
   if (sat == LBool::kUndef) {
     result.status = CheckStatus::kUnknown;
+    result.budgetExhausted = solver.lastSolveBudgetExhausted();
     return result;
   }
 
@@ -209,7 +215,12 @@ CheckResult BmcEngine::checkIncremental(const IntervalProperty& property) {
     result.status = CheckStatus::kProven;
     return result;
   }
-  const Lit activation = s.cnf.bigOr(violations);
+  std::vector<int> obligationKey;
+  obligationKey.reserve(violations.size());
+  for (const Lit l : violations) obligationKey.push_back(l.code());
+  const auto [cached, inserted] = s.obligationCache.emplace(std::move(obligationKey), Lit());
+  if (inserted) cached->second = s.cnf.bigOr(violations);
+  const Lit activation = cached->second;
 
   result.stats.encodeMs = encodeTimer.elapsedMs();
   result.stats.vars = static_cast<std::uint64_t>(solver.numVars());
@@ -234,6 +245,7 @@ CheckResult BmcEngine::checkIncremental(const IntervalProperty& property) {
   }
   if (sat == LBool::kUndef) {
     result.status = CheckStatus::kUnknown;
+    result.budgetExhausted = solver.lastSolveBudgetExhausted();
     return result;
   }
 

@@ -60,6 +60,10 @@ struct CheckResult {
   CheckStatus status = CheckStatus::kUnknown;
   std::optional<Trace> trace;  // present iff kCounterexample
   BmcStats stats;
+  // For kUnknown: the solver ran out of conflict budget (as opposed to a
+  // cooperative stop). Such a window is a candidate for re-entry with a
+  // larger budget — see engine::LadderScheduler.
+  bool budgetExhausted = false;
   bool holds() const { return status == CheckStatus::kProven; }
 };
 

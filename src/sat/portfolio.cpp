@@ -64,6 +64,7 @@ bool PortfolioSolver::okay() const {
 
 LBool PortfolioSolver::solveLimited(std::span<const Lit> assumptions) {
   lastWinner_ = -1;
+  lastBudgetExhausted_ = false;
   lastVerdicts_.assign(members_.size(), LBool::kUndef);
   lastRaceSize_ = 0;  // nobody raced yet: an early exit reports empty deltas
   if (externalStop_.load(std::memory_order_relaxed)) {
@@ -118,6 +119,17 @@ LBool PortfolioSolver::solveLimited(std::span<const Lit> assumptions) {
   if (held != 0) options_.governor->release(held);
 
   lastWinner_ = winner.load();
+  if (lastWinner_ < 0 && !externalStop_.load(std::memory_order_relaxed)) {
+    // No member answered and nobody cancelled us from outside. The race
+    // counts as budget-starved when any racer ran out of conflicts — the
+    // others were loser-stopped or equally starved, so a larger budget is
+    // what it would take to decide the query. (An externally stopped race
+    // stays "not budget-exhausted" even if a member hit its budget before
+    // observing the stop: a cancelled solve must never look retry-worthy.)
+    for (std::size_t i = 0; i < racing && !lastBudgetExhausted_; ++i) {
+      lastBudgetExhausted_ = members_[i]->lastSolveBudgetExhausted();
+    }
+  }
   return lastWinner_ >= 0 ? lastVerdicts_[static_cast<std::size_t>(lastWinner_)]
                           : LBool::kUndef;
 }

@@ -67,6 +67,8 @@ class PortfolioSolver : public SolverBackend {
   SolverStats stats() const override;          // summed over all members
   SolverStats lastSolveStats() const override; // summed over last race's racers only
   void setConflictBudget(std::uint64_t budget) override;  // per member
+  // True when the last race produced no winner and a racer ran out of budget.
+  bool lastSolveBudgetExhausted() const override { return lastBudgetExhausted_; }
   void requestStop() override;
   void clearStop() override;
   std::string describe() const override;
@@ -101,6 +103,7 @@ class PortfolioSolver : public SolverBackend {
   std::vector<LBool> lastVerdicts_;
   std::size_t lastRaceSize_ = 0;
   int lastWinner_ = -1;
+  bool lastBudgetExhausted_ = false;
   // requestStop() arrived from outside a race; may be set from another
   // thread while solveLimited() runs (same contract as Solver::stop_).
   std::atomic<bool> externalStop_{false};

@@ -407,6 +407,7 @@ std::uint64_t Solver::restartInterval(std::uint64_t restartNum) const {
 LBool Solver::solveLimited(std::span<const Lit> assumptions) {
   conflict_.clear();
   statsAtSolveStart_ = stats_;
+  lastSolveBudgetExhausted_ = false;
   ++stats_.solves;
   if (!ok_) return LBool::kFalse;
   assumptions_.assign(assumptions.begin(), assumptions.end());
@@ -456,6 +457,7 @@ LBool Solver::solveLimited(std::span<const Lit> assumptions) {
       decayClauseActivity();
       if (conflictBudget_ != 0 && totalConflicts >= conflictBudget_) {
         backtrack(0);
+        lastSolveBudgetExhausted_ = true;
         return LBool::kUndef;
       }
       continue;

@@ -77,6 +77,7 @@ class Solver : public SolverBackend {
   // to each solve() call separately: an incremental session gets a fresh
   // allowance per call, regardless of conflicts spent in earlier calls.
   void setConflictBudget(std::uint64_t budget) override { conflictBudget_ = budget; }
+  bool lastSolveBudgetExhausted() const override { return lastSolveBudgetExhausted_; }
 
   // Cooperative cancellation (the portfolio's loser-stopping hook): sets a
   // sticky flag checked once per search-loop iteration; an affected solve()
@@ -195,6 +196,7 @@ class Solver : public SolverBackend {
   SolverStats stats_;
   SolverStats statsAtSolveStart_;
   std::uint64_t conflictBudget_ = 0;
+  bool lastSolveBudgetExhausted_ = false;
   std::uint64_t maxLearnts_ = 8192;
   std::atomic<bool> stop_{false};
 };

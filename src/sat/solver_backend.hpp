@@ -160,6 +160,13 @@ class SolverBackend {
   // for a portfolio the budget applies to each member separately).
   virtual void setConflictBudget(std::uint64_t budget) = 0;
 
+  // True when the most recent solveLimited() returned kUndef because the
+  // conflict budget ran out (for a portfolio: no member answered and at
+  // least one ran out), as opposed to a cooperative stop. The campaign's
+  // reschedule scheduler keys on this: a budget-starved window is worth
+  // re-running with a larger budget, a cancelled one is not.
+  virtual bool lastSolveBudgetExhausted() const { return false; }
+
   // Cooperative cancellation: ask a running (or upcoming) solveLimited() to
   // return kUndef as soon as possible. Sticky until clearStop().
   virtual void requestStop() = 0;

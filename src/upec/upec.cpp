@@ -154,6 +154,7 @@ UpecResult UpecEngine::classify(const formal::CheckResult& bmc, unsigned k,
   }
   if (bmc.status == CheckStatus::kUnknown) {
     result.verdict = Verdict::kUnknown;
+    result.budgetExhausted = bmc.budgetExhausted;
     return result;
   }
 

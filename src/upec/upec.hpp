@@ -93,6 +93,10 @@ struct UpecResult {
   std::vector<std::string> differingMicro;
   formal::BmcStats stats;
   std::optional<formal::Trace> trace;
+  // For kUnknown: the window was undecided because the conflict budget ran
+  // out (not a cooperative stop). The campaign engine reschedules such
+  // windows with an escalated budget — see engine::LadderScheduler.
+  bool budgetExhausted = false;
 };
 
 class UpecEngine {
@@ -114,6 +118,14 @@ class UpecEngine {
 
   // Drops the incremental session (solver, learnt clauses, frames).
   void resetIncremental();
+
+  // Adjusts the per-check conflict budget for subsequent check() /
+  // checkIncremental() calls (0 = unlimited). A live incremental session
+  // picks the new budget up on its next solve: re-entering an undecided
+  // window with a larger budget reuses the session's frames and obligation
+  // encoding (the session caches the activation literal per commitment
+  // set), so a retry pays only solver time.
+  void setConflictBudget(std::uint64_t budget) { options_.conflictBudget = budget; }
 
   // The Fig. 4 interval property at window k (campaigns and external
   // drivers can encode it with an engine of their own choosing).

@@ -1,0 +1,338 @@
+// The adaptive reschedule scheduler: deterministic kUndef injection via a
+// budget-limited backend (a tiny conflict budget on the deterministic
+// default solver), escalation-ladder order, the maxReschedules cap, the
+// campaign-wide conflict ceiling, and — the property the subsystem lives
+// for — verdict equality between a small-budget rescheduled run and the
+// unbounded baseline.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "engine/campaign.hpp"
+#include "engine/scheduler.hpp"
+
+namespace upec::engine {
+namespace {
+
+// The secure design's windows need thousands of conflicts (see the miter
+// probes in bench/campaign.cpp), so a single-digit budget is a guaranteed,
+// deterministic kUndef on the first pass.
+JobSpec secureLadder(SecretScenario scenario, unsigned kMax) {
+  JobSpec spec;
+  spec.label = std::string("secure/") + scenarioName(scenario);
+  spec.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+  spec.secretWord = 12;
+  spec.options.scenario = scenario;
+  spec.mode = DeepeningMode::kIncremental;
+  spec.kMin = 1;
+  spec.kMax = kMax;
+  return spec;
+}
+
+void expectSameWindowVerdicts(const JobResult& a, const JobResult& b) {
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    EXPECT_EQ(a.windows[i].window, b.windows[i].window);
+    EXPECT_EQ(a.windows[i].verdict, b.windows[i].verdict) << "window " << a.windows[i].window;
+  }
+  EXPECT_EQ(a.verdict, b.verdict);
+}
+
+TEST(RescheduleScheduler, EscalatesUntilDecidedAndMatchesUnboundedBaseline) {
+  JobSpec spec = secureLadder(SecretScenario::kNotInCache, 2);
+  const JobResult baseline = runJob(spec);  // unlimited budget
+  EXPECT_EQ(baseline.verdict, Verdict::kProven);
+
+  spec.options.conflictBudget = 1;  // starve every first pass
+  spec.reschedule.enabled = true;
+  spec.reschedule.budgetGrowth = 4.0;
+  spec.reschedule.maxReschedules = 20;
+  const JobResult res = runJob(spec);
+
+  expectSameWindowVerdicts(res, baseline);
+  EXPECT_EQ(res.sumVars, baseline.sumVars)
+      << "retries must not re-count the session encoding into sumVars";
+  EXPECT_TRUE(res.rescheduleEnabled);
+  EXPECT_GE(res.windowsRescheduled, 1u);
+  EXPECT_EQ(res.windowsDecidedByRetry, res.windowsRescheduled)
+      << "every rescheduled window must end decided";
+  EXPECT_EQ(res.reschedulesAbandoned, 0u);
+  EXPECT_TRUE(res.undecidedWindows.empty());
+  EXPECT_GT(res.rescheduleConflicts, 0u);
+
+  for (const WindowResult& w : res.windows) {
+    ASSERT_FALSE(w.attempts.empty());
+    EXPECT_EQ(w.attempts.front().conflictBudget, 1u);
+    for (std::size_t i = 1; i < w.attempts.size(); ++i) {
+      EXPECT_EQ(w.attempts[i].conflictBudget, w.attempts[i - 1].conflictBudget * 4)
+          << "the ladder escalates by exactly budgetGrowth per retry";
+      EXPECT_EQ(w.attempts[i - 1].verdict, Verdict::kUnknown)
+          << "only an undecided attempt may be followed by another";
+    }
+    EXPECT_EQ(w.attempts.back().verdict, w.verdict);
+    EXPECT_FALSE(w.budgetExhausted);
+  }
+}
+
+TEST(RescheduleScheduler, MaxReschedulesCapAbandonsUndecidedWindows) {
+  JobSpec spec = secureLadder(SecretScenario::kNotInCache, 1);
+  spec.options.conflictBudget = 1;
+  spec.reschedule.enabled = true;
+  spec.reschedule.budgetGrowth = 2.0;
+  spec.reschedule.maxReschedules = 2;  // budgets 1, 2, 4 — never enough
+  const JobResult res = runJob(spec);
+
+  EXPECT_EQ(res.verdict, Verdict::kUnknown);
+  ASSERT_EQ(res.windows.size(), 1u);
+  const WindowResult& w = res.windows[0];
+  EXPECT_EQ(w.verdict, Verdict::kUnknown);
+  EXPECT_TRUE(w.budgetExhausted);
+  ASSERT_EQ(w.attempts.size(), 3u);  // first pass + maxReschedules retries
+  EXPECT_EQ(w.attempts[0].conflictBudget, 1u);
+  EXPECT_EQ(w.attempts[1].conflictBudget, 2u);
+  EXPECT_EQ(w.attempts[2].conflictBudget, 4u);
+  EXPECT_EQ(res.rescheduleAttempts, 2u);
+  EXPECT_EQ(res.windowsRescheduled, 1u);
+  EXPECT_EQ(res.windowsDecidedByRetry, 0u);
+  EXPECT_EQ(res.reschedulesAbandoned, 1u);
+  ASSERT_EQ(res.undecidedWindows.size(), 1u);
+  EXPECT_EQ(res.undecidedWindows[0], 1u);
+}
+
+TEST(RescheduleScheduler, MaxBudgetClampsTheLadder) {
+  JobSpec spec = secureLadder(SecretScenario::kNotInCache, 1);
+  spec.options.conflictBudget = 1;
+  spec.reschedule.enabled = true;
+  spec.reschedule.budgetGrowth = 4.0;
+  spec.reschedule.maxReschedules = 2;
+  spec.reschedule.maxBudget = 3;  // escalation hits the clamp immediately
+  const JobResult res = runJob(spec);
+
+  ASSERT_EQ(res.windows.size(), 1u);
+  const WindowResult& w = res.windows[0];
+  ASSERT_EQ(w.attempts.size(), 3u);
+  EXPECT_EQ(w.attempts[0].conflictBudget, 1u);
+  EXPECT_EQ(w.attempts[1].conflictBudget, 3u);
+  EXPECT_EQ(w.attempts[2].conflictBudget, 3u)
+      << "a clamped retry re-enters at maxBudget (the session still "
+         "progresses: learnt clauses persist between attempts)";
+}
+
+TEST(RescheduleScheduler, MonolithicSameBudgetRetryIsAbandonedNotRepeated) {
+  // A monolithic attempt re-encodes from scratch, so a maxBudget-clamped
+  // same-budget retry would deterministically repeat the identical search.
+  // The scheduler must abandon instead of burning maxReschedules no-ops.
+  JobSpec spec = secureLadder(SecretScenario::kNotInCache, 1);
+  spec.mode = DeepeningMode::kMonolithic;
+  spec.options.conflictBudget = 1;
+  spec.reschedule.enabled = true;
+  spec.reschedule.budgetGrowth = 4.0;
+  spec.reschedule.maxReschedules = 10;
+  spec.reschedule.maxBudget = 3;
+  const JobResult res = runJob(spec);
+
+  ASSERT_EQ(res.windows.size(), 1u);
+  const WindowResult& w = res.windows[0];
+  ASSERT_EQ(w.attempts.size(), 2u) << "budget 1, then 3; a second 3 would be a no-op";
+  EXPECT_EQ(w.attempts[0].conflictBudget, 1u);
+  EXPECT_EQ(w.attempts[1].conflictBudget, 3u);
+  EXPECT_EQ(w.verdict, Verdict::kUnknown);
+  EXPECT_EQ(res.reschedulesAbandoned, 1u);
+}
+
+TEST(RescheduleScheduler, InitialBudgetAboveMaxBudgetIsClampedNotDescending) {
+  // maxBudget clamps every attempt including the first: an initialBudget
+  // above it must not make the "escalation" descend.
+  JobSpec spec = secureLadder(SecretScenario::kNotInCache, 1);
+  spec.reschedule.enabled = true;
+  spec.reschedule.initialBudget = 100;
+  spec.reschedule.budgetGrowth = 4.0;
+  spec.reschedule.maxReschedules = 2;
+  spec.reschedule.maxBudget = 7;
+  const JobResult res = runJob(spec);
+
+  ASSERT_EQ(res.windows.size(), 1u);
+  for (const WindowAttempt& a : res.windows[0].attempts) {
+    EXPECT_EQ(a.conflictBudget, 7u);
+  }
+}
+
+TEST(RescheduleScheduler, NonPositiveGrowthStillEscalates) {
+  // A nonsensical growth factor (<= 0, would be UB to cast) degrades to
+  // +1-per-retry escalation instead of corrupting the budget.
+  JobSpec spec = secureLadder(SecretScenario::kNotInCache, 1);
+  spec.options.conflictBudget = 1;
+  spec.reschedule.enabled = true;
+  spec.reschedule.budgetGrowth = -1.0;
+  spec.reschedule.maxReschedules = 2;
+  const JobResult res = runJob(spec);
+
+  ASSERT_EQ(res.windows.size(), 1u);
+  const WindowResult& w = res.windows[0];
+  ASSERT_EQ(w.attempts.size(), 3u);
+  EXPECT_EQ(w.attempts[0].conflictBudget, 1u);
+  EXPECT_EQ(w.attempts[1].conflictBudget, 2u);
+  EXPECT_EQ(w.attempts[2].conflictBudget, 3u);
+}
+
+TEST(RescheduleScheduler, ConflictCeilingAbandonsPendingRetries) {
+  JobSpec spec = secureLadder(SecretScenario::kNotInCache, 2);
+  spec.options.conflictBudget = 1;
+  spec.reschedule.enabled = true;
+  spec.reschedule.budgetGrowth = 4.0;
+  spec.reschedule.maxReschedules = 10;
+  spec.reschedule.conflictCeiling = 3;  // one budget-4 retry spends it
+  const JobResult res = runJob(spec);
+
+  // Window 1: first pass kUndef, one retry admitted (ledger empty), which
+  // spends >= 4 conflicts and exhausts the ceiling. Window 2: the retry is
+  // denied outright. Both end undecided.
+  EXPECT_EQ(res.verdict, Verdict::kUnknown);
+  EXPECT_EQ(res.rescheduleAttempts, 1u);
+  EXPECT_EQ(res.reschedulesAbandoned, 2u);
+  EXPECT_GE(res.rescheduleConflicts, 3u);
+  ASSERT_EQ(res.undecidedWindows.size(), 2u);
+  EXPECT_EQ(res.windows[0].attempts.size(), 2u);
+  EXPECT_EQ(res.windows[1].attempts.size(), 1u)
+      << "a spent ceiling must deny the retry before it runs";
+}
+
+TEST(RescheduleScheduler, JobLevelCeilingIsHonouredInsideACampaign) {
+  // A job that brings its own policy keeps its own conflictCeiling even
+  // when the campaign hands it the shared (here: unlimited) ledger.
+  JobSpec spec = secureLadder(SecretScenario::kNotInCache, 2);
+  spec.options.conflictBudget = 1;
+  spec.reschedule.enabled = true;
+  spec.reschedule.budgetGrowth = 4.0;
+  spec.reschedule.maxReschedules = 10;
+  spec.reschedule.conflictCeiling = 3;
+
+  CampaignOptions options;  // campaign-level rescheduling stays off
+  options.threads = 1;
+  const CampaignReport report = runCampaign({spec}, options);
+
+  ASSERT_EQ(report.jobs.size(), 1u);
+  const JobResult& res = report.jobs[0];
+  EXPECT_EQ(res.rescheduleAttempts, 1u) << "one retry spends the job's ceiling";
+  EXPECT_EQ(res.reschedulesAbandoned, 2u);
+  EXPECT_EQ(res.undecidedWindows.size(), 2u);
+}
+
+TEST(RescheduleScheduler, ExtremeGrowthSaturatesInsteadOfWrapping) {
+  // A growth factor that overshoots the uint64 range must saturate (an
+  // effectively unlimited retry), not wrap to a small or zero budget.
+  JobSpec spec = secureLadder(SecretScenario::kNotInCache, 1);
+  spec.options.conflictBudget = 1;
+  spec.reschedule.enabled = true;
+  spec.reschedule.budgetGrowth = 1e30;
+  spec.reschedule.maxReschedules = 3;
+  const JobResult res = runJob(spec);
+
+  EXPECT_EQ(res.verdict, Verdict::kProven);
+  ASSERT_EQ(res.windows.size(), 1u);
+  const WindowResult& w = res.windows[0];
+  ASSERT_EQ(w.attempts.size(), 2u);
+  EXPECT_EQ(w.attempts[1].conflictBudget, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(w.attempts[1].verdict, Verdict::kProven);
+}
+
+TEST(RescheduleScheduler, UnscheduledBudgetExhaustionIsSurfacedNotRetried) {
+  // Policy off: the kUndef window stays terminal (the pre-scheduler
+  // behaviour), but the report now says which windows were undecided and
+  // why — the handle a rescheduling rerun needs.
+  JobSpec spec = secureLadder(SecretScenario::kNotInCache, 1);
+  spec.options.conflictBudget = 1;
+  const JobResult res = runJob(spec);
+
+  EXPECT_FALSE(res.rescheduleEnabled);
+  EXPECT_EQ(res.verdict, Verdict::kUnknown);
+  ASSERT_EQ(res.windows.size(), 1u);
+  EXPECT_TRUE(res.windows[0].budgetExhausted);
+  EXPECT_TRUE(res.windows[0].attempts.empty());
+  EXPECT_EQ(res.rescheduleAttempts, 0u);
+  EXPECT_EQ(res.windowsRescheduled, 0u);
+  ASSERT_EQ(res.undecidedWindows.size(), 1u);
+  EXPECT_EQ(res.undecidedWindows[0], 1u);
+}
+
+TEST(RescheduleScheduler, CampaignReschedulesAndMatchesBaselineVerdicts) {
+  // The campaign path: starved first passes, retries requeued as their own
+  // work items across a 2-worker pool, verdicts equal to the unbounded
+  // baseline, and the escalation stats surfaced in the JSON report.
+  std::vector<JobSpec> jobs;
+  jobs.push_back(secureLadder(SecretScenario::kNotInCache, 2));
+  jobs.push_back(secureLadder(SecretScenario::kInCache, 1));
+  jobs.push_back(secureLadder(SecretScenario::kNotInCache, 1));
+  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].id = static_cast<std::uint32_t>(i);
+
+  std::vector<JobResult> baseline;
+  for (const JobSpec& j : jobs) baseline.push_back(runJob(j));
+
+  for (JobSpec& j : jobs) j.options.conflictBudget = 1;
+  CampaignOptions options;
+  options.threads = 2;
+  options.reschedule.enabled = true;
+  options.reschedule.budgetGrowth = 8.0;
+  options.reschedule.maxReschedules = 20;
+  const CampaignReport report = runCampaign(jobs, options);
+
+  ASSERT_EQ(report.jobs.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    expectSameWindowVerdicts(report.jobs[i], baseline[i]);
+  }
+  EXPECT_TRUE(report.rescheduleEnabled);
+  EXPECT_GE(report.windowsRescheduled, 3u) << "every starved job reschedules";
+  EXPECT_EQ(report.windowsDecidedByRetry, report.windowsRescheduled);
+  EXPECT_EQ(report.reschedulesAbandoned, 0u);
+  EXPECT_EQ(report.numUnknown, 0u);
+
+  // Escalation-ladder stats: every decided window lands in the histogram.
+  unsigned decided = 0;
+  for (const unsigned n : report.decidedByAttempt) decided += n;
+  unsigned windows = 0;
+  for (const JobResult& job : report.jobs) windows += static_cast<unsigned>(job.windows.size());
+  EXPECT_EQ(decided, windows);
+  EXPECT_GT(report.decidedByAttempt.size(), 1u) << "some window needed a retry";
+
+  const std::string json = report.toJson();
+  EXPECT_NE(json.find("\"reschedule\":{\"conflict_ceiling\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"windows_rescheduled\":"), std::string::npos);
+  EXPECT_NE(json.find("\"decided_by_attempt\":["), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\":[{\"budget\":1,"), std::string::npos)
+      << "per-window escalation trails belong in the JSON";
+}
+
+TEST(RescheduleScheduler, CampaignCeilingIsSharedAcrossJobs) {
+  // With a campaign-wide ceiling of 3 conflicts, the first admitted retry
+  // (budget 8) exhausts the ledger for every job: at most one retry runs
+  // in the whole campaign, everything else is abandoned undecided.
+  std::vector<JobSpec> jobs;
+  jobs.push_back(secureLadder(SecretScenario::kNotInCache, 1));
+  jobs.push_back(secureLadder(SecretScenario::kNotInCache, 2));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<std::uint32_t>(i);
+    jobs[i].options.conflictBudget = 1;
+  }
+  CampaignOptions options;
+  options.threads = 1;  // serial: the admission order is deterministic
+  options.reschedule.enabled = true;
+  options.reschedule.budgetGrowth = 8.0;
+  options.reschedule.maxReschedules = 10;
+  options.reschedule.conflictCeiling = 3;
+  const CampaignReport report = runCampaign(jobs, options);
+
+  EXPECT_EQ(report.rescheduleConflictCeiling, 3u);
+  EXPECT_EQ(report.rescheduleAttempts, 1u) << "one retry spends the shared ceiling";
+  EXPECT_EQ(report.reschedulesAbandoned, 3u) << "all three windows end abandoned";
+  EXPECT_EQ(report.numUnknown, 2u);
+  EXPECT_GE(report.rescheduleConflicts, 3u);
+  const std::string json = report.toJson();
+  EXPECT_NE(json.find("\"reschedule\":{\"conflict_ceiling\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"undecided_windows\":[1]"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace upec::engine

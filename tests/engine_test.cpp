@@ -60,6 +60,29 @@ TEST(WorkStealingPool, CurrentWorkerIsScopedToPoolThreads) {
   EXPECT_TRUE(sawValidIndex.load());
 }
 
+TEST(WorkStealingPool, PriorityTasksRunExactlyOnceAlongsideNormalOnes) {
+  // submitPriority lands tasks at the steal end of the deque (the campaign
+  // uses it for budget-escalated retry windows). Interleaved with normal
+  // submissions, from outside and inside the pool, every task must still
+  // run exactly once and wait() must cover them all.
+  WorkStealingPool pool(3);
+  std::atomic<int> runs{0};
+  int normal = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (i % 3 == 0) {
+      pool.submitPriority([&runs] { runs.fetch_add(1, std::memory_order_relaxed); });
+    } else {
+      ++normal;  // each normal task spawns one priority subtask from inside
+      pool.submit([&pool, &runs] {
+        runs.fetch_add(1, std::memory_order_relaxed);
+        pool.submitPriority([&runs] { runs.fetch_add(1, std::memory_order_relaxed); });
+      });
+    }
+  }
+  pool.wait();
+  EXPECT_EQ(runs.load(), 200 + normal);
+}
+
 TEST(WorkStealingPool, WaitIsReusable) {
   WorkStealingPool pool(2);
   std::atomic<int> runs{0};

@@ -108,6 +108,26 @@ TEST(SatBudget, TinyBudgetYieldsUndef) {
   s.setConflictBudget(5);
   EXPECT_EQ(s.solve(), LBool::kUndef);
   EXPECT_GE(s.lastSolveStats().conflicts, 5u);
+  EXPECT_TRUE(s.lastSolveBudgetExhausted());
+}
+
+TEST(SatBudget, StopAndBudgetUndefAreDistinguished) {
+  // Both abort paths return kUndef, but only the budget one marks the call
+  // budget-exhausted — the reschedule scheduler keys on the difference (a
+  // starved window is worth a bigger budget, a cancelled one is not).
+  Solver s;
+  std::vector<std::vector<Var>> at;
+  encodePigeonhole(s, 7, 6, at);
+  s.requestStop();
+  ASSERT_EQ(s.solve(), LBool::kUndef);
+  EXPECT_FALSE(s.lastSolveBudgetExhausted());
+  s.clearStop();
+  s.setConflictBudget(5);
+  ASSERT_EQ(s.solve(), LBool::kUndef);
+  EXPECT_TRUE(s.lastSolveBudgetExhausted());
+  s.setConflictBudget(0);
+  ASSERT_EQ(s.solve(), LBool::kFalse);
+  EXPECT_FALSE(s.lastSolveBudgetExhausted()) << "a decided call clears the flag";
 }
 
 TEST(SatBudget, BudgetResetsPerSolveCall) {
