@@ -19,12 +19,19 @@
 //     the monolithic large-budget baseline: every window that the starved
 //     run alone leaves kUnknown is decided by a rescheduled retry, with the
 //     verdicts equal to the baseline's.
+//  6. Telemetry overhead — the same k=1..4 ladder with the full telemetry
+//     stack off vs on (tracing spans + metrics registry + NDJSON observer):
+//     the verdicts AND per-window conflict counts must be bit-identical
+//     (telemetry only reads, never feeds back), and the measured wall-clock
+//     overhead is reported against the <3% target.
 //
-// Usage: bench/campaign [reschedule]
+// Usage: bench/campaign [reschedule|trace]
 //   no argument  — all sections;
 //   "reschedule" — section [5] only (self-contained; CI's smoke leg runs it
-//                  as the reschedule self-check without paying for 1-4).
+//                  as the reschedule self-check without paying for 1-4);
+//   "trace"      — section [6] only (the telemetry differential self-check).
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <thread>
@@ -32,6 +39,9 @@
 #include "base/stopwatch.hpp"
 #include "bench_util.hpp"
 #include "engine/campaign.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -126,11 +136,84 @@ bool rescheduleSection() {
   return all;
 }
 
+// ---- 6: telemetry on vs off on the same ladder ---------------------------
+// Self-contained (also run standalone as CI's telemetry self-check): the
+// k=1..4 incremental ladder decided twice — telemetry fully off (the
+// default), then with the whole stack live (trace recorder, metrics
+// registry, NDJSON observer). The single-backend incremental session is
+// deterministic, so "telemetry only reads, never feeds back" is checkable
+// bit-for-bit: per-window verdicts AND conflict counts must be equal.
+bool traceSection() {
+  std::printf("[6] window ladder k=1..4, telemetry off vs tracing+metrics+events on\n");
+  JobSpec ladder;
+  ladder.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+  ladder.secretWord = 12;
+  ladder.options.scenario = SecretScenario::kNotInCache;
+  ladder.mode = DeepeningMode::kIncremental;
+  ladder.kMin = 1;
+  ladder.kMax = 4;
+
+  Stopwatch offTimer;
+  const JobResult off = runJob(ladder);
+  const double offSec = offTimer.elapsedSeconds();
+
+  // Counting observer: pays the event-construction cost without touching
+  // the filesystem, so the overhead number is the instrumentation's own.
+  struct CountingObserver final : obs::CampaignObserver {
+    std::atomic<std::uint64_t> events{0};
+    void onEvent(const obs::StreamEvent&) override {
+      events.fetch_add(1, std::memory_order_relaxed);
+    }
+  } counting;
+  obs::TraceRecorder recorder;
+  recorder.start();
+  obs::metrics().reset();
+  obs::setMetricsEnabled(true);
+  Stopwatch onTimer;
+  const JobResult on = runJob(ladder, nullptr, nullptr, &counting);
+  const double onSec = onTimer.elapsedSeconds();
+  obs::setMetricsEnabled(false);
+  recorder.stop();
+
+  const double overheadPct = offSec > 0.0 ? 100.0 * (onSec / offSec - 1.0) : 0.0;
+  upec::bench::Table t({"telemetry", "wall clock", "conflicts", "verdict", "artifacts"});
+  t.addRow({"off", upec::bench::fmtSeconds(offSec), std::to_string(off.totalConflicts),
+            verdictName(off.verdict), "-"});
+  t.addRow({"on", upec::bench::fmtSeconds(onSec), std::to_string(on.totalConflicts),
+            verdictName(on.verdict),
+            std::to_string(recorder.eventCount()) + " spans, " +
+                std::to_string(counting.events.load()) + " events, " +
+                std::to_string(recorder.droppedEvents()) + " dropped"});
+  t.print();
+  std::printf("overhead: %+.1f%% wall clock (target < 3%%; single short run — treat as\n"
+              "indicative, the hard guarantee is the bit-identical trajectory below)\n\n",
+              overheadPct);
+
+  auto check = [](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
+    return ok;
+  };
+  bool all = true;
+  all &= check(std::equal(off.windows.begin(), off.windows.end(), on.windows.begin(),
+                          on.windows.end(),
+                          [](const WindowResult& a, const WindowResult& b) {
+                            return a.window == b.window && a.verdict == b.verdict &&
+                                   a.stats.conflicts == b.stats.conflicts;
+                          }),
+               "telemetry-on ladder reproduces the telemetry-off verdicts and conflicts");
+  all &= check(recorder.eventCount() > 0, "trace recorder captured spans");
+  all &= check(counting.events.load() > 0, "observer received stream events");
+  return all;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "reschedule") == 0) {
     return rescheduleSection() ? 0 : 1;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
+    return traceSection() ? 0 : 1;
   }
   std::printf("Verification campaign bench — parallel scaling and incremental deepening\n\n");
   const unsigned hw = std::thread::hardware_concurrency();
@@ -254,6 +337,10 @@ int main(int argc, char** argv) {
 
   // ---- 5: budget-aware rescheduling --------------------------------------
   bool all = rescheduleSection();
+  std::printf("\n");
+
+  // ---- 6: telemetry overhead ---------------------------------------------
+  all &= traceSection();
   std::printf("\n");
 
   // ---- acceptance --------------------------------------------------------

@@ -8,17 +8,56 @@
 // verdicts plus the machine-readable JSON report that downstream tooling
 // (dashboards, CI gates) consumes.
 //
-// Build & run:  ./build/examples/campaign_sweep [report.json]
-// An optional argument names a file the JSON report is also written to
-// (CI's smoke leg uploads it as a workflow artifact).
+// Build & run:  ./build/examples/campaign_sweep [report.json] [flags]
+// An optional positional argument names a file the JSON report is also
+// written to (CI's smoke leg uploads it as a workflow artifact).
+//
+// Telemetry flags (all off by default; see src/obs/README.md):
+//   --trace <trace.json>      record tracing spans, write Chrome trace JSON
+//                             (load in chrome://tracing or ui.perfetto.dev)
+//   --events <events.ndjson>  stream one NDJSON line per window verdict /
+//                             job completion / reschedule escalation, live
+//                             (`tail -f events.ndjson` while the sweep runs)
+//   --metrics <metrics.json>  collect the metrics registry and dump it
+//                             standalone (also folded into the report JSON)
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 
 #include "engine/campaign.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
 
 using namespace upec;
 using namespace upec::engine;
 
 int main(int argc, char** argv) {
+  std::string reportPath, tracePath, eventsPath, metricsPath;
+  for (int i = 1; i < argc; ++i) {
+    auto flagValue = [&](const char* flag, std::string& out) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a file argument\n", flag);
+        std::exit(2);
+      }
+      out = argv[++i];
+      return true;
+    };
+    if (flagValue("--trace", tracePath) || flagValue("--events", eventsPath) ||
+        flagValue("--metrics", metricsPath)) {
+      continue;
+    }
+    if (argv[i][0] == '-' || !reportPath.empty()) {
+      std::fprintf(stderr,
+                   "usage: campaign_sweep [report.json] [--trace trace.json] "
+                   "[--events events.ndjson] [--metrics metrics.json]\n");
+      return 2;
+    }
+    reportPath = argv[i];
+  }
+
   SweepMatrix matrix;
   matrix.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
   matrix.secretWord = 12;
@@ -41,7 +80,29 @@ int main(int argc, char** argv) {
               "          sharing portfolio of %u per check)\n\n",
               jobs.size(), matrix.kMin, matrix.kMax, matrix.portfolio);
 
+  // Telemetry, strictly opt-in: verdicts and solver trajectories are
+  // identical with everything enabled (bench/campaign.cpp section [6]
+  // asserts exactly that).
+  obs::TraceRecorder recorder;
+  if (!tracePath.empty()) recorder.start();
+  if (!metricsPath.empty()) {
+    obs::metrics().reset();
+    obs::setMetricsEnabled(true);
+  }
+  std::unique_ptr<obs::NdjsonWriter> events;
+  if (!eventsPath.empty()) {
+    events = std::make_unique<obs::NdjsonWriter>(eventsPath);
+    if (!events->ok()) {
+      std::fprintf(stderr, "cannot write %s\n", eventsPath.c_str());
+      return 2;
+    }
+    // Route engine log lines onto the same stream, interleaved with the
+    // window verdicts on one time base.
+    obs::routeLogToObserver(events.get());
+  }
+
   CampaignOptions options;  // threads = all cores
+  options.observer = events.get();
   // Cap racing member threads campaign-wide so workers x members cannot
   // oversubscribe the machine; portfolios degrade member count instead.
   options.solverThreadCap = 4;
@@ -54,6 +115,37 @@ int main(int argc, char** argv) {
   options.reschedule.budgetGrowth = 8.0;
   options.reschedule.maxReschedules = 10;
   const CampaignReport report = runCampaign(jobs, options);
+
+  obs::routeLogToObserver(nullptr);
+  if (!tracePath.empty()) {
+    recorder.stop();
+    if (recorder.writeFile(tracePath)) {
+      std::printf("trace: %zu events (%llu dropped) -> %s\n",
+                  recorder.eventCount(),
+                  static_cast<unsigned long long>(recorder.droppedEvents()),
+                  tracePath.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", tracePath.c_str());
+      return 2;
+    }
+  }
+  if (!metricsPath.empty()) {
+    obs::setMetricsEnabled(false);
+    const std::string json = obs::metrics().toJson();
+    if (std::FILE* f = std::fopen(metricsPath.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("metrics -> %s\n", metricsPath.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", metricsPath.c_str());
+      return 2;
+    }
+  }
+  if (events) {
+    std::printf("events: %llu NDJSON lines -> %s\n",
+                static_cast<unsigned long long>(events->linesWritten()), eventsPath.c_str());
+  }
 
   for (const JobResult& job : report.jobs) {
     std::printf("  job %u  %-34s -> %-8s  (%.1f s, worker %u, peak %llu vars)\n",
@@ -82,14 +174,14 @@ int main(int argc, char** argv) {
 
   const std::string json = report.toJson();
   std::printf("JSON report:\n%s\n", json.c_str());
-  if (argc > 1) {
-    if (std::FILE* f = std::fopen(argv[1], "w")) {
+  if (!reportPath.empty()) {
+    if (std::FILE* f = std::fopen(reportPath.c_str(), "w")) {
       std::fwrite(json.data(), 1, json.size(), f);
       std::fputc('\n', f);
       std::fclose(f);
-      std::printf("JSON report written to %s\n", argv[1]);
+      std::printf("JSON report written to %s\n", reportPath.c_str());
     } else {
-      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      std::fprintf(stderr, "cannot write %s\n", reportPath.c_str());
       return 2;
     }
   }

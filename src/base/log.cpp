@@ -1,23 +1,54 @@
 #include "base/log.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include "base/stopwatch.hpp"
 
 namespace upec {
 namespace {
-// Atomic so campaign workers can narrate concurrently; each message is a
-// single fprintf, which the C library already serialises per stream.
+
 std::atomic<LogLevel> g_level{LogLevel::kSilent};
+
+// One mutex around the whole write path: a single fprintf per line would
+// already keep stderr unmangled per the C library's stream lock, but the
+// sink call must observe lines in the same order they hit the console, so
+// both happen under the same lock.
+std::mutex g_mutex;
+LogSink g_sink;  // guarded by g_mutex
+
+std::atomic<unsigned> g_nextThreadId{0};
+
+void write(LogLevel level, const char* tag, const std::string& msg) {
+  const double ms = static_cast<double>(Stopwatch::sinceEpochUs()) / 1e3;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s +%.3fms T%u] %s\n", tag, ms, logThreadId(), msg.c_str());
+  if (g_sink) g_sink(level, msg);
 }
+
+}  // namespace
 
 LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
 void setLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
+void setLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+unsigned logThreadId() {
+  thread_local const unsigned id = g_nextThreadId.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 void logInfo(const std::string& msg) {
-  if (logLevel() >= LogLevel::kInfo) std::fprintf(stderr, "[upec] %s\n", msg.c_str());
+  if (logLevel() >= LogLevel::kInfo) write(LogLevel::kInfo, "upec", msg);
 }
 
 void logDebug(const std::string& msg) {
-  if (logLevel() >= LogLevel::kDebug) std::fprintf(stderr, "[upec:debug] %s\n", msg.c_str());
+  if (logLevel() >= LogLevel::kDebug) write(LogLevel::kDebug, "upec:debug", msg);
 }
 
 }  // namespace upec

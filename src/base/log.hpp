@@ -1,9 +1,17 @@
 // Minimal leveled logger. Verbosity is a process-global knob so that the
 // methodology driver and benches can narrate progress without threading a
 // logger object through every API.
+//
+// The write path is thread-safe: concurrent campaign workers each get a
+// complete line (one mutex-guarded fprintf), stamped with a monotonic-ms
+// timestamp (base/stopwatch process epoch) and a small sequential thread
+// id. A LogSink, when installed, receives every emitted line as well —
+// that is how log output is routed onto the campaign observer stream (see
+// obs::routeLogToObserver) so an NDJSON tail interleaves log lines with
+// window verdicts on one time base.
 #pragma once
 
-#include <cstdio>
+#include <functional>
 #include <string>
 
 namespace upec {
@@ -12,6 +20,17 @@ enum class LogLevel { kSilent = 0, kInfo = 1, kDebug = 2 };
 
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
+
+// Secondary destination for every line that passes the level filter.
+// Called under the log mutex (lines arrive in emission order, one at a
+// time); keep sinks quick and never log from inside one. Pass nullptr to
+// detach.
+using LogSink = std::function<void(LogLevel, const std::string& msg)>;
+void setLogSink(LogSink sink);
+
+// Small sequential id of the calling thread (assigned on first use; the
+// same id is stamped on the thread's log lines).
+unsigned logThreadId();
 
 void logInfo(const std::string& msg);
 void logDebug(const std::string& msg);

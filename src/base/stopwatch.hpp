@@ -1,7 +1,12 @@
-// Wall-clock stopwatch used to report proof runtimes in the benches.
+// Wall-clock stopwatch used to report proof runtimes in the benches, plus
+// the process-wide steady-clock epoch that trace events, log timestamps and
+// bench timings all share — one time base, so a span in trace.json lines up
+// with the matching log line and bench row instead of each measuring from
+// its own zero.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace upec {
 
@@ -13,9 +18,31 @@ class Stopwatch {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
   double elapsedMs() const { return elapsedSeconds() * 1e3; }
+  std::uint64_t elapsedUs() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_)
+            .count());
+  }
+
+  // Microseconds since the process epoch (fixed at the first call, any
+  // thread; monotone thereafter). obs::TraceRecorder stamps events with
+  // this, and base/log derives its monotonic-ms line prefix from it.
+  static std::uint64_t sinceEpochUs() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch())
+            .count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  // Function-local static: one epoch per process, initialisation is
+  // thread-safe, and no TU ordering games.
+  static Clock::time_point epoch() {
+    static const Clock::time_point e = Clock::now();
+    return e;
+  }
+
   Clock::time_point start_;
 };
 

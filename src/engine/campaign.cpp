@@ -7,6 +7,9 @@
 #include "engine/governor.hpp"
 #include "engine/scheduler.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
 
 namespace upec::engine {
 
@@ -46,14 +49,15 @@ namespace {
 // after the previous returns), so the scheduler is never entered from two
 // threads at once.
 void runLadderChain(WorkStealingPool& pool, std::shared_ptr<LadderScheduler> ladder,
-                    JobResult& slot) {
+                    JobResult& slot, obs::CampaignObserver* observer) {
   ladder->runSegment();
   if (ladder->done()) {
     slot = ladder->takeResult();
+    emitJobEvent(observer, slot);
     return;
   }
-  pool.submitPriority([&pool, ladder = std::move(ladder), &slot]() mutable {
-    runLadderChain(pool, std::move(ladder), slot);
+  pool.submitPriority([&pool, ladder = std::move(ladder), &slot, observer]() mutable {
+    runLadderChain(pool, std::move(ladder), slot, observer);
   });
 }
 
@@ -81,6 +85,9 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
   ConflictLedger ledger(options.reschedule.conflictCeiling);
 
   Stopwatch campaignTimer;
+  obs::Span span("engine", "campaign");
+  if (span.enabled()) span.arg("jobs", std::uint64_t{specs.size()});
+  obs::CampaignObserver* observer = options.observer;
   ThreadGovernor governor(options.solverThreadCap);
   sat::MemberGovernor* memberSlots = options.solverThreadCap != 0 ? &governor : nullptr;
   {
@@ -88,19 +95,26 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
     report.threads = pool.numThreads();
     logInfo("campaign: " + std::to_string(specs.size()) + " jobs on " +
             std::to_string(pool.numThreads()) + " threads");
+    if (observer != nullptr) {
+      obs::StreamEvent e("campaign_start");
+      e.num("jobs", specs.size()).num("threads", pool.numThreads());
+      observer->onEvent(e);
+    }
     for (std::size_t i = 0; i < specs.size(); ++i) {
       // Each task writes only its own slot; no synchronisation needed
       // beyond the pool's completion barrier.
       const JobSpec& spec = specs[i];
       JobResult& slot = report.jobs[i];
       if (spec.kind == JobKind::kIntervalLadder && spec.reschedule.enabled) {
-        pool.submit([&pool, &spec, &slot, memberSlots, &ledger] {
+        pool.submit([&pool, &spec, &slot, memberSlots, &ledger, observer] {
           // Built inside the task so miter construction parallelises.
-          auto ladder = std::make_shared<LadderScheduler>(spec, memberSlots, &ledger);
-          runLadderChain(pool, std::move(ladder), slot);
+          auto ladder = std::make_shared<LadderScheduler>(spec, memberSlots, &ledger, observer);
+          runLadderChain(pool, std::move(ladder), slot, observer);
         });
       } else {
-        pool.submit([&spec, &slot, memberSlots] { slot = runJob(spec, memberSlots); });
+        pool.submit([&spec, &slot, memberSlots, observer] {
+          slot = runJob(spec, memberSlots, nullptr, observer);
+        });
       }
     }
     pool.wait();
@@ -110,6 +124,20 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
   report.peakSolverThreads = governor.peakInUse();
   report.rescheduleConflictCeiling = ledger.ceiling();
   report.finalize();
+  // Fold a snapshot of the metrics registry into the report so the JSON a
+  // campaign writes carries its own measurements.
+  if (obs::metricsEnabled()) report.metricsJson = obs::metrics().toJson();
+  if (span.enabled()) span.arg("verdict", verdictName(report.overallVerdict));
+  if (observer != nullptr) {
+    obs::StreamEvent e("campaign_end");
+    e.str("verdict", verdictName(report.overallVerdict))
+        .real("wall_ms", report.wallMs)
+        .num("proven", report.numProven)
+        .num("p_alerts", report.numPAlerts)
+        .num("l_alerts", report.numLAlerts)
+        .num("unknown", report.numUnknown);
+    observer->onEvent(e);
+  }
   return report;
 }
 

@@ -15,10 +15,22 @@
 #include "engine/job.hpp"
 #include "engine/report.hpp"
 
+namespace upec::obs {
+class CampaignObserver;
+}
+
 namespace upec::engine {
 
 struct CampaignOptions {
   unsigned threads = 0;  // 0 = hardware_concurrency
+
+  // Live event stream (not owned; null = off, the default). Receives one
+  // event per window verdict, job completion and reschedule escalation,
+  // plus campaign start/end markers — see obs/observer.hpp for the schema.
+  // Callbacks fire from pool workers; the observer must be thread-safe and
+  // outlive runCampaign(). Pure observation: attaching one never changes
+  // the campaign's solve trajectory.
+  obs::CampaignObserver* observer = nullptr;
 
   // Campaign-wide cap on racing portfolio member threads (0 = ungoverned).
   // With W pool workers racing M-member portfolios the campaign would run

@@ -2,18 +2,30 @@
 
 #include <algorithm>
 
+#include "base/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace upec::engine {
 
 unsigned ThreadGovernor::acquire(unsigned want) {
   if (want == 0) return 0;
   if (cap_ == 0) return want;  // ungoverned: grant everything, track nothing
+  obs::Span span("engine", "governor.acquire");
+  if (span.enabled()) span.arg("want", want);
+  // Time spent blocked on a full cap — the contention signal that says the
+  // cap is throttling the campaign rather than merely bounding it.
+  const bool meter = obs::metricsEnabled();
+  Stopwatch waitTimer;
   std::unique_lock<std::mutex> lock(mutex_);
   freed_.wait(lock, [this] { return inUse_ < cap_; });
+  if (meter) obs::metrics().histogram("governor.wait_us").observe(waitTimer.elapsedUs());
   const unsigned granted = std::min(want, cap_ - inUse_);
   inUse_ += granted;
   peak_ = std::max(peak_, inUse_);
   ++acquisitions_;
   if (granted < want) ++degradations_;
+  if (span.enabled()) span.arg("granted", granted);
   return granted;
 }
 

@@ -3,6 +3,8 @@
 #include "base/stopwatch.hpp"
 #include "engine/scheduler.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
 #include "upec/miter.hpp"
 
 namespace upec::engine {
@@ -69,26 +71,44 @@ void runDriver(const JobSpec& spec, const UpecOptions& options, Miter& miter,
 
 }  // namespace
 
-JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor, ConflictLedger* ledger) {
+void emitJobEvent(obs::CampaignObserver* observer, const JobResult& res) {
+  if (observer == nullptr) return;
+  obs::StreamEvent e("job");
+  e.num("job", res.id)
+      .str("label", res.label)
+      .str("verdict", verdictName(res.verdict))
+      .real("wall_ms", res.wallMs)
+      .num("worker", res.worker)
+      .num("windows", res.windows.size());
+  observer->onEvent(e);
+}
+
+JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor, ConflictLedger* ledger,
+                 obs::CampaignObserver* observer) {
+  obs::Span span("engine", "job");
+  if (span.enabled()) span.arg("label", spec.label).arg("kind", jobKindName(spec.kind));
+
+  JobResult res;
   if (spec.kind == JobKind::kIntervalLadder) {
     // The scheduler replays the classic walk when no ReschedulePolicy is
     // enabled; with one, retries run inline on this thread (a campaign
     // requeues them onto the pool instead — see runCampaign).
-    LadderScheduler ladder(spec, governor, ledger);
+    LadderScheduler ladder(spec, governor, ledger, observer);
     while (!ladder.done()) ladder.runSegment();
-    return ladder.takeResult();
+    res = ladder.takeResult();
+  } else {
+    res.id = spec.id;
+    res.label = spec.label;
+    const unsigned worker = WorkStealingPool::currentWorker();
+    res.worker = worker == WorkStealingPool::kNotAWorker ? 0 : worker;
+
+    Stopwatch jobTimer;
+    Miter miter(spec.config, spec.secretWord);
+    runDriver(spec, resolveJobOptions(spec, governor), miter, res);
+    res.wallMs = jobTimer.elapsedMs();
   }
-
-  JobResult res;
-  res.id = spec.id;
-  res.label = spec.label;
-  const unsigned worker = WorkStealingPool::currentWorker();
-  res.worker = worker == WorkStealingPool::kNotAWorker ? 0 : worker;
-
-  Stopwatch jobTimer;
-  Miter miter(spec.config, spec.secretWord);
-  runDriver(spec, resolveJobOptions(spec, governor), miter, res);
-  res.wallMs = jobTimer.elapsedMs();
+  if (span.enabled()) span.arg("verdict", verdictName(res.verdict));
+  emitJobEvent(observer, res);
   return res;
 }
 

@@ -21,6 +21,10 @@
 #include "soc/config.hpp"
 #include "upec/upec.hpp"
 
+namespace upec::obs {
+class CampaignObserver;
+}
+
 namespace upec::engine {
 
 // How a ladder job advances through window depths.
@@ -186,8 +190,16 @@ UpecOptions resolveJobOptions(const JobSpec& spec, sat::MemberGovernor* governor
 // for running campaigns without a pool. A non-null governor caps the job's
 // portfolio member threads campaign-wide (see engine::ThreadGovernor); a
 // non-null ledger charges retry attempts against a shared conflict ceiling
-// (runCampaign passes its campaign-wide one).
+// (runCampaign passes its campaign-wide one). A non-null observer receives
+// the job's window/reschedule events plus a completion event — see
+// obs/observer.hpp.
 JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor = nullptr,
-                 ConflictLedger* ledger = nullptr);
+                 ConflictLedger* ledger = nullptr,
+                 obs::CampaignObserver* observer = nullptr);
+
+// Emits the {"type":"job",...} completion event for `res` (no-op on a null
+// observer). Shared by runJob and runCampaign's requeued-ladder path so the
+// two emit identical events.
+void emitJobEvent(obs::CampaignObserver* observer, const JobResult& res);
 
 }  // namespace upec::engine

@@ -221,6 +221,7 @@ std::string CampaignReport::toJson() const {
     }
     os << "]}";
   }
+  if (!metricsJson.empty()) os << ",\"metrics\":" << metricsJson;
   os << ",\"jobs\":[";
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (i) os << ',';

@@ -55,6 +55,11 @@ struct CampaignReport {
   // attempt i (0 = first pass) across reschedule-enabled jobs.
   std::vector<unsigned> decidedByAttempt;
 
+  // Snapshot of the obs::MetricsRegistry at campaign end, as a pre-rendered
+  // JSON object ({"counters":...}). Filled by runCampaign when metrics
+  // collection is enabled; empty (and absent from toJson) otherwise.
+  std::string metricsJson;
+
   // Recomputes the aggregate fields from `jobs`.
   void finalize();
 

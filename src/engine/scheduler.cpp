@@ -6,6 +6,9 @@
 
 #include "base/stopwatch.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
 #include "upec/miter.hpp"
 
 namespace upec::engine {
@@ -47,8 +50,8 @@ void recordWin(JobResult& res, const std::string& solvedBy) {
 }  // namespace
 
 LadderScheduler::LadderScheduler(const JobSpec& spec, sat::MemberGovernor* governor,
-                                 ConflictLedger* ledger)
-    : spec_(spec), policy_(spec.reschedule), ledger_(ledger) {
+                                 ConflictLedger* ledger, obs::CampaignObserver* observer)
+    : spec_(spec), policy_(spec.reschedule), ledger_(ledger), observer_(observer) {
   assert(spec.kind == JobKind::kIntervalLadder &&
          "the reschedule scheduler drives ladder jobs only");
   res_.id = spec_.id;
@@ -108,8 +111,11 @@ std::uint64_t LadderScheduler::escalate(std::uint64_t budget) const {
 }
 
 void LadderScheduler::runSegment() {
+  obs::Span span("engine", "ladder.segment");
+  if (span.enabled()) span.arg("job", spec_.label).arg("k", k_);
   retryPending_ = false;
   while (!done_ && !retryPending_) attemptWindow();
+  if (span.enabled()) span.arg("deferred", retryPending_);
 }
 
 bool LadderScheduler::admitRetry() const {
@@ -132,12 +138,32 @@ void LadderScheduler::attemptWindow() {
     return;
   }
 
+  obs::Span span("engine", "ladder.attempt");
+  if (span.enabled()) {
+    span.arg("job", spec_.label).arg("k", k_).arg("attempt", attempt_).arg("budget", budget_);
+  }
   Stopwatch attemptTimer;
   engine_->setConflictBudget(budget_);
   const UpecResult r = engine_->check(k_, excluded_);
   const double elapsed = attemptTimer.elapsedMs();
   windowWallMs_ += elapsed;
   res_.wallMs += elapsed;
+  if (span.enabled()) {
+    span.arg("verdict", verdictName(r.verdict)).arg("conflicts", r.stats.conflicts);
+  }
+  if (obs::metricsEnabled()) {
+    obs::metrics()
+        .histogram("campaign.solve_us.k" + std::to_string(k_))
+        .observe(static_cast<std::uint64_t>(r.stats.solveMs * 1e3));
+    if (budget_ != 0) {
+      // How much of the attempt's conflict budget the solve actually used —
+      // a budget sized well above the ladder's needs shows up as a
+      // low-percentile pile-up here, a starved one as a spike at 100.
+      obs::metrics()
+          .histogram("campaign.budget_utilization_pct")
+          .observe(std::min<std::uint64_t>(100, r.stats.conflicts * 100 / budget_));
+    }
+  }
 
   accumulate(res_, r.stats);
   if (attempt_ > 0) {
@@ -166,6 +192,11 @@ void LadderScheduler::attemptWindow() {
       ++attempt_;
       budget_ = next;
       retryPending_ = true;
+      if (observer_ != nullptr) {
+        obs::StreamEvent e("reschedule");
+        e.num("job", spec_.id).num("k", k_).num("attempt", attempt_).num("budget", budget_);
+        observer_->onEvent(e);
+      }
       return;
     }
     ++res_.reschedulesAbandoned;  // retries exhausted, no progress possible,
@@ -184,6 +215,22 @@ void LadderScheduler::closeWindow(const UpecResult& r) {
   w.budgetExhausted = r.verdict == Verdict::kUnknown && r.budgetExhausted;
   res_.windows.push_back(std::move(w));
   res_.sumVars += r.stats.vars;  // once per window, not per attempt
+  if (observer_ != nullptr) {
+    // Exactly one "window" line per ladder rung, mirroring the window entry
+    // the terminal report will carry (tests and the CI validator cross-check
+    // the two).
+    const WindowResult& closed = res_.windows.back();
+    obs::StreamEvent e("window");
+    e.num("job", spec_.id)
+        .str("label", spec_.label)
+        .num("k", closed.window)
+        .str("verdict", verdictName(closed.verdict))
+        .num("conflicts", closed.stats.conflicts)
+        .real("solve_ms", closed.stats.solveMs);
+    if (!closed.attempts.empty()) e.num("attempts", closed.attempts.size());
+    if (closed.budgetExhausted) e.flag("budget_exhausted", true);
+    observer_->onEvent(e);
+  }
 
   // Budget-exhausted checks were not answered by anyone — no win to record.
   if (r.verdict != Verdict::kUnknown) recordWin(res_, r.stats.solvedBy);

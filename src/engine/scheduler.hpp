@@ -70,12 +70,15 @@ class ConflictLedger {
 class LadderScheduler {
  public:
   // Builds the job's private Miter and UpecEngine (the expensive part —
-  // construct on the thread that runs the first segment). `governor` and
-  // `ledger` may be null. A ReschedulePolicy::conflictCeiling is enforced
-  // by a private job-local ledger that composes with the shared one — a
-  // retry must pass both gates.
+  // construct on the thread that runs the first segment). `governor`,
+  // `ledger` and `observer` may be null. A ReschedulePolicy::conflictCeiling
+  // is enforced by a private job-local ledger that composes with the shared
+  // one — a retry must pass both gates. A non-null observer receives one
+  // "window" event per closed window and one "reschedule" event per
+  // deferred retry (obs/observer.hpp).
   explicit LadderScheduler(const JobSpec& spec, sat::MemberGovernor* governor = nullptr,
-                           ConflictLedger* ledger = nullptr);
+                           ConflictLedger* ledger = nullptr,
+                           obs::CampaignObserver* observer = nullptr);
   ~LadderScheduler();
   LadderScheduler(const LadderScheduler&) = delete;
   LadderScheduler& operator=(const LadderScheduler&) = delete;
@@ -102,6 +105,7 @@ class LadderScheduler {
   JobSpec spec_;
   ReschedulePolicy policy_;
   ConflictLedger* ledger_;                     // shared (campaign) ledger, may be null
+  obs::CampaignObserver* observer_;            // event stream, may be null
   std::unique_ptr<ConflictLedger> ownLedger_;  // job-local policy ceiling, may be null
   std::unique_ptr<Miter> miter_;
   std::unique_ptr<UpecEngine> engine_;

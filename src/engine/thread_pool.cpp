@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace upec::engine {
 
 namespace {
@@ -73,6 +75,7 @@ void WorkStealingPool::enqueue(std::function<void()> task, bool stealFirst) {
 
 bool WorkStealingPool::tryRun(unsigned self) {
   std::function<void()> task;
+  unsigned victim = self;
 
   // Own deque, bottom (most recently pushed).
   {
@@ -88,21 +91,31 @@ bool WorkStealingPool::tryRun(unsigned self) {
   if (!task) {
     const unsigned n = numThreads();
     for (unsigned d = 1; d < n && !task; ++d) {
-      Worker& v = *workers_[(self + d) % n];
-      std::lock_guard<std::mutex> lock(v.mutex);
-      if (!v.deque.empty()) {
-        task = std::move(v.deque.front());
-        v.deque.pop_front();
+      const unsigned v = (self + d) % n;
+      Worker& w = *workers_[v];
+      std::lock_guard<std::mutex> lock(w.mutex);
+      if (!w.deque.empty()) {
+        task = std::move(w.deque.front());
+        w.deque.pop_front();
+        victim = v;
       }
     }
   }
   if (!task) return false;
 
+  if (victim != self && obs::tracingEnabled()) {
+    obs::instant("engine", "pool.steal",
+                 "\"worker\":" + std::to_string(self) + ",\"victim\":" + std::to_string(victim));
+  }
   {
     std::lock_guard<std::mutex> lock(sleepMutex_);
     --queued_;
   }
-  task();
+  {
+    obs::Span span("engine", "pool.task");
+    if (span.enabled()) span.arg("worker", self).arg("stolen", victim != self);
+    task();
+  }
   {
     std::lock_guard<std::mutex> lock(sleepMutex_);
     --unfinished_;
@@ -116,6 +129,8 @@ void WorkStealingPool::workerLoop(unsigned self) {
   tlWorker = self;
   for (;;) {
     if (tryRun(self)) continue;
+    obs::Span idle("engine", "pool.idle");
+    if (idle.enabled()) idle.arg("worker", self);
     std::unique_lock<std::mutex> lock(sleepMutex_);
     sleepCv_.wait(lock, [this] { return queued_ > 0 || stopping_; });
     if (stopping_ && queued_ == 0) return;

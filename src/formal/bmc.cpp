@@ -8,6 +8,7 @@
 #include "base/stopwatch.hpp"
 #include "formal/cnf_builder.hpp"
 #include "formal/unroller.hpp"
+#include "obs/trace.hpp"
 #include "sat/solver_backend.hpp"
 #include "sim/simulator.hpp"
 
@@ -101,6 +102,10 @@ unsigned BmcEngine::incrementalFrames() const {
 
 CheckResult BmcEngine::check(const IntervalProperty& property) {
   CheckResult result;
+  obs::Span encodeSpan("formal", "bmc.encode");
+  if (encodeSpan.enabled()) {
+    encodeSpan.arg("k", property.maxCycle()).arg("incremental", false);
+  }
   Stopwatch encodeTimer;
 
   const std::unique_ptr<sat::SolverBackend> solverPtr =
@@ -142,11 +147,20 @@ CheckResult BmcEngine::check(const IntervalProperty& property) {
   result.stats.encodeMs = encodeTimer.elapsedMs();
   result.stats.vars = static_cast<std::uint64_t>(solver.numVars());
   result.stats.clauses = solver.numClauses();
+  if (encodeSpan.enabled()) encodeSpan.arg("vars", result.stats.vars);
+  encodeSpan.end();
 
+  obs::Span solveSpan("formal", "bmc.solve");
+  if (solveSpan.enabled()) solveSpan.arg("k", k).arg("incremental", false);
   Stopwatch solveTimer;
   const LBool sat = solver.solve();
   result.stats.solveMs = solveTimer.elapsedMs();
   fillSolveStats(result.stats, solver);
+  if (solveSpan.enabled()) {
+    solveSpan.arg("conflicts", result.stats.conflicts)
+        .arg("status", sat == LBool::kFalse ? "unsat" : sat == LBool::kTrue ? "sat" : "undef");
+  }
+  solveSpan.end();
 
   if (sat == LBool::kFalse) {
     result.status = CheckStatus::kProven;
@@ -165,6 +179,10 @@ CheckResult BmcEngine::check(const IntervalProperty& property) {
 
 CheckResult BmcEngine::checkIncremental(const IntervalProperty& property) {
   CheckResult result;
+  obs::Span encodeSpan("formal", "bmc.encode");
+  if (encodeSpan.enabled()) {
+    encodeSpan.arg("k", property.maxCycle()).arg("incremental", true);
+  }
   Stopwatch encodeTimer;
 
   if (!session_) {
@@ -225,12 +243,21 @@ CheckResult BmcEngine::checkIncremental(const IntervalProperty& property) {
   result.stats.encodeMs = encodeTimer.elapsedMs();
   result.stats.vars = static_cast<std::uint64_t>(solver.numVars());
   result.stats.clauses = solver.numClauses();
+  if (encodeSpan.enabled()) encodeSpan.arg("vars", result.stats.vars);
+  encodeSpan.end();
 
+  obs::Span solveSpan("formal", "bmc.solve");
+  if (solveSpan.enabled()) solveSpan.arg("k", k).arg("incremental", true);
   Stopwatch solveTimer;
   const Lit assumption[] = {activation};
   const LBool sat = solver.solve(assumption);
   result.stats.solveMs = solveTimer.elapsedMs();
   fillSolveStats(result.stats, solver);
+  if (solveSpan.enabled()) {
+    solveSpan.arg("conflicts", result.stats.conflicts)
+        .arg("status", sat == LBool::kFalse ? "unsat" : sat == LBool::kTrue ? "sat" : "undef");
+  }
+  solveSpan.end();
 
   if (sat == LBool::kFalse) {
     // UNSAT under {activation} makes ~activation a logical consequence;

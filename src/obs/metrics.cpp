@@ -1,0 +1,126 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "obs/trace.hpp"  // appendJsonEscaped
+
+namespace upec::obs {
+
+namespace {
+std::atomic<bool> g_metricsEnabled{false};
+}
+
+bool metricsEnabled() { return g_metricsEnabled.load(std::memory_order_relaxed); }
+void setMetricsEnabled(bool enabled) {
+  g_metricsEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+// ------------------------------------------------------------- Histogram ---
+
+void Histogram::observe(std::uint64_t v) {
+  const int b = v == 0 ? 0 : std::bit_width(v);  // [2^(b-1), 2^b) -> bucket b
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::min() const {
+  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~0ull ? 0 : m;
+}
+
+std::uint64_t Histogram::bucketBound(int i) {
+  if (i == 0) return 0;
+  if (i >= 64) return ~0ull;
+  return (1ull << i) - 1;  // bucket i holds [2^(i-1), 2^i): inclusive bound 2^i - 1
+}
+
+// -------------------------------------------------------- MetricsRegistry ---
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  auto key = [&os](const std::string& name) {
+    std::string escaped;
+    appendJsonEscaped(escaped, name);
+    os << '"' << escaped << "\":";
+  };
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    key(name);
+    os << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    key(name);
+    os << g->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    key(name);
+    os << "{\"count\":" << h->count() << ",\"sum\":" << h->sum()
+       << ",\"min\":" << h->min() << ",\"max\":" << h->max() << ",\"buckets\":{";
+    bool firstBucket = true;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = h->bucket(b);
+      if (n == 0) continue;
+      if (!firstBucket) os << ',';
+      firstBucket = false;
+      os << '"' << Histogram::bucketBound(b) << "\":" << n;
+    }
+    os << "}}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace upec::obs

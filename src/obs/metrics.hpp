@@ -1,0 +1,102 @@
+// Named metrics for the campaign engine: atomic counters, gauges and
+// power-of-two-bucket histograms, registered once by name and updated
+// lock-free from any thread. The registry folds into CampaignReport JSON
+// under a "metrics" block and dumps standalone (metrics.json) — the
+// per-section numbers every perf item (inprocessing, encoding cache,
+// reduction passes) needs in order to be measurable at all.
+//
+// Gating: collection is off by default (metricsEnabled() is one relaxed
+// atomic load). Instrumentation sites guard their updates:
+//
+//   if (obs::metricsEnabled())
+//     obs::metrics().counter("governor.wait_us").add(waited);
+//
+// An update on a registered handle is a relaxed fetch_add; the by-name
+// lookup takes the registry mutex, which is fine at the granularity the
+// engine meters (per solve / per drain / per acquire — milliseconds of
+// work each), and call sites on genuinely hot paths cache the handle.
+// Like tracing, metrics only observe: enabling them never changes a
+// solver trajectory.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace upec::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Exponential histogram: bucket i counts observations in [2^(i-1), 2^i)
+// (bucket 0 counts zeros), so 64 buckets cover the full uint64 range with
+// one CLZ per observation. Tracks count/sum/min/max exactly.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void observe(std::uint64_t v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const;  // 0 when empty
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int i) const { return buckets_[i].load(std::memory_order_relaxed); }
+  // Upper bound of bucket i (inclusive label for the JSON "le" keys).
+  static std::uint64_t bucketBound(int i);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  // By-name lookup, registering on first use. References stay valid for
+  // the registry's lifetime (instruments are heap-allocated, never moved).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // {"counters":{...},"gauges":{...},"histograms":{...}} — names sorted,
+  // histogram buckets keyed by their inclusive upper bound, zero buckets
+  // omitted.
+  std::string toJson() const;
+
+  // Drops every instrument (benches and tests isolate sections with this).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// The process-global registry and its collection gate.
+MetricsRegistry& metrics();
+bool metricsEnabled();
+void setMetricsEnabled(bool enabled);
+
+}  // namespace upec::obs

@@ -1,0 +1,132 @@
+#include "obs/observer.hpp"
+
+#include <sstream>
+
+#include "base/log.hpp"
+#include "base/stopwatch.hpp"
+#include "obs/trace.hpp"  // appendJsonEscaped
+
+namespace upec::obs {
+
+// ------------------------------------------------------------ StreamEvent ---
+
+StreamEvent& StreamEvent::str(const char* key, std::string value) {
+  Field f;
+  f.kind = Field::Kind::kString;
+  f.key = key;
+  f.s = std::move(value);
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+StreamEvent& StreamEvent::num(const char* key, std::uint64_t value) {
+  Field f;
+  f.kind = Field::Kind::kUInt;
+  f.key = key;
+  f.u = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+StreamEvent& StreamEvent::real(const char* key, double value) {
+  Field f;
+  f.kind = Field::Kind::kReal;
+  f.key = key;
+  f.d = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+StreamEvent& StreamEvent::flag(const char* key, bool value) {
+  Field f;
+  f.kind = Field::Kind::kBool;
+  f.key = key;
+  f.b = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+std::string StreamEvent::toJson(std::uint64_t tsUs) const {
+  std::string out = "{\"type\":\"";
+  appendJsonEscaped(out, type_);
+  out += '"';
+  if (tsUs != 0) {
+    out += ",\"ts_us\":";
+    out += std::to_string(tsUs);
+  }
+  for (const Field& f : fields_) {
+    out += ",\"";
+    out += f.key;
+    out += "\":";
+    switch (f.kind) {
+      case Field::Kind::kString:
+        out += '"';
+        appendJsonEscaped(out, f.s);
+        out += '"';
+        break;
+      case Field::Kind::kUInt:
+        out += std::to_string(f.u);
+        break;
+      case Field::Kind::kReal: {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3f", f.d);
+        out += buf;
+        break;
+      }
+      case Field::Kind::kBool:
+        out += f.b ? "true" : "false";
+        break;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+// ------------------------------------------------------------ NdjsonWriter ---
+
+NdjsonWriter::NdjsonWriter(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")), owns_(true) {}
+
+NdjsonWriter::NdjsonWriter(std::FILE* file, bool ownsFile)
+    : file_(file), owns_(ownsFile) {}
+
+NdjsonWriter::~NdjsonWriter() {
+  if (file_ != nullptr && owns_) std::fclose(file_);
+}
+
+std::uint64_t NdjsonWriter::linesWritten() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+void NdjsonWriter::onEvent(const StreamEvent& event) {
+  const std::string line = event.toJson(Stopwatch::sinceEpochUs());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);  // a tail -f must see the line as soon as it happens
+  ++lines_;
+}
+
+// ------------------------------------------------------- log event routing ---
+
+namespace {
+const char* levelName(LogLevel level) {
+  return level == LogLevel::kDebug ? "debug" : "info";
+}
+}  // namespace
+
+void routeLogToObserver(CampaignObserver* observer) {
+  if (observer == nullptr) {
+    setLogSink(nullptr);
+    return;
+  }
+  setLogSink([observer](LogLevel level, const std::string& msg) {
+    StreamEvent e("log");
+    e.str("level", levelName(level)).str("msg", msg);
+    observer->onEvent(e);
+  });
+}
+
+}  // namespace upec::obs

@@ -1,0 +1,106 @@
+// Live campaign event streaming: the observer seam the engine reports
+// into while a campaign runs, plus the NDJSON sink that turns it into a
+// tailable file — one JSON line per window verdict, job completion and
+// reschedule escalation, written (and flushed) as it happens. A long sweep
+// becomes observable mid-run instead of silent until the terminal report,
+// and the stream is the incremental-results seam the campaign-as-a-service
+// direction builds on (a daemon forwards these lines; a resume can replay
+// them).
+//
+// Layering: events are flat typed key/value records, so obs stays below
+// the engine — the engine knows what a "window" is and builds the event;
+// this file only transports and serialises it. The guaranteed stream
+// schema (field names the CI validator and tests key on):
+//
+//   {"type":"campaign_start","ts_us":N,"jobs":N,"threads":N}
+//   {"type":"window","ts_us":N,"job":id,"label":s,"k":N,"verdict":s,
+//    "conflicts":N,"solve_ms":x, ["attempts":N,] ["budget_exhausted":b]}
+//   {"type":"reschedule","ts_us":N,"job":id,"k":N,"attempt":N,"budget":N}
+//   {"type":"job","ts_us":N,"job":id,"label":s,"verdict":s,"wall_ms":x,
+//    "worker":N,"windows":N}
+//   {"type":"campaign_end","ts_us":N,"verdict":s,"wall_ms":x,"proven":N,
+//    "p_alerts":N,"l_alerts":N,"unknown":N}
+//   {"type":"log","ts_us":N,"level":s,"msg":s}        (when routed)
+//
+// Observer callbacks fire from whichever pool worker produced the result;
+// implementations must be thread-safe (NdjsonWriter serialises under one
+// mutex). Callbacks run on the campaign's critical path — keep them quick.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace upec::obs {
+
+// One streamed event: a type tag plus flat typed fields, appended in
+// order. Built by the engine, serialised by the sink.
+class StreamEvent {
+ public:
+  explicit StreamEvent(const char* type) : type_(type) {}
+
+  StreamEvent& str(const char* key, std::string value);
+  StreamEvent& num(const char* key, std::uint64_t value);
+  StreamEvent& real(const char* key, double value);
+  StreamEvent& flag(const char* key, bool value);
+
+  const char* type() const { return type_; }
+  // Serialises as one JSON object (no trailing newline). `tsUs`, when
+  // non-zero, is emitted as "ts_us" right after "type".
+  std::string toJson(std::uint64_t tsUs = 0) const;
+
+ private:
+  struct Field {
+    enum class Kind : std::uint8_t { kString, kUInt, kReal, kBool };
+    Kind kind;
+    const char* key;
+    std::string s;
+    std::uint64_t u = 0;
+    double d = 0.0;
+    bool b = false;
+  };
+  const char* type_;
+  std::vector<Field> fields_;
+};
+
+// The seam: CampaignOptions carries one of these (not owned; null = off).
+class CampaignObserver {
+ public:
+  virtual ~CampaignObserver() = default;
+  // Thread-safe. The event is only valid for the duration of the call.
+  virtual void onEvent(const StreamEvent& event) = 0;
+};
+
+// NDJSON sink: one flushed line per event, timestamped on the process
+// epoch (base/stopwatch), so `tail -f events.ndjson` follows a campaign
+// live and downstream tooling replays it offline.
+class NdjsonWriter : public CampaignObserver {
+ public:
+  explicit NdjsonWriter(const std::string& path);          // truncates
+  NdjsonWriter(std::FILE* file, bool ownsFile);            // e.g. stderr
+  ~NdjsonWriter() override;
+  NdjsonWriter(const NdjsonWriter&) = delete;
+  NdjsonWriter& operator=(const NdjsonWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  std::uint64_t linesWritten() const;
+
+  void onEvent(const StreamEvent& event) override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  bool owns_ = false;
+  std::uint64_t lines_ = 0;
+};
+
+// Routes base/log output onto `observer` as {"type":"log",...} events
+// (satisfying "the logger reports through the observer seam when one is
+// attached"). Pass nullptr to detach. The observer must outlive the
+// routing; the engine's log lines then interleave with window events on
+// one stream and one time base.
+void routeLogToObserver(CampaignObserver* observer);
+
+}  // namespace upec::obs

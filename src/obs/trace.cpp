@@ -1,0 +1,260 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "base/stopwatch.hpp"
+
+namespace upec::obs {
+
+namespace detail {
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+}
+
+namespace {
+
+// Monotone id per recorder instance: the thread-local buffer cache keys on
+// it instead of the recorder address, so a recorder allocated where a
+// destroyed one used to live can never revive a stale cache entry.
+std::atomic<std::uint64_t> g_generation{0};
+
+struct TlsCache {
+  std::uint64_t generation = 0;  // 0 = empty
+  void* buffer = nullptr;
+};
+thread_local TlsCache tlCache;
+
+}  // namespace
+
+void appendJsonEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+TraceRecorder::TraceRecorder(std::size_t bufferCapacity)
+    : capacity_(bufferCapacity == 0 ? 1 : bufferCapacity),
+      generation_(g_generation.fetch_add(1, std::memory_order_relaxed) + 1) {}
+
+TraceRecorder::~TraceRecorder() {
+  if (active()) stop();
+}
+
+bool TraceRecorder::start() {
+  {
+    // One-shot lifecycle: a stopped recorder has flushed and handed out its
+    // event store; restarting it would silently interleave a second run.
+    std::lock_guard<std::mutex> lock(centralMutex_);
+    if (stopped_) return false;
+  }
+  TraceRecorder* expected = nullptr;
+  return detail::g_recorder.compare_exchange_strong(expected, this,
+                                                    std::memory_order_release);
+}
+
+void TraceRecorder::stop() {
+  TraceRecorder* expected = this;
+  detail::g_recorder.compare_exchange_strong(expected, nullptr,
+                                             std::memory_order_acq_rel);
+  // Final flush. Producers are quiescent by contract (their joins give the
+  // necessary happens-before for the plain `size` reads below).
+  std::lock_guard<std::mutex> lock(centralMutex_);
+  for (const std::unique_ptr<ThreadBuffer>& b : buffers_) flushBufferLocked(*b);
+  stopped_ = true;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::localBuffer() {
+  if (tlCache.generation != generation_) {
+    std::lock_guard<std::mutex> lock(centralMutex_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    ThreadBuffer& b = *buffers_.back();
+    b.tid = nextTid_++;
+    b.ring.resize(capacity_);
+    tlCache = {generation_, &b};
+    return b;
+  }
+  return *static_cast<ThreadBuffer*>(tlCache.buffer);
+}
+
+void TraceRecorder::flushBufferLocked(ThreadBuffer& b) {
+  for (std::size_t i = 0; i < b.size; ++i) central_.push_back(std::move(b.ring[i]));
+  b.size = 0;
+}
+
+void TraceRecorder::record(TraceEvent&& e) {
+  ThreadBuffer& b = localBuffer();
+  if (b.size == b.ring.size()) {
+    // Ring full: hand the batch to the central store if its mutex is free,
+    // otherwise drop this event — the hot path never blocks on a flush.
+    std::unique_lock<std::mutex> lock(centralMutex_, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      b.drops.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    flushBufferLocked(b);
+  }
+  e.tid = b.tid;
+  b.ring[b.size] = std::move(e);
+  ++b.size;  // SPSC publication: only this thread reads size before a flush
+}
+
+std::uint64_t TraceRecorder::droppedEvents() const {
+  std::lock_guard<std::mutex> lock(centralMutex_);
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<ThreadBuffer>& b : buffers_) {
+    total += b->drops.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t TraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> lock(centralMutex_);
+  return central_.size();
+}
+
+void TraceRecorder::writeJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(centralMutex_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : central_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"ph\":\"";
+    switch (e.phase) {
+      case TraceEvent::Phase::kComplete: os << 'X'; break;
+      case TraceEvent::Phase::kInstant: os << 'i'; break;
+      case TraceEvent::Phase::kCounter: os << 'C'; break;
+    }
+    os << "\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << e.tsUs;
+    if (e.phase == TraceEvent::Phase::kComplete) os << ",\"dur\":" << e.durUs;
+    if (e.phase == TraceEvent::Phase::kInstant) os << ",\"s\":\"t\"";
+    std::string name;
+    appendJsonEscaped(name, e.name);
+    std::string cat;
+    appendJsonEscaped(cat, e.cat);
+    os << ",\"cat\":\"" << cat << "\",\"name\":\"" << name << '"';
+    if (!e.args.empty()) os << ",\"args\":{" << e.args << '}';
+    os << '}';
+  }
+  std::uint64_t drops = 0;
+  for (const std::unique_ptr<ThreadBuffer>& b : buffers_) {
+    drops += b->drops.load(std::memory_order_relaxed);
+  }
+  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":" << drops
+     << "}}";
+}
+
+bool TraceRecorder::writeFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  writeJson(os);
+  os << '\n';
+  return static_cast<bool>(os);
+}
+
+// ------------------------------------------------------------------ Span ---
+
+Span::Span(const char* cat, const char* name) : active_(tracingEnabled()) {
+  if (active_) {
+    cat_ = cat;
+    name_ = name;
+    startUs_ = Stopwatch::sinceEpochUs();
+  }
+}
+
+Span& Span::arg(const char* key, const std::string& value) {
+  if (!active_) return *this;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += key;
+  args_ += "\":\"";
+  appendJsonEscaped(args_, value);
+  args_ += '"';
+  return *this;
+}
+
+Span& Span::arg(const char* key, const char* value) {
+  return arg(key, std::string(value));
+}
+
+Span& Span::arg(const char* key, std::uint64_t value) {
+  if (!active_) return *this;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += key;
+  args_ += "\":";
+  args_ += std::to_string(value);
+  return *this;
+}
+
+Span& Span::arg(const char* key, bool value) {
+  if (!active_) return *this;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += key;
+  args_ += "\":";
+  args_ += value ? "true" : "false";
+  return *this;
+}
+
+void Span::end() {
+  if (!active_) return;
+  active_ = false;
+  // Re-fetch: a recorder stopped mid-span (tests, aborted runs) just loses
+  // the event instead of touching a dead recorder.
+  TraceRecorder* rec = tracer();
+  if (rec == nullptr) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kComplete;
+  e.cat = cat_;
+  e.name = name_;
+  e.tsUs = startUs_;
+  e.durUs = Stopwatch::sinceEpochUs() - startUs_;
+  e.args = std::move(args_);
+  rec->record(std::move(e));
+}
+
+void instant(const char* cat, const char* name, std::string args) {
+  TraceRecorder* rec = tracer();
+  if (rec == nullptr) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.cat = cat;
+  e.name = name;
+  e.tsUs = Stopwatch::sinceEpochUs();
+  e.args = std::move(args);
+  rec->record(std::move(e));
+}
+
+void counter(const char* cat, const char* name, const char* series,
+             std::uint64_t value) {
+  TraceRecorder* rec = tracer();
+  if (rec == nullptr) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kCounter;
+  e.cat = cat;
+  e.name = name;
+  e.tsUs = Stopwatch::sinceEpochUs();
+  e.args = '"';
+  e.args += series;
+  e.args += "\":";
+  e.args += std::to_string(value);
+  rec->record(std::move(e));
+}
+
+}  // namespace upec::obs

@@ -1,0 +1,162 @@
+// Structured tracing for the campaign engine: RAII spans, instant and
+// counter events, recorded into lock-free per-thread buffers and exported
+// as Chrome trace_event JSON (load trace.json in chrome://tracing or
+// https://ui.perfetto.dev to see where a campaign's wall clock goes —
+// encode vs solve vs steal-idle vs reschedule retries, per thread).
+//
+// Overhead contract (the standing bit-identical invariant depends on it):
+//  * off by default — with no recorder installed, every instrumentation
+//    site is one relaxed atomic load and a branch; no allocation, no
+//    timestamp, no stores. Solver trajectories are untouched either way:
+//    tracing only *reads* results, it never feeds back into a decision.
+//  * enabled — an event costs two steady_clock reads plus a handful of
+//    stores into a thread-private ring. The ring is SPSC by construction
+//    (the instrumented thread produces; the recorder consumes only at
+//    flush points): a full ring is flushed to the central store when the
+//    central mutex is free, and *dropped* (counted, never blocking the
+//    hot path) when it is not.
+//
+// Lifecycle: construct a TraceRecorder, start() it (installs it as the
+// process-global recorder), run the workload, stop() it, writeFile(). At
+// most one recorder is active at a time. stop() performs the final flush
+// and therefore requires the instrumented threads to be quiescent — in
+// campaign terms: call it after runCampaign() returned (the pool and all
+// portfolio race threads are joined by then).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace upec::obs {
+
+class TraceRecorder;
+
+namespace detail {
+extern std::atomic<TraceRecorder*> g_recorder;
+}
+
+// The fast-path gate every instrumentation site checks first.
+inline bool tracingEnabled() {
+  return detail::g_recorder.load(std::memory_order_relaxed) != nullptr;
+}
+inline TraceRecorder* tracer() {
+  return detail::g_recorder.load(std::memory_order_acquire);
+}
+
+// Appends `s` to `out` with JSON string escaping (no surrounding quotes).
+// Shared by the trace writer, the metrics registry and the NDJSON sink.
+void appendJsonEscaped(std::string& out, const std::string& s);
+
+struct TraceEvent {
+  enum class Phase : std::uint8_t { kComplete, kInstant, kCounter };
+  Phase phase = Phase::kComplete;
+  const char* cat = "";   // static strings only (stored by pointer)
+  const char* name = "";
+  unsigned tid = 0;       // recorder-assigned small thread id
+  std::uint64_t tsUs = 0;
+  std::uint64_t durUs = 0;       // complete events only
+  std::string args;              // pre-rendered JSON object body ("k":3,...)
+};
+
+class TraceRecorder {
+ public:
+  // bufferCapacity = events per thread-local ring before a flush (or, with
+  // the central store contended, a counted drop) is forced.
+  explicit TraceRecorder(std::size_t bufferCapacity = 16384);
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Installs this recorder as the process-global one. Fails (returns
+  // false) when another recorder is already active.
+  bool start();
+  // Uninstalls and performs the final flush. Instrumented threads must be
+  // quiescent (joined) — see the header comment.
+  void stop();
+  bool active() const { return detail::g_recorder.load(std::memory_order_relaxed) == this; }
+
+  // Hot path: append one event on the calling thread's ring. The event's
+  // tid is stamped here.
+  void record(TraceEvent&& e);
+
+  // Events dropped because a ring was full while the central store was
+  // contended (never blocks, by contract).
+  std::uint64_t droppedEvents() const;
+  // Events in the central store (complete only after stop()).
+  std::size_t eventCount() const;
+
+  // Chrome trace_event JSON: {"traceEvents":[...],...}. Call after stop().
+  void writeJson(std::ostream& os) const;
+  bool writeFile(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    unsigned tid = 0;
+    std::vector<TraceEvent> ring;            // fixed capacity, producer-owned
+    std::size_t size = 0;                    // producer-owned fill level
+    std::atomic<std::uint64_t> drops{0};
+  };
+
+  ThreadBuffer& localBuffer();
+  void flushBufferLocked(ThreadBuffer& b);  // requires centralMutex_
+
+  const std::size_t capacity_;
+  const std::uint64_t generation_;  // disambiguates recorders in the TLS cache
+
+  mutable std::mutex centralMutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<TraceEvent> central_;
+  unsigned nextTid_ = 0;
+  bool stopped_ = false;
+
+  friend class Span;
+};
+
+// RAII scope emitting one Chrome "complete" event covering its lifetime
+// (or until end() is called). Construction with tracing disabled costs the
+// one-branch fast path and nothing else; args must therefore be added
+// behind enabled():
+//
+//   obs::Span span("engine", "job");
+//   if (span.enabled()) span.arg("label", spec.label);
+//   ... work ...
+//   if (span.enabled()) span.arg("verdict", verdictName(v));
+class Span {
+ public:
+  Span(const char* cat, const char* name);
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool enabled() const { return active_; }
+
+  Span& arg(const char* key, const std::string& value);
+  Span& arg(const char* key, const char* value);
+  Span& arg(const char* key, std::uint64_t value);
+  Span& arg(const char* key, unsigned value) { return arg(key, std::uint64_t{value}); }
+  Span& arg(const char* key, bool value);
+
+  // Finishes the span early (the destructor then does nothing).
+  void end();
+
+ private:
+  bool active_;
+  const char* cat_ = "";
+  const char* name_ = "";
+  std::uint64_t startUs_ = 0;
+  std::string args_;
+};
+
+// One-off events; no-ops when tracing is disabled. `args` is a
+// pre-rendered JSON object body (use Span for the convenient typed API, or
+// appendJsonEscaped for string values).
+void instant(const char* cat, const char* name, std::string args = {});
+// Chrome counter event: plots `value` as series `series` under `name`.
+void counter(const char* cat, const char* name, const char* series, std::uint64_t value);
+
+}  // namespace upec::obs

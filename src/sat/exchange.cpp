@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace upec::sat {
 
 // ----------------------------------------------------------- ClauseFilter ---
@@ -134,6 +137,18 @@ ClauseExchange::DrainStats ClauseExchange::drain(
     }
   }
   cursors_[member].next = next;
+  // Telemetry at drain granularity (per solve-loop visit, not per clause):
+  // the exchange's flow rates without touching the publish hot path.
+  if (obs::metricsEnabled() && (out.delivered != 0 || out.overrun != 0)) {
+    if (out.delivered != 0) obs::metrics().counter("exchange.delivered").add(out.delivered);
+    if (out.overrun != 0) obs::metrics().counter("exchange.overrun").add(out.overrun);
+  }
+  if (obs::tracingEnabled() && (out.delivered != 0 || out.overrun != 0)) {
+    // Export side: cumulative ring intake. Import side: this drain's yield.
+    obs::counter("sat", "exchange.published", "published",
+                 published_.load(std::memory_order_relaxed));
+    obs::counter("sat", "exchange.drained", "delivered", out.delivered);
+  }
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "sat/solver.hpp"
 
 namespace upec::sat {
@@ -97,17 +98,32 @@ LBool PortfolioSolver::solveLimited(std::span<const Lit> assumptions) {
     return LBool::kUndef;
   }
 
+  obs::Span raceSpan("sat", "portfolio.race");
+  if (raceSpan.enabled()) {
+    raceSpan.arg("members", std::uint64_t{members_.size()}).arg("racing", std::uint64_t{racing});
+  }
   std::atomic<int> winner{-1};
   auto race = [&](std::size_t i) {
+    obs::Span memberSpan("sat", "portfolio.member");
+    if (memberSpan.enabled()) memberSpan.arg("member", std::uint64_t{i});
     const LBool verdict = members_[i]->solveLimited(assumptions);
     lastVerdicts_[i] = verdict;  // distinct element per thread: no race
+    bool won = false;
     if (verdict != LBool::kUndef) {
       int expected = -1;
       if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
+        won = true;
         for (std::size_t j = 0; j < racing; ++j) {
           if (j != i) members_[j]->requestStop();
         }
       }
+    }
+    if (memberSpan.enabled()) {
+      memberSpan
+          .arg("status", verdict == LBool::kFalse  ? "unsat"
+                         : verdict == LBool::kTrue ? "sat"
+                                                   : "undef")
+          .arg("winner", won);
     }
   };
 
@@ -119,6 +135,11 @@ LBool PortfolioSolver::solveLimited(std::span<const Lit> assumptions) {
   if (held != 0) options_.governor->release(held);
 
   lastWinner_ = winner.load();
+  if (raceSpan.enabled()) {
+    raceSpan.arg("winner", lastWinner_ >= 0
+                               ? members_[static_cast<std::size_t>(lastWinner_)]->describe()
+                               : std::string("no-answer"));
+  }
   if (lastWinner_ < 0 && !externalStop_.load(std::memory_order_relaxed)) {
     // No member answered and nobody cancelled us from outside. The race
     // counts as budget-starved when any racer ran out of conflicts — the

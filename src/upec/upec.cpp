@@ -5,6 +5,7 @@
 
 #include "base/log.hpp"
 #include "base/stopwatch.hpp"
+#include "obs/trace.hpp"
 
 namespace upec {
 
@@ -121,16 +122,22 @@ formal::IntervalProperty UpecEngine::buildProperty(
 UpecResult UpecEngine::check(unsigned k, const std::set<std::string>& excluded) {
   if (options_.incrementalDeepening.value_or(false)) return checkIncremental(k, excluded);
 
+  obs::Span span("upec", "upec.check");
+  if (span.enabled()) span.arg("k", k).arg("incremental", false);
   const formal::IntervalProperty property = buildProperty(k, excluded);
   formal::BmcEngine engine(miter_.design());
   if (options_.conflictBudget != 0) engine.setConflictBudget(options_.conflictBudget);
   engine.setSolverConfigs(options_.resolvedSolverConfigs());
   engine.setPortfolioOptions(options_.resolvedPortfolioOptions());
   if (options_.structuralInitEquality) applyStructuralEquality(miter_, engine);
-  return classify(engine.check(property), k, excluded);
+  const UpecResult result = classify(engine.check(property), k, excluded);
+  if (span.enabled()) span.arg("verdict", verdictName(result.verdict));
+  return result;
 }
 
 UpecResult UpecEngine::checkIncremental(unsigned k, const std::set<std::string>& excluded) {
+  obs::Span span("upec", "upec.check");
+  if (span.enabled()) span.arg("k", k).arg("incremental", true);
   if (!incremental_) {
     incremental_ = std::make_unique<formal::BmcEngine>(miter_.design());
     incremental_->setSolverConfigs(options_.resolvedSolverConfigs());
@@ -139,7 +146,9 @@ UpecResult UpecEngine::checkIncremental(unsigned k, const std::set<std::string>&
   }
   incremental_->setConflictBudget(options_.conflictBudget);
   const formal::IntervalProperty property = buildProperty(k, excluded);
-  return classify(incremental_->checkIncremental(property), k, excluded);
+  const UpecResult result = classify(incremental_->checkIncremental(property), k, excluded);
+  if (span.enabled()) span.arg("verdict", verdictName(result.verdict));
+  return result;
 }
 
 UpecResult UpecEngine::classify(const formal::CheckResult& bmc, unsigned k,

@@ -1,0 +1,230 @@
+// Minimal recursive-descent JSON parser for tests: enough to parse back the
+// artifacts the telemetry subsystem emits (Chrome trace JSON, the campaign
+// report, NDJSON event lines) and assert on their structure. Throws
+// std::runtime_error on malformed input — "it parses" IS the assertion for
+// the well-formedness tests. Not a production parser: no streaming, no
+// surrogate-pair decoding (escapes outside ASCII decode to '?'), numbers
+// held as double.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace upec::testjson {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // insertion order kept
+
+  bool isObject() const { return kind == Kind::kObject; }
+  bool isArray() const { return kind == Kind::kArray; }
+
+  // Object member lookup; null when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  const Value& at(const std::string& key) const {
+    const Value* v = find(key);
+    if (v == nullptr) throw std::runtime_error("missing key: " + key);
+    return *v;
+  }
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value parseDocument() {
+    const Value v = parseValue();
+    skipWs();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', got '" + s_[pos_] + "'");
+    ++pos_;
+  }
+
+  bool consumeLiteral(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parseValue() {
+    skipWs();
+    Value v;
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"':
+        v.kind = Value::Kind::kString;
+        v.string = parseString();
+        return v;
+      case 't':
+        if (!consumeLiteral("true")) fail("bad literal");
+        v.kind = Value::Kind::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consumeLiteral("false")) fail("bad literal");
+        v.kind = Value::Kind::kBool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        if (!consumeLiteral("null")) fail("bad literal");
+        return v;
+      default: return parseNumber();
+    }
+  }
+
+  Value parseObject() {
+    Value v;
+    v.kind = Value::Kind::kObject;
+    expect('{');
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skipWs();
+      std::string key = parseString();
+      skipWs();
+      expect(':');
+      v.object.emplace_back(std::move(key), parseValue());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parseArray() {
+    Value v;
+    v.kind = Value::Kind::kArray;
+    expect('[');
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parseValue());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          out += cp < 0x80 ? static_cast<char>(cp) : '?';
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Value parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && s_[start] == '-')) fail("bad number");
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    char* end = nullptr;
+    const std::string text = s_.substr(start, pos_ - start);
+    v.number = std::strtod(text.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("bad number: " + text);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+inline Value parse(const std::string& text) { return detail::Parser(text).parseDocument(); }
+
+}  // namespace upec::testjson

@@ -1,0 +1,509 @@
+// The telemetry subsystem: trace-ring overflow semantics (drops counted,
+// the producer never blocks), span nesting and thread attribution, Chrome
+// trace JSON well-formedness (parsed back, not pattern-matched), the
+// metrics registry and its fold into the campaign report, the NDJSON
+// observer stream (exactly one "window" line per ladder rung, matching the
+// terminal report), log routing through the observer seam — and the
+// contract everything above hangs off: enabling telemetry leaves the
+// proving verdicts and conflict counts bit-identical.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/log.hpp"
+#include "base/stopwatch.hpp"
+#include "engine/campaign.hpp"
+#include "json_testlib.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
+
+namespace upec {
+namespace {
+
+using engine::CampaignOptions;
+using engine::CampaignReport;
+using engine::JobSpec;
+using testjson::Value;
+
+// ------------------------------------------------------------ helpers -------
+
+JobSpec secureLadder(std::uint32_t id, SecretScenario scenario, unsigned kMax) {
+  JobSpec spec;
+  spec.id = id;
+  spec.label = std::string("secure/") + scenarioName(scenario);
+  spec.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+  spec.secretWord = 12;
+  spec.options.scenario = scenario;
+  spec.mode = engine::DeepeningMode::kIncremental;
+  spec.kMin = 1;
+  spec.kMax = kMax;
+  return spec;
+}
+
+// Two deterministic single-backend ladder jobs: no portfolio race, no
+// sharing — per-job conflict counts do not depend on pool scheduling.
+std::vector<JobSpec> smallCampaign() {
+  return {secureLadder(0, SecretScenario::kNotInCache, 2),
+          secureLadder(1, SecretScenario::kInCache, 2)};
+}
+
+// Observer that keeps every event as its serialised JSON line.
+class CollectingObserver : public obs::CampaignObserver {
+ public:
+  void onEvent(const obs::StreamEvent& event) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lines_.push_back(event.toJson(Stopwatch::sinceEpochUs()));
+  }
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+std::vector<Value> parsedEvents(const std::vector<std::string>& lines, const std::string& type) {
+  std::vector<Value> out;
+  for (const std::string& line : lines) {
+    Value v = testjson::parse(line);
+    if (v.at("type").string == type) out.push_back(std::move(v));
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- trace ring -----
+
+TEST(TraceRing, FullRingFlushesToCentralWhenUncontended) {
+  obs::TraceRecorder rec(2);  // two-slot ring: every third event forces a flush
+  ASSERT_TRUE(rec.start());
+  for (int i = 0; i < 100; ++i) obs::instant("test", "tick");
+  rec.stop();
+  EXPECT_EQ(rec.eventCount(), 100u);
+  EXPECT_EQ(rec.droppedEvents(), 0u);
+}
+
+// Blocks inside the first overflow() call — i.e. while writeJson holds the
+// recorder's central mutex — until released. This pins the central store as
+// "contended" at a deterministic point so the drop path is testable.
+class GateBuf : public std::streambuf {
+ public:
+  int_type overflow(int_type ch) override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!entered_) {
+      entered_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return released_; });
+    }
+    return ch;  // discard output; only the blocking matters
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    overflow(n > 0 ? traits_type::to_int_type(s[0]) : traits_type::eof());
+    return n;
+  }
+  void awaitEntered() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return entered_; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+TEST(TraceRing, OverflowUnderContentionDropsCountedNeverBlocks) {
+  constexpr std::size_t kCapacity = 4;
+  obs::TraceRecorder rec(kCapacity);
+  ASSERT_TRUE(rec.start());
+  obs::instant("test", "register");  // create this thread's ring
+
+  // Hold the central mutex from another thread (writeJson keeps it for the
+  // whole serialisation, and GateBuf blocks the serialisation mid-write).
+  GateBuf gate;
+  std::ostream gateStream(&gate);
+  std::thread holder([&] { rec.writeJson(gateStream); });
+  gate.awaitEntered();
+
+  // Ring: 1 event in, capacity 4 → 3 more fit; everything after must hit
+  // the full-ring path, fail the try_lock, and be dropped without blocking.
+  // If the producer blocked instead, this loop would deadlock (the mutex
+  // holder is waiting for OUR release call) and the test would time out.
+  constexpr int kExtra = 20;
+  for (int i = 0; i < static_cast<int>(kCapacity) - 1 + kExtra; ++i) {
+    obs::instant("test", "burst");
+  }
+  gate.release();
+  holder.join();
+  rec.stop();
+
+  EXPECT_EQ(rec.droppedEvents(), static_cast<std::uint64_t>(kExtra));
+  EXPECT_EQ(rec.eventCount(), kCapacity);  // the ring's worth survived
+}
+
+// ---------------------------------------------------------------- spans -----
+
+TEST(TraceSpan, NestingAndThreadAttribution) {
+  obs::TraceRecorder rec;
+  ASSERT_TRUE(rec.start());
+  {
+    obs::Span outer("test", "outer");
+    ASSERT_TRUE(outer.enabled());
+    outer.arg("k", 3u).arg("label", "abc\"quoted\"");
+    {
+      obs::Span inner("test", "inner");
+    }
+  }
+  std::thread t1([] { obs::Span s("test", "worker1"); });
+  std::thread t2([] { obs::Span s("test", "worker2"); });
+  t1.join();
+  t2.join();
+  rec.stop();
+
+  std::ostringstream os;
+  rec.writeJson(os);
+  const Value doc = testjson::parse(os.str());
+  const Value& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.isArray());
+
+  const Value* outer = nullptr;
+  const Value* inner = nullptr;
+  const Value* w1 = nullptr;
+  const Value* w2 = nullptr;
+  for (const Value& e : events.array) {
+    const std::string& name = e.at("name").string;
+    if (name == "outer") outer = &e;
+    if (name == "inner") inner = &e;
+    if (name == "worker1") w1 = &e;
+    if (name == "worker2") w2 = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(w1, nullptr);
+  ASSERT_NE(w2, nullptr);
+
+  // Nesting: the inner span lies within the outer one on the same track.
+  EXPECT_EQ(outer->at("tid").number, inner->at("tid").number);
+  EXPECT_GE(inner->at("ts").number, outer->at("ts").number);
+  EXPECT_LE(inner->at("ts").number + inner->at("dur").number,
+            outer->at("ts").number + outer->at("dur").number + 1.0);
+  // Thread attribution: each recording thread got its own track.
+  EXPECT_NE(w1->at("tid").number, w2->at("tid").number);
+  EXPECT_NE(w1->at("tid").number, outer->at("tid").number);
+  // Typed args survive the round trip, escaping included.
+  EXPECT_EQ(outer->at("args").at("k").number, 3.0);
+  EXPECT_EQ(outer->at("args").at("label").string, "abc\"quoted\"");
+}
+
+TEST(TraceSpan, DisabledByDefaultAndAfterStop) {
+  EXPECT_FALSE(obs::tracingEnabled());
+  obs::Span span("test", "ghost");
+  EXPECT_FALSE(span.enabled());  // no recorder installed: one-branch no-op
+  obs::TraceRecorder rec;
+  ASSERT_TRUE(rec.start());
+  EXPECT_TRUE(obs::tracingEnabled());
+  rec.stop();
+  EXPECT_FALSE(obs::tracingEnabled());
+  EXPECT_FALSE(rec.start()) << "a stopped recorder must not restart implicitly"
+                            << " while another could have taken the slot";
+}
+
+// ---------------------------------------------- campaign trace -> chrome ----
+
+TEST(TraceCampaign, EmitsWellFormedChromeTraceWithEngineSpans) {
+  obs::TraceRecorder rec;
+  ASSERT_TRUE(rec.start());
+  CampaignOptions options;
+  options.threads = 2;
+  const CampaignReport report = engine::runCampaign(smallCampaign(), options);
+  rec.stop();
+  ASSERT_EQ(report.jobs.size(), 2u);
+  ASSERT_EQ(report.numUnknown, 0u);  // unbudgeted: every window decided
+
+  std::ostringstream os;
+  rec.writeJson(os);
+  const Value doc = testjson::parse(os.str());  // malformed JSON throws here
+  const Value& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.isArray());
+  ASSERT_FALSE(events.array.empty());
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  EXPECT_EQ(doc.at("otherData").at("droppedEvents").number, 0.0);
+
+  std::vector<std::string> seen;
+  for (const Value& e : events.array) {
+    // Every event carries the Chrome viewer's required fields.
+    const std::string& ph = e.at("ph").string;
+    EXPECT_TRUE(ph == "X" || ph == "i" || ph == "C") << ph;
+    e.at("pid");
+    e.at("tid");
+    e.at("ts");
+    e.at("cat");
+    if (ph == "X") e.at("dur");
+    seen.push_back(e.at("name").string);
+  }
+  auto saw = [&seen](const char* name) {
+    return std::find(seen.begin(), seen.end(), name) != seen.end();
+  };
+  EXPECT_TRUE(saw("campaign"));
+  EXPECT_TRUE(saw("job"));
+  EXPECT_TRUE(saw("ladder.segment"));
+  EXPECT_TRUE(saw("ladder.attempt"));
+  EXPECT_TRUE(saw("bmc.encode"));
+  EXPECT_TRUE(saw("bmc.solve"));
+  EXPECT_TRUE(saw("upec.check"));
+  EXPECT_TRUE(saw("pool.task"));
+}
+
+// -------------------------------------------------------------- metrics -----
+
+TEST(Metrics, RegistryRoundTrip) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.count").add(3);
+  reg.counter("a.count").add(2);
+  reg.gauge("b.gauge").set(-7);
+  obs::Histogram& h = reg.histogram("c.hist");
+  h.observe(0);
+  h.observe(1);
+  h.observe(5);
+  h.observe(1000);
+
+  const Value doc = testjson::parse(reg.toJson());
+  EXPECT_EQ(doc.at("counters").at("a.count").number, 5.0);
+  EXPECT_EQ(doc.at("gauges").at("b.gauge").number, -7.0);
+  const Value& hist = doc.at("histograms").at("c.hist");
+  EXPECT_EQ(hist.at("count").number, 4.0);
+  EXPECT_EQ(hist.at("sum").number, 1006.0);
+  EXPECT_EQ(hist.at("min").number, 0.0);
+  EXPECT_EQ(hist.at("max").number, 1000.0);
+  double bucketTotal = 0;
+  for (const auto& [bound, n] : hist.at("buckets").object) bucketTotal += n.number;
+  EXPECT_EQ(bucketTotal, 4.0);
+
+  reg.reset();
+  const Value empty = testjson::parse(reg.toJson());
+  EXPECT_TRUE(empty.at("counters").object.empty());
+  EXPECT_TRUE(empty.at("histograms").object.empty());
+}
+
+TEST(Metrics, FoldIntoCampaignReport) {
+  obs::metrics().reset();
+  obs::setMetricsEnabled(true);
+  CampaignOptions options;
+  options.threads = 2;
+  const CampaignReport report = engine::runCampaign(smallCampaign(), options);
+  obs::setMetricsEnabled(false);
+
+  ASSERT_FALSE(report.metricsJson.empty());
+  const Value doc = testjson::parse(report.toJson());
+  const Value& metrics = doc.at("metrics");
+  // The per-depth solve-time histograms the ladder records: one per k.
+  EXPECT_TRUE(metrics.at("histograms").has("campaign.solve_us.k1"));
+  EXPECT_TRUE(metrics.at("histograms").has("campaign.solve_us.k2"));
+  // Two jobs walked k=1..2: two observations per depth.
+  EXPECT_EQ(metrics.at("histograms").at("campaign.solve_us.k1").at("count").number, 2.0);
+  obs::metrics().reset();
+}
+
+TEST(Metrics, DisabledCampaignReportCarriesNoMetricsBlock) {
+  CampaignOptions options;
+  options.threads = 2;
+  const CampaignReport report = engine::runCampaign(smallCampaign(), options);
+  EXPECT_TRUE(report.metricsJson.empty());
+  EXPECT_FALSE(testjson::parse(report.toJson()).has("metrics"));
+}
+
+// ------------------------------------------------------------- observer -----
+
+TEST(Observer, NdjsonStreamMatchesTerminalReport) {
+  const std::string path = testing::TempDir() + "obs_test_events.ndjson";
+  CampaignReport report;
+  {
+    obs::NdjsonWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    CampaignOptions options;
+    options.threads = 2;
+    options.observer = &writer;
+    report = engine::runCampaign(smallCampaign(), options);
+    // 2 markers + per-window + per-job lines, all flushed by now.
+    EXPECT_EQ(writer.linesWritten(), 2u + 2u * 2u + 2u);
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+
+  const std::vector<Value> starts = parsedEvents(lines, "campaign_start");
+  const std::vector<Value> ends = parsedEvents(lines, "campaign_end");
+  const std::vector<Value> windows = parsedEvents(lines, "window");
+  const std::vector<Value> jobDone = parsedEvents(lines, "job");
+  ASSERT_EQ(starts.size(), 1u);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(starts[0].at("jobs").number, 2.0);
+  EXPECT_EQ(ends[0].at("verdict").string, verdictName(report.overallVerdict));
+
+  // Exactly one "window" line per report window, carrying the same verdict
+  // tuple. Stream order is completion order, so match by (job, k).
+  std::size_t reportWindows = 0;
+  for (const engine::JobResult& job : report.jobs) {
+    for (const engine::WindowResult& w : job.windows) {
+      ++reportWindows;
+      const Value* match = nullptr;
+      for (const Value& e : windows) {
+        if (e.at("job").number == static_cast<double>(job.id) &&
+            e.at("k").number == static_cast<double>(w.window)) {
+          ASSERT_EQ(match, nullptr) << "duplicate window event for job " << job.id;
+          match = &e;
+        }
+      }
+      ASSERT_NE(match, nullptr) << "missing window event for job " << job.id;
+      EXPECT_EQ(match->at("verdict").string, verdictName(w.verdict));
+      EXPECT_EQ(match->at("conflicts").number, static_cast<double>(w.stats.conflicts));
+      EXPECT_EQ(match->at("label").string, job.label);
+      EXPECT_GT(match->at("ts_us").number, 0.0);
+    }
+  }
+  EXPECT_EQ(windows.size(), reportWindows);
+  ASSERT_EQ(jobDone.size(), report.jobs.size());
+  for (const Value& e : jobDone) {
+    const auto& job = report.jobs[static_cast<std::size_t>(e.at("job").number)];
+    EXPECT_EQ(e.at("verdict").string, verdictName(job.verdict));
+    EXPECT_EQ(e.at("windows").number, static_cast<double>(job.windows.size()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Observer, RescheduleEscalationsAreStreamed) {
+  CollectingObserver collector;
+  JobSpec spec = secureLadder(0, SecretScenario::kNotInCache, 2);
+  spec.options.conflictBudget = 1;  // starve every first pass
+  spec.reschedule.enabled = true;
+  spec.reschedule.budgetGrowth = 4.0;
+  spec.reschedule.maxReschedules = 20;
+  const engine::JobResult res = engine::runJob(spec, nullptr, nullptr, &collector);
+  EXPECT_EQ(res.verdict, Verdict::kProven);
+
+  const std::vector<std::string> lines = collector.lines();
+  const std::vector<Value> reschedules = parsedEvents(lines, "reschedule");
+  ASSERT_GE(reschedules.size(), 1u);
+  EXPECT_EQ(static_cast<unsigned>(reschedules.size()), res.rescheduleAttempts);
+  // Budgets escalate monotonically within a window.
+  for (const Value& e : reschedules) {
+    EXPECT_GT(e.at("budget").number, 1.0);
+    EXPECT_GE(e.at("attempt").number, 1.0);
+  }
+  EXPECT_EQ(parsedEvents(lines, "window").size(), res.windows.size());
+  EXPECT_EQ(parsedEvents(lines, "job").size(), 1u);
+}
+
+TEST(Observer, LogLinesRouteThroughTheSeam) {
+  CollectingObserver collector;
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::kInfo);
+  obs::routeLogToObserver(&collector);
+  logInfo("routed line");
+  obs::routeLogToObserver(nullptr);
+  setLogLevel(before);
+  logInfo("after detach");  // must not reach the collector
+
+  const std::vector<Value> logs = parsedEvents(collector.lines(), "log");
+  ASSERT_EQ(logs.size(), 1u);
+  EXPECT_EQ(logs[0].at("msg").string, "routed line");
+  EXPECT_EQ(logs[0].at("level").string, "info");
+}
+
+TEST(Log, ConcurrentSinkReceivesWholeLines) {
+  std::mutex mutex;
+  std::vector<std::string> got;
+  setLogSink([&](LogLevel, const std::string& msg) {
+    std::lock_guard<std::mutex> lock(mutex);
+    got.push_back(msg);
+  });
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::kInfo);
+  constexpr int kThreads = 4, kLines = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        logInfo("thread " + std::to_string(t) + " line " + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  setLogLevel(before);
+  setLogSink(nullptr);
+
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kThreads * kLines));
+  for (const std::string& msg : got) {
+    EXPECT_EQ(msg.rfind("thread ", 0), 0u) << "interleaved/corrupt line: " << msg;
+  }
+}
+
+// --------------------------------------------------- the overhead contract --
+
+TEST(Differential, TelemetryOnLeavesVerdictsBitIdentical) {
+  CampaignOptions options;
+  options.threads = 2;
+  const CampaignReport off = engine::runCampaign(smallCampaign(), options);
+
+  obs::TraceRecorder rec;
+  ASSERT_TRUE(rec.start());
+  obs::metrics().reset();
+  obs::setMetricsEnabled(true);
+  CollectingObserver collector;
+  CampaignOptions loud = options;
+  loud.observer = &collector;
+  const CampaignReport on = engine::runCampaign(smallCampaign(), loud);
+  obs::setMetricsEnabled(false);
+  rec.stop();
+  obs::metrics().reset();
+
+  ASSERT_EQ(on.jobs.size(), off.jobs.size());
+  for (std::size_t j = 0; j < on.jobs.size(); ++j) {
+    ASSERT_EQ(on.jobs[j].windows.size(), off.jobs[j].windows.size()) << "job " << j;
+    EXPECT_EQ(on.jobs[j].verdict, off.jobs[j].verdict) << "job " << j;
+    EXPECT_EQ(on.jobs[j].totalConflicts, off.jobs[j].totalConflicts) << "job " << j;
+    for (std::size_t w = 0; w < on.jobs[j].windows.size(); ++w) {
+      EXPECT_EQ(on.jobs[j].windows[w].verdict, off.jobs[j].windows[w].verdict);
+      EXPECT_EQ(on.jobs[j].windows[w].stats.conflicts, off.jobs[j].windows[w].stats.conflicts);
+      EXPECT_EQ(on.jobs[j].windows[w].stats.propagations,
+                off.jobs[j].windows[w].stats.propagations);
+    }
+  }
+  EXPECT_GT(rec.eventCount(), 0u);
+}
+
+// ------------------------------------------------------------- stopwatch ----
+
+TEST(Stopwatch, MicrosecondHelpersAreMonotone) {
+  const std::uint64_t a = Stopwatch::sinceEpochUs();
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const std::uint64_t elapsed = sw.elapsedUs();
+  const std::uint64_t b = Stopwatch::sinceEpochUs();
+  EXPECT_GE(elapsed, 1000u);
+  EXPECT_GE(b, a + elapsed / 2);
+  EXPECT_LE(static_cast<double>(sw.elapsedUs()) / 1000.0, sw.elapsedMs() + 1.0);
+}
+
+}  // namespace
+}  // namespace upec
