@@ -24,12 +24,17 @@
 //     the verdicts AND per-window conflict counts must be bit-identical
 //     (telemetry only reads, never feeds back), and the measured wall-clock
 //     overhead is reported against the <3% target.
+//  7. RTL reduction — the same ladder with the pre-encoding pass pipeline
+//     off vs on (COI sweep, constant folding, symmetry-aware hashing):
+//     identical per-window verdicts (the self-check every speed feature
+//     ships with), while the reduced miter encodes fewer CNF variables.
 //
-// Usage: bench/campaign [reschedule|trace]
+// Usage: bench/campaign [reschedule|trace|reduce]
 //   no argument  — all sections;
 //   "reschedule" — section [5] only (self-contained; CI's smoke leg runs it
 //                  as the reschedule self-check without paying for 1-4);
-//   "trace"      — section [6] only (the telemetry differential self-check).
+//   "trace"      — section [6] only (the telemetry differential self-check);
+//   "reduce"     — section [7] only (the reduction verdict-equality check).
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -206,6 +211,70 @@ bool traceSection() {
   return all;
 }
 
+// ---- 7: RTL reduction off vs on on the same ladder -----------------------
+// Self-contained (also run standalone as CI's reduction self-check): the
+// k=1..4 incremental ladder decided with the solver seeing the exact seed
+// netlist, then again with the pass pipeline (COI sweep, constant folding,
+// symmetry-aware structural hashing) shrinking the miter before encoding.
+// Unlimited budget on both sides, so any verdict difference would be the
+// reduction's fault and nothing else's. The reduced run must reproduce the
+// plain per-window verdicts exactly while encoding fewer CNF variables —
+// that pair is this repo's standing contract for every speed feature.
+bool reduceSection() {
+  std::printf("[7] window ladder k=1..4, reduction pass pipeline off vs on\n");
+  JobSpec ladder;
+  ladder.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+  ladder.secretWord = 12;
+  ladder.options.scenario = SecretScenario::kNotInCache;
+  ladder.mode = DeepeningMode::kIncremental;
+  ladder.kMin = 1;
+  ladder.kMax = 4;
+
+  Stopwatch plainTimer;
+  const JobResult plain = runJob(ladder);
+  const double plainSec = plainTimer.elapsedSeconds();
+
+  JobSpec reducedSpec = ladder;
+  reducedSpec.reduction = true;
+  Stopwatch reducedTimer;
+  const JobResult reduced = runJob(reducedSpec);
+  const double reducedSec = reducedTimer.elapsedSeconds();
+
+  upec::bench::Table t({"reduction", "wall clock", "peak vars", "peak clauses", "conflicts",
+                        "verdict"});
+  auto row = [&t](const char* mode, double sec, const JobResult& r) {
+    t.addRow({mode, upec::bench::fmtSeconds(sec), std::to_string(r.peakVars),
+              std::to_string(r.peakClauses), std::to_string(r.totalConflicts),
+              verdictName(r.verdict)});
+  };
+  row("off", plainSec, plain);
+  row("on", reducedSec, reduced);
+  t.print();
+  if (reduced.reduction) {
+    std::printf("pipeline: %s\n", reduced.reduction->summary().c_str());
+  }
+  std::printf("the solver race starts from a smaller netlist; the verdicts below prove\n"
+              "the shrink changed nothing the property can observe\n\n");
+
+  auto check = [](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
+    return ok;
+  };
+  bool all = true;
+  all &= check(std::equal(plain.windows.begin(), plain.windows.end(), reduced.windows.begin(),
+                          reduced.windows.end(),
+                          [](const WindowResult& a, const WindowResult& b) {
+                            return a.window == b.window && a.verdict == b.verdict;
+                          }),
+               "reduced ladder reproduces the unreduced verdicts window for window");
+  all &= check(reduced.peakVars < plain.peakVars,
+               "reduced miter encodes fewer CNF variables at peak");
+  all &= check(reduced.reduction.has_value() &&
+                   reduced.reduction->nodesAfter < reduced.reduction->nodesBefore,
+               "pass pipeline reports a net node reduction");
+  return all;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +283,9 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
     return traceSection() ? 0 : 1;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "reduce") == 0) {
+    return reduceSection() ? 0 : 1;
   }
   std::printf("Verification campaign bench — parallel scaling and incremental deepening\n\n");
   const unsigned hw = std::thread::hardware_concurrency();
@@ -341,6 +413,10 @@ int main(int argc, char** argv) {
 
   // ---- 6: telemetry overhead ---------------------------------------------
   all &= traceSection();
+  std::printf("\n");
+
+  // ---- 7: RTL reduction --------------------------------------------------
+  all &= reduceSection();
   std::printf("\n");
 
   // ---- acceptance --------------------------------------------------------

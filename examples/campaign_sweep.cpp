@@ -20,6 +20,13 @@
 //                             (`tail -f events.ndjson` while the sweep runs)
 //   --metrics <metrics.json>  collect the metrics registry and dump it
 //                             standalone (also folded into the report JSON)
+//
+// Reduction flag (off by default; see src/rtl/README.md):
+//   --reduce                  shrink every job's miter with the RTL
+//                             reduction pass pipeline before encoding; the
+//                             verdicts are unchanged (bench/campaign.cpp
+//                             section [7] asserts that) and the report JSON
+//                             gains per-job and campaign-wide pass stats
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -35,6 +42,7 @@ using namespace upec::engine;
 
 int main(int argc, char** argv) {
   std::string reportPath, tracePath, eventsPath, metricsPath;
+  bool reduce = false;
   for (int i = 1; i < argc; ++i) {
     auto flagValue = [&](const char* flag, std::string& out) {
       if (std::strcmp(argv[i], flag) != 0) return false;
@@ -49,10 +57,14 @@ int main(int argc, char** argv) {
         flagValue("--metrics", metricsPath)) {
       continue;
     }
+    if (std::strcmp(argv[i], "--reduce") == 0) {
+      reduce = true;
+      continue;
+    }
     if (argv[i][0] == '-' || !reportPath.empty()) {
       std::fprintf(stderr,
                    "usage: campaign_sweep [report.json] [--trace trace.json] "
-                   "[--events events.ndjson] [--metrics metrics.json]\n");
+                   "[--events events.ndjson] [--metrics metrics.json] [--reduce]\n");
       return 2;
     }
     reportPath = argv[i];
@@ -74,11 +86,13 @@ int main(int argc, char** argv) {
   matrix.kMax = 2;
   matrix.portfolio = 2;   // race two diversified CDCL configs per check...
   matrix.sharing = true;  // ...and let them exchange learnt clauses
+  matrix.reduce = reduce;
 
   const std::vector<JobSpec> jobs = enumerateJobs(matrix);
   std::printf("campaign: %zu jobs (2 scenarios x 2 constraint variants, k=%u..%u,\n"
-              "          sharing portfolio of %u per check)\n\n",
-              jobs.size(), matrix.kMin, matrix.kMax, matrix.portfolio);
+              "          sharing portfolio of %u per check%s)\n\n",
+              jobs.size(), matrix.kMin, matrix.kMax, matrix.portfolio,
+              reduce ? ", reduction pipeline on" : "");
 
   // Telemetry, strictly opt-in: verdicts and solver trajectories are
   // identical with everything enabled (bench/campaign.cpp section [6]
@@ -167,10 +181,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.totalClausesImported),
               static_cast<unsigned long long>(report.totalClausesDropped));
   std::printf("rescheduling: %u windows rescheduled (%u decided by retry, %u attempts, "
-              "%u abandoned), %llu retry conflicts\n\n",
+              "%u abandoned), %llu retry conflicts\n",
               report.windowsRescheduled, report.windowsDecidedByRetry,
               report.rescheduleAttempts, report.reschedulesAbandoned,
               static_cast<unsigned long long>(report.rescheduleConflicts));
+  if (report.reductionEnabled) {
+    std::printf("reduction: %zu jobs shrunk before encoding — nodes %llu -> %llu, "
+                "registers %llu -> %llu (%llu merged, %llu folded to constants)\n",
+                report.reductionJobs,
+                static_cast<unsigned long long>(report.reductionNodesBefore),
+                static_cast<unsigned long long>(report.reductionNodesAfter),
+                static_cast<unsigned long long>(report.reductionRegistersBefore),
+                static_cast<unsigned long long>(report.reductionRegistersAfter),
+                static_cast<unsigned long long>(report.reductionRegistersMerged),
+                static_cast<unsigned long long>(report.reductionConstantsFolded));
+  }
+  std::printf("\n");
 
   const std::string json = report.toJson();
   std::printf("JSON report:\n%s\n", json.c_str());

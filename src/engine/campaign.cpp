@@ -32,6 +32,7 @@ std::vector<JobSpec> enumerateJobs(const SweepMatrix& matrix) {
       spec.kMax = matrix.kMax;
       spec.portfolio = matrix.portfolio;
       spec.sharing = matrix.sharing;
+      spec.reduction = matrix.reduce;
       jobs.push_back(std::move(spec));
     }
   }

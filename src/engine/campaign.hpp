@@ -76,6 +76,9 @@ struct SweepMatrix {
   unsigned portfolio = 0;
   // Learnt-clause sharing between the racing members (JobSpec::sharing).
   bool sharing = false;
+  // Shrink each job's miter with the RTL reduction pass pipeline before
+  // encoding (JobSpec::reduction). Verdict-preserving; off by default.
+  bool reduce = false;
 };
 
 // Expands the matrix into |scenarios| × |variants| labelled jobs.

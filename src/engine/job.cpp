@@ -44,6 +44,7 @@ UpecOptions resolveJobOptions(const JobSpec& spec, sat::MemberGovernor* governor
   options.incrementalDeepening = spec.mode == DeepeningMode::kIncremental;
   if (spec.portfolio != 0) options.portfolio = spec.portfolio;
   if (spec.sharing) options.portfolioSharing = true;
+  if (spec.reduction) options.reduction = true;
   if (governor != nullptr) options.governor = governor;
   return options;
 }

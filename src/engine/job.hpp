@@ -93,6 +93,13 @@ struct JobSpec {
   // that do not carry their own enabled policy.
   ReschedulePolicy reschedule;
 
+  // Run the RTL reduction pass pipeline on the miter before encoding (see
+  // UpecOptions::reduction and src/rtl/README.md). Off by default — the
+  // solver then sees the exact seed netlist, bit-identical trajectory. The
+  // pipeline's knobs stay at options.reductionOptions defaults unless the
+  // spec's options carry overrides.
+  bool reduction = false;
+
   // Ladder jobs only: register names dropped from the proof obligation
   // (e.g. UpecEngine::allMicroNames() for an L-alert hunt).
   std::set<std::string> excludedFromCommitment;
@@ -172,6 +179,12 @@ struct JobResult {
   unsigned reschedulesAbandoned = 0;  // windows given up (cap / ceiling hit)
   std::uint64_t rescheduleConflicts = 0;  // conflicts spent in retry attempts
   std::vector<unsigned> undecidedWindows; // window depths still kUnknown
+
+  // RTL reduction summary (ladder jobs running with JobSpec::reduction;
+  // absent otherwise). Stats of the job's last pipeline run — for a ladder
+  // with a fixed exclusion set that is the one reduced model every window
+  // was checked against.
+  std::optional<rtl::ReductionStats> reduction;
 };
 
 // Severity order for merging verdicts: L-alert > unknown > P-alert > proven.

@@ -18,6 +18,11 @@ void CampaignReport::finalize() {
   windowsDecidedByRetry = reschedulesAbandoned = 0;
   rescheduleConflicts = 0;
   decidedByAttempt.clear();
+  reductionEnabled = false;
+  reductionJobs = 0;
+  reductionNodesBefore = reductionNodesAfter = 0;
+  reductionRegistersBefore = reductionRegistersAfter = 0;
+  reductionRegistersMerged = reductionConstantsFolded = 0;
   for (const JobResult& job : jobs) {
     overallVerdict = mergeVerdicts(overallVerdict, job.verdict);
     switch (job.verdict) {
@@ -47,6 +52,16 @@ void CampaignReport::finalize() {
         if (decidedByAttempt.size() <= attempt) decidedByAttempt.resize(attempt + 1, 0u);
         ++decidedByAttempt[attempt];
       }
+    }
+    if (job.reduction) {
+      reductionEnabled = true;
+      ++reductionJobs;
+      reductionNodesBefore += job.reduction->nodesBefore;
+      reductionNodesAfter += job.reduction->nodesAfter;
+      reductionRegistersBefore += job.reduction->registersBefore;
+      reductionRegistersAfter += job.reduction->registersAfter;
+      reductionRegistersMerged += job.reduction->registersMerged;
+      reductionConstantsFolded += job.reduction->constantsFolded;
     }
   }
 }
@@ -136,6 +151,28 @@ void jsonMethodology(std::ostream& os, const MethodologyReport& m) {
      << ",\"runtime_sec\":" << fmtMs(m.totalRuntimeSec) << '}';
 }
 
+void jsonReduction(std::ostream& os, const rtl::ReductionStats& red) {
+  os << "{\"nodes_before\":" << red.nodesBefore << ",\"nodes_after\":" << red.nodesAfter
+     << ",\"registers_before\":" << red.registersBefore
+     << ",\"registers_after\":" << red.registersAfter
+     << ",\"registers_merged\":" << red.registersMerged
+     << ",\"constants_folded\":" << red.constantsFolded << ",\"rounds\":" << red.rounds
+     << ",\"passes\":[";
+  for (std::size_t i = 0; i < red.passes.size(); ++i) {
+    const rtl::PassStats& p = red.passes[i];
+    if (i) os << ',';
+    os << "{\"pass\":";
+    jsonString(os, p.pass);
+    os << ",\"nodes_before\":" << p.nodesBefore << ",\"nodes_after\":" << p.nodesAfter
+       << ",\"registers_before\":" << p.registersBefore
+       << ",\"registers_after\":" << p.registersAfter
+       << ",\"nodes_rewritten\":" << p.nodesRewritten
+       << ",\"registers_merged\":" << p.registersMerged
+       << ",\"constants_folded\":" << p.constantsFolded << '}';
+  }
+  os << "]}";
+}
+
 void jsonJob(std::ostream& os, const JobResult& job) {
   os << "{\"id\":" << job.id << ",\"label\":";
   jsonString(os, job.label);
@@ -187,6 +224,10 @@ void jsonJob(std::ostream& os, const JobResult& job) {
     os << ",\"methodology\":";
     jsonMethodology(os, *job.methodology);
   }
+  if (job.reduction) {
+    os << ",\"reduction\":";
+    jsonReduction(os, *job.reduction);
+  }
   os << '}';
 }
 
@@ -220,6 +261,15 @@ std::string CampaignReport::toJson() const {
       os << decidedByAttempt[i];
     }
     os << "]}";
+  }
+  if (reductionEnabled) {
+    os << ",\"reduction\":{\"jobs\":" << reductionJobs
+       << ",\"nodes_before\":" << reductionNodesBefore
+       << ",\"nodes_after\":" << reductionNodesAfter
+       << ",\"registers_before\":" << reductionRegistersBefore
+       << ",\"registers_after\":" << reductionRegistersAfter
+       << ",\"registers_merged\":" << reductionRegistersMerged
+       << ",\"constants_folded\":" << reductionConstantsFolded << '}';
   }
   if (!metricsJson.empty()) os << ",\"metrics\":" << metricsJson;
   os << ",\"jobs\":[";

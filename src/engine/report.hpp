@@ -55,6 +55,18 @@ struct CampaignReport {
   // attempt i (0 = first pass) across reschedule-enabled jobs.
   std::vector<unsigned> decidedByAttempt;
 
+  // RTL reduction accounting (jobs run with JobSpec::reduction; all zero
+  // and absent from the JSON otherwise). Sums over the reduced jobs' pass
+  // pipelines, filled by finalize().
+  bool reductionEnabled = false;  // any job carried reduction stats
+  std::size_t reductionJobs = 0;
+  std::uint64_t reductionNodesBefore = 0;
+  std::uint64_t reductionNodesAfter = 0;
+  std::uint64_t reductionRegistersBefore = 0;
+  std::uint64_t reductionRegistersAfter = 0;
+  std::uint64_t reductionRegistersMerged = 0;
+  std::uint64_t reductionConstantsFolded = 0;
+
   // Snapshot of the obs::MetricsRegistry at campaign end, as a pre-rendered
   // JSON object ({"counters":...}). Filled by runCampaign when metrics
   // collection is enabled; empty (and absent from toJson) otherwise.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "base/log.hpp"
 #include "base/stopwatch.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/metrics.hpp"
@@ -61,6 +62,11 @@ LadderScheduler::LadderScheduler(const JobSpec& spec, sat::MemberGovernor* gover
 
   Stopwatch buildTimer;
   miter_ = std::make_unique<Miter>(spec_.config, spec_.secretWord);
+  if (spec_.reduction) {
+    // Pre-reduction baseline, so the reduction summary logged by the first
+    // check has a reference point in the same log.
+    logInfo("job " + spec_.label + ": miter " + miter_->design().stats().pretty());
+  }
   engine_ = std::make_unique<UpecEngine>(*miter_, resolveJobOptions(spec_, governor));
   excluded_ = spec_.excludedFromCommitment;
   if (spec_.architecturalOnly) {
@@ -259,6 +265,7 @@ JobResult LadderScheduler::takeResult() {
   assert(done_ && "takeResult() requires a finished ladder");
   const unsigned worker = WorkStealingPool::currentWorker();
   res_.worker = worker == WorkStealingPool::kNotAWorker ? 0 : worker;
+  if (spec_.reduction) res_.reduction = engine_->reductionStats();
   return std::move(res_);
 }
 

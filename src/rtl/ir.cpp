@@ -1,6 +1,8 @@
 #include "rtl/ir.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -469,7 +471,25 @@ Design::Stats Design::stats() const {
       s.memoryBits += static_cast<std::size_t>(m.depth) * m.width;
     }
   }
+  std::vector<unsigned> depth(nodes_.size(), 0);
+  for (NodeId n : topoOrder()) {
+    const Node& nd = nodes_[n];
+    if (nd.op == Op::kInput || nd.op == Op::kConst || nd.op == Op::kRegQ) continue;
+    unsigned best = 0;
+    for (unsigned i = 0; i < nd.numOps; ++i) best = std::max(best, depth[nd.ops[i]]);
+    depth[n] = best + 1;
+    s.depth = std::max(s.depth, depth[n]);
+  }
   return s;
+}
+
+std::string Design::Stats::pretty() const {
+  char buf[176];
+  std::snprintf(buf, sizeof buf,
+                "%zu nodes, %zu registers (%zu bits), %zu inputs (%zu bits), "
+                "%zu memories (%zu bits), depth %u",
+                nodes, registers, stateBits, inputs, inputBits, memories, memoryBits, depth);
+  return buf;
 }
 
 std::string Design::dump() const {

@@ -231,6 +231,8 @@ class Design {
     std::size_t inputBits = 0;
     std::size_t memories = 0;
     std::size_t memoryBits = 0;
+    unsigned depth = 0;  // longest combinational path, in operator counts
+    std::string pretty() const;  // one-line human-readable summary
   };
   Stats stats() const;
 

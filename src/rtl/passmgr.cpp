@@ -1,0 +1,348 @@
+#include "rtl/passmgr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <unordered_map>
+
+#include "rtl/passes.hpp"
+
+namespace upec::rtl {
+
+namespace {
+
+// A resolved replacement endpoint: either an original-design node that will
+// be emitted, or a constant value materialized on demand.
+struct Target {
+  NodeId node = kNoNode;
+  bool isConst = false;
+  BitVec value;
+};
+
+bool isSource(Op op) {
+  return op == Op::kInput || op == Op::kConst || op == Op::kRegQ;
+}
+
+class PlanResolver {
+ public:
+  PlanResolver(const RewritePlan& plan) {
+    for (const auto& [n, by] : plan.nodeReplacements()) repl_[n] = by;
+    for (const auto& [n, v] : plan.constReplacements()) consts_.emplace(n, v);
+  }
+
+  Target resolve(NodeId n) {
+    std::vector<NodeId> path;
+    NodeId cur = n;
+    Target t;
+    while (true) {
+      if (auto m = memo_.find(cur); m != memo_.end()) {
+        t = m->second;
+        break;
+      }
+      if (auto c = consts_.find(cur); c != consts_.end()) {
+        t = Target{kNoNode, true, c->second};
+        break;
+      }
+      auto r = repl_.find(cur);
+      if (r == repl_.end() || path.size() > repl_.size()) {
+        assert(path.size() <= repl_.size() && "replacement cycle");
+        t = Target{cur, false, BitVec()};
+        break;
+      }
+      path.push_back(cur);
+      cur = r->second;
+    }
+    for (NodeId p : path) memo_.emplace(p, t);
+    memo_.emplace(n, t);
+    return t;
+  }
+
+ private:
+  std::unordered_map<NodeId, NodeId> repl_;
+  std::unordered_map<NodeId, BitVec> consts_;
+  std::unordered_map<NodeId, Target> memo_;
+};
+
+// Keeps a node's explicit name (setName / input names) if it has one;
+// nodeName() falls back to "n<id>" for anonymous nodes, which we drop
+// rather than freeze stale ids into the reduced design.
+bool hasExplicitName(const Design& d, NodeId n, std::string* out) {
+  std::string name = d.nodeName(n);
+  if (name == "n" + std::to_string(n)) return false;
+  *out = std::move(name);
+  return true;
+}
+
+}  // namespace
+
+ApplyResult applyPlan(const Design& d, const RewritePlan& plan,
+                      std::span<const NodeId> roots) {
+  assert(d.memoriesLowered() && "lower memories before running transform passes");
+  const std::size_t numNodes = d.numNodes();
+  PlanResolver resolver(plan);
+
+  // --- liveness over the plan-resolved graph ---------------------------
+  // A node is live iff it is reachable from a resolved root through
+  // resolved operand edges, crossing the sequential boundary through the
+  // next-state functions of live registers only (= cone of influence).
+  std::vector<bool> live(numNodes, false);
+  std::vector<bool> liveReg(d.regs().size(), false);
+  std::vector<NodeId> stack;
+  auto pushTarget = [&](NodeId n) {
+    const Target t = resolver.resolve(n);
+    if (!t.isConst && !live[t.node]) stack.push_back(t.node);
+  };
+  for (NodeId r : roots) pushTarget(r);
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (live[n]) continue;
+    live[n] = true;
+    const Node& nd = d.node(n);
+    if (nd.op == Op::kRegQ) {
+      const std::uint32_t r = d.regIndexOf(n);
+      liveReg[r] = true;
+      assert(d.regs()[r].next != kNoNode && "register without next-state function");
+      pushTarget(d.regs()[r].next);
+    } else {
+      assert(nd.op != Op::kMemRead && "unlowered memory read in reduction input");
+      for (unsigned i = 0; i < nd.numOps; ++i) pushTarget(nd.ops[i]);
+    }
+  }
+
+  // --- re-emit the live cone through the construction API --------------
+  ApplyResult out;
+  out.design = std::make_unique<Design>(d.name());
+  Design* nd = out.design.get();
+  out.map = SigMap(numNodes);
+  SigMap& map = out.map;
+
+  auto mapped = [&](NodeId n) -> NodeId {
+    const Target t = resolver.resolve(n);
+    if (t.isConst) return nd->constant(t.value).id();
+    assert(map[t.node] != kNoNode && "replacement target not emitted before use");
+    return map[t.node];
+  };
+  auto sigOf = [&](NodeId n) { return Sig(nd, mapped(n)); };
+
+  // Sources first, in original id order (preserves relative input and
+  // register order for the survivors), because a replacement may target a
+  // source that sits *after* the replaced node's users in the original
+  // topological order (e.g. a follower register merged into its master).
+  for (NodeId n = 0; n < numNodes; ++n) {
+    if (!live[n]) continue;
+    const Node& node = d.node(n);
+    switch (node.op) {
+      case Op::kInput:
+        map.set(n, nd->input(node.width, d.nodeName(n)).id());
+        break;
+      case Op::kConst:
+        map.set(n, nd->constant(d.constValue(n)).id());
+        break;
+      case Op::kRegQ: {
+        const RegInfo& ri = d.regs()[d.regIndexOf(n)];
+        map.set(n, nd->reg(node.width, ri.name, ri.resetValue, ri.stateClass).id());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // Combinational logic in topological order; hash-consing in the new
+  // design dedups cones the plan made structurally identical. A node->node
+  // replacement must target a source or a node preceding the replaced one
+  // in topological order (all in-tree passes target sources or transitive
+  // operands), so `mapped` always finds its target already emitted.
+  for (NodeId n : d.topoOrder()) {
+    if (!live[n]) continue;
+    const Node& node = d.node(n);
+    if (isSource(node.op)) continue;
+    Sig s;
+    switch (node.op) {
+      case Op::kBuf:
+        map.set(n, mapped(node.ops[0]));
+        continue;
+      case Op::kMux:
+        s = nd->mux(sigOf(node.ops[0]), sigOf(node.ops[1]), sigOf(node.ops[2]));
+        break;
+      case Op::kExtract:
+        s = nd->extract(sigOf(node.ops[0]), node.aux0, node.aux1);
+        break;
+      case Op::kConcat:
+        s = nd->concat(sigOf(node.ops[0]), sigOf(node.ops[1]));
+        break;
+      case Op::kZext:
+        s = nd->zext(sigOf(node.ops[0]), node.width);
+        break;
+      case Op::kSext:
+        s = nd->sext(sigOf(node.ops[0]), node.width);
+        break;
+      default:
+        s = node.numOps == 1 ? nd->unary(node.op, sigOf(node.ops[0]))
+                             : nd->binary(node.op, sigOf(node.ops[0]), sigOf(node.ops[1]));
+        break;
+    }
+    map.set(n, s.id());
+    std::string name;
+    if (hasExplicitName(d, n, &name)) nd->setName(s, name);
+  }
+  // Next-state functions of the surviving registers.
+  for (std::uint32_t r = 0; r < d.regs().size(); ++r) {
+    if (!liveReg[r]) continue;
+    nd->connect(Sig(nd, map[d.regs()[r].q]), Sig(nd, mapped(d.regs()[r].next)));
+  }
+
+  // Roots must stay resolvable even when a pass proved them constant.
+  for (NodeId r : roots) {
+    if (map[r] != kNoNode) continue;
+    const Target t = resolver.resolve(r);
+    map.set(r, t.isConst ? nd->constant(t.value).id() : map[t.node]);
+    assert(map[r] != kNoNode && "live root lost in rebuild");
+  }
+  // Replaced nodes inherit their target's mapping (merged followers point
+  // at the master's reduced node). Non-root constant targets are *not*
+  // materialized — a swept constant-folded register's value is recovered
+  // from its reset value (the only value a sequential constant can hold).
+  for (NodeId n = 0; n < numNodes; ++n) {
+    if (map[n] != kNoNode) continue;
+    const Target t = resolver.resolve(n);
+    if (!t.isConst && t.node != n) map.set(n, map[t.node]);
+  }
+  return out;
+}
+
+ReductionResult PassManager::run(const Design& design, std::span<const Sig> roots,
+                                 std::span<const RegEquivSeed> equivSeeds,
+                                 InitialStateModel initialState, unsigned rounds) const {
+  ReductionResult out;
+  out.stats.nodesBefore = design.numNodes();
+  out.stats.registersBefore = design.regs().size();
+
+  std::vector<NodeId> origRoots;
+  origRoots.reserve(roots.size());
+  for (const Sig& s : roots) {
+    assert(s.design() == &design && "root from a different design");
+    origRoots.push_back(s.id());
+  }
+
+  const Design* cur = &design;
+  std::unique_ptr<Design> owned;
+  SigMap cumulative(design.numNodes());
+  for (NodeId i = 0; i < design.numNodes(); ++i) cumulative.set(i, i);
+
+  auto currentRoots = [&] {
+    std::vector<NodeId> r;
+    r.reserve(origRoots.size());
+    for (NodeId id : origRoots) {
+      const NodeId t = cumulative[id];
+      assert(t != kNoNode && "root swept by an earlier pass");
+      r.push_back(t);
+    }
+    return r;
+  };
+  auto currentSeeds = [&] {
+    std::vector<RegEquivSeed> s;
+    s.reserve(equivSeeds.size());
+    for (const RegEquivSeed& seed : equivSeeds) {
+      const NodeId m = cumulative[design.regs()[seed.master].q];
+      const NodeId f = cumulative[design.regs()[seed.follower].q];
+      if (m == kNoNode || f == kNoNode || m == f) continue;  // swept or already merged
+      if (cur->node(m).op != Op::kRegQ || cur->node(f).op != Op::kRegQ) continue;
+      s.push_back({cur->regIndexOf(m), cur->regIndexOf(f)});
+    }
+    return s;
+  };
+
+  for (unsigned round = 0; round < std::max(rounds, 1u); ++round) {
+    bool changed = false;
+    for (const std::unique_ptr<Pass>& pass : passes_) {
+      const std::vector<NodeId> curRoots = currentRoots();
+      const std::vector<RegEquivSeed> curSeeds = currentSeeds();
+      PassContext ctx;
+      ctx.design = cur;
+      ctx.roots = curRoots;
+      ctx.equivSeeds = curSeeds;
+      ctx.initialState = initialState;
+      RewritePlan plan;
+      const bool passChanged = pass->run(ctx, &plan);
+
+      PassStats ps;
+      ps.pass = pass->name();
+      ps.nodesBefore = cur->numNodes();
+      ps.registersBefore = cur->regs().size();
+      ps.constantsFolded = plan.numConstReplacements();
+      ps.nodesRewritten = plan.numNodeReplacements();
+      ps.registersMerged = plan.numRegsMerged();
+
+      ApplyResult applied = applyPlan(*cur, plan, curRoots);
+      ps.nodesAfter = applied.design->numNodes();
+      ps.registersAfter = applied.design->regs().size();
+      changed = changed || passChanged || !plan.empty() || ps.nodesAfter != ps.nodesBefore ||
+                ps.registersAfter != ps.registersBefore;
+
+      cumulative = cumulative.composedWith(applied.map);
+      owned = std::move(applied.design);
+      cur = owned.get();
+      out.stats.registersMerged += ps.registersMerged;
+      out.stats.constantsFolded += ps.constantsFolded;
+      out.stats.passes.push_back(std::move(ps));
+    }
+    ++out.stats.rounds;
+    if (!changed) break;
+  }
+  if (!owned) {  // no passes registered: a bare sweep still owns the result
+    ApplyResult applied = applyPlan(design, RewritePlan(), currentRoots());
+    cumulative = cumulative.composedWith(applied.map);
+    owned = std::move(applied.design);
+    cur = owned.get();
+  }
+
+  out.stats.nodesAfter = cur->numNodes();
+  out.stats.registersAfter = cur->regs().size();
+  out.map = std::move(cumulative);
+
+  out.regMap.assign(design.regs().size(), kNoReg);
+  for (std::uint32_t r = 0; r < design.regs().size(); ++r) {
+    const NodeId t = out.map[design.regs()[r].q];
+    if (t != kNoNode && cur->node(t).op == Op::kRegQ) out.regMap[r] = cur->regIndexOf(t);
+  }
+  std::unordered_map<NodeId, std::uint32_t> reducedInputIdx;
+  for (std::uint32_t i = 0; i < cur->inputs().size(); ++i) reducedInputIdx[cur->inputs()[i]] = i;
+  out.inputMap.assign(cur->inputs().size(), 0xffffffffu);
+  for (std::uint32_t i = 0; i < design.inputs().size(); ++i) {
+    const NodeId t = out.map[design.inputs()[i]];
+    if (const auto it = reducedInputIdx.find(t); t != kNoNode && it != reducedInputIdx.end()) {
+      out.inputMap[it->second] = i;
+    }
+  }
+
+#ifndef NDEBUG
+  // Rebuild post-condition: root-driven re-emission leaves nothing dead
+  // (this is where the deadNodes analysis earns its keep as a checker).
+  {
+    Design* mut = const_cast<Design*>(cur);
+    std::vector<Sig> reducedRoots;
+    for (NodeId r : origRoots) reducedRoots.push_back(Sig(mut, out.map[r]));
+    assert(deadNodes(*cur, reducedRoots).empty() && "reduced design has dead nodes");
+  }
+#endif
+
+  out.design = std::move(owned);
+  return out;
+}
+
+std::string ReductionStats::summary() const {
+  auto pct = [](std::size_t before, std::size_t after) {
+    return before == 0 ? 0.0 : 100.0 * static_cast<double>(before - after) / before;
+  };
+  char buf[224];
+  std::snprintf(buf, sizeof buf,
+                "nodes %zu -> %zu (-%.1f%%), registers %zu -> %zu (-%.1f%%); "
+                "%zu merged, %zu folded to constants, %u round%s",
+                nodesBefore, nodesAfter, pct(nodesBefore, nodesAfter), registersBefore,
+                registersAfter, pct(registersBefore, registersAfter), registersMerged,
+                constantsFolded, rounds, rounds == 1 ? "" : "s");
+  return buf;
+}
+
+}  // namespace upec::rtl

@@ -1,0 +1,205 @@
+// Transform-pass infrastructure over the RTL IR.
+//
+// Unlike rtl/passes.hpp (read-only analyses), this header defines passes
+// that *rewrite* a Design. A pass never mutates the input netlist — it
+// inspects it and records intent in a RewritePlan ("replace node A by node
+// B", "replace node A by constant c", "merge register F into register M").
+// The PassManager then applies the plan by rebuilding a fresh Design from
+// the plan-resolved root cones, which has two structural consequences:
+//
+//  * every application is also a cone-of-influence sweep — logic (and
+//    registers) unreachable from the roots through operand edges and live
+//    next-state functions is simply never re-emitted; and
+//  * the rebuilt design is re-hash-consed, so rewrites that make two cones
+//    structurally identical (e.g. merging the miter's mirrored registers)
+//    collapse them to one node for free.
+//
+// The rebuild produces a SigMap from original NodeIds to reduced NodeIds so
+// callers (property translation, counterexample reporting) keep resolving
+// original names: map[n] == kNoNode means n was swept; a kConst target
+// means n was proven constant; merged registers map to their surviving
+// master's kRegQ node.
+//
+// Soundness contract: roots must cover every signal the caller will ever
+// reference in the reduced design, and equivSeeds lists register pairs the
+// caller *assumes or constructs equal at frame 0* (the UPEC miter's aliased
+// instance pairs) — the hashing pass may only merge registers drawn from
+// that relation (see reduce.hpp for the per-pass arguments).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/bitvec.hpp"
+#include "rtl/ir.hpp"
+
+namespace upec::rtl {
+
+inline constexpr std::uint32_t kNoReg = 0xffffffffu;
+
+// Original-design NodeId -> reduced-design NodeId (kNoNode = swept).
+class SigMap {
+ public:
+  SigMap() = default;
+  explicit SigMap(std::size_t numOrigNodes) : map_(numOrigNodes, kNoNode) {}
+
+  NodeId operator[](NodeId orig) const {
+    return orig < map_.size() ? map_[orig] : kNoNode;
+  }
+  void set(NodeId orig, NodeId reduced) { map_[orig] = reduced; }
+  std::size_t size() const { return map_.size(); }
+
+  // Maps an original-design Sig into `reduced` (invalid Sig if swept).
+  Sig map(Sig orig, Design* reduced) const {
+    const NodeId t = (*this)[orig.id()];
+    return t == kNoNode ? Sig() : Sig(reduced, t);
+  }
+
+  // this: A->B composed with `next`: B->C, giving A->C.
+  SigMap composedWith(const SigMap& next) const {
+    SigMap out(map_.size());
+    for (std::size_t i = 0; i < map_.size(); ++i) {
+      if (map_[i] != kNoNode) out.map_[i] = next[map_[i]];
+    }
+    return out;
+  }
+
+ private:
+  std::vector<NodeId> map_;
+};
+
+// A register-correspondence seed: (master, follower) register indices the
+// caller guarantees equal at frame 0. Passes may merge follower into master
+// only after proving their next-state functions equivalent.
+struct RegEquivSeed {
+  std::uint32_t master = kNoReg;
+  std::uint32_t follower = kNoReg;
+};
+
+// How registers behave at time 0. Decides which sequential optimisations
+// are admissible: under kSymbolic (UPEC interval properties — frame-0 state
+// is unconstrained) a register is never a provable constant; under kReset
+// (simulator semantics) reset-seeded constant propagation across the
+// sequential boundary is sound.
+enum class InitialStateModel : std::uint8_t { kSymbolic, kReset };
+
+// Read-only view a pass works against. roots/equivSeeds are expressed in
+// the *current* design's node/register numbering (the PassManager remaps
+// them between passes).
+struct PassContext {
+  const Design* design = nullptr;
+  std::span<const NodeId> roots;
+  std::span<const RegEquivSeed> equivSeeds;
+  InitialStateModel initialState = InitialStateModel::kSymbolic;
+};
+
+// Rewrite intent recorded by a pass. Replacement chains (a->b, b->c) and
+// transitive constant targets are resolved at application time.
+class RewritePlan {
+ public:
+  void replaceWith(NodeId node, NodeId by) {
+    if (node != by) nodeRepl_.emplace_back(node, by);
+  }
+  void replaceWithConst(NodeId node, BitVec value) {
+    constRepl_.emplace_back(node, std::move(value));
+  }
+  // Redirect every use of `follower`'s output to `master`'s output. The
+  // follower register itself disappears in the rebuild (nothing keeps its
+  // next-state function alive unless it is shared logic).
+  void mergeRegs(const Design& d, std::uint32_t follower, std::uint32_t master) {
+    replaceWith(d.regs()[follower].q, d.regs()[master].q);
+    ++regsMerged_;
+  }
+
+  bool empty() const { return nodeRepl_.empty() && constRepl_.empty(); }
+  std::size_t numNodeReplacements() const { return nodeRepl_.size(); }
+  std::size_t numConstReplacements() const { return constRepl_.size(); }
+  std::size_t numRegsMerged() const { return regsMerged_; }
+
+  const std::vector<std::pair<NodeId, NodeId>>& nodeReplacements() const { return nodeRepl_; }
+  const std::vector<std::pair<NodeId, BitVec>>& constReplacements() const { return constRepl_; }
+
+ private:
+  std::vector<std::pair<NodeId, NodeId>> nodeRepl_;
+  std::vector<std::pair<NodeId, BitVec>> constRepl_;
+  std::size_t regsMerged_ = 0;
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+  // Inspects ctx.design and records rewrites. Returns true if the pass
+  // believes it changed something (the plan may still be empty for passes
+  // whose whole effect is the implicit rebuild sweep).
+  virtual bool run(const PassContext& ctx, RewritePlan* plan) = 0;
+};
+
+struct PassStats {
+  std::string pass;
+  std::size_t nodesBefore = 0, nodesAfter = 0;
+  std::size_t registersBefore = 0, registersAfter = 0;
+  std::size_t constantsFolded = 0;  // const replacements recorded
+  std::size_t nodesRewritten = 0;   // node->node replacements (incl. merges)
+  std::size_t registersMerged = 0;
+};
+
+struct ReductionStats {
+  std::vector<PassStats> passes;
+  std::size_t nodesBefore = 0, nodesAfter = 0;
+  std::size_t registersBefore = 0, registersAfter = 0;
+  std::size_t registersMerged = 0;
+  std::size_t constantsFolded = 0;
+  unsigned rounds = 0;
+  std::string summary() const;  // "nodes 9411 -> 4207 (-55.3%), regs ..."
+};
+
+struct ReductionResult {
+  std::unique_ptr<Design> design;  // unique_ptr: Sigs hold a stable Design*
+  SigMap map;                      // original NodeId -> reduced NodeId
+  // Original register index -> reduced register index. Merged followers
+  // carry their master's reduced index; swept/constant-folded registers
+  // carry kNoReg.
+  std::vector<std::uint32_t> regMap;
+  // Reduced input index -> original input index (original inputs outside
+  // the live cone have no entry).
+  std::vector<std::uint32_t> inputMap;
+  ReductionStats stats;
+};
+
+// Runs the registered passes in order over `design`. The input design must
+// have no unlowered memories (lowerMemories() first); the reduced design
+// contains none at all. roots/equivSeeds are in the original numbering.
+class PassManager {
+ public:
+  void add(std::unique_ptr<Pass> pass) { passes_.push_back(std::move(pass)); }
+  std::size_t numPasses() const { return passes_.size(); }
+
+  // Runs every pass `rounds` times (stopping early once a whole round
+  // changes nothing), then fills regMap/inputMap from the final SigMap.
+  ReductionResult run(const Design& design, std::span<const Sig> roots,
+                      std::span<const RegEquivSeed> equivSeeds,
+                      InitialStateModel initialState = InitialStateModel::kSymbolic,
+                      unsigned rounds = 1) const;
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+// Applies `plan` to `design` by rebuilding the cone of `roots`: resolves
+// replacement chains, re-emits live logic through the Design construction
+// API (re-hash-consing it), drops unreferenced registers/inputs and all
+// (lowered) memory metadata, and returns the new design plus the SigMap.
+// Exposed for tests; most callers go through PassManager::run.
+struct ApplyResult {
+  std::unique_ptr<Design> design;
+  SigMap map;
+};
+ApplyResult applyPlan(const Design& design, const RewritePlan& plan,
+                      std::span<const NodeId> roots);
+
+}  // namespace upec::rtl

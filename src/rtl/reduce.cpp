@@ -1,0 +1,367 @@
+#include "rtl/reduce.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "rtl/passes.hpp"
+
+namespace upec::rtl {
+
+namespace {
+
+// Constant evaluation of one operator, mirroring sim/simulator.cpp exactly
+// (the randomized differential test in rtl_reduce_test holds us to that).
+BitVec evalNode(const Node& nd, const BitVec& a, const BitVec* b, const BitVec* c) {
+  switch (nd.op) {
+    case Op::kNot: return a.bnot();
+    case Op::kNeg: return a.neg();
+    case Op::kRedOr: return a.redOr();
+    case Op::kRedAnd: return a.redAnd();
+    case Op::kRedXor: return a.redXor();
+    case Op::kAdd: return a.add(*b);
+    case Op::kSub: return a.sub(*b);
+    case Op::kMul: return a.mul(*b);
+    case Op::kAnd: return a.band(*b);
+    case Op::kOr: return a.bor(*b);
+    case Op::kXor: return a.bxor(*b);
+    case Op::kShl: return a.shl(*b);
+    case Op::kLshr: return a.lshr(*b);
+    case Op::kAshr: return a.ashr(*b);
+    case Op::kEq: return a.eq(*b);
+    case Op::kNe: return a.ne(*b);
+    case Op::kUlt: return a.ult(*b);
+    case Op::kUle: return a.ule(*b);
+    case Op::kSlt: return a.slt(*b);
+    case Op::kSle: return a.sle(*b);
+    case Op::kMux: return a.toBool() ? *b : *c;
+    case Op::kExtract: return a.extract(nd.aux0, nd.aux1);
+    case Op::kConcat: return a.concat(*b);
+    case Op::kZext: return a.zext(nd.width);
+    case Op::kSext: return a.sext(nd.width);
+    default: break;
+  }
+  assert(false && "evalNode: not a combinational operator");
+  return BitVec();
+}
+
+// ---------------------------------------------------------------------------
+// SweepPass: pure analysis — the PassManager's root-driven rebuild performs
+// the actual cone-of-influence sweep. This pass consumes the read-only
+// analyses to decide (and report) whether anything is about to drop.
+class SweepPass final : public Pass {
+ public:
+  const char* name() const override { return "sweep"; }
+
+  bool run(const PassContext& ctx, RewritePlan*) override {
+    const Design& d = *ctx.design;
+    std::vector<Sig> roots;
+    roots.reserve(ctx.roots.size());
+    Design* mut = const_cast<Design*>(&d);  // read-only analyses want Sigs
+    for (NodeId r : ctx.roots) roots.push_back(Sig(mut, r));
+    const ConeOfInfluence cone = coneOfInfluence(d, roots);
+    // Dead logic (referenced by nothing at all) is a subset of what the
+    // cone sweep removes, but it is worth distinguishing: a hash-consed
+    // builder should produce none, and the rebuild must leave none behind.
+    const std::size_t dead = deadNodes(d, roots).size();
+    return dead > 0 || cone.numNodes < d.numNodes() ||
+           cone.numRegisters < d.regs().size();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ConstantsPass: forward propagation + algebraic identities. Sequential
+// constant detection (greatest fixpoint over "register r always holds its
+// reset value") only under InitialStateModel::kReset — with a symbolic
+// initial state a register's frame-0 value is unconstrained, so folding it
+// would be unsound.
+class ConstantsPass final : public Pass {
+ public:
+  const char* name() const override { return "constants"; }
+
+  bool run(const PassContext& ctx, RewritePlan* plan) override {
+    const Design& d = *ctx.design;
+    const std::size_t numNodes = d.numNodes();
+    const std::size_t numRegs = d.regs().size();
+    const std::vector<NodeId> topo = d.topoOrder();
+
+    // -- sequential constants (kReset only) -----------------------------
+    std::vector<char> seqConst(numRegs, 0);
+    if (ctx.initialState == InitialStateModel::kReset && numRegs > 0) {
+      seqConst.assign(numRegs, 1);  // at reset, every register holds resetValue
+      std::vector<std::optional<BitVec>> val(numNodes);
+      bool dropped = true;
+      while (dropped) {
+        dropped = false;
+        for (NodeId n : topo) {
+          const Node& nd = d.node(n);
+          val[n].reset();
+          switch (nd.op) {
+            case Op::kConst: val[n] = d.constValue(n); break;
+            case Op::kInput: break;
+            case Op::kRegQ: {
+              const std::uint32_t r = d.regIndexOf(n);
+              if (seqConst[r]) val[n] = d.regs()[r].resetValue;
+              break;
+            }
+            case Op::kBuf: val[n] = val[nd.ops[0]]; break;
+            default: {
+              bool known = true;
+              for (unsigned i = 0; i < nd.numOps; ++i) known = known && val[nd.ops[i]].has_value();
+              if (known) {
+                val[n] = evalNode(nd, *val[nd.ops[0]],
+                                  nd.numOps > 1 ? &*val[nd.ops[1]] : nullptr,
+                                  nd.numOps > 2 ? &*val[nd.ops[2]] : nullptr);
+              }
+              break;
+            }
+          }
+        }
+        for (std::uint32_t r = 0; r < numRegs; ++r) {
+          if (!seqConst[r]) continue;
+          const std::optional<BitVec>& next = val[d.regs()[r].next];
+          if (!next || !(*next == d.regs()[r].resetValue)) {
+            seqConst[r] = 0;
+            dropped = true;
+          }
+        }
+      }
+    }
+
+    // -- combinational folding sweep ------------------------------------
+    std::vector<std::optional<BitVec>> value(numNodes);
+    std::vector<NodeId> alias(numNodes);
+    for (NodeId i = 0; i < numNodes; ++i) alias[i] = i;
+    auto rep = [&](NodeId n) {
+      while (alias[n] != n) n = alias[n];
+      return n;
+    };
+    bool any = false;
+    auto foldConst = [&](NodeId n, const BitVec& v) {
+      value[n] = v;
+      plan->replaceWithConst(n, v);
+      any = true;
+    };
+    // Alias targets are always (representatives of) the node's operands,
+    // so they precede it in topological order — applyPlan's contract.
+    auto foldAlias = [&](NodeId n, NodeId to) {
+      to = rep(to);
+      alias[n] = to;
+      value[n] = value[to];
+      plan->replaceWith(n, to);
+      any = true;
+    };
+
+    for (NodeId n : topo) {
+      const Node& nd = d.node(n);
+      switch (nd.op) {
+        case Op::kConst: value[n] = d.constValue(n); continue;
+        case Op::kInput: continue;
+        case Op::kRegQ: {
+          const std::uint32_t r = d.regIndexOf(n);
+          if (seqConst[r]) foldConst(n, d.regs()[r].resetValue);
+          continue;
+        }
+        case Op::kBuf:  // the rebuild collapses buffers; just track identity
+          alias[n] = rep(nd.ops[0]);
+          value[n] = value[alias[n]];
+          continue;
+        default: break;
+      }
+      const NodeId r0 = rep(nd.ops[0]);
+      const NodeId r1 = nd.numOps > 1 ? rep(nd.ops[1]) : kNoNode;
+      const NodeId r2 = nd.numOps > 2 ? rep(nd.ops[2]) : kNoNode;
+      const std::optional<BitVec>& v0 = value[r0];
+      const std::optional<BitVec> none;
+      const std::optional<BitVec>& v1 = r1 != kNoNode ? value[r1] : none;
+      const std::optional<BitVec>& v2 = r2 != kNoNode ? value[r2] : none;
+      if (v0 && (nd.numOps < 2 || v1) && (nd.numOps < 3 || v2)) {
+        foldConst(n, evalNode(nd, *v0, v1 ? &*v1 : nullptr, v2 ? &*v2 : nullptr));
+        continue;
+      }
+      const std::uint64_t ones = BitVec::mask(nd.width);
+      switch (nd.op) {
+        case Op::kEq:
+        case Op::kUle:
+        case Op::kSle:
+          if (r0 == r1) foldConst(n, BitVec(1, 1));
+          break;
+        case Op::kNe:
+        case Op::kUlt:
+        case Op::kSlt:
+          if (r0 == r1) foldConst(n, BitVec(1, 0));
+          break;
+        case Op::kSub:
+          if (r0 == r1) foldConst(n, BitVec(nd.width, 0));
+          else if (v1 && v1->isZero()) foldAlias(n, r0);
+          break;
+        case Op::kXor:
+          if (r0 == r1) foldConst(n, BitVec(nd.width, 0));
+          else if (v0 && v0->isZero()) foldAlias(n, r1);
+          else if (v1 && v1->isZero()) foldAlias(n, r0);
+          break;
+        case Op::kAnd:
+          if (r0 == r1) foldAlias(n, r0);
+          else if ((v0 && v0->isZero()) || (v1 && v1->isZero())) foldConst(n, BitVec(nd.width, 0));
+          else if (v0 && v0->uint() == ones) foldAlias(n, r1);
+          else if (v1 && v1->uint() == ones) foldAlias(n, r0);
+          break;
+        case Op::kOr:
+          if (r0 == r1) foldAlias(n, r0);
+          else if ((v0 && v0->uint() == ones) || (v1 && v1->uint() == ones)) {
+            foldConst(n, BitVec(nd.width, ones));
+          } else if (v0 && v0->isZero()) {
+            foldAlias(n, r1);
+          } else if (v1 && v1->isZero()) {
+            foldAlias(n, r0);
+          }
+          break;
+        case Op::kAdd:
+          if (v0 && v0->isZero()) foldAlias(n, r1);
+          else if (v1 && v1->isZero()) foldAlias(n, r0);
+          break;
+        case Op::kMul:
+          if ((v0 && v0->isZero()) || (v1 && v1->isZero())) foldConst(n, BitVec(nd.width, 0));
+          else if (v0 && v0->uint() == 1) foldAlias(n, r1);
+          else if (v1 && v1->uint() == 1) foldAlias(n, r0);
+          break;
+        case Op::kShl:
+        case Op::kLshr:
+        case Op::kAshr:
+          if (v1 && v1->isZero()) foldAlias(n, r0);
+          break;
+        case Op::kMux:
+          if (v0) foldAlias(n, v0->toBool() ? r1 : r2);
+          else if (r1 == r2) foldAlias(n, r1);
+          break;
+        default:
+          break;
+      }
+    }
+    return any;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// HashingPass: register-correspondence reduction. Starting from pairs the
+// caller guarantees equal at frame 0, refine: compute structural
+// equivalence classes treating each surviving follower's output as its
+// master's, then drop every pair whose next-state functions land in
+// different classes. At the fixpoint the surviving relation is inductive
+// (equal at 0, congruent step functions => equal forever), so each
+// follower register is merged into its master; the rebuild's hash-consing
+// then collapses the two instances' mirrored combinational cones.
+class HashingPass final : public Pass {
+ public:
+  const char* name() const override { return "hashing"; }
+
+  bool run(const PassContext& ctx, RewritePlan* plan) override {
+    const Design& d = *ctx.design;
+    if (ctx.equivSeeds.empty()) return false;
+    const std::size_t numRegs = d.regs().size();
+
+    std::vector<std::uint32_t> masterOf(numRegs, kNoReg);
+    auto resolveMaster = [&](std::uint32_t r) {
+      std::uint32_t cur = r;
+      std::size_t hops = 0;
+      while (masterOf[cur] != kNoReg) {
+        cur = masterOf[cur];
+        if (++hops > numRegs) return r;  // defensive: cycle degrades to self
+      }
+      return cur;
+    };
+    for (const RegEquivSeed& seed : ctx.equivSeeds) {
+      if (seed.master == seed.follower || masterOf[seed.follower] != kNoReg) continue;
+      const RegInfo& m = d.regs()[seed.master];
+      const RegInfo& f = d.regs()[seed.follower];
+      if (d.width(m.q) != d.width(f.q)) continue;
+      // Under reset semantics frame-0 equality additionally requires equal
+      // reset values; under kSymbolic the seeds carry the equality proof.
+      if (ctx.initialState == InitialStateModel::kReset && !(m.resetValue == f.resetValue))
+        continue;
+      if (resolveMaster(seed.master) == seed.follower) continue;  // would cycle
+      masterOf[seed.follower] = seed.master;
+    }
+
+    const std::vector<NodeId> topo = d.topoOrder();
+    std::vector<std::uint32_t> classOf(d.numNodes(), 0);
+    bool refined = true;
+    while (refined) {
+      refined = false;
+      std::uint32_t nextClass = 0;
+      std::vector<std::uint32_t> regClass(numRegs, 0xffffffffu);
+      std::map<std::pair<unsigned, std::uint64_t>, std::uint32_t> constClass;
+      std::map<std::array<std::uint32_t, 7>, std::uint32_t> opClass;
+      for (NodeId n : topo) {
+        const Node& nd = d.node(n);
+        switch (nd.op) {
+          case Op::kInput:
+            classOf[n] = nextClass++;
+            break;
+          case Op::kConst: {
+            const BitVec& v = d.constValue(n);
+            auto [it, fresh] = constClass.try_emplace({v.width(), v.uint()}, nextClass);
+            if (fresh) ++nextClass;
+            classOf[n] = it->second;
+            break;
+          }
+          case Op::kRegQ: {
+            const std::uint32_t root = resolveMaster(d.regIndexOf(n));
+            if (regClass[root] == 0xffffffffu) regClass[root] = nextClass++;
+            classOf[n] = regClass[root];
+            break;
+          }
+          case Op::kBuf:
+            classOf[n] = classOf[nd.ops[0]];
+            break;
+          default: {
+            std::array<std::uint32_t, 7> key{static_cast<std::uint32_t>(nd.op), nd.width,
+                                             nd.aux0, nd.aux1, 0, 0, 0};
+            for (unsigned i = 0; i < nd.numOps; ++i) key[4 + i] = classOf[nd.ops[i]] + 1;
+            if (isCommutative(nd.op) && key[4] > key[5]) std::swap(key[4], key[5]);
+            auto [it, fresh] = opClass.try_emplace(key, nextClass);
+            if (fresh) ++nextClass;
+            classOf[n] = it->second;
+            break;
+          }
+        }
+      }
+      for (std::uint32_t f = 0; f < numRegs; ++f) {
+        if (masterOf[f] == kNoReg) continue;
+        const std::uint32_t m = resolveMaster(f);
+        if (m == f || classOf[d.regs()[f].next] != classOf[d.regs()[m].next]) {
+          masterOf[f] = kNoReg;
+          refined = true;
+        }
+      }
+    }
+
+    bool any = false;
+    for (std::uint32_t f = 0; f < numRegs; ++f) {
+      if (masterOf[f] == kNoReg) continue;
+      plan->mergeRegs(d, f, resolveMaster(f));
+      any = true;
+    }
+    return any;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> makeSweepPass() { return std::make_unique<SweepPass>(); }
+std::unique_ptr<Pass> makeConstantsPass() { return std::make_unique<ConstantsPass>(); }
+std::unique_ptr<Pass> makeHashingPass() { return std::make_unique<HashingPass>(); }
+
+ReductionResult reduce(const Design& design, std::span<const Sig> roots,
+                       std::span<const RegEquivSeed> equivSeeds, const ReduceOptions& options) {
+  PassManager pm;
+  if (options.sweep) pm.add(makeSweepPass());
+  if (options.constants) pm.add(makeConstantsPass());
+  if (options.hashing) pm.add(makeHashingPass());
+  return pm.run(design, roots, equivSeeds, options.initialState, std::max(options.maxRounds, 1u));
+}
+
+}  // namespace upec::rtl

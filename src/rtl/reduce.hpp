@@ -1,0 +1,58 @@
+// The reduction pipeline run against the UPEC miter before encoding: the
+// solver should pay for the secret's cone of influence, not for two full
+// SoC copies.
+//
+// Three transform passes (see src/rtl/README.md for the per-pass soundness
+// arguments):
+//
+//  * SweepPass — cone-of-influence sweep rooted at the proof obligations.
+//    Records no rewrites; the PassManager rebuild *is* the sweep. It runs
+//    the deadNodes/coneOfInfluence analyses to report what is about to go.
+//  * ConstantsPass — forward constant propagation mirroring the simulator's
+//    operator semantics, plus algebraic identities (x==x, x&x, mux with a
+//    constant select, ...). Under InitialStateModel::kReset it additionally
+//    finds sequential constants (registers that provably hold their reset
+//    value forever) by greatest-fixpoint refinement; under kSymbolic the
+//    initial state is unconstrained, so registers are never folded.
+//  * HashingPass — register-correspondence reduction (van Eijk style)
+//    exploiting the miter's two-instance symmetry: starting from the
+//    caller-provided frame-0-equal seed pairs, it refines structural
+//    equivalence classes until each surviving pair's next-state functions
+//    are congruent, then merges each follower register into its master.
+//    After the merge the rebuild's hash-consing collapses the mirrored
+//    combinational cones, and the pairs' x==x equality obligations fold to
+//    constant true on the next constants round.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rtl/passmgr.hpp"
+
+namespace upec::rtl {
+
+struct ReduceOptions {
+  bool sweep = true;
+  bool constants = true;
+  bool hashing = true;
+  InitialStateModel initialState = InitialStateModel::kSymbolic;
+  // Passes enable each other (merged registers create foldable x==x nodes,
+  // folding kills select logic which strands registers for the sweep...),
+  // so the pipeline iterates until a whole round changes nothing.
+  unsigned maxRounds = 3;
+};
+
+std::unique_ptr<Pass> makeSweepPass();
+std::unique_ptr<Pass> makeConstantsPass();
+std::unique_ptr<Pass> makeHashingPass();
+
+// Builds the pipeline selected by `options` and runs it to fixpoint (at
+// most options.maxRounds rounds). roots must cover every signal the caller
+// will resolve through the SigMap; equivSeeds are register pairs the caller
+// assumes (or constructs) equal at frame 0.
+ReductionResult reduce(const Design& design, std::span<const Sig> roots,
+                       std::span<const RegEquivSeed> equivSeeds,
+                       const ReduceOptions& options = {});
+
+}  // namespace upec::rtl

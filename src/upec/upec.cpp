@@ -5,6 +5,7 @@
 
 #include "base/log.hpp"
 #include "base/stopwatch.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace upec {
@@ -23,6 +24,30 @@ void accumulateStats(MethodologyReport& report, const formal::BmcStats& stats) {
   report.totalClausesExported += stats.clausesExported;
   report.totalClausesImported += stats.clausesImported;
   report.totalClausesDropped += stats.clausesDropped;
+}
+
+// The reduced-design counterpart of applyStructuralEquality: alias the
+// frame-0 variables of every miter pair that still maps to two distinct
+// registers after reduction (merged pairs share one register and need no
+// alias; swept pairs have no frame-0 variables at all).
+void applyReducedEquality(Miter& miter, const rtl::ReductionResult& red,
+                          formal::BmcEngine& engine) {
+  const rtl::Design& od = miter.design();
+  rtl::Design* rd = red.design.get();
+  auto aliasPair = [&](const RegPair& pair) {
+    const rtl::NodeId a = red.map[od.regs()[pair.reg1].q];
+    const rtl::NodeId b = red.map[od.regs()[pair.reg2].q];
+    if (a == rtl::kNoNode || b == rtl::kNoNode || a == b) return;
+    if (rd->node(a).op != rtl::Op::kRegQ || rd->node(b).op != rtl::Op::kRegQ) return;
+    engine.addInitialStateAlias(rtl::Sig(rd, a), rtl::Sig(rd, b));
+  };
+  for (const RegPair& pair : miter.logicPairs()) aliasPair(pair);
+  for (std::size_t w = 0; w < miter.dmemPairs().size(); ++w) {
+    if (w != miter.secretWord()) aliasPair(miter.dmemPairs()[w]);
+  }
+  for (std::size_t w = 0; w < miter.cacheDataPairs().size(); ++w) {
+    if (w != miter.secretCacheIndex()) aliasPair(miter.cacheDataPairs()[w]);
+  }
 }
 
 }  // namespace
@@ -73,7 +98,137 @@ UpecEngine::UpecEngine(Miter& miter, const UpecOptions& options)
 
 UpecEngine::~UpecEngine() = default;
 
-void UpecEngine::resetIncremental() { incremental_.reset(); }
+void UpecEngine::resetIncremental() {
+  incremental_.reset();
+  incrementalReduced_ = nullptr;
+}
+
+const rtl::ReductionResult& UpecEngine::reducedFor(const std::set<std::string>& excluded) {
+  if (auto it = reducedCache_.find(excluded); it != reducedCache_.end()) return it->second;
+
+  obs::Span span("rtl", "rtl.reduce");
+
+  // Roots: every signal any property for this exclusion set can reference.
+  // The assumption set depends only on the options and the commitment set
+  // only on the exclusion set — not on the window length — so a model
+  // rooted here serves every k (and, since the methodology only ever grows
+  // the exclusion set, every later commitment subset too).
+  const formal::IntervalProperty p = buildProperty(1, excluded);
+  std::vector<rtl::Sig> roots;
+  roots.reserve(p.assumptions.size() + p.invariantAssumptions.size() + p.commitments.size());
+  for (const formal::TimedSig& a : p.assumptions) roots.push_back(a.sig);
+  for (const rtl::Sig& a : p.invariantAssumptions) roots.push_back(a);
+  for (const formal::TimedSig& c : p.commitments) roots.push_back(c.sig);
+
+  // Merge seeds: exactly the pairs whose frame-0 equality the property
+  // establishes — as variable aliases under structuralInitEquality, as the
+  // micro/memory equality assumptions otherwise. Identical set either way
+  // (all logic pairs, dmem words except the secret, cache-data lines
+  // except the secret's index), so the merge is sound in both modes.
+  std::vector<rtl::RegEquivSeed> seeds;
+  for (const RegPair& pair : miter_.logicPairs()) seeds.push_back({pair.reg1, pair.reg2});
+  for (std::size_t w = 0; w < miter_.dmemPairs().size(); ++w) {
+    if (w != miter_.secretWord()) {
+      seeds.push_back({miter_.dmemPairs()[w].reg1, miter_.dmemPairs()[w].reg2});
+    }
+  }
+  for (std::size_t w = 0; w < miter_.cacheDataPairs().size(); ++w) {
+    if (w != miter_.secretCacheIndex()) {
+      seeds.push_back({miter_.cacheDataPairs()[w].reg1, miter_.cacheDataPairs()[w].reg2});
+    }
+  }
+
+  rtl::ReduceOptions ropts = options_.reductionOptions;
+  // IPC starts from a symbolic state: frame-0 registers are free variables,
+  // so sequential constant folding from reset values would be unsound.
+  ropts.initialState = rtl::InitialStateModel::kSymbolic;
+  rtl::ReductionResult red = rtl::reduce(miter_.design(), roots, seeds, ropts);
+
+  logInfo("reduction (" + std::to_string(excluded.size()) +
+          " excluded): " + red.stats.summary());
+  if (obs::metricsEnabled()) {
+    obs::metrics().counter("reduce.runs").add(1);
+    if (red.stats.nodesBefore > red.stats.nodesAfter) {
+      obs::metrics().counter("reduce.nodes_removed").add(red.stats.nodesBefore -
+                                                        red.stats.nodesAfter);
+    }
+    obs::metrics().counter("reduce.registers_merged").add(red.stats.registersMerged);
+    obs::metrics().counter("reduce.constants_folded").add(red.stats.constantsFolded);
+  }
+  if (span.enabled()) {
+    span.arg("nodes_before", red.stats.nodesBefore).arg("nodes_after", red.stats.nodesAfter);
+    span.arg("registers_merged", red.stats.registersMerged);
+  }
+  lastReductionStats_ = red.stats;
+  return reducedCache_.emplace(excluded, std::move(red)).first->second;
+}
+
+formal::IntervalProperty UpecEngine::translateProperty(const formal::IntervalProperty& p,
+                                                       const rtl::ReductionResult& red) const {
+  formal::IntervalProperty out;
+  out.name = p.name;
+  rtl::Design* rd = red.design.get();
+  auto mapSig = [&](rtl::Sig s) {
+    const rtl::Sig m = red.map.map(s, rd);
+    assert(m.valid() && "property signal swept by reduction (root set too small)");
+    return m;
+  };
+  out.assumptions.reserve(p.assumptions.size());
+  for (const formal::TimedSig& a : p.assumptions) {
+    out.assumptions.push_back({mapSig(a.sig), a.cycle, a.label});
+  }
+  out.invariantAssumptions.reserve(p.invariantAssumptions.size());
+  for (std::size_t i = 0; i < p.invariantAssumptions.size(); ++i) {
+    out.invariantAssumptions.push_back(mapSig(p.invariantAssumptions[i]));
+    out.invariantLabels.push_back(p.invariantLabels[i]);
+  }
+  // Commitments translate one-to-one (merged pairs' equalities become
+  // constant true, which is exactly what their inductive equality proves),
+  // keeping failedCommitments indices aligned with the original property.
+  out.commitments.reserve(p.commitments.size());
+  for (const formal::TimedSig& c : p.commitments) {
+    out.commitments.push_back({mapSig(c.sig), c.cycle, c.label});
+  }
+  return out;
+}
+
+formal::Trace UpecEngine::translateTrace(const formal::Trace& t,
+                                         const rtl::ReductionResult& red) const {
+  const rtl::Design& od = miter_.design();
+  const rtl::Design& rd = *red.design;
+  formal::Trace out;
+  out.cycles = t.cycles;
+  out.failedCommitments = t.failedCommitments;
+  out.initialRegs.reserve(od.regs().size());
+  for (std::uint32_t r = 0; r < od.regs().size(); ++r) {
+    const std::uint32_t m = red.regMap[r];
+    if (m != rtl::kNoReg) {
+      // Covers merged followers too: their map points at the master's
+      // reduced register, whose witness value they share by construction.
+      out.initialRegs.push_back(t.initialRegs[m]);
+      continue;
+    }
+    const rtl::NodeId mapped = red.map[od.regs()[r].q];
+    if (mapped != rtl::kNoNode && rd.node(mapped).op == rtl::Op::kConst) {
+      out.initialRegs.push_back(rd.constValue(mapped));
+    } else {
+      // Swept: outside the live cone, so its value cannot influence any
+      // committed signal — the reset value is as good a witness as any.
+      out.initialRegs.push_back(od.regs()[r].resetValue);
+    }
+  }
+  out.inputs.reserve(t.inputs.size());
+  for (const std::vector<BitVec>& cycle : t.inputs) {
+    std::vector<BitVec> row;
+    row.reserve(od.inputs().size());
+    for (rtl::NodeId in : od.inputs()) row.push_back(BitVec(od.width(in), 0));
+    for (std::uint32_t j = 0; j < red.inputMap.size() && j < cycle.size(); ++j) {
+      if (red.inputMap[j] != 0xffffffffu) row[red.inputMap[j]] = cycle[j];
+    }
+    out.inputs.push_back(std::move(row));
+  }
+  return out;
+}
 
 formal::IntervalProperty UpecEngine::buildProperty(
     unsigned k, const std::set<std::string>& excluded) const {
@@ -125,6 +280,19 @@ UpecResult UpecEngine::check(unsigned k, const std::set<std::string>& excluded) 
   obs::Span span("upec", "upec.check");
   if (span.enabled()) span.arg("k", k).arg("incremental", false);
   const formal::IntervalProperty property = buildProperty(k, excluded);
+  if (options_.reduction) {
+    const rtl::ReductionResult& red = reducedFor(excluded);
+    formal::BmcEngine engine(*red.design);
+    if (options_.conflictBudget != 0) engine.setConflictBudget(options_.conflictBudget);
+    engine.setSolverConfigs(options_.resolvedSolverConfigs());
+    engine.setPortfolioOptions(options_.resolvedPortfolioOptions());
+    if (options_.structuralInitEquality) applyReducedEquality(miter_, red, engine);
+    formal::CheckResult bmc = engine.check(translateProperty(property, red));
+    if (bmc.trace) bmc.trace = translateTrace(*bmc.trace, red);
+    const UpecResult result = classify(bmc, k, excluded);
+    if (span.enabled()) span.arg("verdict", verdictName(result.verdict));
+    return result;
+  }
   formal::BmcEngine engine(miter_.design());
   if (options_.conflictBudget != 0) engine.setConflictBudget(options_.conflictBudget);
   engine.setSolverConfigs(options_.resolvedSolverConfigs());
@@ -139,14 +307,35 @@ UpecResult UpecEngine::checkIncremental(unsigned k, const std::set<std::string>&
   obs::Span span("upec", "upec.check");
   if (span.enabled()) span.arg("k", k).arg("incremental", true);
   if (!incremental_) {
-    incremental_ = std::make_unique<formal::BmcEngine>(miter_.design());
+    if (options_.reduction) {
+      // The session pins the model built from this first call's exclusion
+      // set: its roots cover every later (monotonically shrinking)
+      // commitment subset, matching the session's own monotonicity rules.
+      incrementalReduced_ = &reducedFor(excluded);
+      incremental_ = std::make_unique<formal::BmcEngine>(*incrementalReduced_->design);
+    } else {
+      incremental_ = std::make_unique<formal::BmcEngine>(miter_.design());
+    }
     incremental_->setSolverConfigs(options_.resolvedSolverConfigs());
     incremental_->setPortfolioOptions(options_.resolvedPortfolioOptions());
-    if (options_.structuralInitEquality) applyStructuralEquality(miter_, *incremental_);
+    if (options_.structuralInitEquality) {
+      if (incrementalReduced_) {
+        applyReducedEquality(miter_, *incrementalReduced_, *incremental_);
+      } else {
+        applyStructuralEquality(miter_, *incremental_);
+      }
+    }
   }
   incremental_->setConflictBudget(options_.conflictBudget);
   const formal::IntervalProperty property = buildProperty(k, excluded);
-  const UpecResult result = classify(incremental_->checkIncremental(property), k, excluded);
+  formal::CheckResult bmc;
+  if (incrementalReduced_) {
+    bmc = incremental_->checkIncremental(translateProperty(property, *incrementalReduced_));
+    if (bmc.trace) bmc.trace = translateTrace(*bmc.trace, *incrementalReduced_);
+  } else {
+    bmc = incremental_->checkIncremental(property);
+  }
+  const UpecResult result = classify(bmc, k, excluded);
   if (span.enabled()) span.arg("verdict", verdictName(result.verdict));
   return result;
 }

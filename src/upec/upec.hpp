@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "formal/bmc.hpp"
+#include "rtl/reduce.hpp"
 #include "upec/miter.hpp"
 
 namespace upec {
@@ -65,6 +67,22 @@ struct UpecOptions {
   unsigned portfolio = 0;
   std::uint64_t portfolioSeed = 1;  // base seed for the diversified family
   std::vector<sat::SolverConfig> solverConfigs;
+
+  // Pre-encoding reduction (src/rtl/reduce.hpp): before the unroller and
+  // CNF builder see the miter, sweep it to the proof obligations' cone of
+  // influence, fold constants, and merge the two instances' mirrored
+  // registers (frame-0-equal pairs with congruent next-state functions).
+  // Off by default per the repo invariant — the default solver trajectory
+  // stays bit-identical; with reduction on, verdicts are preserved by
+  // construction and bench/campaign's `reduce` section self-checks that.
+  // The reduced model is built lazily per exclusion set; an incremental
+  // session pins the model built at its first call (sound because the
+  // exclusion set only grows, so later commitments are a subset of the
+  // roots the model was built from). InductiveProver does not reduce: its
+  // skipLogic/allowedDiff machinery changes the frame-0-equal pair set per
+  // call, which would invalidate the merge seeds.
+  bool reduction = false;
+  rtl::ReduceOptions reductionOptions;  // initialState is forced to kSymbolic
 
   // Cooperative portfolio solving: members publish short learnt clauses to
   // a sat::ClauseExchange and import each other's at restart boundaries.
@@ -142,14 +160,34 @@ class UpecEngine {
   Miter& miter() { return miter_; }
   const UpecOptions& options() const { return options_; }
 
+  // Stats of the most recently built reduced model (nullopt while
+  // reduction is off or before the first check builds one).
+  const std::optional<rtl::ReductionStats>& reductionStats() const {
+    return lastReductionStats_;
+  }
+
  private:
   UpecResult classify(const formal::CheckResult& bmc, unsigned k,
                       const std::set<std::string>& excluded);
+  // Builds (or returns the cached) reduced miter model whose roots cover
+  // every property signal reachable under this exclusion set.
+  const rtl::ReductionResult& reducedFor(const std::set<std::string>& excluded);
+  formal::IntervalProperty translateProperty(const formal::IntervalProperty& p,
+                                             const rtl::ReductionResult& red) const;
+  // Lifts a reduced-design trace back to original register/input indexing
+  // so TraceEval and counterexample reporting run on the original design.
+  formal::Trace translateTrace(const formal::Trace& t, const rtl::ReductionResult& red) const;
 
   Miter& miter_;
   UpecOptions options_;
   // Lazily created persistent BMC session for incremental deepening.
   std::unique_ptr<formal::BmcEngine> incremental_;
+  // Reduced pre-encoding models, keyed by the exclusion set they were
+  // rooted at (options_.reduction only). std::map for pointer stability:
+  // BmcEngines hold references into the stored designs.
+  std::map<std::set<std::string>, rtl::ReductionResult> reducedCache_;
+  const rtl::ReductionResult* incrementalReduced_ = nullptr;
+  std::optional<rtl::ReductionStats> lastReductionStats_;
 };
 
 // Registers the miter's structural initial-state equalities on a BMC

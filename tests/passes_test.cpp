@@ -75,6 +75,47 @@ TEST(DeadNodes, FindsUnreferencedLogic) {
   for (NodeId id : deads2) EXPECT_NE(id, dead.id());
 }
 
+TEST(DeadNodes, HashConsedSocBuilderLeavesOnlyTheUnselectedVariantArm) {
+  // The builder constructs nodes on demand and the IR hash-conses
+  // duplicates away, so with the instance's observation wires as roots the
+  // only unreachable logic in a freshly built SoC is the conjunction spine
+  // of the refill-start arm the config did not select (both arms of the
+  // `flags.refillOnKilled ? raw : gated` choice are built eagerly; the
+  // shared subterms stay alive through the selected one). A growing dead
+  // set means the builder started wiring up less than it builds — exactly
+  // the kind of rot the reduction sweep pass would silently hide.
+  Design d;
+  const auto inst =
+      soc::SocBuilder::build(d, soc::SocConfig::formalSmall(soc::SocVariant::kSecure), "");
+  const std::array roots{inst.rawReqValid, inst.rawReqIsLoad, inst.rawReqWordAddr,
+                         inst.gatedReqValid, inst.pmpFaultWire,  inst.stall,
+                         inst.flushWB,      inst.respData,      inst.cacheMonitorOk,
+                         inst.retireValid,  inst.retirePc,      inst.trapTaken};
+  const auto deads = deadNodes(d, roots);
+  EXPECT_LE(deads.size(), 3u) << deads.size() << " dead nodes in a freshly built SoC";
+  for (const NodeId id : deads) {
+    EXPECT_EQ(d.node(id).op, Op::kAnd) << "unexpected dead node " << id;
+    EXPECT_EQ(d.node(id).width, 1u);
+  }
+}
+
+TEST(DesignStats, DepthAndPrettyPrinter) {
+  Design d;
+  const Sig a = d.input(8, "a");
+  Sig acc = a;
+  for (int i = 0; i < 7; ++i) acc = acc + a;
+  const Sig r = d.reg(8, "r");
+  d.connect(r, acc);
+  const auto stats = d.stats();
+  EXPECT_EQ(stats.registers, 1u);
+  EXPECT_EQ(stats.stateBits, 8u);
+  EXPECT_EQ(stats.inputs, 1u);
+  EXPECT_EQ(stats.depth, 7u);
+  const std::string line = stats.pretty();
+  EXPECT_NE(line.find("1 registers (8 bits)"), std::string::npos) << line;
+  EXPECT_NE(line.find("depth 7"), std::string::npos) << line;
+}
+
 TEST(CombinationalDepth, CountsLongestPath) {
   Design d;
   const Sig a = d.input(8, "a");
