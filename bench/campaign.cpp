@@ -28,13 +28,17 @@
 //     off vs on (COI sweep, constant folding, symmetry-aware hashing):
 //     identical per-window verdicts (the self-check every speed feature
 //     ships with), while the reduced miter encodes fewer CNF variables.
+//  8. Checkpointing — a campaign with the crash-safe journal off vs on
+//     (identical verdicts, bounded overhead), then resumed from the
+//     finished journal: every window adopted, nothing re-solved.
 //
-// Usage: bench/campaign [reschedule|trace|reduce]
+// Usage: bench/campaign [reschedule|trace|reduce|checkpoint]
 //   no argument  — all sections;
 //   "reschedule" — section [5] only (self-contained; CI's smoke leg runs it
 //                  as the reschedule self-check without paying for 1-4);
 //   "trace"      — section [6] only (the telemetry differential self-check);
-//   "reduce"     — section [7] only (the reduction verdict-equality check).
+//   "reduce"     — section [7] only (the reduction verdict-equality check);
+//   "checkpoint" — section [8] only (the crash-safety self-check).
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -275,6 +279,103 @@ bool reduceSection() {
   return all;
 }
 
+// ---- 8: checkpointing off vs on, and a full-journal resume ---------------
+// Self-contained (also run standalone as CI's crash-safety self-check): a
+// two-job campaign decided three ways — no journal, journal on (the
+// verdicts must be identical and the journaling overhead bounded; it is a
+// handful of flushed appends per window), and resumed from the finished
+// journal, which must adopt every window without re-solving anything.
+bool checkpointSection() {
+  std::printf("[8] 2-job campaign, checkpoint journal off vs on vs resumed\n");
+  std::vector<JobSpec> jobs;
+  {
+    JobSpec ladder;
+    ladder.id = 0;
+    ladder.label = "secure/not_in_cache";
+    ladder.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+    ladder.secretWord = 12;
+    ladder.options.scenario = SecretScenario::kNotInCache;
+    ladder.mode = DeepeningMode::kIncremental;
+    ladder.kMin = 1;
+    ladder.kMax = 4;
+    jobs.push_back(ladder);
+    ladder.id = 1;
+    ladder.label = "secure/in_cache";
+    ladder.options.scenario = SecretScenario::kInCache;
+    ladder.kMax = 2;
+    jobs.push_back(ladder);
+  }
+  const std::string journal = "bench_checkpoint.ndjson";
+  std::remove(journal.c_str());
+
+  CampaignOptions off;
+  off.threads = 2;
+  Stopwatch offTimer;
+  const CampaignReport plain = runCampaign(jobs, off);
+  const double offSec = offTimer.elapsedSeconds();
+
+  CampaignOptions on = off;
+  on.checkpoint.path = journal;
+  Stopwatch onTimer;
+  const CampaignReport journaled = runCampaign(jobs, on);
+  const double onSec = onTimer.elapsedSeconds();
+
+  CampaignOptions resume = on;
+  resume.checkpoint.resume = true;
+  Stopwatch resumeTimer;
+  const CampaignReport resumed = runCampaign(jobs, resume);
+  const double resumeSec = resumeTimer.elapsedSeconds();
+
+  upec::bench::Table t({"journal", "wall clock", "conflicts", "replayed", "verdicts (P/L/proven)"});
+  auto row = [&t](const char* mode, double sec, const CampaignReport& r) {
+    t.addRow({mode, upec::bench::fmtSeconds(sec), std::to_string(r.totalConflicts),
+              std::to_string(r.replayedWindows) + " win/" + std::to_string(r.replayedJobs) + " job",
+              std::to_string(r.numPAlerts) + "/" + std::to_string(r.numLAlerts) + "/" +
+                  std::to_string(r.numProven)});
+  };
+  row("off", offSec, plain);
+  row("on (fresh)", onSec, journaled);
+  row("on (resumed)", resumeSec, resumed);
+  t.print();
+  std::printf("the journal costs a flushed append per decided window; the resumed run\n"
+              "adopts every cached verdict and solves nothing\n\n");
+
+  auto check = [](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
+    return ok;
+  };
+  auto sameVerdicts = [](const CampaignReport& a, const CampaignReport& b) {
+    if (a.jobs.size() != b.jobs.size()) return false;
+    for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+      if (a.jobs[j].verdict != b.jobs[j].verdict) return false;
+      if (!std::equal(a.jobs[j].windows.begin(), a.jobs[j].windows.end(),
+                      b.jobs[j].windows.begin(), b.jobs[j].windows.end(),
+                      [](const WindowResult& x, const WindowResult& y) {
+                        return x.window == y.window && x.verdict == y.verdict;
+                      })) {
+        return false;
+      }
+    }
+    return true;
+  };
+  bool all = true;
+  all &= check(sameVerdicts(plain, journaled),
+               "journaled campaign reproduces the unjournaled verdicts window for window");
+  all &= check(!journaled.checkpointWriteFailed && !journaled.resumed,
+               "fresh journal written cleanly");
+  // Journaling is a few buffered writes per window; anything beyond a 1.5x
+  // wall-clock factor (plus scheduling noise headroom) would mean it leaked
+  // into the solve path.
+  all &= check(onSec <= offSec * 1.5 + 1.0, "journaling overhead stays bounded");
+  all &= check(resumed.resumed && resumed.replayedJobs == jobs.size() &&
+                   sameVerdicts(plain, resumed),
+               "resume adopts every job from the journal with identical verdicts");
+  all &= check(resumed.totalConflicts == journaled.totalConflicts,
+               "resume re-solves nothing (conflict totals come from the journal)");
+  std::remove(journal.c_str());
+  return all;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -286,6 +387,9 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "reduce") == 0) {
     return reduceSection() ? 0 : 1;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "checkpoint") == 0) {
+    return checkpointSection() ? 0 : 1;
   }
   std::printf("Verification campaign bench — parallel scaling and incremental deepening\n\n");
   const unsigned hw = std::thread::hardware_concurrency();
@@ -417,6 +521,10 @@ int main(int argc, char** argv) {
 
   // ---- 7: RTL reduction --------------------------------------------------
   all &= reduceSection();
+  std::printf("\n");
+
+  // ---- 8: checkpoint journal ---------------------------------------------
+  all &= checkpointSection();
   std::printf("\n");
 
   // ---- acceptance --------------------------------------------------------

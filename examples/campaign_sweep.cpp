@@ -27,6 +27,18 @@
 //                             verdicts are unchanged (bench/campaign.cpp
 //                             section [7] asserts that) and the report JSON
 //                             gains per-job and campaign-wide pass stats
+//
+// Crash safety (off by default; see src/engine/README.md):
+//   --checkpoint <ck.ndjson>  journal every decided window / finished job
+//                             to an append-only NDJSON file as it closes
+//   --resume                  with --checkpoint: load the journal first and
+//                             adopt what a previous (killed) run already
+//                             decided, re-solving only from the first gap.
+//                             An unusable journal degrades to a fresh start
+//                             with the reason in the report diagnostics.
+//                             CI's smoke leg SIGKILLs a sweep mid-run and
+//                             diffs the resumed verdicts against an
+//                             uninterrupted run's.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -41,8 +53,9 @@ using namespace upec;
 using namespace upec::engine;
 
 int main(int argc, char** argv) {
-  std::string reportPath, tracePath, eventsPath, metricsPath;
+  std::string reportPath, tracePath, eventsPath, metricsPath, checkpointPath;
   bool reduce = false;
+  bool resume = false;
   for (int i = 1; i < argc; ++i) {
     auto flagValue = [&](const char* flag, std::string& out) {
       if (std::strcmp(argv[i], flag) != 0) return false;
@@ -54,20 +67,29 @@ int main(int argc, char** argv) {
       return true;
     };
     if (flagValue("--trace", tracePath) || flagValue("--events", eventsPath) ||
-        flagValue("--metrics", metricsPath)) {
+        flagValue("--metrics", metricsPath) || flagValue("--checkpoint", checkpointPath)) {
       continue;
     }
     if (std::strcmp(argv[i], "--reduce") == 0) {
       reduce = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+      continue;
+    }
     if (argv[i][0] == '-' || !reportPath.empty()) {
       std::fprintf(stderr,
                    "usage: campaign_sweep [report.json] [--trace trace.json] "
-                   "[--events events.ndjson] [--metrics metrics.json] [--reduce]\n");
+                   "[--events events.ndjson] [--metrics metrics.json] [--reduce] "
+                   "[--checkpoint ck.ndjson [--resume]]\n");
       return 2;
     }
     reportPath = argv[i];
+  }
+  if (resume && checkpointPath.empty()) {
+    std::fprintf(stderr, "--resume needs --checkpoint <file>\n");
+    return 2;
   }
 
   SweepMatrix matrix;
@@ -128,6 +150,10 @@ int main(int argc, char** argv) {
   options.reschedule.initialBudget = 2000;
   options.reschedule.budgetGrowth = 8.0;
   options.reschedule.maxReschedules = 10;
+  // Crash safety: journal every decided window as it closes; on --resume,
+  // adopt what the previous (killed) run decided and solve only the rest.
+  options.checkpoint.path = checkpointPath;
+  options.checkpoint.resume = resume;
   const CampaignReport report = runCampaign(jobs, options);
 
   obs::routeLogToObserver(nullptr);
@@ -169,9 +195,9 @@ int main(int argc, char** argv) {
       std::printf("           P-alert register: %s\n", reg.c_str());
     }
   }
-  std::printf("\noverall: %s — %zu proven, %zu P-alerts, %zu L-alerts, %zu unknown\n",
+  std::printf("\noverall: %s — %zu proven, %zu P-alerts, %zu L-alerts, %zu unknown, %zu errors\n",
               verdictName(report.overallVerdict), report.numProven, report.numPAlerts,
-              report.numLAlerts, report.numUnknown);
+              report.numLAlerts, report.numUnknown, report.numErrors);
   std::printf("wall clock %.1f s on %u threads (sum of job times %.1f s)\n",
               report.wallMs / 1e3, report.threads, report.sumJobWallMs / 1e3);
   std::printf("solver-thread cap %u (peak in use %u); clause exchange: %llu exported, "
@@ -185,6 +211,15 @@ int main(int argc, char** argv) {
               report.windowsRescheduled, report.windowsDecidedByRetry,
               report.rescheduleAttempts, report.reschedulesAbandoned,
               static_cast<unsigned long long>(report.rescheduleConflicts));
+  if (report.checkpointEnabled) {
+    std::printf("checkpoint: %s%s — %u windows and %u jobs replayed%s\n",
+                checkpointPath.c_str(), report.resumed ? " (resumed)" : "",
+                report.replayedWindows, report.replayedJobs,
+                report.checkpointWriteFailed ? "; JOURNAL WRITE FAILED mid-run" : "");
+    for (const std::string& diag : report.checkpointDiagnostics) {
+      std::printf("            %s\n", diag.c_str());
+    }
+  }
   if (report.reductionEnabled) {
     std::printf("reduction: %zu jobs shrunk before encoding — nodes %llu -> %llu, "
                 "registers %llu -> %llu (%llu merged, %llu folded to constants)\n",
@@ -212,7 +247,8 @@ int main(int argc, char** argv) {
     }
   }
   // The sweep must decide every window: an unknown here means the
-  // escalation ladder gave up, which the smoke leg treats as a failure.
-  if (report.numUnknown != 0) return 1;
+  // escalation ladder gave up, and an error means a job's execution failed
+  // (contained, but still a failure) — the smoke leg treats both as such.
+  if (report.numUnknown != 0 || report.numErrors != 0) return 1;
   return report.overallVerdict == Verdict::kLAlert ? 1 : 0;
 }

@@ -1,9 +1,12 @@
 #include "engine/campaign.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <stdexcept>
 
 #include "base/log.hpp"
 #include "base/stopwatch.hpp"
+#include "engine/checkpoint.hpp"
 #include "engine/governor.hpp"
 #include "engine/scheduler.hpp"
 #include "engine/thread_pool.hpp"
@@ -41,6 +44,19 @@ std::vector<JobSpec> enumerateJobs(const SweepMatrix& matrix) {
 
 namespace {
 
+// The kError job a contained failure leaves behind: label + diagnostic,
+// nothing else — the work never produced partial results worth keeping.
+JobResult errorResult(const JobSpec& spec, const char* what) {
+  JobResult res;
+  res.id = spec.id;
+  res.label = spec.label;
+  res.verdict = Verdict::kError;
+  res.error = what;
+  const unsigned worker = WorkStealingPool::currentWorker();
+  res.worker = worker == WorkStealingPool::kNotAWorker ? 0 : worker;
+  return res;
+}
+
 // Runs one segment of a rescheduled ladder and either finishes the job or
 // requeues the escalated retry. submitPriority puts the retry at the steal
 // end of the worker's deque: the next idle worker takes the expensive
@@ -50,16 +66,92 @@ namespace {
 // after the previous returns), so the scheduler is never entered from two
 // threads at once.
 void runLadderChain(WorkStealingPool& pool, std::shared_ptr<LadderScheduler> ladder,
-                    JobResult& slot, obs::CampaignObserver* observer) {
-  ladder->runSegment();
-  if (ladder->done()) {
-    slot = ladder->takeResult();
+                    const JobSpec& spec, JobResult& slot, obs::CampaignObserver* observer,
+                    CheckpointStore* checkpoint) {
+  // The scheduler contains check failures itself (kError window); this
+  // catch is the backstop for anything a later segment can still throw.
+  try {
+    ladder->runSegment();
+  } catch (const std::exception& ex) {
+    slot = errorResult(spec, ex.what());
     emitJobEvent(observer, slot);
     return;
   }
-  pool.submitPriority([&pool, ladder = std::move(ladder), &slot, observer]() mutable {
-    runLadderChain(pool, std::move(ladder), slot, observer);
-  });
+  if (ladder->done()) {
+    slot = ladder->takeResult();
+    if (checkpoint != nullptr) checkpoint->recordJob(slot);  // store skips kError
+    emitJobEvent(observer, slot);
+    return;
+  }
+  pool.submitPriority(
+      [&pool, ladder = std::move(ladder), &spec, &slot, observer, checkpoint]() mutable {
+        runLadderChain(pool, std::move(ladder), spec, slot, observer, checkpoint);
+      });
+}
+
+// The gapless run of a job's cached windows starting at kMin — the only
+// part of a journal that may replay. Resume re-solves from the first hole;
+// a ladder that cached an L-alert ends there, exactly as it did live.
+std::vector<ReplayedWindow> replayPrefix(const JobSpec& spec, const CheckpointLoad& loaded) {
+  std::vector<const CheckpointLoad::WindowRecord*> mine;
+  for (const CheckpointLoad::WindowRecord& wr : loaded.windows) {
+    if (wr.job == spec.id) mine.push_back(&wr);
+  }
+  std::sort(mine.begin(), mine.end(),
+            [](const CheckpointLoad::WindowRecord* a, const CheckpointLoad::WindowRecord* b) {
+              return a->window.window.window < b->window.window.window;
+            });
+  std::vector<ReplayedWindow> prefix;
+  unsigned k = spec.kMin;
+  for (const CheckpointLoad::WindowRecord* wr : mine) {
+    if (k > spec.kMax || wr->window.window.window != k) break;
+    prefix.push_back(wr->window);
+    if (wr->window.window.verdict == Verdict::kLAlert) break;
+    ++k;
+  }
+  return prefix;
+}
+
+// Reconstructs a finished ladder job from its journal records — same
+// aggregation closeWindow performs live, no miter, no solver.
+JobResult replayedJobResult(const JobSpec& spec, Verdict verdict, double wallMs,
+                            const std::vector<ReplayedWindow>& windows) {
+  JobResult res;
+  res.id = spec.id;
+  res.label = spec.label;
+  res.verdict = verdict;
+  res.wallMs = wallMs;
+  res.rescheduleEnabled = spec.reschedule.enabled;
+  for (const ReplayedWindow& rw : windows) {
+    const WindowResult& w = rw.window;
+    res.windows.push_back(w);
+    res.peakVars = std::max(res.peakVars, w.stats.vars);
+    res.peakClauses = std::max(res.peakClauses, w.stats.clauses);
+    res.totalConflicts += w.stats.conflicts;
+    res.totalPropagations += w.stats.propagations;
+    res.sumVars += w.stats.vars;
+    for (const std::string& n : rw.pAlertRegisters) {
+      if (std::find(res.pAlertRegisters.begin(), res.pAlertRegisters.end(), n) ==
+          res.pAlertRegisters.end()) {
+        res.pAlertRegisters.push_back(n);
+      }
+    }
+    if (w.verdict == Verdict::kUnknown) res.undecidedWindows.push_back(w.window);
+    if (w.verdict == Verdict::kLAlert) res.lAlertRegisters = rw.lAlertRegisters;
+    if (w.verdict != Verdict::kUnknown && !w.stats.solvedBy.empty()) {
+      bool counted = false;
+      for (auto& [name, wins] : res.solverWins) {
+        if (name == w.stats.solvedBy) {
+          ++wins;
+          counted = true;
+          break;
+        }
+      }
+      if (!counted) res.solverWins.emplace_back(w.stats.solvedBy, 1u);
+    }
+    ++res.replayedWindows;
+  }
+  return res;
 }
 
 }  // namespace
@@ -68,19 +160,88 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
   CampaignReport report;
   report.jobs.resize(jobs.size());
 
-  // Fold the campaign-level reschedule policy into ladder jobs that do not
-  // bring their own. Copied only when there is something to inject (the
-  // copies must then outlive the pool tasks below).
+  FaultInjector faults(options.faults);
+  const bool checkpointing = !options.checkpoint.path.empty();
+
+  // Fold the campaign-level knobs (reschedule policy, deadline, injected
+  // solver fault, checkpoint replay state) into per-job copies. Copied only
+  // when there is something to inject (the copies must then outlive the
+  // pool tasks below); the plain path hands the caller's specs through
+  // untouched, keeping the default trajectory bit-identical.
+  const bool inject = options.reschedule.enabled || options.attemptDeadlineMs != 0 ||
+                      options.faults.solverAbortAtConflict != 0 || checkpointing;
   std::vector<JobSpec> injected;
-  if (options.reschedule.enabled) {
+  if (inject) {
     injected = jobs;
     for (JobSpec& spec : injected) {
-      if (spec.kind == JobKind::kIntervalLadder && !spec.reschedule.enabled) {
+      if (options.reschedule.enabled && spec.kind == JobKind::kIntervalLadder &&
+          !spec.reschedule.enabled) {
         spec.reschedule = options.reschedule;
+      }
+      if (options.attemptDeadlineMs != 0 && spec.options.solveDeadlineMs == 0) {
+        spec.options.solveDeadlineMs = options.attemptDeadlineMs;
+      }
+      if (options.faults.solverAbortAtConflict != 0) {
+        spec.options.faultAbortAtConflict = options.faults.solverAbortAtConflict;
       }
     }
   }
-  const std::vector<JobSpec>& specs = options.reschedule.enabled ? injected : jobs;
+
+  // Checkpoint journal. Resume loads the existing journal first and folds
+  // what it recovered into the job copies: finished ladder jobs are
+  // reconstructed outright (never submitted), partially-done ones carry
+  // their decided prefix in replayWindows, sharing jobs seed their clause
+  // exchange from the persisted learnts. Any load failure degrades to a
+  // fresh journal — resume never fails a campaign that could run fresh.
+  std::unique_ptr<CheckpointStore> checkpoint;
+  std::vector<bool> replayedJob(jobs.size(), false);
+  std::vector<std::string> ckDiagnostics;
+  bool resumed = false;
+  if (checkpointing) {
+    checkpoint = std::make_unique<CheckpointStore>(options.checkpoint.path, &faults,
+                                                   options.checkpoint.syncEveryLine);
+    if (options.checkpoint.resume) {
+      CheckpointLoad loaded;
+      resumed = checkpoint->openResume(injected, loaded);
+      ckDiagnostics = std::move(loaded.diagnostics);
+      if (resumed) {
+        for (std::size_t i = 0; i < injected.size(); ++i) {
+          JobSpec& spec = injected[i];
+          // Methodology/hunt drivers keep no per-window journal — they
+          // re-solve on resume (documented in src/engine/README.md).
+          if (spec.kind != JobKind::kIntervalLadder) continue;
+          std::vector<ReplayedWindow> prefix = replayPrefix(spec, loaded);
+          const CheckpointLoad::JobRecord* jobRec = nullptr;
+          for (const CheckpointLoad::JobRecord& jr : loaded.jobs) {
+            if (jr.job == spec.id) {
+              jobRec = &jr;
+              break;
+            }
+          }
+          if (jobRec != nullptr) {
+            report.jobs[i] = replayedJobResult(spec, jobRec->verdict, jobRec->wallMs, prefix);
+            replayedJob[i] = true;
+            ++report.replayedJobs;
+            continue;
+          }
+          spec.replayWindows = std::move(prefix);
+          if (spec.sharing) {
+            for (const CheckpointLoad::LearntRecord& lr : loaded.learnts) {
+              if (lr.job == spec.id) {
+                spec.options.seedLearnts = lr.clauses;
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!checkpoint->isOpen() && !checkpoint->openFresh(injected)) {
+      ckDiagnostics.push_back("checkpoint: cannot create journal at " + options.checkpoint.path);
+      checkpoint.reset();
+    }
+  }
+  const std::vector<JobSpec>& specs = inject ? injected : jobs;
   // One ledger for the whole campaign: the conflictCeiling bounds retry
   // conflicts across all rescheduled jobs, not per job.
   ConflictLedger ledger(options.reschedule.conflictCeiling);
@@ -101,20 +262,71 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
       e.num("jobs", specs.size()).num("threads", pool.numThreads());
       observer->onEvent(e);
     }
+    if (observer != nullptr && checkpointing) {
+      if (checkpoint != nullptr) {
+        unsigned replayedWindowsTotal = 0;
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+          if (replayedJob[i]) replayedWindowsTotal += report.jobs[i].replayedWindows;
+          replayedWindowsTotal += static_cast<unsigned>(specs[i].replayWindows.size());
+        }
+        obs::StreamEvent e("checkpoint_open");
+        e.str("path", checkpoint->path())
+            .flag("resumed", resumed)
+            .num("replayed_windows", replayedWindowsTotal)
+            .num("replayed_jobs", report.replayedJobs);
+        observer->onEvent(e);
+      } else {
+        obs::StreamEvent e("checkpoint_error");
+        e.str("path", options.checkpoint.path)
+            .str("error", ckDiagnostics.empty() ? std::string("journal unusable")
+                                                : ckDiagnostics.back());
+        observer->onEvent(e);
+      }
+    }
+    // Re-stream the fully-replayed jobs' cached verdicts (flagged
+    // "replayed") so a consumer tailing the events still sees the complete
+    // campaign; partially-replayed jobs stream theirs from the scheduler.
     for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (!replayedJob[i]) continue;
+      const JobResult& res = report.jobs[i];
+      for (const WindowResult& w : res.windows) {
+        emitWindowEvent(observer, res.id, res.label, w, /*replayed=*/true);
+      }
+      emitJobEvent(observer, res);
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (replayedJob[i]) continue;  // adopted from the journal above
       // Each task writes only its own slot; no synchronisation needed
       // beyond the pool's completion barrier.
       const JobSpec& spec = specs[i];
       JobResult& slot = report.jobs[i];
+      CheckpointStore* ck = checkpoint.get();
+      // Containment: a task that dies — miter construction, an injected
+      // task fault — becomes a kError job with its diagnostic in the
+      // report; the campaign always completes.
       if (spec.kind == JobKind::kIntervalLadder && spec.reschedule.enabled) {
-        pool.submit([&pool, &spec, &slot, memberSlots, &ledger, observer] {
-          // Built inside the task so miter construction parallelises.
-          auto ladder = std::make_shared<LadderScheduler>(spec, memberSlots, &ledger, observer);
-          runLadderChain(pool, std::move(ladder), slot, observer);
+        pool.submit([&pool, &spec, &slot, memberSlots, &ledger, observer, ck, &faults] {
+          try {
+            if (faults.nextTaskThrows()) throw std::runtime_error("injected task fault");
+            // Built inside the task so miter construction parallelises.
+            auto ladder =
+                std::make_shared<LadderScheduler>(spec, memberSlots, &ledger, observer, ck);
+            runLadderChain(pool, std::move(ladder), spec, slot, observer, ck);
+          } catch (const std::exception& ex) {
+            slot = errorResult(spec, ex.what());
+            emitJobEvent(observer, slot);
+          }
         });
       } else {
-        pool.submit([&spec, &slot, memberSlots, observer] {
-          slot = runJob(spec, memberSlots, nullptr, observer);
+        pool.submit([&spec, &slot, memberSlots, observer, ck, &faults] {
+          try {
+            if (faults.nextTaskThrows()) throw std::runtime_error("injected task fault");
+            slot = runJob(spec, memberSlots, nullptr, observer, ck);
+            if (ck != nullptr) ck->recordJob(slot);  // store skips kError
+          } catch (const std::exception& ex) {
+            slot = errorResult(spec, ex.what());
+            emitJobEvent(observer, slot);
+          }
         });
       }
     }
@@ -124,6 +336,10 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
   report.solverThreadCap = options.solverThreadCap;
   report.peakSolverThreads = governor.peakInUse();
   report.rescheduleConflictCeiling = ledger.ceiling();
+  report.checkpointEnabled = checkpointing;
+  report.resumed = resumed;
+  report.checkpointWriteFailed = checkpoint != nullptr && checkpoint->writeFailed();
+  report.checkpointDiagnostics = std::move(ckDiagnostics);
   report.finalize();
   // Fold a snapshot of the metrics registry into the report so the JSON a
   // campaign writes carries its own measurements.
@@ -136,7 +352,8 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
         .num("proven", report.numProven)
         .num("p_alerts", report.numPAlerts)
         .num("l_alerts", report.numLAlerts)
-        .num("unknown", report.numUnknown);
+        .num("unknown", report.numUnknown)
+        .num("errors", report.numErrors);
     observer->onEvent(e);
   }
   return report;

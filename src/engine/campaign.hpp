@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/fault.hpp"
 #include "engine/job.hpp"
 #include "engine/report.hpp"
 
@@ -49,6 +50,37 @@ struct CampaignOptions {
   // shared ConflictLedger across all rescheduled jobs). Off by default —
   // the solver trajectory is then bit-identical to an unscheduled campaign.
   ReschedulePolicy reschedule;
+
+  // Crash-safe checkpointing (off while `path` is empty; see
+  // engine/checkpoint.hpp for the journal format and replay rules). With
+  // `resume` set, an existing journal written by the *same job list* is
+  // loaded first: decided windows and finished ladder jobs are adopted
+  // without re-solving (streamed with "replayed":true), sharing jobs seed
+  // their clause exchange from the persisted learnts, and solving picks up
+  // at the first undecided window. An unusable journal (missing, torn
+  // header, fingerprint mismatch) degrades to a fresh start with the
+  // reason in the report's checkpoint diagnostics — resume never fails a
+  // campaign that could run from scratch.
+  struct CheckpointOptions {
+    std::string path;
+    bool resume = false;
+    // fsync the journal after every record (power-loss durability; plain
+    // flushing already survives SIGKILL).
+    bool syncEveryLine = false;
+  };
+  CheckpointOptions checkpoint;
+
+  // Per-solve wall-clock deadline applied to every job that does not set
+  // its own UpecOptions::solveDeadlineMs (0 = none). Expiry closes the
+  // window as a *terminal* kUnknown — unlike budget exhaustion it is never
+  // rescheduled (the budget measures effort, the deadline caps latency).
+  std::uint64_t attemptDeadlineMs = 0;
+
+  // Deterministic fault injection for robustness tests (engine/fault.hpp;
+  // all off by default). Every fault class must be *contained*: the
+  // campaign completes with kError verdicts / report diagnostics, never a
+  // crash.
+  FaultPlan faults;
 };
 
 // The scenario × constraint-toggle × window-depth matrix.

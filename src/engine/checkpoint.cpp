@@ -1,0 +1,519 @@
+#include "engine/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "base/log.hpp"
+#include "obs/observer.hpp"
+
+namespace upec::engine {
+
+namespace {
+
+// --- serialisation -------------------------------------------------------
+// Same defensive escaping as the report writer: journal strings are
+// register/config names, but a hostile job label must not corrupt a line.
+
+void appendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void appendMs(std::string& out, double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  out += buf;
+}
+
+void appendStringArray(std::string& out, const char* key,
+                       const std::vector<std::string>& names) {
+  if (names.empty()) return;
+  out += ",\"";
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i) out += ',';
+    appendJsonString(out, names[i]);
+  }
+  out += ']';
+}
+
+// --- parsing -------------------------------------------------------------
+
+// Minimal reader for the journal's records: one flat object of string /
+// number / bool / homogeneous-array values, no nesting. Unknown keys are
+// kept (and ignored by callers), so the schema can grow without breaking
+// old readers. Deliberately not a general JSON parser — exactly the
+// grammar this file writes.
+class FlatRecord {
+ public:
+  explicit FlatRecord(const std::string& line) { ok_ = parse(line); }
+  bool ok() const { return ok_; }
+
+  std::string str(const std::string& key, std::string fallback = {}) const {
+    auto it = strings_.find(key);
+    return it == strings_.end() ? std::move(fallback) : it->second;
+  }
+  double num(const std::string& key, double fallback = 0.0) const {
+    auto it = numbers_.find(key);
+    return it == numbers_.end() ? fallback : it->second;
+  }
+  std::uint64_t uint(const std::string& key, std::uint64_t fallback = 0) const {
+    auto it = numbers_.find(key);
+    if (it == numbers_.end() || it->second < 0.0) return fallback;
+    return static_cast<std::uint64_t>(it->second);
+  }
+  bool flag(const std::string& key) const {
+    auto it = bools_.find(key);
+    return it != bools_.end() && it->second;
+  }
+  std::vector<long long> intArray(const std::string& key) const {
+    auto it = intArrays_.find(key);
+    return it == intArrays_.end() ? std::vector<long long>{} : it->second;
+  }
+  std::vector<std::string> strArray(const std::string& key) const {
+    auto it = strArrays_.find(key);
+    return it == strArrays_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+ private:
+  void skipWs() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\r' || *p_ == '\n')) ++p_;
+  }
+
+  bool parseString(std::string& out) {
+    if (p_ >= end_ || *p_ != '"') return false;
+    ++p_;
+    out.clear();
+    while (p_ < end_ && *p_ != '"') {
+      const char c = *p_++;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (p_ >= end_) return false;
+      const char e = *p_++;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (end_ - p_ < 4) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // The writer only \u-escapes control characters; anything beyond
+          // ASCII in an escape is not ours.
+          if (code >= 0x80) return false;
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return false;
+      }
+    }
+    if (p_ >= end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool parseNumber(double& out) {
+    const char* start = p_;
+    if (p_ < end_ && *p_ == '-') ++p_;
+    while (p_ < end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' || *p_ == 'e' ||
+                         *p_ == 'E' || *p_ == '-' || *p_ == '+')) {
+      ++p_;
+    }
+    if (p_ == start) return false;
+    out = std::strtod(std::string(start, p_).c_str(), nullptr);
+    return true;
+  }
+
+  bool parse(const std::string& line) {
+    p_ = line.data();
+    end_ = line.data() + line.size();
+    skipWs();
+    if (p_ >= end_ || *p_ != '{') return false;
+    ++p_;
+    skipWs();
+    if (p_ < end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string key;
+      if (!parseString(key)) return false;
+      skipWs();
+      if (p_ >= end_ || *p_ != ':') return false;
+      ++p_;
+      skipWs();
+      if (p_ >= end_) return false;
+      if (*p_ == '"') {
+        std::string v;
+        if (!parseString(v)) return false;
+        strings_[key] = std::move(v);
+      } else if (*p_ == 't' || *p_ == 'f') {
+        if (end_ - p_ >= 4 && std::equal(p_, p_ + 4, "true")) {
+          bools_[key] = true;
+          p_ += 4;
+        } else if (end_ - p_ >= 5 && std::equal(p_, p_ + 5, "false")) {
+          bools_[key] = false;
+          p_ += 5;
+        } else {
+          return false;
+        }
+      } else if (*p_ == '[') {
+        ++p_;
+        skipWs();
+        std::vector<long long> ints;
+        std::vector<std::string> strs;
+        const bool ofStrings = p_ < end_ && *p_ == '"';
+        if (p_ < end_ && *p_ == ']') {
+          ++p_;
+        } else {
+          while (true) {
+            skipWs();
+            if (ofStrings) {
+              std::string v;
+              if (!parseString(v)) return false;
+              strs.push_back(std::move(v));
+            } else {
+              double v = 0.0;
+              if (!parseNumber(v)) return false;
+              ints.push_back(static_cast<long long>(v));
+            }
+            skipWs();
+            if (p_ >= end_) return false;
+            if (*p_ == ',') {
+              ++p_;
+              continue;
+            }
+            if (*p_ == ']') {
+              ++p_;
+              break;
+            }
+            return false;
+          }
+        }
+        if (ofStrings) {
+          strArrays_[key] = std::move(strs);
+        } else {
+          intArrays_[key] = std::move(ints);
+        }
+      } else {
+        double v = 0.0;
+        if (!parseNumber(v)) return false;
+        numbers_[key] = v;
+      }
+      skipWs();
+      if (p_ >= end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        break;
+      }
+      return false;
+    }
+    return true;
+  }
+
+  const char* p_ = nullptr;
+  const char* end_ = nullptr;
+  bool ok_ = false;
+  std::map<std::string, std::string> strings_;
+  std::map<std::string, double> numbers_;
+  std::map<std::string, bool> bools_;
+  std::map<std::string, std::vector<long long>> intArrays_;
+  std::map<std::string, std::vector<std::string>> strArrays_;
+};
+
+bool parseVerdict(const std::string& name, Verdict& out) {
+  if (name == "proven") out = Verdict::kProven;
+  else if (name == "P-alert") out = Verdict::kPAlert;
+  else if (name == "L-alert") out = Verdict::kLAlert;
+  else if (name == "unknown") out = Verdict::kUnknown;
+  else if (name == "error") out = Verdict::kError;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string path, FaultInjector* faults, bool syncEveryLine)
+    : path_(std::move(path)), faults_(faults), sync_(syncEveryLine) {}
+
+CheckpointStore::~CheckpointStore() = default;
+
+std::string CheckpointStore::fingerprint(std::span<const JobSpec> jobs) {
+  // FNV-1a over the job list's identity. Only fields that change what a
+  // cached (job, k) verdict *means* participate: option tweaks that keep
+  // the same ladder produce the same answer, so they may differ between
+  // the writing and the resuming run (e.g. a different budget).
+  std::uint64_t h = 1469598103934665603ull;
+  auto mixByte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  auto mixNum = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mixByte(static_cast<unsigned char>(v >> (8 * i)));
+  };
+  auto mixStr = [&](const std::string& s) {
+    for (const char c : s) mixByte(static_cast<unsigned char>(c));
+    mixByte(0x1f);  // separator: {"ab","c"} != {"a","bc"}
+  };
+  mixNum(jobs.size());
+  for (const JobSpec& j : jobs) {
+    mixNum(j.id);
+    mixStr(j.label);
+    mixNum(j.kMin);
+    mixNum(j.kMax);
+    mixNum(static_cast<std::uint64_t>(j.kind));
+    mixNum(static_cast<std::uint64_t>(j.mode));
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+bool CheckpointStore::openFresh(std::span<const JobSpec> jobs) {
+  std::string header = "{\"type\":\"header\",\"version\":" + std::to_string(kCheckpointVersion) +
+                       ",\"fingerprint\":";
+  appendJsonString(header, fingerprint(jobs));
+  header += ",\"jobs\":" + std::to_string(jobs.size()) + "}\n";
+  // Atomic creation: a crash here leaves either no journal or a complete
+  // header — never a file that half-parses on the next resume.
+  if (!obs::writeFileAtomic(path_, header)) return false;
+  writer_ = std::make_unique<obs::NdjsonWriter>(path_, obs::NdjsonWriter::Mode::kAppend, sync_);
+  if (!writer_->ok()) {
+    writer_.reset();
+    return false;
+  }
+  return true;
+}
+
+bool CheckpointStore::openResume(std::span<const JobSpec> jobs, CheckpointLoad& out) {
+  std::vector<std::string> lines;
+  bool torn = false;
+  if (!obs::readNdjsonLines(path_, lines, &torn)) {
+    out.diagnostics.push_back("checkpoint: cannot open " + path_);
+    return false;
+  }
+  if (torn) {
+    out.diagnostics.push_back(
+        "checkpoint: final line had no terminator (write cut short); skipped");
+  }
+  if (faults_ != nullptr && faults_->corruptLoad() && !lines.empty()) {
+    lines.pop_back();
+    out.diagnostics.push_back("checkpoint: fault injection dropped the journal tail");
+  }
+  if (lines.empty()) {
+    out.diagnostics.push_back("checkpoint: journal is empty");
+    return false;
+  }
+
+  const FlatRecord header(lines.front());
+  if (!header.ok() || header.str("type") != "header") {
+    out.diagnostics.push_back("checkpoint: missing or malformed header");
+    return false;
+  }
+  if (header.uint("version") != static_cast<std::uint64_t>(kCheckpointVersion)) {
+    out.diagnostics.push_back("checkpoint: journal version " +
+                              std::to_string(header.uint("version")) + " != supported " +
+                              std::to_string(kCheckpointVersion));
+    return false;
+  }
+  if (header.str("fingerprint") != fingerprint(jobs)) {
+    out.diagnostics.push_back(
+        "checkpoint: job-list fingerprint mismatch — journal written by a different campaign");
+    return false;
+  }
+
+  std::set<std::pair<std::uint32_t, unsigned>> seenWindows;
+  std::set<std::uint32_t> seenJobs;
+  std::map<std::uint32_t, std::size_t> learntIndex;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const FlatRecord rec(lines[i]);
+    bool good = rec.ok();
+    const std::string type = good ? rec.str("type") : std::string();
+    if (good && type == "window") {
+      Verdict v = Verdict::kUnknown;
+      good = parseVerdict(rec.str("verdict"), v);
+      if (good) {
+        CheckpointLoad::WindowRecord wr;
+        wr.job = static_cast<std::uint32_t>(rec.uint("job"));
+        WindowResult& w = wr.window.window;
+        w.window = static_cast<unsigned>(rec.uint("k"));
+        w.verdict = v;
+        w.stats.vars = rec.uint("vars");
+        w.stats.clauses = rec.uint("clauses");
+        w.stats.conflicts = rec.uint("conflicts");
+        w.stats.propagations = rec.uint("propagations");
+        w.stats.decisions = rec.uint("decisions");
+        w.stats.encodeMs = rec.num("encode_ms");
+        w.stats.solveMs = rec.num("solve_ms");
+        w.stats.solvedBy = rec.str("solved_by");
+        w.wallMs = rec.num("wall_ms");
+        w.budgetExhausted = rec.flag("budget_exhausted");
+        w.deadlineExpired = rec.flag("deadline_expired");
+        wr.window.pAlertRegisters = rec.strArray("p_regs");
+        wr.window.lAlertRegisters = rec.strArray("l_regs");
+        if (seenWindows.insert({wr.job, w.window}).second) {
+          out.windows.push_back(std::move(wr));
+        }
+      }
+    } else if (good && type == "learnts") {
+      CheckpointLoad::LearntRecord lr;
+      lr.job = static_cast<std::uint32_t>(rec.uint("job"));
+      std::vector<int> clause;
+      for (const long long code : rec.intArray("lits")) {
+        if (code == 0) {
+          if (!clause.empty()) lr.clauses.push_back(std::move(clause));
+          clause.clear();
+        } else {
+          clause.push_back(static_cast<int>(code));
+        }
+      }
+      const auto it = learntIndex.find(lr.job);
+      if (it == learntIndex.end()) {
+        learntIndex.emplace(lr.job, out.learnts.size());
+        out.learnts.push_back(std::move(lr));
+      } else {
+        out.learnts[it->second] = std::move(lr);  // newest snapshot wins
+      }
+    } else if (good && type == "job") {
+      CheckpointLoad::JobRecord jr;
+      jr.job = static_cast<std::uint32_t>(rec.uint("job"));
+      good = parseVerdict(rec.str("verdict"), jr.verdict);
+      jr.wallMs = rec.num("wall_ms");
+      if (good && seenJobs.insert(jr.job).second) out.jobs.push_back(jr);
+    }
+    // Unknown-but-well-formed types are skipped (forward compatibility).
+    if (!good) {
+      // A line that fails to parse means everything after it is suspect
+      // (the journal is append-only, so damage cannot be local): keep the
+      // records before it, resume re-solves the rest.
+      out.diagnostics.push_back("checkpoint: malformed journal line " + std::to_string(i + 1) +
+                                "; replaying only the records before it");
+      break;
+    }
+  }
+
+  writer_ = std::make_unique<obs::NdjsonWriter>(path_, obs::NdjsonWriter::Mode::kAppend, sync_);
+  if (!writer_->ok()) {
+    writer_.reset();
+    out.diagnostics.push_back("checkpoint: cannot reopen " + path_ + " for appending");
+    return false;
+  }
+  return true;
+}
+
+bool CheckpointStore::writeLine(const std::string& line) {
+  if (writer_ == nullptr || writeFailed_.load(std::memory_order_relaxed)) return false;
+  const bool injected = faults_ != nullptr && faults_->nextWriteFails();
+  if (injected || !writer_->writeLine(line)) {
+    // Sticky: a single lost line would leave a *gap* in an append-only
+    // journal — a later resume would silently re-adopt around it. Stop
+    // journaling instead; the campaign runs on, the report carries the
+    // warning, and crash-safety degrades to the last good line.
+    if (!writeFailed_.exchange(true, std::memory_order_relaxed)) {
+      logInfo("checkpoint: journal write failed; checkpointing disabled for this run");
+    }
+    return false;
+  }
+  return true;
+}
+
+void CheckpointStore::recordWindow(std::uint32_t job, const WindowResult& w,
+                                   const std::vector<std::string>& pRegs,
+                                   const std::vector<std::string>& lRegs) {
+  if (w.verdict == Verdict::kError) return;
+  std::string line = "{\"type\":\"window\",\"job\":" + std::to_string(job) +
+                     ",\"k\":" + std::to_string(w.window) + ",\"verdict\":";
+  appendJsonString(line, verdictName(w.verdict));
+  line += ",\"vars\":" + std::to_string(w.stats.vars) +
+          ",\"clauses\":" + std::to_string(w.stats.clauses) +
+          ",\"conflicts\":" + std::to_string(w.stats.conflicts) +
+          ",\"propagations\":" + std::to_string(w.stats.propagations) +
+          ",\"decisions\":" + std::to_string(w.stats.decisions) + ",\"encode_ms\":";
+  appendMs(line, w.stats.encodeMs);
+  line += ",\"solve_ms\":";
+  appendMs(line, w.stats.solveMs);
+  line += ",\"wall_ms\":";
+  appendMs(line, w.wallMs);
+  if (!w.stats.solvedBy.empty()) {
+    line += ",\"solved_by\":";
+    appendJsonString(line, w.stats.solvedBy);
+  }
+  if (w.budgetExhausted) line += ",\"budget_exhausted\":true";
+  if (w.deadlineExpired) line += ",\"deadline_expired\":true";
+  appendStringArray(line, "p_regs", pRegs);
+  appendStringArray(line, "l_regs", lRegs);
+  line += '}';
+  writeLine(line);
+}
+
+void CheckpointStore::recordLearnts(std::uint32_t job,
+                                    const std::vector<std::vector<int>>& clauses) {
+  if (clauses.empty()) return;
+  std::string line = "{\"type\":\"learnts\",\"job\":" + std::to_string(job) + ",\"lits\":[";
+  bool first = true;
+  for (const std::vector<int>& clause : clauses) {
+    for (const int code : clause) {
+      if (!first) line += ',';
+      first = false;
+      line += std::to_string(code);
+    }
+    if (!first) line += ',';
+    first = false;
+    line += '0';
+  }
+  line += "]}";
+  writeLine(line);
+}
+
+void CheckpointStore::recordJob(const JobResult& res) {
+  if (res.verdict == Verdict::kError) return;
+  std::string line = "{\"type\":\"job\",\"job\":" + std::to_string(res.id) + ",\"verdict\":";
+  appendJsonString(line, verdictName(res.verdict));
+  line += ",\"wall_ms\":";
+  appendMs(line, res.wallMs);
+  line += '}';
+  writeLine(line);
+}
+
+}  // namespace upec::engine

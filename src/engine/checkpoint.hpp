@@ -1,0 +1,140 @@
+// Crash-safe campaign checkpointing: an append-only NDJSON journal of
+// everything a campaign has decided, so a killed sweep resumes instead of
+// restarting.
+//
+// Design: the journal records only *closed* facts — a window whose verdict
+// is final, a job that finished, the latest learnt-clause snapshot — one
+// JSON line each, appended and flushed as they happen. Append-only means a
+// crash can only lose the line being written, never corrupt earlier ones;
+// obs::readNdjsonLines drops an unterminated tail, so a torn final write
+// is skipped, not mis-parsed. Resume therefore re-solves at most the one
+// window that was in flight. The header is written via writeFileAtomic so
+// a crash during *creation* leaves either no journal or a valid one.
+//
+// Journal schema (one object per line; fields beyond these are ignored on
+// load, so the format can grow):
+//
+//   {"type":"header","version":1,"fingerprint":s,"jobs":N}
+//   {"type":"window","job":id,"k":N,"verdict":s,"vars":N,"clauses":N,
+//    "conflicts":N,"propagations":N,"decisions":N,"encode_ms":x,
+//    "solve_ms":x,"wall_ms":x,["solved_by":s,]["budget_exhausted":true,]
+//    ["deadline_expired":true,]["p_regs":[s...],]["l_regs":[s...]]}
+//   {"type":"learnts","job":id,"lits":[i...]}   (flat sat::Lit codes,
+//                                                0-terminated per clause;
+//                                                last line per job wins)
+//   {"type":"job","job":id,"verdict":s,"wall_ms":x}
+//
+// The fingerprint hashes the job list's identity (count, ids, labels,
+// ladder bounds, kind, mode): a journal only replays against the job list
+// that wrote it. kError windows/jobs are never journaled — a fault is a
+// property of the run, not of the problem, so resume retries them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/fault.hpp"
+#include "engine/job.hpp"
+
+namespace upec::obs {
+class NdjsonWriter;
+}
+
+namespace upec::engine {
+
+inline constexpr int kCheckpointVersion = 1;
+
+// Everything a journal load recovered. Windows are deduplicated per
+// (job, k) and jobs per id — first record wins, matching "only closed
+// facts are journaled" (a duplicate can only come from a hand-edited
+// file). Learnt snapshots keep the *last* line per job: each snapshot
+// supersedes the previous one.
+struct CheckpointLoad {
+  struct JobRecord {
+    std::uint32_t job = 0;
+    Verdict verdict = Verdict::kUnknown;
+    double wallMs = 0.0;
+  };
+  struct WindowRecord {
+    std::uint32_t job = 0;
+    ReplayedWindow window;
+  };
+  struct LearntRecord {
+    std::uint32_t job = 0;
+    std::vector<std::vector<int>> clauses;  // sat::Lit codes, split per clause
+  };
+  std::vector<WindowRecord> windows;
+  std::vector<JobRecord> jobs;
+  std::vector<LearntRecord> learnts;
+  // Non-fatal oddities met while reading (torn tail skipped, malformed
+  // line stopped the scan, injected corruption). Forwarded into the
+  // campaign report so a resume documents what it recovered from.
+  std::vector<std::string> diagnostics;
+};
+
+// The journal handle. Thread-safe once open: record* calls come from pool
+// workers and serialise through the writer's mutex. A write failure
+// (injected or real — disk full) is *sticky*: journaling stops, the
+// campaign itself continues, and writeFailed() reports it so the run's
+// report carries the warning. Crash-safety degrades to "restart from the
+// last good line"; correctness of the live campaign is unaffected.
+class CheckpointStore {
+ public:
+  // `faults` (optional, not owned) routes writes through the injector;
+  // `syncEveryLine` adds an fsync per journal line (power-loss paranoia —
+  // plain flush already survives SIGKILL).
+  explicit CheckpointStore(std::string path, FaultInjector* faults = nullptr,
+                          bool syncEveryLine = false);
+  ~CheckpointStore();
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  // Identity hash (FNV-1a over count + per-job id/label/kMin/kMax/
+  // kind/mode) binding a journal to its job list.
+  static std::string fingerprint(std::span<const JobSpec> jobs);
+
+  // Starts a fresh journal: header written atomically, then the file is
+  // held open for appends. Returns false (store unusable) when the path
+  // cannot be written.
+  bool openFresh(std::span<const JobSpec> jobs);
+
+  // Loads an existing journal and reopens it for appending (no second
+  // header). On success `out` carries the replayable records plus any
+  // diagnostics. Fails — returning false with the reason in
+  // out.diagnostics, store not opened — when the file is missing, the
+  // header is absent/incompatible, or the fingerprint does not match
+  // `jobs`; the caller falls back to openFresh. A malformed line mid-file
+  // is non-fatal: the scan stops there and everything before it replays.
+  bool openResume(std::span<const JobSpec> jobs, CheckpointLoad& out);
+
+  bool isOpen() const { return writer_ != nullptr; }
+  const std::string& path() const { return path_; }
+  bool writeFailed() const { return writeFailed_.load(std::memory_order_relaxed); }
+
+  // Journal one closed ladder window with its per-window register names.
+  // No-op for kError verdicts (see header comment) or after a write
+  // failure.
+  void recordWindow(std::uint32_t job, const WindowResult& w,
+                    const std::vector<std::string>& pRegs,
+                    const std::vector<std::string>& lRegs);
+  // Journal the job's current learnt-clause snapshot (flat sat::Lit
+  // codes); supersedes the job's previous snapshot on load.
+  void recordLearnts(std::uint32_t job, const std::vector<std::vector<int>>& clauses);
+  // Journal a finished job (no-op for kError).
+  void recordJob(const JobResult& res);
+
+ private:
+  bool writeLine(const std::string& line);
+
+  std::string path_;
+  FaultInjector* faults_;
+  bool sync_;
+  std::unique_ptr<obs::NdjsonWriter> writer_;
+  std::atomic<bool> writeFailed_{false};
+};
+
+}  // namespace upec::engine

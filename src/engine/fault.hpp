@@ -1,0 +1,70 @@
+// Deterministic fault injection for the campaign robustness tests.
+//
+// A crash-safety claim is only as good as the crashes it was tested
+// against. The FaultPlan names the failure classes the engine promises to
+// contain — a solver that throws mid-search, a pool task that dies on
+// entry, a checkpoint journal whose write fails, a journal corrupted on
+// disk — and the FaultInjector turns the plan into concrete "this one
+// faults" decisions with atomic counters, so a test can place a fault at
+// an exact, reproducible point. Everything defaults to off; a
+// default-constructed plan never perturbs a campaign.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace upec::engine {
+
+// Which fault to inject, and where. Carried on CampaignOptions::faults.
+struct FaultPlan {
+  // The SAT solver throws std::runtime_error once a solve call reaches
+  // this many conflicts (0 = off). Exercises containment of a failure in
+  // the deepest layer: the throw crosses portfolio race threads, the
+  // ladder scheduler and the pool on its way up.
+  std::uint64_t solverAbortAtConflict = 0;
+  // The Nth campaign pool task (1-based, in execution order) throws on
+  // entry (0 = off). Deterministic with threads=1; with more workers the
+  // Nth *started* task faults. Exercises job-level containment (kError
+  // result, campaign completes).
+  std::uint64_t taskThrowAt = 0;
+  // The Nth checkpoint journal line (1-based) fails to write (0 = off).
+  // The store's failure handling is sticky: journaling stops, the
+  // campaign itself continues — see CheckpointStore::writeFailed.
+  std::uint64_t checkpointWriteFailAt = 0;
+  // Drop the final line of the checkpoint journal while loading it,
+  // simulating a write torn by a crash (0 = off). Resume must re-solve
+  // the lost window, never mis-replay it.
+  bool corruptCheckpointLoad = false;
+
+  bool any() const {
+    return solverAbortAtConflict != 0 || taskThrowAt != 0 || checkpointWriteFailAt != 0 ||
+           corruptCheckpointLoad;
+  }
+};
+
+// Counts fault-site visits and answers "does this one fault?". Thread-safe
+// (sites are visited from pool workers); one injector per campaign run.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+  const FaultPlan& plan() const { return plan_; }
+
+  // True exactly once, for the plan's designated task.
+  bool nextTaskThrows() {
+    if (plan_.taskThrowAt == 0) return false;
+    return tasks_.fetch_add(1, std::memory_order_relaxed) + 1 == plan_.taskThrowAt;
+  }
+  // True exactly once, for the plan's designated journal line.
+  bool nextWriteFails() {
+    if (plan_.checkpointWriteFailAt == 0) return false;
+    return writes_.fetch_add(1, std::memory_order_relaxed) + 1 == plan_.checkpointWriteFailAt;
+  }
+  bool corruptLoad() const { return plan_.corruptCheckpointLoad; }
+
+ private:
+  FaultPlan plan_;
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> writes_{0};
+};
+
+}  // namespace upec::engine

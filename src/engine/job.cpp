@@ -1,5 +1,7 @@
 #include "engine/job.hpp"
 
+#include <exception>
+
 #include "base/stopwatch.hpp"
 #include "engine/scheduler.hpp"
 #include "engine/thread_pool.hpp"
@@ -32,7 +34,8 @@ Verdict mergeVerdicts(Verdict a, Verdict b) {
       case Verdict::kProven: return 0;
       case Verdict::kPAlert: return 1;
       case Verdict::kUnknown: return 2;  // may hide an L-alert
-      case Verdict::kLAlert: return 3;
+      case Verdict::kError: return 3;    // did not even reach its budget
+      case Verdict::kLAlert: return 4;   // a found leak is still definitive
     }
     return 0;
   };
@@ -81,11 +84,30 @@ void emitJobEvent(obs::CampaignObserver* observer, const JobResult& res) {
       .real("wall_ms", res.wallMs)
       .num("worker", res.worker)
       .num("windows", res.windows.size());
+  if (!res.error.empty()) e.str("error", res.error);
+  if (res.replayedWindows != 0) e.num("replayed_windows", res.replayedWindows);
+  observer->onEvent(e);
+}
+
+void emitWindowEvent(obs::CampaignObserver* observer, std::uint32_t jobId,
+                     const std::string& label, const WindowResult& w, bool replayed) {
+  if (observer == nullptr) return;
+  obs::StreamEvent e("window");
+  e.num("job", jobId)
+      .str("label", label)
+      .num("k", w.window)
+      .str("verdict", verdictName(w.verdict))
+      .num("conflicts", w.stats.conflicts)
+      .real("solve_ms", w.stats.solveMs);
+  if (!w.attempts.empty()) e.num("attempts", w.attempts.size());
+  if (w.budgetExhausted) e.flag("budget_exhausted", true);
+  if (w.deadlineExpired) e.flag("deadline_expired", true);
+  if (replayed) e.flag("replayed", true);
   observer->onEvent(e);
 }
 
 JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor, ConflictLedger* ledger,
-                 obs::CampaignObserver* observer) {
+                 obs::CampaignObserver* observer, CheckpointStore* checkpoint) {
   obs::Span span("engine", "job");
   if (span.enabled()) span.arg("label", spec.label).arg("kind", jobKindName(spec.kind));
 
@@ -93,10 +115,20 @@ JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor, ConflictLed
   if (spec.kind == JobKind::kIntervalLadder) {
     // The scheduler replays the classic walk when no ReschedulePolicy is
     // enabled; with one, retries run inline on this thread (a campaign
-    // requeues them onto the pool instead — see runCampaign).
-    LadderScheduler ladder(spec, governor, ledger, observer);
-    while (!ladder.done()) ladder.runSegment();
-    res = ladder.takeResult();
+    // requeues them onto the pool instead — see runCampaign). A failing
+    // check is contained inside attemptWindow; this catch covers what can
+    // still throw outside it — miter/engine construction.
+    try {
+      LadderScheduler ladder(spec, governor, ledger, observer, checkpoint);
+      while (!ladder.done()) ladder.runSegment();
+      res = ladder.takeResult();
+    } catch (const std::exception& ex) {
+      res = JobResult{};
+      res.id = spec.id;
+      res.label = spec.label;
+      res.verdict = Verdict::kError;
+      res.error = ex.what();
+    }
   } else {
     res.id = spec.id;
     res.label = spec.label;
@@ -104,8 +136,16 @@ JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor, ConflictLed
     res.worker = worker == WorkStealingPool::kNotAWorker ? 0 : worker;
 
     Stopwatch jobTimer;
-    Miter miter(spec.config, spec.secretWord);
-    runDriver(spec, resolveJobOptions(spec, governor), miter, res);
+    // Containment: a methodology/hunt driver that throws (solver fault,
+    // injected or real) yields a kError job with a diagnostic instead of
+    // unwinding into the pool.
+    try {
+      Miter miter(spec.config, spec.secretWord);
+      runDriver(spec, resolveJobOptions(spec, governor), miter, res);
+    } catch (const std::exception& ex) {
+      res.verdict = Verdict::kError;
+      res.error = ex.what();
+    }
     res.wallMs = jobTimer.elapsedMs();
   }
   if (span.enabled()) span.arg("verdict", verdictName(res.verdict));

@@ -65,6 +65,42 @@ struct ReschedulePolicy {
   std::uint64_t conflictCeiling = 0;
 };
 
+// One solve attempt at one window of a rescheduled ladder.
+struct WindowAttempt {
+  std::uint64_t conflictBudget = 0;  // budget of this attempt (0 = unlimited)
+  Verdict verdict = Verdict::kUnknown;
+  std::uint64_t conflicts = 0;
+  double solveMs = 0.0;
+};
+
+// One rung of a ladder job.
+struct WindowResult {
+  unsigned window = 0;
+  Verdict verdict = Verdict::kUnknown;
+  formal::BmcStats stats;  // per-solve effort of the FINAL attempt
+  double wallMs = 0.0;     // summed over all attempts at this window
+  // Escalation trail, first attempt included, in budget order. Only
+  // populated for reschedule-enabled jobs (empty otherwise, keeping the
+  // default report unchanged).
+  std::vector<WindowAttempt> attempts;
+  // Final attempt returned kUnknown on budget exhaustion (the window was
+  // abandoned undecided after the policy's retries ran out).
+  bool budgetExhausted = false;
+  // Final attempt returned kUnknown because the per-solve wall-clock
+  // deadline expired. Terminal: never rescheduled (a latency cap is not
+  // restored by retrying; see UpecOptions::solveDeadlineMs).
+  bool deadlineExpired = false;
+};
+
+// One window re-adopted from a checkpoint journal on resume: the cached
+// result plus the per-window register names the journal preserved so the
+// job-level alert sets reconstruct exactly.
+struct ReplayedWindow {
+  WindowResult window;
+  std::vector<std::string> pAlertRegisters;  // differing micro registers
+  std::vector<std::string> lAlertRegisters;  // differing arch (kLAlert only)
+};
+
 struct JobSpec {
   std::uint32_t id = 0;
   std::string label;
@@ -107,29 +143,14 @@ struct JobSpec {
   // commitment (the architectural-only obligation of Def. 6); the name set
   // is resolved against the job's own miter at run time.
   bool architecturalOnly = false;
-};
 
-// One solve attempt at one window of a rescheduled ladder.
-struct WindowAttempt {
-  std::uint64_t conflictBudget = 0;  // budget of this attempt (0 = unlimited)
-  Verdict verdict = Verdict::kUnknown;
-  std::uint64_t conflicts = 0;
-  double solveMs = 0.0;
-};
-
-// One rung of a ladder job.
-struct WindowResult {
-  unsigned window = 0;
-  Verdict verdict = Verdict::kUnknown;
-  formal::BmcStats stats;  // per-solve effort of the FINAL attempt
-  double wallMs = 0.0;     // summed over all attempts at this window
-  // Escalation trail, first attempt included, in budget order. Only
-  // populated for reschedule-enabled jobs (empty otherwise, keeping the
-  // default report unchanged).
-  std::vector<WindowAttempt> attempts;
-  // Final attempt returned kUnknown on budget exhaustion (the window was
-  // abandoned undecided after the policy's retries ran out).
-  bool budgetExhausted = false;
+  // Checkpoint resume (filled by runCampaign from a loaded journal):
+  // windows a previous run of the same job list already decided, in ladder
+  // order starting at kMin. The scheduler adopts them verbatim — no miter
+  // check, no solver time — and resumes solving at the first window
+  // without one. Replayed kUnknown windows stay closed: the previous run
+  // already spent their budget (or deadline) and recorded the abandonment.
+  std::vector<ReplayedWindow> replayWindows;
 };
 
 struct JobResult {
@@ -144,6 +165,12 @@ struct JobResult {
 
   double wallMs = 0.0;
   unsigned worker = 0;  // pool worker index that ran the job
+
+  // For kError verdicts: what went wrong (the contained exception's
+  // message, e.g. an injected fault's). Empty otherwise.
+  std::string error;
+  // Windows adopted from a checkpoint journal instead of solved (resume).
+  unsigned replayedWindows = 0;
 
   // Aggregated solver effort across the job's checks.
   std::uint64_t peakVars = 0;
@@ -187,11 +214,15 @@ struct JobResult {
   std::optional<rtl::ReductionStats> reduction;
 };
 
-// Severity order for merging verdicts: L-alert > unknown > P-alert > proven.
-// (An unknown outranks a P-alert: it may hide an L-alert.)
+// Severity order for merging verdicts:
+// L-alert > error > unknown > P-alert > proven.
+// (An unknown outranks a P-alert: it may hide an L-alert. An error
+// outranks an unknown — the check did not even run to its budget — but a
+// found leak still dominates: it is a definitive answer.)
 Verdict mergeVerdicts(Verdict a, Verdict b);
 
 class ConflictLedger;  // engine/scheduler.hpp — campaign-wide retry budget
+class CheckpointStore;  // engine/checkpoint.hpp — crash-safe journal
 
 // The UpecOptions a job actually runs with: the spec's options with the
 // deepening mode, portfolio, sharing and governor folded in. Shared between
@@ -205,14 +236,25 @@ UpecOptions resolveJobOptions(const JobSpec& spec, sat::MemberGovernor* governor
 // non-null ledger charges retry attempts against a shared conflict ceiling
 // (runCampaign passes its campaign-wide one). A non-null observer receives
 // the job's window/reschedule events plus a completion event — see
-// obs/observer.hpp.
+// obs/observer.hpp. A non-null checkpoint store receives the ladder's
+// closed windows and learnt snapshots (runCampaign passes its journal). A
+// job whose execution throws is contained as a kError result with the
+// message in JobResult::error — runJob does not leak exceptions.
 JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor = nullptr,
                  ConflictLedger* ledger = nullptr,
-                 obs::CampaignObserver* observer = nullptr);
+                 obs::CampaignObserver* observer = nullptr,
+                 CheckpointStore* checkpoint = nullptr);
 
 // Emits the {"type":"job",...} completion event for `res` (no-op on a null
 // observer). Shared by runJob and runCampaign's requeued-ladder path so the
 // two emit identical events.
 void emitJobEvent(obs::CampaignObserver* observer, const JobResult& res);
+
+// Emits the {"type":"window",...} stream event for a closed (or, on
+// resume, replayed) window. Shared by the ladder scheduler and the
+// campaign's resume replay so live and replayed lines carry identical
+// fields — the CI validator cross-checks them against the report.
+void emitWindowEvent(obs::CampaignObserver* observer, std::uint32_t jobId,
+                     const std::string& label, const WindowResult& w, bool replayed);
 
 }  // namespace upec::engine

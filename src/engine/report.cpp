@@ -8,7 +8,8 @@ namespace upec::engine {
 
 void CampaignReport::finalize() {
   overallVerdict = Verdict::kProven;
-  numProven = numPAlerts = numLAlerts = numUnknown = 0;
+  numProven = numPAlerts = numLAlerts = numUnknown = numErrors = 0;
+  replayedWindows = 0;
   sumJobWallMs = 0.0;
   totalConflicts = totalPropagations = 0;
   peakVars = peakClauses = 0;
@@ -30,7 +31,9 @@ void CampaignReport::finalize() {
       case Verdict::kPAlert: ++numPAlerts; break;
       case Verdict::kLAlert: ++numLAlerts; break;
       case Verdict::kUnknown: ++numUnknown; break;
+      case Verdict::kError: ++numErrors; break;
     }
+    replayedWindows += job.replayedWindows;
     sumJobWallMs += job.wallMs;
     totalConflicts += job.totalConflicts;
     totalPropagations += job.totalPropagations;
@@ -126,6 +129,7 @@ void jsonWindow(std::ostream& os, const WindowResult& w) {
     jsonString(os, w.stats.solvedBy);
   }
   if (w.budgetExhausted) os << ",\"budget_exhausted\":true";
+  if (w.deadlineExpired) os << ",\"deadline_expired\":true";
   if (!w.attempts.empty()) {
     os << ",\"attempts\":[";
     for (std::size_t i = 0; i < w.attempts.size(); ++i) {
@@ -184,6 +188,11 @@ void jsonJob(std::ostream& os, const JobResult& job) {
      << ",\"clauses_exported\":" << job.totalClausesExported
      << ",\"clauses_imported\":" << job.totalClausesImported
      << ",\"clauses_dropped\":" << job.totalClausesDropped;
+  if (!job.error.empty()) {
+    os << ",\"error\":";
+    jsonString(os, job.error);
+  }
+  if (job.replayedWindows != 0) os << ",\"replayed_windows\":" << job.replayedWindows;
   if (job.rescheduleEnabled) {
     os << ",\"windows_rescheduled\":" << job.windowsRescheduled
        << ",\"reschedule_attempts\":" << job.rescheduleAttempts
@@ -242,6 +251,7 @@ std::string CampaignReport::toJson() const {
      << ",\"peak_solver_threads\":" << peakSolverThreads
      << ",\"num_proven\":" << numProven << ",\"num_p_alerts\":" << numPAlerts
      << ",\"num_l_alerts\":" << numLAlerts << ",\"num_unknown\":" << numUnknown
+     << ",\"num_errors\":" << numErrors
      << ",\"total_conflicts\":" << totalConflicts
      << ",\"total_propagations\":" << totalPropagations
      << ",\"clauses_exported\":" << totalClausesExported
@@ -270,6 +280,16 @@ std::string CampaignReport::toJson() const {
        << ",\"registers_after\":" << reductionRegistersAfter
        << ",\"registers_merged\":" << reductionRegistersMerged
        << ",\"constants_folded\":" << reductionConstantsFolded << '}';
+  }
+  if (checkpointEnabled) {
+    os << ",\"checkpoint\":{\"resumed\":" << (resumed ? "true" : "false")
+       << ",\"replayed_windows\":" << replayedWindows << ",\"replayed_jobs\":" << replayedJobs
+       << ",\"write_failed\":" << (checkpointWriteFailed ? "true" : "false");
+    if (!checkpointDiagnostics.empty()) {
+      os << ",\"diagnostics\":";
+      jsonStringArray(os, checkpointDiagnostics);
+    }
+    os << '}';
   }
   if (!metricsJson.empty()) os << ",\"metrics\":" << metricsJson;
   os << ",\"jobs\":[";

@@ -30,6 +30,7 @@ struct CampaignReport {
   std::size_t numPAlerts = 0;
   std::size_t numLAlerts = 0;
   std::size_t numUnknown = 0;
+  std::size_t numErrors = 0;  // jobs whose execution failed (contained)
   double sumJobWallMs = 0.0;  // total work; sumJobWallMs / wallMs ≈ speedup
   std::uint64_t totalConflicts = 0;
   std::uint64_t totalPropagations = 0;
@@ -66,6 +67,20 @@ struct CampaignReport {
   std::uint64_t reductionRegistersAfter = 0;
   std::uint64_t reductionRegistersMerged = 0;
   std::uint64_t reductionConstantsFolded = 0;
+
+  // Checkpoint/resume accounting (CampaignOptions::checkpoint; all absent
+  // from the JSON for uncheckpointed campaigns). `resumed` means an
+  // existing journal loaded and replayed; replayedWindows is summed over
+  // the jobs by finalize(), the rest is set by runCampaign.
+  bool checkpointEnabled = false;
+  bool resumed = false;
+  unsigned replayedWindows = 0;
+  unsigned replayedJobs = 0;
+  // The journal hit a write failure mid-run (checkpointing stopped; the
+  // campaign itself completed — see CheckpointStore::writeFailed).
+  bool checkpointWriteFailed = false;
+  // What resume recovered from / why a load was refused (human-readable).
+  std::vector<std::string> checkpointDiagnostics;
 
   // Snapshot of the obs::MetricsRegistry at campaign end, as a pre-rendered
   // JSON object ({"counters":...}). Filled by runCampaign when metrics

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <exception>
 #include <limits>
 
 #include "base/log.hpp"
 #include "base/stopwatch.hpp"
+#include "engine/checkpoint.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
@@ -51,8 +53,13 @@ void recordWin(JobResult& res, const std::string& solvedBy) {
 }  // namespace
 
 LadderScheduler::LadderScheduler(const JobSpec& spec, sat::MemberGovernor* governor,
-                                 ConflictLedger* ledger, obs::CampaignObserver* observer)
-    : spec_(spec), policy_(spec.reschedule), ledger_(ledger), observer_(observer) {
+                                 ConflictLedger* ledger, obs::CampaignObserver* observer,
+                                 CheckpointStore* checkpoint)
+    : spec_(spec),
+      policy_(spec.reschedule),
+      ledger_(ledger),
+      observer_(observer),
+      checkpoint_(checkpoint) {
   assert(spec.kind == JobKind::kIntervalLadder &&
          "the reschedule scheduler drives ladder jobs only");
   res_.id = spec_.id;
@@ -93,7 +100,33 @@ LadderScheduler::LadderScheduler(const JobSpec& spec, sat::MemberGovernor* gover
     ownLedger_ = std::make_unique<ConflictLedger>(policy_.conflictCeiling);
   }
   k_ = spec_.kMin;
-  done_ = spec_.kMin > spec_.kMax;
+  // Checkpoint resume: adopt the contiguous prefix of cached verdicts
+  // before any solving. Replayed records are not re-journaled — the resume
+  // appends to the journal that already holds them.
+  for (const ReplayedWindow& rw : spec_.replayWindows) {
+    if (done_ || rw.window.window != k_) break;  // only a gapless prefix replays
+    replayWindow(rw);
+  }
+  if (!done_) done_ = k_ > spec_.kMax;
+}
+
+void LadderScheduler::replayWindow(const ReplayedWindow& rw) {
+  res_.windows.push_back(rw.window);
+  const WindowResult& w = res_.windows.back();
+  accumulate(res_, w.stats);
+  res_.sumVars += w.stats.vars;
+  if (w.verdict != Verdict::kUnknown) recordWin(res_, w.stats.solvedBy);
+  res_.verdict = mergeVerdicts(res_.verdict, w.verdict);
+  insertUnique(res_.pAlertRegisters, rw.pAlertRegisters);
+  if (w.verdict == Verdict::kUnknown) res_.undecidedWindows.push_back(k_);
+  ++res_.replayedWindows;
+  emitWindowEvent(observer_, spec_.id, spec_.label, w, /*replayed=*/true);
+  if (w.verdict == Verdict::kLAlert) {
+    res_.lAlertRegisters = rw.lAlertRegisters;
+    done_ = true;  // the cached leak is the ladder's answer, as it was live
+    return;
+  }
+  ++k_;
 }
 
 LadderScheduler::~LadderScheduler() = default;
@@ -150,7 +183,22 @@ void LadderScheduler::attemptWindow() {
   }
   Stopwatch attemptTimer;
   engine_->setConflictBudget(budget_);
-  const UpecResult r = engine_->check(k_, excluded_);
+  UpecResult r;
+  // Failure containment: a check that throws (a solver bug, or an injected
+  // fault) closes the window as kError with the diagnostic instead of
+  // unwinding into the pool — the job ends, the campaign continues.
+  try {
+    r = engine_->check(k_, excluded_);
+  } catch (const std::exception& ex) {
+    const double failedMs = attemptTimer.elapsedMs();
+    windowWallMs_ += failedMs;
+    res_.wallMs += failedMs;
+    r.verdict = Verdict::kError;
+    res_.error = ex.what();
+    if (span.enabled()) span.arg("verdict", "error");
+    closeWindow(r);
+    return;
+  }
   const double elapsed = attemptTimer.elapsedMs();
   windowWallMs_ += elapsed;
   res_.wallMs += elapsed;
@@ -181,7 +229,11 @@ void LadderScheduler::attemptWindow() {
     attempts_.push_back({budget_, r.verdict, r.stats.conflicts, r.stats.solveMs});
   }
 
-  if (policy_.enabled && r.verdict == Verdict::kUnknown && r.budgetExhausted) {
+  // A deadline-expired window is never rescheduled: the budget measures
+  // search effort (a retry with more is meaningful), the deadline caps
+  // latency (a retry would re-break it).
+  if (policy_.enabled && r.verdict == Verdict::kUnknown && r.budgetExhausted &&
+      !r.deadlineExpired) {
     // A same-budget re-entry (maxBudget clamp) only makes progress in an
     // incremental session, where learnt clauses persist between attempts
     // and resume a further-along search. A monolithic attempt re-encodes
@@ -219,35 +271,45 @@ void LadderScheduler::closeWindow(const UpecResult& r) {
   w.wallMs = windowWallMs_;
   w.attempts = std::move(attempts_);
   w.budgetExhausted = r.verdict == Verdict::kUnknown && r.budgetExhausted;
+  w.deadlineExpired = r.verdict == Verdict::kUnknown && r.deadlineExpired;
   res_.windows.push_back(std::move(w));
   res_.sumVars += r.stats.vars;  // once per window, not per attempt
-  if (observer_ != nullptr) {
-    // Exactly one "window" line per ladder rung, mirroring the window entry
-    // the terminal report will carry (tests and the CI validator cross-check
-    // the two).
-    const WindowResult& closed = res_.windows.back();
-    obs::StreamEvent e("window");
-    e.num("job", spec_.id)
-        .str("label", spec_.label)
-        .num("k", closed.window)
-        .str("verdict", verdictName(closed.verdict))
-        .num("conflicts", closed.stats.conflicts)
-        .real("solve_ms", closed.stats.solveMs);
-    if (!closed.attempts.empty()) e.num("attempts", closed.attempts.size());
-    if (closed.budgetExhausted) e.flag("budget_exhausted", true);
-    observer_->onEvent(e);
+  const WindowResult& closed = res_.windows.back();
+  // Exactly one "window" line per ladder rung, mirroring the window entry
+  // the terminal report will carry (tests and the CI validator cross-check
+  // the two).
+  emitWindowEvent(observer_, spec_.id, spec_.label, closed, /*replayed=*/false);
+  if (checkpoint_ != nullptr) {
+    // The window is a closed fact now: journal it (and the job's current
+    // learnt pool — each snapshot supersedes the last) so a killed run
+    // resumes here instead of re-solving. kError windows are skipped
+    // inside the store: a fault is re-tried, not replayed.
+    checkpoint_->recordWindow(spec_.id, closed, r.differingMicro, r.differingArch);
+    if (spec_.sharing && closed.verdict != Verdict::kError) {
+      constexpr std::size_t kLearntSnapshotCap = 256;
+      const auto learnts = engine_->exchangeSnapshot(kLearntSnapshotCap);
+      if (!learnts.empty()) checkpoint_->recordLearnts(spec_.id, learnts);
+    }
   }
 
   // Budget-exhausted checks were not answered by anyone — no win to record.
-  if (r.verdict != Verdict::kUnknown) recordWin(res_, r.stats.solvedBy);
+  if (r.verdict != Verdict::kUnknown && r.verdict != Verdict::kError) {
+    recordWin(res_, r.stats.solvedBy);
+  }
   res_.verdict = mergeVerdicts(res_.verdict, r.verdict);
   insertUnique(res_.pAlertRegisters, r.differingMicro);
   if (attempt_ > 0) {
     ++res_.windowsRescheduled;
-    if (r.verdict != Verdict::kUnknown) ++res_.windowsDecidedByRetry;
+    if (r.verdict != Verdict::kUnknown && r.verdict != Verdict::kError) {
+      ++res_.windowsDecidedByRetry;
+    }
   }
   if (r.verdict == Verdict::kUnknown) res_.undecidedWindows.push_back(k_);
 
+  if (r.verdict == Verdict::kError) {
+    done_ = true;  // containment: the job ends at the failed window
+    return;
+  }
   if (r.verdict == Verdict::kLAlert) {
     res_.lAlertRegisters = r.differingArch;
     done_ = true;  // a real leak is the ladder's answer; deeper windows add nothing

@@ -71,14 +71,18 @@ class LadderScheduler {
  public:
   // Builds the job's private Miter and UpecEngine (the expensive part —
   // construct on the thread that runs the first segment). `governor`,
-  // `ledger` and `observer` may be null. A ReschedulePolicy::conflictCeiling
-  // is enforced by a private job-local ledger that composes with the shared
-  // one — a retry must pass both gates. A non-null observer receives one
-  // "window" event per closed window and one "reschedule" event per
-  // deferred retry (obs/observer.hpp).
+  // `ledger`, `observer` and `checkpoint` may be null. A
+  // ReschedulePolicy::conflictCeiling is enforced by a private job-local
+  // ledger that composes with the shared one — a retry must pass both
+  // gates. A non-null observer receives one "window" event per closed
+  // window and one "reschedule" event per deferred retry (obs/observer.hpp).
+  // A non-null checkpoint receives each closed window plus the job's
+  // learnt-clause snapshot (sharing jobs); JobSpec::replayWindows are
+  // adopted here, before any solving.
   explicit LadderScheduler(const JobSpec& spec, sat::MemberGovernor* governor = nullptr,
                            ConflictLedger* ledger = nullptr,
-                           obs::CampaignObserver* observer = nullptr);
+                           obs::CampaignObserver* observer = nullptr,
+                           CheckpointStore* checkpoint = nullptr);
   ~LadderScheduler();
   LadderScheduler(const LadderScheduler&) = delete;
   LadderScheduler& operator=(const LadderScheduler&) = delete;
@@ -102,10 +106,13 @@ class LadderScheduler {
   bool admitRetry() const;  // both the shared and the job-local gate
   void chargeRetry(std::uint64_t conflicts);
 
+  void replayWindow(const ReplayedWindow& rw);  // adopt a checkpointed verdict
+
   JobSpec spec_;
   ReschedulePolicy policy_;
   ConflictLedger* ledger_;                     // shared (campaign) ledger, may be null
   obs::CampaignObserver* observer_;            // event stream, may be null
+  CheckpointStore* checkpoint_;                // crash-safe journal, may be null
   std::unique_ptr<ConflictLedger> ownLedger_;  // job-local policy ceiling, may be null
   std::unique_ptr<Miter> miter_;
   std::unique_ptr<UpecEngine> engine_;

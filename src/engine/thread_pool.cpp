@@ -114,7 +114,15 @@ bool WorkStealingPool::tryRun(unsigned self) {
   {
     obs::Span span("engine", "pool.task");
     if (span.enabled()) span.arg("worker", self).arg("stolen", victim != self);
-    task();
+    // A task that throws must not take the worker thread down (std::terminate)
+    // or leak its `unfinished_` count and wedge wait() forever. Containment
+    // belongs in the task bodies (runCampaign turns failures into kError
+    // results); this is the last-resort backstop that keeps the pool alive.
+    try {
+      task();
+    } catch (...) {
+      uncaught_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   {
     std::lock_guard<std::mutex> lock(sleepMutex_);

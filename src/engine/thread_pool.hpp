@@ -9,6 +9,7 @@
 // because every job owns a private sat::Solver.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -53,6 +54,13 @@ class WorkStealingPool {
   // called from outside the pool (results use it to record placement).
   static unsigned currentWorker();
 
+  // Tasks whose exception escaped to the pool itself (the containment
+  // layers above the pool should have caught it; nonzero means a bug in a
+  // caller, but the pool stays alive and wait() still returns).
+  std::uint64_t uncaughtExceptions() const {
+    return uncaught_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Worker {
     std::mutex mutex;
@@ -71,6 +79,7 @@ class WorkStealingPool {
   std::condition_variable doneCv_;   // wait() blocks here
   std::uint64_t queued_ = 0;         // tasks enqueued, not yet started
   std::uint64_t unfinished_ = 0;     // tasks enqueued, not yet finished
+  std::atomic<std::uint64_t> uncaught_{0};
   bool stopping_ = false;
   unsigned nextVictim_ = 0;  // round-robin for external submits
 };

@@ -112,6 +112,8 @@ CheckResult BmcEngine::check(const IntervalProperty& property) {
       sat::makeSolverBackend(solverConfigs_, portfolioOptions_);
   sat::SolverBackend& solver = *solverPtr;
   if (conflictBudget_ != 0) solver.setConflictBudget(conflictBudget_);
+  if (solveDeadlineMs_ != 0) solver.setSolveDeadlineMs(solveDeadlineMs_);
+  if (faultAbortAtConflict_ != 0) solver.setFaultAbortAtConflict(faultAbortAtConflict_);
   CnfBuilder cnf(solver);
   Unroller unroller(design_, cnf);
   for (const auto& [master, follower] : aliases_) {
@@ -169,6 +171,7 @@ CheckResult BmcEngine::check(const IntervalProperty& property) {
   if (sat == LBool::kUndef) {
     result.status = CheckStatus::kUnknown;
     result.budgetExhausted = solver.lastSolveBudgetExhausted();
+    result.deadlineExpired = solver.lastSolveDeadlineExpired();
     return result;
   }
 
@@ -194,6 +197,8 @@ CheckResult BmcEngine::checkIncremental(const IntervalProperty& property) {
   Session& s = *session_;
   sat::SolverBackend& solver = *s.solver;
   solver.setConflictBudget(conflictBudget_);
+  solver.setSolveDeadlineMs(solveDeadlineMs_);
+  solver.setFaultAbortAtConflict(faultAbortAtConflict_);
 
   const unsigned k = property.maxCycle();
   assert(s.unroller.numFrames() == 0 || k + 1 >= s.unroller.numFrames());
@@ -273,12 +278,18 @@ CheckResult BmcEngine::checkIncremental(const IntervalProperty& property) {
   if (sat == LBool::kUndef) {
     result.status = CheckStatus::kUnknown;
     result.budgetExhausted = solver.lastSolveBudgetExhausted();
+    result.deadlineExpired = solver.lastSolveDeadlineExpired();
     return result;
   }
 
   result.status = CheckStatus::kCounterexample;
   result.trace = extractTrace(design_, solver, s.unroller, property, k, violations);
   return result;
+}
+
+std::vector<std::vector<sat::Lit>> BmcEngine::learntSnapshot(std::size_t maxClauses) const {
+  if (!session_) return {};
+  return session_->solver->learntSnapshot(maxClauses);
 }
 
 TraceEval::TraceEval(const rtl::Design& design, const Trace& trace) : design_(design) {

@@ -64,6 +64,9 @@ struct CheckResult {
   // cooperative stop). Such a window is a candidate for re-entry with a
   // larger budget — see engine::LadderScheduler.
   bool budgetExhausted = false;
+  // For kUnknown: the per-solve wall-clock deadline expired. Terminal —
+  // unlike a starved budget, a latency cap is not restored by retrying.
+  bool deadlineExpired = false;
   bool holds() const { return status == CheckStatus::kProven; }
 };
 
@@ -78,6 +81,19 @@ class BmcEngine {
   // Aborts with kUnknown after this many SAT conflicts (0 = unlimited).
   // Applies per check: an incremental session gets a fresh budget each call.
   void setConflictBudget(std::uint64_t budget) { conflictBudget_ = budget; }
+
+  // Wall-clock deadline per solve call in ms (0 = none); expiry yields
+  // kUnknown with CheckResult::deadlineExpired set.
+  void setSolveDeadlineMs(std::uint64_t deadlineMs) { solveDeadlineMs_ = deadlineMs; }
+
+  // Fault injection (test harness): the solver throws once a solve call
+  // reaches this many conflicts (0 = off).
+  void setFaultAbortAtConflict(std::uint64_t conflicts) { faultAbortAtConflict_ = conflicts; }
+
+  // Learnt clauses on the incremental session's sharing exchange, as the
+  // sat layer's Lit clauses (empty without a session or a sharing
+  // portfolio) — the persistence payload for checkpoint/resume.
+  std::vector<std::vector<sat::Lit>> learntSnapshot(std::size_t maxClauses) const;
 
   // Selects the decision procedure: an empty list (default) or a single
   // config runs one CDCL solver; two or more configs race a diversified
@@ -139,6 +155,8 @@ class BmcEngine {
 
   const rtl::Design& design_;
   std::uint64_t conflictBudget_ = 0;
+  std::uint64_t solveDeadlineMs_ = 0;
+  std::uint64_t faultAbortAtConflict_ = 0;
   std::vector<sat::SolverConfig> solverConfigs_;
   sat::PortfolioOptions portfolioOptions_;
   std::vector<std::pair<rtl::NodeId, rtl::NodeId>> aliases_;

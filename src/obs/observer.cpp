@@ -1,5 +1,8 @@
 #include "obs/observer.hpp"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <sstream>
 
 #include "base/log.hpp"
@@ -84,8 +87,10 @@ std::string StreamEvent::toJson(std::uint64_t tsUs) const {
 
 // ------------------------------------------------------------ NdjsonWriter ---
 
-NdjsonWriter::NdjsonWriter(const std::string& path)
-    : file_(std::fopen(path.c_str(), "w")), owns_(true) {}
+NdjsonWriter::NdjsonWriter(const std::string& path, Mode mode, bool syncEveryLine)
+    : file_(std::fopen(path.c_str(), mode == Mode::kAppend ? "a" : "w")),
+      owns_(true),
+      sync_(syncEveryLine) {}
 
 NdjsonWriter::NdjsonWriter(std::FILE* file, bool ownsFile)
     : file_(file), owns_(ownsFile) {}
@@ -100,13 +105,59 @@ std::uint64_t NdjsonWriter::linesWritten() const {
 }
 
 void NdjsonWriter::onEvent(const StreamEvent& event) {
-  const std::string line = event.toJson(Stopwatch::sinceEpochUs());
+  writeLine(event.toJson(Stopwatch::sinceEpochUs()));
+}
+
+bool NdjsonWriter::writeLine(const std::string& line) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (file_ == nullptr) return;
-  std::fwrite(line.data(), 1, line.size(), file_);
-  std::fputc('\n', file_);
+  if (file_ == nullptr) return false;
+  const bool wrote = std::fwrite(line.data(), 1, line.size(), file_) == line.size() &&
+                     std::fputc('\n', file_) == '\n';
   std::fflush(file_);  // a tail -f must see the line as soon as it happens
-  ++lines_;
+  if (sync_) ::fsync(::fileno(file_));
+  if (wrote) ++lines_;
+  return wrote;
+}
+
+// ---------------------------------------------------- durability helpers ---
+
+bool writeFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  std::fflush(f);
+  ::fsync(::fileno(f));
+  std::fclose(f);
+  if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool readNdjsonLines(const std::string& path, std::vector<std::string>& lines,
+                     bool* partialTailSkipped) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  lines.clear();
+  std::string current;
+  bool terminated = true;
+  for (int c = std::fgetc(f); c != EOF; c = std::fgetc(f)) {
+    if (c == '\n') {
+      if (!current.empty()) lines.push_back(std::move(current));
+      current.clear();
+      terminated = true;
+    } else {
+      current.push_back(static_cast<char>(c));
+      terminated = false;
+    }
+  }
+  std::fclose(f);
+  // An unterminated tail is a half-written line from a process killed
+  // mid-write: drop it so the caller parses only completed records.
+  if (partialTailSkipped != nullptr) *partialTailSkipped = !terminated;
+  return true;
 }
 
 // ------------------------------------------------------- log event routing ---

@@ -22,6 +22,16 @@
 //    "p_alerts":N,"l_alerts":N,"unknown":N}
 //   {"type":"log","ts_us":N,"level":s,"msg":s}        (when routed)
 //
+// Checkpoint/recovery events (emitted by the engine when a campaign runs
+// with `CampaignOptions::checkpoint`; the schema of the checkpoint *file*
+// itself lives in src/engine/checkpoint.hpp):
+//
+//   {"type":"checkpoint_open","ts_us":N,"path":s,"resumed":b,
+//    "replayed_windows":N,"replayed_jobs":N}
+//   {"type":"checkpoint_error","ts_us":N,"path":s,"error":s}
+//   {"type":"window",...,"replayed":true}     (a resume re-streams cached
+//                                              verdicts with this flag)
+//
 // Observer callbacks fire from whichever pool worker produced the result;
 // implementations must be thread-safe (NdjsonWriter serialises under one
 // mutex). Callbacks run on the campaign's critical path — keep them quick.
@@ -76,9 +86,20 @@ class CampaignObserver {
 // NDJSON sink: one flushed line per event, timestamped on the process
 // epoch (base/stopwatch), so `tail -f events.ndjson` follows a campaign
 // live and downstream tooling replays it offline.
+//
+// The writer doubles as the durability primitive for the engine's
+// checkpoint journal: `kAppend` reopens an existing file without
+// truncating, `writeLine` appends an arbitrary pre-serialised line under
+// the same mutex, and `syncEveryLine` adds an fsync after each flush for
+// power-loss durability (SIGKILL-safety needs only the default flush —
+// the data has reached the kernel; fsync guards against the machine
+// dying, at a per-line syscall cost).
 class NdjsonWriter : public CampaignObserver {
  public:
-  explicit NdjsonWriter(const std::string& path);          // truncates
+  enum class Mode : std::uint8_t { kTruncate, kAppend };
+
+  explicit NdjsonWriter(const std::string& path, Mode mode = Mode::kTruncate,
+                        bool syncEveryLine = false);
   NdjsonWriter(std::FILE* file, bool ownsFile);            // e.g. stderr
   ~NdjsonWriter() override;
   NdjsonWriter(const NdjsonWriter&) = delete;
@@ -89,12 +110,33 @@ class NdjsonWriter : public CampaignObserver {
 
   void onEvent(const StreamEvent& event) override;
 
+  // Appends `line` + '\n' and flushes (and fsyncs when the writer was
+  // opened with syncEveryLine). Returns false when the write did not
+  // reach the stream — the caller decides whether that is fatal.
+  bool writeLine(const std::string& line);
+
  private:
   mutable std::mutex mutex_;
   std::FILE* file_ = nullptr;
   bool owns_ = false;
+  bool sync_ = false;
   std::uint64_t lines_ = 0;
 };
+
+// Writes `content` to `path` atomically: tmp file in the same directory,
+// flush + fsync, rename over the target. A reader (or a crash) sees either
+// the old file or the complete new one, never a torn write. Returns false
+// (target untouched) on any failure.
+bool writeFileAtomic(const std::string& path, const std::string& content);
+
+// Loads an NDJSON file as complete lines, replacing `lines`. Blank lines
+// are dropped (they are separators, not records). A final line with no
+// terminating '\n' is the signature of a write cut short (SIGKILL, full
+// disk) and is *skipped*, reported through `partialTailSkipped`; callers
+// get only lines whose write finished. Returns false when the file cannot
+// be opened (out-params untouched).
+bool readNdjsonLines(const std::string& path, std::vector<std::string>& lines,
+                     bool* partialTailSkipped = nullptr);
 
 // Routes base/log output onto `observer` as {"type":"log",...} events
 // (satisfying "the logger reports through the observer seam when one is

@@ -99,6 +99,30 @@ bool ClauseExchange::publish(unsigned member, std::span<const Lit> lits) {
   return false;
 }
 
+void ClauseExchange::seed(std::span<const std::vector<Lit>> clauses) {
+  for (const std::vector<Lit>& c : clauses) {
+    if (c.empty()) continue;
+    publish(members(), std::span<const Lit>(c.data(), c.size()));
+  }
+}
+
+std::vector<std::vector<Lit>> ClauseExchange::snapshot(std::size_t maxClauses) {
+  std::vector<std::vector<Lit>> out;
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::size_t cap = slots_.size();
+  const std::uint64_t resident = head < cap ? head : cap;
+  for (std::uint64_t i = 0; i < resident && out.size() < maxClauses; ++i) {
+    const std::uint64_t idx = head - 1 - i;  // newest first
+    Slot& slot = slots_[idx % cap];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.version.load(std::memory_order_relaxed) == static_cast<std::int64_t>(idx) &&
+        !slot.lits.empty()) {
+      out.push_back(slot.lits);
+    }
+  }
+  return out;
+}
+
 ClauseExchange::DrainStats ClauseExchange::drain(
     unsigned member, const std::function<void(std::span<const Lit>)>& sink) {
   assert(member < cursors_.size());

@@ -104,6 +104,21 @@ class ClauseExchange {
   // Clauses ever accepted into the ring (all producers).
   std::uint64_t published() const { return published_.load(std::memory_order_relaxed); }
 
+  // Pre-loads clauses persisted by a previous process (checkpoint resume).
+  // Published under the sentinel source id members() — not a real member,
+  // so *every* member's drain imports them (drain only skips a member's
+  // own id). Call at setup, before any thread races; soundness is the
+  // caller's contract (the clauses must be consequences of the formula
+  // the members are about to be fed).
+  void seed(std::span<const std::vector<Lit>> clauses);
+
+  // The most recently published clauses still resident in the ring (up to
+  // maxClauses, newest first) — the payload a checkpoint persists for the
+  // next process's seed(). Thread-safe via the slot mutexes; the copy is
+  // consistent per clause, not across the ring (fine for persistence:
+  // every clause is individually sound).
+  std::vector<std::vector<Lit>> snapshot(std::size_t maxClauses);
+
  private:
   struct Slot {
     std::mutex mutex;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <exception>
 #include <thread>
 
 #include "obs/trace.hpp"
@@ -32,6 +33,13 @@ void PortfolioSolver::initMembers() {
                                                  options_.exchangeCapacity);
     for (std::size_t i = 0; i < members_.size(); ++i) {
       members_[i]->attachExchange(exchange_.get(), static_cast<unsigned>(i));
+    }
+    // Learnts persisted by a previous process (checkpoint resume): seeded
+    // under the sentinel source id, so every member imports them on its
+    // first solve's entry drain.
+    if (!options_.seedLearnts.empty()) {
+      exchange_->seed(std::span<const std::vector<Lit>>(options_.seedLearnts.data(),
+                                                        options_.seedLearnts.size()));
     }
   }
 }
@@ -66,6 +74,7 @@ bool PortfolioSolver::okay() const {
 LBool PortfolioSolver::solveLimited(std::span<const Lit> assumptions) {
   lastWinner_ = -1;
   lastBudgetExhausted_ = false;
+  lastDeadlineExpired_ = false;
   lastVerdicts_.assign(members_.size(), LBool::kUndef);
   lastRaceSize_ = 0;  // nobody raced yet: an early exit reports empty deltas
   if (externalStop_.load(std::memory_order_relaxed)) {
@@ -103,10 +112,21 @@ LBool PortfolioSolver::solveLimited(std::span<const Lit> assumptions) {
     raceSpan.arg("members", std::uint64_t{members_.size()}).arg("racing", std::uint64_t{racing});
   }
   std::atomic<int> winner{-1};
+  // A member whose solve throws (a bug — or an injected fault) must not
+  // std::terminate the process from its race thread. Each racer records
+  // into its own slot; the calling thread rethrows after the join when the
+  // race produced no answer (with a winner, the formula was decided and a
+  // loser's corpse cannot change the verdict).
+  std::vector<std::exception_ptr> raceErrors(racing);
   auto race = [&](std::size_t i) {
     obs::Span memberSpan("sat", "portfolio.member");
     if (memberSpan.enabled()) memberSpan.arg("member", std::uint64_t{i});
-    const LBool verdict = members_[i]->solveLimited(assumptions);
+    LBool verdict = LBool::kUndef;
+    try {
+      verdict = members_[i]->solveLimited(assumptions);
+    } catch (...) {
+      raceErrors[i] = std::current_exception();
+    }
     lastVerdicts_[i] = verdict;  // distinct element per thread: no race
     bool won = false;
     if (verdict != LBool::kUndef) {
@@ -135,6 +155,11 @@ LBool PortfolioSolver::solveLimited(std::span<const Lit> assumptions) {
   if (held != 0) options_.governor->release(held);
 
   lastWinner_ = winner.load();
+  if (lastWinner_ < 0) {
+    for (std::size_t i = 0; i < racing; ++i) {
+      if (raceErrors[i]) std::rethrow_exception(raceErrors[i]);
+    }
+  }
   if (raceSpan.enabled()) {
     raceSpan.arg("winner", lastWinner_ >= 0
                                ? members_[static_cast<std::size_t>(lastWinner_)]->describe()
@@ -149,6 +174,11 @@ LBool PortfolioSolver::solveLimited(std::span<const Lit> assumptions) {
     // observing the stop: a cancelled solve must never look retry-worthy.)
     for (std::size_t i = 0; i < racing && !lastBudgetExhausted_; ++i) {
       lastBudgetExhausted_ = members_[i]->lastSolveBudgetExhausted();
+    }
+    // Same reasoning for the wall-clock deadline: expiry is only reported
+    // when this race genuinely timed out, never when it was cancelled.
+    for (std::size_t i = 0; i < racing && !lastDeadlineExpired_; ++i) {
+      lastDeadlineExpired_ = members_[i]->lastSolveDeadlineExpired();
     }
   }
   return lastWinner_ >= 0 ? lastVerdicts_[static_cast<std::size_t>(lastWinner_)]
@@ -182,6 +212,19 @@ SolverStats PortfolioSolver::lastSolveStats() const {
 
 void PortfolioSolver::setConflictBudget(std::uint64_t budget) {
   for (auto& m : members_) m->setConflictBudget(budget);
+}
+
+void PortfolioSolver::setSolveDeadlineMs(std::uint64_t deadlineMs) {
+  for (auto& m : members_) m->setSolveDeadlineMs(deadlineMs);
+}
+
+void PortfolioSolver::setFaultAbortAtConflict(std::uint64_t conflicts) {
+  for (auto& m : members_) m->setFaultAbortAtConflict(conflicts);
+}
+
+std::vector<std::vector<Lit>> PortfolioSolver::learntSnapshot(std::size_t maxClauses) const {
+  if (exchange_ == nullptr) return {};
+  return exchange_->snapshot(maxClauses);
 }
 
 void PortfolioSolver::requestStop() {

@@ -69,6 +69,15 @@ class PortfolioSolver : public SolverBackend {
   void setConflictBudget(std::uint64_t budget) override;  // per member
   // True when the last race produced no winner and a racer ran out of budget.
   bool lastSolveBudgetExhausted() const override { return lastBudgetExhausted_; }
+  void setSolveDeadlineMs(std::uint64_t deadlineMs) override;  // per member
+  // True when the last race produced no winner and a racer's deadline
+  // expired. Mirrors the budget flag's contract: an externally stopped
+  // race never reports expiry (a cancelled solve must not look like a
+  // latency miss).
+  bool lastSolveDeadlineExpired() const override { return lastDeadlineExpired_; }
+  void setFaultAbortAtConflict(std::uint64_t conflicts) override;  // per member
+  // Clauses resident on the sharing exchange (empty when sharing is off).
+  std::vector<std::vector<Lit>> learntSnapshot(std::size_t maxClauses) const override;
   void requestStop() override;
   void clearStop() override;
   std::string describe() const override;
@@ -104,6 +113,7 @@ class PortfolioSolver : public SolverBackend {
   std::size_t lastRaceSize_ = 0;
   int lastWinner_ = -1;
   bool lastBudgetExhausted_ = false;
+  bool lastDeadlineExpired_ = false;
   // requestStop() arrived from outside a race; may be set from another
   // thread while solveLimited() runs (same contract as Solver::stop_).
   std::atomic<bool> externalStop_{false};

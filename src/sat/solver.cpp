@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <stdexcept>
 
 namespace upec::sat {
 
@@ -408,6 +410,14 @@ LBool Solver::solveLimited(std::span<const Lit> assumptions) {
   conflict_.clear();
   statsAtSolveStart_ = stats_;
   lastSolveBudgetExhausted_ = false;
+  lastSolveDeadlineExpired_ = false;
+  // Armed only when a deadline is set: the default path never reads the
+  // clock, keeping the trajectory (and cost) bit-identical.
+  const auto deadline = solveDeadlineMs_ != 0
+                            ? std::chrono::steady_clock::now() +
+                                  std::chrono::milliseconds(solveDeadlineMs_)
+                            : std::chrono::steady_clock::time_point{};
+  std::uint64_t loopIter = 0;
   ++stats_.solves;
   if (!ok_) return LBool::kFalse;
   assumptions_.assign(assumptions.begin(), assumptions.end());
@@ -426,6 +436,14 @@ LBool Solver::solveLimited(std::span<const Lit> assumptions) {
   for (;;) {
     if (stop_.load(std::memory_order_relaxed)) {
       backtrack(0);
+      return LBool::kUndef;
+    }
+    // Deadline poll: one clock read per 512 iterations bounds the cost to
+    // noise while keeping expiry detection within a propagation burst.
+    if (solveDeadlineMs_ != 0 && (++loopIter & 511u) == 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      backtrack(0);
+      lastSolveDeadlineExpired_ = true;
       return LBool::kUndef;
     }
     Clause* conflict = propagate();
@@ -455,6 +473,14 @@ LBool Solver::solveLimited(std::span<const Lit> assumptions) {
       }
       decayVarActivity();
       decayClauseActivity();
+      // Injected fault (test harness): simulate a solver crash at a
+      // deterministic point. Backtracked to a sane level first, so the
+      // containment layers above can even reuse the instance.
+      if (faultAbortAtConflict_ != 0 && totalConflicts >= faultAbortAtConflict_) {
+        backtrack(0);
+        throw std::runtime_error("injected solver fault at conflict " +
+                                 std::to_string(totalConflicts));
+      }
       if (conflictBudget_ != 0 && totalConflicts >= conflictBudget_) {
         backtrack(0);
         lastSolveBudgetExhausted_ = true;

@@ -79,6 +79,22 @@ class Solver : public SolverBackend {
   void setConflictBudget(std::uint64_t budget) override { conflictBudget_ = budget; }
   bool lastSolveBudgetExhausted() const override { return lastSolveBudgetExhausted_; }
 
+  // Wall-clock deadline per solve() call (0 = none), checked every few
+  // hundred search-loop iterations so expiry costs no watchdog thread and
+  // detection lag stays bounded. Expiry returns kUndef from level 0 with
+  // lastSolveDeadlineExpired() set and the budget flag clear.
+  void setSolveDeadlineMs(std::uint64_t deadlineMs) override { solveDeadlineMs_ = deadlineMs; }
+  bool lastSolveDeadlineExpired() const override { return lastSolveDeadlineExpired_; }
+
+  // Fault injection (test harness only): throw from inside solve() once
+  // this many conflicts occur in one call (0 = off). The throw happens
+  // after a backtrack to level 0, so a containing caller could even keep
+  // using the solver — the engine's containment layers turn it into a
+  // kError window instead.
+  void setFaultAbortAtConflict(std::uint64_t conflicts) override {
+    faultAbortAtConflict_ = conflicts;
+  }
+
   // Cooperative cancellation (the portfolio's loser-stopping hook): sets a
   // sticky flag checked once per search-loop iteration; an affected solve()
   // backtracks to level 0 and returns kUndef. Safe to call from another
@@ -197,6 +213,9 @@ class Solver : public SolverBackend {
   SolverStats statsAtSolveStart_;
   std::uint64_t conflictBudget_ = 0;
   bool lastSolveBudgetExhausted_ = false;
+  std::uint64_t solveDeadlineMs_ = 0;
+  bool lastSolveDeadlineExpired_ = false;
+  std::uint64_t faultAbortAtConflict_ = 0;
   std::uint64_t maxLearnts_ = 8192;
   std::atomic<bool> stop_{false};
 };

@@ -104,6 +104,14 @@ struct PortfolioOptions {
   // degrades gracefully: with g granted slots only members 0..g-1 race
   // (member 0 — the baseline config — is never shed).
   MemberGovernor* governor = nullptr;
+
+  // Learnt clauses from a previous process (checkpoint resume), published
+  // into the portfolio's ClauseExchange at construction so every member
+  // imports them on its first solve. Only consumed when sharing is on and
+  // 2+ members race (otherwise there is no exchange to seed). The clauses
+  // must be consequences of the formula the members will be fed — the
+  // engine's checkpoint fingerprint guarantees it.
+  std::vector<std::vector<Lit>> seedLearnts;
 };
 
 // Abstract incremental SAT interface. The contract follows MiniSat:
@@ -166,6 +174,27 @@ class SolverBackend {
   // reschedule scheduler keys on this: a budget-starved window is worth
   // re-running with a larger budget, a cancelled one is not.
   virtual bool lastSolveBudgetExhausted() const { return false; }
+
+  // Wall-clock deadline per solveLimited() call in milliseconds (0 = none).
+  // Checked inside the search loop — no watchdog thread — so expiry is
+  // detected within a bounded number of conflicts/propagations. Expiry
+  // yields kUndef with lastSolveDeadlineExpired() set; unlike the conflict
+  // budget it never marks the solve retry-worthy.
+  virtual void setSolveDeadlineMs(std::uint64_t /*deadlineMs*/) {}
+  virtual bool lastSolveDeadlineExpired() const { return false; }
+
+  // Fault injection (test harness): throw from inside solveLimited() once
+  // this many conflicts occur in one call (0 = off). Exercises the
+  // engine's kError containment deterministically. Backends without a
+  // search loop ignore it.
+  virtual void setFaultAbortAtConflict(std::uint64_t /*conflicts*/) {}
+
+  // Learnt clauses currently published on the backend's ClauseExchange
+  // (most recent first, at most maxClauses) — the persistence payload for
+  // cross-process learnt reuse. Empty for backends without an exchange.
+  virtual std::vector<std::vector<Lit>> learntSnapshot(std::size_t /*maxClauses*/) const {
+    return {};
+  }
 
   // Cooperative cancellation: ask a running (or upcoming) solveLimited() to
   // return kUndef as soon as possible. Sticky until clearStop().

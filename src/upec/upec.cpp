@@ -62,6 +62,15 @@ sat::PortfolioOptions UpecOptions::resolvedPortfolioOptions() const {
   sat::PortfolioOptions p;
   p.sharing = portfolioSharing;
   p.governor = governor;
+  if (!seedLearnts.empty() && portfolioSharing) {
+    p.seedLearnts.reserve(seedLearnts.size());
+    for (const std::vector<int>& codes : seedLearnts) {
+      std::vector<sat::Lit> clause;
+      clause.reserve(codes.size());
+      for (int code : codes) clause.push_back(sat::Lit::fromCode(code));
+      p.seedLearnts.push_back(std::move(clause));
+    }
+  }
   return p;
 }
 
@@ -71,6 +80,7 @@ const char* verdictName(Verdict v) {
     case Verdict::kPAlert: return "P-alert";
     case Verdict::kLAlert: return "L-alert";
     case Verdict::kUnknown: return "unknown";
+    case Verdict::kError: return "error";
   }
   return "?";
 }
@@ -284,6 +294,10 @@ UpecResult UpecEngine::check(unsigned k, const std::set<std::string>& excluded) 
     const rtl::ReductionResult& red = reducedFor(excluded);
     formal::BmcEngine engine(*red.design);
     if (options_.conflictBudget != 0) engine.setConflictBudget(options_.conflictBudget);
+    if (options_.solveDeadlineMs != 0) engine.setSolveDeadlineMs(options_.solveDeadlineMs);
+    if (options_.faultAbortAtConflict != 0) {
+      engine.setFaultAbortAtConflict(options_.faultAbortAtConflict);
+    }
     engine.setSolverConfigs(options_.resolvedSolverConfigs());
     engine.setPortfolioOptions(options_.resolvedPortfolioOptions());
     if (options_.structuralInitEquality) applyReducedEquality(miter_, red, engine);
@@ -295,6 +309,10 @@ UpecResult UpecEngine::check(unsigned k, const std::set<std::string>& excluded) 
   }
   formal::BmcEngine engine(miter_.design());
   if (options_.conflictBudget != 0) engine.setConflictBudget(options_.conflictBudget);
+  if (options_.solveDeadlineMs != 0) engine.setSolveDeadlineMs(options_.solveDeadlineMs);
+  if (options_.faultAbortAtConflict != 0) {
+    engine.setFaultAbortAtConflict(options_.faultAbortAtConflict);
+  }
   engine.setSolverConfigs(options_.resolvedSolverConfigs());
   engine.setPortfolioOptions(options_.resolvedPortfolioOptions());
   if (options_.structuralInitEquality) applyStructuralEquality(miter_, engine);
@@ -327,6 +345,8 @@ UpecResult UpecEngine::checkIncremental(unsigned k, const std::set<std::string>&
     }
   }
   incremental_->setConflictBudget(options_.conflictBudget);
+  incremental_->setSolveDeadlineMs(options_.solveDeadlineMs);
+  incremental_->setFaultAbortAtConflict(options_.faultAbortAtConflict);
   const formal::IntervalProperty property = buildProperty(k, excluded);
   formal::CheckResult bmc;
   if (incrementalReduced_) {
@@ -353,6 +373,7 @@ UpecResult UpecEngine::classify(const formal::CheckResult& bmc, unsigned k,
   if (bmc.status == CheckStatus::kUnknown) {
     result.verdict = Verdict::kUnknown;
     result.budgetExhausted = bmc.budgetExhausted;
+    result.deadlineExpired = bmc.deadlineExpired;
     return result;
   }
 
@@ -374,6 +395,18 @@ UpecResult UpecEngine::classify(const formal::CheckResult& bmc, unsigned k,
   result.trace = bmc.trace;
   logDebug("UPEC k=" + std::to_string(k) + ": " + verdictName(result.verdict));
   return result;
+}
+
+std::vector<std::vector<int>> UpecEngine::exchangeSnapshot(std::size_t maxClauses) const {
+  if (!incremental_) return {};
+  std::vector<std::vector<int>> out;
+  for (const std::vector<sat::Lit>& clause : incremental_->learntSnapshot(maxClauses)) {
+    std::vector<int> codes;
+    codes.reserve(clause.size());
+    for (sat::Lit lit : clause) codes.push_back(lit.code());
+    out.push_back(std::move(codes));
+  }
+  return out;
 }
 
 std::set<std::string> UpecEngine::allMicroNames() const {

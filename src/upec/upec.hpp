@@ -59,6 +59,17 @@ struct UpecOptions {
   // defaults to incremental. Set false to opt out explicitly.
   std::optional<bool> incrementalDeepening;
   std::uint64_t conflictBudget = 0;  // 0 = unlimited; applies per check
+  // Wall-clock deadline per solve call in milliseconds (0 = none). The
+  // solver checks it inside its search loop — no watchdog thread — and
+  // returns kUndef with UpecResult::deadlineExpired set. Unlike a
+  // budget-exhausted window, a deadline-expired one is *not* rescheduled:
+  // the budget measures search effort (retrying with more is meaningful),
+  // the deadline caps latency (retrying would re-break it).
+  std::uint64_t solveDeadlineMs = 0;
+  // Fault injection (engine::FaultPlan plumbs this): the solver throws
+  // after this many conflicts in one solve call (0 = off). Exercises the
+  // kError containment path deterministically; never set in production.
+  std::uint64_t faultAbortAtConflict = 0;
 
   // Decision-procedure selection. portfolio >= 2 races that many
   // diversified CDCL instances per check (sat::SolverConfig::diversified,
@@ -92,6 +103,14 @@ struct UpecOptions {
   // Campaign-wide member-slot cap (engine::ThreadGovernor); not owned, may
   // be null. Portfolios degrade member count when slots run short.
   sat::MemberGovernor* governor = nullptr;
+  // Learnt clauses persisted by a previous run (checkpoint resume), as
+  // flat Lit codes per clause. Seeded into the portfolio's ClauseExchange
+  // at construction so every member imports them on its first solve.
+  // Consumed only by sharing portfolios (the exchange is the seam); a
+  // single backend ignores the seeds. Verdict-preserving: the clauses are
+  // logical consequences of the same deterministic encoding, verified by
+  // the fingerprint check at checkpoint load.
+  std::vector<std::vector<int>> seedLearnts;
 
   // The configuration list the options resolve to (explicit list, else
   // diversified(portfolio), else empty = single default backend).
@@ -100,7 +119,10 @@ struct UpecOptions {
   sat::PortfolioOptions resolvedPortfolioOptions() const;
 };
 
-enum class Verdict { kProven, kPAlert, kLAlert, kUnknown };
+// kError marks a window/job whose execution *failed* (a thrown exception,
+// an injected fault) rather than one the solver answered or abandoned —
+// the campaign records it with a diagnostic instead of crashing.
+enum class Verdict { kProven, kPAlert, kLAlert, kUnknown, kError };
 const char* verdictName(Verdict v);
 
 struct UpecResult {
@@ -115,6 +137,9 @@ struct UpecResult {
   // out (not a cooperative stop). The campaign engine reschedules such
   // windows with an escalated budget — see engine::LadderScheduler.
   bool budgetExhausted = false;
+  // For kUnknown: the per-solve wall-clock deadline expired. Terminal —
+  // never rescheduled (see UpecOptions::solveDeadlineMs).
+  bool deadlineExpired = false;
 };
 
 class UpecEngine {
@@ -144,6 +169,13 @@ class UpecEngine {
   // encoding (the session caches the activation literal per commitment
   // set), so a retry pays only solver time.
   void setConflictBudget(std::uint64_t budget) { options_.conflictBudget = budget; }
+
+  // Learnt clauses currently published on the incremental session's
+  // portfolio ClauseExchange, as flat Lit codes per clause — the payload
+  // engine::CheckpointStore persists for cross-process learnt reuse.
+  // Empty for single-backend or non-sharing sessions, or before the first
+  // incremental check.
+  std::vector<std::vector<int>> exchangeSnapshot(std::size_t maxClauses) const;
 
   // The Fig. 4 interval property at window k (campaigns and external
   // drivers can encode it with an engine of their own choosing).

@@ -1,0 +1,577 @@
+// Crash-safe campaigns: the checkpoint journal round-trips every record
+// class, resume replays exactly the decided prefix (identical verdicts, no
+// re-solving) after a simulated mid-sweep kill, damaged journals degrade
+// to a fresh start with a diagnostic instead of failing the campaign, and
+// every FaultPlan class (solver abort, task throw, journal write failure,
+// corrupted load) is *contained* — the campaign always completes. Plus the
+// per-attempt deadline: expiry is a terminal kUnknown, never rescheduled.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/campaign.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/fault.hpp"
+#include "obs/observer.hpp"
+
+namespace upec::engine {
+namespace {
+
+// ------------------------------------------------------------ helpers -------
+
+JobSpec secureLadder(std::uint32_t id, SecretScenario scenario, unsigned kMax,
+                     DeepeningMode mode = DeepeningMode::kIncremental) {
+  JobSpec spec;
+  spec.id = id;
+  spec.label = std::string("secure/") + scenarioName(scenario) + "/" + deepeningModeName(mode);
+  spec.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+  spec.secretWord = 12;
+  spec.options.scenario = scenario;
+  spec.mode = mode;
+  spec.kMin = 1;
+  spec.kMax = kMax;
+  return spec;
+}
+
+// Two deterministic single-backend ladders: one all-proven, one P-alert.
+std::vector<JobSpec> smallCampaign() {
+  return {secureLadder(0, SecretScenario::kNotInCache, 2),
+          secureLadder(1, SecretScenario::kInCache, 1)};
+}
+
+std::string tempJournal(const std::string& name) {
+  const std::string path = testing::TempDir() + "ckpt_" + name + ".ndjson";
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<std::string> journalLines(const std::string& path) {
+  std::vector<std::string> lines;
+  EXPECT_TRUE(obs::readNdjsonLines(path, lines, nullptr)) << path;
+  return lines;
+}
+
+void writeLines(const std::string& path, const std::vector<std::string>& lines,
+                const std::string& unterminatedTail = {}) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  for (const std::string& line : lines) out << line << '\n';
+  out << unterminatedTail;  // no newline: simulates a write torn by a crash
+}
+
+std::size_t countType(const std::vector<std::string>& lines, const std::string& type) {
+  std::size_t n = 0;
+  const std::string needle = "\"type\":\"" + type + "\"";
+  for (const std::string& line : lines) {
+    if (line.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+void expectSameVerdicts(const CampaignReport& got, const CampaignReport& want) {
+  ASSERT_EQ(got.jobs.size(), want.jobs.size());
+  for (std::size_t j = 0; j < got.jobs.size(); ++j) {
+    EXPECT_EQ(got.jobs[j].verdict, want.jobs[j].verdict) << "job " << j;
+    ASSERT_EQ(got.jobs[j].windows.size(), want.jobs[j].windows.size()) << "job " << j;
+    for (std::size_t w = 0; w < got.jobs[j].windows.size(); ++w) {
+      EXPECT_EQ(got.jobs[j].windows[w].verdict, want.jobs[j].windows[w].verdict)
+          << "job " << j << " window " << w;
+      EXPECT_EQ(got.jobs[j].windows[w].stats.conflicts, want.jobs[j].windows[w].stats.conflicts)
+          << "job " << j << " window " << w;
+    }
+  }
+  EXPECT_EQ(got.overallVerdict, want.overallVerdict);
+}
+
+// ------------------------------------------------- the store, directly ------
+
+TEST(CheckpointStore, FingerprintBindsToTheJobList) {
+  const std::vector<JobSpec> jobs = smallCampaign();
+  const std::string fp = CheckpointStore::fingerprint(jobs);
+  EXPECT_EQ(fp.size(), 16u);
+  EXPECT_EQ(fp, CheckpointStore::fingerprint(jobs)) << "fingerprint must be deterministic";
+
+  std::vector<JobSpec> relabelled = jobs;
+  relabelled[0].label = "something else";
+  EXPECT_NE(CheckpointStore::fingerprint(relabelled), fp);
+
+  std::vector<JobSpec> deeper = jobs;
+  deeper[1].kMax = 3;
+  EXPECT_NE(CheckpointStore::fingerprint(deeper), fp);
+
+  std::vector<JobSpec> shorter(jobs.begin(), jobs.begin() + 1);
+  EXPECT_NE(CheckpointStore::fingerprint(shorter), fp);
+}
+
+TEST(CheckpointStore, JournalRoundTripsEveryRecordClass) {
+  const std::string path = tempJournal("roundtrip");
+  const std::vector<JobSpec> jobs = smallCampaign();
+
+  WindowResult w;
+  w.window = 1;
+  w.verdict = Verdict::kPAlert;
+  w.stats.vars = 100;
+  w.stats.clauses = 300;
+  w.stats.conflicts = 42;
+  w.stats.propagations = 4242;
+  w.stats.decisions = 17;
+  w.stats.encodeMs = 1.25;
+  w.stats.solveMs = 3.5;
+  w.stats.solvedBy = "vsids\"quoted";
+  w.wallMs = 5.0;
+
+  WindowResult faulted = w;
+  faulted.window = 2;
+  faulted.verdict = Verdict::kError;
+
+  JobResult done;
+  done.id = 1;
+  done.verdict = Verdict::kProven;
+  done.wallMs = 12.0;
+
+  {
+    CheckpointStore store(path);
+    ASSERT_TRUE(store.openFresh(jobs));
+    store.recordWindow(0, w, {"resp_buf", "odd name\\x"}, {});
+    store.recordWindow(0, faulted, {}, {});  // kError: must NOT be journaled
+    store.recordLearnts(0, {{2, 5, -7}, {9}});
+    store.recordLearnts(0, {{3, -4}});  // supersedes the first snapshot
+    store.recordJob(done);
+    EXPECT_FALSE(store.writeFailed());
+  }
+
+  CheckpointStore reader(path);
+  CheckpointLoad loaded;
+  ASSERT_TRUE(reader.openResume(jobs, loaded));
+  EXPECT_TRUE(loaded.diagnostics.empty());
+
+  ASSERT_EQ(loaded.windows.size(), 1u) << "the kError window must be absent";
+  const WindowResult& r = loaded.windows[0].window.window;
+  EXPECT_EQ(loaded.windows[0].job, 0u);
+  EXPECT_EQ(r.window, 1u);
+  EXPECT_EQ(r.verdict, Verdict::kPAlert);
+  EXPECT_EQ(r.stats.vars, 100u);
+  EXPECT_EQ(r.stats.conflicts, 42u);
+  EXPECT_EQ(r.stats.propagations, 4242u);
+  EXPECT_EQ(r.stats.solvedBy, "vsids\"quoted");
+  EXPECT_DOUBLE_EQ(r.stats.encodeMs, 1.25);
+  EXPECT_DOUBLE_EQ(r.stats.solveMs, 3.5);
+  ASSERT_EQ(loaded.windows[0].window.pAlertRegisters.size(), 2u);
+  EXPECT_EQ(loaded.windows[0].window.pAlertRegisters[1], "odd name\\x");
+
+  ASSERT_EQ(loaded.learnts.size(), 1u);
+  ASSERT_EQ(loaded.learnts[0].clauses.size(), 1u) << "newest snapshot wins";
+  EXPECT_EQ(loaded.learnts[0].clauses[0], (std::vector<int>{3, -4}));
+
+  ASSERT_EQ(loaded.jobs.size(), 1u);
+  EXPECT_EQ(loaded.jobs[0].job, 1u);
+  EXPECT_EQ(loaded.jobs[0].verdict, Verdict::kProven);
+  EXPECT_DOUBLE_EQ(loaded.jobs[0].wallMs, 12.0);
+}
+
+TEST(CheckpointStore, TornFinalLineIsSkippedWithADiagnostic) {
+  const std::string path = tempJournal("torn");
+  const std::vector<JobSpec> jobs = smallCampaign();
+  {
+    CheckpointStore store(path);
+    ASSERT_TRUE(store.openFresh(jobs));
+    WindowResult w;
+    w.window = 1;
+    w.verdict = Verdict::kProven;
+    store.recordWindow(0, w, {}, {});
+  }
+  // Tear the next write mid-line, as a SIGKILL would.
+  std::vector<std::string> lines = journalLines(path);
+  writeLines(path, lines, "{\"type\":\"window\",\"job\":0,\"k\":2,\"verd");
+
+  CheckpointStore reader(path);
+  CheckpointLoad loaded;
+  ASSERT_TRUE(reader.openResume(jobs, loaded));
+  ASSERT_EQ(loaded.windows.size(), 1u) << "only the terminated line replays";
+  EXPECT_EQ(loaded.windows[0].window.window.window, 1u);
+  ASSERT_FALSE(loaded.diagnostics.empty());
+  EXPECT_NE(loaded.diagnostics[0].find("no terminator"), std::string::npos)
+      << loaded.diagnostics[0];
+}
+
+TEST(CheckpointStore, MalformedLineStopsTheScanKeepingEarlierRecords) {
+  const std::string path = tempJournal("malformed");
+  const std::vector<JobSpec> jobs = smallCampaign();
+  {
+    CheckpointStore store(path);
+    ASSERT_TRUE(store.openFresh(jobs));
+    WindowResult w;
+    w.window = 1;
+    w.verdict = Verdict::kProven;
+    store.recordWindow(0, w, {}, {});
+    w.window = 2;
+    store.recordWindow(0, w, {}, {});
+  }
+  std::vector<std::string> lines = journalLines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  lines[2] = "{\"type\":\"window\",\"job\":0,\"k\":2,!!corrupt!!}";
+  // A valid line *after* the damage must not replay: append-only damage
+  // invalidates everything behind it.
+  lines.push_back("{\"type\":\"job\",\"job\":0,\"verdict\":\"proven\",\"wall_ms\":1.0}");
+  writeLines(path, lines);
+
+  CheckpointStore reader(path);
+  CheckpointLoad loaded;
+  ASSERT_TRUE(reader.openResume(jobs, loaded));
+  ASSERT_EQ(loaded.windows.size(), 1u);
+  EXPECT_EQ(loaded.windows[0].window.window.window, 1u);
+  EXPECT_TRUE(loaded.jobs.empty()) << "records after the damage are suspect";
+  ASSERT_FALSE(loaded.diagnostics.empty());
+  EXPECT_NE(loaded.diagnostics[0].find("malformed journal line 3"), std::string::npos)
+      << loaded.diagnostics[0];
+}
+
+TEST(CheckpointStore, VersionAndFingerprintMismatchesRefuseToLoad) {
+  const std::string path = tempJournal("mismatch");
+  const std::vector<JobSpec> jobs = smallCampaign();
+
+  // Future version: refuse (this reader cannot know the new semantics).
+  writeLines(path, {"{\"type\":\"header\",\"version\":99,\"fingerprint\":\"x\",\"jobs\":2}"});
+  {
+    CheckpointStore reader(path);
+    CheckpointLoad loaded;
+    EXPECT_FALSE(reader.openResume(jobs, loaded));
+    EXPECT_FALSE(reader.isOpen());
+    ASSERT_FALSE(loaded.diagnostics.empty());
+    EXPECT_NE(loaded.diagnostics[0].find("version"), std::string::npos);
+  }
+
+  // Journal written by a different job list: refuse.
+  {
+    CheckpointStore writer(path);
+    std::vector<JobSpec> others = smallCampaign();
+    others[0].kMax = 4;
+    ASSERT_TRUE(writer.openFresh(others));
+  }
+  {
+    CheckpointStore reader(path);
+    CheckpointLoad loaded;
+    EXPECT_FALSE(reader.openResume(jobs, loaded));
+    ASSERT_FALSE(loaded.diagnostics.empty());
+    EXPECT_NE(loaded.diagnostics[0].find("fingerprint mismatch"), std::string::npos);
+  }
+
+  // Missing file: refuse cleanly.
+  {
+    CheckpointStore reader(tempJournal("never_written"));
+    CheckpointLoad loaded;
+    EXPECT_FALSE(reader.openResume(jobs, loaded));
+    ASSERT_FALSE(loaded.diagnostics.empty());
+  }
+}
+
+// ------------------------------------------- campaigns with a journal -------
+
+TEST(CheckpointCampaign, FreshRunJournalsWindowsAndJobs) {
+  const std::string path = tempJournal("fresh");
+  CampaignOptions options;
+  options.threads = 1;
+  options.checkpoint.path = path;
+  const CampaignReport report = runCampaign(smallCampaign(), options);
+
+  EXPECT_TRUE(report.checkpointEnabled);
+  EXPECT_FALSE(report.resumed);
+  EXPECT_FALSE(report.checkpointWriteFailed);
+  EXPECT_EQ(report.replayedWindows, 0u);
+  EXPECT_EQ(report.numProven, 1u);
+  EXPECT_EQ(report.numPAlerts, 1u);
+
+  const std::vector<std::string> lines = journalLines(path);
+  EXPECT_EQ(countType(lines, "header"), 1u);
+  EXPECT_EQ(countType(lines, "window"), 3u) << "2 + 1 ladder rungs";
+  EXPECT_EQ(countType(lines, "job"), 2u);
+
+  const std::string json = report.toJson();
+  EXPECT_NE(json.find("\"checkpoint\":{\"resumed\":false"), std::string::npos) << json;
+}
+
+TEST(CheckpointCampaign, ResumeAfterSimulatedKillReplaysTheDecidedPrefix) {
+  // The kill-resume differential of the acceptance criteria: run a full
+  // checkpointed sweep, cut the journal back to what a mid-sweep SIGKILL
+  // would have left (header + the first decided window), resume, and
+  // demand identical verdicts with the cached window adopted verbatim.
+  const std::string path = tempJournal("kill");
+  CampaignOptions options;
+  options.threads = 1;
+  options.checkpoint.path = path;
+  const CampaignReport full = runCampaign(smallCampaign(), options);
+  ASSERT_EQ(full.numProven + full.numPAlerts, 2u);
+
+  std::vector<std::string> lines = journalLines(path);
+  std::vector<std::string> kept;
+  kept.push_back(lines[0]);  // header
+  for (const std::string& line : lines) {
+    if (line.find("\"type\":\"window\"") != std::string::npos) {
+      kept.push_back(line);
+      break;  // exactly one decided window survives the "kill"
+    }
+  }
+  ASSERT_EQ(kept.size(), 2u);
+  writeLines(path, kept);
+
+  CampaignOptions resume = options;
+  resume.checkpoint.resume = true;
+  const CampaignReport resumed = runCampaign(smallCampaign(), resume);
+
+  EXPECT_TRUE(resumed.resumed);
+  expectSameVerdicts(resumed, full);
+  EXPECT_GT(resumed.replayedWindows, 0u) << "the surviving window must be adopted, not re-solved";
+  EXPECT_EQ(resumed.replayedWindows, 1u);
+  // Which job ran (and journaled) first is the pool's business — read the
+  // owner off the surviving line instead of assuming submission order.
+  const std::size_t jobPos = kept[1].find("\"job\":");
+  ASSERT_NE(jobPos, std::string::npos);
+  const std::size_t survivor = static_cast<std::size_t>(std::stoul(kept[1].substr(jobPos + 6)));
+  ASSERT_LT(survivor, resumed.jobs.size());
+  EXPECT_EQ(resumed.jobs[survivor].replayedWindows, 1u);
+  // Adopted verbatim: the journal's conflict count, not a fresh solve's.
+  EXPECT_EQ(resumed.jobs[survivor].windows[0].stats.conflicts,
+            full.jobs[survivor].windows[0].stats.conflicts);
+  // The resumed run completes the journal: re-solved windows and the job
+  // records are appended behind the replayed prefix.
+  const std::vector<std::string> after = journalLines(path);
+  EXPECT_EQ(countType(after, "window"), 3u);
+  EXPECT_EQ(countType(after, "job"), 2u);
+}
+
+TEST(CheckpointCampaign, ResumeFromACompleteJournalReSolvesNothing) {
+  const std::string path = tempJournal("complete");
+  CampaignOptions options;
+  options.threads = 1;
+  options.checkpoint.path = path;
+  const CampaignReport full = runCampaign(smallCampaign(), options);
+
+  CampaignOptions resume = options;
+  resume.checkpoint.resume = true;
+  const CampaignReport replayed = runCampaign(smallCampaign(), resume);
+  EXPECT_TRUE(replayed.resumed);
+  EXPECT_EQ(replayed.replayedJobs, 2u) << "every job has a journal record";
+  expectSameVerdicts(replayed, full);
+  for (const JobResult& job : replayed.jobs) {
+    EXPECT_EQ(job.replayedWindows, job.windows.size()) << job.label;
+  }
+  // Conflict totals come from the journal, so they match exactly.
+  EXPECT_EQ(replayed.totalConflicts, full.totalConflicts);
+
+  // Double resume: the second resume appended nothing, so a third run
+  // replays the same journal just as cleanly.
+  const CampaignReport again = runCampaign(smallCampaign(), resume);
+  EXPECT_TRUE(again.resumed);
+  EXPECT_EQ(again.replayedJobs, 2u);
+  expectSameVerdicts(again, full);
+}
+
+TEST(CheckpointCampaign, UnusableJournalDegradesToAFreshStart) {
+  const std::string path = tempJournal("unusable");
+  writeLines(path, {"this is not ndjson at all"});
+
+  CampaignOptions options;
+  options.threads = 1;
+  options.checkpoint.path = path;
+  options.checkpoint.resume = true;
+  const CampaignReport report = runCampaign(smallCampaign(), options);
+
+  EXPECT_FALSE(report.resumed) << "a broken journal must not poison the campaign";
+  EXPECT_EQ(report.numProven, 1u);
+  EXPECT_EQ(report.numPAlerts, 1u);
+  ASSERT_FALSE(report.checkpointDiagnostics.empty());
+  // The fresh run rewrote the journal: it is valid for the next resume.
+  CampaignOptions resume = options;
+  const CampaignReport replayed = runCampaign(smallCampaign(), resume);
+  EXPECT_TRUE(replayed.resumed);
+  EXPECT_EQ(replayed.replayedJobs, 2u);
+}
+
+TEST(CheckpointCampaign, ThreadedSharingSweepJournalsAndResumes) {
+  // Pool workers journal concurrently and sharing jobs persist their learnt
+  // snapshots; the resume must seed + replay cleanly. (Also the TSan
+  // coverage for the journal's writer mutex.)
+  std::vector<JobSpec> jobs = smallCampaign();
+  for (JobSpec& j : jobs) {
+    j.portfolio = 2;
+    j.sharing = true;
+  }
+  const std::string path = tempJournal("threaded");
+  CampaignOptions options;
+  options.threads = 2;
+  options.checkpoint.path = path;
+  const CampaignReport full = runCampaign(jobs, options);
+  EXPECT_EQ(full.numProven, 1u);
+  EXPECT_EQ(full.numPAlerts, 1u);
+
+  // Drop the job records so both ladders resume from their window prefix
+  // (exercising the learnt-seeding path, which full-job replay skips).
+  std::vector<std::string> lines = journalLines(path);
+  std::vector<std::string> kept;
+  for (const std::string& line : lines) {
+    if (line.find("\"type\":\"job\"") == std::string::npos) kept.push_back(line);
+  }
+  writeLines(path, kept);
+
+  CampaignOptions resume = options;
+  resume.checkpoint.resume = true;
+  const CampaignReport resumed = runCampaign(jobs, resume);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.replayedJobs, 0u);
+  EXPECT_GT(resumed.replayedWindows, 0u);
+  for (std::size_t j = 0; j < resumed.jobs.size(); ++j) {
+    EXPECT_EQ(resumed.jobs[j].verdict, full.jobs[j].verdict) << "job " << j;
+  }
+}
+
+// --------------------------------------------------- fault containment ------
+
+TEST(FaultContainment, SolverAbortBecomesAnErrorVerdictNotACrash) {
+  // The deepest fault: the SAT solver throws mid-search. The throw crosses
+  // the BMC engine, the ladder scheduler and the pool — and must surface
+  // as a kError job with the message preserved, never as a crash.
+  CampaignOptions options;
+  options.threads = 1;
+  options.faults.solverAbortAtConflict = 1;
+  const CampaignReport report = runCampaign(smallCampaign(), options);
+
+  ASSERT_EQ(report.jobs.size(), 2u);
+  EXPECT_GE(report.numErrors, 1u) << "at least one solve reaches one conflict";
+  bool sawInjected = false;
+  for (const JobResult& job : report.jobs) {
+    if (job.verdict != Verdict::kError) continue;
+    sawInjected = true;
+    EXPECT_NE(job.error.find("injected solver fault"), std::string::npos) << job.error;
+  }
+  EXPECT_TRUE(sawInjected);
+  EXPECT_EQ(report.overallVerdict,
+            report.numLAlerts != 0 ? Verdict::kLAlert : Verdict::kError);
+  const std::string json = report.toJson();
+  EXPECT_NE(json.find("\"num_errors\":"), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"error\":\""), std::string::npos) << "the message must reach the JSON";
+}
+
+TEST(FaultContainment, TaskThrowIsContainedPerJob) {
+  CampaignOptions options;
+  options.threads = 1;
+  options.faults.taskThrowAt = 1;  // whichever task the pool starts first
+  const CampaignReport report = runCampaign(smallCampaign(), options);
+
+  ASSERT_EQ(report.jobs.size(), 2u);
+  std::size_t errors = 0;
+  for (const JobResult& job : report.jobs) {
+    if (job.verdict != Verdict::kError) continue;
+    ++errors;
+    EXPECT_NE(job.error.find("injected task fault"), std::string::npos) << job.error;
+    EXPECT_TRUE(job.windows.empty()) << "the task died before solving anything";
+  }
+  EXPECT_EQ(errors, 1u) << "exactly one task faults";
+  EXPECT_EQ(report.numErrors, 1u);
+  // The other job is untouched and keeps its true verdict.
+  EXPECT_EQ(report.numProven + report.numPAlerts, 1u);
+}
+
+TEST(FaultContainment, JournalWriteFailureIsStickyAndNonFatal) {
+  const std::string path = tempJournal("writefail");
+  CampaignOptions clean;
+  clean.threads = 1;
+  const CampaignReport want = runCampaign(smallCampaign(), clean);
+
+  CampaignOptions options = clean;
+  options.checkpoint.path = path;
+  options.faults.checkpointWriteFailAt = 1;  // the very first record fails
+  const CampaignReport report = runCampaign(smallCampaign(), options);
+
+  EXPECT_TRUE(report.checkpointWriteFailed);
+  expectSameVerdicts(report, want);
+  const std::string json = report.toJson();
+  EXPECT_NE(json.find("\"write_failed\":true"), std::string::npos) << json;
+  // Only the header made it: journaling stopped at the failed line — no
+  // gap that a later resume could silently replay around.
+  const std::vector<std::string> lines = journalLines(path);
+  EXPECT_EQ(countType(lines, "window"), 0u);
+  EXPECT_EQ(countType(lines, "job"), 0u);
+}
+
+TEST(FaultContainment, CorruptedLoadReSolvesWhatTheTailLost) {
+  const std::string path = tempJournal("corrupt_load");
+  CampaignOptions options;
+  options.threads = 1;
+  options.checkpoint.path = path;
+  const CampaignReport full = runCampaign(smallCampaign(), options);
+
+  // Resume with the injector dropping the journal's final line (the last
+  // job record): that job loses its full-replay and re-solves.
+  CampaignOptions resume = options;
+  resume.checkpoint.resume = true;
+  resume.faults.corruptCheckpointLoad = true;
+  const CampaignReport resumed = runCampaign(smallCampaign(), resume);
+
+  EXPECT_TRUE(resumed.resumed);
+  expectSameVerdicts(resumed, full);
+  EXPECT_LT(resumed.replayedJobs, 2u) << "the lost record must be re-solved, not invented";
+  ASSERT_FALSE(resumed.checkpointDiagnostics.empty());
+  EXPECT_NE(resumed.checkpointDiagnostics[0].find("fault injection"), std::string::npos);
+}
+
+// -------------------------------------------------- per-attempt deadline ----
+
+TEST(Deadline, ExpiryIsATerminalUnknownNeverRescheduled) {
+  // The architectural-only Orc ladder has UNSAT-shaped intermediate
+  // windows that need hundreds of thousands of conflicts (see
+  // engine_test); a millisecond deadline must cut them off as kUnknown
+  // with deadlineExpired — and the reschedule policy, although enabled,
+  // must not retry them (a latency cap is not restored by retrying).
+  JobSpec spec;
+  spec.id = 0;
+  spec.label = "orc/arch_only/deadline";
+  spec.config = soc::SocConfig::formalSmall(soc::SocVariant::kOrc);
+  spec.secretWord = 12;
+  spec.options.scenario = SecretScenario::kInCache;
+  spec.kind = JobKind::kIntervalLadder;
+  spec.mode = DeepeningMode::kIncremental;
+  spec.architecturalOnly = true;
+  spec.kMin = 1;
+  spec.kMax = 4;
+
+  CampaignOptions options;
+  options.threads = 1;
+  options.attemptDeadlineMs = 1;
+  options.reschedule.enabled = true;  // must NOT engage for expired windows
+  const CampaignReport report = runCampaign({spec}, options);
+
+  ASSERT_EQ(report.jobs.size(), 1u);
+  const JobResult& job = report.jobs[0];
+  std::size_t expired = 0;
+  for (const WindowResult& w : job.windows) {
+    if (!w.deadlineExpired) continue;
+    ++expired;
+    EXPECT_EQ(w.verdict, Verdict::kUnknown);
+    EXPECT_FALSE(w.budgetExhausted) << "deadline and budget are distinct exits";
+    EXPECT_LE(w.attempts.size(), 1u) << "an expired window must not be retried";
+  }
+  EXPECT_GT(expired, 0u) << "the known-hard window cannot finish in 1 ms";
+  EXPECT_EQ(job.windowsRescheduled, 0u);
+  const std::string json = report.toJson();
+  EXPECT_NE(json.find("\"deadline_expired\":true"), std::string::npos) << json;
+}
+
+TEST(Deadline, DisabledDeadlineLeavesVerdictsUntouched) {
+  // attemptDeadlineMs = 0 must not even arm the solver-side polling: the
+  // verdicts and conflict counts stay exactly those of a plain campaign.
+  CampaignOptions plain;
+  plain.threads = 1;
+  const CampaignReport off = runCampaign(smallCampaign(), plain);
+  CampaignOptions armedButIdle = plain;
+  armedButIdle.attemptDeadlineMs = 60'000;  // generous: never expires here
+  const CampaignReport on = runCampaign(smallCampaign(), armedButIdle);
+  expectSameVerdicts(on, off);
+  EXPECT_EQ(on.totalConflicts, off.totalConflicts);
+  EXPECT_EQ(on.totalPropagations, off.totalPropagations);
+}
+
+}  // namespace
+}  // namespace upec::engine

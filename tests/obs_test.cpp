@@ -391,6 +391,51 @@ TEST(Observer, NdjsonStreamMatchesTerminalReport) {
   std::remove(path.c_str());
 }
 
+TEST(Ndjson, PartiallyWrittenFinalLineIsSkippedOnLoad) {
+  // The crash-safety contract the checkpoint journal builds on: a reader
+  // must treat an unterminated tail as "the write never happened", never
+  // hand back half a record.
+  const std::string path = testing::TempDir() + "obs_test_torn.ndjson";
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << "{\"a\":1}\n{\"b\":2}\n{\"c\":3,\"trunc";  // SIGKILL mid-write
+  }
+  std::vector<std::string> lines;
+  bool torn = false;
+  ASSERT_TRUE(obs::readNdjsonLines(path, lines, &torn));
+  EXPECT_TRUE(torn);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"a\":1}");
+  EXPECT_EQ(lines[1], "{\"b\":2}");
+
+  // A cleanly terminated file reports no tear (and blank lines are noise,
+  // not records).
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << "{\"a\":1}\n\n{\"b\":2}\n";
+  }
+  torn = true;
+  ASSERT_TRUE(obs::readNdjsonLines(path, lines, &torn));
+  EXPECT_FALSE(torn);
+  EXPECT_EQ(lines.size(), 2u);
+
+  EXPECT_FALSE(obs::readNdjsonLines(path + ".missing", lines, nullptr));
+  std::remove(path.c_str());
+}
+
+TEST(Ndjson, WriteFileAtomicReplacesWholeFiles) {
+  const std::string path = testing::TempDir() + "obs_test_atomic.txt";
+  ASSERT_TRUE(obs::writeFileAtomic(path, "first\n"));
+  ASSERT_TRUE(obs::writeFileAtomic(path, "second version\n"));
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "second version\n");
+  // No temp-file litter next to the target.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
 TEST(Observer, RescheduleEscalationsAreStreamed) {
   CollectingObserver collector;
   JobSpec spec = secureLadder(0, SecretScenario::kNotInCache, 2);
