@@ -31,19 +31,34 @@
 //  8. Checkpointing — a campaign with the crash-safe journal off vs on
 //     (identical verdicts, bounded overhead), then resumed from the
 //     finished journal: every window adopted, nothing re-solved.
+//  9. Solver profiling — the same ladder with SolverConfig::profile off vs
+//     on: bit-identical verdicts AND conflict counts (profiling only reads
+//     clocks), with the CDCL phase split (propagate/analyze/reduceDB/
+//     restart) reported; then section [4]'s sharing ladder rerun with
+//     profiling on, which must show nonzero imported-clause efficacy (the
+//     shared clauses actually propagate and appear in conflict analysis).
 //
-// Usage: bench/campaign [reschedule|trace|reduce|checkpoint]
+// Usage: bench/campaign [reschedule|trace|reduce|checkpoint|profile]
+//                       [--json out.json]
 //   no argument  — all sections;
 //   "reschedule" — section [5] only (self-contained; CI's smoke leg runs it
 //                  as the reschedule self-check without paying for 1-4);
 //   "trace"      — section [6] only (the telemetry differential self-check);
 //   "reduce"     — section [7] only (the reduction verdict-equality check);
-//   "checkpoint" — section [8] only (the crash-safety self-check).
+//   "checkpoint" — section [8] only (the crash-safety self-check);
+//   "profile"    — section [9] only (the profiling differential self-check).
+//   --json PATH  — also write a machine-readable summary of whatever ran:
+//                  per-section wall seconds, conflict totals and every
+//                  [ok]/[MISMATCH] self-check as {"name","ok"} (CI uploads
+//                  it as a workflow artifact).
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "base/stopwatch.hpp"
 #include "bench_util.hpp"
@@ -56,6 +71,65 @@ namespace {
 
 using namespace upec;
 using namespace upec::engine;
+
+// ---- machine-readable summary (--json) -----------------------------------
+
+// One bench section's outcome: what it measured and how its self-checks
+// went. Sections append their record as they finish; main() serialises the
+// collected list once at exit.
+struct SectionRecord {
+  int id = 0;
+  std::string name;
+  double wallSec = 0.0;
+  std::uint64_t conflicts = 0;
+  std::vector<std::pair<std::string, bool>> checks;
+};
+
+std::vector<SectionRecord>& sectionRecords() {
+  static std::vector<SectionRecord> records;
+  return records;
+}
+
+// Prints the familiar [ok]/[MISMATCH] line AND records the result, so the
+// JSON summary carries exactly the checks the terminal showed.
+bool recordCheck(SectionRecord& rec, bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
+  rec.checks.emplace_back(what, ok);
+  return ok;
+}
+
+bool writeBenchJson(const std::string& path, bool allOk) {
+  std::string out = "{\"bench\":\"campaign\",\"all_ok\":";
+  out += allOk ? "true" : "false";
+  out += ",\"sections\":[";
+  bool firstSection = true;
+  for (const SectionRecord& rec : sectionRecords()) {
+    if (!firstSection) out += ',';
+    firstSection = false;
+    out += "{\"id\":" + std::to_string(rec.id) + ",\"name\":\"";
+    obs::appendJsonEscaped(out, rec.name);
+    out += "\",\"wall_s\":" + std::to_string(rec.wallSec) +
+           ",\"conflicts\":" + std::to_string(rec.conflicts) + ",\"checks\":[";
+    bool firstCheck = true;
+    for (const auto& [name, ok] : rec.checks) {
+      if (!firstCheck) out += ',';
+      firstCheck = false;
+      out += "{\"name\":\"";
+      obs::appendJsonEscaped(out, name);
+      out += "\",\"ok\":";
+      out += ok ? "true" : "false";
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    const bool wrote = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    std::fclose(f);
+    return wrote;
+  }
+  return false;
+}
 
 std::vector<JobSpec> eightJobMatrix(DeepeningMode mode, unsigned kMin, unsigned kMax) {
   SweepMatrix matrix;
@@ -87,6 +161,10 @@ std::vector<JobSpec> eightJobMatrix(DeepeningMode mode, unsigned kMin, unsigned 
 // plus the escalation scheduler, which must recover exactly the baseline's
 // verdicts.
 bool rescheduleSection() {
+  SectionRecord rec;
+  rec.id = 5;
+  rec.name = "reschedule";
+  Stopwatch sectionTimer;
   std::printf("[5] window ladder k=1..4, tiny budget + rescheduling vs unlimited baseline\n");
   JobSpec ladder;
   ladder.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
@@ -127,10 +205,7 @@ bool rescheduleSection() {
   std::printf("escalation decides what the starved pass alone abandons; the retry\n"
               "re-enters the incremental session, so only solver time is re-paid\n\n");
 
-  auto check = [](bool ok, const char* what) {
-    std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
-    return ok;
-  };
+  auto check = [&rec](bool ok, const char* what) { return recordCheck(rec, ok, what); };
   bool all = true;
   all &= check(!starved.undecidedWindows.empty(),
                "the starved run alone leaves windows undecided");
@@ -142,6 +217,9 @@ bool rescheduleSection() {
                "rescheduled ladder reproduces the unlimited-budget verdicts");
   all &= check(resched.undecidedWindows.empty() && resched.windowsDecidedByRetry >= 1,
                "every rescheduled window ends decided by an escalated retry");
+  rec.wallSec = sectionTimer.elapsedSeconds();
+  rec.conflicts = baseline.totalConflicts + starved.totalConflicts + resched.totalConflicts;
+  sectionRecords().push_back(std::move(rec));
   return all;
 }
 
@@ -153,6 +231,10 @@ bool rescheduleSection() {
 // deterministic, so "telemetry only reads, never feeds back" is checkable
 // bit-for-bit: per-window verdicts AND conflict counts must be equal.
 bool traceSection() {
+  SectionRecord rec;
+  rec.id = 6;
+  rec.name = "trace";
+  Stopwatch sectionTimer;
   std::printf("[6] window ladder k=1..4, telemetry off vs tracing+metrics+events on\n");
   JobSpec ladder;
   ladder.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
@@ -198,10 +280,7 @@ bool traceSection() {
               "indicative, the hard guarantee is the bit-identical trajectory below)\n\n",
               overheadPct);
 
-  auto check = [](bool ok, const char* what) {
-    std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
-    return ok;
-  };
+  auto check = [&rec](bool ok, const char* what) { return recordCheck(rec, ok, what); };
   bool all = true;
   all &= check(std::equal(off.windows.begin(), off.windows.end(), on.windows.begin(),
                           on.windows.end(),
@@ -212,6 +291,9 @@ bool traceSection() {
                "telemetry-on ladder reproduces the telemetry-off verdicts and conflicts");
   all &= check(recorder.eventCount() > 0, "trace recorder captured spans");
   all &= check(counting.events.load() > 0, "observer received stream events");
+  rec.wallSec = sectionTimer.elapsedSeconds();
+  rec.conflicts = off.totalConflicts + on.totalConflicts;
+  sectionRecords().push_back(std::move(rec));
   return all;
 }
 
@@ -225,6 +307,10 @@ bool traceSection() {
 // plain per-window verdicts exactly while encoding fewer CNF variables —
 // that pair is this repo's standing contract for every speed feature.
 bool reduceSection() {
+  SectionRecord rec;
+  rec.id = 7;
+  rec.name = "reduce";
+  Stopwatch sectionTimer;
   std::printf("[7] window ladder k=1..4, reduction pass pipeline off vs on\n");
   JobSpec ladder;
   ladder.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
@@ -260,10 +346,7 @@ bool reduceSection() {
   std::printf("the solver race starts from a smaller netlist; the verdicts below prove\n"
               "the shrink changed nothing the property can observe\n\n");
 
-  auto check = [](bool ok, const char* what) {
-    std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
-    return ok;
-  };
+  auto check = [&rec](bool ok, const char* what) { return recordCheck(rec, ok, what); };
   bool all = true;
   all &= check(std::equal(plain.windows.begin(), plain.windows.end(), reduced.windows.begin(),
                           reduced.windows.end(),
@@ -276,6 +359,9 @@ bool reduceSection() {
   all &= check(reduced.reduction.has_value() &&
                    reduced.reduction->nodesAfter < reduced.reduction->nodesBefore,
                "pass pipeline reports a net node reduction");
+  rec.wallSec = sectionTimer.elapsedSeconds();
+  rec.conflicts = plain.totalConflicts + reduced.totalConflicts;
+  sectionRecords().push_back(std::move(rec));
   return all;
 }
 
@@ -286,6 +372,10 @@ bool reduceSection() {
 // handful of flushed appends per window), and resumed from the finished
 // journal, which must adopt every window without re-solving anything.
 bool checkpointSection() {
+  SectionRecord rec;
+  rec.id = 8;
+  rec.name = "checkpoint";
+  Stopwatch sectionTimer;
   std::printf("[8] 2-job campaign, checkpoint journal off vs on vs resumed\n");
   std::vector<JobSpec> jobs;
   {
@@ -340,10 +430,7 @@ bool checkpointSection() {
   std::printf("the journal costs a flushed append per decided window; the resumed run\n"
               "adopts every cached verdict and solves nothing\n\n");
 
-  auto check = [](bool ok, const char* what) {
-    std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
-    return ok;
-  };
+  auto check = [&rec](bool ok, const char* what) { return recordCheck(rec, ok, what); };
   auto sameVerdicts = [](const CampaignReport& a, const CampaignReport& b) {
     if (a.jobs.size() != b.jobs.size()) return false;
     for (std::size_t j = 0; j < a.jobs.size(); ++j) {
@@ -373,23 +460,134 @@ bool checkpointSection() {
   all &= check(resumed.totalConflicts == journaled.totalConflicts,
                "resume re-solves nothing (conflict totals come from the journal)");
   std::remove(journal.c_str());
+  rec.wallSec = sectionTimer.elapsedSeconds();
+  rec.conflicts = plain.totalConflicts + journaled.totalConflicts + resumed.totalConflicts;
+  sectionRecords().push_back(std::move(rec));
+  return all;
+}
+
+// ---- 9: solver profiling off vs on, efficacy on the sharing ladder -------
+// Self-contained (also run standalone as CI's profiling self-check). Two
+// claims: SolverConfig::profile moves nothing — per-window verdicts AND
+// conflict counts are bit-identical, it only reads clocks and counts
+// flags — while populating the CDCL phase split; and on section [4]'s
+// sharing portfolio, the imported clauses demonstrably *work* (nonzero
+// first-use-in-propagation / first-use-in-conflict counters), turning
+// "sharing helps" from folklore into a measured number.
+bool profileSection() {
+  SectionRecord rec;
+  rec.id = 9;
+  rec.name = "profile";
+  Stopwatch sectionTimer;
+  std::printf("[9] window ladder k=1..4, solver profiling off vs on; import efficacy\n");
+  JobSpec ladder;
+  ladder.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+  ladder.secretWord = 12;
+  ladder.options.scenario = SecretScenario::kNotInCache;
+  ladder.mode = DeepeningMode::kIncremental;
+  ladder.kMin = 1;
+  ladder.kMax = 4;
+
+  Stopwatch offTimer;
+  const JobResult off = runJob(ladder);
+  const double offSec = offTimer.elapsedSeconds();
+
+  JobSpec profSpec = ladder;
+  profSpec.options.profileSolver = true;
+  Stopwatch profTimer;
+  const JobResult prof = runJob(profSpec);
+  const double profSec = profTimer.elapsedSeconds();
+
+  // Section [4]'s cooperative portfolio, profiled: where import efficacy
+  // is observable at all.
+  JobSpec shareSpec = profSpec;
+  shareSpec.portfolio = 3;
+  shareSpec.sharing = true;
+  Stopwatch shareTimer;
+  const JobResult shared = runJob(shareSpec);
+  const double shareSec = shareTimer.elapsedSeconds();
+
+  auto phaseCell = [](const JobResult& r) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%.0f/%.0f/%.0f/%.0f ms",
+                  r.totalPropagateTimeNs / 1e6, r.totalAnalyzeTimeNs / 1e6,
+                  r.totalReduceTimeNs / 1e6, r.totalRestartTimeNs / 1e6);
+    return std::string(buf);
+  };
+  upec::bench::Table t({"mode", "wall clock", "conflicts",
+                        "prop/analyze/reduce/restart", "imports used (prop/confl)"});
+  t.addRow({"profile off", upec::bench::fmtSeconds(offSec),
+            std::to_string(off.totalConflicts), "-", "-"});
+  t.addRow({"profile on", upec::bench::fmtSeconds(profSec),
+            std::to_string(prof.totalConflicts), phaseCell(prof), "0/0 (no exchange)"});
+  t.addRow({"sharing(3) + profile", upec::bench::fmtSeconds(shareSec),
+            std::to_string(shared.totalConflicts), phaseCell(shared),
+            std::to_string(shared.totalImportedUsedInPropagation) + "/" +
+                std::to_string(shared.totalImportedUsedInConflict)});
+  t.print();
+  std::printf("the phase split shows where solve time actually goes; the efficacy pair\n"
+              "counts imported clauses that propagated a literal / entered a conflict\n\n");
+
+  auto check = [&rec](bool ok, const char* what) { return recordCheck(rec, ok, what); };
+  bool all = true;
+  all &= check(std::equal(off.windows.begin(), off.windows.end(), prof.windows.begin(),
+                          prof.windows.end(),
+                          [](const WindowResult& a, const WindowResult& b) {
+                            return a.window == b.window && a.verdict == b.verdict &&
+                                   a.stats.conflicts == b.stats.conflicts;
+                          }),
+               "profiled ladder reproduces the unprofiled verdicts and conflicts");
+  all &= check(off.totalPropagateTimeNs == 0 && off.totalAnalyzeTimeNs == 0,
+               "profile off records no phase time (the default path never reads the clock)");
+  all &= check(prof.totalPropagateTimeNs > 0,
+               "profile on populates the phase timings");
+  all &= check(shared.verdict == off.verdict,
+               "profiled sharing portfolio reproduces the ladder verdict");
+  all &= check(shared.totalImportedUsedInPropagation + shared.totalImportedUsedInConflict > 0,
+               "sharing ladder shows nonzero imported-clause efficacy");
+  rec.wallSec = sectionTimer.elapsedSeconds();
+  rec.conflicts = off.totalConflicts + prof.totalConflicts + shared.totalConflicts;
+  sectionRecords().push_back(std::move(rec));
   return all;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "reschedule") == 0) {
-    return rescheduleSection() ? 0 : 1;
+  std::string jsonPath;
+  std::string section;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json needs a file argument\n");
+        return 2;
+      }
+      jsonPath = argv[++i];
+      continue;
+    }
+    section = argv[i];
   }
-  if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
-    return traceSection() ? 0 : 1;
-  }
-  if (argc > 1 && std::strcmp(argv[1], "reduce") == 0) {
-    return reduceSection() ? 0 : 1;
-  }
-  if (argc > 1 && std::strcmp(argv[1], "checkpoint") == 0) {
-    return checkpointSection() ? 0 : 1;
+  auto finish = [&jsonPath](bool ok) {
+    if (!jsonPath.empty()) {
+      if (writeBenchJson(jsonPath, ok)) {
+        std::printf("\nbench summary -> %s\n", jsonPath.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+        return 2;
+      }
+    }
+    return ok ? 0 : 1;
+  };
+  if (section == "reschedule") return finish(rescheduleSection());
+  if (section == "trace") return finish(traceSection());
+  if (section == "reduce") return finish(reduceSection());
+  if (section == "checkpoint") return finish(checkpointSection());
+  if (section == "profile") return finish(profileSection());
+  if (!section.empty()) {
+    std::fprintf(stderr,
+                 "usage: campaign [reschedule|trace|reduce|checkpoint|profile] "
+                 "[--json out.json]\n");
+    return 2;
   }
   std::printf("Verification campaign bench — parallel scaling and incremental deepening\n\n");
   const unsigned hw = std::thread::hardware_concurrency();
@@ -419,6 +617,8 @@ int main(int argc, char** argv) {
   t1.print();
   const double speedup = serial.wallMs / parallel.wallMs;
   std::printf("speedup: %.2fx\n\n", speedup);
+  sectionRecords().push_back({1, "parallel_scaling", (serial.wallMs + parallel.wallMs) / 1e3,
+                              serial.totalConflicts + parallel.totalConflicts, {}});
 
   // ---- 2: incremental deepening over the k..k+3 ladder -------------------
   std::printf("[2] window ladder k=1..4, monolithic vs incremental (D not in cache)\n");
@@ -450,6 +650,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(mono.sumVars),
               100.0 * (1.0 - static_cast<double>(inc.peakVars) /
                                  static_cast<double>(mono.sumVars)));
+  sectionRecords().push_back({2, "incremental_deepening", monoSec + incSec,
+                              mono.totalConflicts + inc.totalConflicts, {}});
 
   // ---- 3: portfolio vs single backend on the k=1..4 ladder ---------------
   // The single-backend baseline is section [2]'s incremental run (same
@@ -483,6 +685,7 @@ int main(int argc, char** argv) {
   std::printf("portfolio wall clock: %.2fx of single (race overhead pays off on hard,\n"
               "heuristic-sensitive windows; summed conflicts show the extra work bought)\n\n",
               raceSec / singleSec);
+  sectionRecords().push_back({3, "portfolio", raceSec, raced.totalConflicts, {}});
 
   // ---- 4: sharing-on vs sharing-off portfolio on the same ladder ---------
   // Section [3]'s portfolio run is the sharing-off baseline.
@@ -510,6 +713,7 @@ int main(int argc, char** argv) {
   std::printf("sharing wall clock: %.2fx of isolated (one member's deduction prunes\n"
               "every member's search; the exported/imported columns show the flow)\n\n",
               sharedSec / isolatedSec);
+  sectionRecords().push_back({4, "clause_sharing", sharedSec, shared.totalConflicts, {}});
 
   // ---- 5: budget-aware rescheduling --------------------------------------
   bool all = rescheduleSection();
@@ -527,10 +731,16 @@ int main(int argc, char** argv) {
   all &= checkpointSection();
   std::printf("\n");
 
+  // ---- 9: solver profiling -----------------------------------------------
+  all &= profileSection();
+  std::printf("\n");
+
   // ---- acceptance --------------------------------------------------------
-  auto check = [](bool ok, const char* what) {
-    std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
-    return ok;
+  SectionRecord acceptance;
+  acceptance.id = 0;
+  acceptance.name = "acceptance";
+  auto check = [&acceptance](bool ok, const char* what) {
+    return recordCheck(acceptance, ok, what);
   };
   all &= check(serial.overallVerdict == parallel.overallVerdict &&
                    serial.numPAlerts == parallel.numPAlerts &&
@@ -561,5 +771,6 @@ int main(int argc, char** argv) {
   } else {
     std::printf("  [--] <4 hardware threads: speedup check skipped (measured %.2fx)\n", speedup);
   }
-  return all ? 0 : 1;
+  sectionRecords().push_back(std::move(acceptance));
+  return finish(all);
 }

@@ -39,11 +39,26 @@
 //                             CI's smoke leg SIGKILLs a sweep mid-run and
 //                             diffs the resumed verdicts against an
 //                             uninterrupted run's.
+//
+// Live introspection (off by default; see src/obs/README.md):
+//   --status-port <n>         serve /metrics (Prometheus), /status (JSON
+//                             progress + ETA) and /events (NDJSON tail) on
+//                             127.0.0.1:<n> while the sweep runs; 0 picks
+//                             an ephemeral port (printed at startup). Watch
+//                             live with ./build/examples/campaign_top <n>.
+//   --profile                 per-solve CDCL phase timings (propagate /
+//                             analyze / reduceDB / restart) and imported-
+//                             clause efficacy counters, folded into the
+//                             report JSON. Verdicts and trajectories are
+//                             unchanged (bench/campaign.cpp section [9]
+//                             asserts that).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "base/log.hpp"
 #include "engine/campaign.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
@@ -56,6 +71,8 @@ int main(int argc, char** argv) {
   std::string reportPath, tracePath, eventsPath, metricsPath, checkpointPath;
   bool reduce = false;
   bool resume = false;
+  bool profile = false;
+  int statusPort = -1;  // -1 = no endpoint; 0 = ephemeral
   for (int i = 1; i < argc; ++i) {
     auto flagValue = [&](const char* flag, std::string& out) {
       if (std::strcmp(argv[i], flag) != 0) return false;
@@ -78,11 +95,27 @@ int main(int argc, char** argv) {
       resume = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--status-port") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--status-port needs a port argument\n");
+        return 2;
+      }
+      statusPort = std::atoi(argv[++i]);
+      if (statusPort < 0 || statusPort > 65535) {
+        std::fprintf(stderr, "--status-port: %s is not a port\n", argv[i]);
+        return 2;
+      }
+      continue;
+    }
     if (argv[i][0] == '-' || !reportPath.empty()) {
       std::fprintf(stderr,
                    "usage: campaign_sweep [report.json] [--trace trace.json] "
                    "[--events events.ndjson] [--metrics metrics.json] [--reduce] "
-                   "[--checkpoint ck.ndjson [--resume]]\n");
+                   "[--checkpoint ck.ndjson [--resume]] [--status-port n] [--profile]\n");
       return 2;
     }
     reportPath = argv[i];
@@ -98,8 +131,10 @@ int main(int argc, char** argv) {
   matrix.scenarios = {SecretScenario::kInCache, SecretScenario::kNotInCache};
 
   UpecOptions full;                 // all Sec. V-A constraints on
+  full.profileSolver = profile;     // phase timings + import efficacy, opt-in
   UpecOptions noC1;                 // ablation: admit in-flight protected accesses
   noC1.constraint1NoOngoing = false;
+  noC1.profileSolver = profile;
   matrix.variants = {{"all constraints", full}, {"without constraint 1", noC1}};
 
   matrix.kind = JobKind::kIntervalLadder;
@@ -121,7 +156,10 @@ int main(int argc, char** argv) {
   // asserts exactly that).
   obs::TraceRecorder recorder;
   if (!tracePath.empty()) recorder.start();
-  if (!metricsPath.empty()) {
+  // A status endpoint implies metrics collection: /metrics would scrape an
+  // empty registry otherwise (CI's smoke leg cross-checks a mid-run scrape
+  // against the report's metrics fold).
+  if (!metricsPath.empty() || statusPort >= 0) {
     obs::metrics().reset();
     obs::setMetricsEnabled(true);
   }
@@ -154,6 +192,11 @@ int main(int argc, char** argv) {
   // adopt what the previous (killed) run decided and solve only the rest.
   options.checkpoint.path = checkpointPath;
   options.checkpoint.resume = resume;
+  // Live introspection endpoint. The engine announces the bound port via
+  // logInfo ("campaign: status endpoint on http://127.0.0.1:<port>") — turn
+  // info logging on so an ephemeral choice (--status-port 0) is printed.
+  options.statusPort = statusPort;
+  if (statusPort >= 0 && logLevel() < LogLevel::kInfo) setLogLevel(LogLevel::kInfo);
   const CampaignReport report = runCampaign(jobs, options);
 
   obs::routeLogToObserver(nullptr);
@@ -211,6 +254,15 @@ int main(int argc, char** argv) {
               report.windowsRescheduled, report.windowsDecidedByRetry,
               report.rescheduleAttempts, report.reschedulesAbandoned,
               static_cast<unsigned long long>(report.rescheduleConflicts));
+  if (report.profileEnabled) {
+    std::printf("profile: propagate %.1f ms, analyze %.1f ms, reduceDB %.1f ms, "
+                "restart+exchange %.1f ms; imported clauses used: %llu propagated, "
+                "%llu in conflicts\n",
+                report.totalPropagateTimeNs / 1e6, report.totalAnalyzeTimeNs / 1e6,
+                report.totalReduceTimeNs / 1e6, report.totalRestartTimeNs / 1e6,
+                static_cast<unsigned long long>(report.totalImportedUsedInPropagation),
+                static_cast<unsigned long long>(report.totalImportedUsedInConflict));
+  }
   if (report.checkpointEnabled) {
     std::printf("checkpoint: %s%s — %u windows and %u jobs replayed%s\n",
                 checkpointPath.c_str(), report.resumed ? " (resumed)" : "",

@@ -1,0 +1,150 @@
+// campaign_top: a `top`-style terminal watcher for a running campaign.
+//
+// Polls the /status endpoint a campaign opened with --status-port and
+// redraws a one-screen summary: jobs done, windows decided/total with a
+// progress bar, current ladder rung per job, reschedule and retry-budget
+// pressure, and the ETA the tracker extrapolates from solve times so far.
+//
+// Run a sweep with the endpoint open, then watch it from another terminal:
+//   ./build/examples/campaign_sweep --status-port 8090 &
+//   ./build/examples/campaign_top 8090
+//
+// Exits when the campaign finishes (the endpoint reports running:false or
+// stops answering). Deliberately built on the same zero-dependency client
+// helper the tests use (obs::httpGet) and a string-scan of the few fields
+// it renders — this is a viewer, not a JSON library.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/status_server.hpp"
+
+namespace {
+
+// Scans `json` for `"key":<number>` and returns the number (0.0 when
+// absent). Fine for the flat top-level fields /status guarantees.
+double numField(const std::string& json, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return 0.0;
+  return std::atof(json.c_str() + pos + needle.size());
+}
+
+bool boolField(const std::string& json, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = json.find(needle);
+  return pos != std::string::npos && json.compare(pos + needle.size(), 4, "true") == 0;
+}
+
+void drawBar(double fraction, int width) {
+  const int filled = static_cast<int>(fraction * width + 0.5);
+  std::fputc('[', stdout);
+  for (int i = 0; i < width; ++i) std::fputc(i < filled ? '#' : '.', stdout);
+  std::fputc(']', stdout);
+}
+
+std::string fmtMs(double ms) {
+  char buf[32];
+  if (ms >= 60'000.0) {
+    std::snprintf(buf, sizeof buf, "%.0fm%02.0fs", ms / 60'000.0, (ms - 60'000.0 * static_cast<int>(ms / 60'000.0)) / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fs", ms / 1000.0);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: campaign_top <port> [interval_ms]\n");
+    return 2;
+  }
+  const int port = std::atoi(argv[1]);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "campaign_top: %s is not a port\n", argv[1]);
+    return 2;
+  }
+  const int intervalMs = argc > 2 ? std::atoi(argv[2]) : 500;
+
+  int misses = 0;
+  bool sawCampaign = false;
+  for (;;) {
+    std::string body;
+    if (!upec::obs::httpGet(static_cast<std::uint16_t>(port), "/status", body)) {
+      // Not answering: either the campaign has not opened the port yet or
+      // it already finished. A few retries disambiguate.
+      if (sawCampaign || ++misses > 20) break;
+      ::usleep(500 * 1000);
+      continue;
+    }
+    misses = 0;
+    sawCampaign = true;
+
+    const bool running = boolField(body, "running");
+    // "total"/"done"/"decided" repeat across the nested objects; scan each
+    // object's slice. Both are single-level, so '}' ends them.
+    const auto objectSlice = [&body](const char* key) {
+      const std::string needle = std::string("\"") + key + "\":{";
+      const std::size_t pos = body.find(needle);
+      if (pos == std::string::npos) return std::string();
+      const std::size_t close = body.find('}', pos);
+      return body.substr(pos, close == std::string::npos ? close : close - pos + 1);
+    };
+    const std::string jobsObj = objectSlice("jobs");
+    const std::string windowsObj = objectSlice("windows");
+    const double decided = numField(windowsObj, "decided");
+    const double total = numField(windowsObj, "total");
+
+    std::fputs("\x1b[2J\x1b[H", stdout);  // clear + home
+    std::printf("campaign @ 127.0.0.1:%d    %s    wall %s\n\n", port,
+                running ? "RUNNING" : "DONE", fmtMs(numField(body, "wall_ms")).c_str());
+    std::printf("jobs    %3.0f / %-3.0f done\n", numField(jobsObj, "done"),
+                numField(jobsObj, "total"));
+    std::printf("windows %3.0f / %-3.0f decided  ", decided, total);
+    drawBar(total > 0 ? decided / total : 0.0, 40);
+    std::printf("\nreschedules %.0f", numField(body, "reschedules"));
+    if (body.find("\"ledger\":") != std::string::npos) {
+      std::printf("    retry budget %.0f%% spent", numField(body, "utilization_pct"));
+    }
+    // Before the first decided window the tracker has no solve times to
+    // extrapolate from and reports 0 — show "no estimate" rather than "now".
+    std::printf("\neta %s\n\n", running && decided > 0
+                                    ? fmtMs(numField(body, "eta_ms")).c_str()
+                                    : "-");
+
+    // Per-job lines, scanned object by object out of jobs_detail.
+    std::size_t pos = body.find("\"jobs_detail\":[");
+    while (pos != std::string::npos) {
+      const std::size_t open = body.find('{', pos);
+      if (open == std::string::npos) break;
+      const std::size_t close = body.find('}', open);
+      if (close == std::string::npos) break;
+      const std::string obj = body.substr(open, close - open + 1);
+      const std::size_t labelPos = obj.find("\"label\":\"");
+      std::string label;
+      if (labelPos != std::string::npos) {
+        const std::size_t end = obj.find('"', labelPos + 9);
+        label = obj.substr(labelPos + 9, end - labelPos - 9);
+      }
+      std::printf("  job %2.0f  %-36s %2.0f/%-2.0f  k=%.0f  %s\n", numField(obj, "id"),
+                  label.c_str(), numField(obj, "decided"), numField(obj, "total"),
+                  numField(obj, "rung"), boolField(obj, "done") ? "done" : "running");
+      pos = close;
+      if (body.compare(close + 1, 1, ",") != 0) break;
+    }
+    std::fflush(stdout);
+
+    if (!running) break;
+    ::usleep(intervalMs * 1000);
+  }
+  if (!sawCampaign) {
+    std::fprintf(stderr, "campaign_top: nothing answering on 127.0.0.1:%d\n", port);
+    return 1;
+  }
+  std::printf("\ncampaign finished.\n");
+  return 0;
+}

@@ -8,10 +8,12 @@
 #include "base/stopwatch.hpp"
 #include "engine/checkpoint.hpp"
 #include "engine/governor.hpp"
+#include "engine/progress.hpp"
 #include "engine/scheduler.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
+#include "obs/status_server.hpp"
 #include "obs/trace.hpp"
 
 namespace upec::engine {
@@ -250,6 +252,32 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
   obs::Span span("engine", "campaign");
   if (span.enabled()) span.arg("jobs", std::uint64_t{specs.size()});
   obs::CampaignObserver* observer = options.observer;
+  // Live introspection (opt-in): wrap the caller's observer in a progress
+  // tracker and open the HTTP endpoint. The server only ever reads tracker
+  // aggregates and the metrics registry — never solver threads. Declared
+  // after the ledger so teardown stops the server before anything it reads.
+  std::unique_ptr<ProgressTracker> tracker;
+  std::unique_ptr<obs::StatusServer> statusServer;
+  if (options.statusPort >= 0) {
+    tracker = std::make_unique<ProgressTracker>(options.observer);
+    tracker->prime(specs);
+    tracker->attachLedger(&ledger);
+    observer = tracker.get();
+    obs::StatusServerOptions serverOptions;
+    serverOptions.port = static_cast<std::uint16_t>(options.statusPort);
+    ProgressTracker* t = tracker.get();
+    serverOptions.status = [t] { return t->statusJson(); };
+    serverOptions.events = [t] { return t->eventsTail(); };
+    statusServer = std::make_unique<obs::StatusServer>();
+    if (statusServer->start(std::move(serverOptions))) {
+      logInfo("campaign: status endpoint on http://127.0.0.1:" +
+              std::to_string(statusServer->port()) + " (/metrics /status /events)");
+    } else {
+      logInfo("campaign: cannot bind status port " + std::to_string(options.statusPort) +
+              "; continuing without introspection");
+      statusServer.reset();
+    }
+  }
   ThreadGovernor governor(options.solverThreadCap);
   sat::MemberGovernor* memberSlots = options.solverThreadCap != 0 ? &governor : nullptr;
   {
@@ -356,6 +384,17 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
         .num("errors", report.numErrors);
     observer->onEvent(e);
   }
+  // Surface the stream sink's write count in the report (diagnosing a
+  // truncated events file: lines_written says what the writer produced,
+  // the file says what survived). The tracker is transparent — count the
+  // caller's sink, not the wrapper.
+  if (auto* writer = dynamic_cast<obs::NdjsonWriter*>(options.observer)) {
+    report.observerAttached = true;
+    report.observerLinesWritten = writer->linesWritten();
+  }
+  // Stop serving before the locals the endpoint reads go away; the final
+  // /status (running:false, eta 0) stays scrapeable until here.
+  if (statusServer != nullptr) statusServer->stop();
   return report;
 }
 

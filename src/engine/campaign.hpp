@@ -70,6 +70,16 @@ struct CampaignOptions {
   };
   CheckpointOptions checkpoint;
 
+  // Live introspection HTTP endpoint (obs/status_server.hpp): -1 = off
+  // (the default), 0 = bind an ephemeral port, >0 = bind that port — on
+  // 127.0.0.1 only. When set, runCampaign wraps `observer` in an
+  // engine::ProgressTracker and serves /metrics, /status and /events for
+  // the campaign's duration. Pure observation: the endpoint reads
+  // observer-fed aggregates and the metrics registry, never solver state,
+  // so enabling it cannot change any verdict or trajectory. A port that
+  // cannot be bound is logged and the campaign proceeds without it.
+  int statusPort = -1;
+
   // Per-solve wall-clock deadline applied to every job that does not set
   // its own UpecOptions::solveDeadlineMs (0 = none). Expiry closes the
   // window as a *terminal* kUnknown — unlike budget exhaustion it is never

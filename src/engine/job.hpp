@@ -181,6 +181,16 @@ struct JobResult {
   std::uint64_t totalClausesExported = 0;
   std::uint64_t totalClausesImported = 0;
   std::uint64_t totalClausesDropped = 0;
+  // Solver-phase profiling totals across the job's checks (ladder jobs run
+  // with UpecOptions::profileSolver; all zero otherwise). Times are wall
+  // nanoseconds per CDCL phase summed over portfolio members; the efficacy
+  // counters say how many imported exchange clauses were ever useful.
+  std::uint64_t totalPropagateTimeNs = 0;
+  std::uint64_t totalAnalyzeTimeNs = 0;
+  std::uint64_t totalReduceTimeNs = 0;
+  std::uint64_t totalRestartTimeNs = 0;
+  std::uint64_t totalImportedUsedInPropagation = 0;
+  std::uint64_t totalImportedUsedInConflict = 0;
   // Portfolio attribution (ladder jobs): how many checks each solver
   // configuration answered first, keyed by the config's description. A
   // single-backend job reports all its checks under the default config.

@@ -1,0 +1,200 @@
+#include "engine/progress.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/stopwatch.hpp"
+#include "engine/scheduler.hpp"
+#include "obs/trace.hpp"  // appendJsonEscaped
+
+namespace upec::engine {
+
+namespace {
+std::string escaped(const std::string& s) {
+  std::string out;
+  obs::appendJsonEscaped(out, s);
+  return out;
+}
+}  // namespace
+
+ProgressTracker::ProgressTracker(obs::CampaignObserver* next, std::size_t eventTailCap)
+    : next_(next), tailCap_(eventTailCap) {}
+
+void ProgressTracker::prime(const std::vector<JobSpec>& jobs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  jobs_.clear();
+  jobs_.reserve(jobs.size());
+  for (const JobSpec& spec : jobs) {
+    JobProgress jp;
+    jp.id = spec.id;
+    jp.label = spec.label;
+    jp.kMin = spec.kMin;
+    // Only ladders announce their window count up front; methodology and
+    // hunt drivers exit early on alerts, so their totals stay open until
+    // the job event closes them.
+    if (spec.kind == JobKind::kIntervalLadder && spec.kMax >= spec.kMin) {
+      jp.total = spec.kMax - spec.kMin + 1;
+    }
+    jobs_.push_back(std::move(jp));
+  }
+}
+
+void ProgressTracker::onEvent(const obs::StreamEvent& event) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string type = event.type();
+    const auto jobById = [this](const std::uint64_t* id) -> JobProgress* {
+      if (id == nullptr) return nullptr;
+      for (JobProgress& jp : jobs_) {
+        if (jp.id == *id) return &jp;
+      }
+      return nullptr;
+    };
+    if (type == "campaign_start") {
+      started_ = true;
+      startEpochMs_ = static_cast<double>(Stopwatch::sinceEpochUs()) / 1000.0;
+      if (const std::uint64_t* t = event.findNum("threads")) threads_ = *t;
+    } else if (type == "window") {
+      if (JobProgress* jp = jobById(event.findNum("job"))) {
+        ++jp->decided;
+        if (const std::uint64_t* k = event.findNum("k")) {
+          jp->rung = *k;
+          const std::size_t idx = static_cast<std::size_t>(*k);
+          if (perK_.size() <= idx) perK_.resize(idx + 1);
+          if (const double* ms = event.findReal("solve_ms")) {
+            ++perK_[idx].count;
+            perK_[idx].sumMs += *ms;
+            ++solveCount_;
+            solveSumMs_ += *ms;
+          }
+        }
+        const bool* replayed = event.findFlag("replayed");
+        if (replayed != nullptr && *replayed) ++replayedWindows_;
+      }
+    } else if (type == "reschedule") {
+      ++reschedules_;
+    } else if (type == "job") {
+      if (JobProgress* jp = jobById(event.findNum("job"))) {
+        jp->done = true;
+        // Close the job's window total at what it actually solved: an
+        // early-exit (alert) ladder or an open-total methodology job
+        // must not keep phantom "remaining" windows in the ETA.
+        jp->total = jp->decided;
+        if (const std::string* v = event.findStr("verdict")) jp->verdict = *v;
+      }
+    } else if (type == "campaign_end") {
+      done_ = true;
+      if (const double* ms = event.findReal("wall_ms")) wallMs_ = *ms;
+    } else if (type == "checkpoint_open") {
+      checkpointSeen_ = true;
+      if (const std::uint64_t* w = event.findNum("replayed_windows")) {
+        checkpointReplayedWindows_ = *w;
+      }
+      if (const std::uint64_t* j = event.findNum("replayed_jobs")) {
+        checkpointReplayedJobs_ = *j;
+      }
+    }
+    tail_.push_back(event.toJson(Stopwatch::sinceEpochUs()));
+    while (tail_.size() > tailCap_) tail_.pop_front();
+  }
+  // Forward outside the lock: the next sink (e.g. NdjsonWriter) has its
+  // own synchronisation and may block on I/O.
+  if (next_ != nullptr) next_->onEvent(event);
+}
+
+double ProgressTracker::etaMsLocked() const {
+  const double overallMean =
+      solveCount_ == 0 ? 0.0 : solveSumMs_ / static_cast<double>(solveCount_);
+  double remainingMs = 0.0;
+  for (const JobProgress& jp : jobs_) {
+    if (jp.done || jp.total <= jp.decided) continue;
+    for (std::uint64_t j = jp.decided; j < jp.total; ++j) {
+      const std::size_t k = static_cast<std::size_t>(jp.kMin + j);
+      const bool haveK = k < perK_.size() && perK_[k].count > 0;
+      remainingMs +=
+          haveK ? perK_[k].sumMs / static_cast<double>(perK_[k].count) : overallMean;
+    }
+  }
+  return remainingMs / static_cast<double>(std::max<std::uint64_t>(1, threads_));
+}
+
+std::string ProgressTracker::statusJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t jobsDone = 0;
+  std::uint64_t decided = 0;
+  std::uint64_t total = 0;
+  for (const JobProgress& jp : jobs_) {
+    if (jp.done) ++jobsDone;
+    decided += jp.decided;
+    // Unknown-total jobs count what they have decided so far, keeping
+    // decided <= total an invariant of the snapshot.
+    total += std::max(jp.total, jp.decided);
+  }
+  const double wallMs =
+      done_ ? wallMs_
+            : (started_ ? static_cast<double>(Stopwatch::sinceEpochUs()) / 1000.0 -
+                              startEpochMs_
+                        : 0.0);
+  std::ostringstream os;
+  os << "{\"running\":" << (started_ && !done_ ? "true" : "false");
+  os << ",\"wall_ms\":" << wallMs;
+  os << ",\"threads\":" << threads_;
+  os << ",\"jobs\":{\"total\":" << jobs_.size() << ",\"done\":" << jobsDone << '}';
+  os << ",\"windows\":{\"decided\":" << decided << ",\"total\":" << total
+     << ",\"replayed\":" << replayedWindows_ << ",\"remaining\":" << total - decided
+     << '}';
+  os << ",\"reschedules\":" << reschedules_;
+  if (ledger_ != nullptr && ledger_->ceiling() != 0) {
+    const std::uint64_t spent = ledger_->spent();
+    const std::uint64_t ceiling = ledger_->ceiling();
+    os << ",\"ledger\":{\"spent\":" << spent << ",\"ceiling\":" << ceiling
+       << ",\"utilization_pct\":"
+       << 100.0 * static_cast<double>(spent) / static_cast<double>(ceiling) << '}';
+  }
+  if (checkpointSeen_) {
+    os << ",\"checkpoint\":{\"replayed_windows\":" << checkpointReplayedWindows_
+       << ",\"replayed_jobs\":" << checkpointReplayedJobs_ << '}';
+  }
+  os << ",\"eta_ms\":" << etaMsLocked();
+  os << ",\"jobs_detail\":[";
+  bool first = true;
+  for (const JobProgress& jp : jobs_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"id\":" << jp.id << ",\"label\":\"" << escaped(jp.label)
+       << "\",\"decided\":" << jp.decided << ",\"total\":" << std::max(jp.total, jp.decided)
+       << ",\"rung\":" << jp.rung << ",\"done\":" << (jp.done ? "true" : "false");
+    if (!jp.verdict.empty()) os << ",\"verdict\":\"" << escaped(jp.verdict) << '"';
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string ProgressTracker::eventsTail() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const std::string& line : tail_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+ProgressTracker::Snapshot ProgressTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.jobsTotal = jobs_.size();
+  for (const JobProgress& jp : jobs_) {
+    if (jp.done) ++s.jobsDone;
+    s.windowsDecided += jp.decided;
+    s.windowsTotal += std::max(jp.total, jp.decided);
+  }
+  s.windowsReplayed = replayedWindows_;
+  s.reschedules = reschedules_;
+  s.etaMs = etaMsLocked();
+  s.done = done_;
+  return s;
+}
+
+}  // namespace upec::engine

@@ -1,0 +1,115 @@
+// Campaign progress aggregation for live introspection: a wrapping
+// CampaignObserver that folds the event stream into a snapshot the
+// obs::StatusServer can serve as /status JSON — windows decided vs. total
+// per job, the current ladder rung, reschedule pressure, checkpoint replay
+// counts, and an ETA extrapolated from the solve times seen so far.
+//
+// Layering: obs transports events and knows nothing about jobs; this
+// tracker lives in engine because it understands the campaign's shape
+// (ladders have kMax-kMin+1 windows, methodology/hunt jobs do not announce
+// a window count up front). It sits *between* the engine and the user's
+// observer: runCampaign wraps CampaignOptions::observer in a tracker when
+// statusPort is set, and every event is forwarded unchanged — attaching
+// the tracker never alters the stream the user's sink receives, and it
+// never touches solver threads (all state comes from the events the
+// workers already emit, folded under one mutex on the emitting thread).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "obs/observer.hpp"
+
+namespace upec::engine {
+
+class ConflictLedger;
+
+class ProgressTracker : public obs::CampaignObserver {
+ public:
+  // `next` (not owned, may be null) receives every event after it is
+  // folded in; `eventTailCap` bounds the NDJSON tail kept for /events.
+  explicit ProgressTracker(obs::CampaignObserver* next = nullptr,
+                           std::size_t eventTailCap = 256);
+
+  // Seeds the per-job table before the campaign starts. Ladder jobs get an
+  // expected window total of kMax-kMin+1; methodology/hunt jobs solve an
+  // unpredictable number of windows (early exit on alert), so they count
+  // toward jobs only — their windows fold into the totals as they arrive.
+  void prime(const std::vector<JobSpec>& jobs);
+
+  // Optional: lets /status report campaign-wide retry-budget burn. The
+  // ledger must outlive the tracker; its accessors are atomic reads.
+  void attachLedger(const ConflictLedger* ledger) { ledger_ = ledger; }
+
+  void onEvent(const obs::StreamEvent& event) override;
+
+  // The /status body: one JSON object, schema documented in
+  // src/obs/README.md. Safe to call from any thread at any time.
+  std::string statusJson() const;
+
+  // The /events body: the most recent events as NDJSON lines (bounded by
+  // eventTailCap), oldest first.
+  std::string eventsTail() const;
+
+  // Cheap struct view of the headline numbers, for tests that assert on
+  // progress without parsing JSON.
+  struct Snapshot {
+    std::uint64_t jobsTotal = 0;
+    std::uint64_t jobsDone = 0;
+    std::uint64_t windowsDecided = 0;
+    std::uint64_t windowsTotal = 0;
+    std::uint64_t windowsReplayed = 0;
+    std::uint64_t reschedules = 0;
+    double etaMs = 0.0;
+    bool done = false;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  struct JobProgress {
+    std::uint32_t id = 0;
+    std::string label;
+    std::uint64_t kMin = 0;   // first ladder rung (prices remaining windows)
+    std::uint64_t decided = 0;
+    std::uint64_t total = 0;  // 0 = unknown up front (methodology/hunt)
+    std::uint64_t rung = 0;   // k of the last window event seen
+    bool done = false;
+    std::string verdict;  // final verdict once done
+  };
+
+  double etaMsLocked() const;  // requires mutex_
+
+  obs::CampaignObserver* next_;
+  const ConflictLedger* ledger_ = nullptr;
+  const std::size_t tailCap_;
+
+  mutable std::mutex mutex_;
+  std::vector<JobProgress> jobs_;
+  std::uint64_t threads_ = 0;
+  std::uint64_t reschedules_ = 0;
+  std::uint64_t replayedWindows_ = 0;
+  std::uint64_t checkpointReplayedWindows_ = 0;
+  std::uint64_t checkpointReplayedJobs_ = 0;
+  bool checkpointSeen_ = false;
+  bool started_ = false;
+  bool done_ = false;
+  double startEpochMs_ = 0.0;  // Stopwatch::sinceEpochUs()/1000 at campaign_start
+  double wallMs_ = 0.0;        // final wall time once campaign_end arrives
+  // Per-k solve-time sample means feed the ETA: remaining windows at known
+  // rungs are priced at their rung's mean, unknown ones at the overall
+  // mean. Indexed by k, grown on demand.
+  struct KStats {
+    std::uint64_t count = 0;
+    double sumMs = 0.0;
+  };
+  std::vector<KStats> perK_;
+  std::uint64_t solveCount_ = 0;
+  double solveSumMs_ = 0.0;
+  std::deque<std::string> tail_;
+};
+
+}  // namespace upec::engine

@@ -14,6 +14,9 @@ void CampaignReport::finalize() {
   totalConflicts = totalPropagations = 0;
   peakVars = peakClauses = 0;
   totalClausesExported = totalClausesImported = totalClausesDropped = 0;
+  profileEnabled = false;
+  totalPropagateTimeNs = totalAnalyzeTimeNs = totalReduceTimeNs = totalRestartTimeNs = 0;
+  totalImportedUsedInPropagation = totalImportedUsedInConflict = 0;
   rescheduleEnabled = false;
   windowsRescheduled = rescheduleAttempts = 0;
   windowsDecidedByRetry = reschedulesAbandoned = 0;
@@ -40,6 +43,16 @@ void CampaignReport::finalize() {
     totalClausesExported += job.totalClausesExported;
     totalClausesImported += job.totalClausesImported;
     totalClausesDropped += job.totalClausesDropped;
+    totalPropagateTimeNs += job.totalPropagateTimeNs;
+    totalAnalyzeTimeNs += job.totalAnalyzeTimeNs;
+    totalReduceTimeNs += job.totalReduceTimeNs;
+    totalRestartTimeNs += job.totalRestartTimeNs;
+    totalImportedUsedInPropagation += job.totalImportedUsedInPropagation;
+    totalImportedUsedInConflict += job.totalImportedUsedInConflict;
+    if (job.totalPropagateTimeNs | job.totalAnalyzeTimeNs | job.totalReduceTimeNs |
+        job.totalRestartTimeNs) {
+      profileEnabled = true;
+    }
     peakVars = std::max(peakVars, job.peakVars);
     peakClauses = std::max(peakClauses, job.peakClauses);
     if (job.rescheduleEnabled) {
@@ -110,6 +123,16 @@ std::string fmtMs(double ms) {
   return buf;
 }
 
+// Shared shape of the solver-phase timing block at window, job and
+// campaign level (times are stored in ns, reported in µs — the resolution
+// consumers plot at; sub-µs residue per field is dropped).
+void jsonProfile(std::ostream& os, std::uint64_t propagateNs, std::uint64_t analyzeNs,
+                 std::uint64_t reduceNs, std::uint64_t restartNs) {
+  os << "{\"propagate_us\":" << propagateNs / 1000 << ",\"analyze_us\":" << analyzeNs / 1000
+     << ",\"reduce_db_us\":" << reduceNs / 1000 << ",\"restart_us\":" << restartNs / 1000
+     << '}';
+}
+
 void jsonWindow(std::ostream& os, const WindowResult& w) {
   os << "{\"k\":" << w.window << ",\"verdict\":\"" << verdictName(w.verdict) << '"'
      << ",\"vars\":" << w.stats.vars << ",\"clauses\":" << w.stats.clauses
@@ -123,6 +146,16 @@ void jsonWindow(std::ostream& os, const WindowResult& w) {
     os << ",\"clauses_exported\":" << w.stats.clausesExported
        << ",\"clauses_imported\":" << w.stats.clausesImported
        << ",\"clauses_dropped\":" << w.stats.clausesDropped;
+  }
+  if (w.stats.propagateTimeNs | w.stats.analyzeTimeNs | w.stats.reduceTimeNs |
+      w.stats.restartTimeNs) {
+    os << ",\"profile\":";
+    jsonProfile(os, w.stats.propagateTimeNs, w.stats.analyzeTimeNs, w.stats.reduceTimeNs,
+                w.stats.restartTimeNs);
+  }
+  if (w.stats.importedUsedInPropagation | w.stats.importedUsedInConflict) {
+    os << ",\"imported_used_propagation\":" << w.stats.importedUsedInPropagation
+       << ",\"imported_used_conflict\":" << w.stats.importedUsedInConflict;
   }
   if (!w.stats.solvedBy.empty()) {
     os << ",\"solved_by\":";
@@ -188,6 +221,16 @@ void jsonJob(std::ostream& os, const JobResult& job) {
      << ",\"clauses_exported\":" << job.totalClausesExported
      << ",\"clauses_imported\":" << job.totalClausesImported
      << ",\"clauses_dropped\":" << job.totalClausesDropped;
+  if (job.totalPropagateTimeNs | job.totalAnalyzeTimeNs | job.totalReduceTimeNs |
+      job.totalRestartTimeNs) {
+    os << ",\"profile\":";
+    jsonProfile(os, job.totalPropagateTimeNs, job.totalAnalyzeTimeNs, job.totalReduceTimeNs,
+                job.totalRestartTimeNs);
+  }
+  if (job.totalImportedUsedInPropagation | job.totalImportedUsedInConflict) {
+    os << ",\"imported_used_propagation\":" << job.totalImportedUsedInPropagation
+       << ",\"imported_used_conflict\":" << job.totalImportedUsedInConflict;
+  }
   if (!job.error.empty()) {
     os << ",\"error\":";
     jsonString(os, job.error);
@@ -281,6 +324,13 @@ std::string CampaignReport::toJson() const {
        << ",\"registers_merged\":" << reductionRegistersMerged
        << ",\"constants_folded\":" << reductionConstantsFolded << '}';
   }
+  if (profileEnabled) {
+    os << ",\"profile\":";
+    jsonProfile(os, totalPropagateTimeNs, totalAnalyzeTimeNs, totalReduceTimeNs,
+                totalRestartTimeNs);
+    os << ",\"imported_used_propagation\":" << totalImportedUsedInPropagation
+       << ",\"imported_used_conflict\":" << totalImportedUsedInConflict;
+  }
   if (checkpointEnabled) {
     os << ",\"checkpoint\":{\"resumed\":" << (resumed ? "true" : "false")
        << ",\"replayed_windows\":" << replayedWindows << ",\"replayed_jobs\":" << replayedJobs
@@ -290,6 +340,9 @@ std::string CampaignReport::toJson() const {
       jsonStringArray(os, checkpointDiagnostics);
     }
     os << '}';
+  }
+  if (observerAttached) {
+    os << ",\"observer\":{\"lines_written\":" << observerLinesWritten << '}';
   }
   if (!metricsJson.empty()) os << ",\"metrics\":" << metricsJson;
   os << ",\"jobs\":[";

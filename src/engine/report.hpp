@@ -41,6 +41,18 @@ struct CampaignReport {
   std::uint64_t totalClausesImported = 0;
   std::uint64_t totalClausesDropped = 0;
 
+  // Solver-phase profiling totals over all jobs (UpecOptions::profileSolver
+  // jobs; all zero and absent from the JSON otherwise), filled by
+  // finalize(). Times are wall nanoseconds per CDCL phase; the efficacy
+  // counters say how many imported exchange clauses were ever useful.
+  bool profileEnabled = false;  // any job carried nonzero phase timings
+  std::uint64_t totalPropagateTimeNs = 0;
+  std::uint64_t totalAnalyzeTimeNs = 0;
+  std::uint64_t totalReduceTimeNs = 0;
+  std::uint64_t totalRestartTimeNs = 0;
+  std::uint64_t totalImportedUsedInPropagation = 0;
+  std::uint64_t totalImportedUsedInConflict = 0;
+
   // Reschedule accounting (see ReschedulePolicy; all zero and absent from
   // the JSON for campaigns without rescheduling). The ceiling is the
   // configured campaign-wide retry-conflict budget; the rest are sums over
@@ -81,6 +93,13 @@ struct CampaignReport {
   bool checkpointWriteFailed = false;
   // What resume recovered from / why a load was refused (human-readable).
   std::vector<std::string> checkpointDiagnostics;
+
+  // Observer accounting (CampaignOptions::observer; absent from the JSON
+  // when no NDJSON stream was attached): how many event lines the
+  // NdjsonWriter actually wrote, set by runCampaign at campaign end so the
+  // report can be cross-checked against the stream file line count.
+  bool observerAttached = false;
+  std::uint64_t observerLinesWritten = 0;
 
   // Snapshot of the obs::MetricsRegistry at campaign end, as a pre-rendered
   // JSON object ({"counters":...}). Filled by runCampaign when metrics

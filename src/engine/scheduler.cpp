@@ -31,6 +31,12 @@ void accumulate(JobResult& res, const formal::BmcStats& stats) {
   res.totalClausesExported += stats.clausesExported;
   res.totalClausesImported += stats.clausesImported;
   res.totalClausesDropped += stats.clausesDropped;
+  res.totalPropagateTimeNs += stats.propagateTimeNs;
+  res.totalAnalyzeTimeNs += stats.analyzeTimeNs;
+  res.totalReduceTimeNs += stats.reduceTimeNs;
+  res.totalRestartTimeNs += stats.restartTimeNs;
+  res.totalImportedUsedInPropagation += stats.importedUsedInPropagation;
+  res.totalImportedUsedInConflict += stats.importedUsedInConflict;
 }
 
 void insertUnique(std::vector<std::string>& into, const std::vector<std::string>& names) {
@@ -216,6 +222,25 @@ void LadderScheduler::attemptWindow() {
       obs::metrics()
           .histogram("campaign.budget_utilization_pct")
           .observe(std::min<std::uint64_t>(100, r.stats.conflicts * 100 / budget_));
+    }
+    // Solver-depth profiling fold (profileSolver jobs only — the fields are
+    // all zero otherwise, and zero-valued names are not registered so the
+    // default metrics block is unchanged).
+    if (r.stats.propagateTimeNs + r.stats.analyzeTimeNs + r.stats.reduceTimeNs +
+            r.stats.restartTimeNs !=
+        0) {
+      obs::metrics().counter("solver.profile.propagate_us").add(r.stats.propagateTimeNs / 1000);
+      obs::metrics().counter("solver.profile.analyze_us").add(r.stats.analyzeTimeNs / 1000);
+      obs::metrics().counter("solver.profile.reduce_db_us").add(r.stats.reduceTimeNs / 1000);
+      obs::metrics().counter("solver.profile.restart_us").add(r.stats.restartTimeNs / 1000);
+    }
+    if (r.stats.importedUsedInPropagation != 0) {
+      obs::metrics()
+          .counter("exchange.imported_used_propagation")
+          .add(r.stats.importedUsedInPropagation);
+    }
+    if (r.stats.importedUsedInConflict != 0) {
+      obs::metrics().counter("exchange.imported_used_conflict").add(r.stats.importedUsedInConflict);
     }
   }
 

@@ -61,6 +61,12 @@ void fillSolveStats(BmcStats& stats, const sat::SolverBackend& solver) {
   stats.clausesExported = delta.clausesExported;
   stats.clausesImported = delta.clausesImported;
   stats.clausesDropped = delta.clausesDropped;
+  stats.propagateTimeNs = delta.propagateTimeNs;
+  stats.analyzeTimeNs = delta.analyzeTimeNs;
+  stats.reduceTimeNs = delta.reduceTimeNs;
+  stats.restartTimeNs = delta.restartTimeNs;
+  stats.importedUsedInPropagation = delta.importedUsedInPropagation;
+  stats.importedUsedInConflict = delta.importedUsedInConflict;
   stats.solvedBy = solver.lastSolveAttribution();
 }
 

@@ -47,6 +47,17 @@ struct BmcStats {
   std::uint64_t clausesExported = 0;
   std::uint64_t clausesImported = 0;
   std::uint64_t clausesDropped = 0;
+  // Solver-phase profiling of this check (zero unless a resolved config set
+  // sat::SolverConfig::profile): wall nanoseconds per CDCL phase, summed
+  // over portfolio members, and how many imported exchange clauses were
+  // ever *useful* — first propagation / first appearance in conflict
+  // analysis — as opposed to merely attached (clausesImported).
+  std::uint64_t propagateTimeNs = 0;
+  std::uint64_t analyzeTimeNs = 0;
+  std::uint64_t reduceTimeNs = 0;
+  std::uint64_t restartTimeNs = 0;
+  std::uint64_t importedUsedInPropagation = 0;
+  std::uint64_t importedUsedInConflict = 0;
   double solveMs = 0.0;
   double encodeMs = 0.0;
   // Which solver configuration answered (portfolio attribution; a single

@@ -47,6 +47,33 @@ std::uint64_t Histogram::bucketBound(int i) {
   return (1ull << i) - 1;  // bucket i holds [2^(i-1), 2^i): inclusive bound 2^i - 1
 }
 
+std::uint64_t Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  // Smallest rank (1-based) whose cumulative count reaches q*n.
+  const double target = q * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t inBucket = bucket(b);
+    if (inBucket == 0) continue;
+    if (static_cast<double>(cum) + static_cast<double>(inBucket) >= target) {
+      // Interpolate inside [2^(b-1), 2^b), clamped to the exact observed
+      // range so degenerate histograms answer exactly.
+      std::uint64_t lo = b == 0 ? 0 : (b >= 64 ? (1ull << 63) : (1ull << (b - 1)));
+      std::uint64_t hi = bucketBound(b);
+      lo = std::max(lo, min());
+      hi = std::min(hi, max());
+      if (hi <= lo) return lo;
+      double frac = (target - static_cast<double>(cum)) / static_cast<double>(inBucket);
+      if (frac < 0.0) frac = 0.0;
+      if (frac > 1.0) frac = 1.0;
+      return lo + static_cast<std::uint64_t>(frac * static_cast<double>(hi - lo));
+    }
+    cum += inBucket;
+  }
+  return max();
+}
+
 // -------------------------------------------------------- MetricsRegistry ---
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -108,7 +135,9 @@ std::string MetricsRegistry::toJson() const {
     first = false;
     key(name);
     os << "{\"count\":" << h->count() << ",\"sum\":" << h->sum()
-       << ",\"min\":" << h->min() << ",\"max\":" << h->max() << ",\"buckets\":{";
+       << ",\"min\":" << h->min() << ",\"max\":" << h->max()
+       << ",\"p50\":" << h->quantile(0.5) << ",\"p90\":" << h->quantile(0.9)
+       << ",\"buckets\":{";
     bool firstBucket = true;
     for (int b = 0; b < Histogram::kBuckets; ++b) {
       const std::uint64_t n = h->bucket(b);
@@ -120,6 +149,46 @@ std::string MetricsRegistry::toJson() const {
     os << "}}";
   }
   os << "}}";
+  return os.str();
+}
+
+std::string MetricsRegistry::toPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  const auto promName = [](const std::string& name) {
+    std::string out = "upec_";
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      out += ok ? c : '_';
+    }
+    return out;
+  };
+  for (const auto& [name, c] : counters_) {
+    const std::string n = promName(name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = promName(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << g->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = promName(name);
+    os << "# TYPE " << n << " histogram\n";
+    // Cumulative le-buckets; empty buckets are elided (the series stays
+    // valid — each emitted le carries the full cumulative count so far)
+    // and the top bucket folds into +Inf.
+    std::uint64_t cum = 0;
+    for (int b = 0; b < Histogram::kBuckets - 1; ++b) {
+      const std::uint64_t inBucket = h->bucket(b);
+      if (inBucket == 0) continue;
+      cum += inBucket;
+      os << n << "_bucket{le=\"" << Histogram::bucketBound(b) << "\"} " << cum << '\n';
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h->count() << '\n'
+       << n << "_sum " << h->sum() << '\n'
+       << n << "_count " << h->count() << '\n';
+  }
   return os.str();
 }
 

@@ -62,6 +62,11 @@ class Histogram {
   std::uint64_t bucket(int i) const { return buckets_[i].load(std::memory_order_relaxed); }
   // Upper bound of bucket i (inclusive label for the JSON "le" keys).
   static std::uint64_t bucketBound(int i);
+  // Approximate quantile (0 < q < 1): walk the cumulative bucket counts to
+  // the target rank, interpolate linearly inside the winning bucket and
+  // clamp to the exact [min, max] — so single-valued histograms report the
+  // value itself. 0 when empty.
+  std::uint64_t quantile(double q) const;
 
  private:
   std::atomic<std::uint64_t> buckets_[kBuckets]{};
@@ -81,8 +86,17 @@ class MetricsRegistry {
 
   // {"counters":{...},"gauges":{...},"histograms":{...}} — names sorted,
   // histogram buckets keyed by their inclusive upper bound, zero buckets
-  // omitted.
+  // omitted. Histograms carry count/sum/min/max plus approximate p50/p90
+  // so report consumers stop re-deriving quantiles from the raw buckets.
   std::string toJson() const;
+
+  // Prometheus text exposition format (text/plain; version=0.0.4):
+  // counters and gauges as single samples, histograms as cumulative
+  // le-labelled buckets plus _sum and _count. Metric names are the JSON
+  // names prefixed "upec_" with every non-[a-zA-Z0-9_] character mapped to
+  // '_' ("campaign.solve_us.k1" -> "upec_campaign_solve_us_k1"). This is
+  // what obs::StatusServer serves at /metrics.
+  std::string toPrometheus() const;
 
   // Drops every instrument (benches and tests isolate sections with this).
   void reset();

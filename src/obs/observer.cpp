@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <sstream>
+#include <string_view>
 
 #include "base/log.hpp"
 #include "base/stopwatch.hpp"
@@ -47,6 +48,33 @@ StreamEvent& StreamEvent::flag(const char* key, bool value) {
   f.b = value;
   fields_.push_back(std::move(f));
   return *this;
+}
+
+const StreamEvent::Field* StreamEvent::find(const char* key, Field::Kind kind) const {
+  for (const Field& f : fields_) {
+    if (f.kind == kind && std::string_view(f.key) == key) return &f;
+  }
+  return nullptr;
+}
+
+const std::uint64_t* StreamEvent::findNum(const char* key) const {
+  const Field* f = find(key, Field::Kind::kUInt);
+  return f != nullptr ? &f->u : nullptr;
+}
+
+const double* StreamEvent::findReal(const char* key) const {
+  const Field* f = find(key, Field::Kind::kReal);
+  return f != nullptr ? &f->d : nullptr;
+}
+
+const std::string* StreamEvent::findStr(const char* key) const {
+  const Field* f = find(key, Field::Kind::kString);
+  return f != nullptr ? &f->s : nullptr;
+}
+
+const bool* StreamEvent::findFlag(const char* key) const {
+  const Field* f = find(key, Field::Kind::kBool);
+  return f != nullptr ? &f->b : nullptr;
 }
 
 std::string StreamEvent::toJson(std::uint64_t tsUs) const {
@@ -166,6 +194,11 @@ namespace {
 const char* levelName(LogLevel level) {
   return level == LogLevel::kDebug ? "debug" : "info";
 }
+// Syslog severity numbers (RFC 5424), so downstream filters can use the
+// standard "<= threshold" convention: info = 6, debug = 7.
+std::uint64_t levelSeverity(LogLevel level) {
+  return level == LogLevel::kDebug ? 7 : 6;
+}
 }  // namespace
 
 void routeLogToObserver(CampaignObserver* observer) {
@@ -175,7 +208,7 @@ void routeLogToObserver(CampaignObserver* observer) {
   }
   setLogSink([observer](LogLevel level, const std::string& msg) {
     StreamEvent e("log");
-    e.str("level", levelName(level)).str("msg", msg);
+    e.str("level", levelName(level)).num("severity", levelSeverity(level)).str("msg", msg);
     observer->onEvent(e);
   });
 }

@@ -20,7 +20,8 @@
 //    "worker":N,"windows":N}
 //   {"type":"campaign_end","ts_us":N,"verdict":s,"wall_ms":x,"proven":N,
 //    "p_alerts":N,"l_alerts":N,"unknown":N}
-//   {"type":"log","ts_us":N,"level":s,"msg":s}        (when routed)
+//   {"type":"log","ts_us":N,"level":s,"severity":N,"msg":s}  (when routed;
+//    severity is the RFC 5424 number for the level: info=6, debug=7)
 //
 // Checkpoint/recovery events (emitted by the engine when a campaign runs
 // with `CampaignOptions::checkpoint`; the schema of the checkpoint *file*
@@ -61,6 +62,14 @@ class StreamEvent {
   // non-zero, is emitted as "ts_us" right after "type".
   std::string toJson(std::uint64_t tsUs = 0) const;
 
+  // Typed field lookup (null when absent or of another kind) — for
+  // observers that aggregate events (engine::ProgressTracker) instead of
+  // serialising them. Pointers are valid for the event's lifetime only.
+  const std::uint64_t* findNum(const char* key) const;
+  const double* findReal(const char* key) const;
+  const std::string* findStr(const char* key) const;
+  const bool* findFlag(const char* key) const;
+
  private:
   struct Field {
     enum class Kind : std::uint8_t { kString, kUInt, kReal, kBool };
@@ -71,6 +80,8 @@ class StreamEvent {
     double d = 0.0;
     bool b = false;
   };
+  const Field* find(const char* key, Field::Kind kind) const;
+
   const char* type_;
   std::vector<Field> fields_;
 };

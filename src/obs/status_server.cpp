@@ -1,0 +1,182 @@
+#include "obs/status_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "base/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace upec::obs {
+
+namespace {
+
+// Writes the whole buffer, riding out short writes. Best-effort: a client
+// that hangs up mid-response just loses the rest.
+void writeAll(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string httpResponse(int code, const char* reason, const char* contentType,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + ' ' + reason + "\r\n";
+  out += "Content-Type: ";
+  out += contentType;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// First request line -> path ("GET /status HTTP/1.1" -> "/status").
+// Anything that is not a well-formed GET yields an empty path (-> 400).
+std::string requestPath(const std::string& request) {
+  if (request.rfind("GET ", 0) != 0) return {};
+  const std::size_t start = 4;
+  const std::size_t end = request.find(' ', start);
+  if (end == std::string::npos) return {};
+  return request.substr(start, end - start);
+}
+
+}  // namespace
+
+StatusServer::~StatusServer() { stop(); }
+
+bool StatusServer::start(StatusServerOptions options) {
+  if (running_.load(std::memory_order_acquire)) return false;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // introspection is local-only
+  addr.sin_port = htons(options.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;  // port in use (or exotic failure): degrade, don't die
+  }
+  // Recover the ephemeral choice when port 0 was requested.
+  sockaddr_in bound{};
+  socklen_t boundLen = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &boundLen) != 0) {
+    ::close(fd);
+    return false;
+  }
+
+  options_ = std::move(options);
+  listenFd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  stopRequested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serveLoop(); });
+  return true;
+}
+
+void StatusServer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopRequested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  port_ = 0;
+  running_.store(false, std::memory_order_release);
+}
+
+void StatusServer::serveLoop() {
+  // accept with a poll() tick instead of a bare blocking accept: waking a
+  // thread parked in accept() portably is messier than a 100 ms poll, and
+  // a scrape endpoint does not need lower shutdown latency than that.
+  while (!stopRequested_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listenFd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;  // timeout tick (or EINTR): re-check stop flag
+    const int client = ::accept(listenFd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handleConnection(client);
+    ::close(client);
+  }
+}
+
+void StatusServer::handleConnection(int fd) {
+  // One bounded read is enough: we only care about the GET line, and every
+  // client we serve (curl, httpGet, prometheus) sends the full header in
+  // the first segments. 8 KiB caps rogue clients.
+  std::string request;
+  char buf[2048];
+  while (request.size() < 8192 && request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::string path = requestPath(request);
+  std::string response;
+  if (path.empty()) {
+    response = httpResponse(400, "Bad Request", "text/plain", "bad request\n");
+  } else if (path == "/metrics") {
+    response = httpResponse(200, "OK", "text/plain; version=0.0.4",
+                            metrics().toPrometheus());
+  } else if (path == "/status" && options_.status) {
+    response = httpResponse(200, "OK", "application/json", options_.status());
+  } else if (path == "/events" && options_.events) {
+    response = httpResponse(200, "OK", "application/x-ndjson", options_.events());
+  } else {
+    response = httpResponse(404, "Not Found", "text/plain",
+                            "unknown endpoint; try /metrics /status /events\n");
+  }
+  writeAll(fd, response.data(), response.size());
+}
+
+bool httpGet(std::uint16_t port, const std::string& path, std::string& body,
+             int* statusCode) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  writeAll(fd, request.data(), request.size());
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.1 200 OK\r\n...headers...\r\n\r\nbody"
+  const std::size_t statusStart = response.find(' ');
+  const std::size_t headerEnd = response.find("\r\n\r\n");
+  if (statusStart == std::string::npos || headerEnd == std::string::npos) return false;
+  if (statusCode != nullptr) *statusCode = std::atoi(response.c_str() + statusStart + 1);
+  body = response.substr(headerEnd + 4);
+  return true;
+}
+
+}  // namespace upec::obs

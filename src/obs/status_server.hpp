@@ -1,0 +1,97 @@
+// Live campaign introspection over HTTP: a dependency-free blocking-socket
+// endpoint a running campaign opens on 127.0.0.1 (opt-in via
+// CampaignOptions::statusPort / campaign_sweep --status-port) so the
+// interesting state of a long sweep — ladder position per job,
+// conflict-budget burn, whether shared clauses help — is scrapeable *while
+// it runs* instead of invisible until the report JSON lands.
+//
+// Endpoints:
+//   /metrics  Prometheus text exposition format (text/plain; version=0.0.4)
+//             rendered from the global obs::MetricsRegistry — counters and
+//             gauges as single samples, histograms as cumulative le-buckets
+//             plus _sum/_count (MetricsRegistry::toPrometheus).
+//   /status   application/json campaign progress snapshot, produced by the
+//             `status` provider (engine::ProgressTracker::statusJson —
+//             windows decided/total per job, current ladder rung,
+//             reschedule + ConflictLedger utilization, replay counts, ETA).
+//   /events   application/x-ndjson bounded tail of the campaign's event
+//             stream, produced by the `events` provider.
+//
+// Design constraints, in order: zero new dependencies (raw POSIX sockets,
+// one background thread, blocking I/O with a poll() tick so stop() is
+// prompt); never touch solver threads (all bodies come from providers that
+// read observer-fed aggregates or the lock-free metrics registry); degrade
+// gracefully (a taken port logs and disables the server — the campaign
+// itself must never fail because its observability could not bind).
+//
+// The server binds 127.0.0.1 only: this is an introspection socket, not a
+// service interface — remote scraping goes through a forwarder by choice.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace upec::obs {
+
+struct StatusServerOptions {
+  // 0 = bind an ephemeral port (the choice is reported by port() — handy
+  // for tests and parallel campaigns); otherwise the fixed port to bind.
+  std::uint16_t port = 0;
+  // Body providers, invoked on the server thread once per request. A null
+  // provider turns its endpoint into a 404. /metrics needs no provider —
+  // it always renders the global registry.
+  std::function<std::string()> status;  // /status body (application/json)
+  std::function<std::string()> events;  // /events body (application/x-ndjson)
+};
+
+class StatusServer {
+ public:
+  StatusServer() = default;
+  ~StatusServer();  // stop()s
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  // Binds 127.0.0.1:<port>, starts the accept thread. Returns false —
+  // with the server disabled and no thread running — when the port is in
+  // use or any socket call fails; the caller logs and proceeds without
+  // introspection. Calling start() on a running server is an error (false).
+  bool start(StatusServerOptions options);
+
+  // Stops accepting, joins the server thread. Idempotent; the destructor
+  // calls it. In-flight requests finish first (they are bounded: one
+  // request per connection, Connection: close).
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port while running (the ephemeral choice when options.port
+  // was 0); 0 when not running.
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requestsServed() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serveLoop();
+  void handleConnection(int fd);
+
+  StatusServerOptions options_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopRequested_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  int listenFd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+// Minimal blocking HTTP/1.1 GET against 127.0.0.1:<port>: one request, one
+// response, Connection: close. Returns false on connect/IO failure (e.g.
+// the campaign already ended); on success fills `body` and, when non-null,
+// `statusCode`. This is the client half the terminal watcher
+// (examples/campaign_top.cpp) and the tests poll the server with.
+bool httpGet(std::uint16_t port, const std::string& path, std::string& body,
+             int* statusCode = nullptr);
+
+}  // namespace upec::obs

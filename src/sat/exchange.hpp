@@ -21,6 +21,15 @@
 // propagation, and every payload access is lock-protected — the design
 // is exactly as fast as a seqlock here (clauses are a handful of words)
 // while staying data-race-free under ThreadSanitizer.
+//
+// Measuring whether the sharing *helps*: raw SolverStats::clausesImported
+// only counts attachments. With SolverConfig::profile on, the importing
+// solver additionally tracks each adopted clause's first useful act —
+// SolverStats::importedUsedInPropagation (it propagated a literal or was
+// the conflicting clause) and importedUsedInConflict (it served as a
+// reason in conflict analysis). The bookkeeping lives on the importer's
+// side in solver.cpp, not here: the exchange never learns what became of
+// a delivered clause, so the ring stays write-and-forget.
 #pragma once
 
 #include <atomic>

@@ -13,6 +13,13 @@ struct Solver::Clause {
   float activity = 0.0f;
   bool learnt = false;
   bool deleted = false;
+  // Exchange-efficacy bookkeeping (SolverConfig::profile): a clause adopted
+  // from the ClauseExchange, and whether its first useful propagation /
+  // first appearance in conflict analysis has been counted yet. Data-only —
+  // never consulted on the default (profile-off) path.
+  bool imported = false;
+  bool usedInPropagation = false;
+  bool usedInConflict = false;
   std::vector<Lit> lits;
 
   int size() const { return static_cast<int>(lits.size()); }
@@ -168,6 +175,10 @@ Solver::Clause* Solver::propagate() {
         qhead_ = static_cast<int>(trail_.size());
         return w.clause;
       }
+      if (config_.profile && c.imported && !c.usedInPropagation) {
+        c.usedInPropagation = true;
+        ++stats_.importedUsedInPropagation;
+      }
       enqueue(first, w.clause);
     }
     ws.resize(j);
@@ -209,6 +220,10 @@ void Solver::analyze(Clause* conflict, std::vector<Lit>& outLearnt, int& outBtLe
   do {
     assert(reason != nullptr);
     if (reason->learnt) bumpClauseActivity(reason);
+    if (config_.profile && reason->imported && !reason->usedInConflict) {
+      reason->usedInConflict = true;
+      ++stats_.importedUsedInConflict;
+    }
     for (int k = (p == kLitUndef) ? 0 : 1; k < reason->size(); ++k) {
       const Lit q = (*reason)[k];
       if (!seen_[q.var()] && level_[q.var()] > 0) {
@@ -423,8 +438,29 @@ LBool Solver::solveLimited(std::span<const Lit> assumptions) {
   assumptions_.assign(assumptions.begin(), assumptions.end());
   model_.clear();
 
+  // Phase profiling (SolverConfig::profile): wall time per CDCL phase. The
+  // clock is only read when the knob is on — profNow() is a no-op stamp on
+  // the default path, mirroring the deadline pattern above — and all the
+  // instrumentation is read-only, so the search trajectory is unchanged.
+  const bool prof = config_.profile;
+  const auto profNow = [prof] {
+    return prof ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
+  };
+  const auto profNs = [](std::chrono::steady_clock::time_point t0) {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now() - t0)
+                                          .count());
+  };
+
   // Pick up clauses other members derived since our last race/restart.
-  if (exchange_ != nullptr && !importForeignClauses()) return LBool::kFalse;
+  // Solve-entry import is accounted as restart time: both are the same
+  // level-0 adoption boundary.
+  if (exchange_ != nullptr) {
+    const auto t0 = profNow();
+    const bool importOk = importForeignClauses();
+    if (prof) stats_.restartTimeNs += profNs(t0);
+    if (!importOk) return LBool::kFalse;
+  }
 
   std::uint64_t restartNum = 0;
   std::uint64_t conflictsUntilRestart = restartInterval(restartNum);
@@ -446,7 +482,14 @@ LBool Solver::solveLimited(std::span<const Lit> assumptions) {
       lastSolveDeadlineExpired_ = true;
       return LBool::kUndef;
     }
-    Clause* conflict = propagate();
+    Clause* conflict;
+    if (prof) {
+      const auto t0 = profNow();
+      conflict = propagate();
+      stats_.propagateTimeNs += profNs(t0);
+    } else {
+      conflict = propagate();
+    }
     if (conflict != nullptr) {
       ++stats_.conflicts;
       ++conflictsThisRestart;
@@ -457,7 +500,13 @@ LBool Solver::solveLimited(std::span<const Lit> assumptions) {
         return LBool::kFalse;
       }
       int btLevel = 0;
-      analyze(conflict, learntClause, btLevel);
+      if (prof) {
+        const auto t0 = profNow();
+        analyze(conflict, learntClause, btLevel);
+        stats_.analyzeTimeNs += profNs(t0);
+      } else {
+        analyze(conflict, learntClause, btLevel);
+      }
       if (exchange_ != nullptr) exportLearnt(learntClause);  // pre-backtrack: LBD needs levels
       backtrack(btLevel);
       if (learntClause.size() == 1) {
@@ -490,6 +539,7 @@ LBool Solver::solveLimited(std::span<const Lit> assumptions) {
     }
 
     if (conflictsThisRestart >= conflictsUntilRestart) {
+      const auto t0 = profNow();
       ++stats_.restarts;
       ++restartNum;
       conflictsThisRestart = 0;
@@ -500,11 +550,15 @@ LBool Solver::solveLimited(std::span<const Lit> assumptions) {
       }
       // Restart boundary = the cheap moment to adopt foreign clauses: the
       // trail is back at level 0, so imports attach without repair work.
-      if (exchange_ != nullptr && !importForeignClauses()) return LBool::kFalse;
+      const bool importOk = exchange_ == nullptr || importForeignClauses();
+      if (prof) stats_.restartTimeNs += profNs(t0);
+      if (!importOk) return LBool::kFalse;
       continue;
     }
     if (learnts_.size() >= maxLearnts_) {
+      const auto t0 = profNow();
       reduceDB();
+      if (prof) stats_.reduceTimeNs += profNs(t0);
       maxLearnts_ += maxLearnts_ / 10;
     }
 
@@ -614,6 +668,7 @@ bool Solver::importForeignClauses() {
     }
     auto* c = new Clause();
     c->learnt = true;
+    c->imported = true;
     c->lits = importScratch_;
     learnts_.push_back(c);
     attachClause(c);

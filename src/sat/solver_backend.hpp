@@ -62,6 +62,13 @@ struct SolverConfig {
   unsigned shareMaxLits = 8;
   unsigned shareMaxLbd = 4;
 
+  // Solver-depth profiling: per-phase wall timings (propagate / analyze /
+  // reduce-DB / restart) and exchange-efficacy counters, folded into
+  // SolverStats. Read-only instrumentation — it never changes the search
+  // trajectory — but it reads the clock inside the CDCL loop, so it is off
+  // by default and the default path performs zero timing syscalls.
+  bool profile = false;
+
   // Human-readable one-liner: the name if set, otherwise the knobs.
   std::string describe() const;
 

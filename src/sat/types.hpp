@@ -61,6 +61,22 @@ struct SolverStats {
   std::uint64_t clausesImported = 0;
   std::uint64_t clausesDropped = 0;
 
+  // Solver-phase profiling (zero unless SolverConfig::profile): wall time
+  // spent inside each phase of the CDCL loop, in nanoseconds. The clock is
+  // never read when profiling is off, so the default path stays free of
+  // timing syscalls and the stats delta stays bit-identical.
+  std::uint64_t propagateTimeNs = 0;
+  std::uint64_t analyzeTimeNs = 0;
+  std::uint64_t reduceTimeNs = 0;
+  std::uint64_t restartTimeNs = 0;
+  // Exchange *efficacy* (SolverConfig::profile + an attached exchange):
+  // how many imported foreign clauses were ever useful, not just attached.
+  // Each imported clause is counted at most once per category — the first
+  // time it propagates a literal (or is the conflicting clause), and the
+  // first time it appears as a reason in conflict analysis.
+  std::uint64_t importedUsedInPropagation = 0;
+  std::uint64_t importedUsedInConflict = 0;
+
   // Field-wise difference, for per-solve deltas in incremental use.
   SolverStats operator-(const SolverStats& o) const {
     return {decisions - o.decisions,   propagations - o.propagations,
@@ -69,7 +85,13 @@ struct SolverStats {
             removedClauses - o.removedClauses, solves - o.solves,
             clausesExported - o.clausesExported,
             clausesImported - o.clausesImported,
-            clausesDropped - o.clausesDropped};
+            clausesDropped - o.clausesDropped,
+            propagateTimeNs - o.propagateTimeNs,
+            analyzeTimeNs - o.analyzeTimeNs,
+            reduceTimeNs - o.reduceTimeNs,
+            restartTimeNs - o.restartTimeNs,
+            importedUsedInPropagation - o.importedUsedInPropagation,
+            importedUsedInConflict - o.importedUsedInConflict};
   }
 
   // Field-wise sum, for merging the effort of portfolio members.
@@ -80,7 +102,13 @@ struct SolverStats {
             removedClauses + o.removedClauses, solves + o.solves,
             clausesExported + o.clausesExported,
             clausesImported + o.clausesImported,
-            clausesDropped + o.clausesDropped};
+            clausesDropped + o.clausesDropped,
+            propagateTimeNs + o.propagateTimeNs,
+            analyzeTimeNs + o.analyzeTimeNs,
+            reduceTimeNs + o.reduceTimeNs,
+            restartTimeNs + o.restartTimeNs,
+            importedUsedInPropagation + o.importedUsedInPropagation,
+            importedUsedInConflict + o.importedUsedInConflict};
   }
   SolverStats& operator+=(const SolverStats& o) { return *this = *this + o; }
 };

@@ -53,9 +53,17 @@ void applyReducedEquality(Miter& miter, const rtl::ReductionResult& red,
 }  // namespace
 
 std::vector<sat::SolverConfig> UpecOptions::resolvedSolverConfigs() const {
-  if (!solverConfigs.empty()) return solverConfigs;
-  if (portfolio >= 2) return sat::SolverConfig::diversified(portfolio, portfolioSeed);
-  return {};
+  std::vector<sat::SolverConfig> configs = solverConfigs;
+  if (configs.empty() && portfolio >= 2) {
+    configs = sat::SolverConfig::diversified(portfolio, portfolioSeed);
+  }
+  if (profileSolver) {
+    // A bare default backend still needs a config to carry the knob; a
+    // single default-constructed config is exactly the seed solver.
+    if (configs.empty()) configs.emplace_back();
+    for (sat::SolverConfig& c : configs) c.profile = true;
+  }
+  return configs;
 }
 
 sat::PortfolioOptions UpecOptions::resolvedPortfolioOptions() const {

@@ -78,6 +78,12 @@ struct UpecOptions {
   unsigned portfolio = 0;
   std::uint64_t portfolioSeed = 1;  // base seed for the diversified family
   std::vector<sat::SolverConfig> solverConfigs;
+  // Solver-depth profiling (sat::SolverConfig::profile on every resolved
+  // config): per-phase CDCL wall timings and exchange-efficacy counters in
+  // the solve stats. Read-only instrumentation — verdicts and the search
+  // trajectory are unchanged — but it reads the clock in the solver's
+  // inner loop, so it is off by default like every other knob here.
+  bool profileSolver = false;
 
   // Pre-encoding reduction (src/rtl/reduce.hpp): before the unroller and
   // CNF builder see the miter, sweep it to the proof obligations' cone of

@@ -1,0 +1,466 @@
+// Live campaign introspection: the StatusServer's three endpoints (the
+// Prometheus exposition is parsed back, not pattern-matched), graceful
+// degradation when the port is taken, the ProgressTracker's aggregation
+// and ETA (monotone under constant solve times, closed totals for
+// early-exit jobs), a concurrent scrape hammering /status and /metrics
+// while a 2-worker sweep runs (the TSan leg polices this one), and the
+// profiling contract: SolverConfig::profile populates phase timings
+// without moving the solver trajectory by a single conflict.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/log.hpp"
+#include "engine/campaign.hpp"
+#include "engine/progress.hpp"
+#include "engine/scheduler.hpp"
+#include "json_testlib.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/status_server.hpp"
+
+namespace upec {
+namespace {
+
+using engine::CampaignOptions;
+using engine::CampaignReport;
+using engine::JobSpec;
+using engine::ProgressTracker;
+using testjson::Value;
+
+JobSpec secureLadder(std::uint32_t id, SecretScenario scenario, unsigned kMax) {
+  JobSpec spec;
+  spec.id = id;
+  spec.label = std::string("secure/") + scenarioName(scenario);
+  spec.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+  spec.secretWord = 12;
+  spec.options.scenario = scenario;
+  spec.mode = engine::DeepeningMode::kIncremental;
+  spec.kMin = 1;
+  spec.kMax = kMax;
+  return spec;
+}
+
+std::vector<JobSpec> smallCampaign() {
+  return {secureLadder(0, SecretScenario::kNotInCache, 2),
+          secureLadder(1, SecretScenario::kInCache, 2)};
+}
+
+// One parsed sample of a Prometheus text exposition: "name{labels} value"
+// or "name value". # lines are kept separately as declared types.
+struct Exposition {
+  std::map<std::string, std::string> types;           // name -> counter|gauge|histogram
+  std::vector<std::pair<std::string, double>> samples;  // full series name (incl. labels)
+
+  double sample(const std::string& name) const {
+    for (const auto& [n, v] : samples) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "missing sample: " << name;
+    return -1.0;
+  }
+  bool has(const std::string& name) const {
+    for (const auto& [n, v] : samples) {
+      if (n == name) return true;
+    }
+    return false;
+  }
+};
+
+void parseExposition(const std::string& body, Exposition& e) {
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> <type>"
+      std::istringstream ls(line);
+      std::string hash, kw, name, type;
+      ls >> hash >> kw >> name >> type;
+      ASSERT_EQ(kw, "TYPE") << line;
+      ASSERT_TRUE(type == "counter" || type == "gauge" || type == "histogram") << line;
+      e.types[name] = type;
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string series = line.substr(0, space);
+    e.samples.emplace_back(series, std::atof(line.c_str() + space + 1));
+    // Every sample must belong to a declared family (series name stripped
+    // of labels and the _bucket/_sum/_count suffixes).
+    std::string family = series.substr(0, series.find('{'));
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::size_t len = std::strlen(suffix);
+      if (family.size() > len && family.compare(family.size() - len, len, suffix) == 0 &&
+          e.types.count(family.substr(0, family.size() - len)) != 0) {
+        family = family.substr(0, family.size() - len);
+        break;
+      }
+    }
+    ASSERT_NE(e.types.count(family), 0u) << "undeclared family for: " << line;
+  }
+  ASSERT_FALSE(e.samples.empty());
+}
+
+// ---------------------------------------------------------- status server ---
+
+TEST(StatusServer, MetricsEndpointServesParseableExposition) {
+  obs::metrics().reset();
+  obs::setMetricsEnabled(true);
+  obs::metrics().counter("status_test.scrapes").add(42);
+  obs::metrics().gauge("status_test.depth").set(7);
+  obs::Histogram& h = obs::metrics().histogram("status_test.latency-us");
+  for (const std::uint64_t v : {1ull, 2ull, 3ull, 100ull, 1000ull}) h.observe(v);
+
+  obs::StatusServer server;
+  ASSERT_TRUE(server.start({}));  // ephemeral port, no providers
+  ASSERT_NE(server.port(), 0);
+
+  std::string body;
+  int code = 0;
+  ASSERT_TRUE(obs::httpGet(server.port(), "/metrics", body, &code));
+  EXPECT_EQ(code, 200);
+
+  Exposition e;
+  ASSERT_NO_FATAL_FAILURE(parseExposition(body, e));
+  EXPECT_EQ(e.types["upec_status_test_scrapes"], "counter");
+  EXPECT_EQ(e.sample("upec_status_test_scrapes"), 42.0);
+  EXPECT_EQ(e.types["upec_status_test_depth"], "gauge");
+  EXPECT_EQ(e.sample("upec_status_test_depth"), 7.0);
+  // The dash sanitises to '_'; the histogram carries cumulative buckets
+  // that end exactly at +Inf == _count, and the sum is exact.
+  EXPECT_EQ(e.types["upec_status_test_latency_us"], "histogram");
+  EXPECT_EQ(e.sample("upec_status_test_latency_us_sum"), 1106.0);
+  EXPECT_EQ(e.sample("upec_status_test_latency_us_count"), 5.0);
+  EXPECT_EQ(e.sample("upec_status_test_latency_us_bucket{le=\"+Inf\"}"), 5.0);
+  double prev = 0.0;
+  for (const auto& [name, value] : e.samples) {
+    if (name.rfind("upec_status_test_latency_us_bucket", 0) != 0) continue;
+    EXPECT_GE(value, prev) << "buckets must be cumulative: " << name;
+    prev = value;
+  }
+
+  server.stop();
+  obs::setMetricsEnabled(false);
+  obs::metrics().reset();
+}
+
+TEST(StatusServer, UnknownPathIs404AndProvidersServeBodies) {
+  obs::StatusServerOptions options;
+  options.status = [] { return std::string("{\"ok\":true}"); };
+  options.events = [] { return std::string("{\"type\":\"x\"}\n"); };
+  obs::StatusServer server;
+  ASSERT_TRUE(server.start(std::move(options)));
+
+  std::string body;
+  int code = 0;
+  ASSERT_TRUE(obs::httpGet(server.port(), "/status", body, &code));
+  EXPECT_EQ(code, 200);
+  EXPECT_EQ(body, "{\"ok\":true}");
+  ASSERT_TRUE(obs::httpGet(server.port(), "/events", body, &code));
+  EXPECT_EQ(code, 200);
+  EXPECT_EQ(body, "{\"type\":\"x\"}\n");
+  ASSERT_TRUE(obs::httpGet(server.port(), "/nope", body, &code));
+  EXPECT_EQ(code, 404);
+  EXPECT_GE(server.requestsServed(), 3u);
+
+  const std::uint16_t port = server.port();
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_FALSE(server.running());
+  EXPECT_FALSE(obs::httpGet(port, "/status", body));
+}
+
+TEST(StatusServer, NullProvidersYield404) {
+  obs::StatusServer server;
+  ASSERT_TRUE(server.start({}));
+  std::string body;
+  int code = 0;
+  ASSERT_TRUE(obs::httpGet(server.port(), "/status", body, &code));
+  EXPECT_EQ(code, 404);
+  ASSERT_TRUE(obs::httpGet(server.port(), "/events", body, &code));
+  EXPECT_EQ(code, 404);
+}
+
+TEST(StatusServer, TakenPortDegradesGracefully) {
+  obs::StatusServer first;
+  ASSERT_TRUE(first.start({}));
+
+  // A second server on the same port must fail cleanly...
+  obs::StatusServerOptions clash;
+  clash.port = first.port();
+  obs::StatusServer second;
+  EXPECT_FALSE(second.start(std::move(clash)));
+  EXPECT_FALSE(second.running());
+
+  // ...and a campaign pointed at the taken port must still complete.
+  CampaignOptions options;
+  options.threads = 1;
+  options.statusPort = first.port();
+  const CampaignReport report = engine::runCampaign({secureLadder(0, SecretScenario::kNotInCache, 1)}, options);
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_NE(report.jobs[0].verdict, Verdict::kError);
+}
+
+// -------------------------------------------------------- progress tracker ---
+
+// Feeds the tracker a synthetic campaign: constant solve times make the
+// expected ETA exact, so monotonicity is asserted, not hoped for.
+TEST(ProgressTracker, EtaIsMonotoneUnderConstantSolveTimes) {
+  ProgressTracker tracker;
+  std::vector<JobSpec> jobs = {secureLadder(0, SecretScenario::kNotInCache, 8)};
+  tracker.prime(jobs);
+
+  obs::StreamEvent start("campaign_start");
+  start.num("jobs", 1).num("threads", 1);
+  tracker.onEvent(start);
+  EXPECT_EQ(tracker.snapshot().windowsTotal, 8u);
+
+  double prevEta = -1.0;
+  for (unsigned k = 1; k <= 8; ++k) {
+    obs::StreamEvent w("window");
+    w.num("job", 0).str("label", "x").num("k", k).str("verdict", "proven");
+    w.num("conflicts", 10).real("solve_ms", 100.0);
+    tracker.onEvent(w);
+    const ProgressTracker::Snapshot snap = tracker.snapshot();
+    EXPECT_EQ(snap.windowsDecided, k);
+    // With every sample at 100 ms, ETA = remaining * 100 ms: strictly
+    // decreasing as windows close.
+    EXPECT_DOUBLE_EQ(snap.etaMs, (8.0 - k) * 100.0);
+    if (prevEta >= 0.0) {
+      EXPECT_LT(snap.etaMs, prevEta);
+    }
+    prevEta = snap.etaMs;
+  }
+
+  obs::StreamEvent jobDone("job");
+  jobDone.num("job", 0).str("label", "x").str("verdict", "proven").real("wall_ms", 800.0);
+  tracker.onEvent(jobDone);
+  obs::StreamEvent end("campaign_end");
+  end.str("verdict", "proven").real("wall_ms", 812.0);
+  tracker.onEvent(end);
+  const ProgressTracker::Snapshot final = tracker.snapshot();
+  EXPECT_EQ(final.jobsDone, 1u);
+  EXPECT_TRUE(final.done);
+  EXPECT_DOUBLE_EQ(final.etaMs, 0.0);
+}
+
+TEST(ProgressTracker, EarlyExitJobClosesItsWindowTotal) {
+  ProgressTracker tracker;
+  tracker.prime({secureLadder(0, SecretScenario::kNotInCache, 8)});
+  obs::StreamEvent w("window");
+  w.num("job", 0).num("k", 1).str("verdict", "l_alert").real("solve_ms", 5.0);
+  tracker.onEvent(w);
+  // An L-alert ends the ladder after one of eight windows: the job event
+  // must clamp the total so no phantom "remaining" windows linger.
+  obs::StreamEvent jobDone("job");
+  jobDone.num("job", 0).str("verdict", "l_alert").real("wall_ms", 6.0);
+  tracker.onEvent(jobDone);
+  const ProgressTracker::Snapshot snap = tracker.snapshot();
+  EXPECT_EQ(snap.windowsTotal, 1u);
+  EXPECT_EQ(snap.windowsDecided, 1u);
+  EXPECT_DOUBLE_EQ(snap.etaMs, 0.0);
+}
+
+TEST(ProgressTracker, StatusJsonParsesWithFullSchema) {
+  ProgressTracker tracker;
+  tracker.prime(smallCampaign());
+  engine::ConflictLedger ledger(1000);
+  ledger.charge(250);
+  tracker.attachLedger(&ledger);
+
+  obs::StreamEvent start("campaign_start");
+  start.num("jobs", 2).num("threads", 2);
+  tracker.onEvent(start);
+  obs::StreamEvent w("window");
+  w.num("job", 1).num("k", 1).str("verdict", "proven").real("solve_ms", 12.0);
+  tracker.onEvent(w);
+  obs::StreamEvent resched("reschedule");
+  resched.num("job", 0).num("k", 2).num("attempt", 1).num("budget", 4000);
+  tracker.onEvent(resched);
+
+  const Value v = testjson::parse(tracker.statusJson());
+  EXPECT_TRUE(v.at("running").boolean);
+  EXPECT_EQ(v.at("threads").number, 2.0);
+  EXPECT_EQ(v.at("jobs").at("total").number, 2.0);
+  EXPECT_EQ(v.at("jobs").at("done").number, 0.0);
+  EXPECT_EQ(v.at("windows").at("decided").number, 1.0);
+  EXPECT_EQ(v.at("windows").at("total").number, 4.0);
+  EXPECT_EQ(v.at("windows").at("remaining").number, 3.0);
+  EXPECT_EQ(v.at("reschedules").number, 1.0);
+  EXPECT_EQ(v.at("ledger").at("spent").number, 250.0);
+  EXPECT_EQ(v.at("ledger").at("ceiling").number, 1000.0);
+  EXPECT_EQ(v.at("ledger").at("utilization_pct").number, 25.0);
+  EXPECT_GT(v.at("eta_ms").number, 0.0);
+  ASSERT_EQ(v.at("jobs_detail").array.size(), 2u);
+  const Value& job1 = v.at("jobs_detail").array[1];
+  EXPECT_EQ(job1.at("decided").number, 1.0);
+  EXPECT_EQ(job1.at("rung").number, 1.0);
+  EXPECT_FALSE(job1.at("done").boolean);
+
+  // The events tail holds each fed event as one parseable NDJSON line.
+  std::istringstream tail(tracker.eventsTail());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(tail, line)) {
+    testjson::parse(line);  // throws = test failure
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+}
+
+TEST(ProgressTracker, ForwardsEveryEventToTheWrappedObserver) {
+  class Counting : public obs::CampaignObserver {
+   public:
+    void onEvent(const obs::StreamEvent&) override { ++events; }
+    int events = 0;
+  };
+  Counting sink;
+  ProgressTracker tracker(&sink);
+  tracker.prime(smallCampaign());
+  obs::StreamEvent start("campaign_start");
+  tracker.onEvent(start);
+  obs::StreamEvent w("window");
+  w.num("job", 0).num("k", 1);
+  tracker.onEvent(w);
+  EXPECT_EQ(sink.events, 2);
+}
+
+// ------------------------------------------------- live campaign scraping ---
+
+// A 2-worker sweep with the endpoint open, scraped from another thread the
+// whole time. The TSan leg runs this test: the scraper reads tracker
+// aggregates and the metrics registry while pool workers write them.
+TEST(StatusServer, ConcurrentScrapeDuringSweep) {
+  obs::metrics().reset();
+  obs::setMetricsEnabled(true);
+
+  // runCampaign logs the bound ephemeral port; capture it from the sink
+  // (info level must be on for the line to be emitted at all).
+  const LogLevel savedLevel = logLevel();
+  setLogLevel(LogLevel::kInfo);
+  std::mutex portMutex;
+  std::uint16_t port = 0;
+  setLogSink([&portMutex, &port](LogLevel, const std::string& msg) {
+    const std::string needle = "http://127.0.0.1:";
+    const std::size_t pos = msg.find(needle);
+    if (pos == std::string::npos) return;
+    std::lock_guard<std::mutex> lock(portMutex);
+    port = static_cast<std::uint16_t>(std::atoi(msg.c_str() + pos + needle.size()));
+  });
+
+  CampaignOptions options;
+  options.threads = 2;
+  options.statusPort = 0;
+  CampaignReport report;
+  std::atomic<bool> campaignDone{false};
+  std::thread campaign([&report, &options, &campaignDone] {
+    report = engine::runCampaign(smallCampaign(), options);
+    campaignDone.store(true, std::memory_order_release);
+  });
+
+  std::uint64_t scrapes = 0;
+  double lastDecided = -1.0;
+  double lastTotal = -1.0;
+  bool sawRunningFalseOrClosed = false;
+  while (!sawRunningFalseOrClosed) {
+    std::uint16_t p;
+    {
+      std::lock_guard<std::mutex> lock(portMutex);
+      p = port;
+    }
+    if (p == 0) {
+      // Campaign not started yet — or already over without us ever seeing
+      // the port (should not happen, but never hang the suite on it).
+      if (campaignDone.load(std::memory_order_acquire)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    std::string statusBody, metricsBody;
+    if (!obs::httpGet(p, "/status", statusBody) ||
+        !obs::httpGet(p, "/metrics", metricsBody)) {
+      // Endpoint gone: the campaign finished between scrapes.
+      sawRunningFalseOrClosed = scrapes > 0;
+      break;
+    }
+    ++scrapes;
+    const Value v = testjson::parse(statusBody);
+    lastDecided = v.at("windows").at("decided").number;
+    lastTotal = v.at("windows").at("total").number;
+    EXPECT_LE(lastDecided, lastTotal);
+    if (!v.at("running").boolean) sawRunningFalseOrClosed = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  campaign.join();
+  setLogSink(nullptr);
+  setLogLevel(savedLevel);
+  obs::setMetricsEnabled(false);
+  obs::metrics().reset();
+
+  EXPECT_GT(scrapes, 0u) << "never reached the endpoint while the sweep ran";
+  EXPECT_TRUE(sawRunningFalseOrClosed);
+  EXPECT_GE(lastTotal, 0.0);
+  // Cross-check the scrape against the final report: the campaign solved
+  // exactly the windows the tracker advertised.
+  std::size_t reportWindows = 0;
+  for (const engine::JobResult& job : report.jobs) reportWindows += job.windows.size();
+  EXPECT_EQ(reportWindows, 4u);
+  EXPECT_LE(lastDecided, static_cast<double>(reportWindows));
+}
+
+// ---------------------------------------------------------- profiling -------
+
+// The load-bearing invariant: profiling only reads clocks and flags — with
+// it on, every per-window conflict/propagation/decision count is identical
+// to the unprofiled run, and the phase timings actually populate.
+TEST(Profile, TrajectoryBitIdenticalAndTimingsPopulate) {
+  CampaignOptions options;
+  options.threads = 1;
+  const CampaignReport off = engine::runCampaign(smallCampaign(), options);
+
+  std::vector<JobSpec> profiled = smallCampaign();
+  for (JobSpec& spec : profiled) spec.options.profileSolver = true;
+  const CampaignReport on = engine::runCampaign(profiled, options);
+
+  ASSERT_EQ(off.jobs.size(), on.jobs.size());
+  for (std::size_t j = 0; j < off.jobs.size(); ++j) {
+    EXPECT_EQ(off.jobs[j].verdict, on.jobs[j].verdict);
+    ASSERT_EQ(off.jobs[j].windows.size(), on.jobs[j].windows.size());
+    for (std::size_t w = 0; w < off.jobs[j].windows.size(); ++w) {
+      const auto& a = off.jobs[j].windows[w].stats;
+      const auto& b = on.jobs[j].windows[w].stats;
+      EXPECT_EQ(a.conflicts, b.conflicts) << "job " << j << " window " << w;
+      EXPECT_EQ(a.propagations, b.propagations) << "job " << j << " window " << w;
+      EXPECT_EQ(a.decisions, b.decisions) << "job " << j << " window " << w;
+    }
+  }
+
+  EXPECT_FALSE(off.profileEnabled);
+  EXPECT_EQ(off.totalPropagateTimeNs, 0u);
+  EXPECT_TRUE(on.profileEnabled);
+  EXPECT_GT(on.totalPropagateTimeNs, 0u);
+
+  // The report JSON carries the fold: a top-level "profile" block with the
+  // four phases in microseconds.
+  const Value v = testjson::parse(on.toJson());
+  ASSERT_TRUE(v.has("profile"));
+  EXPECT_GT(v.at("profile").at("propagate_us").number, 0.0);
+  EXPECT_TRUE(v.at("profile").has("analyze_us"));
+  EXPECT_TRUE(v.at("profile").has("reduce_db_us"));
+  EXPECT_TRUE(v.at("profile").has("restart_us"));
+  const Value voff = testjson::parse(off.toJson());
+  EXPECT_FALSE(voff.has("profile"));
+}
+
+}  // namespace
+}  // namespace upec
