@@ -258,7 +258,11 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
   // after the ledger so teardown stops the server before anything it reads.
   std::unique_ptr<ProgressTracker> tracker;
   std::unique_ptr<obs::StatusServer> statusServer;
-  if (options.statusPort >= 0) {
+  if (options.statusPort > 65535) {
+    // Don't let the uint16 cast below wrap onto an unintended port.
+    logInfo("campaign: invalid status port " + std::to_string(options.statusPort) +
+            " (max 65535); continuing without introspection");
+  } else if (options.statusPort >= 0) {
     tracker = std::make_unique<ProgressTracker>(options.observer);
     tracker->prime(specs);
     tracker->attachLedger(&ledger);

@@ -16,14 +16,26 @@ namespace upec::obs {
 namespace {
 
 // Writes the whole buffer, riding out short writes. Best-effort: a client
-// that hangs up mid-response just loses the rest.
+// that hangs up mid-response just loses the rest. MSG_NOSIGNAL keeps a
+// disconnected peer from raising SIGPIPE (whose default action would kill
+// the whole campaign — the process installs no handler); we see EPIPE and
+// drop the rest instead.
 void writeAll(int fd, const char* data, std::size_t len) {
   std::size_t off = 0;
   while (off < len) {
-    const ssize_t n = ::write(fd, data + off, len - off);
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
     if (n <= 0) return;
     off += static_cast<std::size_t>(n);
   }
+}
+
+// Bounds every read/write on a client socket so a stalled peer cannot wedge
+// the (single) serve thread — and with it StatusServer::stop() — forever.
+void setSocketTimeouts(int fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 }
 
 std::string httpResponse(int code, const char* reason, const char* contentType,
@@ -109,15 +121,17 @@ void StatusServer::serveLoop() {
     if (ready <= 0) continue;  // timeout tick (or EINTR): re-check stop flag
     const int client = ::accept(listenFd_, nullptr, nullptr);
     if (client < 0) continue;
+    setSocketTimeouts(client, 2);  // a silent client is a bad request, not a hang
     handleConnection(client);
     ::close(client);
   }
 }
 
 void StatusServer::handleConnection(int fd) {
-  // One bounded read is enough: we only care about the GET line, and every
-  // client we serve (curl, httpGet, prometheus) sends the full header in
-  // the first segments. 8 KiB caps rogue clients.
+  // We only care about the GET line, and every client we serve (curl,
+  // httpGet, prometheus) sends the full header in the first segments.
+  // 8 KiB caps rogue clients by size; SO_RCVTIMEO caps them by time —
+  // a timed-out read falls through to the 400 path below.
   std::string request;
   char buf[2048];
   while (request.size() < 8192 && request.find("\r\n\r\n") == std::string::npos) {
@@ -157,6 +171,7 @@ bool httpGet(std::uint16_t port, const std::string& path, std::string& body,
     ::close(fd);
     return false;
   }
+  setSocketTimeouts(fd, 2);
   const std::string request =
       "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
   writeAll(fd, request.data(), request.size());

@@ -168,16 +168,18 @@ Solver::Clause* Solver::propagate() {
       // Clause is unit or conflicting.
       ws[j++] = {w.clause, first};
       ++i;
+      // An imported clause's first useful act — forcing a literal or being
+      // the conflicting clause — both land here (see types.hpp semantics).
+      if (config_.profile && c.imported && !c.usedInPropagation) {
+        c.usedInPropagation = true;
+        ++stats_.importedUsedInPropagation;
+      }
       if (value(first) == LBool::kFalse) {
         // Conflict: copy back remaining watchers and report.
         while (i < n) ws[j++] = ws[i++];
         ws.resize(j);
         qhead_ = static_cast<int>(trail_.size());
         return w.clause;
-      }
-      if (config_.profile && c.imported && !c.usedInPropagation) {
-        c.usedInPropagation = true;
-        ++stats_.importedUsedInPropagation;
       }
       enqueue(first, w.clause);
     }

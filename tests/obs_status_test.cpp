@@ -212,6 +212,33 @@ TEST(StatusServer, TakenPortDegradesGracefully) {
   EXPECT_NE(report.jobs[0].verdict, Verdict::kError);
 }
 
+TEST(StatusServer, OutOfRangePortSkipsIntrospection) {
+  // A port that doesn't fit in uint16 must not wrap onto some other port;
+  // the campaign runs without introspection instead.
+  const LogLevel savedLevel = logLevel();
+  setLogLevel(LogLevel::kInfo);
+  std::mutex logMutex;
+  bool rejected = false;
+  bool bound = false;
+  setLogSink([&logMutex, &rejected, &bound](LogLevel, const std::string& msg) {
+    std::lock_guard<std::mutex> lock(logMutex);
+    if (msg.find("invalid status port") != std::string::npos) rejected = true;
+    if (msg.find("status endpoint on") != std::string::npos) bound = true;
+  });
+
+  CampaignOptions options;
+  options.threads = 1;
+  options.statusPort = 65536;
+  const CampaignReport report = engine::runCampaign({secureLadder(0, SecretScenario::kNotInCache, 1)}, options);
+
+  setLogSink(nullptr);
+  setLogLevel(savedLevel);
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_NE(report.jobs[0].verdict, Verdict::kError);
+  EXPECT_TRUE(rejected);
+  EXPECT_FALSE(bound);  // 65536 must not wrap to an ephemeral bind on port 0
+}
+
 // -------------------------------------------------------- progress tracker ---
 
 // Feeds the tracker a synthetic campaign: constant solve times make the
