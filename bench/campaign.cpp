@@ -37,8 +37,15 @@
 //     restart) reported; then section [4]'s sharing ladder rerun with
 //     profiling on, which must show nonzero imported-clause efficacy (the
 //     shared clauses actually propagate and appear in conflict analysis).
+// 10. Campaign caches — the encoding prefix cache and the persistent
+//     clause store, each run as a differential against a cold campaign:
+//     cache-off reruns bit-identical (the default path is untouched), the
+//     prefix-cached run conflict-identical with most sessions cloning one
+//     cold encode (measurable first-window encode-time drop), and the
+//     store-seeded / warm-started sweeps verdict-identical with the
+//     warm rerun demonstrably importing the donor journal's clauses.
 //
-// Usage: bench/campaign [reschedule|trace|reduce|checkpoint|profile]
+// Usage: bench/campaign [reschedule|trace|reduce|checkpoint|profile|cache]
 //                       [--json out.json]
 //   no argument  — all sections;
 //   "reschedule" — section [5] only (self-contained; CI's smoke leg runs it
@@ -46,7 +53,8 @@
 //   "trace"      — section [6] only (the telemetry differential self-check);
 //   "reduce"     — section [7] only (the reduction verdict-equality check);
 //   "checkpoint" — section [8] only (the crash-safety self-check);
-//   "profile"    — section [9] only (the profiling differential self-check).
+//   "profile"    — section [9] only (the profiling differential self-check);
+//   "cache"      — section [10] only (the campaign-cache self-check).
 //   --json PATH  — also write a machine-readable summary of whatever ran:
 //                  per-section wall seconds, conflict totals and every
 //                  [ok]/[MISMATCH] self-check as {"name","ok"} (CI uploads
@@ -551,6 +559,172 @@ bool profileSection() {
   return all;
 }
 
+// ---- 10: campaign caches — prefix reuse + persistent clause store --------
+// Self-contained (also run standalone as CI's cache self-check). Every
+// claim is a differential against a cold run: (a) two cache-off campaigns
+// are bit-identical — the default path carries no trace of the caches;
+// (b) the prefix-cached campaign reproduces the cold trajectory conflict
+// for conflict while most sessions clone the first session's encoding,
+// with a measurable first-window encode-time drop; (c) the clause-store
+// and warm-started sweeps keep the cold verdicts (seeding moves the
+// search, never the answer); (d) the warm-started rerun demonstrably
+// imports the donor journal's clause set.
+bool cacheSection() {
+  SectionRecord rec;
+  rec.id = 10;
+  rec.name = "cache";
+  Stopwatch sectionTimer;
+  std::printf("[10] campaign caches: encoding prefix reuse + persistent clause store\n");
+
+  // Four single-backend k=1..4 ladders of one encoding class: scenarios
+  // and constraint toggles only shape the per-window assumptions, which
+  // land after the captured prefix — every job can clone the first cold
+  // encode.
+  std::vector<JobSpec> jobs;
+  {
+    JobSpec ladder;
+    ladder.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+    ladder.secretWord = 12;
+    ladder.mode = DeepeningMode::kIncremental;
+    ladder.kMin = 1;
+    ladder.kMax = 4;
+    const SecretScenario scenarios[2] = {SecretScenario::kNotInCache, SecretScenario::kInCache};
+    for (std::uint32_t id = 0; id < 4; ++id) {
+      ladder.id = id;
+      ladder.options.scenario = scenarios[id % 2];
+      ladder.options.constraint1NoOngoing = id < 2;
+      ladder.label = std::string(id % 2 == 0 ? "not_in_cache" : "in_cache") +
+                     (id < 2 ? "/full" : "/no_constraint1");
+      jobs.push_back(ladder);
+    }
+  }
+
+  CampaignOptions off;
+  off.threads = 2;
+  Stopwatch coldTimer;
+  const CampaignReport cold = runCampaign(jobs, off);
+  const double coldSec = coldTimer.elapsedSeconds();
+  const CampaignReport coldAgain = runCampaign(jobs, off);
+
+  CampaignOptions prefixOn = off;
+  prefixOn.cache.prefix = true;
+  Stopwatch cachedTimer;
+  const CampaignReport cached = runCampaign(jobs, prefixOn);
+  const double cachedSec = cachedTimer.elapsedSeconds();
+
+  // The prefix covers the first window's unroll+encode; deeper windows
+  // encode their deltas incrementally either way.
+  auto firstWindowEncodeMs = [](const CampaignReport& r) {
+    double ms = 0.0;
+    for (const JobResult& job : r.jobs) {
+      if (!job.windows.empty()) ms += job.windows.front().stats.encodeMs;
+    }
+    return ms;
+  };
+  const double coldEncodeMs = firstWindowEncodeMs(cold);
+  const double cachedEncodeMs = firstWindowEncodeMs(cached);
+
+  // The persistent clause store, then a warm start from the journal the
+  // store-backed sweep wrote: the cross-run half of the cache.
+  std::vector<JobSpec> sweep = {jobs[0], jobs[1]};
+  for (JobSpec& j : sweep) {
+    j.portfolio = 2;
+    j.sharing = true;
+  }
+  const std::string journal = "bench_cache.ndjson";
+  std::remove(journal.c_str());
+
+  const CampaignReport sweepCold = runCampaign(sweep, off);
+  CampaignOptions storeOn = off;
+  storeOn.cache.clauseStore = true;
+  storeOn.checkpoint.path = journal;
+  const CampaignReport sweepStore = runCampaign(sweep, storeOn);
+  CampaignOptions warm = off;
+  warm.cache.warmStartPath = journal;
+  const CampaignReport sweepWarm = runCampaign(sweep, warm);
+
+  upec::bench::Table t({"mode", "wall clock", "first-window encode", "prefix hit/miss",
+                        "store promoted/seeded", "verdicts (P/L/proven)"});
+  auto verdictCell = [](const CampaignReport& r) {
+    return std::to_string(r.numPAlerts) + "/" + std::to_string(r.numLAlerts) + "/" +
+           std::to_string(r.numProven);
+  };
+  auto ms = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f ms", v);
+    return std::string(buf);
+  };
+  t.addRow({"4 jobs, cache off", upec::bench::fmtSeconds(coldSec), ms(coldEncodeMs), "-", "-",
+            verdictCell(cold)});
+  t.addRow({"4 jobs, prefix cache", upec::bench::fmtSeconds(cachedSec), ms(cachedEncodeMs),
+            std::to_string(cached.prefixHits) + "/" + std::to_string(cached.prefixMisses), "-",
+            verdictCell(cached)});
+  t.addRow({"sharing sweep, cold", "-", "-", "-", "-", verdictCell(sweepCold)});
+  t.addRow({"sharing sweep, store", "-", "-", "-",
+            std::to_string(sweepStore.storePromoted) + "/" +
+                std::to_string(sweepStore.storeSeededClauses),
+            verdictCell(sweepStore)});
+  t.addRow({"sharing sweep, warm", "-", "-", "-",
+            std::to_string(sweepWarm.storePromoted) + "/" +
+                std::to_string(sweepWarm.storeSeededClauses),
+            verdictCell(sweepWarm)});
+  t.print();
+  std::printf("one cold encode serves the whole equivalence class; the store carries one\n"
+              "sweep's deductions into its siblings and (via the journal) the next run\n\n");
+
+  auto check = [&rec](bool ok, const char* what) { return recordCheck(rec, ok, what); };
+  auto sameTrajectory = [](const CampaignReport& a, const CampaignReport& b) {
+    if (a.jobs.size() != b.jobs.size()) return false;
+    for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+      if (a.jobs[j].verdict != b.jobs[j].verdict) return false;
+      if (!std::equal(a.jobs[j].windows.begin(), a.jobs[j].windows.end(),
+                      b.jobs[j].windows.begin(), b.jobs[j].windows.end(),
+                      [](const WindowResult& x, const WindowResult& y) {
+                        return x.window == y.window && x.verdict == y.verdict &&
+                               x.stats.conflicts == y.stats.conflicts;
+                      })) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto sameVerdicts = [](const CampaignReport& a, const CampaignReport& b) {
+    if (a.jobs.size() != b.jobs.size()) return false;
+    for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+      if (a.jobs[j].verdict != b.jobs[j].verdict) return false;
+      if (!std::equal(a.jobs[j].windows.begin(), a.jobs[j].windows.end(),
+                      b.jobs[j].windows.begin(), b.jobs[j].windows.end(),
+                      [](const WindowResult& x, const WindowResult& y) {
+                        return x.window == y.window && x.verdict == y.verdict;
+                      })) {
+        return false;
+      }
+    }
+    return true;
+  };
+  bool all = true;
+  all &= check(sameTrajectory(cold, coldAgain),
+               "cache-off reruns are bit-identical (the default path is untouched)");
+  all &= check(sameTrajectory(cold, cached),
+               "prefix-cached campaign reproduces the cold trajectory conflict for conflict");
+  all &= check(cached.jobsEncodedFromCache >= 2,
+               "at least half the sessions clone a cached prefix");
+  all &= check(cachedEncodeMs < coldEncodeMs,
+               "cloning cuts the equivalence class's first-window encode time");
+  all &= check(sameVerdicts(sweepCold, sweepStore),
+               "store-seeded sweep reproduces the cold verdicts");
+  all &= check(sameVerdicts(sweepCold, sweepWarm),
+               "warm-started sweep reproduces the cold verdicts");
+  all &= check(sweepWarm.warmStarted && sweepWarm.storeSeededClauses > 0,
+               "warm-started rerun imports a nonzero seeded clause set");
+  std::remove(journal.c_str());
+  rec.wallSec = sectionTimer.elapsedSeconds();
+  rec.conflicts = cold.totalConflicts + cached.totalConflicts + sweepCold.totalConflicts +
+                  sweepStore.totalConflicts + sweepWarm.totalConflicts;
+  sectionRecords().push_back(std::move(rec));
+  return all;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -583,9 +757,10 @@ int main(int argc, char** argv) {
   if (section == "reduce") return finish(reduceSection());
   if (section == "checkpoint") return finish(checkpointSection());
   if (section == "profile") return finish(profileSection());
+  if (section == "cache") return finish(cacheSection());
   if (!section.empty()) {
     std::fprintf(stderr,
-                 "usage: campaign [reschedule|trace|reduce|checkpoint|profile] "
+                 "usage: campaign [reschedule|trace|reduce|checkpoint|profile|cache] "
                  "[--json out.json]\n");
     return 2;
   }
@@ -733,6 +908,10 @@ int main(int argc, char** argv) {
 
   // ---- 9: solver profiling -----------------------------------------------
   all &= profileSection();
+  std::printf("\n");
+
+  // ---- 10: campaign caches -----------------------------------------------
+  all &= cacheSection();
   std::printf("\n");
 
   // ---- acceptance --------------------------------------------------------

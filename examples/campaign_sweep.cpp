@@ -40,6 +40,20 @@
 //                             diffs the resumed verdicts against an
 //                             uninterrupted run's.
 //
+// Campaign caches (off by default; see src/engine/README.md):
+//   --cache                   share the encoded miter CNF prefix across the
+//                             jobs of each encoding equivalence class and
+//                             carry window-close exchange survivors between
+//                             sibling jobs through a campaign clause store.
+//                             Verdict-preserving by construction; the
+//                             prefix-cached trajectory is conflict-identical
+//                             (bench/campaign.cpp section [10] asserts that)
+//   --warm-start <ck.ndjson>  seed this run's clause store and reschedule
+//                             budgets from a previous finished run's
+//                             checkpoint journal; an unusable donor journal
+//                             degrades to a cold start with the reason in
+//                             the report diagnostics
+//
 // Live introspection (off by default; see src/obs/README.md):
 //   --status-port <n>         serve /metrics (Prometheus), /status (JSON
 //                             progress + ETA) and /events (NDJSON tail) on
@@ -68,10 +82,11 @@ using namespace upec;
 using namespace upec::engine;
 
 int main(int argc, char** argv) {
-  std::string reportPath, tracePath, eventsPath, metricsPath, checkpointPath;
+  std::string reportPath, tracePath, eventsPath, metricsPath, checkpointPath, warmStartPath;
   bool reduce = false;
   bool resume = false;
   bool profile = false;
+  bool cache = false;
   int statusPort = -1;  // -1 = no endpoint; 0 = ephemeral
   for (int i = 1; i < argc; ++i) {
     auto flagValue = [&](const char* flag, std::string& out) {
@@ -84,7 +99,12 @@ int main(int argc, char** argv) {
       return true;
     };
     if (flagValue("--trace", tracePath) || flagValue("--events", eventsPath) ||
-        flagValue("--metrics", metricsPath) || flagValue("--checkpoint", checkpointPath)) {
+        flagValue("--metrics", metricsPath) || flagValue("--checkpoint", checkpointPath) ||
+        flagValue("--warm-start", warmStartPath)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--cache") == 0) {
+      cache = true;
       continue;
     }
     if (std::strcmp(argv[i], "--reduce") == 0) {
@@ -115,7 +135,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: campaign_sweep [report.json] [--trace trace.json] "
                    "[--events events.ndjson] [--metrics metrics.json] [--reduce] "
-                   "[--checkpoint ck.ndjson [--resume]] [--status-port n] [--profile]\n");
+                   "[--checkpoint ck.ndjson [--resume]] [--status-port n] [--profile] "
+                   "[--cache] [--warm-start ck.ndjson]\n");
       return 2;
     }
     reportPath = argv[i];
@@ -192,6 +213,14 @@ int main(int argc, char** argv) {
   // adopt what the previous (killed) run decided and solve only the rest.
   options.checkpoint.path = checkpointPath;
   options.checkpoint.resume = resume;
+  // Campaign caches: one cold encode per encoding equivalence class, and a
+  // clause store carrying exchange survivors across sibling jobs — or, via
+  // --warm-start, in from a previous finished run's journal (which also
+  // pre-sizes the reschedule budgets from its decided-by-attempt histogram).
+  options.cache.prefix = cache;
+  options.cache.clauseStore = cache;
+  options.cache.warmStartPath = warmStartPath;
+  options.cache.primeBudgets = !warmStartPath.empty();
   // Live introspection endpoint. The engine announces the bound port via
   // logInfo ("campaign: status endpoint on http://127.0.0.1:<port>") — turn
   // info logging on so an ephemeral choice (--status-port 0) is printed.
@@ -282,6 +311,37 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.reductionRegistersAfter),
                 static_cast<unsigned long long>(report.reductionRegistersMerged),
                 static_cast<unsigned long long>(report.reductionConstantsFolded));
+  }
+  if (report.cachePrefixEnabled) {
+    std::printf("prefix cache: %llu hits / %llu misses (%llu encoded), %u jobs cloned a "
+                "cached prefix\n",
+                static_cast<unsigned long long>(report.prefixHits),
+                static_cast<unsigned long long>(report.prefixMisses),
+                static_cast<unsigned long long>(report.prefixInsertions),
+                report.jobsEncodedFromCache);
+  }
+  if (report.cacheStoreEnabled) {
+    std::printf("clause store: %llu promoted (%llu duplicates, %llu over capacity), "
+                "%llu fetched, %llu seeded into sibling windows\n",
+                static_cast<unsigned long long>(report.storePromoted),
+                static_cast<unsigned long long>(report.storeDuplicates),
+                static_cast<unsigned long long>(report.storeOverflow),
+                static_cast<unsigned long long>(report.storeFetched),
+                static_cast<unsigned long long>(report.storeSeededClauses));
+  }
+  if (!warmStartPath.empty()) {
+    std::printf("warm start: %s — %s, %llu donor clauses promoted%s\n", warmStartPath.c_str(),
+                report.warmStarted ? "donor journal loaded" : "DONOR UNUSABLE, started cold",
+                static_cast<unsigned long long>(report.warmStartClauses),
+                report.budgetsPrimed ? "" : "; budgets not primed");
+    if (report.budgetsPrimed) {
+      std::printf("            budgets primed from attempt %u -> initial budget %llu\n",
+                  report.primedFromAttempt,
+                  static_cast<unsigned long long>(report.primedInitialBudget));
+    }
+    for (const std::string& diag : report.cacheDiagnostics) {
+      std::printf("            %s\n", diag.c_str());
+    }
   }
   std::printf("\n");
 

@@ -7,6 +7,7 @@
 #include "base/log.hpp"
 #include "base/stopwatch.hpp"
 #include "engine/checkpoint.hpp"
+#include "engine/encode_cache.hpp"
 #include "engine/governor.hpp"
 #include "engine/progress.hpp"
 #include "engine/scheduler.hpp"
@@ -15,6 +16,7 @@
 #include "obs/observer.hpp"
 #include "obs/status_server.hpp"
 #include "obs/trace.hpp"
+#include "sat/clause_store.hpp"
 
 namespace upec::engine {
 
@@ -165,26 +167,118 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
   FaultInjector faults(options.faults);
   const bool checkpointing = !options.checkpoint.path.empty();
 
+  // Campaign-persistent caches (opt-in; CampaignOptions::CacheOptions).
+  // Created before the pool so they outlive every task. A warm-start path
+  // implies the clause store: the donor journal's learnts are promoted
+  // into it and reach the jobs through the ordinary depth-gated fetch —
+  // never via blind construction-time seeding, which would ignore the
+  // depth tags.
+  std::unique_ptr<EncodeCache> encodeCache;
+  std::unique_ptr<sat::ClauseStore> clauseStore;
+  if (options.cache.prefix) encodeCache = std::make_unique<EncodeCache>();
+  if (options.cache.clauseStore || !options.cache.warmStartPath.empty()) {
+    clauseStore = std::make_unique<sat::ClauseStore>();
+  }
+
+  // Warm start: read-only load of a previous run's journal. Learnts flow
+  // into the clause store under each donor job's family key; the budget
+  // histogram can pre-size the reschedule ladder (below). Any failure
+  // degrades to a cold start with the reason in the report.
+  ReschedulePolicy reschedule = options.reschedule;
+  WarmStart warm;
+  bool warmLoaded = false;
+  std::uint64_t warmClauses = 0;
+  bool budgetsPrimed = false;
+  unsigned primedRung = 0;
+  if (!options.cache.warmStartPath.empty()) {
+    warmLoaded = CheckpointStore::loadWarmStart(options.cache.warmStartPath, jobs, warm);
+    if (warmLoaded) {
+      for (const CheckpointLoad::LearntRecord& lr : warm.learnts) {
+        const JobSpec* donor = nullptr;
+        for (const JobSpec& spec : jobs) {
+          if (spec.id == lr.job) {
+            donor = &spec;
+            break;
+          }
+        }
+        if (donor == nullptr || !donor->sharing ||
+            donor->mode != DeepeningMode::kIncremental) {
+          continue;
+        }
+        std::vector<std::vector<sat::Lit>> lits;
+        lits.reserve(lr.clauses.size());
+        for (const std::vector<int>& codes : lr.clauses) {
+          std::vector<sat::Lit> clause;
+          clause.reserve(codes.size());
+          for (const int code : codes) clause.push_back(sat::Lit::fromCode(code));
+          lits.push_back(std::move(clause));
+        }
+        clauseStore->promote(clauseFamilyKey(*donor), lr.depth,
+                             std::span<const std::vector<sat::Lit>>(lits.data(), lits.size()));
+        warmClauses += lits.size();
+      }
+      // Budget priming: escalate the initial budget to the ladder rung
+      // that decided >= 90% of the previous run's retried windows, so
+      // this run skips the attempts the donor already proved futile.
+      // Needs an explicit initialBudget to scale from.
+      if (options.cache.primeBudgets && warm.hasBudgetHist && reschedule.enabled &&
+          reschedule.initialBudget != 0) {
+        std::uint64_t total = 0;
+        for (const std::uint64_t n : warm.decidedByAttempt) total += n;
+        if (total != 0) {
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < warm.decidedByAttempt.size(); ++i) {
+            cumulative += warm.decidedByAttempt[i];
+            if (cumulative * 10 >= total * 9) {
+              primedRung = static_cast<unsigned>(i);
+              break;
+            }
+          }
+          for (unsigned i = 0; i < primedRung; ++i) {
+            const double grown =
+                static_cast<double>(reschedule.initialBudget) * reschedule.budgetGrowth;
+            if (grown >= 9223372036854775808.0) break;  // saturate, matching escalate()
+            reschedule.initialBudget = static_cast<std::uint64_t>(grown);
+          }
+          if (reschedule.maxBudget != 0) {
+            reschedule.initialBudget = std::min(reschedule.initialBudget, reschedule.maxBudget);
+          }
+          // Windows the donor abandoned need rungs it never had.
+          if (warm.undecidedWindows != 0) ++reschedule.maxReschedules;
+          budgetsPrimed = primedRung != 0 || warm.undecidedWindows != 0;
+        }
+      }
+    }
+  }
+
   // Fold the campaign-level knobs (reschedule policy, deadline, injected
-  // solver fault, checkpoint replay state) into per-job copies. Copied only
-  // when there is something to inject (the copies must then outlive the
-  // pool tasks below); the plain path hands the caller's specs through
-  // untouched, keeping the default trajectory bit-identical.
+  // solver fault, checkpoint replay state, caches) into per-job copies.
+  // Copied only when there is something to inject (the copies must then
+  // outlive the pool tasks below); the plain path hands the caller's specs
+  // through untouched, keeping the default trajectory bit-identical.
   const bool inject = options.reschedule.enabled || options.attemptDeadlineMs != 0 ||
-                      options.faults.solverAbortAtConflict != 0 || checkpointing;
+                      options.faults.solverAbortAtConflict != 0 || checkpointing ||
+                      encodeCache != nullptr;
   std::vector<JobSpec> injected;
   if (inject) {
     injected = jobs;
     for (JobSpec& spec : injected) {
-      if (options.reschedule.enabled && spec.kind == JobKind::kIntervalLadder &&
+      if (reschedule.enabled && spec.kind == JobKind::kIntervalLadder &&
           !spec.reschedule.enabled) {
-        spec.reschedule = options.reschedule;
+        spec.reschedule = reschedule;
       }
       if (options.attemptDeadlineMs != 0 && spec.options.solveDeadlineMs == 0) {
         spec.options.solveDeadlineMs = options.attemptDeadlineMs;
       }
       if (options.faults.solverAbortAtConflict != 0) {
         spec.options.faultAbortAtConflict = options.faults.solverAbortAtConflict;
+      }
+      if (encodeCache != nullptr) {
+        // The engine contributes the design-identity key base; the upec
+        // layer appends the property-shaped parts and BmcEngine the depth
+        // (see formal/prefix_cache.hpp). Non-incremental paths ignore it.
+        spec.options.prefixCache = encodeCache.get();
+        spec.options.prefixKey = EncodeCache::keyFor(spec.config, spec.secretWord);
       }
     }
   }
@@ -333,16 +427,17 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
       const JobSpec& spec = specs[i];
       JobResult& slot = report.jobs[i];
       CheckpointStore* ck = checkpoint.get();
+      sat::ClauseStore* cs = clauseStore.get();
       // Containment: a task that dies — miter construction, an injected
       // task fault — becomes a kError job with its diagnostic in the
       // report; the campaign always completes.
       if (spec.kind == JobKind::kIntervalLadder && spec.reschedule.enabled) {
-        pool.submit([&pool, &spec, &slot, memberSlots, &ledger, observer, ck, &faults] {
+        pool.submit([&pool, &spec, &slot, memberSlots, &ledger, observer, ck, cs, &faults] {
           try {
             if (faults.nextTaskThrows()) throw std::runtime_error("injected task fault");
             // Built inside the task so miter construction parallelises.
             auto ladder =
-                std::make_shared<LadderScheduler>(spec, memberSlots, &ledger, observer, ck);
+                std::make_shared<LadderScheduler>(spec, memberSlots, &ledger, observer, ck, cs);
             runLadderChain(pool, std::move(ladder), spec, slot, observer, ck);
           } catch (const std::exception& ex) {
             slot = errorResult(spec, ex.what());
@@ -350,10 +445,10 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
           }
         });
       } else {
-        pool.submit([&spec, &slot, memberSlots, observer, ck, &faults] {
+        pool.submit([&spec, &slot, memberSlots, observer, ck, cs, &faults] {
           try {
             if (faults.nextTaskThrows()) throw std::runtime_error("injected task fault");
-            slot = runJob(spec, memberSlots, nullptr, observer, ck);
+            slot = runJob(spec, memberSlots, nullptr, observer, ck, cs);
             if (ck != nullptr) ck->recordJob(slot);  // store skips kError
           } catch (const std::exception& ex) {
             slot = errorResult(spec, ex.what());
@@ -373,6 +468,48 @@ CampaignReport runCampaign(const std::vector<JobSpec>& jobs, const CampaignOptio
   report.checkpointWriteFailed = checkpoint != nullptr && checkpoint->writeFailed();
   report.checkpointDiagnostics = std::move(ckDiagnostics);
   report.finalize();
+  if (encodeCache != nullptr) {
+    const EncodeCache::Stats cstats = encodeCache->stats();
+    report.cachePrefixEnabled = true;
+    report.prefixHits = cstats.hits;
+    report.prefixMisses = cstats.misses;
+    report.prefixInsertions = cstats.insertions;
+    if (checkpoint != nullptr) {
+      checkpoint->recordPrefixStats(cstats.hits, cstats.misses, cstats.insertions,
+                                    cstats.rejected);
+    }
+  }
+  if (clauseStore != nullptr) {
+    const sat::ClauseStore::Stats sstats = clauseStore->stats();
+    report.cacheStoreEnabled = true;
+    report.storePromoted = sstats.promoted;
+    report.storeDuplicates = sstats.duplicates;
+    report.storeFetched = sstats.fetched;
+    report.storeOverflow = sstats.overflow;
+  }
+  report.warmStarted = warmLoaded;
+  report.warmStartClauses = warmClauses;
+  report.budgetsPrimed = budgetsPrimed;
+  report.primedFromAttempt = primedRung;
+  report.primedInitialBudget = budgetsPrimed ? reschedule.initialBudget : 0;
+  report.cacheDiagnostics = std::move(warm.diagnostics);
+  if (checkpoint != nullptr) {
+    // The histogram only exists on a journal whose campaign *finished* —
+    // exactly the property a warm start wants: a crashed run resumes
+    // (same-run learnts, no histogram), a finished one donates.
+    std::vector<std::uint64_t> hist(report.decidedByAttempt.begin(),
+                                    report.decidedByAttempt.end());
+    std::uint64_t undecided = 0;
+    for (const JobResult& job : report.jobs) undecided += job.undecidedWindows.size();
+    // Written only when it says something — rescheduling ran (the histogram
+    // is nonempty) or windows stayed undecided. An unrescheduled fully
+    // decided campaign has no budget experience to donate, and skipping the
+    // line keeps such journals byte-compatible with v1 consumers.
+    if (!hist.empty() || undecided != 0) {
+      checkpoint->recordBudgetHist(undecided,
+                                   std::span<const std::uint64_t>(hist.data(), hist.size()));
+    }
+  }
   // Fold a snapshot of the metrics registry into the report so the JSON a
   // campaign writes carries its own measurements.
   if (obs::metricsEnabled()) report.metricsJson = obs::metrics().toJson();

@@ -70,6 +70,41 @@ struct CampaignOptions {
   };
   CheckpointOptions checkpoint;
 
+  // Campaign-persistent caches (all off by default — the solver trajectory
+  // is then bit-identical to an uncached campaign; see ROADMAP.md's
+  // standing invariant). Everything here is verdict-preserving by
+  // construction: the prefix cache replays a deterministic encoding, the
+  // clause store only moves logical consequences of the same formula.
+  struct CacheOptions {
+    // Share the unrolled/Tseitin-encoded miter CNF prefix across jobs.
+    // The first incremental session of each (SoC config, secret word,
+    // equality mode, reduction shape, first-window depth) equivalence
+    // class encodes cold and records; every later one clones the recorded
+    // prefix instead of re-encoding (engine/encode_cache.hpp).
+    bool prefix = false;
+    // Promote each sharing incremental ladder's window-close exchange
+    // survivors into a campaign-wide sat::ClauseStore, seeding the later
+    // windows of every job in the same encoding family
+    // (engine::clauseFamilyKey; depth-scoped — see sat/clause_store.hpp).
+    bool clauseStore = false;
+    // Checkpoint journal of a *previous finished* run of the same job
+    // list: its final learnt snapshots are promoted into the clause store
+    // (implicitly enabling it) so this run's exchanges start warm, and
+    // its budget histogram can prime the reschedule policy below. An
+    // unusable donor journal degrades to a cold start with the reason in
+    // the report — never a failed campaign.
+    std::string warmStartPath;
+    // Pre-size ReschedulePolicy budgets from the warm-start journal's
+    // decided-by-attempt histogram: the initial budget is escalated to
+    // the rung that decided >= 90% of the previous run's windows (skipping
+    // the retries that run would have told us are futile), and
+    // maxReschedules grows by one when windows stayed undecided. No-op
+    // without warmStartPath, a histogram in the donor journal, and an
+    // enabled reschedule policy.
+    bool primeBudgets = false;
+  };
+  CacheOptions cache;
+
   // Live introspection HTTP endpoint (obs/status_server.hpp): -1 = off
   // (the default), 0 = bind an ephemeral port, >0 = bind that port — on
   // 127.0.0.1 only. When set, runCampaign wraps `observer` in an

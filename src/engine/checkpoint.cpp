@@ -262,6 +262,31 @@ class FlatRecord {
   std::map<std::string, std::vector<std::string>> strArrays_;
 };
 
+CheckpointLoad::LearntRecord parseLearnts(const FlatRecord& rec, unsigned fallbackDepth) {
+  CheckpointLoad::LearntRecord lr;
+  lr.job = static_cast<std::uint32_t>(rec.uint("job"));
+  // v1 lines have no "k": tag them with the deepest window the owning
+  // job could have reached — sound (never reused too shallow), at worst
+  // over-conservative.
+  lr.depth = static_cast<unsigned>(rec.uint("k", fallbackDepth));
+  std::vector<int> clause;
+  for (const long long code : rec.intArray("lits")) {
+    if (code == 0) {
+      if (!clause.empty()) lr.clauses.push_back(std::move(clause));
+      clause.clear();
+    } else {
+      clause.push_back(static_cast<int>(code));
+    }
+  }
+  return lr;
+}
+
+std::map<std::uint32_t, unsigned> jobDepthMap(std::span<const JobSpec> jobs) {
+  std::map<std::uint32_t, unsigned> depths;
+  for (const JobSpec& j : jobs) depths[j.id] = j.kMax;
+  return depths;
+}
+
 bool parseVerdict(const std::string& name, Verdict& out) {
   if (name == "proven") out = Verdict::kProven;
   else if (name == "P-alert") out = Verdict::kPAlert;
@@ -351,10 +376,13 @@ bool CheckpointStore::openResume(std::span<const JobSpec> jobs, CheckpointLoad& 
     out.diagnostics.push_back("checkpoint: missing or malformed header");
     return false;
   }
-  if (header.uint("version") != static_cast<std::uint64_t>(kCheckpointVersion)) {
-    out.diagnostics.push_back("checkpoint: journal version " +
-                              std::to_string(header.uint("version")) + " != supported " +
-                              std::to_string(kCheckpointVersion));
+  const std::uint64_t version = header.uint("version");
+  if (version < static_cast<std::uint64_t>(kMinCheckpointVersion) ||
+      version > static_cast<std::uint64_t>(kCheckpointVersion)) {
+    out.diagnostics.push_back("checkpoint: journal version " + std::to_string(version) +
+                              " outside supported range [" +
+                              std::to_string(kMinCheckpointVersion) + ", " +
+                              std::to_string(kCheckpointVersion) + "]");
     return false;
   }
   if (header.str("fingerprint") != fingerprint(jobs)) {
@@ -362,6 +390,7 @@ bool CheckpointStore::openResume(std::span<const JobSpec> jobs, CheckpointLoad& 
         "checkpoint: job-list fingerprint mismatch — journal written by a different campaign");
     return false;
   }
+  const std::map<std::uint32_t, unsigned> depths = jobDepthMap(jobs);
 
   std::set<std::pair<std::uint32_t, unsigned>> seenWindows;
   std::set<std::uint32_t> seenJobs;
@@ -397,17 +426,10 @@ bool CheckpointStore::openResume(std::span<const JobSpec> jobs, CheckpointLoad& 
         }
       }
     } else if (good && type == "learnts") {
-      CheckpointLoad::LearntRecord lr;
-      lr.job = static_cast<std::uint32_t>(rec.uint("job"));
-      std::vector<int> clause;
-      for (const long long code : rec.intArray("lits")) {
-        if (code == 0) {
-          if (!clause.empty()) lr.clauses.push_back(std::move(clause));
-          clause.clear();
-        } else {
-          clause.push_back(static_cast<int>(code));
-        }
-      }
+      const std::uint32_t job = static_cast<std::uint32_t>(rec.uint("job"));
+      const auto dit = depths.find(job);
+      CheckpointLoad::LearntRecord lr =
+          parseLearnts(rec, dit == depths.end() ? 0u : dit->second);
       const auto it = learntIndex.find(lr.job);
       if (it == learntIndex.end()) {
         learntIndex.emplace(lr.job, out.learnts.size());
@@ -487,10 +509,11 @@ void CheckpointStore::recordWindow(std::uint32_t job, const WindowResult& w,
   writeLine(line);
 }
 
-void CheckpointStore::recordLearnts(std::uint32_t job,
+void CheckpointStore::recordLearnts(std::uint32_t job, unsigned k,
                                     const std::vector<std::vector<int>>& clauses) {
   if (clauses.empty()) return;
-  std::string line = "{\"type\":\"learnts\",\"job\":" + std::to_string(job) + ",\"lits\":[";
+  std::string line = "{\"type\":\"learnts\",\"job\":" + std::to_string(job) +
+                     ",\"k\":" + std::to_string(k) + ",\"lits\":[";
   bool first = true;
   for (const std::vector<int>& clause : clauses) {
     for (const int code : clause) {
@@ -514,6 +537,99 @@ void CheckpointStore::recordJob(const JobResult& res) {
   appendMs(line, res.wallMs);
   line += '}';
   writeLine(line);
+}
+
+void CheckpointStore::recordPrefixStats(std::uint64_t hits, std::uint64_t misses,
+                                        std::uint64_t insertions, std::uint64_t rejected) {
+  std::string line = "{\"type\":\"prefix\",\"hits\":" + std::to_string(hits) +
+                     ",\"misses\":" + std::to_string(misses) +
+                     ",\"insertions\":" + std::to_string(insertions) +
+                     ",\"rejected\":" + std::to_string(rejected) + '}';
+  writeLine(line);
+}
+
+void CheckpointStore::recordBudgetHist(std::uint64_t undecided,
+                                       std::span<const std::uint64_t> decidedByAttempt) {
+  std::string line = "{\"type\":\"budget_hist\",\"undecided\":" + std::to_string(undecided) +
+                     ",\"hist\":[";
+  for (std::size_t i = 0; i < decidedByAttempt.size(); ++i) {
+    if (i) line += ',';
+    line += std::to_string(decidedByAttempt[i]);
+  }
+  line += "]}";
+  writeLine(line);
+}
+
+bool CheckpointStore::loadWarmStart(const std::string& path, std::span<const JobSpec> jobs,
+                                    WarmStart& out) {
+  std::vector<std::string> lines;
+  bool torn = false;
+  if (!obs::readNdjsonLines(path, lines, &torn)) {
+    out.diagnostics.push_back("warm-start: cannot open " + path);
+    return false;
+  }
+  if (torn) {
+    out.diagnostics.push_back("warm-start: donor journal's final line was torn; skipped");
+  }
+  if (lines.empty()) {
+    out.diagnostics.push_back("warm-start: donor journal is empty");
+    return false;
+  }
+  const FlatRecord header(lines.front());
+  if (!header.ok() || header.str("type") != "header") {
+    out.diagnostics.push_back("warm-start: missing or malformed header");
+    return false;
+  }
+  const std::uint64_t version = header.uint("version");
+  if (version < static_cast<std::uint64_t>(kMinCheckpointVersion) ||
+      version > static_cast<std::uint64_t>(kCheckpointVersion)) {
+    out.diagnostics.push_back("warm-start: journal version " + std::to_string(version) +
+                              " outside supported range [" +
+                              std::to_string(kMinCheckpointVersion) + ", " +
+                              std::to_string(kCheckpointVersion) + "]");
+    return false;
+  }
+  if (header.str("fingerprint") != fingerprint(jobs)) {
+    out.diagnostics.push_back(
+        "warm-start: job-list fingerprint mismatch — learnt codes from a different campaign "
+        "cannot be reused");
+    return false;
+  }
+
+  const std::map<std::uint32_t, unsigned> depths = jobDepthMap(jobs);
+  std::map<std::uint32_t, std::size_t> learntIndex;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const FlatRecord rec(lines[i]);
+    if (!rec.ok()) {
+      out.diagnostics.push_back("warm-start: malformed journal line " + std::to_string(i + 1) +
+                                "; using only the records before it");
+      break;
+    }
+    const std::string type = rec.str("type");
+    if (type == "learnts") {
+      const std::uint32_t job = static_cast<std::uint32_t>(rec.uint("job"));
+      const auto dit = depths.find(job);
+      CheckpointLoad::LearntRecord lr =
+          parseLearnts(rec, dit == depths.end() ? 0u : dit->second);
+      const auto it = learntIndex.find(lr.job);
+      if (it == learntIndex.end()) {
+        learntIndex.emplace(lr.job, out.learnts.size());
+        out.learnts.push_back(std::move(lr));
+      } else {
+        out.learnts[it->second] = std::move(lr);  // newest snapshot wins
+      }
+    } else if (type == "budget_hist") {
+      out.hasBudgetHist = true;
+      out.undecidedWindows = rec.uint("undecided");
+      out.decidedByAttempt.clear();
+      for (const long long v : rec.intArray("hist")) {
+        out.decidedByAttempt.push_back(v < 0 ? 0u : static_cast<std::uint64_t>(v));
+      }
+    }
+    // Everything else (windows, jobs, prefix stats) is irrelevant to a
+    // warm start and skipped.
+  }
+  return true;
 }
 
 }  // namespace upec::engine

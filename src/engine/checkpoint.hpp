@@ -11,18 +11,32 @@
 // window that was in flight. The header is written via writeFileAtomic so
 // a crash during *creation* leaves either no journal or a valid one.
 //
-// Journal schema (one object per line; fields beyond these are ignored on
-// load, so the format can grow):
+// The authoritative schema reference (all record types, both versions,
+// the supersede rule, migration notes) lives in src/engine/README.md
+// ("On-disk schemas"). Summary — one object per line; fields beyond
+// these are ignored on load, so the format can grow:
 //
-//   {"type":"header","version":1,"fingerprint":s,"jobs":N}
+//   {"type":"header","version":2,"fingerprint":s,"jobs":N}
 //   {"type":"window","job":id,"k":N,"verdict":s,"vars":N,"clauses":N,
 //    "conflicts":N,"propagations":N,"decisions":N,"encode_ms":x,
 //    "solve_ms":x,"wall_ms":x,["solved_by":s,]["budget_exhausted":true,]
 //    ["deadline_expired":true,]["p_regs":[s...],]["l_regs":[s...]]}
-//   {"type":"learnts","job":id,"lits":[i...]}   (flat sat::Lit codes,
+//   {"type":"learnts","job":id,"k":N,"lits":[i...]}
+//                                               (flat sat::Lit codes,
 //                                                0-terminated per clause;
-//                                                last line per job wins)
+//                                                last line per job wins —
+//                                                each snapshot SUPERSEDES
+//                                                the previous one, it is
+//                                                not a delta)
 //   {"type":"job","job":id,"verdict":s,"wall_ms":x}
+//   {"type":"prefix","hits":N,"misses":N,"insertions":N,"rejected":N}
+//   {"type":"budget_hist","undecided":N,"hist":[N...]}
+//
+// Version history: v1 lacked the "k" depth tag on learnts records and the
+// prefix/budget_hist types. v2 readers still load v1 journals — learnts
+// records without "k" are conservatively tagged with the owning job's
+// kMax (the deepest window the snapshot could have resolved against).
+// v1 readers skip the new types as unknown-but-well-formed lines.
 //
 // The fingerprint hashes the job list's identity (count, ids, labels,
 // ladder bounds, kind, mode): a journal only replays against the job list
@@ -46,7 +60,10 @@ class NdjsonWriter;
 
 namespace upec::engine {
 
-inline constexpr int kCheckpointVersion = 1;
+inline constexpr int kCheckpointVersion = 2;
+// Oldest journal version this reader still loads (see migration notes in
+// src/engine/README.md).
+inline constexpr int kMinCheckpointVersion = 1;
 
 // Everything a journal load recovered. Windows are deduplicated per
 // (job, k) and jobs per id — first record wins, matching "only closed
@@ -65,6 +82,10 @@ struct CheckpointLoad {
   };
   struct LearntRecord {
     std::uint32_t job = 0;
+    // Deepest window the snapshot's clauses resolved against: they are
+    // only sound to re-seed at depths >= this. v1 records carry no tag
+    // and are loaded with the owning job's kMax (conservative).
+    unsigned depth = 0;
     std::vector<std::vector<int>> clauses;  // sat::Lit codes, split per clause
   };
   std::vector<WindowRecord> windows;
@@ -73,6 +94,20 @@ struct CheckpointLoad {
   // Non-fatal oddities met while reading (torn tail skipped, malformed
   // line stopped the scan, injected corruption). Forwarded into the
   // campaign report so a resume documents what it recovered from.
+  std::vector<std::string> diagnostics;
+};
+
+// What a *finished* campaign's journal contributes to the next run: the
+// final learnt snapshots (to seed the clause store) and the budget
+// histogram (to prime the reschedule policy). Read-only — loading a warm
+// start never reopens or appends to the donor journal.
+struct WarmStart {
+  std::vector<CheckpointLoad::LearntRecord> learnts;
+  // hist[i] = windows decided on reschedule attempt i; written once at
+  // campaign end. hasBudgetHist distinguishes "absent" from "all zero".
+  bool hasBudgetHist = false;
+  std::vector<std::uint64_t> decidedByAttempt;
+  std::uint64_t undecidedWindows = 0;
   std::vector<std::string> diagnostics;
 };
 
@@ -111,6 +146,14 @@ class CheckpointStore {
   // is non-fatal: the scan stops there and everything before it replays.
   bool openResume(std::span<const JobSpec> jobs, CheckpointLoad& out);
 
+  // Read-only load of a (typically finished) journal from a *previous*
+  // run: final learnt snapshots plus the budget histogram, for cross-run
+  // exchange seeding and budget priming. The fingerprint must match
+  // `jobs` — learnt codes are meaningless against a different job list.
+  // Never opens the file for appending; the donor journal is untouched.
+  static bool loadWarmStart(const std::string& path, std::span<const JobSpec> jobs,
+                            WarmStart& out);
+
   bool isOpen() const { return writer_ != nullptr; }
   const std::string& path() const { return path_; }
   bool writeFailed() const { return writeFailed_.load(std::memory_order_relaxed); }
@@ -122,10 +165,28 @@ class CheckpointStore {
                     const std::vector<std::string>& pRegs,
                     const std::vector<std::string>& lRegs);
   // Journal the job's current learnt-clause snapshot (flat sat::Lit
-  // codes); supersedes the job's previous snapshot on load.
-  void recordLearnts(std::uint32_t job, const std::vector<std::vector<int>>& clauses);
+  // codes), tagged with the deepest window `k` it resolved against.
+  //
+  // Supersede rule: the journal keeps appending, but on load only the
+  // LAST learnts line per job survives — each snapshot is the complete
+  // replacement for the previous one, never a delta. This is what makes
+  // a resumed run and a fresh warm-started run re-seed the exchange with
+  // the identical clause set: both see exactly the final snapshot.
+  void recordLearnts(std::uint32_t job, unsigned k,
+                     const std::vector<std::vector<int>>& clauses);
   // Journal a finished job (no-op for kError).
   void recordJob(const JobResult& res);
+  // Journal the campaign's final prefix-cache counters (informational;
+  // loaders skip it).
+  void recordPrefixStats(std::uint64_t hits, std::uint64_t misses, std::uint64_t insertions,
+                         std::uint64_t rejected);
+  // Journal the decided-by-attempt histogram + undecided-window count at
+  // campaign end; the next run's warm start primes its reschedule
+  // budgets from it. Last line wins on load. The campaign only writes it
+  // when there is budget experience to donate (rescheduling ran, or
+  // windows stayed undecided) — so the record's absence means "nothing
+  // learnt", never "crashed before the end".
+  void recordBudgetHist(std::uint64_t undecided, std::span<const std::uint64_t> decidedByAttempt);
 
  private:
   bool writeLine(const std::string& line);

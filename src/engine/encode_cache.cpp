@@ -1,0 +1,65 @@
+#include "engine/encode_cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace upec::engine {
+
+std::shared_ptr<const formal::EncodedPrefix> EncodeCache::lookup(const std::string& key) {
+  std::shared_ptr<const formal::EncodedPrefix> found;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      found = it->second;
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+  }
+  if (obs::metricsEnabled()) {
+    obs::metrics().counter(found ? "engine.prefix_cache.hits" : "engine.prefix_cache.misses")
+        .add(1);
+  }
+  return found;
+}
+
+void EncodeCache::store(const std::string& key,
+                        std::shared_ptr<const formal::EncodedPrefix> prefix) {
+  if (!prefix) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // First writer wins: a racing double-encode produced identical prefixes,
+  // so the copy already stored is as good as this one. The cap bounds
+  // memory, not correctness — an uncached session just encodes cold.
+  if (entries_.count(key) != 0 || entries_.size() >= maxEntries_) {
+    ++stats_.rejected;
+    return;
+  }
+  entries_.emplace(key, std::move(prefix));
+  ++stats_.insertions;
+}
+
+EncodeCache::Stats EncodeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t EncodeCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::string EncodeCache::keyFor(const soc::SocConfig& config, unsigned secretWord) {
+  const riscv::MachineConfig& m = config.machine;
+  std::string key = "soc:";
+  key += std::to_string(m.xlen) + '.' + std::to_string(m.nregs) + '.';
+  key += std::to_string(m.imemWords) + '.' + std::to_string(m.dmemWords) + '.';
+  key += std::to_string(m.pmpEntries) + '.' + (m.pmpLockBug ? '1' : '0');
+  key += "|c:" + std::to_string(config.cacheLines);
+  key += '.' + std::to_string(config.pendingWriteCycles);
+  key += '.' + std::to_string(config.refillCycles);
+  key += "|v:" + std::to_string(static_cast<int>(config.variant));
+  key += "|s:" + std::to_string(secretWord);
+  return key;
+}
+
+}  // namespace upec::engine

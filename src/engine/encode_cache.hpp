@@ -1,0 +1,65 @@
+// Campaign-level encoding prefix cache: formal::PrefixCache with policy.
+//
+// One sweep runs many ladder jobs over the *same* SoC miter; only solver
+// knobs, budgets and portfolio shapes differ. Each job's incremental
+// session used to re-unroll and re-Tseitin-encode the identical CNF
+// prefix. EncodeCache makes the first job of each equivalence class pay
+// that cost and every later one clone it (see formal/prefix_cache.hpp for
+// the cloning mechanics and why the clone is bit-exact).
+//
+// The engine owns the key's design-identity base: keyFor() folds every
+// SocConfig field the generated netlist depends on, plus the secret word
+// (it selects the aliased/non-aliased memory locations). The upec layer
+// appends the property-shaped parts (init-equality mode; reduction
+// options/scenario/exclusions when reduction is on), and BmcEngine
+// appends the depth — so the full key separates exactly the sessions
+// whose encoded frames can differ.
+//
+// Thread-safe; first writer wins when two jobs race the same cold encode
+// (both prefixes are identical by determinism, so either copy is
+// correct). Metrics: upec_engine_prefix_cache_{hits,misses} counters when
+// obs metrics are enabled.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "formal/prefix_cache.hpp"
+#include "soc/config.hpp"
+
+namespace upec::engine {
+
+class EncodeCache final : public formal::PrefixCache {
+ public:
+  // A campaign's distinct prefixes number in the handful (configs ×
+  // equality modes × first-window depths), far below this cap; it exists
+  // to bound memory if a pathological sweep keys thousands of variants.
+  explicit EncodeCache(std::size_t maxEntries = 64) : maxEntries_(maxEntries) {}
+
+  std::shared_ptr<const formal::EncodedPrefix> lookup(const std::string& key) override;
+  void store(const std::string& key, std::shared_ptr<const formal::EncodedPrefix> prefix) override;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;  // distinct prefixes stored
+    std::uint64_t rejected = 0;    // stores dropped (duplicate key or cap)
+  };
+  Stats stats() const;
+  std::size_t size() const;
+
+  // Design-identity base key: every SocConfig/MachineConfig field the
+  // miter netlist is generated from, plus the secret word.
+  static std::string keyFor(const soc::SocConfig& config, unsigned secretWord);
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t maxEntries_;
+  std::unordered_map<std::string, std::shared_ptr<const formal::EncodedPrefix>> entries_;
+  Stats stats_;
+};
+
+}  // namespace upec::engine

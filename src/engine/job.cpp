@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "base/stopwatch.hpp"
+#include "engine/encode_cache.hpp"
 #include "engine/scheduler.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/observer.hpp"
@@ -50,6 +51,36 @@ UpecOptions resolveJobOptions(const JobSpec& spec, sat::MemberGovernor* governor
   if (spec.reduction) options.reduction = true;
   if (governor != nullptr) options.governor = governor;
   return options;
+}
+
+std::string clauseFamilyKey(const JobSpec& spec) {
+  const UpecOptions& o = spec.options;
+  std::string key = EncodeCache::keyFor(spec.config, spec.secretWord);
+  key += "|scn:" + std::to_string(static_cast<int>(o.scenario));
+  key += o.constraint1NoOngoing ? '1' : '0';
+  key += o.constraint2CacheMonitor ? '1' : '0';
+  key += o.constraint3SecureSw ? '1' : '0';
+  key += o.assumeSecretProtected ? '1' : '0';
+  key += o.structuralInitEquality ? "|eq" : "|noeq";
+  // The exclusion set changes which commitment obligations get encoded
+  // (and under reduction even the netlist itself), so it keys the family.
+  key += spec.architecturalOnly ? "|arch" : "";
+  key += "|exc:";
+  bool first = true;
+  for (const std::string& name : spec.excludedFromCommitment) {
+    if (!first) key += ',';
+    first = false;
+    key += name;
+  }
+  if (spec.reduction || o.reduction) {
+    const rtl::ReduceOptions& r = o.reductionOptions;
+    key += "|red:";
+    key += r.sweep ? '1' : '0';
+    key += r.constants ? '1' : '0';
+    key += r.hashing ? '1' : '0';
+    key += std::to_string(r.maxRounds);
+  }
+  return key;
 }
 
 namespace {
@@ -107,7 +138,8 @@ void emitWindowEvent(obs::CampaignObserver* observer, std::uint32_t jobId,
 }
 
 JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor, ConflictLedger* ledger,
-                 obs::CampaignObserver* observer, CheckpointStore* checkpoint) {
+                 obs::CampaignObserver* observer, CheckpointStore* checkpoint,
+                 sat::ClauseStore* clauseStore) {
   obs::Span span("engine", "job");
   if (span.enabled()) span.arg("label", spec.label).arg("kind", jobKindName(spec.kind));
 
@@ -119,7 +151,7 @@ JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor, ConflictLed
     // check is contained inside attemptWindow; this catch covers what can
     // still throw outside it — miter/engine construction.
     try {
-      LadderScheduler ladder(spec, governor, ledger, observer, checkpoint);
+      LadderScheduler ladder(spec, governor, ledger, observer, checkpoint, clauseStore);
       while (!ladder.done()) ladder.runSegment();
       res = ladder.takeResult();
     } catch (const std::exception& ex) {

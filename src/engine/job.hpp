@@ -25,6 +25,10 @@ namespace upec::obs {
 class CampaignObserver;
 }
 
+namespace upec::sat {
+class ClauseStore;
+}
+
 namespace upec::engine {
 
 // How a ladder job advances through window depths.
@@ -217,6 +221,18 @@ struct JobResult {
   std::uint64_t rescheduleConflicts = 0;  // conflicts spent in retry attempts
   std::vector<unsigned> undecidedWindows; // window depths still kUnknown
 
+  // Campaign cache accounting (CampaignOptions::cache; all zero/false for
+  // uncached campaigns — the default path does not touch them).
+  // encodedFromCache: the job's incremental session was cloned from the
+  // encoding prefix cache instead of unrolling and Tseitin-encoding cold.
+  bool encodedFromCache = false;
+  // Clauses fetched from the campaign clause store into this job's
+  // exchange before solve attempts, and window-close exchange survivors
+  // this job offered to the store (pre-dedup — the store's own stats say
+  // how many were new).
+  std::uint64_t storeSeededClauses = 0;
+  std::uint64_t storePromotedClauses = 0;
+
   // RTL reduction summary (ladder jobs running with JobSpec::reduction;
   // absent otherwise). Stats of the job's last pipeline run — for a ladder
   // with a fixed exclusion set that is the one reduced model every window
@@ -239,6 +255,18 @@ class CheckpointStore;  // engine/checkpoint.hpp — crash-safe journal
 // runJob and the reschedule scheduler so both paths stay byte-identical.
 UpecOptions resolveJobOptions(const JobSpec& spec, sat::MemberGovernor* governor);
 
+// The sat::ClauseStore family key of a job: jobs with equal keys produce
+// bit-identical CNF encodings (same variable numbering, same hard unit
+// set), so learnt clauses promoted by one are sound consequences inside
+// any other — they may only differ in solver knobs (portfolio shape,
+// budgets, rescheduling, profiling). The key folds everything the encoded
+// formula depends on: the SoC config + secret word, the scenario and
+// constraint toggles, the init-equality mode, and — because they change
+// the obligation encoding's variable allocation — the exclusion set and
+// reduction options. Deliberately conservative: a collision would be
+// unsound, a split merely misses reuse.
+std::string clauseFamilyKey(const JobSpec& spec);
+
 // Runs one job to completion on the calling thread (a reschedule-enabled
 // ladder job performs its escalation retries inline). Exposed for tests and
 // for running campaigns without a pool. A non-null governor caps the job's
@@ -249,11 +277,15 @@ UpecOptions resolveJobOptions(const JobSpec& spec, sat::MemberGovernor* governor
 // obs/observer.hpp. A non-null checkpoint store receives the ladder's
 // closed windows and learnt snapshots (runCampaign passes its journal). A
 // job whose execution throws is contained as a kError result with the
-// message in JobResult::error — runJob does not leak exceptions.
+// message in JobResult::error — runJob does not leak exceptions. A
+// non-null clauseStore lets a sharing incremental ladder seed its
+// exchange from (and promote its window-close survivors into) the
+// campaign clause store (see sat/clause_store.hpp).
 JobResult runJob(const JobSpec& spec, sat::MemberGovernor* governor = nullptr,
                  ConflictLedger* ledger = nullptr,
                  obs::CampaignObserver* observer = nullptr,
-                 CheckpointStore* checkpoint = nullptr);
+                 CheckpointStore* checkpoint = nullptr,
+                 sat::ClauseStore* clauseStore = nullptr);
 
 // Emits the {"type":"job",...} completion event for `res` (no-op on a null
 // observer). Shared by runJob and runCampaign's requeued-ladder path so the

@@ -27,6 +27,8 @@ void CampaignReport::finalize() {
   reductionNodesBefore = reductionNodesAfter = 0;
   reductionRegistersBefore = reductionRegistersAfter = 0;
   reductionRegistersMerged = reductionConstantsFolded = 0;
+  jobsEncodedFromCache = 0;
+  storeSeededClauses = storePromotedClauses = 0;
   for (const JobResult& job : jobs) {
     overallVerdict = mergeVerdicts(overallVerdict, job.verdict);
     switch (job.verdict) {
@@ -69,6 +71,9 @@ void CampaignReport::finalize() {
         ++decidedByAttempt[attempt];
       }
     }
+    if (job.encodedFromCache) ++jobsEncodedFromCache;
+    storeSeededClauses += job.storeSeededClauses;
+    storePromotedClauses += job.storePromotedClauses;
     if (job.reduction) {
       reductionEnabled = true;
       ++reductionJobs;
@@ -236,6 +241,11 @@ void jsonJob(std::ostream& os, const JobResult& job) {
     jsonString(os, job.error);
   }
   if (job.replayedWindows != 0) os << ",\"replayed_windows\":" << job.replayedWindows;
+  if (job.encodedFromCache) os << ",\"encoded_from_cache\":true";
+  if (job.storeSeededClauses | job.storePromotedClauses) {
+    os << ",\"store_seeded_clauses\":" << job.storeSeededClauses
+       << ",\"store_promoted_clauses\":" << job.storePromotedClauses;
+  }
   if (job.rescheduleEnabled) {
     os << ",\"windows_rescheduled\":" << job.windowsRescheduled
        << ",\"reschedule_attempts\":" << job.rescheduleAttempts
@@ -338,6 +348,43 @@ std::string CampaignReport::toJson() const {
     if (!checkpointDiagnostics.empty()) {
       os << ",\"diagnostics\":";
       jsonStringArray(os, checkpointDiagnostics);
+    }
+    os << '}';
+  }
+  if (cachePrefixEnabled || cacheStoreEnabled || warmStarted || !cacheDiagnostics.empty()) {
+    os << ",\"cache\":{";
+    bool first = true;
+    auto sep = [&first, &os] {
+      if (!first) os << ',';
+      first = false;
+    };
+    if (cachePrefixEnabled) {
+      sep();
+      os << "\"prefix\":{\"hits\":" << prefixHits << ",\"misses\":" << prefixMisses
+         << ",\"insertions\":" << prefixInsertions
+         << ",\"jobs_encoded_from_cache\":" << jobsEncodedFromCache << '}';
+    }
+    if (cacheStoreEnabled) {
+      sep();
+      os << "\"store\":{\"promoted\":" << storePromoted << ",\"duplicates\":" << storeDuplicates
+         << ",\"fetched\":" << storeFetched << ",\"overflow\":" << storeOverflow
+         << ",\"seeded_clauses\":" << storeSeededClauses
+         << ",\"promoted_offers\":" << storePromotedClauses << '}';
+    }
+    if (warmStarted) {
+      sep();
+      os << "\"warm_start\":{\"clauses\":" << warmStartClauses
+         << ",\"budgets_primed\":" << (budgetsPrimed ? "true" : "false");
+      if (budgetsPrimed) {
+        os << ",\"primed_from_attempt\":" << primedFromAttempt
+           << ",\"primed_initial_budget\":" << primedInitialBudget;
+      }
+      os << '}';
+    }
+    if (!cacheDiagnostics.empty()) {
+      sep();
+      os << "\"diagnostics\":";
+      jsonStringArray(os, cacheDiagnostics);
     }
     os << '}';
   }

@@ -94,6 +94,31 @@ struct CampaignReport {
   // What resume recovered from / why a load was refused (human-readable).
   std::vector<std::string> checkpointDiagnostics;
 
+  // Campaign cache accounting (CampaignOptions::cache; all absent from the
+  // JSON for uncached campaigns). The prefix/store counters are snapshots
+  // of the cache objects at campaign end, set by runCampaign; the per-job
+  // sums (jobsEncodedFromCache, storeSeededClauses, storePromotedClauses)
+  // are filled by finalize().
+  bool cachePrefixEnabled = false;
+  std::uint64_t prefixHits = 0;
+  std::uint64_t prefixMisses = 0;
+  std::uint64_t prefixInsertions = 0;
+  unsigned jobsEncodedFromCache = 0;  // jobs whose session cloned a cached prefix
+  bool cacheStoreEnabled = false;
+  std::uint64_t storePromoted = 0;    // distinct clauses the store accepted
+  std::uint64_t storeDuplicates = 0;  // offers the family filter already held
+  std::uint64_t storeFetched = 0;     // clauses handed to consumers
+  std::uint64_t storeOverflow = 0;    // offers dropped at family capacity
+  std::uint64_t storeSeededClauses = 0;    // per-job seed sum (finalize)
+  std::uint64_t storePromotedClauses = 0;  // per-job offer sum (finalize)
+  // Warm start from a previous run's journal (CacheOptions::warmStartPath).
+  bool warmStarted = false;               // donor journal loaded successfully
+  std::uint64_t warmStartClauses = 0;     // learnt clauses promoted from it
+  bool budgetsPrimed = false;             // reschedule budgets were pre-sized
+  unsigned primedFromAttempt = 0;         // histogram rung the priming chose
+  std::uint64_t primedInitialBudget = 0;  // the pre-escalated initial budget
+  std::vector<std::string> cacheDiagnostics;  // warm-start load problems
+
   // Observer accounting (CampaignOptions::observer; absent from the JSON
   // when no NDJSON stream was attached): how many event lines the
   // NdjsonWriter actually wrote, set by runCampaign at campaign end so the

@@ -12,6 +12,7 @@
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
 #include "obs/trace.hpp"
+#include "sat/clause_store.hpp"
 #include "upec/miter.hpp"
 
 namespace upec::engine {
@@ -37,6 +38,7 @@ void accumulate(JobResult& res, const formal::BmcStats& stats) {
   res.totalRestartTimeNs += stats.restartTimeNs;
   res.totalImportedUsedInPropagation += stats.importedUsedInPropagation;
   res.totalImportedUsedInConflict += stats.importedUsedInConflict;
+  if (stats.encodedFromCache) res.encodedFromCache = true;
 }
 
 void insertUnique(std::vector<std::string>& into, const std::vector<std::string>& names) {
@@ -60,7 +62,7 @@ void recordWin(JobResult& res, const std::string& solvedBy) {
 
 LadderScheduler::LadderScheduler(const JobSpec& spec, sat::MemberGovernor* governor,
                                  ConflictLedger* ledger, obs::CampaignObserver* observer,
-                                 CheckpointStore* checkpoint)
+                                 CheckpointStore* checkpoint, sat::ClauseStore* clauseStore)
     : spec_(spec),
       policy_(spec.reschedule),
       ledger_(ledger),
@@ -68,6 +70,14 @@ LadderScheduler::LadderScheduler(const JobSpec& spec, sat::MemberGovernor* gover
       checkpoint_(checkpoint) {
   assert(spec.kind == JobKind::kIntervalLadder &&
          "the reschedule scheduler drives ladder jobs only");
+  // The store speaks through the sharing exchange, and only an incremental
+  // session's learnts stay obligation-free (a monolithic solve resolves
+  // against the window's hard violation big-or — see sat/clause_store.hpp).
+  if (clauseStore != nullptr && spec_.sharing && spec_.mode == DeepeningMode::kIncremental) {
+    store_ = clauseStore;
+    storeFamily_ = clauseFamilyKey(spec_);
+    storeConsumer_ = "job" + std::to_string(spec_.id);
+  }
   res_.id = spec_.id;
   res_.label = spec_.label;
   res_.rescheduleEnabled = policy_.enabled;
@@ -173,6 +183,29 @@ void LadderScheduler::chargeRetry(std::uint64_t conflicts) {
   if (ownLedger_ != nullptr) ownLedger_->charge(conflicts);
 }
 
+void LadderScheduler::seedFromStore() {
+  if (store_ == nullptr) return;
+  // The per-consumer cursor makes repeated calls cheap: only clauses
+  // promoted (by any job of the family) since the last fetch — plus
+  // previously-skipped ones that became depth-eligible — come back.
+  const std::vector<std::vector<sat::Lit>> fetched =
+      store_->fetch(storeFamily_, storeConsumer_, k_);
+  if (fetched.empty()) return;
+  std::vector<std::vector<int>> codes;
+  codes.reserve(fetched.size());
+  for (const std::vector<sat::Lit>& clause : fetched) {
+    std::vector<int> c;
+    c.reserve(clause.size());
+    for (const sat::Lit lit : clause) c.push_back(lit.code());
+    codes.push_back(std::move(c));
+  }
+  engine_->seedExchange(codes);
+  res_.storeSeededClauses += codes.size();
+  if (obs::metricsEnabled()) {
+    obs::metrics().counter("engine.clause_store.seeded").add(codes.size());
+  }
+}
+
 void LadderScheduler::attemptWindow() {
   if (attempt_ > 0 && !admitRetry()) {
     // The ceiling was spent while this retry sat in the queue (another
@@ -187,6 +220,7 @@ void LadderScheduler::attemptWindow() {
   if (span.enabled()) {
     span.arg("job", spec_.label).arg("k", k_).arg("attempt", attempt_).arg("budget", budget_);
   }
+  seedFromStore();
   Stopwatch attemptTimer;
   engine_->setConflictBudget(budget_);
   UpecResult r;
@@ -305,15 +339,39 @@ void LadderScheduler::closeWindow(const UpecResult& r) {
   // the two).
   emitWindowEvent(observer_, spec_.id, spec_.label, closed, /*replayed=*/false);
   if (checkpoint_ != nullptr) {
-    // The window is a closed fact now: journal it (and the job's current
-    // learnt pool — each snapshot supersedes the last) so a killed run
-    // resumes here instead of re-solving. kError windows are skipped
-    // inside the store: a fault is re-tried, not replayed.
+    // The window is a closed fact now: journal it so a killed run resumes
+    // here instead of re-solving. kError windows are skipped inside the
+    // store: a fault is re-tried, not replayed.
     checkpoint_->recordWindow(spec_.id, closed, r.differingMicro, r.differingArch);
-    if (spec_.sharing && closed.verdict != Verdict::kError) {
-      constexpr std::size_t kLearntSnapshotCap = 256;
-      const auto learnts = engine_->exchangeSnapshot(kLearntSnapshotCap);
-      if (!learnts.empty()) checkpoint_->recordLearnts(spec_.id, learnts);
+  }
+  if (spec_.sharing && closed.verdict != Verdict::kError &&
+      (checkpoint_ != nullptr || store_ != nullptr)) {
+    // One exchange snapshot feeds both persistence seams: the journal
+    // (each snapshot SUPERSEDES the job's previous line — the load keeps
+    // only the last, so resume and warm start re-seed identically) and
+    // the campaign clause store (depth-tagged k_: the survivors resolved
+    // against this window's hard units, so they are only fetched back at
+    // depths >= k_).
+    constexpr std::size_t kLearntSnapshotCap = 256;
+    const auto learnts = engine_->exchangeSnapshot(kLearntSnapshotCap);
+    if (!learnts.empty()) {
+      if (checkpoint_ != nullptr) checkpoint_->recordLearnts(spec_.id, k_, learnts);
+      if (store_ != nullptr) {
+        std::vector<std::vector<sat::Lit>> lits;
+        lits.reserve(learnts.size());
+        for (const std::vector<int>& codes : learnts) {
+          std::vector<sat::Lit> clause;
+          clause.reserve(codes.size());
+          for (const int code : codes) clause.push_back(sat::Lit::fromCode(code));
+          lits.push_back(std::move(clause));
+        }
+        store_->promote(storeFamily_, k_,
+                        std::span<const std::vector<sat::Lit>>(lits.data(), lits.size()));
+        res_.storePromotedClauses += lits.size();
+        if (obs::metricsEnabled()) {
+          obs::metrics().counter("engine.clause_store.promoted_offers").add(lits.size());
+        }
+      }
     }
   }
 

@@ -78,11 +78,17 @@ class LadderScheduler {
   // window and one "reschedule" event per deferred retry (obs/observer.hpp).
   // A non-null checkpoint receives each closed window plus the job's
   // learnt-clause snapshot (sharing jobs); JobSpec::replayWindows are
-  // adopted here, before any solving.
+  // adopted here, before any solving. A non-null clauseStore connects a
+  // sharing incremental ladder to the campaign clause store under the
+  // job's clauseFamilyKey(): before each window's attempts the scheduler
+  // fetches depth-eligible clauses into the exchange, and at window close
+  // it promotes the exchange survivors (see sat/clause_store.hpp for the
+  // depth-scoping soundness argument).
   explicit LadderScheduler(const JobSpec& spec, sat::MemberGovernor* governor = nullptr,
                            ConflictLedger* ledger = nullptr,
                            obs::CampaignObserver* observer = nullptr,
-                           CheckpointStore* checkpoint = nullptr);
+                           CheckpointStore* checkpoint = nullptr,
+                           sat::ClauseStore* clauseStore = nullptr);
   ~LadderScheduler();
   LadderScheduler(const LadderScheduler&) = delete;
   LadderScheduler& operator=(const LadderScheduler&) = delete;
@@ -107,12 +113,16 @@ class LadderScheduler {
   void chargeRetry(std::uint64_t conflicts);
 
   void replayWindow(const ReplayedWindow& rw);  // adopt a checkpointed verdict
+  void seedFromStore();  // fetch depth-eligible store clauses into the exchange
 
   JobSpec spec_;
   ReschedulePolicy policy_;
   ConflictLedger* ledger_;                     // shared (campaign) ledger, may be null
   obs::CampaignObserver* observer_;            // event stream, may be null
   CheckpointStore* checkpoint_;                // crash-safe journal, may be null
+  sat::ClauseStore* store_ = nullptr;          // campaign clause store, may be null
+  std::string storeFamily_;                    // clauseFamilyKey(spec), store jobs only
+  std::string storeConsumer_;                  // per-job fetch cursor id
   std::unique_ptr<ConflictLedger> ownLedger_;  // job-local policy ceiling, may be null
   std::unique_ptr<Miter> miter_;
   std::unique_ptr<UpecEngine> engine_;

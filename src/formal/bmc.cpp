@@ -7,6 +7,7 @@
 
 #include "base/stopwatch.hpp"
 #include "formal/cnf_builder.hpp"
+#include "formal/prefix_cache.hpp"
 #include "formal/unroller.hpp"
 #include "obs/trace.hpp"
 #include "sat/solver_backend.hpp"
@@ -70,6 +71,77 @@ void fillSolveStats(BmcStats& stats, const sat::SolverBackend& solver) {
   stats.solvedBy = solver.lastSolveAttribution();
 }
 
+// Forwarding backend that tees newVar/addClause traffic into a clause log
+// while recording is on. Installed (only) on a prefix-cache *miss* so the
+// session's cold encode doubles as the cache fill; after the prefix is
+// captured the proxy stays in the chain as a pure pass-through, so the
+// session's behaviour is identical with or without it.
+class RecordingProxy final : public sat::SolverBackend {
+ public:
+  explicit RecordingProxy(std::unique_ptr<sat::SolverBackend> inner)
+      : inner_(std::move(inner)) {}
+
+  bool recording() const { return recording_; }
+  std::vector<Lit> takeLits() { return std::move(lits_); }
+  std::vector<std::uint32_t> takeEnds() { return std::move(ends_); }
+  void stopRecording() {
+    recording_ = false;
+    lits_.clear();
+    lits_.shrink_to_fit();
+    ends_.clear();
+    ends_.shrink_to_fit();
+  }
+
+  sat::Var newVar() override { return inner_->newVar(); }
+  int numVars() const override { return inner_->numVars(); }
+  std::uint64_t numClauses() const override { return inner_->numClauses(); }
+  bool addClause(std::span<const Lit> lits) override {
+    if (recording_) {
+      // Flat storage (see EncodedPrefix::lits): the replay loop walks one
+      // contiguous buffer instead of chasing a heap vector per clause.
+      lits_.insert(lits_.end(), lits.begin(), lits.end());
+      ends_.push_back(static_cast<std::uint32_t>(lits_.size()));
+    }
+    return inner_->addClause(lits);
+  }
+  LBool solveLimited(std::span<const Lit> assumptions) override {
+    return inner_->solveLimited(assumptions);
+  }
+  bool modelValue(sat::Var v) const override { return inner_->modelValue(v); }
+  const std::vector<Lit>& unsatCore() const override { return inner_->unsatCore(); }
+  bool okay() const override { return inner_->okay(); }
+  sat::SolverStats stats() const override { return inner_->stats(); }
+  sat::SolverStats lastSolveStats() const override { return inner_->lastSolveStats(); }
+  void setConflictBudget(std::uint64_t budget) override { inner_->setConflictBudget(budget); }
+  bool lastSolveBudgetExhausted() const override { return inner_->lastSolveBudgetExhausted(); }
+  void setSolveDeadlineMs(std::uint64_t deadlineMs) override {
+    inner_->setSolveDeadlineMs(deadlineMs);
+  }
+  bool lastSolveDeadlineExpired() const override { return inner_->lastSolveDeadlineExpired(); }
+  void setFaultAbortAtConflict(std::uint64_t conflicts) override {
+    inner_->setFaultAbortAtConflict(conflicts);
+  }
+  std::vector<std::vector<Lit>> learntSnapshot(std::size_t maxClauses) const override {
+    return inner_->learntSnapshot(maxClauses);
+  }
+  void seedClauses(std::span<const std::vector<Lit>> clauses) override {
+    inner_->seedClauses(clauses);
+  }
+  void requestStop() override { inner_->requestStop(); }
+  void clearStop() override { inner_->clearStop(); }
+  void attachExchange(sat::ClauseExchange* exchange, unsigned member) override {
+    inner_->attachExchange(exchange, member);
+  }
+  std::string describe() const override { return inner_->describe(); }
+  std::string lastSolveAttribution() const override { return inner_->lastSolveAttribution(); }
+
+ private:
+  std::unique_ptr<sat::SolverBackend> inner_;
+  bool recording_ = true;
+  std::vector<Lit> lits_;
+  std::vector<std::uint32_t> ends_;
+};
+
 }  // namespace
 
 // Persistent state of an incremental deepening session: one solver, one
@@ -80,6 +152,13 @@ struct BmcEngine::Session {
   std::unique_ptr<sat::SolverBackend> solver;
   CnfBuilder cnf;
   Unroller unroller;
+  // Non-null while this session should capture its first unroll as a
+  // cache-fill (points into *solver; no ownership).
+  RecordingProxy* recorder = nullptr;
+  // This session's frames were adopted from a cached prefix.
+  bool fromCache = false;
+  // Full cache key (base + depth) this session fills or was cloned from.
+  std::string prefixKey;
   // Cycle-anchored assumptions already asserted, keyed by (node, cycle).
   std::set<std::pair<rtl::NodeId, unsigned>> assertedAt;
   // Invariant assumptions: per signal, asserted over cycles 0..upTo.
@@ -90,11 +169,8 @@ struct BmcEngine::Session {
   // variable and clause set per attempt.
   std::map<std::vector<int>, sat::Lit> obligationCache;
 
-  Session(const rtl::Design& design, const std::vector<sat::SolverConfig>& configs,
-          const sat::PortfolioOptions& portfolio)
-      : solver(sat::makeSolverBackend(configs, portfolio)),
-        cnf(*solver),
-        unroller(design, cnf) {}
+  Session(const rtl::Design& design, std::unique_ptr<sat::SolverBackend> backend)
+      : solver(std::move(backend)), cnf(*solver), unroller(design, cnf) {}
 };
 
 BmcEngine::BmcEngine(const rtl::Design& design) : design_(design) {}
@@ -195,9 +271,49 @@ CheckResult BmcEngine::checkIncremental(const IntervalProperty& property) {
   Stopwatch encodeTimer;
 
   if (!session_) {
-    session_ = std::make_unique<Session>(design_, solverConfigs_, portfolioOptions_);
+    // Prefix reuse: probe the cache under (key base, first window depth).
+    // On a hit the session is cloned from the cached prefix below; on a
+    // miss a RecordingProxy wraps the fresh backend so this session's cold
+    // encode fills the cache for the jobs that follow.
+    std::shared_ptr<const EncodedPrefix> prefix;
+    std::string prefixKey;
+    if (prefixCache_) {
+      prefixKey = prefixKeyBase_ + "|d" + std::to_string(property.maxCycle());
+      prefix = prefixCache_->lookup(prefixKey);
+    }
+    auto backend = sat::makeSolverBackend(solverConfigs_, portfolioOptions_);
+    RecordingProxy* recorder = nullptr;
+    if (prefixCache_ && !prefix) {
+      auto recording = std::make_unique<RecordingProxy>(std::move(backend));
+      recorder = recording.get();
+      backend = std::move(recording);
+    }
+    session_ = std::make_unique<Session>(design_, std::move(backend));
+    session_->recorder = recorder;
     for (const auto& [master, follower] : aliases_) {
       session_->unroller.aliasInitialState(master, follower);
+    }
+    if (prefix) {
+      // Clone: replay the recorded clause stream into the fresh backend
+      // (allocating the same variables in the same order), then restore
+      // the encoder's structural-hash state and the unroller frames. The
+      // resulting solver state is identical to a cold encode's — see
+      // prefix_cache.hpp for why the replay is exact.
+      Session& c = *session_;
+      for (int v = 0; v < prefix->numVars; ++v) c.solver->newVar();
+      const Lit* flat = prefix->lits.data();
+      std::uint32_t begin = 0;
+      for (const std::uint32_t end : prefix->ends) {
+        c.solver->addClause(std::span<const Lit>(flat + begin, end - begin));
+        begin = end;
+      }
+      // O(1): the snapshot and frames become shared immutable base layers.
+      c.cnf.restore(prefix->builder);
+      c.unroller.restoreFrames(prefix->frames);
+      c.fromCache = true;
+      session_->prefixKey = std::move(prefixKey);
+    } else if (recorder) {
+      session_->prefixKey = std::move(prefixKey);
     }
   }
   Session& s = *session_;
@@ -209,6 +325,22 @@ CheckResult BmcEngine::checkIncremental(const IntervalProperty& property) {
   const unsigned k = property.maxCycle();
   assert(s.unroller.numFrames() == 0 || k + 1 >= s.unroller.numFrames());
   s.unroller.unrollTo(k);
+
+  // First cold unroll with a cache attached: publish the encoded prefix
+  // (transition-relation frames only — assumptions and obligations are
+  // asserted below, after recording stops, so they never enter the cache).
+  if (s.recorder && s.recorder->recording()) {
+    auto captured = std::make_shared<EncodedPrefix>();
+    captured->depth = k;
+    captured->numVars = solver.numVars();
+    captured->lits = s.recorder->takeLits();
+    captured->ends = s.recorder->takeEnds();
+    captured->builder = std::make_shared<const CnfBuilder::Snapshot>(s.cnf.snapshot());
+    captured->frames =
+        std::make_shared<const std::vector<std::vector<LitVec>>>(s.unroller.frames());
+    prefixCache_->store(s.prefixKey, std::move(captured));
+    s.recorder->stopRecording();
+  }
 
   // Assumptions are monotone across the session, so each becomes a hard
   // unit the first time it is seen; re-stated prefixes are skipped.
@@ -254,6 +386,7 @@ CheckResult BmcEngine::checkIncremental(const IntervalProperty& property) {
   result.stats.encodeMs = encodeTimer.elapsedMs();
   result.stats.vars = static_cast<std::uint64_t>(solver.numVars());
   result.stats.clauses = solver.numClauses();
+  result.stats.encodedFromCache = s.fromCache;
   if (encodeSpan.enabled()) encodeSpan.arg("vars", result.stats.vars);
   encodeSpan.end();
 
@@ -296,6 +429,18 @@ CheckResult BmcEngine::checkIncremental(const IntervalProperty& property) {
 std::vector<std::vector<sat::Lit>> BmcEngine::learntSnapshot(std::size_t maxClauses) const {
   if (!session_) return {};
   return session_->solver->learntSnapshot(maxClauses);
+}
+
+void BmcEngine::seedClauses(std::span<const std::vector<sat::Lit>> clauses) {
+  if (clauses.empty()) return;
+  if (session_) {
+    session_->solver->seedClauses(clauses);
+    return;
+  }
+  // No session yet: fold into the construction-time seed so the first
+  // checkIncremental() delivers them through PortfolioOptions::seedLearnts.
+  portfolioOptions_.seedLearnts.insert(portfolioOptions_.seedLearnts.end(), clauses.begin(),
+                                       clauses.end());
 }
 
 TraceEval::TraceEval(const rtl::Design& design, const Trace& trace) : design_(design) {

@@ -21,6 +21,8 @@
 
 namespace upec::formal {
 
+class PrefixCache;  // formal/prefix_cache.hpp
+
 // A concrete counterexample: initial register state + per-cycle input
 // values. Every node value is recoverable by re-simulation (TraceEval).
 struct Trace {
@@ -63,6 +65,9 @@ struct BmcStats {
   // Which solver configuration answered (portfolio attribution; a single
   // backend names its own configuration).
   std::string solvedBy;
+  // True when this check ran on an incremental session whose initial
+  // frames were adopted from a PrefixCache instead of encoded cold.
+  bool encodedFromCache = false;
 };
 
 enum class CheckStatus { kProven, kCounterexample, kUnknown };
@@ -132,6 +137,28 @@ class BmcEngine {
     aliases_.emplace_back(masterRegQ.id(), followerRegQ.id());
   }
 
+  // Encoded-prefix reuse (formal/prefix_cache.hpp): with a cache attached,
+  // the first checkIncremental() call probes it under
+  // `keyBase + "|d" + <first window depth>` — on a hit the session adopts
+  // the cached frames (clause replay + builder/unroller restore, producing
+  // a solver state identical to a cold encode); on a miss it records its
+  // own prefix and publishes it for the next job. keyBase must encode
+  // everything the prefix depends on except the depth (see the keying
+  // rules in prefix_cache.hpp). Set before the first checkIncremental();
+  // single-shot check() never consults the cache (nothing to reuse — the
+  // solver is discarded per call).
+  void setPrefixCache(PrefixCache* cache, std::string keyBase) {
+    prefixCache_ = cache;
+    prefixKeyBase_ = std::move(keyBase);
+  }
+
+  // Offers proven clauses (engine::ClauseStore seeds) to the incremental
+  // session's solver backend — a sharing portfolio publishes them on its
+  // exchange, any other backend ignores them (SolverBackend::seedClauses).
+  // Clauses offered before the session exists are buffered and delivered
+  // at session construction via PortfolioOptions::seedLearnts.
+  void seedClauses(std::span<const std::vector<sat::Lit>> clauses);
+
   // Single-shot check: fresh solver, encode, solve, discard.
   CheckResult check(const IntervalProperty& property);
 
@@ -171,6 +198,8 @@ class BmcEngine {
   std::vector<sat::SolverConfig> solverConfigs_;
   sat::PortfolioOptions portfolioOptions_;
   std::vector<std::pair<rtl::NodeId, rtl::NodeId>> aliases_;
+  PrefixCache* prefixCache_ = nullptr;
+  std::string prefixKeyBase_;
   std::unique_ptr<Session> session_;
 };
 

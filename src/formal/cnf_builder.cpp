@@ -31,9 +31,18 @@ LitVec CnfBuilder::constVec(unsigned width, std::uint64_t value) {
 
 bool CnfBuilder::lookupGate(const GateKey& key, Lit* out) const {
   const auto it = gateCache_.find(key);
-  if (it == gateCache_.end()) return false;
-  *out = it->second;
-  return true;
+  if (it != gateCache_.end()) {
+    *out = it->second;
+    return true;
+  }
+  if (base_ != nullptr) {
+    const auto bit = base_->gates.find(key);
+    if (bit != base_->gates.end()) {
+      *out = bit->second;
+      return true;
+    }
+  }
+  return false;
 }
 
 void CnfBuilder::storeGate(const GateKey& key, Lit out) { gateCache_.emplace(key, out); }

@@ -4,6 +4,7 @@
 // time do not blow up the clause database.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +26,59 @@ class CnfBuilder {
   explicit CnfBuilder(sat::SolverBackend& solver) : solver_(solver) {}
 
   sat::SolverBackend& solver() { return solver_; }
+
+  // Structural-hashing state, exposed so an encoded prefix can be cloned
+  // into a fresh solver (formal/prefix_cache.hpp). The gate cache maps
+  // (gate kind, operand literal codes) to the output literal; replaying the
+  // recorded clauses into a fresh backend and restoring this snapshot
+  // reproduces the builder exactly — subsequent encoding resumes with the
+  // same hash hits, the same fresh-variable order and therefore the same
+  // clause stream as a cold encode.
+  enum class GateKind : std::uint8_t { kAnd, kXor, kMux, kMaj };
+  struct GateKey {
+    GateKind kind;
+    int a, b, c;  // literal codes; -1 when unused
+    bool operator==(const GateKey& o) const {
+      return kind == o.kind && a == o.a && b == o.b && c == o.c;
+    }
+  };
+  struct GateKeyHash {
+    std::size_t operator()(const GateKey& k) const {
+      std::uint64_t h = static_cast<std::uint64_t>(k.kind);
+      h = h * 1099511628211ull + static_cast<std::uint64_t>(k.a + 2);
+      h = h * 1099511628211ull + static_cast<std::uint64_t>(k.b + 2);
+      h = h * 1099511628211ull + static_cast<std::uint64_t>(k.c + 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Snapshot {
+    bool hasConst = false;
+    sat::Lit trueLit;
+    std::unordered_map<GateKey, sat::Lit, GateKeyHash> gates;
+  };
+  // Flattens the full gate-hash state (restored base + local overlay) into
+  // one map. Pays a copy — called once per campaign when a cold encode is
+  // captured, never on the clone path.
+  Snapshot snapshot() const {
+    Snapshot s{hasConst_, trueLit_, {}};
+    if (base_ != nullptr) {
+      s.gates = base_->gates;
+      s.gates.insert(gateCache_.begin(), gateCache_.end());
+    } else {
+      s.gates = gateCache_;
+    }
+    return s;
+  }
+  // O(1): adopts the snapshot as an immutable shared base layer. Gate
+  // lookups read through it; new gates land in the local overlay — the
+  // base is never touched, so any number of sessions restore from the same
+  // snapshot concurrently.
+  void restore(std::shared_ptr<const Snapshot> s) {
+    hasConst_ = s->hasConst;
+    trueLit_ = s->trueLit;
+    base_ = std::move(s);
+    gateCache_.clear();
+  }
 
   sat::Lit freshLit();
   LitVec freshVec(unsigned width);
@@ -74,29 +128,17 @@ class CnfBuilder {
   void assertLit(sat::Lit l) { solver_.addUnit(l); }
 
  private:
-  enum class GateKind : std::uint8_t { kAnd, kXor, kMux, kMaj };
-  struct GateKey {
-    GateKind kind;
-    int a, b, c;  // literal codes; -1 when unused
-    bool operator==(const GateKey& o) const {
-      return kind == o.kind && a == o.a && b == o.b && c == o.c;
-    }
-  };
-  struct GateKeyHash {
-    std::size_t operator()(const GateKey& k) const {
-      std::uint64_t h = static_cast<std::uint64_t>(k.kind);
-      h = h * 1099511628211ull + static_cast<std::uint64_t>(k.a + 2);
-      h = h * 1099511628211ull + static_cast<std::uint64_t>(k.b + 2);
-      h = h * 1099511628211ull + static_cast<std::uint64_t>(k.c + 2);
-      return static_cast<std::size_t>(h);
-    }
-  };
   bool lookupGate(const GateKey& key, sat::Lit* out) const;
   void storeGate(const GateKey& key, sat::Lit out);
 
   sat::SolverBackend& solver_;
   sat::Lit trueLit_;
   bool hasConst_ = false;
+  // Gate-hash state: the immutable restored layer (null unless this
+  // builder was cloned from a cached prefix) plus the local overlay.
+  // Entries are only ever inserted, never changed, so the overlay shadows
+  // nothing — lookup probes the overlay first, then the base.
+  std::shared_ptr<const Snapshot> base_;
   std::unordered_map<GateKey, sat::Lit, GateKeyHash> gateCache_;
 };
 

@@ -1,0 +1,86 @@
+// Campaign-level reuse of the encoded miter prefix.
+//
+// Every ladder job of a sweep unrolls and Tseitin-encodes the *same*
+// transition-relation frames before it ever asserts a property: jobs that
+// differ only in solver knobs (seed, restarts, portfolio shape, budgets)
+// produce byte-for-byte the same CNF prefix. An EncodedPrefix captures
+// that work once — the ordered clause stream, the variable count, the
+// builder's structural-hash state and the unroller's frames — and a
+// PrefixCache shares it across jobs: a session constructed from a cached
+// prefix replays the clauses into its fresh solver and restores the
+// encoder state, then continues encoding (assumptions, obligations,
+// deeper frames) exactly as a cold session would.
+//
+// Why the clone is exact, not approximate: encoding is deterministic given
+// the design and the alias set. Replaying the recorded clause list in
+// order into a fresh backend allocates the same variables in the same
+// order, and restoring CnfBuilder::Snapshot + the unroller frames makes
+// every later lookup (gate hash, frame literal) return the same literal it
+// would have returned after a cold encode. The solver therefore starts
+// from an identical clause database, and the job's solve trajectory — and
+// verdict — is the same whether its prefix came from the cache or not
+// (tests/engine_cache_test.cpp and bench/campaign.cpp section [10] assert
+// exactly this).
+//
+// Keying rules (who must NOT share): two sessions may share a prefix only
+// if they encode the same frames over the same netlist with the same
+// frame-0 aliasing. The key is therefore composed of
+//   - the design identity (SoC config + secret word — engine::EncodeCache
+//     derives this part),
+//   - the frame-0 aliasing mode (UpecOptions::structuralInitEquality),
+//   - when RTL reduction is on: the reduction options AND everything the
+//     reduction's cone roots depend on (scenario, commitment exclusions) —
+//     reduced netlists are property-dependent, so reduced jobs share far
+//     less than plain ones,
+//   - the unrolled depth (appended by BmcEngine at first use).
+// Solver knobs, budgets, portfolio shape and telemetry are deliberately
+// excluded: they do not affect the clause stream.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "formal/cnf_builder.hpp"
+
+namespace upec::formal {
+
+// One immutable encoded prefix. Shared via shared_ptr<const ...>: produced
+// once, read concurrently by any number of cloning sessions. The builder
+// snapshot and the frames are themselves shared immutably — a cloning
+// session layers its own growth on top of them (CnfBuilder overlay,
+// Unroller base frames) instead of deep-copying, so the clone's cost is
+// the clause replay alone.
+struct EncodedPrefix {
+  unsigned depth = 0;   // frames 0..depth exist
+  int numVars = 0;      // variables allocated by the prefix encode
+  // Clause stream in emission order, stored flat: clause i is
+  // lits[ends[i-1]..ends[i]). One contiguous buffer instead of one heap
+  // vector per clause — the replay loop is a sequential scan, which is what
+  // makes cloning cheaper than re-walking the netlist (a per-clause heap
+  // hop costs more than the Tseitin encode it replaces).
+  std::vector<sat::Lit> lits;
+  std::vector<std::uint32_t> ends;
+  std::size_t numClauses() const { return ends.size(); }
+  std::shared_ptr<const CnfBuilder::Snapshot> builder;
+  std::shared_ptr<const std::vector<std::vector<LitVec>>> frames;  // Unroller frames
+};
+
+// Abstract cache seam, implemented by engine::EncodeCache (the formal
+// layer stays free of engine policy — same pattern as sat::MemberGovernor
+// vs engine::ThreadGovernor). Implementations must be thread-safe: pool
+// workers look up and store concurrently.
+class PrefixCache {
+ public:
+  virtual ~PrefixCache() = default;
+
+  // The prefix stored under `key`, or nullptr on miss.
+  virtual std::shared_ptr<const EncodedPrefix> lookup(const std::string& key) = 0;
+
+  // Publishes a freshly encoded prefix. First writer wins on a racing
+  // double-encode (both copies are identical by determinism, so either is
+  // correct); implementations may also evict.
+  virtual void store(const std::string& key, std::shared_ptr<const EncodedPrefix> prefix) = 0;
+};
+
+}  // namespace upec::formal

@@ -19,7 +19,7 @@ Unroller::Unroller(const rtl::Design& design, CnfBuilder& cnf) : design_(design)
 }
 
 void Unroller::aliasInitialState(NodeId masterRegQ, NodeId followerRegQ) {
-  assert(frames_.empty() && "aliases must be declared before unrolling");
+  assert(numFrames() == 0 && "aliases must be declared before unrolling");
   assert(design_.node(masterRegQ).op == Op::kRegQ);
   assert(design_.node(followerRegQ).op == Op::kRegQ);
   assert(design_.node(masterRegQ).width == design_.node(followerRegQ).width);
@@ -27,6 +27,9 @@ void Unroller::aliasInitialState(NodeId masterRegQ, NodeId followerRegQ) {
 }
 
 const LitVec& Unroller::frame0RegLits(NodeId regQ) {
+  // Only reachable while frame 0 is being built locally — a restored base
+  // always already contains frame 0.
+  assert(baseCount() == 0);
   auto& slot = frames_[0][regQ];
   if (!slot.empty()) return slot;
   const auto it = frame0Alias_.find(regQ);
@@ -39,24 +42,25 @@ const LitVec& Unroller::frame0RegLits(NodeId regQ) {
 }
 
 void Unroller::unrollTo(unsigned cycle) {
-  while (frames_.size() <= cycle) buildFrame(static_cast<unsigned>(frames_.size()));
+  while (numFrames() <= cycle) buildFrame(numFrames());
 }
 
 const LitVec& Unroller::lits(NodeId node, unsigned cycle) {
   unrollTo(cycle);
+  const std::vector<LitVec>& frame = frameAt(cycle);
   // A node beyond the frame was created after this unroller snapshotted the
   // design (e.g. a property expression built mid-session): it has no
   // encoding, and silently reading past the frame could return garbage
   // literals and prove the wrong property. Always-on check: an unsound
   // "proven" is strictly worse than an abort, also in Release builds.
-  if (node >= frames_[cycle].size()) {
+  if (node >= frame.size()) {
     std::fprintf(stderr,
                  "Unroller: node %u created after unrolling started (frame has %zu nodes); "
                  "incremental callers must build property expressions up front\n",
-                 node, frames_[cycle].size());
+                 node, frame.size());
     std::abort();
   }
-  return frames_[cycle][node];
+  return frame[node];
 }
 
 const LitVec& Unroller::regLits(std::uint32_t regIdx, unsigned cycle) {
@@ -64,8 +68,9 @@ const LitVec& Unroller::regLits(std::uint32_t regIdx, unsigned cycle) {
 }
 
 void Unroller::buildFrame(unsigned t) {
+  assert(t == numFrames() && "frames build strictly in order");
   frames_.emplace_back(design_.numNodes());
-  auto& frame = frames_[t];
+  auto& frame = frames_.back();
   for (NodeId id : topo_) {
     const Node& n = design_.node(id);
     if (n.op == Op::kRegQ) {
@@ -73,7 +78,7 @@ void Unroller::buildFrame(unsigned t) {
         frame0RegLits(id);  // symbolic initial state (possibly aliased)
       } else {
         const rtl::RegInfo& r = design_.regs()[design_.regIndexOf(id)];
-        frame[id] = frames_[t - 1][r.next];
+        frame[id] = frameAt(t - 1)[r.next];
       }
     } else if (n.op == Op::kInput) {
       frame[id] = cnf_.freshVec(n.width);
@@ -84,7 +89,8 @@ void Unroller::buildFrame(unsigned t) {
 }
 
 LitVec Unroller::encodeNode(const Node& n, unsigned t) {
-  auto& frame = frames_[t];
+  (void)t;
+  auto& frame = frames_.back();
   auto op0 = [&]() -> const LitVec& { return frame[n.ops[0]]; };
   auto op1 = [&]() -> const LitVec& { return frame[n.ops[1]]; };
   auto op2 = [&]() -> const LitVec& { return frame[n.ops[2]]; };

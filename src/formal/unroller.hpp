@@ -12,6 +12,8 @@
 // function at frame t; inputs get fresh variables in every frame.
 #pragma once
 
+#include <cassert>
+#include <memory>
 #include <vector>
 
 #include "formal/cnf_builder.hpp"
@@ -48,19 +50,50 @@ class Unroller {
   // variables are the symbolic initial state).
   const LitVec& regLits(std::uint32_t regIdx, unsigned cycle);
 
-  unsigned numFrames() const { return static_cast<unsigned>(frames_.size()); }
+  unsigned numFrames() const { return baseCount() + static_cast<unsigned>(frames_.size()); }
   const rtl::Design& design() const { return design_; }
   CnfBuilder& cnf() { return cnf_; }
+
+  // Prefix-cache support (formal/prefix_cache.hpp): the built frames as
+  // data, and their wholesale restoration into a fresh unroller of the
+  // *same* design. restoreFrames() must be called before the first
+  // unrollTo(); the restored frames become an immutable shared base layer
+  // (O(1) — no copy; any number of sessions restore from the same frames
+  // concurrently) and deeper frames build on them exactly as they would
+  // have on cold-built ones (frame t+1 only reads frame t and the
+  // builder's gate cache). Restored frames never re-consult the frame-0
+  // alias map — the aliasing is already baked into the literals.
+  // frames() flattens base + local growth into one copy; it is called once
+  // per campaign when a cold encode is captured, never on the clone path.
+  std::vector<std::vector<LitVec>> frames() const {
+    std::vector<std::vector<LitVec>> all;
+    all.reserve(numFrames());
+    if (base_ != nullptr) all.assign(base_->begin(), base_->end());
+    all.insert(all.end(), frames_.begin(), frames_.end());
+    return all;
+  }
+  void restoreFrames(std::shared_ptr<const std::vector<std::vector<LitVec>>> frames) {
+    assert(numFrames() == 0 && "restore must precede the first unrollTo()");
+    base_ = std::move(frames);
+  }
 
  private:
   void buildFrame(unsigned t);
   LitVec encodeNode(const rtl::Node& n, unsigned t);
   const LitVec& frame0RegLits(rtl::NodeId regQ);
 
+  unsigned baseCount() const { return base_ ? static_cast<unsigned>(base_->size()) : 0u; }
+  // Frame t, wherever it lives (immutable base or local growth).
+  const std::vector<LitVec>& frameAt(unsigned t) const {
+    return t < baseCount() ? (*base_)[t] : frames_[t - baseCount()];
+  }
+
   const rtl::Design& design_;
   CnfBuilder& cnf_;
   std::vector<rtl::NodeId> topo_;
-  // frames_[t][nodeId] = literal vector of that node at cycle t.
+  // Immutable shared prefix frames (null unless cloned from a cache).
+  std::shared_ptr<const std::vector<std::vector<LitVec>>> base_;
+  // frames_[t - baseCount()][nodeId] = literal vector of node at cycle t.
   std::vector<std::vector<LitVec>> frames_;
   // follower kRegQ node -> master kRegQ node for shared frame-0 variables.
   std::unordered_map<rtl::NodeId, rtl::NodeId> frame0Alias_;

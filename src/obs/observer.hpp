@@ -9,29 +9,11 @@
 //
 // Layering: events are flat typed key/value records, so obs stays below
 // the engine — the engine knows what a "window" is and builds the event;
-// this file only transports and serialises it. The guaranteed stream
-// schema (field names the CI validator and tests key on):
-//
-//   {"type":"campaign_start","ts_us":N,"jobs":N,"threads":N}
-//   {"type":"window","ts_us":N,"job":id,"label":s,"k":N,"verdict":s,
-//    "conflicts":N,"solve_ms":x, ["attempts":N,] ["budget_exhausted":b]}
-//   {"type":"reschedule","ts_us":N,"job":id,"k":N,"attempt":N,"budget":N}
-//   {"type":"job","ts_us":N,"job":id,"label":s,"verdict":s,"wall_ms":x,
-//    "worker":N,"windows":N}
-//   {"type":"campaign_end","ts_us":N,"verdict":s,"wall_ms":x,"proven":N,
-//    "p_alerts":N,"l_alerts":N,"unknown":N}
-//   {"type":"log","ts_us":N,"level":s,"severity":N,"msg":s}  (when routed;
-//    severity is the RFC 5424 number for the level: info=6, debug=7)
-//
-// Checkpoint/recovery events (emitted by the engine when a campaign runs
-// with `CampaignOptions::checkpoint`; the schema of the checkpoint *file*
-// itself lives in src/engine/checkpoint.hpp):
-//
-//   {"type":"checkpoint_open","ts_us":N,"path":s,"resumed":b,
-//    "replayed_windows":N,"replayed_jobs":N}
-//   {"type":"checkpoint_error","ts_us":N,"path":s,"error":s}
-//   {"type":"window",...,"replayed":true}     (a resume re-streams cached
-//                                              verdicts with this flag)
+// this file only transports and serialises it. The guaranteed line
+// grammar (every event type, and the field names the CI validator and
+// tests key on) is documented once, in src/engine/README.md under
+// "On-disk schemas", next to the checkpoint-journal schema it shares
+// verdict tuples with.
 //
 // Observer callbacks fire from whichever pool worker produced the result;
 // implementations must be thread-safe (NdjsonWriter serialises under one

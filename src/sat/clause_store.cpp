@@ -1,0 +1,68 @@
+#include "sat/clause_store.hpp"
+
+namespace upec::sat {
+
+void ClauseStore::promote(const std::string& family, unsigned depth,
+                          std::span<const std::vector<Lit>> clauses) {
+  if (clauses.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& f = families_[family];
+  for (const std::vector<Lit>& clause : clauses) {
+    if (clause.empty()) continue;
+    if (f.entries.size() >= familyCapacity_) {
+      ++stats_.overflow;
+      continue;
+    }
+    if (!f.filter.insert(std::span<const Lit>(clause.data(), clause.size()))) {
+      ++stats_.duplicates;
+      continue;
+    }
+    f.entries.push_back({depth, clause});
+    ++stats_.promoted;
+  }
+}
+
+std::vector<std::vector<Lit>> ClauseStore::fetch(const std::string& family,
+                                                 const std::string& consumer, unsigned depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto fit = families_.find(family);
+  if (fit == families_.end()) return {};
+  const Family& f = fit->second;
+  Cursor& cursor = cursors_[family + '\n' + consumer];
+
+  std::vector<std::vector<Lit>> out;
+  // Entries skipped on an earlier fetch (too deep then) may be eligible now.
+  std::vector<std::size_t> stillSkipped;
+  for (const std::size_t idx : cursor.skipped) {
+    if (f.entries[idx].depth <= depth) {
+      out.push_back(f.entries[idx].lits);
+    } else {
+      stillSkipped.push_back(idx);
+    }
+  }
+  cursor.skipped = std::move(stillSkipped);
+  for (; cursor.next < f.entries.size(); ++cursor.next) {
+    const Entry& e = f.entries[cursor.next];
+    if (e.depth <= depth) {
+      out.push_back(e.lits);
+    } else {
+      cursor.skipped.push_back(cursor.next);
+    }
+  }
+  stats_.fetched += out.size();
+  return out;
+}
+
+ClauseStore::Stats ClauseStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ClauseStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, f] : families_) n += f.entries.size();
+  return n;
+}
+
+}  // namespace upec::sat

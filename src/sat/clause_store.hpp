@@ -1,0 +1,104 @@
+// Persistent campaign clause store: learnt clauses that outlive one solve.
+//
+// A ClauseExchange shares learnts *within* one portfolio race; everything
+// it derived dies with the job's solver. The ClauseStore is the next tier
+// up: at window close the campaign promotes the exchange's survivors
+// (short, low-LBD learnts still resident in the ring) into the store, and
+// before the next window — of this job, a sibling job of the same family,
+// or (via the checkpoint journal) the next *run* — it fetches them back
+// and seeds them into that solver's exchange. One job's deductions prune
+// every same-family job's search, across windows and across processes.
+//
+// Soundness is depth-scoped. A clause learnt by an incremental UPEC
+// session at window k was derived by resolution over the session's clause
+// database *including* the hard assumption units asserted for cycles
+// 0..k — it is a consequence of the window-k formula, not of the bare
+// transition relation. Two rules keep reuse sound:
+//   * Family scoping: a store family key must encode everything that
+//     defines the session's hard-unit set and variable allocation — SoC
+//     config, secret word, scenario, constraint toggles, init-equality
+//     mode, reduction options, commitment exclusions. Jobs differing only
+//     in solver knobs/budgets share a family; jobs whose assumptions or
+//     encodings differ never do (a collision would be unsound, a split
+//     merely misses reuse — see engine::clauseFamilyKey).
+//   * Depth tagging: every promoted clause carries the window depth it was
+//     learnt at, and fetch(depth) only returns clauses with tag <= depth —
+//     the UPEC assumption set only grows with the window, so a window-k
+//     consequence holds for every window >= k, but not before.
+// Monolithic sessions assert the proof obligation as a hard unit, so their
+// learnts are NOT family-reusable; only incremental sharing jobs promote.
+//
+// Delivery is per-consumer: each (family, consumer) pair keeps a cursor so
+// repeated fetches hand each clause to each consumer once. The exchange's
+// import filters make the rare duplicate (cursor reset, overlapping seed
+// sources) harmless.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sat/exchange.hpp"
+#include "sat/types.hpp"
+
+namespace upec::sat {
+
+class ClauseStore {
+ public:
+  static constexpr std::size_t kDefaultFamilyCapacity = 4096;
+
+  // At most `familyCapacity` clauses retained per family; once full, new
+  // promotions are dropped (the earliest clauses are the shallow-window
+  // ones every deeper fetch can use — keeping them beats churn).
+  explicit ClauseStore(std::size_t familyCapacity = kDefaultFamilyCapacity)
+      : familyCapacity_(familyCapacity) {}
+  ClauseStore(const ClauseStore&) = delete;
+  ClauseStore& operator=(const ClauseStore&) = delete;
+
+  // Adds `clauses`, learnt at window `depth`, to `family`. Duplicates
+  // (per family, order-independent signature) are dropped. Thread-safe.
+  void promote(const std::string& family, unsigned depth,
+               std::span<const std::vector<Lit>> clauses);
+
+  // All stored clauses of `family` with tag <= depth that `consumer` has
+  // not fetched before. Thread-safe; distinct consumers each see every
+  // clause once.
+  std::vector<std::vector<Lit>> fetch(const std::string& family, const std::string& consumer,
+                                      unsigned depth);
+
+  struct Stats {
+    std::uint64_t promoted = 0;   // clauses accepted into the store
+    std::uint64_t duplicates = 0; // promotions shed by the family filter
+    std::uint64_t overflow = 0;   // promotions dropped by familyCapacity
+    std::uint64_t fetched = 0;    // clauses handed out across all fetches
+  };
+  Stats stats() const;
+
+  // Clauses currently stored across all families (for reports/tests).
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    unsigned depth;
+    std::vector<Lit> lits;
+  };
+  struct Family {
+    ClauseFilter filter;
+    std::vector<Entry> entries;  // append-only
+  };
+  struct Cursor {
+    std::size_t next = 0;             // first entry index not yet examined
+    std::vector<std::size_t> skipped; // examined but too deep at the time
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t familyCapacity_;
+  std::unordered_map<std::string, Family> families_;
+  std::unordered_map<std::string, Cursor> cursors_;  // key: family + '\n' + consumer
+  Stats stats_;
+};
+
+}  // namespace upec::sat

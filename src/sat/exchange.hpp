@@ -113,12 +113,14 @@ class ClauseExchange {
   // Clauses ever accepted into the ring (all producers).
   std::uint64_t published() const { return published_.load(std::memory_order_relaxed); }
 
-  // Pre-loads clauses persisted by a previous process (checkpoint resume).
-  // Published under the sentinel source id members() — not a real member,
-  // so *every* member's drain imports them (drain only skips a member's
-  // own id). Call at setup, before any thread races; soundness is the
-  // caller's contract (the clauses must be consequences of the formula
-  // the members are about to be fed).
+  // Pre-loads externally proven clauses (checkpoint resume, or the
+  // campaign clause store between windows). Published under the sentinel
+  // source id members() — not a real member, so *every* member's drain
+  // imports them (drain only skips a member's own id). Call at setup or
+  // from the driving thread between races — publish() is safe against
+  // concurrent drains, and between solveLimited() calls no member thread
+  // exists at all. Soundness is the caller's contract (the clauses must be
+  // consequences of the formula the members are being fed).
   void seed(std::span<const std::vector<Lit>> clauses);
 
   // The most recently published clauses still resident in the ring (up to

@@ -227,6 +227,15 @@ std::vector<std::vector<Lit>> PortfolioSolver::learntSnapshot(std::size_t maxCla
   return exchange_->snapshot(maxClauses);
 }
 
+void PortfolioSolver::seedClauses(std::span<const std::vector<Lit>> clauses) {
+  if (exchange_ == nullptr || clauses.empty()) return;
+  // Between races no member thread exists (solveLimited joins them all), so
+  // the seed's publishes race with nothing; every member imports the new
+  // clauses on its next entry drain. Duplicates of clauses a member already
+  // holds are shed by its import filter — re-seeding is harmless.
+  exchange_->seed(clauses);
+}
+
 void PortfolioSolver::requestStop() {
   externalStop_.store(true, std::memory_order_relaxed);
   // Forwarding covers a stop that lands after solveLimited()'s entry check:

@@ -78,6 +78,10 @@ class PortfolioSolver : public SolverBackend {
   void setFaultAbortAtConflict(std::uint64_t conflicts) override;  // per member
   // Clauses resident on the sharing exchange (empty when sharing is off).
   std::vector<std::vector<Lit>> learntSnapshot(std::size_t maxClauses) const override;
+  // Publishes proven clauses on the sharing exchange (engine::ClauseStore
+  // seeding between windows); ignored when sharing is off. Call between
+  // races only — seeding is the driving thread's move, never a racer's.
+  void seedClauses(std::span<const std::vector<Lit>> clauses) override;
   void requestStop() override;
   void clearStop() override;
   std::string describe() const override;

@@ -203,6 +203,15 @@ class SolverBackend {
     return {};
   }
 
+  // Mid-session learnt seeding (engine::ClauseStore → next window): offer
+  // clauses proven as consequences of this backend's formula. A sharing
+  // portfolio publishes them on its exchange so every member imports them
+  // at its next restart boundary; every other backend ignores the call —
+  // injecting foreign clauses into a single CDCL instance would perturb
+  // its trajectory, and the store's payoff is portfolio-wide pruning.
+  // Must be called between solveLimited() calls from the driving thread.
+  virtual void seedClauses(std::span<const std::vector<Lit>> /*clauses*/) {}
+
   // Cooperative cancellation: ask a running (or upcoming) solveLimited() to
   // return kUndef as soon as possible. Sticky until clearStop().
   virtual void requestStop() = 0;

@@ -344,6 +344,32 @@ UpecResult UpecEngine::checkIncremental(unsigned k, const std::set<std::string>&
     }
     incremental_->setSolverConfigs(options_.resolvedSolverConfigs());
     incremental_->setPortfolioOptions(options_.resolvedPortfolioOptions());
+    if (options_.prefixCache) {
+      // The cache key must separate every session whose encoded frames can
+      // differ (see formal/prefix_cache.hpp). On top of the engine's
+      // design-identity base: the init-equality mode always, and under
+      // reduction everything the reduced netlist was rooted at — the
+      // reduction options, the scenario/constraint toggles (they shape the
+      // property signals) and this first call's exclusion set.
+      std::string key = options_.prefixKey;
+      key += options_.structuralInitEquality ? "|eq" : "|noeq";
+      if (options_.reduction) {
+        const rtl::ReduceOptions& r = options_.reductionOptions;
+        key += "|red:";
+        key += r.sweep ? '1' : '0';
+        key += r.constants ? '1' : '0';
+        key += r.hashing ? '1' : '0';
+        key += std::to_string(r.maxRounds);
+        key += "|scn:" + std::to_string(static_cast<int>(options_.scenario));
+        key += options_.constraint1NoOngoing ? '1' : '0';
+        key += options_.constraint2CacheMonitor ? '1' : '0';
+        key += options_.constraint3SecureSw ? '1' : '0';
+        key += options_.assumeSecretProtected ? '1' : '0';
+        key += "|exc:";
+        for (const std::string& name : excluded) key += name + ',';
+      }
+      incremental_->setPrefixCache(options_.prefixCache, key);
+    }
     if (options_.structuralInitEquality) {
       if (incrementalReduced_) {
         applyReducedEquality(miter_, *incrementalReduced_, *incremental_);
@@ -415,6 +441,25 @@ std::vector<std::vector<int>> UpecEngine::exchangeSnapshot(std::size_t maxClause
     out.push_back(std::move(codes));
   }
   return out;
+}
+
+void UpecEngine::seedExchange(const std::vector<std::vector<int>>& clauses) {
+  if (clauses.empty()) return;
+  if (!incremental_) {
+    // Session not built yet: fold into the options so the first
+    // checkIncremental() seeds them through PortfolioOptions::seedLearnts.
+    options_.seedLearnts.insert(options_.seedLearnts.end(), clauses.begin(), clauses.end());
+    return;
+  }
+  std::vector<std::vector<sat::Lit>> lits;
+  lits.reserve(clauses.size());
+  for (const std::vector<int>& codes : clauses) {
+    std::vector<sat::Lit> clause;
+    clause.reserve(codes.size());
+    for (int code : codes) clause.push_back(sat::Lit::fromCode(code));
+    lits.push_back(std::move(clause));
+  }
+  incremental_->seedClauses(std::span<const std::vector<sat::Lit>>(lits.data(), lits.size()));
 }
 
 std::set<std::string> UpecEngine::allMicroNames() const {

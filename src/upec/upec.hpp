@@ -118,6 +118,17 @@ struct UpecOptions {
   // the fingerprint check at checkpoint load.
   std::vector<std::vector<int>> seedLearnts;
 
+  // Encoded-prefix cache (formal/prefix_cache.hpp; the campaign passes
+  // engine::EncodeCache). Not owned, may be null (= every session encodes
+  // cold). prefixKey is the design-identity part of the cache key — the
+  // engine derives it from SoC config + secret word — and the UpecEngine
+  // appends what it alone knows: the init-equality mode, and under
+  // reduction the options/scenario/exclusions the reduced netlist depends
+  // on. Only incremental sessions consult the cache. Verdict-preserving:
+  // a cloned prefix reproduces the cold encode's solver state exactly.
+  formal::PrefixCache* prefixCache = nullptr;
+  std::string prefixKey;
+
   // The configuration list the options resolve to (explicit list, else
   // diversified(portfolio), else empty = single default backend).
   std::vector<sat::SolverConfig> resolvedSolverConfigs() const;
@@ -182,6 +193,13 @@ class UpecEngine {
   // Empty for single-backend or non-sharing sessions, or before the first
   // incremental check.
   std::vector<std::vector<int>> exchangeSnapshot(std::size_t maxClauses) const;
+
+  // Seeds externally proven clauses (engine::ClauseStore, flat Lit codes
+  // per clause — exchangeSnapshot's inverse) into the incremental
+  // session's sharing exchange; every portfolio member imports them on its
+  // next solve. Ignored by non-sharing backends. Clauses offered before
+  // the first incremental check are delivered at session construction.
+  void seedExchange(const std::vector<std::vector<int>>& clauses);
 
   // The Fig. 4 interval property at window k (campaigns and external
   // drivers can encode it with an engine of their own choosing).

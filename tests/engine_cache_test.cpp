@@ -1,0 +1,451 @@
+// Campaign-persistent caches: the encoding prefix cache clones bit-exact
+// solver state (cache-hit and cache-miss campaigns agree on every verdict
+// AND every conflict count), distinct reduction option sets never share a
+// prefix, the clause store seeds sibling jobs without disturbing verdicts,
+// and the warm-start path re-seeds the next run's exchange with exactly
+// the clause set a resume of the same journal would — including the
+// last-snapshot-wins supersede rule and v1 depth-tag fallback.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/campaign.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/encode_cache.hpp"
+#include "formal/prefix_cache.hpp"
+#include "obs/observer.hpp"
+#include "sat/clause_store.hpp"
+
+namespace upec::engine {
+namespace {
+
+// ------------------------------------------------------------ helpers -------
+
+JobSpec secureLadder(std::uint32_t id, SecretScenario scenario, unsigned kMax,
+                     DeepeningMode mode = DeepeningMode::kIncremental) {
+  JobSpec spec;
+  spec.id = id;
+  spec.label = std::string("secure/") + scenarioName(scenario) + "/" + std::to_string(id);
+  spec.config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+  spec.secretWord = 12;
+  spec.options.scenario = scenario;
+  spec.mode = mode;
+  spec.kMin = 1;
+  spec.kMax = kMax;
+  return spec;
+}
+
+std::string tempJournal(const std::string& name) {
+  const std::string path = testing::TempDir() + "cache_" + name + ".ndjson";
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<std::string> journalLines(const std::string& path) {
+  std::vector<std::string> lines;
+  EXPECT_TRUE(obs::readNdjsonLines(path, lines, nullptr)) << path;
+  return lines;
+}
+
+std::size_t countType(const std::vector<std::string>& lines, const std::string& type) {
+  std::size_t n = 0;
+  const std::string needle = "\"type\":\"" + type + "\"";
+  for (const std::string& line : lines) {
+    if (line.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+// Full trajectory equality: verdicts AND conflict counts. Only valid for
+// deterministic (single-backend) campaigns — racing portfolios decide the
+// same verdicts but not the same conflict counts.
+void expectSameTrajectory(const CampaignReport& got, const CampaignReport& want) {
+  ASSERT_EQ(got.jobs.size(), want.jobs.size());
+  for (std::size_t j = 0; j < got.jobs.size(); ++j) {
+    EXPECT_EQ(got.jobs[j].verdict, want.jobs[j].verdict) << "job " << j;
+    ASSERT_EQ(got.jobs[j].windows.size(), want.jobs[j].windows.size()) << "job " << j;
+    for (std::size_t w = 0; w < got.jobs[j].windows.size(); ++w) {
+      EXPECT_EQ(got.jobs[j].windows[w].verdict, want.jobs[j].windows[w].verdict)
+          << "job " << j << " window " << w;
+      EXPECT_EQ(got.jobs[j].windows[w].stats.conflicts, want.jobs[j].windows[w].stats.conflicts)
+          << "job " << j << " window " << w;
+    }
+  }
+  EXPECT_EQ(got.overallVerdict, want.overallVerdict);
+}
+
+// Verdict-only equality, for nondeterministic (portfolio/seeded) runs.
+void expectSameVerdicts(const CampaignReport& got, const CampaignReport& want) {
+  ASSERT_EQ(got.jobs.size(), want.jobs.size());
+  for (std::size_t j = 0; j < got.jobs.size(); ++j) {
+    EXPECT_EQ(got.jobs[j].verdict, want.jobs[j].verdict) << "job " << j;
+    ASSERT_EQ(got.jobs[j].windows.size(), want.jobs[j].windows.size()) << "job " << j;
+    for (std::size_t w = 0; w < got.jobs[j].windows.size(); ++w) {
+      EXPECT_EQ(got.jobs[j].windows[w].verdict, want.jobs[j].windows[w].verdict)
+          << "job " << j << " window " << w;
+    }
+  }
+  EXPECT_EQ(got.overallVerdict, want.overallVerdict);
+}
+
+std::vector<sat::Lit> clause(std::initializer_list<int> codes) {
+  std::vector<sat::Lit> lits;
+  for (int code : codes) lits.push_back(sat::Lit::fromCode(code));
+  return lits;
+}
+
+// ------------------------------------------------ the store, directly -------
+
+TEST(ClauseStore, DepthGatesDeliveryAndRevisitsSkippedEntries) {
+  sat::ClauseStore store;
+  const std::vector<std::vector<sat::Lit>> deep = {clause({2, 5}), clause({9})};
+  store.promote("fam", 2, deep);
+
+  // Too shallow: a window-2 consequence must not reach a window-1 solve.
+  EXPECT_TRUE(store.fetch("fam", "a", 1).empty());
+  // Deep enough: both clauses arrive, once.
+  EXPECT_EQ(store.fetch("fam", "a", 2).size(), 2u);
+  EXPECT_TRUE(store.fetch("fam", "a", 5).empty()) << "cursor: each clause once per consumer";
+  // An independent consumer sees everything again.
+  EXPECT_EQ(store.fetch("fam", "b", 2).size(), 2u);
+
+  // Entries skipped for depth earlier become eligible later.
+  const std::vector<std::vector<sat::Lit>> shallow = {clause({11})};
+  store.promote("fam", 1, shallow);
+  const auto revisit = store.fetch("fam", "a", 3);
+  ASSERT_EQ(revisit.size(), 1u);
+  EXPECT_EQ(revisit[0], clause({11}));
+
+  const sat::ClauseStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.promoted, 3u);
+  EXPECT_EQ(stats.fetched, 5u);
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(ClauseStore, DeduplicatesPerFamilyAndRespectsCapacity) {
+  sat::ClauseStore store(/*familyCapacity=*/2);
+  const std::vector<std::vector<sat::Lit>> first = {clause({2, 5})};
+  const std::vector<std::vector<sat::Lit>> reordered = {clause({5, 2})};
+  const std::vector<std::vector<sat::Lit>> second = {clause({7})};
+  const std::vector<std::vector<sat::Lit>> third = {clause({9})};
+
+  store.promote("fam", 1, first);
+  store.promote("fam", 1, reordered);  // same signature, order-independent
+  store.promote("fam", 1, second);
+  store.promote("fam", 1, third);  // family is full
+
+  sat::ClauseStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.promoted, 2u);
+  EXPECT_EQ(stats.duplicates, 1u);
+  EXPECT_EQ(stats.overflow, 1u);
+
+  // Families are isolated: the same clause is fresh under another key.
+  store.promote("other", 1, first);
+  EXPECT_EQ(store.stats().promoted, 3u);
+  EXPECT_TRUE(store.fetch("other", "a", 1).size() == 1u);
+}
+
+// ------------------------------------------- the encode cache, directly -----
+
+TEST(EncodeCache, KeySeparatesDesignIdentity) {
+  const soc::SocConfig config = soc::SocConfig::formalSmall(soc::SocVariant::kSecure);
+  const std::string base = EncodeCache::keyFor(config, 12);
+  EXPECT_EQ(base, EncodeCache::keyFor(config, 12)) << "key must be deterministic";
+  EXPECT_NE(EncodeCache::keyFor(config, 13), base) << "secret word selects the aliased words";
+
+  soc::SocConfig larger = config;
+  larger.cacheLines *= 2;
+  EXPECT_NE(EncodeCache::keyFor(larger, 12), base);
+}
+
+TEST(EncodeCache, FirstWriterWinsAndCapacityBounds) {
+  EncodeCache cache(/*maxEntries=*/1);
+  EXPECT_EQ(cache.lookup("k"), nullptr);
+
+  auto prefix = std::make_shared<formal::EncodedPrefix>();
+  cache.store("k", prefix);
+  auto rival = std::make_shared<formal::EncodedPrefix>();
+  cache.store("k", rival);  // first writer wins
+  EXPECT_EQ(cache.lookup("k").get(), prefix.get());
+
+  cache.store("k2", std::make_shared<formal::EncodedPrefix>());  // over capacity
+  EXPECT_EQ(cache.lookup("k2"), nullptr);
+
+  const EncodeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// ------------------------------------------------- prefix cache campaigns ---
+
+TEST(CampaignCache, PrefixCacheKeepsTheTrajectoryBitIdentical) {
+  // Four single-backend ladders over the same design: one encoding
+  // equivalence class (the scenario only shapes assumptions, which come
+  // after the captured prefix). On two workers the first pair may race the
+  // cold encode, but the second pair starts after a prefix exists — at
+  // least two jobs must clone.
+  const std::vector<JobSpec> jobs = {secureLadder(0, SecretScenario::kNotInCache, 2),
+                                     secureLadder(1, SecretScenario::kInCache, 2),
+                                     secureLadder(2, SecretScenario::kNotInCache, 2),
+                                     secureLadder(3, SecretScenario::kInCache, 2)};
+  CampaignOptions cold;
+  cold.threads = 2;
+  const CampaignReport coldReport = runCampaign(jobs, cold);
+  EXPECT_FALSE(coldReport.cachePrefixEnabled);
+  EXPECT_EQ(coldReport.prefixHits, 0u);
+  EXPECT_EQ(coldReport.jobsEncodedFromCache, 0u);
+
+  CampaignOptions cached = cold;
+  cached.cache.prefix = true;
+  const CampaignReport cachedReport = runCampaign(jobs, cached);
+
+  // The strong claim: the clone is bit-exact, so conflicts match too.
+  expectSameTrajectory(cachedReport, coldReport);
+  EXPECT_TRUE(cachedReport.cachePrefixEnabled);
+  EXPECT_GE(cachedReport.prefixInsertions, 1u);
+  EXPECT_GE(cachedReport.prefixHits, 2u);
+  EXPECT_GE(cachedReport.jobsEncodedFromCache, 2u);
+  EXPECT_EQ(cachedReport.prefixHits + cachedReport.prefixMisses, jobs.size())
+      << "one lookup per incremental session";
+}
+
+TEST(CampaignCache, DifferentReductionOptionsNeverShareAPrefix) {
+  // Key collision isolation: two reduced jobs whose ReduceOptions differ
+  // must land on distinct prefixes; a third job repeating the first's
+  // options is the only hit. threads=1 makes the hit/miss counts exact.
+  std::vector<JobSpec> jobs = {secureLadder(0, SecretScenario::kNotInCache, 2),
+                               secureLadder(1, SecretScenario::kNotInCache, 2),
+                               secureLadder(2, SecretScenario::kNotInCache, 2)};
+  for (JobSpec& j : jobs) j.reduction = true;
+  jobs[1].options.reductionOptions.hashing = false;  // different encoding shape
+
+  CampaignOptions cold;
+  cold.threads = 1;
+  const CampaignReport coldReport = runCampaign(jobs, cold);
+
+  CampaignOptions cached = cold;
+  cached.cache.prefix = true;
+  const CampaignReport cachedReport = runCampaign(jobs, cached);
+
+  expectSameTrajectory(cachedReport, coldReport);
+  EXPECT_EQ(cachedReport.prefixInsertions, 2u) << "two distinct reduction shapes";
+  EXPECT_EQ(cachedReport.prefixMisses, 2u);
+  EXPECT_EQ(cachedReport.prefixHits, 1u) << "only the exact repeat may clone";
+  EXPECT_EQ(cachedReport.jobsEncodedFromCache, 1u);
+}
+
+// ------------------------------------------------- clause store campaigns ---
+
+TEST(CampaignCache, ClauseStoreSeedsSiblingsAndPreservesVerdicts) {
+  // Two identical sharing portfolios form one clause family; with one
+  // worker the first job's promotions are all fetchable by the second.
+  // Seeding changes the search trajectory (that is the point) but never a
+  // verdict.
+  std::vector<JobSpec> jobs = {secureLadder(0, SecretScenario::kInCache, 2),
+                               secureLadder(1, SecretScenario::kInCache, 2)};
+  for (JobSpec& j : jobs) {
+    j.portfolio = 2;
+    j.sharing = true;
+  }
+  EXPECT_EQ(clauseFamilyKey(jobs[0]), clauseFamilyKey(jobs[1]))
+      << "solver knobs must not split a family";
+  JobSpec otherScenario = secureLadder(2, SecretScenario::kNotInCache, 2);
+  otherScenario.portfolio = 2;
+  otherScenario.sharing = true;
+  EXPECT_NE(clauseFamilyKey(otherScenario), clauseFamilyKey(jobs[0]))
+      << "different assumptions must split the family";
+
+  CampaignOptions cold;
+  cold.threads = 1;
+  const CampaignReport coldReport = runCampaign(jobs, cold);
+  EXPECT_FALSE(coldReport.cacheStoreEnabled);
+
+  CampaignOptions seeded = cold;
+  seeded.cache.clauseStore = true;
+  const CampaignReport seededReport = runCampaign(jobs, seeded);
+
+  expectSameVerdicts(seededReport, coldReport);
+  EXPECT_TRUE(seededReport.cacheStoreEnabled);
+  // Accounting invariant: every clause the store hands out is seeded into
+  // exactly one job's exchange.
+  std::uint64_t jobSeedSum = 0;
+  for (const JobResult& job : seededReport.jobs) jobSeedSum += job.storeSeededClauses;
+  EXPECT_EQ(seededReport.storeFetched, jobSeedSum);
+  EXPECT_EQ(seededReport.storeSeededClauses, jobSeedSum);
+  if (seededReport.storePromoted > 0) {
+    EXPECT_GT(seededReport.storeFetched, 0u)
+        << "with one worker, every promotion is fetchable by a later window";
+  }
+}
+
+// ----------------------------------- satellite (d): warm start round-trip ---
+
+TEST(WarmStart, ResumeAndWarmStartRecoverTheIdenticalClauseSet) {
+  // The supersede rule, observed through both loaders: only the LAST
+  // learnts snapshot per job survives, with its depth tag — so a resumed
+  // campaign and a warm-started fresh campaign re-seed their exchanges
+  // with the identical clause set.
+  const std::string path = tempJournal("roundtrip");
+  const std::vector<JobSpec> jobs = {secureLadder(0, SecretScenario::kNotInCache, 2),
+                                     secureLadder(1, SecretScenario::kInCache, 1)};
+  {
+    CheckpointStore store(path);
+    ASSERT_TRUE(store.openFresh(jobs));
+    store.recordLearnts(0, 1, {{2, 5}, {9}});
+    store.recordLearnts(0, 2, {{3, 7}, {11, 13}});  // supersedes the first
+    store.recordLearnts(1, 1, {{4}});
+    store.recordBudgetHist(1, std::vector<std::uint64_t>{3, 5});
+    EXPECT_FALSE(store.writeFailed());
+  }
+  const std::vector<std::string> before = journalLines(path);
+
+  CheckpointStore reader(path);
+  CheckpointLoad loaded;
+  ASSERT_TRUE(reader.openResume(jobs, loaded));
+
+  WarmStart warm;
+  ASSERT_TRUE(CheckpointStore::loadWarmStart(path, jobs, warm));
+  EXPECT_TRUE(warm.diagnostics.empty());
+
+  ASSERT_EQ(loaded.learnts.size(), 2u);
+  ASSERT_EQ(warm.learnts.size(), 2u);
+  for (std::size_t i = 0; i < loaded.learnts.size(); ++i) {
+    EXPECT_EQ(warm.learnts[i].job, loaded.learnts[i].job) << "record " << i;
+    EXPECT_EQ(warm.learnts[i].depth, loaded.learnts[i].depth) << "record " << i;
+    EXPECT_EQ(warm.learnts[i].clauses, loaded.learnts[i].clauses) << "record " << i;
+  }
+  EXPECT_EQ(loaded.learnts[0].depth, 2u) << "the surviving snapshot's tag";
+  EXPECT_EQ(loaded.learnts[0].clauses,
+            (std::vector<std::vector<int>>{{3, 7}, {11, 13}}));
+
+  EXPECT_TRUE(warm.hasBudgetHist);
+  EXPECT_EQ(warm.undecidedWindows, 1u);
+  EXPECT_EQ(warm.decidedByAttempt, (std::vector<std::uint64_t>{3, 5}));
+
+  // loadWarmStart is strictly read-only — openResume reopens the writer,
+  // loadWarmStart must not.
+  EXPECT_EQ(journalLines(path), before);
+}
+
+TEST(WarmStart, VersionOneJournalsLoadWithConservativeDepthTags) {
+  const std::string path = tempJournal("v1compat");
+  const std::vector<JobSpec> jobs = {secureLadder(0, SecretScenario::kNotInCache, 2),
+                                     secureLadder(1, SecretScenario::kInCache, 1)};
+  // A v1 journal: no "k" on learnts, no budget_hist record class.
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << "{\"type\":\"header\",\"version\":1,\"fingerprint\":\""
+      << CheckpointStore::fingerprint(jobs) << "\",\"jobs\":2}\n";
+  out << "{\"type\":\"learnts\",\"job\":0,\"lits\":[2,5,0,9,0]}\n";
+  out.close();
+
+  CheckpointStore reader(path);
+  CheckpointLoad loaded;
+  ASSERT_TRUE(reader.openResume(jobs, loaded)) << "v1 journals must still load";
+  ASSERT_EQ(loaded.learnts.size(), 1u);
+  EXPECT_EQ(loaded.learnts[0].depth, jobs[0].kMax)
+      << "untagged v1 clauses get the owning job's deepest window";
+
+  WarmStart warm;
+  ASSERT_TRUE(CheckpointStore::loadWarmStart(path, jobs, warm));
+  ASSERT_EQ(warm.learnts.size(), 1u);
+  EXPECT_EQ(warm.learnts[0].depth, jobs[0].kMax);
+  EXPECT_FALSE(warm.hasBudgetHist);
+}
+
+// ----------------------------------------- warm-started campaigns, end to end
+
+TEST(WarmStart, WarmStartedCampaignMatchesColdVerdicts) {
+  // Run 1 journals a sharing sweep (with the prefix cache on, so the v2
+  // prefix/budget_hist record classes are exercised); run 2 warm-starts
+  // from that journal and must reproduce the verdicts.
+  std::vector<JobSpec> jobs = {secureLadder(0, SecretScenario::kInCache, 2),
+                               secureLadder(1, SecretScenario::kInCache, 2)};
+  for (JobSpec& j : jobs) {
+    j.portfolio = 2;
+    j.sharing = true;
+  }
+  const std::string path = tempJournal("donor");
+  CampaignOptions first;
+  first.threads = 2;
+  first.checkpoint.path = path;
+  first.cache.prefix = true;
+  // A rescheduled campaign journals its decided-by-attempt histogram; the
+  // generous budget keeps every window decided on the first pass.
+  first.reschedule.enabled = true;
+  first.reschedule.initialBudget = 1u << 30;
+  const CampaignReport donor = runCampaign(jobs, first);
+  EXPECT_EQ(donor.numErrors, 0u);
+
+  const std::vector<std::string> lines = journalLines(path);
+  EXPECT_EQ(countType(lines, "prefix"), 1u) << "prefix stats journaled once at end";
+  EXPECT_EQ(countType(lines, "budget_hist"), 1u) << "rescheduled campaigns carry the histogram";
+
+  CampaignOptions second;
+  second.threads = 2;
+  second.cache.warmStartPath = path;
+  second.reschedule = first.reschedule;
+  const CampaignReport warmed = runCampaign(jobs, second);
+
+  expectSameVerdicts(warmed, donor);
+  EXPECT_TRUE(warmed.warmStarted);
+  EXPECT_TRUE(warmed.cacheDiagnostics.empty());
+  EXPECT_TRUE(warmed.cacheStoreEnabled) << "a warm start implies the clause store";
+  if (countType(lines, "learnts") > 0) {
+    EXPECT_GT(warmed.warmStartClauses, 0u) << "journaled snapshots must promote";
+  }
+}
+
+TEST(WarmStart, UnusableDonorDegradesToColdWithADiagnostic) {
+  std::vector<JobSpec> jobs = {secureLadder(0, SecretScenario::kNotInCache, 1)};
+  CampaignOptions options;
+  options.threads = 1;
+  options.cache.warmStartPath = tempJournal("missing");  // never created
+  const CampaignReport report = runCampaign(jobs, options);
+  EXPECT_EQ(report.numErrors, 0u) << "a bad donor must never fail the campaign";
+  EXPECT_FALSE(report.warmStarted);
+  EXPECT_EQ(report.warmStartClauses, 0u);
+  ASSERT_FALSE(report.cacheDiagnostics.empty());
+}
+
+TEST(WarmStart, BudgetHistogramPrimesTheReschedulePolicy) {
+  // A donor histogram of {1 window on attempt 0, 9 on attempt 1} says the
+  // first-pass budget was futile: priming escalates straight to rung 1
+  // (initialBudget × growth), and the undecided window bumps the retry
+  // allowance.
+  const std::vector<JobSpec> jobs = {secureLadder(0, SecretScenario::kNotInCache, 2),
+                                     secureLadder(1, SecretScenario::kInCache, 1)};
+  const std::string path = tempJournal("hist");
+  {
+    CheckpointStore store(path);
+    ASSERT_TRUE(store.openFresh(jobs));
+    store.recordBudgetHist(1, std::vector<std::uint64_t>{1, 9});
+  }
+
+  CampaignOptions options;
+  options.threads = 1;
+  options.cache.warmStartPath = path;
+  options.cache.primeBudgets = true;
+  options.reschedule.enabled = true;
+  options.reschedule.initialBudget = 50000;  // ample for formalSmall
+  options.reschedule.budgetGrowth = 2.0;
+  const CampaignReport report = runCampaign(jobs, options);
+
+  EXPECT_EQ(report.numErrors, 0u);
+  EXPECT_TRUE(report.warmStarted);
+  EXPECT_TRUE(report.budgetsPrimed);
+  EXPECT_EQ(report.primedFromAttempt, 1u);
+  EXPECT_EQ(report.primedInitialBudget, 100000u);
+  EXPECT_EQ(report.numProven, 1u);
+  EXPECT_EQ(report.numPAlerts, 1u);
+}
+
+}  // namespace
+}  // namespace upec::engine

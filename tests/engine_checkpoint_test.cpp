@@ -136,8 +136,8 @@ TEST(CheckpointStore, JournalRoundTripsEveryRecordClass) {
     ASSERT_TRUE(store.openFresh(jobs));
     store.recordWindow(0, w, {"resp_buf", "odd name\\x"}, {});
     store.recordWindow(0, faulted, {}, {});  // kError: must NOT be journaled
-    store.recordLearnts(0, {{2, 5, -7}, {9}});
-    store.recordLearnts(0, {{3, -4}});  // supersedes the first snapshot
+    store.recordLearnts(0, 1, {{2, 5, -7}, {9}});
+    store.recordLearnts(0, 2, {{3, -4}});  // supersedes the first snapshot
     store.recordJob(done);
     EXPECT_FALSE(store.writeFailed());
   }

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Documentation integrity gate (stdlib only — CI's docs leg runs this).
+
+Checks, over every Markdown file in the repository:
+  1. every relative intra-repo link resolves to an existing file or
+     directory (external http(s)/mailto links are not fetched);
+  2. a link with a #fragment into a Markdown file names a real heading
+     (GitHub-style anchor slugs);
+  3. every direct subdirectory of src/ carries a README.md.
+
+Exit status 0 = clean, 1 = violations (each printed as file:line: msg).
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {".git", "build", ".claude"}
+# Retrieved external reference material (paper scrapes) — not repo docs;
+# their links point at figures that were never vendored.
+SKIP_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+# [text](target) — target captured up to the closing paren (no nesting in
+# our docs); reference-style links are not used in this repo.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def markdown_files():
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = [d for d in dirs if d not in SKIP_DIRS]
+        for name in files:
+            if name.endswith(".md") and not (root == REPO and name in SKIP_FILES):
+                yield os.path.join(root, name)
+
+
+def github_slug(heading):
+    """GitHub's anchor algorithm, close enough for our headings."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path):
+    slugs = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_links(path, errors):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                    continue
+                if target.startswith("#"):
+                    frag, target_path = target[1:], path
+                else:
+                    raw, _, frag = target.partition("#")
+                    target_path = os.path.normpath(
+                        os.path.join(os.path.dirname(path), raw))
+                    if not os.path.exists(target_path):
+                        errors.append(f"{rel(path)}:{lineno}: broken link {target}")
+                        continue
+                if frag and target_path.endswith(".md"):
+                    if frag not in heading_slugs(target_path):
+                        errors.append(
+                            f"{rel(path)}:{lineno}: missing anchor "
+                            f"#{frag} in {rel(target_path)}")
+
+
+def rel(path):
+    return os.path.relpath(path, REPO)
+
+
+def main():
+    errors = []
+    for path in markdown_files():
+        check_links(path, errors)
+
+    src = os.path.join(REPO, "src")
+    for entry in sorted(os.listdir(src)):
+        subdir = os.path.join(src, entry)
+        if os.path.isdir(subdir) and not os.path.isfile(
+                os.path.join(subdir, "README.md")):
+            errors.append(f"src/{entry}/: no README.md (every subsystem "
+                          "documents itself — see docs/ARCHITECTURE.md)")
+
+    for err in errors:
+        print(err)
+    n = len(list(markdown_files()))
+    if errors:
+        print(f"\ncheck_docs: {len(errors)} problem(s) across {n} markdown files")
+        return 1
+    print(f"check_docs: {n} markdown files clean, all src/ subsystems documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
